@@ -1,0 +1,49 @@
+//! Ablation: the byte-array record layout (§V's "byte array based memory
+//! management library") vs the naive per-record allocation layout.
+//! Measures fill + sort — the map task's hot loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use onepass_core::bytes_kv::KvBuf;
+
+const N: usize = 200_000;
+
+fn key(i: usize) -> [u8; 12] {
+    let mut k = [0u8; 12];
+    k[..4].copy_from_slice(&((i as u32).wrapping_mul(2_654_435_761) % 50_000).to_le_bytes());
+    k[4..8].copy_from_slice(b"pad0");
+    k[8..].copy_from_slice(&(i as u32).to_le_bytes());
+    k
+}
+
+fn kvbuf_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record-layout");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+
+    group.bench_function("KvBuf arena: fill+sort", |b| {
+        b.iter(|| {
+            let mut buf = KvBuf::with_capacity(N * 20, N);
+            for i in 0..N {
+                buf.push((i % 30) as u32, &key(i), b"value!!!");
+            }
+            buf.sort_by_partition_key();
+            buf.len()
+        })
+    });
+
+    group.bench_function("Vec<(Vec,Vec)>: fill+sort", |b| {
+        b.iter(|| {
+            let mut v: Vec<(u32, Vec<u8>, Vec<u8>)> = Vec::with_capacity(N);
+            for i in 0..N {
+                v.push(((i % 30) as u32, key(i).to_vec(), b"value!!!".to_vec()));
+            }
+            v.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            v.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, kvbuf_layout);
+criterion_main!(benches);

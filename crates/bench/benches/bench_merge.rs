@@ -1,0 +1,61 @@
+//! Ablation: multi-pass merge cost vs the merge factor F (Hadoop's
+//! `io.sort.factor`). Lower F ⇒ more passes ⇒ more I/O amplification and
+//! more CPU — quantifying why the multi-pass merge dominates the paper's
+//! reduce side.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onepass_core::io::{RunMeta, SharedMemStore, SpillStore};
+use onepass_groupby::MultiPassMerger;
+
+/// Write `runs` sorted runs of `per_run` records each.
+fn make_runs(store: &SharedMemStore, runs: usize, per_run: usize) -> Vec<RunMeta> {
+    (0..runs)
+        .map(|r| {
+            let mut w = store.begin_run().unwrap();
+            for i in 0..per_run {
+                // Keys interleave across runs so merging actually works.
+                let key = format!("k{:08}", i * runs + r);
+                w.write_record(key.as_bytes(), b"0123456789abcdef").unwrap();
+            }
+            w.finish().unwrap()
+        })
+        .collect()
+}
+
+fn merge_factor_sweep(c: &mut Criterion) {
+    let runs = 64;
+    let per_run = 500;
+    let mut group = c.benchmark_group("multipass-merge");
+    group.throughput(Throughput::Elements((runs * per_run) as u64));
+    group.sample_size(10);
+
+    for factor in [2usize, 4, 10, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(factor),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let store = SharedMemStore::new();
+                    let metas = make_runs(&store, runs, per_run);
+                    let mut merger =
+                        MultiPassMerger::new(Arc::new(store.clone()), factor).unwrap();
+                    for m in metas {
+                        merger.add_run(m).unwrap();
+                    }
+                    let mut grouped = merger.into_grouped().unwrap();
+                    let mut groups = 0u64;
+                    while let Some((_, vals)) = grouped.next_group().unwrap() {
+                        groups += vals.len() as u64;
+                    }
+                    groups
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merge_factor_sweep);
+criterion_main!(benches);

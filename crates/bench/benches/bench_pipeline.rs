@@ -1,0 +1,68 @@
+//! End-to-end engine throughput: the same page-frequency job under the
+//! three system presets — the whole-pipeline version of the §V
+//! comparison (map parse + grouping + shuffle + reduce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onepass_runtime::{Engine, JobSpec};
+use onepass_workloads::{make_splits, page_frequency, ClickGen, ClickGenConfig};
+
+fn data(n: usize) -> Vec<Vec<u8>> {
+    let mut gen = ClickGen::new(ClickGenConfig {
+        users: 5_000,
+        urls: 8_000,
+        ..Default::default()
+    });
+    gen.text_records(n)
+}
+
+fn pipeline(c: &mut Criterion) {
+    let n = 100_000;
+    let records = data(n);
+    let mut group = c.benchmark_group("pipeline-pagefreq");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    let presets: Vec<(&str, JobSpec)> = vec![
+        (
+            "hadoop",
+            page_frequency::job()
+                .reducers(2)
+                .collect_output(false)
+                .preset_hadoop()
+                .build()
+                .unwrap(),
+        ),
+        (
+            "hop",
+            page_frequency::job()
+                .reducers(2)
+                .collect_output(false)
+                .preset_hop()
+                .build()
+                .unwrap(),
+        ),
+        (
+            "onepass",
+            page_frequency::job()
+                .reducers(2)
+                .collect_output(false)
+                .preset_onepass()
+                .build()
+                .unwrap(),
+        ),
+    ];
+
+    for (name, job) in presets {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &job, |b, job| {
+            b.iter(|| {
+                let splits = make_splits(records.clone(), 10_000);
+                let report = Engine::new().run(job, splits).unwrap();
+                report.groups_out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

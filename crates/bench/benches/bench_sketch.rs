@@ -1,0 +1,67 @@
+//! Ablation: the frequent-items detector choice (Misra-Gries default vs
+//! Space-Saving vs Lossy Counting) — update throughput on a skewed
+//! stream. This is the per-record overhead the frequent-hash operator
+//! pays on its hot path, and the reason Misra-Gries is the default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onepass_sketch::{FrequentItems, LossyCounting, MisraGries, SpaceSaving};
+
+fn keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n as u32)
+        .map(|i| {
+            let k = (i.wrapping_mul(2_654_435_761) % 10_000) as u64;
+            let k = k * k / 10_000; // skew
+            format!("key{k}").into_bytes()
+        })
+        .collect()
+}
+
+fn sketch_offers(c: &mut Criterion) {
+    let n = 200_000;
+    let stream = keys(n);
+    let mut group = c.benchmark_group("sketch-offer");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    for capacity in [256usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("misra-gries", capacity),
+            &capacity,
+            |b, &k| {
+                b.iter(|| {
+                    let mut s = MisraGries::new(k);
+                    for key in &stream {
+                        s.offer(key);
+                    }
+                    s.items().len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("space-saving", capacity),
+            &capacity,
+            |b, &k| {
+                b.iter(|| {
+                    let mut s = SpaceSaving::new(k);
+                    for key in &stream {
+                        s.offer(key);
+                    }
+                    s.items().len()
+                })
+            },
+        );
+    }
+    group.bench_function("lossy-counting eps=1e-3", |b| {
+        b.iter(|| {
+            let mut s = LossyCounting::new(0.001);
+            for key in &stream {
+                s.offer(key);
+            }
+            s.items().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sketch_offers);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! The paper's central CPU claim, as a microbenchmark: grouping via
+//! sort-merge vs the three hash operators, in-memory and under memory
+//! pressure. Also the map-side choice in isolation: the `(partition,
+//! key)` block sort vs the partition-clustering scan (§V map option 1).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onepass_core::bytes_kv::KvBuf;
+use onepass_core::io::SharedMemStore;
+use onepass_core::memory::MemoryBudget;
+use onepass_groupby::{
+    CountAgg, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper, SortMergeGrouper,
+    VecSink,
+};
+
+fn records(n: usize, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n as u32)
+        .map(|i| {
+            // Zipf-ish skew via squaring.
+            let k = (i.wrapping_mul(2_654_435_761) % distinct) as u64;
+            let k = (k * k / distinct as u64) as u32;
+            (
+                format!("key{k:06}").into_bytes(),
+                (i as u64).to_le_bytes().to_vec(),
+            )
+        })
+        .collect()
+}
+
+fn run_grouper(mut g: Box<dyn GroupBy>, recs: &[(Vec<u8>, Vec<u8>)]) -> u64 {
+    let mut sink = VecSink::default();
+    for (k, v) in recs {
+        g.push(k, v, &mut sink).unwrap();
+    }
+    let stats = g.finish(&mut sink).unwrap();
+    stats.groups_out
+}
+
+fn groupby_ops(c: &mut Criterion) {
+    let n = 100_000;
+    let recs = records(n, 5_000);
+    let mut group = c.benchmark_group("groupby");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    for (name, budget) in [("in-memory", usize::MAX / 4), ("mem-constrained", 64 * 1024)] {
+        group.bench_with_input(BenchmarkId::new("sort-merge", name), &budget, |b, &bud| {
+            b.iter(|| {
+                run_grouper(
+                    Box::new(
+                        SortMergeGrouper::new(
+                            Arc::new(SharedMemStore::new()),
+                            MemoryBudget::new(bud),
+                            10,
+                            Arc::new(CountAgg),
+                        )
+                        .unwrap(),
+                    ),
+                    &recs,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid-hash", name), &budget, |b, &bud| {
+            b.iter(|| {
+                run_grouper(
+                    Box::new(
+                        HybridHashGrouper::new(
+                            Arc::new(SharedMemStore::new()),
+                            MemoryBudget::new(bud),
+                            8,
+                            Arc::new(CountAgg),
+                        )
+                        .unwrap(),
+                    ),
+                    &recs,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inc-hash", name), &budget, |b, &bud| {
+            b.iter(|| {
+                run_grouper(
+                    Box::new(IncHashGrouper::new(
+                        Arc::new(SharedMemStore::new()),
+                        MemoryBudget::new(bud),
+                        Arc::new(CountAgg),
+                    )),
+                    &recs,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("freq-hash", name), &budget, |b, &bud| {
+            b.iter(|| {
+                run_grouper(
+                    Box::new(FreqHashGrouper::new(
+                        Arc::new(SharedMemStore::new()),
+                        MemoryBudget::new(bud),
+                        Arc::new(CountAgg),
+                    )),
+                    &recs,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn map_side(c: &mut Criterion) {
+    let n = 200_000u32;
+    let mut group = c.benchmark_group("map-side");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    let fill = |partitions: u32| {
+        let mut buf = KvBuf::with_capacity(n as usize * 16, n as usize);
+        for i in 0..n {
+            let key = (i.wrapping_mul(2_654_435_761) % 40_000).to_le_bytes();
+            buf.push(i % partitions, &key, b"v");
+        }
+        buf
+    };
+
+    group.bench_function("sort (partition,key)", |b| {
+        b.iter_batched(
+            || fill(30),
+            |mut buf| buf.sort_by_partition_key(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("hash partition-only scan", |b| {
+        b.iter_batched(
+            || fill(30),
+            |mut buf| buf.group_by_partition(30),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, groupby_ops, map_side);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! §V initial results — hash-based system vs carefully tuned stock
+//! Hadoop, on the real engine.
+//!
+//! Paper claims: "The hash-based system can save up to 48% of CPU
+//! cycles, and up to 53% of running time. Furthermore, the I/O cost due
+//! to internal data spills in the reduce phase can be reduced by three
+//! orders of magnitude when the frequent algorithm is used together with
+//! hashing."
+//!
+//! Both systems run the same generated click data with the same reducer
+//! memory budget and the same split granularity (many small map tasks, as
+//! in the paper's 3,773-task jobs — which is what drives Hadoop's
+//! segment-count merge threshold and its spill-despite-ample-memory
+//! behaviour, §III-B.4). `--records` (default 1.2M), `--budget-kb`
+//! (default 1024) and `--split-records` (default 400) control the regime.
+
+use onepass_bench::{arg_usize, pct, save};
+use onepass_core::table::Table;
+use onepass_runtime::report::JobReport;
+use onepass_runtime::{Engine, JobSpec};
+use onepass_workloads::{make_splits, per_user_count, sessionization, ClickGen, ClickGenConfig};
+
+fn run(job: JobSpec, records: usize, split_records: usize) -> JobReport {
+    let mut gen = ClickGen::new(ClickGenConfig {
+        users: 30_000,
+        user_skew: 1.15,
+        ..Default::default()
+    });
+    let splits = make_splits(gen.text_records(records), split_records);
+    Engine::new().run(&job, splits).expect("job runs")
+}
+
+struct Comparison {
+    workload: &'static str,
+    cpu_saved: f64,
+    time_saved: f64,
+    spill_ratio: f64,
+}
+
+/// Run a job three times and keep the run with the median wall time —
+/// sub-second engine walls are noisy on shared machines.
+fn run_median(job: &JobSpec, records: usize, split_records: usize) -> JobReport {
+    let mut runs: Vec<JobReport> = (0..3)
+        .map(|_| run(job.clone(), records, split_records))
+        .collect();
+    runs.sort_by(|a, b| a.wall.cmp(&b.wall));
+    runs.swap_remove(1)
+}
+
+fn compare(
+    workload: &'static str,
+    hadoop: JobSpec,
+    onepass: JobSpec,
+    records: usize,
+    split_records: usize,
+) -> (Comparison, String) {
+    let h = run_median(&hadoop, records, split_records);
+    let o = run_median(&onepass, records, split_records);
+    let h_cpu = h.total_compute_cpu().as_secs_f64();
+    let o_cpu = o.total_compute_cpu().as_secs_f64();
+    let h_spill = h.reduce_spill_traffic().max(1);
+    let o_spill = o.reduce_spill_traffic().max(1);
+    let c = Comparison {
+        workload,
+        cpu_saved: 1.0 - o_cpu / h_cpu,
+        time_saved: 1.0 - o.wall.as_secs_f64() / h.wall.as_secs_f64(),
+        spill_ratio: h_spill as f64 / o_spill as f64,
+    };
+    let detail = format!(
+        "{workload}: hadoop cpu={h_cpu:.2}s wall={:.2}s spill={}B | onepass cpu={o_cpu:.2}s wall={:.2}s spill={}B early_answers={}",
+        h.wall.as_secs_f64(),
+        h_spill,
+        o.wall.as_secs_f64(),
+        o_spill,
+        o.early_emits,
+    );
+    (c, detail)
+}
+
+fn main() {
+    let records = arg_usize("records", 1_200_000);
+    let budget = arg_usize("budget-kb", 1024) * 1024;
+    let split_records = arg_usize("split-records", 400);
+    println!(
+        "== §V: hash-based one-pass vs tuned stock Hadoop ({records} clicks, {budget} B reduce budget, {} map tasks) ==\n",
+        records / split_records
+    );
+
+    let mut table = Table::new(
+        "Section V initial results (paper: ≤48% CPU saved, ≤53% time saved, ~1000x less reduce spill)",
+        &["workload", "CPU saved", "runtime saved", "reduce-spill reduction"],
+    );
+    let mut csv = String::from("workload,cpu_saved_pct,time_saved_pct,spill_ratio\n");
+    let mut details = Vec::new();
+
+    // Per-user count: the combiner-friendly counting workload, where the
+    // frequent algorithm shines.
+    let (c1, d1) = compare(
+        "per-user-count",
+        per_user_count::job()
+            .reducers(4)
+            .collect_output(false)
+            .preset_hadoop()
+            .reduce_budget_bytes(budget)
+            .build()
+            .unwrap(),
+        per_user_count::job()
+            .reducers(4)
+            .collect_output(false)
+            .preset_onepass()
+            .reduce_budget_bytes(budget)
+            .build()
+            .unwrap(),
+        records,
+        split_records,
+    );
+    details.push(d1);
+
+    // Sessionization: holistic reduce, no combiner — CPU savings come
+    // purely from eliminating the sort; spill savings from hot users.
+    let (c2, d2) = compare(
+        "sessionization",
+        sessionization::job()
+            .reducers(4)
+            .collect_output(false)
+            .preset_hadoop()
+            .reduce_budget_bytes(budget * 8)
+            .build()
+            .unwrap(),
+        sessionization::job()
+            .reducers(4)
+            .collect_output(false)
+            .preset_onepass()
+            .reduce_budget_bytes(budget * 8)
+            .build()
+            .unwrap(),
+        records,
+        split_records,
+    );
+    details.push(d2);
+
+    for c in [&c1, &c2] {
+        table.row(&[
+            c.workload.to_string(),
+            pct(c.cpu_saved),
+            pct(c.time_saved),
+            format!("{:.0}x", c.spill_ratio),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.1},{:.1},{:.1}\n",
+            c.workload,
+            c.cpu_saved * 100.0,
+            c.time_saved * 100.0,
+            c.spill_ratio
+        ));
+    }
+
+    println!("{}", table.to_text());
+    for d in &details {
+        println!("  {d}");
+    }
+    println!(
+        "\nShape checks: large CPU/runtime savings on sessionization (the paper's \
+         'up to' case) and orders-of-magnitude spill reduction on both. \
+         Per-user-count CPU is near parity at laptop scale: its map function \
+         (text parsing) dominates and is identical on both paths, and Rust's \
+         sort baseline is far leaner than 2010 Java's."
+    );
+    save("section5.csv", &csv);
+}

@@ -1,0 +1,345 @@
+//! Byte-array based key/value record storage.
+//!
+//! The paper's prototype "implements its key data structures in byte arrays
+//! in the memory management library" to avoid the overhead of creating a
+//! large number of per-record objects (§V). The Rust analogue of that
+//! concern is per-record heap allocation: a naive
+//! `Vec<(Vec<u8>, Vec<u8>)>` performs two allocations per record and
+//! scatters records across the heap, destroying cache locality for the
+//! sort/scan-heavy MapReduce inner loops.
+//!
+//! [`KvBuf`] instead stores all key and value bytes in one contiguous arena
+//! with a parallel entry table `(partition, key_off, key_len, val_len)`.
+//! Sorting permutes only the 24-byte entries, never the payload — exactly
+//! what Hadoop's map-side buffer does with its kvindices array. The
+//! `bench_kvbuf` benchmark quantifies the gap against the naive layout.
+
+use crate::hashlib::fingerprint;
+
+/// One logical record inside a [`KvBuf`]: which reducer partition it
+/// belongs to plus the location of its key/value bytes in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Reducer partition assigned by the partitioner.
+    pub partition: u32,
+    /// Byte offset of the key within the arena; the value follows the key.
+    pub key_off: u32,
+    /// Key length in bytes.
+    pub key_len: u32,
+    /// Value length in bytes.
+    pub val_len: u32,
+}
+
+/// An append-only arena of `(partition, key, value)` records.
+///
+/// Typical lifecycle: a mapper `push`es records until
+/// [`KvBuf::arena_bytes`] exceeds its budget, then sorts (sort-merge path)
+/// or partitions (hash path) and drains the buffer.
+#[derive(Debug, Default, Clone)]
+pub struct KvBuf {
+    arena: Vec<u8>,
+    entries: Vec<Entry>,
+}
+
+impl KvBuf {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty buffer with arena capacity pre-reserved.
+    pub fn with_capacity(arena_bytes: usize, records: usize) -> Self {
+        KvBuf {
+            arena: Vec::with_capacity(arena_bytes),
+            entries: Vec::with_capacity(records),
+        }
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, partition: u32, key: &[u8], value: &[u8]) {
+        let key_off = self.arena.len() as u32;
+        self.arena.extend_from_slice(key);
+        self.arena.extend_from_slice(value);
+        self.entries.push(Entry {
+            partition,
+            key_off,
+            key_len: key.len() as u32,
+            val_len: value.len() as u32,
+        });
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bytes currently in the arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Approximate total heap footprint (arena + entry table), used for
+    /// memory budgeting.
+    pub fn mem_bytes(&self) -> usize {
+        self.arena.capacity() + self.entries.capacity() * std::mem::size_of::<Entry>()
+    }
+
+    /// Key bytes of the `i`-th record (in current entry order).
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u8] {
+        let e = self.entries[i];
+        &self.arena[e.key_off as usize..(e.key_off + e.key_len) as usize]
+    }
+
+    /// Value bytes of the `i`-th record (in current entry order).
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let e = self.entries[i];
+        let start = (e.key_off + e.key_len) as usize;
+        &self.arena[start..start + e.val_len as usize]
+    }
+
+    /// Partition of the `i`-th record (in current entry order).
+    #[inline]
+    pub fn partition(&self, i: usize) -> u32 {
+        self.entries[i].partition
+    }
+
+    /// Iterate `(partition, key, value)` in current entry order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u8], &[u8])> + '_ {
+        (0..self.len()).map(move |i| (self.partition(i), self.key(i), self.value(i)))
+    }
+
+    /// Sort entries by the compound `(partition, key)` — Hadoop's map-side
+    /// block sort (§II-A: "a block-level sort on the compound (partition,
+    /// key) to achieve both partitioning and sorting in each partition").
+    ///
+    /// Only the entry table is permuted; payload bytes never move.
+    pub fn sort_by_partition_key(&mut self) {
+        // Split borrows: sort `entries` with a comparator reading `arena`.
+        let arena = std::mem::take(&mut self.arena);
+        self.entries.sort_unstable_by(|a, b| {
+            a.partition.cmp(&b.partition).then_with(|| {
+                let ka = &arena[a.key_off as usize..(a.key_off + a.key_len) as usize];
+                let kb = &arena[b.key_off as usize..(b.key_off + b.key_len) as usize];
+                ka.cmp(kb)
+            })
+        });
+        self.arena = arena;
+    }
+
+    /// Sort entries by key only (used by single-partition operators).
+    pub fn sort_by_key(&mut self) {
+        let arena = std::mem::take(&mut self.arena);
+        self.entries.sort_unstable_by(|a, b| {
+            let ka = &arena[a.key_off as usize..(a.key_off + a.key_len) as usize];
+            let kb = &arena[b.key_off as usize..(b.key_off + b.key_len) as usize];
+            ka.cmp(kb)
+        });
+        self.arena = arena;
+    }
+
+    /// Stable counting "sort" on partition only — the hash path's
+    /// replacement for the compound sort ("the map output is scanned once
+    /// for partitioning, and no effort is spent for grouping", §V). O(n).
+    pub fn group_by_partition(&mut self, partitions: usize) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let mut counts = vec![0usize; partitions];
+        for e in &self.entries {
+            counts[e.partition as usize] += 1;
+        }
+        let mut starts = vec![0usize; partitions];
+        let mut acc = 0;
+        for (s, c) in starts.iter_mut().zip(&counts) {
+            *s = acc;
+            acc += c;
+        }
+        let mut out = vec![
+            Entry {
+                partition: 0,
+                key_off: 0,
+                key_len: 0,
+                val_len: 0
+            };
+            self.entries.len()
+        ];
+        for e in &self.entries {
+            let slot = &mut starts[e.partition as usize];
+            out[*slot] = *e;
+            *slot += 1;
+        }
+        self.entries = out;
+    }
+
+    /// Ranges of entry indices per partition, assuming entries are already
+    /// ordered by partition (after either sort above).
+    pub fn partition_ranges(&self, partitions: usize) -> Vec<std::ops::Range<usize>> {
+        let mut ranges = Vec::with_capacity(partitions);
+        let mut start = 0usize;
+        for p in 0..partitions as u32 {
+            let mut end = start;
+            while end < self.entries.len() && self.entries[end].partition == p {
+                end += 1;
+            }
+            ranges.push(start..end);
+            start = end;
+        }
+        debug_assert_eq!(start, self.entries.len(), "entries not partition-ordered");
+        ranges
+    }
+
+    /// Remove all records, retaining capacity.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.entries.clear();
+    }
+
+    /// A 64-bit content fingerprint, invariant under record order. Used by
+    /// tests to check that transformations preserve the multiset of
+    /// records.
+    pub fn unordered_fingerprint(&self) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..self.len() {
+            let mut h = fingerprint(self.key(i));
+            h = h.rotate_left(17) ^ fingerprint(self.value(i));
+            h ^= (self.partition(i) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            acc = acc.wrapping_add(crate::hashlib::mix64(h));
+        }
+        acc
+    }
+}
+
+/// An owned `(key, value)` pair — used at API boundaries where borrowing
+/// from an arena is impractical (e.g. crossing thread channels).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OwnedKv {
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes.
+    pub value: Vec<u8>,
+}
+
+impl OwnedKv {
+    /// Construct from borrowed slices.
+    pub fn new(key: &[u8], value: &[u8]) -> Self {
+        OwnedKv {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.key.len() + self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KvBuf {
+        let mut b = KvBuf::new();
+        b.push(1, b"banana", b"v1");
+        b.push(0, b"cherry", b"v2");
+        b.push(1, b"apple", b"v3");
+        b.push(0, b"apple", b"v4");
+        b
+    }
+
+    #[test]
+    fn push_and_access_roundtrip() {
+        let b = sample();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.key(0), b"banana");
+        assert_eq!(b.value(0), b"v1");
+        assert_eq!(b.partition(3), 0);
+        assert_eq!(b.arena_bytes(), 6 + 2 + 6 + 2 + 5 + 2 + 5 + 2);
+    }
+
+    #[test]
+    fn sort_by_partition_key_orders_compound() {
+        let mut b = sample();
+        let fp = b.unordered_fingerprint();
+        b.sort_by_partition_key();
+        let got: Vec<(u32, &[u8])> = (0..b.len()).map(|i| (b.partition(i), b.key(i))).collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, b"apple".as_slice()),
+                (0, b"cherry".as_slice()),
+                (1, b"apple".as_slice()),
+                (1, b"banana".as_slice()),
+            ]
+        );
+        assert_eq!(b.unordered_fingerprint(), fp, "sort must preserve content");
+    }
+
+    #[test]
+    fn group_by_partition_clusters_without_key_order() {
+        let mut b = sample();
+        let fp = b.unordered_fingerprint();
+        b.group_by_partition(2);
+        assert!(b.partition(0) == 0 && b.partition(1) == 0);
+        assert!(b.partition(2) == 1 && b.partition(3) == 1);
+        // Stability: original relative order within partitions preserved.
+        assert_eq!(b.key(0), b"cherry");
+        assert_eq!(b.key(1), b"apple");
+        assert_eq!(b.key(2), b"banana");
+        assert_eq!(b.unordered_fingerprint(), fp);
+    }
+
+    #[test]
+    fn partition_ranges_cover_all_entries() {
+        let mut b = sample();
+        b.sort_by_partition_key();
+        let ranges = b.partition_ranges(2);
+        assert_eq!(ranges, vec![0..2, 2..4]);
+        // Partitions with no records get empty ranges.
+        let mut c = KvBuf::new();
+        c.push(2, b"k", b"v");
+        c.group_by_partition(4);
+        let r = c.partition_ranges(4);
+        assert_eq!(r, vec![0..0, 0..0, 0..1, 1..1]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = sample();
+        let cap = b.arena.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.arena.capacity(), cap);
+    }
+
+    #[test]
+    fn empty_buffer_edge_cases() {
+        let mut b = KvBuf::new();
+        assert!(b.is_empty());
+        b.sort_by_partition_key();
+        b.group_by_partition(4);
+        assert_eq!(b.partition_ranges(2), vec![0..0, 0..0]);
+        assert_eq!(b.unordered_fingerprint(), 0);
+    }
+
+    #[test]
+    fn zero_length_keys_and_values_are_legal() {
+        let mut b = KvBuf::new();
+        b.push(0, b"", b"v");
+        b.push(0, b"k", b"");
+        b.push(0, b"", b"");
+        assert_eq!(b.key(0), b"");
+        assert_eq!(b.value(1), b"");
+        assert_eq!(b.key(2), b"");
+        assert_eq!(b.value(2), b"");
+        b.sort_by_key();
+        assert_eq!(b.len(), 3);
+    }
+}

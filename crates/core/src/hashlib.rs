@@ -1,0 +1,306 @@
+//! Pair-wise independent hash function library.
+//!
+//! The paper's prototype ships "a set of pair-wise independent hash
+//! functions to meet the requirement of hashing techniques" (§V). Hybrid
+//! hash needs *independent* functions at each recursion level (otherwise a
+//! bucket re-hashes into a single sub-bucket and recursion never
+//! terminates), and the frequent-items sketches need seeded families.
+//!
+//! Two families are provided:
+//!
+//! * [`MultiplyShift`] — Dietzfelbinger's multiply-shift scheme over a
+//!   64-bit mixed fingerprint. Extremely fast; pair-wise independent over
+//!   the fingerprint domain.
+//! * [`Tabulation`] — 8-per-byte table lookup hashing, 3-independent and
+//!   empirically far stronger; slower to seed, similar evaluation speed.
+//!
+//! Both operate on `&[u8]` keys via a common [`KeyHasher`] trait so callers
+//! can be generic over the family (the `bench_hashlib` benchmark compares
+//! them).
+
+/// A seeded hash function over byte-string keys.
+pub trait KeyHasher: Send + Sync {
+    /// Hash `key` to a 64-bit value.
+    fn hash(&self, key: &[u8]) -> u64;
+
+    /// Map `key` into one of `buckets` bins (uniformly, given a good hash).
+    ///
+    /// Uses the fixed-point multiply trick (`(h * n) >> 64`) instead of
+    /// modulo: no division on the hot path and no modulo bias.
+    fn bucket(&self, key: &[u8], buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        (((self.hash(key) as u128) * (buckets as u128)) >> 64) as usize
+    }
+}
+
+/// A 64→64 bit finalization mixer (SplitMix64's finalizer). Used to reduce
+/// variable-length byte strings to a well-mixed 64-bit fingerprint before
+/// the pair-wise independent stage.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Reduce a byte string to a 64-bit fingerprint by folding 8-byte words
+/// through the SplitMix64 mixer. This is *not* itself the pair-wise
+/// independent stage — the seeded families are applied on top of it.
+#[inline]
+pub fn fingerprint(key: &[u8]) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15 ^ (key.len() as u64);
+    let mut chunks = key.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        acc = mix64(acc ^ w);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        acc = mix64(acc ^ u64::from_le_bytes(w));
+    }
+    mix64(acc)
+}
+
+/// Dietzfelbinger multiply-shift hashing: `h(x) = (a*x + b) >> (64 - out)`
+/// evaluated in 128-bit arithmetic over the key fingerprint.
+#[derive(Debug, Clone)]
+pub struct MultiplyShift {
+    a: u128,
+    b: u128,
+}
+
+impl MultiplyShift {
+    /// Construct from a seed. Distinct seeds give (with overwhelming
+    /// probability) distinct, independent functions.
+    pub fn new(seed: u64) -> Self {
+        // Derive the 128-bit multiplier/addend from the seed via the mixer;
+        // `a` must be odd for the multiply-shift guarantees.
+        let a_lo = mix64(seed ^ 0xa076_1d64_78bd_642f) | 1;
+        let a_hi = mix64(seed ^ 0xe703_7ed1_a0b4_28db);
+        let b_lo = mix64(seed ^ 0x8ebc_6af0_9c88_c6e3);
+        let b_hi = mix64(seed ^ 0x5899_65cc_7537_4cc3);
+        MultiplyShift {
+            a: ((a_hi as u128) << 64) | a_lo as u128,
+            b: ((b_hi as u128) << 64) | b_lo as u128,
+        }
+    }
+}
+
+impl KeyHasher for MultiplyShift {
+    #[inline]
+    fn hash(&self, key: &[u8]) -> u64 {
+        let x = fingerprint(key) as u128;
+        (self.a.wrapping_mul(x).wrapping_add(self.b) >> 64) as u64
+    }
+}
+
+/// Simple tabulation hashing: the 8 bytes of the key fingerprint index
+/// eight 256-entry tables of random 64-bit words which are XORed together.
+/// 3-independent; behaves like a fully random function for hashing with
+/// chaining, linear probing, and frequency sketches.
+#[derive(Clone)]
+pub struct Tabulation {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl std::fmt::Debug for Tabulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tabulation").finish_non_exhaustive()
+    }
+}
+
+impl Tabulation {
+    /// Construct from a seed, filling the tables with a SplitMix64 stream.
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed ^ 0x1234_5678_9abc_def0;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            mix64(state)
+        };
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for t in tables.iter_mut() {
+            for e in t.iter_mut() {
+                *e = next();
+            }
+        }
+        Tabulation { tables }
+    }
+}
+
+impl KeyHasher for Tabulation {
+    #[inline]
+    fn hash(&self, key: &[u8]) -> u64 {
+        let fp = fingerprint(key).to_le_bytes();
+        let mut h = 0u64;
+        for (i, b) in fp.iter().enumerate() {
+            h ^= self.tables[i][*b as usize];
+        }
+        h
+    }
+}
+
+/// A seeded *family* of hash functions: level `i` of a recursive algorithm
+/// (hybrid hash) or row `i` of a sketch asks for `family.member(i)`.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Create a family rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        HashFamily { seed }
+    }
+
+    /// The `i`-th member function (multiply-shift; cheap to construct).
+    pub fn member(&self, i: u64) -> MultiplyShift {
+        MultiplyShift::new(mix64(self.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+/// Seed used by [`HashFamily::default`].
+pub const DEFAULT_FAMILY_SEED: u64 = 0x0e70_37ed_1a0b_428d;
+
+/// A `std::hash` adapter over [`mix64`]: a fast, non-cryptographic hasher
+/// for the engine's internal byte-key hash tables (the per-key state maps
+/// of the incremental hash paths). Not DoS-hardened — these tables hold
+/// engine-internal intermediate keys, not attacker-controlled map keys of
+/// a long-lived service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.state = mix64(self.state ^ fingerprint(bytes));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastBuildHasher;
+
+impl std::hash::BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by byte strings using [`FastHasher`].
+pub type ByteMap<V> = std::collections::HashMap<Vec<u8>, V, FastBuildHasher>;
+
+impl Default for HashFamily {
+    fn default() -> Self {
+        HashFamily::new(DEFAULT_FAMILY_SEED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_lengths_and_content() {
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+        assert_ne!(fingerprint(b"\0"), fingerprint(b"\0\0"));
+        assert_ne!(fingerprint(b"abcdefgh"), fingerprint(b"abcdefgi"));
+        // Deterministic.
+        assert_eq!(fingerprint(b"hello"), fingerprint(b"hello"));
+    }
+
+    #[test]
+    fn multiply_shift_seeds_differ() {
+        let h1 = MultiplyShift::new(1);
+        let h2 = MultiplyShift::new(2);
+        let mut same = 0;
+        for i in 0..1000u32 {
+            let k = i.to_le_bytes();
+            if h1.hash(&k) == h2.hash(&k) {
+                same += 1;
+            }
+        }
+        assert!(same < 5, "independent seeds should rarely collide: {same}");
+    }
+
+    #[test]
+    fn bucket_is_in_range_and_covers_all_buckets() {
+        let h = Tabulation::new(42);
+        let n = 16;
+        let mut seen = vec![false; n];
+        for i in 0..10_000u32 {
+            let b = h.bucket(&i.to_le_bytes(), n);
+            assert!(b < n);
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn bucket_distribution_is_roughly_uniform() {
+        let h = MultiplyShift::new(7);
+        let n = 8;
+        let trials = 80_000u32;
+        let mut counts = vec![0usize; n];
+        for i in 0..trials {
+            counts[h.bucket(&i.to_le_bytes(), n)] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for c in counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn family_members_are_distinct() {
+        let fam = HashFamily::new(99);
+        let a = fam.member(0);
+        let b = fam.member(1);
+        let k = b"some key";
+        assert_ne!(a.hash(k), b.hash(k));
+        // Same index is the same function.
+        assert_eq!(fam.member(3).hash(k), fam.member(3).hash(k));
+    }
+
+    #[test]
+    fn byte_map_basic_usage() {
+        let mut m: ByteMap<u32> = ByteMap::default();
+        m.insert(b"alpha".to_vec(), 1);
+        m.insert(b"beta".to_vec(), 2);
+        assert_eq!(m.get(b"alpha".as_slice()), Some(&1));
+        *m.entry(b"alpha".to_vec()).or_insert(0) += 10;
+        assert_eq!(m[b"alpha".as_slice()], 11);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn tabulation_collision_rate_is_low() {
+        let h = Tabulation::new(5);
+        let mut hashes: Vec<u64> = (0..20_000u32).map(|i| h.hash(&i.to_le_bytes())).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 20_000, "no 64-bit collisions expected");
+    }
+}

@@ -1,0 +1,635 @@
+//! Spill-run file management — the paper's "file management library" (§V).
+//!
+//! Both the sort-merge baseline and the hash techniques stage intermediate
+//! data in *runs*: sequences of `(key, value)` records written once and
+//! read back sequentially. A [`SpillStore`] creates, opens and deletes runs
+//! and keeps global I/O counters, which the experiment drivers report (the
+//! paper's central quantitative claims are about exactly these bytes:
+//! 370 GB of reduce-side merge I/O for sessionization, and a three
+//! orders-of-magnitude reduction under frequent-hash).
+//!
+//! Two backends are provided, plus a fault-injection decorator:
+//! * [`SharedMemStore`] — runs held in memory; deterministic and fast,
+//!   used by unit tests and by callers that only want the *accounting*.
+//! * [`FileSpillStore`] — runs as real files under a directory, with
+//!   buffered sequential I/O; used by the engine when actually spilling.
+//! * [`FaultInjectStore`] — wraps any store and starts failing after a
+//!   configured number of operations, for failure-propagation testing.
+//!
+//! On-disk record format: `[u32 klen][u32 vlen][key bytes][value bytes]`,
+//! little-endian, no alignment. A run must end exactly at a record
+//! boundary; anything else surfaces as [`Error::Corrupt`].
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+/// Identifier of a spill run within its store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunId(pub u64);
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The run's id, usable with [`SpillStore::open_run`].
+    pub id: RunId,
+    /// Number of records written.
+    pub records: u64,
+    /// Total encoded bytes (including the 8-byte headers).
+    pub bytes: u64,
+}
+
+/// Cumulative I/O accounting for a store. All figures are encoded bytes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Bytes written across all runs.
+    pub bytes_written: u64,
+    /// Bytes read back across all runs.
+    pub bytes_read: u64,
+    /// Runs created.
+    pub runs_created: u64,
+    /// Runs deleted.
+    pub runs_deleted: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCell {
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    runs_created: AtomicU64,
+    runs_deleted: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            runs_created: self.runs_created.load(Ordering::Relaxed),
+            runs_deleted: self.runs_deleted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A borrowed record yielded by a [`RunReader`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct Record<'a> {
+    /// Key bytes.
+    pub key: &'a [u8],
+    /// Value bytes.
+    pub value: &'a [u8],
+}
+
+/// Sequential writer for one run. Obtain via [`SpillStore::begin_run`].
+pub trait RunWriter: Send {
+    /// Append one record.
+    fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Flush and seal the run, returning its metadata.
+    fn finish(self: Box<Self>) -> Result<RunMeta>;
+}
+
+/// Sequential reader over one run. Obtain via [`SpillStore::open_run`].
+pub trait RunReader: Send {
+    /// Next record, or `None` at a clean end-of-run.
+    fn next_record(&mut self) -> Result<Option<Record<'_>>>;
+}
+
+/// A store of spill runs with shared I/O accounting.
+pub trait SpillStore: Send + Sync {
+    /// Start writing a new run.
+    fn begin_run(&self) -> Result<Box<dyn RunWriter>>;
+    /// Open a finished run for sequential reading.
+    fn open_run(&self, id: RunId) -> Result<Box<dyn RunReader>>;
+    /// Delete a finished run, reclaiming its space.
+    fn delete_run(&self, id: RunId) -> Result<()>;
+    /// Cumulative I/O counters.
+    fn stats(&self) -> IoStats;
+}
+
+/// Encoded size of one record (header + payload).
+#[inline]
+pub fn encoded_len(key: &[u8], value: &[u8]) -> u64 {
+    8 + key.len() as u64 + value.len() as u64
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+struct MemWriter {
+    store: Arc<MemStoreInner>,
+    id: u64,
+    buf: Vec<u8>,
+    records: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemStoreInner {
+    runs: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    next_id: AtomicU64,
+    stats: StatsCell,
+}
+
+/// Spill store keeping runs in memory. Cheap and deterministic; used by
+/// unit tests and by callers that only need the byte accounting. Clones
+/// share the same underlying store.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemStore {
+    inner: Arc<MemStoreInner>,
+}
+
+impl SharedMemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (not yet deleted) runs.
+    pub fn live_runs(&self) -> usize {
+        self.inner.runs.lock().len()
+    }
+
+    /// Total payload bytes currently held by live runs.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.runs.lock().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl SpillStore for SharedMemStore {
+    fn begin_run(&self) -> Result<Box<dyn RunWriter>> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.runs_created.fetch_add(1, Ordering::Relaxed);
+        Ok(Box::new(MemWriter {
+            store: Arc::clone(&self.inner),
+            id,
+            buf: Vec::new(),
+            records: 0,
+        }))
+    }
+
+    fn open_run(&self, id: RunId) -> Result<Box<dyn RunReader>> {
+        let data = self
+            .inner
+            .runs
+            .lock()
+            .get(&id.0)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("mem run {}", id.0)))?;
+        Ok(Box::new(MemReader {
+            store: Arc::clone(&self.inner),
+            data,
+            pos: 0,
+        }))
+    }
+
+    fn delete_run(&self, id: RunId) -> Result<()> {
+        self.inner
+            .runs
+            .lock()
+            .remove(&id.0)
+            .ok_or_else(|| Error::NotFound(format!("mem run {}", id.0)))?;
+        self.inner.stats.runs_deleted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats.snapshot()
+    }
+}
+
+impl RunWriter for MemWriter {
+    fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(value);
+        self.records += 1;
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>) -> Result<RunMeta> {
+        let bytes = self.buf.len() as u64;
+        self.store
+            .stats
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.store.runs.lock().insert(self.id, Arc::new(self.buf));
+        Ok(RunMeta {
+            id: RunId(self.id),
+            records: self.records,
+            bytes,
+        })
+    }
+}
+
+struct MemReader {
+    store: Arc<MemStoreInner>,
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl RunReader for MemReader {
+    fn next_record(&mut self) -> Result<Option<Record<'_>>> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        if self.data.len() - self.pos < 8 {
+            return Err(Error::Corrupt("truncated record header".into()));
+        }
+        let klen =
+            u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        let vlen =
+            u32::from_le_bytes(self.data[self.pos + 4..self.pos + 8].try_into().unwrap()) as usize;
+        let start = self.pos + 8;
+        if self.data.len() - start < klen + vlen {
+            return Err(Error::Corrupt("truncated record payload".into()));
+        }
+        self.pos = start + klen + vlen;
+        self.store
+            .stats
+            .bytes_read
+            .fetch_add((8 + klen + vlen) as u64, Ordering::Relaxed);
+        Ok(Some(Record {
+            key: &self.data[start..start + klen],
+            value: &self.data[start + klen..start + klen + vlen],
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed backend
+// ---------------------------------------------------------------------------
+
+/// Spill store persisting runs as files under a directory.
+#[derive(Debug)]
+pub struct FileSpillStore {
+    dir: PathBuf,
+    next_id: AtomicU64,
+    stats: Arc<StatsCell>,
+    /// Remove the directory (and any leftover runs) on drop.
+    cleanup_on_drop: bool,
+}
+
+impl FileSpillStore {
+    /// Create a store rooted at `dir` (created if missing).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FileSpillStore {
+            dir,
+            next_id: AtomicU64::new(0),
+            stats: Arc::new(StatsCell::default()),
+            cleanup_on_drop: false,
+        })
+    }
+
+    /// Create a store in a fresh unique subdirectory of the system temp
+    /// dir, removed when the store is dropped.
+    pub fn temp() -> Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "onepass-spill-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = std::env::temp_dir().join(unique);
+        let mut s = Self::new(dir)?;
+        s.cleanup_on_drop = true;
+        Ok(s)
+    }
+
+    fn run_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("run-{id}.bin"))
+    }
+}
+
+impl Drop for FileSpillStore {
+    fn drop(&mut self) {
+        if self.cleanup_on_drop {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl SpillStore for FileSpillStore {
+    fn begin_run(&self) -> Result<Box<dyn RunWriter>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.stats.runs_created.fetch_add(1, Ordering::Relaxed);
+        let file = File::create(self.run_path(id))?;
+        Ok(Box::new(FileWriter {
+            id,
+            out: BufWriter::with_capacity(1 << 16, file),
+            records: 0,
+            bytes: 0,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn open_run(&self, id: RunId) -> Result<Box<dyn RunReader>> {
+        let path = self.run_path(id.0);
+        let file = File::open(&path)
+            .map_err(|_| Error::NotFound(format!("file run {}", id.0)))?;
+        Ok(Box::new(FileReader {
+            input: BufReader::with_capacity(1 << 16, file),
+            scratch: Vec::new(),
+            klen: 0,
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn delete_run(&self, id: RunId) -> Result<()> {
+        fs::remove_file(self.run_path(id.0))
+            .map_err(|_| Error::NotFound(format!("file run {}", id.0)))?;
+        self.stats.runs_deleted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+}
+
+struct FileWriter {
+    id: u64,
+    out: BufWriter<File>,
+    records: u64,
+    bytes: u64,
+    stats: Arc<StatsCell>,
+}
+
+impl RunWriter for FileWriter {
+    fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.out.write_all(&(key.len() as u32).to_le_bytes())?;
+        self.out.write_all(&(value.len() as u32).to_le_bytes())?;
+        self.out.write_all(key)?;
+        self.out.write_all(value)?;
+        self.records += 1;
+        self.bytes += encoded_len(key, value);
+        Ok(())
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<RunMeta> {
+        self.out.flush()?;
+        self.stats
+            .bytes_written
+            .fetch_add(self.bytes, Ordering::Relaxed);
+        Ok(RunMeta {
+            id: RunId(self.id),
+            records: self.records,
+            bytes: self.bytes,
+        })
+    }
+}
+
+struct FileReader {
+    input: BufReader<File>,
+    scratch: Vec<u8>,
+    klen: usize,
+    stats: Arc<StatsCell>,
+}
+
+impl RunReader for FileReader {
+    fn next_record(&mut self) -> Result<Option<Record<'_>>> {
+        let mut header = [0u8; 8];
+        match self.input.read_exact(&mut header[..1]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        self.input
+            .read_exact(&mut header[1..])
+            .map_err(|_| Error::Corrupt("truncated record header".into()))?;
+        let klen = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        self.scratch.resize(klen + vlen, 0);
+        self.input
+            .read_exact(&mut self.scratch)
+            .map_err(|_| Error::Corrupt("truncated record payload".into()))?;
+        self.klen = klen;
+        self.stats
+            .bytes_read
+            .fetch_add((8 + klen + vlen) as u64, Ordering::Relaxed);
+        Ok(Some(Record {
+            key: &self.scratch[..self.klen],
+            value: &self.scratch[self.klen..],
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// A [`SpillStore`] decorator that starts failing after a configured
+/// number of I/O operations — for testing that operators and engines
+/// propagate storage failures as errors instead of losing data or
+/// panicking. Each record write, record read, run open/begin/delete
+/// counts as one operation.
+pub struct FaultInjectStore {
+    inner: Arc<dyn SpillStore>,
+    budget: Arc<AtomicU64>,
+}
+
+/// Saturating decrement of a shared fault budget; `Err` once exhausted.
+fn fault_tick(budget: &AtomicU64) -> Result<()> {
+    let mut cur = budget.load(Ordering::Relaxed);
+    loop {
+        if cur == 0 {
+            return Err(Error::Io(std::io::Error::other(
+                "injected spill-store failure",
+            )));
+        }
+        match budget.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Ok(()),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+impl FaultInjectStore {
+    /// Wrap `inner`; the first `ops_before_failure` operations succeed,
+    /// everything after fails with [`Error::Io`].
+    pub fn new(inner: Arc<dyn SpillStore>, ops_before_failure: u64) -> Self {
+        FaultInjectStore {
+            inner,
+            budget: Arc::new(AtomicU64::new(ops_before_failure)),
+        }
+    }
+
+    /// Operations remaining before failures begin.
+    pub fn remaining(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+}
+
+impl SpillStore for FaultInjectStore {
+    fn begin_run(&self) -> Result<Box<dyn RunWriter>> {
+        fault_tick(&self.budget)?;
+        let inner = self.inner.begin_run()?;
+        Ok(Box::new(FaultWriter {
+            inner,
+            budget: Arc::clone(&self.budget),
+        }))
+    }
+
+    fn open_run(&self, id: RunId) -> Result<Box<dyn RunReader>> {
+        fault_tick(&self.budget)?;
+        self.inner.open_run(id)
+    }
+
+    fn delete_run(&self, id: RunId) -> Result<()> {
+        fault_tick(&self.budget)?;
+        self.inner.delete_run(id)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+}
+
+struct FaultWriter {
+    inner: Box<dyn RunWriter>,
+    budget: Arc<AtomicU64>,
+}
+
+impl RunWriter for FaultWriter {
+    fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        fault_tick(&self.budget)?;
+        self.inner.write_record(key, value)
+    }
+
+    fn finish(self: Box<Self>) -> Result<RunMeta> {
+        fault_tick(&self.budget)?;
+        self.inner.finish()
+    }
+}
+
+/// Drain a reader into owned pairs — convenience for tests and small runs.
+pub fn read_all(reader: &mut dyn RunReader) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut out = Vec::new();
+    while let Some(rec) = reader.next_record()? {
+        out.push((rec.key.to_vec(), rec.value.to_vec()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &dyn SpillStore) {
+        let mut w = store.begin_run().unwrap();
+        w.write_record(b"alpha", b"1").unwrap();
+        w.write_record(b"", b"empty-key").unwrap();
+        w.write_record(b"beta", b"").unwrap();
+        let meta = w.finish().unwrap();
+        assert_eq!(meta.records, 3);
+        assert_eq!(
+            meta.bytes,
+            encoded_len(b"alpha", b"1") + encoded_len(b"", b"empty-key") + encoded_len(b"beta", b"")
+        );
+
+        let mut r = store.open_run(meta.id).unwrap();
+        let recs = read_all(r.as_mut()).unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                (b"alpha".to_vec(), b"1".to_vec()),
+                (b"".to_vec(), b"empty-key".to_vec()),
+                (b"beta".to_vec(), b"".to_vec()),
+            ]
+        );
+
+        let st = store.stats();
+        assert_eq!(st.bytes_written, meta.bytes);
+        assert_eq!(st.bytes_read, meta.bytes);
+        assert_eq!(st.runs_created, 1);
+
+        store.delete_run(meta.id).unwrap();
+        assert!(store.open_run(meta.id).is_err());
+        assert_eq!(store.stats().runs_deleted, 1);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        roundtrip(&SharedMemStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let store = FileSpillStore::temp().unwrap();
+        roundtrip(&store);
+    }
+
+    #[test]
+    fn empty_run_is_legal() {
+        let store = SharedMemStore::new();
+        let w = store.begin_run().unwrap();
+        let meta = w.finish().unwrap();
+        assert_eq!(meta.records, 0);
+        let mut r = store.open_run(meta.id).unwrap();
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_run_is_not_found() {
+        let store = SharedMemStore::new();
+        assert!(matches!(
+            store.open_run(RunId(42)),
+            Err(Error::NotFound(_))
+        ));
+        assert!(store.delete_run(RunId(42)).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_get_distinct_runs() {
+        let store = SharedMemStore::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = store.clone();
+                s.spawn(move || {
+                    let mut w = store.begin_run().unwrap();
+                    w.write_record(&t.to_le_bytes(), b"v").unwrap();
+                    w.finish().unwrap();
+                });
+            }
+        });
+        assert_eq!(store.live_runs(), 4);
+        assert_eq!(store.stats().runs_created, 4);
+    }
+
+    #[test]
+    fn file_store_temp_cleans_up() {
+        let dir;
+        {
+            let store = FileSpillStore::temp().unwrap();
+            dir = store.dir.clone();
+            let mut w = store.begin_run().unwrap();
+            w.write_record(b"k", b"v").unwrap();
+            w.finish().unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "temp spill dir should be removed on drop");
+    }
+
+    #[test]
+    fn large_records_roundtrip_through_files() {
+        let store = FileSpillStore::temp().unwrap();
+        let big_val = vec![0xabu8; 1 << 20];
+        let mut w = store.begin_run().unwrap();
+        w.write_record(b"big", &big_val).unwrap();
+        let meta = w.finish().unwrap();
+        let mut r = store.open_run(meta.id).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.key, b"big");
+        assert_eq!(rec.value.len(), big_val.len());
+        assert!(rec.value == big_val.as_slice());
+    }
+}

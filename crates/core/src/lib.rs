@@ -1,0 +1,37 @@
+//! # onepass-core
+//!
+//! Foundational substrate for the `onepass` analytics engine — a Rust
+//! reproduction of *"Towards Scalable One-Pass Analytics Using MapReduce"*
+//! (Mazur, Li, Diao, Shenoy; IPPS 2011).
+//!
+//! Section V of the paper describes a set of support libraries its prototype
+//! is built on; this crate provides their Rust equivalents:
+//!
+//! * [`bytes_kv`] — the *byte-array based memory management library*: all
+//!   key/value records live in contiguous byte arenas with offset tables, so
+//!   no per-record heap allocations occur on the hot path.
+//! * [`hashlib`] — the *hash function library*: pair-wise independent hash
+//!   families (multiply-shift and tabulation) used for partitioning,
+//!   hybrid-hash bucket splits, and sketches.
+//! * [`memory`] — budgeted memory accounting, the mechanism by which
+//!   operators detect "buffer full" (Hadoop's `io.sort.mb` analogue).
+//! * [`io`] — the *file management library*: spill-run files with counted
+//!   sequential I/O, backed either by real temp files or by an in-memory
+//!   store for tests.
+//! * [`metrics`] — phase-attributed CPU timers, counters and time-series
+//!   samplers (the paper's `iostat`/`ps` profiling harness analogue).
+//! * [`table`] — minimal aligned-text / CSV emission for experiment drivers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bytes_kv;
+pub mod config;
+pub mod error;
+pub mod hashlib;
+pub mod io;
+pub mod memory;
+pub mod metrics;
+pub mod table;
+
+pub use error::{Error, Result};

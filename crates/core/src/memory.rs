@@ -1,0 +1,286 @@
+//! Budgeted memory accounting.
+//!
+//! MapReduce operators must detect "buffer full" deterministically: Hadoop's
+//! map side spills when `io.sort.mb` is exhausted, and the reduce side
+//! spills / switches to multi-pass merge when its buffer fills. The paper's
+//! hash techniques likewise change behaviour at the memory boundary (hybrid
+//! hash spills buckets; frequent-hash evicts cold keys). [`MemoryBudget`]
+//! provides that boundary as an explicit, testable object instead of
+//! relying on the allocator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// A shared, thread-safe byte budget.
+///
+/// Cloning shares the underlying budget (like `Arc`). Operators `grant`
+/// before growing a buffer and `release` when a buffer is drained/spilled.
+///
+/// ```
+/// use onepass_core::memory::MemoryBudget;
+///
+/// let budget = MemoryBudget::new(1024);
+/// assert!(budget.try_grant(1000));
+/// assert!(!budget.try_grant(100));   // over the limit: caller should spill
+/// budget.release(1000);
+/// assert_eq!(budget.used(), 0);
+/// assert_eq!(budget.high_water(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    limit: usize,
+    used: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// Create a budget of `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        MemoryBudget {
+            inner: Arc::new(Inner {
+                limit,
+                used: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// An effectively unlimited budget (for tests / unconstrained runs).
+    pub fn unlimited() -> Self {
+        Self::new(usize::MAX / 2)
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.inner.limit
+    }
+
+    /// Bytes currently granted.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.inner.limit.saturating_sub(self.used())
+    }
+
+    /// Highest `used` value ever observed.
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Try to reserve `bytes`; returns `false` (without reserving) if the
+    /// budget cannot cover it.
+    pub fn try_grant(&self, bytes: usize) -> bool {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let Some(new) = cur.checked_add(bytes) else {
+                return false;
+            };
+            if new > self.inner.limit {
+                return false;
+            }
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.high_water.fetch_max(new, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reserve `bytes` or return [`Error::MemoryExceeded`].
+    pub fn grant(&self, bytes: usize) -> Result<()> {
+        if self.try_grant(bytes) {
+            Ok(())
+        } else {
+            Err(Error::MemoryExceeded {
+                requested: bytes,
+                available: self.available(),
+            })
+        }
+    }
+
+    /// Return `bytes` to the budget. Releasing more than was granted is a
+    /// bug in the caller; in debug builds it panics, in release it
+    /// saturates to zero.
+    pub fn release(&self, bytes: usize) {
+        let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "released {bytes} B but only {prev} B were granted");
+        if prev < bytes {
+            self.inner.used.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Would a grant of `bytes` succeed right now?
+    pub fn would_fit(&self, bytes: usize) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Reserve `bytes` unconditionally, allowing `used` to overshoot the
+    /// limit. For in-place growth of existing state that cannot fail
+    /// mid-operation; the overshoot makes subsequent `try_grant` calls
+    /// fail, prompting callers to spill. The soft-limit behaviour of real
+    /// memory managers.
+    pub fn force_grant(&self, bytes: usize) {
+        let new = self.inner.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.high_water.fetch_max(new, Ordering::Relaxed);
+    }
+
+    /// Is usage currently above the configured limit (after force grants)?
+    pub fn over_limit(&self) -> bool {
+        self.used() > self.inner.limit
+    }
+}
+
+/// RAII reservation: releases its bytes on drop. Useful for scoped buffers.
+#[derive(Debug)]
+pub struct Reservation {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// Reserve `bytes` from `budget`, failing if unavailable.
+    pub fn take(budget: &MemoryBudget, bytes: usize) -> Result<Self> {
+        budget.grant(bytes)?;
+        Ok(Reservation {
+            budget: budget.clone(),
+            bytes,
+        })
+    }
+
+    /// Grow this reservation by `extra` bytes.
+    pub fn grow(&mut self, extra: usize) -> Result<()> {
+        self.budget.grant(extra)?;
+        self.bytes += extra;
+        Ok(())
+    }
+
+    /// Resize the reservation to exactly `new_bytes` (grow or shrink).
+    pub fn resize(&mut self, new_bytes: usize) -> Result<()> {
+        if new_bytes > self.bytes {
+            self.grow(new_bytes - self.bytes)
+        } else {
+            self.budget.release(self.bytes - new_bytes);
+            self.bytes = new_bytes;
+            Ok(())
+        }
+    }
+
+    /// Bytes currently held by this reservation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_release_track_usage() {
+        let b = MemoryBudget::new(100);
+        assert!(b.try_grant(60));
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.available(), 40);
+        assert!(!b.try_grant(50));
+        assert!(b.try_grant(40));
+        assert_eq!(b.available(), 0);
+        b.release(100);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.high_water(), 100);
+    }
+
+    #[test]
+    fn grant_error_reports_availability() {
+        let b = MemoryBudget::new(10);
+        b.grant(4).unwrap();
+        match b.grant(20) {
+            Err(Error::MemoryExceeded {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 20);
+                assert_eq!(available, 6);
+            }
+            other => panic!("expected MemoryExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reservation_releases_on_drop() {
+        let b = MemoryBudget::new(100);
+        {
+            let mut r = Reservation::take(&b, 30).unwrap();
+            r.grow(20).unwrap();
+            assert_eq!(b.used(), 50);
+            r.resize(10).unwrap();
+            assert_eq!(b.used(), 10);
+            assert_eq!(r.bytes(), 10);
+        }
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn budget_is_shared_across_clones() {
+        let a = MemoryBudget::new(100);
+        let b = a.clone();
+        assert!(a.try_grant(70));
+        assert!(!b.try_grant(40));
+        b.release(70);
+        assert_eq!(a.used(), 0);
+    }
+
+    #[test]
+    fn force_grant_overshoots_and_blocks_try_grant() {
+        let b = MemoryBudget::new(10);
+        b.grant(8).unwrap();
+        b.force_grant(5);
+        assert_eq!(b.used(), 13);
+        assert!(b.over_limit());
+        assert!(!b.try_grant(1));
+        b.release(13);
+        assert!(!b.over_limit());
+        assert_eq!(b.high_water(), 13);
+    }
+
+    #[test]
+    fn concurrent_grants_never_exceed_limit() {
+        let b = MemoryBudget::new(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if b.try_grant(7) {
+                            b.release(7);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 0);
+        assert!(b.high_water() <= 1000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the core substrates: KvBuf ordering invariants,
+//! spill-run roundtrips over arbitrary byte records, and budget safety.
+
+use onepass_core::bytes_kv::KvBuf;
+use onepass_core::io::{read_all, SharedMemStore, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use proptest::prelude::*;
+
+type Rec = (u8, Vec<u8>, Vec<u8>); // (partition, key, value)
+
+fn recs() -> impl Strategy<Value = Vec<Rec>> {
+    prop::collection::vec(
+        (
+            0u8..8,
+            prop::collection::vec(any::<u8>(), 0..20),
+            prop::collection::vec(any::<u8>(), 0..30),
+        ),
+        0..200,
+    )
+}
+
+fn fill(records: &[Rec]) -> KvBuf {
+    let mut buf = KvBuf::new();
+    for (p, k, v) in records {
+        buf.push(*p as u32, k, v);
+    }
+    buf
+}
+
+proptest! {
+    #[test]
+    fn sort_by_partition_key_is_ordered_and_content_preserving(records in recs()) {
+        let mut buf = fill(&records);
+        let fp = buf.unordered_fingerprint();
+        buf.sort_by_partition_key();
+        prop_assert_eq!(buf.unordered_fingerprint(), fp);
+        for i in 1..buf.len() {
+            let a = (buf.partition(i - 1), buf.key(i - 1));
+            let b = (buf.partition(i), buf.key(i));
+            prop_assert!(a <= b, "entries out of order at {i}");
+        }
+        // Ranges exactly tile the buffer and respect partitions.
+        let ranges = buf.partition_ranges(8);
+        let mut covered = 0;
+        for (p, range) in ranges.iter().enumerate() {
+            for i in range.clone() {
+                prop_assert_eq!(buf.partition(i) as usize, p);
+                covered += 1;
+            }
+        }
+        prop_assert_eq!(covered, buf.len());
+    }
+
+    #[test]
+    fn group_by_partition_is_stable_and_content_preserving(records in recs()) {
+        let mut buf = fill(&records);
+        let fp = buf.unordered_fingerprint();
+        buf.group_by_partition(8);
+        prop_assert_eq!(buf.unordered_fingerprint(), fp);
+        // Clustered by partition.
+        for i in 1..buf.len() {
+            prop_assert!(buf.partition(i - 1) <= buf.partition(i));
+        }
+        // Stable: within a partition, original relative order holds.
+        let expected: Vec<(&Vec<u8>, &Vec<u8>)> = {
+            let mut per: Vec<Vec<(&Vec<u8>, &Vec<u8>)>> = vec![Vec::new(); 8];
+            for (p, k, v) in &records {
+                per[*p as usize].push((k, v));
+            }
+            per.into_iter().flatten().collect()
+        };
+        for (i, (k, v)) in expected.iter().enumerate() {
+            prop_assert_eq!(buf.key(i), k.as_slice());
+            prop_assert_eq!(buf.value(i), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn run_roundtrip_preserves_arbitrary_bytes(records in recs()) {
+        let store = SharedMemStore::new();
+        let mut w = store.begin_run().unwrap();
+        for (_, k, v) in &records {
+            w.write_record(k, v).unwrap();
+        }
+        let meta = w.finish().unwrap();
+        prop_assert_eq!(meta.records, records.len() as u64);
+        let mut r = store.open_run(meta.id).unwrap();
+        let got = read_all(r.as_mut()).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            records.iter().map(|(_, k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, expect);
+        // Byte accounting symmetric.
+        let st = store.stats();
+        prop_assert_eq!(st.bytes_written, st.bytes_read);
+    }
+
+    #[test]
+    fn budget_grant_release_sequences_never_go_negative(
+        ops in prop::collection::vec((any::<bool>(), 1usize..100), 0..100)
+    ) {
+        let budget = MemoryBudget::new(1000);
+        let mut held: Vec<usize> = Vec::new();
+        for (grant, amount) in ops {
+            if grant {
+                if budget.try_grant(amount) {
+                    held.push(amount);
+                }
+                prop_assert!(budget.used() <= 1000);
+            } else if let Some(a) = held.pop() {
+                budget.release(a);
+            }
+        }
+        let total: usize = held.iter().sum();
+        prop_assert_eq!(budget.used(), total);
+        prop_assert!(budget.high_water() <= 1000);
+    }
+}

@@ -1,0 +1,428 @@
+//! The aggregate-function contract shared by combine and reduce.
+//!
+//! The paper's incremental techniques hinge on reduce functions that can be
+//! expressed as *mergeable per-key states* ("the incremental hash
+//! technique maintains a state for each key, and updates it incrementally",
+//! §V). [`Aggregator`] captures that: `init`/`update` fold raw values into
+//! a byte-encoded state, `merge` combines two partial states (needed when a
+//! spilled partial state meets a resident one, and for combiner→reducer
+//! composition), and `finish` renders the final output value.
+//!
+//! States are byte arrays, matching the engine-wide byte-oriented data
+//! plane: states can be spilled, shuffled and merged without knowing their
+//! semantics.
+
+/// A commutative, associative aggregate over the values of one key.
+pub trait Aggregator: Send + Sync {
+    /// Initial state for a key, from its first value.
+    fn init(&self, key: &[u8], value: &[u8]) -> Vec<u8>;
+
+    /// Fold one more raw value into an existing state.
+    fn update(&self, key: &[u8], state: &mut Vec<u8>, value: &[u8]);
+
+    /// Merge another *state* (not raw value) into `state`.
+    fn merge(&self, key: &[u8], state: &mut Vec<u8>, other_state: &[u8]);
+
+    /// Render the final output value from a state. Default: the state
+    /// bytes themselves.
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        state
+    }
+
+    /// Whether the aggregate can serve as a *combiner* (partial
+    /// aggregation on the map side). True for all classic distributive /
+    /// algebraic aggregates; false for holistic ones.
+    fn combinable(&self) -> bool {
+        true
+    }
+}
+
+/// Delegation through shared pointers, so `Arc<dyn Aggregator>` is itself
+/// an aggregate (needed to wrap dynamic aggregates in adapters like
+/// [`StateInput`]).
+impl<T: Aggregator + ?Sized> Aggregator for std::sync::Arc<T> {
+    fn init(&self, key: &[u8], value: &[u8]) -> Vec<u8> {
+        (**self).init(key, value)
+    }
+
+    fn update(&self, key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        (**self).update(key, state, value)
+    }
+
+    fn merge(&self, key: &[u8], state: &mut Vec<u8>, other_state: &[u8]) {
+        (**self).merge(key, state, other_state)
+    }
+
+    fn finish(&self, key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        (**self).finish(key, state)
+    }
+
+    fn combinable(&self) -> bool {
+        (**self).combinable()
+    }
+}
+
+fn dec_u64(state: &[u8]) -> u64 {
+    u64::from_le_bytes(state.try_into().expect("8-byte aggregate state"))
+}
+
+fn enc_u64(x: u64) -> Vec<u8> {
+    x.to_le_bytes().to_vec()
+}
+
+/// COUNT(*): state is a little-endian u64 occurrence count; raw values are
+/// ignored (or, if 8 bytes long, *not* interpreted — count semantics are
+/// strictly "one per record"). Use [`SumAgg`] to add pre-counted partials.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountAgg;
+
+impl Aggregator for CountAgg {
+    fn init(&self, _key: &[u8], _value: &[u8]) -> Vec<u8> {
+        enc_u64(1)
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, _value: &[u8]) {
+        let n = dec_u64(state) + 1;
+        state.copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        let n = dec_u64(state) + dec_u64(other);
+        state.copy_from_slice(&n.to_le_bytes());
+    }
+}
+
+/// SUM over little-endian u64 values. Because a partial sum is itself a
+/// valid input value, SUM composes with itself as map-side combiner — the
+/// canonical word-count / page-frequency aggregate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SumAgg;
+
+impl Aggregator for SumAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        enc_u64(dec_u64(value))
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        let n = dec_u64(state) + dec_u64(value);
+        state.copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn merge(&self, key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        self.update(key, state, other);
+    }
+}
+
+/// MAX over little-endian u64 values.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaxAgg;
+
+impl Aggregator for MaxAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        enc_u64(dec_u64(value))
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        let n = dec_u64(state).max(dec_u64(value));
+        state.copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn merge(&self, key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        self.update(key, state, other);
+    }
+}
+
+/// Collect all values of a key as length-prefixed concatenation
+/// (`[u32 len][bytes]`…). This models *holistic* reduce functions —
+/// sessionization and inverted-list construction — whose state is linear
+/// in the number of values and which have no effective combiner.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ListAgg;
+
+impl ListAgg {
+    /// Decode a list state back into its elements.
+    pub fn decode(state: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < state.len() {
+            let len = u32::from_le_bytes(state[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            out.push(state[pos..pos + len].to_vec());
+            pos += len;
+        }
+        out
+    }
+
+    fn append(state: &mut Vec<u8>, value: &[u8]) {
+        state.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        state.extend_from_slice(value);
+    }
+}
+
+impl Aggregator for ListAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut s = Vec::with_capacity(4 + value.len());
+        Self::append(&mut s, value);
+        s
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        Self::append(state, value);
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        // Partial lists concatenate; element order across partials is not
+        // semantically meaningful (MapReduce gives no value-order
+        // guarantee within a group).
+        state.extend_from_slice(other);
+    }
+
+    fn combinable(&self) -> bool {
+        // A list combiner performs no data reduction ("intermediate data
+        // is large due to the reorganization of all click logs", §III-A) —
+        // report it as non-combinable so engines skip a useless pass.
+        false
+    }
+}
+
+/// AVG over little-endian u64 values: the canonical *algebraic* aggregate
+/// — not itself distributive, but expressible as a mergeable (sum, count)
+/// state, which is exactly the paper's "state usually sublinear in the
+/// number of values aggregated" (§V). `finish` renders the mean as a
+/// little-endian f64.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AvgAgg;
+
+impl AvgAgg {
+    fn decode(state: &[u8]) -> (u64, u64) {
+        (
+            u64::from_le_bytes(state[0..8].try_into().expect("16-byte avg state")),
+            u64::from_le_bytes(state[8..16].try_into().expect("16-byte avg state")),
+        )
+    }
+
+    fn encode(sum: u64, count: u64) -> Vec<u8> {
+        let mut s = Vec::with_capacity(16);
+        s.extend_from_slice(&sum.to_le_bytes());
+        s.extend_from_slice(&count.to_le_bytes());
+        s
+    }
+
+    /// Decode a finished output value back into the mean.
+    pub fn decode_mean(out: &[u8]) -> f64 {
+        f64::from_le_bytes(out.try_into().expect("8-byte mean"))
+    }
+}
+
+impl Aggregator for AvgAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        Self::encode(dec_u64(value), 1)
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        let (sum, count) = Self::decode(state);
+        *state = Self::encode(sum + dec_u64(value), count + 1);
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        let (s1, c1) = Self::decode(state);
+        let (s2, c2) = Self::decode(other);
+        *state = Self::encode(s1 + s2, c1 + c2);
+    }
+
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        let (sum, count) = Self::decode(&state);
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        mean.to_le_bytes().to_vec()
+    }
+}
+
+/// COUNT(DISTINCT value) — approximate, via a HyperLogLog state. The
+/// paper's incremental framework explicitly allows approximate
+/// computation (§IV proposal (ii)); distinct counting is the aggregate
+/// that requires it: the exact state is a set (linear in distinct
+/// values), while this state is a fixed `1 + 2^p` bytes, mergeable, and
+/// within ~`1.04/sqrt(2^p)` relative error. `finish` renders the
+/// estimate as a little-endian u64.
+#[derive(Debug, Clone, Copy)]
+pub struct DistinctAgg {
+    /// HyperLogLog precision (`4..=18`); state is `1 + 2^p` bytes.
+    pub precision: u8,
+}
+
+impl Default for DistinctAgg {
+    fn default() -> Self {
+        DistinctAgg { precision: 12 }
+    }
+}
+
+impl DistinctAgg {
+    /// Decode a finished output value back into the distinct estimate.
+    pub fn decode_estimate(out: &[u8]) -> u64 {
+        u64::from_le_bytes(out.try_into().expect("8-byte estimate"))
+    }
+}
+
+impl Aggregator for DistinctAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut state = onepass_sketch::HyperLogLog::new(self.precision).to_bytes();
+        onepass_sketch::HyperLogLog::insert_raw(&mut state, value);
+        state
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        let ok = onepass_sketch::HyperLogLog::insert_raw(state, value);
+        debug_assert!(ok, "malformed HLL state");
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        let ok = onepass_sketch::HyperLogLog::merge_raw(state, other);
+        debug_assert!(ok, "mismatched HLL states");
+    }
+
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        let est = onepass_sketch::HyperLogLog::from_bytes(&state)
+            .map(|h| h.estimate().round() as u64)
+            .unwrap_or(0);
+        est.to_le_bytes().to_vec()
+    }
+}
+
+/// Adapter for inputs that are already partial aggregate *states* (map-side
+/// combine ran): `init`/`update` route to the inner aggregate's `merge`.
+/// Lets any [`GroupBy`](crate::GroupBy) operator consume combined shuffle
+/// segments without a separate code path.
+#[derive(Debug, Clone)]
+pub struct StateInput<A>(pub A);
+
+impl<A: Aggregator> Aggregator for StateInput<A> {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        value.to_vec()
+    }
+
+    fn update(&self, key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        self.0.merge(key, state, value);
+    }
+
+    fn merge(&self, key: &[u8], state: &mut Vec<u8>, other_state: &[u8]) {
+        self.0.merge(key, state, other_state);
+    }
+
+    fn finish(&self, key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        self.0.finish(key, state)
+    }
+
+    fn combinable(&self) -> bool {
+        self.0.combinable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_input_merges_partials() {
+        let a = StateInput(SumAgg);
+        // Two partial sums 5 and 7 arrive as "values".
+        let mut s = a.init(b"k", &5u64.to_le_bytes());
+        a.update(b"k", &mut s, &7u64.to_le_bytes());
+        assert_eq!(dec_u64(&a.finish(b"k", s)), 12);
+
+        let b = StateInput(CountAgg);
+        // Partial counts 3 and 4 must add, not count-as-one.
+        let mut s = b.init(b"k", &3u64.to_le_bytes());
+        b.update(b"k", &mut s, &4u64.to_le_bytes());
+        assert_eq!(dec_u64(&s), 7);
+    }
+
+    #[test]
+    fn count_agg_counts_records() {
+        let a = CountAgg;
+        let mut s = a.init(b"k", b"whatever");
+        a.update(b"k", &mut s, b"x");
+        a.update(b"k", &mut s, b"y");
+        assert_eq!(dec_u64(&s), 3);
+        let other = a.init(b"k", b"z");
+        a.merge(b"k", &mut s, &other);
+        assert_eq!(dec_u64(&a.finish(b"k", s)), 4);
+    }
+
+    #[test]
+    fn sum_agg_is_self_combining() {
+        let a = SumAgg;
+        let mut s = a.init(b"k", &5u64.to_le_bytes());
+        a.update(b"k", &mut s, &7u64.to_le_bytes());
+        // A partial sum used as a value gives the same result as merge.
+        let mut s2 = s.clone();
+        a.update(b"k", &mut s2, &100u64.to_le_bytes());
+        let mut s3 = s.clone();
+        a.merge(b"k", &mut s3, &100u64.to_le_bytes());
+        assert_eq!(s2, s3);
+        assert_eq!(dec_u64(&s2), 112);
+    }
+
+    #[test]
+    fn max_agg() {
+        let a = MaxAgg;
+        let mut s = a.init(b"k", &5u64.to_le_bytes());
+        a.update(b"k", &mut s, &3u64.to_le_bytes());
+        assert_eq!(dec_u64(&s), 5);
+        a.merge(b"k", &mut s, &9u64.to_le_bytes());
+        assert_eq!(dec_u64(&s), 9);
+    }
+
+    #[test]
+    fn distinct_agg_estimates_cardinality() {
+        let a = DistinctAgg::default();
+        let mut s = a.init(b"url", &0u32.to_le_bytes());
+        for i in 1..2000u32 {
+            a.update(b"url", &mut s, &i.to_le_bytes());
+        }
+        // Merge a partial covering 1000..3000 (overlap 1000..2000).
+        let mut other = a.init(b"url", &1000u32.to_le_bytes());
+        for i in 1001..3000u32 {
+            a.update(b"url", &mut other, &i.to_le_bytes());
+        }
+        a.merge(b"url", &mut s, &other);
+        let est = DistinctAgg::decode_estimate(&a.finish(b"url", s));
+        let err = (est as f64 - 3000.0).abs() / 3000.0;
+        assert!(err < 0.07, "estimate {est} vs 3000 (err {err:.3})");
+        assert!(a.combinable());
+    }
+
+    #[test]
+    fn avg_agg_is_algebraic() {
+        let a = AvgAgg;
+        let mut s = a.init(b"k", &10u64.to_le_bytes());
+        a.update(b"k", &mut s, &20u64.to_le_bytes());
+        // Merge a partial covering {30, 40}.
+        let mut other = a.init(b"k", &30u64.to_le_bytes());
+        a.update(b"k", &mut other, &40u64.to_le_bytes());
+        a.merge(b"k", &mut s, &other);
+        let mean = AvgAgg::decode_mean(&a.finish(b"k", s));
+        assert!((mean - 25.0).abs() < 1e-12);
+        assert!(a.combinable());
+    }
+
+    #[test]
+    fn list_agg_roundtrip_and_merge() {
+        let a = ListAgg;
+        let mut s = a.init(b"k", b"one");
+        a.update(b"k", &mut s, b"");
+        a.update(b"k", &mut s, b"three");
+        assert_eq!(
+            ListAgg::decode(&s),
+            vec![b"one".to_vec(), b"".to_vec(), b"three".to_vec()]
+        );
+        let other = a.init(b"k", b"four");
+        a.merge(b"k", &mut s, &other);
+        assert_eq!(ListAgg::decode(&s).len(), 4);
+        assert!(!a.combinable());
+        assert!(CountAgg.combinable());
+    }
+}

@@ -1,0 +1,508 @@
+//! Hybrid Hash group-by (Shapiro 1986) — §V map option 2 / reduce
+//! technique 1.
+//!
+//! "Our system uses Hybrid Hash to group key-value pairs by key. This
+//! method works with or without a combine function, but is still blocking
+//! and results in an I/O cost comparable to the sort-merge based
+//! implementation in Hadoop."
+//!
+//! The variant implemented here is the dynamic (Grace-degrading) form that
+//! a streaming operator needs, since input size is unknown up front:
+//!
+//! 1. Start fully resident: per-key aggregate states in a hash table.
+//! 2. On budget exhaustion, *partition*: keys hashing to bucket 0 (under
+//!    the current level's hash function) stay resident; the states of all
+//!    other buckets are spilled, and subsequent records route by hash —
+//!    bucket 0 updates in memory, buckets 1..B append to spill runs.
+//! 3. `finish` emits resident groups, then recursively processes each
+//!    spilled bucket with the *next* hash function of the family (pairwise
+//!    independence across levels is what guarantees the recursion splits).
+//!
+//! Spilled records are tagged raw-value vs partial-state so recursion can
+//! replay them through [`Aggregator::update`] / [`Aggregator::merge`]
+//! respectively. In the common case the data fits and "Hybrid Hash is
+//! simply in-memory hashing" (§V) with zero I/O and no sort CPU.
+
+use std::sync::Arc;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::hashlib::{ByteMap, HashFamily, KeyHasher};
+use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_core::metrics::{Phase, Profile};
+
+use crate::aggregate::Aggregator;
+use crate::sink::{EmitKind, OpStats, Sink};
+use crate::GroupBy;
+
+/// Per-key bookkeeping overhead charged to the budget (hash table slot).
+const STATE_OVERHEAD: usize = 48;
+
+/// Tag byte for spilled payloads: a raw, un-aggregated value.
+pub(crate) const TAG_RAW: u8 = 0;
+/// Tag byte for spilled payloads: a partial aggregate state.
+pub(crate) const TAG_STATE: u8 = 1;
+
+/// Recursion-depth safety valve. With pairwise-independent per-level hash
+/// functions, depth grows logarithmically; hitting this indicates a broken
+/// hash family rather than data skew (a single giant key stays resident).
+const MAX_DEPTH: u32 = 64;
+
+/// The Hybrid Hash group-by operator.
+pub struct HybridHashGrouper {
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    agg: Arc<dyn Aggregator>,
+    family: HashFamily,
+    fanout: usize,
+    level: u32,
+    resident: ByteMap<Vec<u8>>,
+    /// Bytes granted from the budget for `resident`.
+    reserved: usize,
+    peak_reserved: usize,
+    /// `None` until the first partition event; afterwards one writer per
+    /// bucket: index 0 holds the *overflow* of bucket-0 keys that could
+    /// not stay resident (they redistribute under the next level's hash),
+    /// indices 1..fanout hold their buckets' records.
+    spill: Option<Vec<Box<dyn RunWriter>>>,
+    records_in: u64,
+    groups_out: u64,
+    spills: u64,
+    passes: u64,
+    profile: Profile,
+    io_base: IoStats,
+}
+
+impl std::fmt::Debug for HybridHashGrouper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridHashGrouper")
+            .field("level", &self.level)
+            .field("resident_keys", &self.resident.len())
+            .field("partitioned", &self.spill.is_some())
+            .finish()
+    }
+}
+
+impl HybridHashGrouper {
+    /// Create a hybrid-hash grouper with bucket fanout `fanout` (≥ 2).
+    pub fn new(
+        store: Arc<dyn SpillStore>,
+        budget: MemoryBudget,
+        fanout: usize,
+        agg: Arc<dyn Aggregator>,
+    ) -> Result<Self> {
+        Self::at_level(store, budget, fanout, agg, HashFamily::default(), 0)
+    }
+
+    fn at_level(
+        store: Arc<dyn SpillStore>,
+        budget: MemoryBudget,
+        fanout: usize,
+        agg: Arc<dyn Aggregator>,
+        family: HashFamily,
+        level: u32,
+    ) -> Result<Self> {
+        if fanout < 2 {
+            return Err(Error::Config(format!(
+                "hybrid hash fanout must be ≥ 2, got {fanout}"
+            )));
+        }
+        if level > MAX_DEPTH {
+            return Err(Error::InvalidState(format!(
+                "hybrid hash recursion exceeded depth {MAX_DEPTH}"
+            )));
+        }
+        let io_base = store.stats();
+        Ok(HybridHashGrouper {
+            store,
+            budget,
+            agg,
+            family,
+            fanout,
+            level,
+            resident: ByteMap::default(),
+            reserved: 0,
+            peak_reserved: 0,
+            spill: None,
+            records_in: 0,
+            groups_out: 0,
+            spills: 0,
+            passes: 0,
+            profile: Profile::new(),
+            io_base,
+        })
+    }
+
+    fn state_cost(key: &[u8], state: &[u8]) -> usize {
+        key.len() + state.len() + STATE_OVERHEAD
+    }
+
+    /// Update or create the resident state for `key`, charging the budget
+    /// for growth. Returns `false` (leaving state untouched) if the key is
+    /// new and the budget cannot take it.
+    fn try_absorb(&mut self, key: &[u8], payload: &[u8], tag: u8) -> Result<bool> {
+        if let Some(state) = self.resident.get_mut(key) {
+            let before = state.len();
+            match tag {
+                TAG_RAW => self.agg.update(key, state, payload),
+                _ => self.agg.merge(key, state, payload),
+            }
+            let after = state.len();
+            if after > before {
+                // In-place growth of an existing resident state must not
+                // fail mid-update; force the charge (soft limit) — the
+                // overshoot makes the next new key trigger partitioning.
+                let diff = after - before;
+                self.budget.force_grant(diff);
+                self.reserved += diff;
+            } else if before > after {
+                self.budget.release(before - after);
+                self.reserved -= before - after;
+            }
+            self.peak_reserved = self.peak_reserved.max(self.reserved);
+            return Ok(true);
+        }
+        // New key.
+        let state = match tag {
+            TAG_RAW => self.agg.init(key, payload),
+            _ => payload.to_vec(),
+        };
+        let cost = Self::state_cost(key, &state);
+        if !self.budget.try_grant(cost) {
+            return Ok(false);
+        }
+        self.reserved += cost;
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+        self.resident.insert(key.to_vec(), state);
+        Ok(true)
+    }
+
+    /// Bucket for `key` at this recursion level (0 = resident).
+    fn bucket(&self, key: &[u8]) -> usize {
+        self.family.member(self.level as u64).bucket(key, self.fanout)
+    }
+
+    /// First budget exhaustion: open spill writers and evict every
+    /// resident state whose key does not hash to bucket 0.
+    fn partition(&mut self) -> Result<()> {
+        let hash_start = std::time::Instant::now();
+        let mut writers = Vec::with_capacity(self.fanout);
+        for _ in 0..self.fanout {
+            writers.push(self.store.begin_run()?);
+        }
+        let hasher = self.family.member(self.level as u64);
+        let evicted: Vec<Vec<u8>> = self
+            .resident
+            .keys()
+            .filter(|k| hasher.bucket(k, self.fanout) != 0)
+            .cloned()
+            .collect();
+        for key in evicted {
+            let state = self.resident.remove(&key).expect("key just listed");
+            let b = hasher.bucket(&key, self.fanout);
+            let mut payload = Vec::with_capacity(1 + state.len());
+            payload.push(TAG_STATE);
+            payload.extend_from_slice(&state);
+            writers[b].write_record(&key, &payload)?;
+            let cost = Self::state_cost(&key, &state);
+            self.budget.release(cost);
+            self.reserved -= cost;
+        }
+        self.spill = Some(writers);
+        self.spills += 1;
+        self.profile.add_time(Phase::MapHash, hash_start.elapsed());
+        Ok(())
+    }
+
+    fn spill_record(&mut self, key: &[u8], value: &[u8], tag: u8) -> Result<()> {
+        // Bucket-0 keys that could not stay resident overflow into run 0:
+        // keeping them separate from bucket 1..B is what guarantees each
+        // child sees at most ~1/fanout of this level's keys (merging them
+        // into another bucket would let tiny budgets recurse almost
+        // without shrinking).
+        let b = self.bucket(key);
+        let writers = self.spill.as_mut().expect("partitioned");
+        let mut payload = Vec::with_capacity(1 + value.len());
+        payload.push(tag);
+        payload.extend_from_slice(value);
+        writers[b].write_record(key, &payload)
+    }
+
+    /// Push a record whose payload is either a raw value (`tag` =
+    /// [`TAG_RAW`]) or a partial aggregate state (`tag` = [`TAG_STATE`]).
+    /// Used by `freq_hash` to hand off its cold buckets, and internally
+    /// for recursion. Callers must count `records_in` themselves if they
+    /// care about it.
+    pub(crate) fn push_tagged(&mut self, key: &[u8], payload: &[u8], tag: u8) -> Result<()> {
+        if self.spill.is_none() {
+            if self.try_absorb(key, payload, tag)? {
+                return Ok(());
+            }
+            self.partition()?;
+            // Fall through: route the record that triggered partitioning.
+        }
+        // Partitioned mode: bucket 0 keys update resident state when
+        // possible; everything else goes to its bucket's run.
+        if self.bucket(key) == 0
+            && self.try_absorb(key, payload, tag)? {
+                return Ok(());
+            }
+        self.spill_record(key, payload, tag)
+    }
+
+    /// Emit all resident groups and drop their budget reservation.
+    fn emit_resident(&mut self, sink: &mut dyn Sink) -> Result<()> {
+        let reduce_start = std::time::Instant::now();
+        let resident = std::mem::take(&mut self.resident);
+        for (key, state) in resident {
+            let out = self.agg.finish(&key, state);
+            sink.emit(&key, &out, EmitKind::Final);
+            self.groups_out += 1;
+        }
+        self.budget.release(self.reserved);
+        self.reserved = 0;
+        self.profile
+            .add_time(Phase::ReduceFn, reduce_start.elapsed());
+        Ok(())
+    }
+}
+
+impl GroupBy for HybridHashGrouper {
+    fn push(&mut self, key: &[u8], value: &[u8], _sink: &mut dyn Sink) -> Result<()> {
+        self.records_in += 1;
+        self.push_tagged(key, value, TAG_RAW)
+    }
+
+    fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats> {
+        self.emit_resident(sink)?;
+
+        let mut groups_out = self.groups_out;
+        let mut spills = self.spills;
+        let mut passes = self.passes;
+        let mut profile = self.profile.clone();
+
+        if let Some(writers) = self.spill.take() {
+            let metas: Vec<RunMeta> = writers
+                .into_iter()
+                .map(|w| w.finish())
+                .collect::<Result<_>>()?;
+            for meta in metas {
+                if meta.records == 0 {
+                    self.store.delete_run(meta.id)?;
+                    continue;
+                }
+                passes += 1;
+                // Recurse with the next hash function.
+                let mut child = HybridHashGrouper::at_level(
+                    Arc::clone(&self.store),
+                    self.budget.clone(),
+                    self.fanout,
+                    Arc::clone(&self.agg),
+                    self.family.clone(),
+                    self.level + 1,
+                )?;
+                {
+                    let mut reader = self.store.open_run(meta.id)?;
+                    while let Some(rec) = reader.next_record()? {
+                        let (tag, payload) = rec
+                            .value
+                            .split_first()
+                            .ok_or_else(|| Error::Corrupt("untagged spill record".into()))?;
+                        // Borrow juggling: copy key/payload out of the
+                        // reader's scratch before pushing into the child.
+                        let key = rec.key.to_vec();
+                        let payload = payload.to_vec();
+                        let tag = *tag;
+                        child.push_tagged(&key, &payload, tag)?;
+                    }
+                }
+                self.store.delete_run(meta.id)?;
+                let child_stats = child.finish(sink)?;
+                groups_out += child_stats.groups_out;
+                spills += child_stats.spills;
+                passes += child_stats.passes;
+                profile.merge(&child_stats.profile);
+            }
+        }
+
+        let io_now = self.store.stats();
+        Ok(OpStats {
+            records_in: self.records_in,
+            groups_out,
+            early_emits: 0, // hybrid hash is blocking, like sort-merge
+            io: IoStats {
+                bytes_written: io_now.bytes_written - self.io_base.bytes_written,
+                bytes_read: io_now.bytes_read - self.io_base.bytes_read,
+                runs_created: io_now.runs_created - self.io_base.runs_created,
+                runs_deleted: io_now.runs_deleted - self.io_base.runs_deleted,
+            },
+            profile,
+            peak_mem: self.peak_reserved,
+            spills,
+            passes,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid-hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{CountAgg, ListAgg};
+    use crate::testutil::{count_truth, dec_u64, run_op};
+    use onepass_core::io::SharedMemStore;
+
+    fn records(n: u32, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("key{:05}", i.wrapping_mul(2_654_435_761) % distinct).into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    fn grouper(budget: usize, fanout: usize) -> (HybridHashGrouper, SharedMemStore) {
+        let store = SharedMemStore::new();
+        let g = HybridHashGrouper::new(
+            Arc::new(store.clone()),
+            MemoryBudget::new(budget),
+            fanout,
+            Arc::new(CountAgg),
+        )
+        .unwrap();
+        (g, store)
+    }
+
+    #[test]
+    fn in_memory_when_data_fits() {
+        let (mut g, store) = grouper(1 << 20, 8);
+        let recs = records(500, 20);
+        let (out, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 20);
+        for (k, c) in count_truth(&recs) {
+            assert_eq!(dec_u64(&out[&k]), c);
+        }
+        assert_eq!(stats.io.bytes_written, 0, "in-memory hybrid hash spills nothing");
+        assert_eq!(store.live_runs(), 0);
+    }
+
+    #[test]
+    fn partitions_and_recurses_under_pressure() {
+        let (mut g, store) = grouper(1200, 4);
+        let recs = records(2000, 300);
+        let (out, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 300);
+        for (k, c) in count_truth(&recs) {
+            assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
+        }
+        assert!(stats.spills >= 1, "budget pressure must trigger partitioning");
+        assert!(stats.io.bytes_written > 0);
+        assert!(stats.passes >= 1, "spilled buckets must be recursed");
+        assert_eq!(store.live_runs(), 0, "all runs must be cleaned up");
+    }
+
+    #[test]
+    fn no_sort_cpu_is_charged() {
+        let (mut g, _) = grouper(900, 4);
+        let recs = records(1500, 200);
+        let (_, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(
+            stats.profile.time(Phase::MapSort),
+            std::time::Duration::ZERO,
+            "hash grouping must never sort"
+        );
+    }
+
+    #[test]
+    fn heavy_single_key_stays_resident() {
+        // One key dominating the stream must not cause unbounded
+        // recursion: its state lives in memory and absorbs everything.
+        let (mut g, _) = grouper(800, 4);
+        let recs: Vec<_> = (0..5000u32)
+            .map(|i| (b"hot".to_vec(), i.to_le_bytes().to_vec()))
+            .collect();
+        let (out, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(dec_u64(&out[b"hot".as_slice()]), 5000);
+        assert_eq!(stats.io.bytes_written, 0);
+    }
+
+    #[test]
+    fn list_agg_under_pressure_collects_everything() {
+        let store = SharedMemStore::new();
+        let mut g = HybridHashGrouper::new(
+            Arc::new(store.clone()),
+            MemoryBudget::new(2500),
+            4,
+            Arc::new(ListAgg),
+        )
+        .unwrap();
+        let recs = records(400, 80);
+        let (out, _, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 80);
+        let total: usize = out.values().map(|v| ListAgg::decode(v).len()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn fanout_below_two_rejected() {
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        assert!(HybridHashGrouper::new(
+            store,
+            MemoryBudget::unlimited(),
+            1,
+            Arc::new(CountAgg)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (mut g, _) = grouper(1024, 4);
+        let (out, stats, _) = run_op(&mut g, &[]);
+        assert!(out.is_empty());
+        assert_eq!(stats.records_in, 0);
+    }
+
+    #[test]
+    fn recursion_terminates_on_adversarial_distincts() {
+        // Millions of distinct keys relative to the budget: recursion
+        // must keep splitting (independent hash per level) and finish.
+        let store = SharedMemStore::new();
+        let mut g = HybridHashGrouper::new(
+            Arc::new(store.clone()),
+            MemoryBudget::new(600),
+            2, // minimal fanout: deepest possible recursion
+            Arc::new(CountAgg),
+        )
+        .unwrap();
+        let recs: Vec<_> = (0..3000u32)
+            .map(|i| (i.to_le_bytes().to_vec(), b"v".to_vec()))
+            .collect();
+        let (out, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 3000);
+        assert!(stats.passes > 1, "expected recursive passes");
+        assert_eq!(store.live_runs(), 0);
+    }
+
+    #[test]
+    fn budget_fully_released() {
+        let budget = MemoryBudget::new(1500);
+        let store = SharedMemStore::new();
+        let mut g = HybridHashGrouper::new(
+            Arc::new(store),
+            budget.clone(),
+            4,
+            Arc::new(CountAgg),
+        )
+        .unwrap();
+        let recs = records(1000, 150);
+        let _ = run_op(&mut g, &recs);
+        assert_eq!(budget.used(), 0);
+    }
+}

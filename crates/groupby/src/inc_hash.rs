@@ -1,0 +1,503 @@
+//! Incremental hash group-by — §V reduce technique 2.
+//!
+//! "To support incremental computation and reduce I/Os when a combine
+//! function is available, we further implement an incremental hash
+//! technique, which maintains a state for each key, and updates it
+//! incrementally."
+//!
+//! Every key owns a resident aggregate state updated in place; the reduce
+//! computation is effectively applied "to all groups simultaneously"
+//! (§IV-3) as records stream in. Two properties distinguish this from the
+//! blocking operators:
+//!
+//! * **Early output**: an optional [`EarlyEmit`] policy inspects each
+//!   updated state and may emit an answer *while input is still arriving*
+//!   — e.g. "output a group as soon as the count of its items has reached
+//!   the threshold" (§IV-3).
+//! * **Zero I/O when states fit in memory** — the fast path the paper's
+//!   design targets.
+//!
+//! When memory cannot hold all states, records for non-resident keys are
+//! spilled to an overflow run and `finish` resolves them with nested
+//! passes: each pass loads as many new keys as fit, absorbs their records,
+//! emits them, and re-spills the rest. (The paper's preferred answer to
+//! that regime is the frequent-key variant in [`crate::freq_hash`], which
+//! chooses *which* keys stay resident instead of first-come-first-kept.)
+
+use std::sync::Arc;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::hashlib::ByteMap;
+use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_core::metrics::{Phase, Profile};
+
+use crate::aggregate::Aggregator;
+use crate::sink::{EmitKind, OpStats, Sink};
+use crate::GroupBy;
+
+/// Per-key bookkeeping overhead charged to the budget.
+const STATE_OVERHEAD: usize = 48;
+
+/// Decides whether an updated group should be emitted early.
+pub trait EarlyEmit: Send + Sync {
+    /// Inspect `(key, state)` after an update; return `true` to emit the
+    /// current (finished copy of the) state as an early answer.
+    fn ready(&self, key: &[u8], state: &[u8]) -> bool;
+}
+
+/// Early-emit policy: fire whenever a little-endian u64 state crosses
+/// `threshold` (exactly once, at the crossing — the §IV-3 example query
+/// "return all groups where the count of items exceeds a threshold").
+#[derive(Debug, Clone, Copy)]
+pub struct CountThreshold(pub u64);
+
+impl EarlyEmit for CountThreshold {
+    fn ready(&self, _key: &[u8], state: &[u8]) -> bool {
+        state.len() == 8
+            && u64::from_le_bytes(state.try_into().unwrap()) == self.0
+    }
+}
+
+/// The incremental hash group-by operator.
+pub struct IncHashGrouper {
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    agg: Arc<dyn Aggregator>,
+    early: Option<Arc<dyn EarlyEmit>>,
+    states: ByteMap<Vec<u8>>,
+    reserved: usize,
+    peak_reserved: usize,
+    overflow: Option<Box<dyn RunWriter>>,
+    overflow_metas: Vec<RunMeta>,
+    records_in: u64,
+    groups_out: u64,
+    early_emits: u64,
+    spills: u64,
+    profile: Profile,
+    io_base: IoStats,
+}
+
+impl std::fmt::Debug for IncHashGrouper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncHashGrouper")
+            .field("resident_keys", &self.states.len())
+            .field("records_in", &self.records_in)
+            .finish()
+    }
+}
+
+impl IncHashGrouper {
+    /// Create an incremental hash grouper without early emission.
+    pub fn new(
+        store: Arc<dyn SpillStore>,
+        budget: MemoryBudget,
+        agg: Arc<dyn Aggregator>,
+    ) -> Self {
+        Self::with_early(store, budget, agg, None)
+    }
+
+    /// Create with an optional early-emit policy.
+    pub fn with_early(
+        store: Arc<dyn SpillStore>,
+        budget: MemoryBudget,
+        agg: Arc<dyn Aggregator>,
+        early: Option<Arc<dyn EarlyEmit>>,
+    ) -> Self {
+        let io_base = store.stats();
+        IncHashGrouper {
+            store,
+            budget,
+            agg,
+            early,
+            states: ByteMap::default(),
+            reserved: 0,
+            peak_reserved: 0,
+            overflow: None,
+            overflow_metas: Vec::new(),
+            records_in: 0,
+            groups_out: 0,
+            early_emits: 0,
+            spills: 0,
+            profile: Profile::new(),
+            io_base,
+        }
+    }
+
+    /// Number of keys currently resident.
+    pub fn resident_keys(&self) -> usize {
+        self.states.len()
+    }
+
+    fn state_cost(key: &[u8], state: &[u8]) -> usize {
+        key.len() + state.len() + STATE_OVERHEAD
+    }
+
+    /// Update the resident state for `key`, or create one if the budget
+    /// allows. `is_state` selects merge vs update semantics. Returns
+    /// `true` if absorbed; emits early output when the policy fires.
+    fn try_absorb(
+        &mut self,
+        key: &[u8],
+        payload: &[u8],
+        is_state: bool,
+        sink: &mut dyn Sink,
+    ) -> Result<bool> {
+        let group_start = std::time::Instant::now();
+        let absorbed = if let Some(state) = self.states.get_mut(key) {
+            let before = state.len();
+            if is_state {
+                self.agg.merge(key, state, payload);
+            } else {
+                self.agg.update(key, state, payload);
+            }
+            let after = state.len();
+            if after > before {
+                self.budget.force_grant(after - before);
+                self.reserved += after - before;
+            } else if before > after {
+                self.budget.release(before - after);
+                self.reserved -= before - after;
+            }
+            true
+        } else {
+            let state = if is_state {
+                payload.to_vec()
+            } else {
+                self.agg.init(key, payload)
+            };
+            let cost = Self::state_cost(key, &state);
+            if self.budget.try_grant(cost) {
+                self.reserved += cost;
+                self.states.insert(key.to_vec(), state);
+                true
+            } else {
+                false
+            }
+        };
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+        self.profile
+            .add_time(Phase::ReduceGroup, group_start.elapsed());
+
+        if absorbed {
+            if let Some(policy) = &self.early {
+                let state = self.states.get(key).expect("just absorbed");
+                if policy.ready(key, state) {
+                    let out = self.agg.finish(key, state.clone());
+                    sink.emit(key, &out, EmitKind::Early);
+                    self.early_emits += 1;
+                }
+            }
+        }
+        Ok(absorbed)
+    }
+
+    fn spill(&mut self, key: &[u8], payload: &[u8], is_state: bool) -> Result<()> {
+        if self.overflow.is_none() {
+            self.overflow = Some(self.store.begin_run()?);
+            self.spills += 1;
+        }
+        let mut tagged = Vec::with_capacity(1 + payload.len());
+        tagged.push(is_state as u8);
+        tagged.extend_from_slice(payload);
+        self.overflow
+            .as_mut()
+            .expect("just created")
+            .write_record(key, &tagged)
+    }
+
+    /// Emit every resident group as final output and clear the table.
+    fn emit_all_resident(&mut self, sink: &mut dyn Sink) -> Result<()> {
+        let reduce_start = std::time::Instant::now();
+        let states = std::mem::take(&mut self.states);
+        for (key, state) in states {
+            let out = self.agg.finish(&key, state);
+            sink.emit(&key, &out, EmitKind::Final);
+            self.groups_out += 1;
+        }
+        self.budget.release(self.reserved);
+        self.reserved = 0;
+        self.profile
+            .add_time(Phase::ReduceFn, reduce_start.elapsed());
+        Ok(())
+    }
+
+    /// Seal the current overflow writer (if any) into the pending list.
+    fn seal_overflow(&mut self) -> Result<()> {
+        if let Some(w) = self.overflow.take() {
+            let meta = w.finish()?;
+            if meta.records == 0 {
+                self.store.delete_run(meta.id)?;
+            } else {
+                self.overflow_metas.push(meta);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl GroupBy for IncHashGrouper {
+    fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()> {
+        self.records_in += 1;
+        if self.try_absorb(key, value, false, sink)? {
+            return Ok(());
+        }
+        self.spill(key, value, false)
+    }
+
+    fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats> {
+        // The streaming-resident keys absorbed every one of their records,
+        // so they are complete now (spilled records belong to other keys).
+        self.emit_all_resident(sink)?;
+        self.seal_overflow()?;
+
+        // Nested passes over the overflow data.
+        let mut passes = 0u64;
+        while let Some(meta) = {
+            
+            if self.overflow_metas.is_empty() {
+                None
+            } else {
+                Some(self.overflow_metas.remove(0))
+            }
+        } {
+            passes += 1;
+            let mut absorbed_this_pass = 0u64;
+            {
+                let mut reader = self.store.open_run(meta.id)?;
+                let mut scratch_sink = NullEarly;
+                while let Some(rec) = reader.next_record()? {
+                    let (tag, payload) = rec
+                        .value
+                        .split_first()
+                        .ok_or_else(|| Error::Corrupt("untagged overflow record".into()))?;
+                    let key = rec.key.to_vec();
+                    let payload = payload.to_vec();
+                    let is_state = *tag == 1;
+                    if self.try_absorb(&key, &payload, is_state, &mut scratch_sink)? {
+                        absorbed_this_pass += 1;
+                    } else {
+                        self.spill(&key, &payload, is_state)?;
+                    }
+                }
+            }
+            if absorbed_this_pass == 0 {
+                // Not even one new key fit: the budget cannot hold a
+                // single state, so passes would loop forever.
+                return Err(Error::MemoryExceeded {
+                    requested: STATE_OVERHEAD,
+                    available: self.budget.available(),
+                });
+            }
+            self.store.delete_run(meta.id)?;
+            // After a full pass, every record of the now-resident keys has
+            // been absorbed or re-spilled-for-other-keys: emit and free.
+            self.emit_all_resident(sink)?;
+            self.seal_overflow()?;
+        }
+
+        let io_now = self.store.stats();
+        Ok(OpStats {
+            records_in: self.records_in,
+            groups_out: self.groups_out,
+            early_emits: self.early_emits,
+            io: IoStats {
+                bytes_written: io_now.bytes_written - self.io_base.bytes_written,
+                bytes_read: io_now.bytes_read - self.io_base.bytes_read,
+                runs_created: io_now.runs_created - self.io_base.runs_created,
+                runs_deleted: io_now.runs_deleted - self.io_base.runs_deleted,
+            },
+            profile: self.profile.clone(),
+            peak_mem: self.peak_reserved,
+            spills: self.spills,
+            passes,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "incremental-hash"
+    }
+}
+
+/// Early-emit callbacks are suppressed during overflow replay (those
+/// groups already missed their moment; emitting "early" output at finish
+/// time would be a lie).
+struct NullEarly;
+
+impl Sink for NullEarly {
+    fn emit(&mut self, _key: &[u8], _value: &[u8], _kind: EmitKind) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{CountAgg, ListAgg};
+    use crate::testutil::{count_truth, dec_u64, run_op};
+    use onepass_core::io::SharedMemStore;
+
+    fn records(n: u32, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("key{:05}", i % distinct).into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_memory_counts_with_zero_io() {
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::new(
+            Arc::new(store.clone()),
+            MemoryBudget::new(1 << 20),
+            Arc::new(CountAgg),
+        );
+        let recs = records(1000, 50);
+        let (out, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 50);
+        for (k, c) in count_truth(&recs) {
+            assert_eq!(dec_u64(&out[&k]), c);
+        }
+        assert_eq!(stats.io.bytes_written, 0);
+        assert_eq!(stats.spills, 0);
+        assert_eq!(stats.passes, 0);
+    }
+
+    #[test]
+    fn overflow_passes_resolve_all_keys() {
+        let store = SharedMemStore::new();
+        // Budget for only ~10 resident keys.
+        let mut g = IncHashGrouper::new(
+            Arc::new(store.clone()),
+            MemoryBudget::new(10 * (8 + 8 + STATE_OVERHEAD)),
+            Arc::new(CountAgg),
+        );
+        let recs = records(2000, 200);
+        let (out, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 200);
+        for (k, c) in count_truth(&recs) {
+            assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
+        }
+        assert!(stats.passes >= 2, "should need multiple overflow passes");
+        assert_eq!(store.live_runs(), 0);
+    }
+
+    #[test]
+    fn early_emission_at_threshold() {
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::with_early(
+            Arc::new(store),
+            MemoryBudget::unlimited(),
+            Arc::new(CountAgg),
+            Some(Arc::new(CountThreshold(5))),
+        );
+        let mut sink = crate::sink::VecSink::default();
+        // Key "a" reaches 5 at the 5th record: early output fires exactly
+        // once, while pushes are still happening.
+        for i in 0..8u32 {
+            g.push(b"a", &i.to_le_bytes(), &mut sink).unwrap();
+            g.push(b"b", &i.to_le_bytes(), &mut sink).unwrap();
+        }
+        assert_eq!(sink.early_count(), 2, "both keys crossed the threshold once");
+        let early_at: Vec<usize> = sink
+            .emitted
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, k))| *k == EmitKind::Early)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(early_at[0] < 16, "early output must precede finish");
+        let stats = g.finish(&mut sink).unwrap();
+        assert_eq!(stats.early_emits, 2);
+        assert_eq!(stats.groups_out, 2);
+        assert_eq!(sink.final_count(), 2);
+    }
+
+    #[test]
+    fn early_value_reflects_threshold_state() {
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::with_early(
+            Arc::new(store),
+            MemoryBudget::unlimited(),
+            Arc::new(CountAgg),
+            Some(Arc::new(CountThreshold(3))),
+        );
+        let mut sink = crate::sink::VecSink::default();
+        for i in 0..10u32 {
+            g.push(b"k", &i.to_le_bytes(), &mut sink).unwrap();
+        }
+        let (_, v, _) = sink
+            .emitted
+            .iter()
+            .find(|(_, _, k)| *k == EmitKind::Early)
+            .unwrap();
+        assert_eq!(dec_u64(v), 3, "early answer carries the state at crossing");
+        g.finish(&mut sink).unwrap();
+        let (_, v, _) = sink
+            .emitted
+            .iter()
+            .find(|(_, _, k)| *k == EmitKind::Final)
+            .unwrap();
+        assert_eq!(dec_u64(v), 10);
+    }
+
+    #[test]
+    fn list_agg_with_overflow() {
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::new(
+            Arc::new(store.clone()),
+            MemoryBudget::new(1200),
+            Arc::new(ListAgg),
+        );
+        let recs = records(300, 60);
+        let (out, _, _) = run_op(&mut g, &recs);
+        assert_eq!(out.len(), 60);
+        let total: usize = out.values().map(|v| ListAgg::decode(v).len()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn no_sort_phase_ever() {
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::new(
+            Arc::new(store),
+            MemoryBudget::new(800),
+            Arc::new(CountAgg),
+        );
+        let recs = records(500, 100);
+        let (_, stats, _) = run_op(&mut g, &recs);
+        assert_eq!(stats.profile.time(Phase::MapSort), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn budget_too_small_for_one_state_errors_cleanly() {
+        // A budget that cannot hold even a single state must surface
+        // MemoryExceeded at finish instead of looping forever.
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::new(
+            Arc::new(store),
+            MemoryBudget::new(8), // smaller than any state + overhead
+            Arc::new(CountAgg),
+        );
+        let mut sink = crate::sink::VecSink::default();
+        for i in 0..50u32 {
+            g.push(&i.to_le_bytes(), b"v", &mut sink).unwrap();
+        }
+        let err = g.finish(&mut sink);
+        assert!(
+            matches!(err, Err(onepass_core::Error::MemoryExceeded { .. })),
+            "expected MemoryExceeded, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_released_after_finish() {
+        let budget = MemoryBudget::new(700);
+        let store = SharedMemStore::new();
+        let mut g = IncHashGrouper::new(Arc::new(store), budget.clone(), Arc::new(CountAgg));
+        let _ = run_op(&mut g, &records(400, 80));
+        assert_eq!(budget.used(), 0);
+    }
+}

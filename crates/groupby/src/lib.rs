@@ -1,0 +1,126 @@
+//! # onepass-groupby
+//!
+//! Group-by operator implementations — the algorithmic heart of the paper.
+//!
+//! MapReduce's parallelism model is "group data by key, then apply the
+//! reduce function to each group" (§II). How that group-by is implemented
+//! is precisely what the paper investigates:
+//!
+//! * [`sortmerge`] — the Hadoop baseline: buffer, sort on the key, spill
+//!   sorted runs, **multi-pass merge** with factor `F`, then stream the
+//!   single sorted run through the reduce function. Blocking; heavy CPU
+//!   (sort) and I/O (merge) — §III's findings.
+//! * [`hybrid_hash`] — Shapiro's Hybrid Hash: bucket 0 resident, other
+//!   buckets spilled and recursively processed. No sort CPU, I/O
+//!   comparable to sort-merge, still blocking (§V reduce technique 1).
+//! * [`inc_hash`] — incremental hash: one in-memory state per key, updated
+//!   in place; pipelined, supports early emission (§V technique 2).
+//! * [`freq_hash`] — incremental hash + an online frequent-items summary:
+//!   hot keys keep resident state, cold records spill; delivers early
+//!   answers for hot keys with orders-of-magnitude less spill I/O
+//!   (§V technique 3).
+//!
+//! All operators implement [`GroupBy`], consume byte-string records, are
+//! bounded by a [`MemoryBudget`](onepass_core::memory::MemoryBudget), spill
+//! through a [`SpillStore`](onepass_core::io::SpillStore), and report
+//! [`OpStats`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod freq_hash;
+pub mod hybrid_hash;
+pub mod inc_hash;
+pub mod merge;
+pub mod sink;
+pub mod sortmerge;
+
+pub use aggregate::{Aggregator, AvgAgg, CountAgg, DistinctAgg, ListAgg, MaxAgg, StateInput, SumAgg};
+pub use freq_hash::FreqHashGrouper;
+pub use hybrid_hash::HybridHashGrouper;
+pub use inc_hash::IncHashGrouper;
+pub use merge::MultiPassMerger;
+pub use sink::{EmitKind, OpStats, Sink, VecSink};
+pub use sortmerge::SortMergeGrouper;
+
+use onepass_core::Result;
+
+/// A streaming group-by operator: push records, then finish to flush
+/// remaining groups. Operators may emit *early* (incremental) output
+/// during `push` — that is the defining capability the paper asks for.
+///
+/// ```
+/// use std::sync::Arc;
+/// use onepass_core::io::SharedMemStore;
+/// use onepass_core::memory::MemoryBudget;
+/// use onepass_groupby::{CountAgg, GroupBy, IncHashGrouper, VecSink};
+///
+/// let mut op = IncHashGrouper::new(
+///     Arc::new(SharedMemStore::new()),
+///     MemoryBudget::new(1 << 20),
+///     Arc::new(CountAgg),
+/// );
+/// let mut sink = VecSink::default();
+/// for key in [b"a", b"b", b"a"] {
+///     op.push(key, b"", &mut sink).unwrap();
+/// }
+/// let stats = op.finish(&mut sink).unwrap();
+/// assert_eq!(stats.groups_out, 2);
+/// assert_eq!(stats.io.bytes_written, 0); // fits in memory: zero I/O
+/// ```
+///
+/// Operators are `Send` so engines can move them across worker threads
+/// (each operator is still single-threaded internally).
+pub trait GroupBy: Send {
+    /// Consume one record. May emit early output into `sink`.
+    fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()>;
+
+    /// Flush all remaining groups into `sink` and return statistics.
+    /// The operator must not be pushed to afterwards.
+    fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats>;
+
+    /// Human-readable operator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Drive `op` over `records` and return final `(key -> emitted value)`
+    /// plus stats and the raw sink. Panics on duplicate final emissions.
+    pub fn run_op(
+        op: &mut dyn GroupBy,
+        records: &[(Vec<u8>, Vec<u8>)],
+    ) -> (BTreeMap<Vec<u8>, Vec<u8>>, OpStats, VecSink) {
+        let mut sink = VecSink::default();
+        for (k, v) in records {
+            op.push(k, v, &mut sink).unwrap();
+        }
+        let stats = op.finish(&mut sink).unwrap();
+        let mut out = BTreeMap::new();
+        for (k, v, kind) in &sink.emitted {
+            if *kind == EmitKind::Final {
+                let prev = out.insert(k.clone(), v.clone());
+                assert!(prev.is_none(), "duplicate final emission for key {k:?}");
+            }
+        }
+        (out, stats, sink)
+    }
+
+    /// Reference group-count: how often each key appears.
+    pub fn count_truth(records: &[(Vec<u8>, Vec<u8>)]) -> BTreeMap<Vec<u8>, u64> {
+        let mut t: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (k, _) in records {
+            *t.entry(k.clone()).or_default() += 1;
+        }
+        t
+    }
+
+    /// Decode a u64 value emitted by `CountAgg`/`SumAgg`.
+    pub fn dec_u64(v: &[u8]) -> u64 {
+        u64::from_le_bytes(v.try_into().expect("8-byte aggregate"))
+    }
+}

@@ -1,0 +1,373 @@
+//! External multi-pass merge — the reduce-side half of Hadoop's sort-merge.
+//!
+//! §II-A: "As the reducer's buffer fills up, these sorted pieces of data
+//! are merged and written to a file on disk. A background thread merges
+//! these on-disk files progressively whenever the number of such files
+//! exceeds a threshold F. […] it completes by merging these on-disk files
+//! and feeding sorted data directly into the reduce function."
+//!
+//! [`MultiPassMerger`] reproduces exactly that policy: sorted runs are
+//! registered as they are produced; whenever the on-disk run count reaches
+//! the merge factor `F`, the `F` smallest runs are merged into one (each
+//! such pass re-reads and re-writes every byte it touches — the I/O
+//! amplification the paper measures as 370 GB for sessionization); the
+//! final merge streams groups straight to the consumer without writing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::io::{RunMeta, RunReader, SpillStore};
+use onepass_core::metrics::{Phase, Profile};
+
+/// Policy + bookkeeping for multi-pass merging of sorted runs.
+pub struct MultiPassMerger {
+    store: Arc<dyn SpillStore>,
+    factor: usize,
+    runs: Vec<RunMeta>,
+    profile: Profile,
+    merge_passes: u64,
+}
+
+impl std::fmt::Debug for MultiPassMerger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiPassMerger")
+            .field("factor", &self.factor)
+            .field("runs", &self.runs.len())
+            .field("merge_passes", &self.merge_passes)
+            .finish()
+    }
+}
+
+impl MultiPassMerger {
+    /// Create a merger over `store` with merge factor `factor` (≥ 2).
+    pub fn new(store: Arc<dyn SpillStore>, factor: usize) -> Result<Self> {
+        if factor < 2 {
+            return Err(Error::Config(format!(
+                "merge factor must be ≥ 2, got {factor}"
+            )));
+        }
+        Ok(MultiPassMerger {
+            store,
+            factor,
+            runs: Vec::new(),
+            profile: Profile::new(),
+            merge_passes: 0,
+        })
+    }
+
+    /// Register a sorted run. If the on-disk run count reaches `F`, a
+    /// background-style merge pass combines the `F` smallest runs into one
+    /// — matching Hadoop's progressive merging *before* all input arrives.
+    pub fn add_run(&mut self, meta: RunMeta) -> Result<()> {
+        self.runs.push(meta);
+        while self.runs.len() >= self.factor {
+            self.merge_pass(self.factor)?;
+        }
+        Ok(())
+    }
+
+    /// Runs currently on disk.
+    pub fn runs(&self) -> &[RunMeta] {
+        &self.runs
+    }
+
+    /// Completed intermediate merge passes.
+    pub fn merge_passes(&self) -> u64 {
+        self.merge_passes
+    }
+
+    /// Accumulated merge CPU profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Merge the `width` smallest runs into one new on-disk run.
+    fn merge_pass(&mut self, width: usize) -> Result<()> {
+        let width = width.min(self.runs.len());
+        if width < 2 {
+            return Ok(());
+        }
+        // Merge the smallest runs first (Hadoop's io.sort.factor policy):
+        // sort descending and take from the tail so removal is O(1).
+        self.runs.sort_by_key(|r| std::cmp::Reverse(r.bytes));
+        let victims: Vec<RunMeta> = self.runs.split_off(self.runs.len() - width);
+
+        let timer_start = std::time::Instant::now();
+        let mut writer = self.store.begin_run()?;
+        {
+            let mut cursor = MergeCursor::open(self.store.as_ref(), &victims)?;
+            while let Some((key, value)) = cursor.next_pair()? {
+                writer.write_record(&key, &value)?;
+            }
+        }
+        let merged = writer.finish()?;
+        for v in &victims {
+            self.store.delete_run(v.id)?;
+        }
+        self.profile.add_time(Phase::Merge, timer_start.elapsed());
+        self.merge_passes += 1;
+        self.runs.push(merged);
+        Ok(())
+    }
+
+    /// Final merge: ensure at most `F` runs remain on disk (merging in
+    /// passes if needed — §II-A: "it will perform a multi-pass merge if
+    /// the on-disk files exceed F"), then return a streaming grouped
+    /// iterator over the single logical sorted sequence.
+    pub fn into_grouped(mut self) -> Result<GroupedMerge> {
+        while self.runs.len() > self.factor {
+            self.merge_pass(self.factor)?;
+        }
+        let cursor = MergeCursor::open(self.store.as_ref(), &self.runs)?;
+        Ok(GroupedMerge {
+            cursor,
+            pending: None,
+            store: Arc::clone(&self.store),
+            runs: std::mem::take(&mut self.runs),
+            profile: std::mem::take(&mut self.profile),
+            merge_passes: self.merge_passes,
+        })
+    }
+}
+
+/// Heap entry of the k-way merge: (key, reader index, value). Ordering by
+/// (key, index) keeps the merge stable across runs.
+type HeadRecord = Reverse<(Vec<u8>, usize, Vec<u8>)>;
+
+/// A `(key, values)` group produced by the final merge.
+pub type Group = (Vec<u8>, Vec<Vec<u8>>);
+
+/// Streaming k-way merge over a set of sorted runs.
+struct MergeCursor {
+    readers: Vec<Box<dyn RunReader>>,
+    /// Min-heap of the current head record of each non-exhausted reader.
+    heap: BinaryHeap<HeadRecord>,
+}
+
+impl MergeCursor {
+    fn open(store: &dyn SpillStore, runs: &[RunMeta]) -> Result<Self> {
+        let mut readers = Vec::with_capacity(runs.len());
+        for r in runs {
+            readers.push(store.open_run(r.id)?);
+        }
+        let mut cursor = MergeCursor {
+            readers,
+            heap: BinaryHeap::new(),
+        };
+        for i in 0..cursor.readers.len() {
+            cursor.advance(i)?;
+        }
+        Ok(cursor)
+    }
+
+    fn advance(&mut self, idx: usize) -> Result<()> {
+        if let Some(rec) = self.readers[idx].next_record()? {
+            self.heap
+                .push(Reverse((rec.key.to_vec(), idx, rec.value.to_vec())));
+        }
+        Ok(())
+    }
+
+    fn next_pair(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        match self.heap.pop() {
+            None => Ok(None),
+            Some(Reverse((key, idx, value))) => {
+                self.advance(idx)?;
+                Ok(Some((key, value)))
+            }
+        }
+    }
+}
+
+/// Iterator over `(key, values)` groups produced by the final merge.
+pub struct GroupedMerge {
+    cursor: MergeCursor,
+    pending: Option<(Vec<u8>, Vec<u8>)>,
+    store: Arc<dyn SpillStore>,
+    runs: Vec<RunMeta>,
+    profile: Profile,
+    merge_passes: u64,
+}
+
+impl GroupedMerge {
+    /// Next group: the key plus all of its values, in merge order.
+    /// Returns `None` after the last group.
+    pub fn next_group(&mut self) -> Result<Option<Group>> {
+        let (key, first) = match self.pending.take() {
+            Some(kv) => kv,
+            None => match self.cursor.next_pair()? {
+                Some(kv) => kv,
+                None => return Ok(None),
+            },
+        };
+        let mut values = vec![first];
+        loop {
+            match self.cursor.next_pair()? {
+                None => break,
+                Some((k, v)) => {
+                    if k == key {
+                        values.push(v);
+                    } else {
+                        self.pending = Some((k, v));
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(Some((key, values)))
+    }
+
+    /// Intermediate merge passes that were performed.
+    pub fn merge_passes(&self) -> u64 {
+        self.merge_passes
+    }
+
+    /// Merge CPU profile accumulated so far.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Delete the input runs (call after consuming all groups).
+    pub fn cleanup(&mut self) -> Result<()> {
+        for r in self.runs.drain(..) {
+            self.store.delete_run(r.id)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for GroupedMerge {
+    fn drop(&mut self) {
+        let _ = self.cleanup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepass_core::io::SharedMemStore;
+
+    /// Write `pairs` (must be pre-sorted by key) as one run.
+    fn write_run(store: &SharedMemStore, pairs: &[(&[u8], &[u8])]) -> RunMeta {
+        let mut w = store.begin_run().unwrap();
+        for (k, v) in pairs {
+            w.write_record(k, v).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn collect_groups(mut g: GroupedMerge) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+        let mut out = Vec::new();
+        while let Some(grp) = g.next_group().unwrap() {
+            out.push(grp);
+        }
+        out
+    }
+
+    #[test]
+    fn merges_two_runs_into_sorted_groups() {
+        let store = SharedMemStore::new();
+        let mut m = MultiPassMerger::new(Arc::new(store.clone()), 10).unwrap();
+        m.add_run(write_run(&store, &[(b"a", b"1"), (b"c", b"2")])).unwrap();
+        m.add_run(write_run(&store, &[(b"a", b"3"), (b"b", b"4")])).unwrap();
+        let groups = collect_groups(m.into_grouped().unwrap());
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, b"a".to_vec());
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, b"b".to_vec());
+        assert_eq!(groups[2].0, b"c".to_vec());
+    }
+
+    #[test]
+    fn background_merge_triggers_at_factor() {
+        let store = SharedMemStore::new();
+        let mut m = MultiPassMerger::new(Arc::new(store.clone()), 3).unwrap();
+        for i in 0..3u8 {
+            m.add_run(write_run(&store, &[(&[i], b"v")])).unwrap();
+        }
+        // Three runs hit F=3: they merge into one.
+        assert_eq!(m.runs().len(), 1);
+        assert_eq!(m.merge_passes(), 1);
+        // The merged run plus two more triggers another pass.
+        for i in 10..12u8 {
+            m.add_run(write_run(&store, &[(&[i], b"v")])).unwrap();
+        }
+        assert_eq!(m.runs().len(), 1);
+        assert_eq!(m.merge_passes(), 2);
+    }
+
+    #[test]
+    fn merge_io_amplification_is_accounted() {
+        let store = SharedMemStore::new();
+        let mut m = MultiPassMerger::new(Arc::new(store.clone()), 2).unwrap();
+        let r1 = write_run(&store, &[(b"a", b"xx")]);
+        let r2 = write_run(&store, &[(b"b", b"yy")]);
+        let base = store.stats();
+        m.add_run(r1).unwrap();
+        m.add_run(r2).unwrap(); // F=2 -> immediate merge pass
+        let st = store.stats();
+        // The pass re-read both runs and re-wrote their contents.
+        assert_eq!(st.bytes_read - base.bytes_read, r1.bytes + r2.bytes);
+        assert_eq!(st.bytes_written - base.bytes_written, r1.bytes + r2.bytes);
+    }
+
+    #[test]
+    fn final_merge_reduces_to_factor_first() {
+        let store = SharedMemStore::new();
+        // factor 4: adding 3 runs does not trigger background merges...
+        let mut m = MultiPassMerger::new(Arc::new(store.clone()), 4).unwrap();
+        for i in 0..3u8 {
+            m.add_run(write_run(&store, &[(&[i], b"v")])).unwrap();
+        }
+        assert_eq!(m.runs().len(), 3);
+        assert_eq!(m.merge_passes(), 0);
+        // ...and the final merge streams them without an extra pass.
+        let g = m.into_grouped().unwrap();
+        assert_eq!(g.merge_passes(), 0);
+        assert_eq!(collect_groups(g).len(), 3);
+    }
+
+    #[test]
+    fn empty_merger_yields_no_groups() {
+        let store = SharedMemStore::new();
+        let m = MultiPassMerger::new(Arc::new(store.clone()), 5).unwrap();
+        let groups = collect_groups(m.into_grouped().unwrap());
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn cleanup_deletes_input_runs() {
+        let store = SharedMemStore::new();
+        let mut m = MultiPassMerger::new(Arc::new(store.clone()), 10).unwrap();
+        m.add_run(write_run(&store, &[(b"k", b"v")])).unwrap();
+        {
+            let g = m.into_grouped().unwrap();
+            drop(g); // Drop impl cleans up
+        }
+        assert_eq!(store.live_runs(), 0);
+    }
+
+    #[test]
+    fn factor_below_two_is_rejected() {
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        assert!(MultiPassMerger::new(store, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_across_many_runs_group_once() {
+        let store = SharedMemStore::new();
+        let mut m = MultiPassMerger::new(Arc::new(store.clone()), 3).unwrap();
+        for i in 0..7u32 {
+            let v = i.to_le_bytes();
+            m.add_run(write_run(&store, &[(b"dup", &v), (b"z", &v)]))
+                .unwrap();
+        }
+        let groups = collect_groups(m.into_grouped().unwrap());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, b"dup".to_vec());
+        assert_eq!(groups[0].1.len(), 7);
+        assert_eq!(groups[1].1.len(), 7);
+    }
+}

@@ -1,0 +1,159 @@
+//! Output sinks and operator statistics.
+
+use onepass_core::io::IoStats;
+use onepass_core::metrics::Profile;
+
+/// Whether an emission is an early (incremental/approximate) answer or the
+/// final answer for its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitKind {
+    /// Produced while input was still arriving — the one-pass analytics
+    /// capability (online aggregation / stream answers).
+    Early,
+    /// Produced at `finish`; exact and complete for its key.
+    Final,
+}
+
+/// Receives group-by output.
+pub trait Sink {
+    /// Receive one `(key, value)` emission.
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind);
+}
+
+/// Collects emissions into a vector — tests and small jobs.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// All emissions in arrival order.
+    pub emitted: Vec<(Vec<u8>, Vec<u8>, EmitKind)>,
+}
+
+impl VecSink {
+    /// Number of early emissions.
+    pub fn early_count(&self) -> usize {
+        self.emitted
+            .iter()
+            .filter(|(_, _, k)| *k == EmitKind::Early)
+            .count()
+    }
+
+    /// Number of final emissions.
+    pub fn final_count(&self) -> usize {
+        self.emitted
+            .iter()
+            .filter(|(_, _, k)| *k == EmitKind::Final)
+            .count()
+    }
+}
+
+impl Sink for VecSink {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        self.emitted.push((key.to_vec(), value.to_vec(), kind));
+    }
+}
+
+/// A sink that forwards to a closure.
+pub struct FnSink<F: FnMut(&[u8], &[u8], EmitKind)>(pub F);
+
+impl<F: FnMut(&[u8], &[u8], EmitKind)> Sink for FnSink<F> {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        (self.0)(key, value, kind);
+    }
+}
+
+/// A sink that counts emissions without storing them.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Early emissions seen.
+    pub early: u64,
+    /// Final emissions seen.
+    pub final_: u64,
+    /// Total value bytes seen.
+    pub bytes: u64,
+}
+
+impl Sink for CountingSink {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        match kind {
+            EmitKind::Early => self.early += 1,
+            EmitKind::Final => self.final_ += 1,
+        }
+        self.bytes += (key.len() + value.len()) as u64;
+    }
+}
+
+/// Statistics reported by a finished group-by operator.
+#[derive(Debug, Default, Clone)]
+pub struct OpStats {
+    /// Records consumed via `push`.
+    pub records_in: u64,
+    /// Distinct groups emitted as final answers.
+    pub groups_out: u64,
+    /// Early emissions produced before `finish`.
+    pub early_emits: u64,
+    /// Spill I/O attributable to this operator (delta over its store).
+    pub io: IoStats,
+    /// Per-phase CPU timings.
+    pub profile: Profile,
+    /// Peak memory-budget usage observed (bytes).
+    pub peak_mem: usize,
+    /// Number of spill events (runs written).
+    pub spills: u64,
+    /// Merge/recursion passes performed at finish.
+    pub passes: u64,
+}
+
+impl OpStats {
+    /// Bytes of intermediate data written + read back (the paper's
+    /// headline reduce-side I/O metric).
+    pub fn spill_traffic(&self) -> u64 {
+        self.io.bytes_written + self.io.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_partitions_kinds() {
+        let mut s = VecSink::default();
+        s.emit(b"a", b"1", EmitKind::Early);
+        s.emit(b"a", b"2", EmitKind::Final);
+        s.emit(b"b", b"3", EmitKind::Final);
+        assert_eq!(s.early_count(), 1);
+        assert_eq!(s.final_count(), 2);
+    }
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut s = CountingSink::default();
+        s.emit(b"key", b"value", EmitKind::Final);
+        s.emit(b"k", b"", EmitKind::Early);
+        assert_eq!(s.final_, 1);
+        assert_eq!(s.early, 1);
+        assert_eq!(s.bytes, 3 + 5 + 1);
+    }
+
+    #[test]
+    fn fn_sink_forwards() {
+        let mut seen = Vec::new();
+        {
+            let mut s = FnSink(|k: &[u8], _v: &[u8], _kind| seen.push(k.to_vec()));
+            s.emit(b"x", b"1", EmitKind::Final);
+        }
+        assert_eq!(seen, vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn spill_traffic_sums_both_directions() {
+        let st = OpStats {
+            io: IoStats {
+                bytes_written: 10,
+                bytes_read: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(st.spill_traffic(), 17);
+    }
+}

@@ -1,0 +1,127 @@
+//! Failure-injection tests: every operator must surface spill-store
+//! failures as `Err` — never panic, hang, or silently emit partial
+//! results as if they were complete.
+
+use std::sync::Arc;
+
+use onepass_core::io::{FaultInjectStore, SharedMemStore, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_core::Error;
+use onepass_groupby::{
+    CountAgg, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper, SortMergeGrouper,
+    VecSink,
+};
+
+fn records(n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("key{:05}", i % 200).into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+        })
+        .collect()
+}
+
+/// Drive an operator over spilling-sized input with a store that fails
+/// after `ops` operations; returns the first error (push or finish).
+fn drive_with_faults(
+    mk: &dyn Fn(Arc<dyn SpillStore>) -> Box<dyn GroupBy>,
+    ops: u64,
+) -> Result<(), Error> {
+    let store: Arc<dyn SpillStore> = Arc::new(FaultInjectStore::new(
+        Arc::new(SharedMemStore::new()),
+        ops,
+    ));
+    let mut g = mk(store);
+    let mut sink = VecSink::default();
+    for (k, v) in records(3000) {
+        g.push(&k, &v, &mut sink)?;
+    }
+    g.finish(&mut sink)?;
+    Ok(())
+}
+
+type OpFactory = Box<dyn Fn(Arc<dyn SpillStore>) -> Box<dyn GroupBy>>;
+
+fn operators() -> Vec<(&'static str, OpFactory)> {
+    let budget = || MemoryBudget::new(4 * 1024); // forces spilling
+    vec![
+        (
+            "sort-merge",
+            Box::new(move |s: Arc<dyn SpillStore>| {
+                Box::new(SortMergeGrouper::new(s, budget(), 3, Arc::new(CountAgg)).unwrap())
+                    as Box<dyn GroupBy>
+            }) as OpFactory,
+        ),
+        (
+            "hybrid-hash",
+            Box::new(move |s: Arc<dyn SpillStore>| {
+                Box::new(HybridHashGrouper::new(s, budget(), 4, Arc::new(CountAgg)).unwrap())
+            }),
+        ),
+        (
+            "inc-hash",
+            Box::new(move |s: Arc<dyn SpillStore>| {
+                Box::new(IncHashGrouper::new(s, budget(), Arc::new(CountAgg)))
+            }),
+        ),
+        (
+            "freq-hash",
+            Box::new(move |s: Arc<dyn SpillStore>| {
+                Box::new(FreqHashGrouper::new(s, budget(), Arc::new(CountAgg)))
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn all_operators_propagate_spill_failures() {
+    for (name, mk) in operators() {
+        // A handful of fault budgets hitting different phases: first
+        // spill, mid-stream, and during finish.
+        for ops in [0u64, 1, 5, 50, 500] {
+            let result = drive_with_faults(mk.as_ref(), ops);
+            assert!(
+                matches!(result, Err(Error::Io(_))),
+                "{name} with fault budget {ops}: expected Err(Io), got {result:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_operators_succeed_with_enough_budget() {
+    for (name, mk) in operators() {
+        let result = drive_with_faults(mk.as_ref(), u64::MAX);
+        assert!(result.is_ok(), "{name} failed without faults: {result:?}");
+    }
+}
+
+#[test]
+fn failure_mid_job_does_not_double_emit() {
+    // Even when finish fails, any output already emitted must not
+    // contain duplicate finals.
+    let store: Arc<dyn SpillStore> = Arc::new(FaultInjectStore::new(
+        Arc::new(SharedMemStore::new()),
+        200,
+    ));
+    let mut g = FreqHashGrouper::new(store, MemoryBudget::new(4 * 1024), Arc::new(CountAgg));
+    let mut sink = VecSink::default();
+    for (k, v) in records(3000) {
+        if g.push(&k, &v, &mut sink).is_err() {
+            break;
+        }
+    }
+    let _ = g.finish(&mut sink);
+    let mut finals: Vec<&Vec<u8>> = sink
+        .emitted
+        .iter()
+        .filter(|(_, _, kind)| *kind == onepass_groupby::EmitKind::Final)
+        .map(|(k, _, _)| k)
+        .collect();
+    let before = finals.len();
+    finals.sort();
+    finals.dedup();
+    assert_eq!(finals.len(), before, "duplicate final emissions after failure");
+}

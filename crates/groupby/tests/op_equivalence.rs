@@ -1,0 +1,187 @@
+//! Property tests: every group-by operator computes the same exact
+//! grouping as a reference in-memory implementation, regardless of memory
+//! budget (i.e. spilling/recursion/eviction never lose or duplicate data).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use onepass_core::io::SharedMemStore;
+use onepass_core::memory::MemoryBudget;
+use onepass_groupby::{
+    Aggregator, CountAgg, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper,
+    ListAgg, SortMergeGrouper, SumAgg, VecSink,
+};
+use proptest::prelude::*;
+
+type Records = Vec<(Vec<u8>, Vec<u8>)>;
+
+fn skewed_stream() -> impl Strategy<Value = Records> {
+    prop::collection::vec(
+        (0u32..64, 0u64..1000).prop_map(|(k, v)| {
+            // Square-down so low key ids dominate (Zipf-ish skew).
+            let key = format!("k{}", k * k / 24).into_bytes();
+            (key, v.to_le_bytes().to_vec())
+        }),
+        0..400,
+    )
+}
+
+fn finals(sink: &VecSink) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for (k, v, kind) in &sink.emitted {
+        if *kind == EmitKind::Final {
+            let dup = out.insert(k.clone(), v.clone());
+            assert!(dup.is_none(), "duplicate final for {k:?}");
+        }
+    }
+    out
+}
+
+fn run(mut op: Box<dyn GroupBy>, recs: &Records) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut sink = VecSink::default();
+    for (k, v) in recs {
+        op.push(k, v, &mut sink).unwrap();
+    }
+    op.finish(&mut sink).unwrap();
+    finals(&sink)
+}
+
+fn reference(agg: &dyn Aggregator, recs: &Records) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut states: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for (k, v) in recs {
+        match states.get_mut(k) {
+            Some(s) => agg.update(k, s, v),
+            None => {
+                states.insert(k.clone(), agg.init(k, v));
+            }
+        }
+    }
+    states
+        .into_iter()
+        .map(|(k, s)| {
+            let out = agg.finish(&k, s.clone());
+            (k, out)
+        })
+        .collect()
+}
+
+fn all_ops(budget_bytes: usize) -> Vec<(&'static str, Box<dyn GroupBy>)> {
+    let mk_budget = || MemoryBudget::new(budget_bytes);
+    vec![
+        (
+            "sort-merge",
+            Box::new(
+                SortMergeGrouper::new(
+                    Arc::new(SharedMemStore::new()),
+                    mk_budget(),
+                    4,
+                    Arc::new(SumAgg),
+                )
+                .unwrap(),
+            ) as Box<dyn GroupBy>,
+        ),
+        (
+            "hybrid-hash",
+            Box::new(
+                HybridHashGrouper::new(
+                    Arc::new(SharedMemStore::new()),
+                    mk_budget(),
+                    4,
+                    Arc::new(SumAgg),
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "inc-hash",
+            Box::new(IncHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                mk_budget(),
+                Arc::new(SumAgg),
+            )),
+        ),
+        (
+            "freq-hash",
+            Box::new(FreqHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                mk_budget(),
+                Arc::new(SumAgg),
+            )),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_operators_match_reference_sum(recs in skewed_stream(), budget_kb in 1usize..24) {
+        let expect = reference(&SumAgg, &recs);
+        for (name, op) in all_ops(budget_kb * 256) {
+            let got = run(op, &recs);
+            prop_assert_eq!(&got, &expect, "{} diverged from reference", name);
+        }
+    }
+
+    #[test]
+    fn count_agg_multiset_preserved(recs in skewed_stream(), budget_kb in 1usize..16) {
+        // With CountAgg the sum over all groups must equal the record count
+        // for every operator — no record lost or double-counted.
+        let n = recs.len() as u64;
+        for (name, op) in [("sort-merge", Box::new(SortMergeGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 256), 3, Arc::new(CountAgg)).unwrap()) as Box<dyn GroupBy>),
+            ("hybrid-hash", Box::new(HybridHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 256), 5, Arc::new(CountAgg)).unwrap())),
+            ("inc-hash", Box::new(IncHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 256), Arc::new(CountAgg)))),
+            ("freq-hash", Box::new(FreqHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 256), Arc::new(CountAgg))))] {
+            let got = run(op, &recs);
+            let total: u64 = got
+                .values()
+                .map(|v| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+                .sum();
+            prop_assert_eq!(total, n, "{} lost or duplicated records", name);
+        }
+    }
+
+    #[test]
+    fn list_agg_preserves_value_multiset(recs in skewed_stream(), budget_kb in 2usize..16) {
+        // ListAgg groups must contain exactly the values pushed, as a
+        // multiset per key (element order across spills is unspecified).
+        let mut expect: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+        for (k, v) in &recs {
+            expect.entry(k.clone()).or_default().push(v.clone());
+        }
+        for e in expect.values_mut() {
+            e.sort();
+        }
+        for (name, op) in [("sort-merge", Box::new(SortMergeGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 512), 3, Arc::new(ListAgg)).unwrap()) as Box<dyn GroupBy>),
+            ("hybrid-hash", Box::new(HybridHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 512), 4, Arc::new(ListAgg)).unwrap())),
+            ("inc-hash", Box::new(IncHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 512), Arc::new(ListAgg)))),
+            ("freq-hash", Box::new(FreqHashGrouper::new(
+                Arc::new(SharedMemStore::new()),
+                MemoryBudget::new(budget_kb * 512), Arc::new(ListAgg))))] {
+            let got = run(op, &recs);
+            let got_decoded: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = got
+                .into_iter()
+                .map(|(k, v)| {
+                    let mut items = ListAgg::decode(&v);
+                    items.sort();
+                    (k, items)
+                })
+                .collect();
+            prop_assert_eq!(&got_decoded, &expect, "{} corrupted a value list", name);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Multi-stage job chaining: run a sequence of MapReduce jobs where each
+//! stage's output becomes the next stage's input.
+//!
+//! Real analytical queries rarely fit one MapReduce job — the paper's
+//! related work (Pig, Hive) compiles SQL into job *DAGs*. This module
+//! provides the linear-chain case with a defined record codec:
+//! each final `(key, value)` emission of stage *i* is encoded as one
+//! input record for stage *i + 1* via [`encode_pair`] / [`decode_pair`],
+//! and re-split into blocks of `records_per_split`.
+//!
+//! Early emissions are not forwarded (they are approximations of the
+//! finals); collect them from each stage's report if needed.
+
+use onepass_core::error::{Error, Result};
+use onepass_groupby::EmitKind;
+
+use crate::driver::Engine;
+use crate::job::JobSpec;
+use crate::map_task::Split;
+use crate::report::JobReport;
+
+/// Encode a `(key, value)` pair as a chain record:
+/// `[u32 klen][key][value]`.
+pub fn encode_pair(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(4 + key.len() + value.len());
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(key);
+    rec.extend_from_slice(value);
+    rec
+}
+
+/// Decode a chain record back into `(key, value)`.
+pub fn decode_pair(record: &[u8]) -> Option<(&[u8], &[u8])> {
+    if record.len() < 4 {
+        return None;
+    }
+    let klen = u32::from_le_bytes(record[0..4].try_into().ok()?) as usize;
+    if record.len() < 4 + klen {
+        return None;
+    }
+    Some((&record[4..4 + klen], &record[4 + klen..]))
+}
+
+/// Options for [`run_chain`].
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Records per split when re-splitting a stage's output. Default 4096.
+    pub records_per_split: usize,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            records_per_split: 4096,
+        }
+    }
+}
+
+/// Run `jobs` in sequence over `input`. Every stage except the last must
+/// collect output (`collect_output == true`), since its finals feed the
+/// next stage. Returns each stage's report, in order.
+pub fn run_chain(
+    engine: &Engine,
+    jobs: &[JobSpec],
+    input: Vec<Split>,
+    config: &ChainConfig,
+) -> Result<Vec<JobReport>> {
+    if jobs.is_empty() {
+        return Err(Error::Config("job chain must have at least one stage".into()));
+    }
+    for (i, job) in jobs.iter().enumerate() {
+        if i + 1 < jobs.len() && !job.collect_output {
+            return Err(Error::Config(format!(
+                "chain stage {i} ({}) must collect output to feed stage {}",
+                job.name,
+                i + 1
+            )));
+        }
+    }
+
+    let mut reports = Vec::with_capacity(jobs.len());
+    let mut splits = input;
+    for (i, job) in jobs.iter().enumerate() {
+        let report = engine.run(job, std::mem::take(&mut splits))?;
+        if i + 1 < jobs.len() {
+            let records: Vec<Vec<u8>> = report
+                .outputs
+                .iter()
+                .filter(|o| o.kind == EmitKind::Final)
+                .map(|o| encode_pair(&o.key, &o.value))
+                .collect();
+            splits = records
+                .chunks(config.records_per_split.max(1))
+                .map(|c| Split::new(c.to_vec()))
+                .collect();
+        }
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{MapEmitter, ReduceBackend};
+    use onepass_groupby::SumAgg;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn pair_codec_roundtrip() {
+        let rec = encode_pair(b"key", b"value with \x00 bytes");
+        let (k, v) = decode_pair(&rec).unwrap();
+        assert_eq!(k, b"key");
+        assert_eq!(v, b"value with \x00 bytes");
+        // Empty key and value are legal.
+        let rec = encode_pair(b"", b"");
+        assert_eq!(decode_pair(&rec).unwrap(), (&b""[..], &b""[..]));
+        // Truncated records are rejected.
+        assert!(decode_pair(b"").is_none());
+        assert!(decode_pair(&[200, 0, 0, 0, 1]).is_none());
+    }
+
+    /// Stage 1: word count. Stage 2: count-of-counts (how many words
+    /// occur exactly k times) — the classic two-job histogram query.
+    #[test]
+    fn two_stage_histogram() {
+        fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+            for w in record.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                out.emit(w, &1u64.to_le_bytes());
+            }
+        }
+        fn histogram_map(record: &[u8], out: &mut dyn MapEmitter) {
+            if let Some((_, count)) = decode_pair(record) {
+                out.emit(count, &1u64.to_le_bytes());
+            }
+        }
+
+        let stage1 = JobSpec::builder("wordcount")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(3)
+            .preset_onepass()
+            .build()
+            .unwrap();
+        let stage2 = JobSpec::builder("count-of-counts")
+            .map_fn(Arc::new(histogram_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .backend(ReduceBackend::IncHash { early: None })
+            .build()
+            .unwrap();
+
+        // a:4, b:2, c:2, d:1  ->  histogram {4:1, 2:2, 1:1}
+        let input = vec![Split::new(vec![
+            b"a b a c".to_vec(),
+            b"a d b c".to_vec(),
+            b"a".to_vec(),
+        ])];
+        let reports = run_chain(
+            &Engine::new(),
+            &[stage1, stage2],
+            input,
+            &ChainConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].groups_out, 4);
+
+        let hist: BTreeMap<u64, u64> = reports[1]
+            .outputs
+            .iter()
+            .filter(|o| o.kind == EmitKind::Final)
+            .map(|o| {
+                (
+                    u64::from_le_bytes(o.key.as_slice().try_into().unwrap()),
+                    u64::from_le_bytes(o.value.as_slice().try_into().unwrap()),
+                )
+            })
+            .collect();
+        assert_eq!(hist, BTreeMap::from([(4, 1), (2, 2), (1, 1)]));
+    }
+
+    #[test]
+    fn stage_without_collect_output_is_rejected() {
+        let stage1 = JobSpec::builder("s1").collect_output(false).build().unwrap();
+        let stage2 = JobSpec::builder("s2").build().unwrap();
+        let err = run_chain(
+            &Engine::new(),
+            &[stage1, stage2],
+            vec![],
+            &ChainConfig::default(),
+        );
+        assert!(matches!(err, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn empty_chain_is_rejected() {
+        let err = run_chain(&Engine::new(), &[], vec![], &ChainConfig::default());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! The engine driver: schedules map tasks over a worker pool, wires the
+//! shuffle, runs one reduce task per partition, and assembles the job
+//! report. Thread fan-out uses crossbeam scoped threads; all inter-task
+//! communication is channel-based (no shared mutable state beyond the
+//! spill stores' atomic counters).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_groupby::{EmitKind, Sink};
+
+use crate::job::JobSpec;
+use crate::map_task::{run_map_task, MapTaskStats, Split};
+use crate::reduce_task::{run_reduce_task, ReduceResult};
+use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
+use crate::shuffle::shuffle_fabric;
+
+/// Where spill runs live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillBackend {
+    /// In-memory runs: exact I/O accounting without filesystem traffic.
+    /// The default — deterministic and fast for tests and CPU studies.
+    Memory,
+    /// Real temp files with buffered I/O — for experiments that should
+    /// touch disk.
+    TempFiles,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Concurrent map workers (task slots). Default 4.
+    pub map_workers: usize,
+    /// Reducer channel depth (shuffle backpressure). Default 64.
+    pub channel_depth: usize,
+    /// Spill-run backend. Default memory.
+    pub spill: SpillBackend,
+    /// Persist map output before task completion (Hadoop fault-tolerance
+    /// write, §II-A). Default true.
+    pub persist_map_output: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            map_workers: 4,
+            channel_depth: 64,
+            spill: SpillBackend::Memory,
+            persist_map_output: true,
+        }
+    }
+}
+
+/// The MapReduce engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Engine with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    fn make_store(&self) -> Result<Arc<dyn SpillStore>> {
+        Ok(match self.config.spill {
+            SpillBackend::Memory => Arc::new(SharedMemStore::new()),
+            SpillBackend::TempFiles => Arc::new(FileSpillStore::temp()?),
+        })
+    }
+
+    /// Run `job` over `splits` (one map task per split) and return the
+    /// report.
+    pub fn run(&self, job: &JobSpec, splits: Vec<Split>) -> Result<JobReport> {
+        job.validate()?;
+        let start = Instant::now();
+        let total_map_tasks = splits.len();
+        let (shuffle_tx, shuffle_rxs) = shuffle_fabric(job.reducers, self.config.channel_depth);
+
+        // Map-side persistence store (shared; only totals are read).
+        let map_store = if self.config.persist_map_output {
+            Some(self.make_store()?)
+        } else {
+            None
+        };
+        // One spill store per reducer so per-task I/O deltas are exact.
+        let mut reduce_stores = Vec::with_capacity(job.reducers);
+        for _ in 0..job.reducers {
+            reduce_stores.push(self.make_store()?);
+        }
+
+        // Work queue of map tasks.
+        let (task_tx, task_rx) = unbounded::<(usize, Split)>();
+        for (id, split) in splits.into_iter().enumerate() {
+            task_tx
+                .send((id, split))
+                .expect("queue cannot be disconnected yet");
+        }
+        drop(task_tx);
+
+        // Result channels.
+        let (map_res_tx, map_res_rx) = unbounded::<Result<(MapTaskStats, TaskSpan)>>();
+        let (red_res_tx, red_res_rx) =
+            unbounded::<Result<(ReduceResult, TaskSpan, TimedSink)>>();
+
+        crossbeam::thread::scope(|scope| {
+            // Map workers.
+            for _ in 0..self.config.map_workers.max(1) {
+                let task_rx = task_rx.clone();
+                let shuffle_tx = shuffle_tx.clone();
+                let map_res_tx = map_res_tx.clone();
+                let map_store = map_store.clone();
+                scope.spawn(move |_| {
+                    while let Ok((id, split)) = task_rx.recv() {
+                        let t0 = start.elapsed();
+                        let res = run_map_task(job, id, &split, &shuffle_tx, map_store.as_ref());
+                        let span = TaskSpan {
+                            kind: TaskKind::Map,
+                            id,
+                            start: t0,
+                            end: start.elapsed(),
+                        };
+                        let _ = map_res_tx.send(res.map(|s| (s, span)));
+                    }
+                });
+            }
+            drop(map_res_tx);
+
+            // Reduce workers, one per partition.
+            for (partition, rx) in shuffle_rxs.into_iter().enumerate() {
+                let red_res_tx = red_res_tx.clone();
+                let store = Arc::clone(&reduce_stores[partition]);
+                scope.spawn(move |_| {
+                    let t0 = start.elapsed();
+                    let mut sink = TimedSink::new(start, job.collect_output);
+                    let budget = MemoryBudget::new(job.reduce_budget_bytes);
+                    let res = run_reduce_task(
+                        job,
+                        partition,
+                        &rx,
+                        total_map_tasks,
+                        store,
+                        budget,
+                        &mut sink,
+                    );
+                    let span = TaskSpan {
+                        kind: TaskKind::Reduce,
+                        id: partition,
+                        start: t0,
+                        end: start.elapsed(),
+                    };
+                    let _ = red_res_tx.send(res.map(|r| (r, span, sink)));
+                });
+            }
+            drop(red_res_tx);
+        })
+        .map_err(|_| Error::InvalidState("engine worker panicked".into()))?;
+
+        // Assemble the report.
+        let mut report = JobReport {
+            name: job.name.clone(),
+            backend: job.backend.label().to_string(),
+            ..Default::default()
+        };
+        for res in map_res_rx.iter() {
+            let (stats, span) = res?;
+            report.absorb_map(&stats);
+            report.spans.push(span);
+        }
+        if report.map_tasks != total_map_tasks {
+            return Err(Error::InvalidState(format!(
+                "expected {total_map_tasks} map results, got {}",
+                report.map_tasks
+            )));
+        }
+        let mut early_total = 0u64;
+        for res in red_res_rx.iter() {
+            let (result, span, sink) = res?;
+            report.absorb_reduce(&result);
+            report.spans.push(span);
+            early_total += sink.early_seen;
+            if let Some(t) = sink.first_early {
+                report.first_early_at = Some(match report.first_early_at {
+                    Some(cur) => cur.min(t),
+                    None => t,
+                });
+            }
+            if let Some(t) = sink.first_final {
+                report.first_final_at = Some(match report.first_final_at {
+                    Some(cur) => cur.min(t),
+                    None => t,
+                });
+            }
+            report.outputs.extend(sink.outputs);
+        }
+        // Early emissions = what the sinks actually saw: covers backend
+        // early output *and* HOP snapshots uniformly, independent of
+        // whether outputs were collected.
+        report.early_emits = early_total;
+        report.shuffled_bytes = shuffle_tx.shuffled_bytes();
+        if let Some(ms) = &map_store {
+            report.map_write_io = ms.stats();
+        }
+        report.wall = start.elapsed();
+        Ok(report)
+    }
+}
+
+/// Sink that timestamps emissions and optionally stores them.
+#[derive(Debug)]
+pub(crate) struct TimedSink {
+    start: Instant,
+    collect: bool,
+    pub(crate) outputs: Vec<JobOutput>,
+    pub(crate) early_seen: u64,
+    pub(crate) final_seen: u64,
+    pub(crate) first_early: Option<std::time::Duration>,
+    pub(crate) first_final: Option<std::time::Duration>,
+}
+
+impl TimedSink {
+    fn new(start: Instant, collect: bool) -> Self {
+        TimedSink {
+            start,
+            collect,
+            outputs: Vec::new(),
+            early_seen: 0,
+            final_seen: 0,
+            first_early: None,
+            first_final: None,
+        }
+    }
+}
+
+impl Sink for TimedSink {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        let at = self.start.elapsed();
+        match kind {
+            EmitKind::Early => {
+                self.early_seen += 1;
+                self.first_early.get_or_insert(at);
+            }
+            EmitKind::Final => {
+                self.final_seen += 1;
+                self.first_final.get_or_insert(at);
+            }
+        }
+        if self.collect {
+            self.outputs.push(JobOutput {
+                key: key.to_vec(),
+                value: value.to_vec(),
+                kind,
+                at,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{MapEmitter, MapSideMode, ReduceBackend, ShuffleMode};
+    use onepass_groupby::SumAgg;
+    use std::collections::BTreeMap;
+
+    fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+        for w in record.split(|&b| b == b' ') {
+            if !w.is_empty() {
+                out.emit(w, &1u64.to_le_bytes());
+            }
+        }
+    }
+
+    fn splits(lines: &[&str], per_split: usize) -> Vec<Split> {
+        lines
+            .chunks(per_split)
+            .map(|c| Split::new(c.iter().map(|l| l.as_bytes().to_vec()).collect()))
+            .collect()
+    }
+
+    fn final_counts(report: &JobReport) -> BTreeMap<String, u64> {
+        report
+            .outputs
+            .iter()
+            .filter(|o| o.kind == EmitKind::Final)
+            .map(|o| {
+                (
+                    String::from_utf8(o.key.clone()).unwrap(),
+                    u64::from_le_bytes(o.value.as_slice().try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    fn expected() -> BTreeMap<String, u64> {
+        [("a", 4u64), ("b", 3), ("c", 2), ("d", 1)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    fn input() -> Vec<Split> {
+        splits(&["a b a", "c b", "a d c", "b a"], 2)
+    }
+
+    #[test]
+    fn hadoop_pipeline_end_to_end() {
+        let job = JobSpec::builder("wc")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(3)
+            .preset_hadoop()
+            .build()
+            .unwrap();
+        let report = Engine::new().run(&job, input()).unwrap();
+        assert_eq!(final_counts(&report), expected());
+        assert_eq!(report.map_tasks, 2);
+        assert_eq!(report.reduce_tasks, 3);
+        assert_eq!(report.input_records, 4);
+        assert_eq!(report.map_output_records, 10);
+        assert_eq!(report.early_emits, 0, "stock Hadoop has no early output");
+        assert!(report.map_write_io.bytes_written > 0);
+    }
+
+    #[test]
+    fn onepass_pipeline_end_to_end() {
+        let job = JobSpec::builder("wc")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .preset_onepass()
+            .build()
+            .unwrap();
+        let report = Engine::new().run(&job, input()).unwrap();
+        assert_eq!(final_counts(&report), expected());
+        // Hash path must not register any sort CPU.
+        assert_eq!(
+            report.map_profile.time(onepass_core::metrics::Phase::MapSort),
+            std::time::Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn hop_pipeline_produces_snapshots() {
+        let job = JobSpec::builder("wc")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .preset_hop()
+            .build()
+            .unwrap();
+        // Enough map tasks that the 25/50/75% snapshot points exist.
+        let many: Vec<&str> = vec!["a b"; 8];
+        let report = Engine::new().run(&job, splits(&many, 1)).unwrap();
+        assert_eq!(final_counts(&report)["a"], 8);
+        assert!(report.snapshots >= 1, "HOP must take snapshots");
+        assert!(report.early_emits > 0);
+        assert!(report.first_early_at.unwrap() <= report.first_final_at.unwrap());
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let backends = vec![
+            ReduceBackend::SortMerge {
+                merge_factor: 4,
+                snapshots: vec![],
+            },
+            ReduceBackend::HybridHash { fanout: 4 },
+            ReduceBackend::IncHash { early: None },
+            ReduceBackend::FreqHash(Default::default()),
+        ];
+        for backend in backends {
+            let label = backend.label();
+            let job = JobSpec::builder("wc")
+                .map_fn(Arc::new(word_map))
+                .aggregate(Arc::new(SumAgg))
+                .reducers(2)
+                .map_side(MapSideMode::HashPartitionOnly)
+                .combine(false)
+                .shuffle(ShuffleMode::Push { granularity: 3 })
+                .backend(backend)
+                .build()
+                .unwrap();
+            let report = Engine::new().run(&job, input()).unwrap();
+            assert_eq!(final_counts(&report), expected(), "{label} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_input_completes() {
+        let job = JobSpec::builder("empty").build().unwrap();
+        let report = Engine::new().run(&job, vec![]).unwrap();
+        assert_eq!(report.map_tasks, 0);
+        assert_eq!(report.groups_out, 0);
+    }
+
+    #[test]
+    fn spans_cover_all_tasks() {
+        let job = JobSpec::builder("wc")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .build()
+            .unwrap();
+        let report = Engine::new().run(&job, input()).unwrap();
+        let maps = report
+            .spans
+            .iter()
+            .filter(|s| s.kind == TaskKind::Map)
+            .count();
+        let reds = report
+            .spans
+            .iter()
+            .filter(|s| s.kind == TaskKind::Reduce)
+            .count();
+        assert_eq!(maps, 2);
+        assert_eq!(reds, 2);
+        for s in &report.spans {
+            assert!(s.end >= s.start);
+        }
+    }
+
+    #[test]
+    fn file_spill_backend_works() {
+        let job = JobSpec::builder("wc")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .reduce_budget_bytes(2048)
+            .build()
+            .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            spill: SpillBackend::TempFiles,
+            ..Default::default()
+        });
+        let many: Vec<String> = (0..200).map(|i| format!("w{} w{} a", i % 37, i % 11)).collect();
+        let refs: Vec<&str> = many.iter().map(|s| s.as_str()).collect();
+        let report = engine.run(&job, splits(&refs, 20)).unwrap();
+        let counts = final_counts(&report);
+        assert_eq!(counts["a"], 200);
+        assert!(report.reduce_spill_io.bytes_written > 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! Job specification: the MapReduce programming model plus the execution
+//! knobs the paper studies.
+
+use std::sync::Arc;
+
+use onepass_core::config::{DEFAULT_MERGE_FACTOR, MIB};
+use onepass_core::error::{Error, Result};
+use onepass_core::hashlib::{HashFamily, KeyHasher, MultiplyShift};
+use onepass_groupby::freq_hash::FreqHashConfig;
+use onepass_groupby::inc_hash::EarlyEmit;
+use onepass_groupby::Aggregator;
+
+/// Receives the key/value pairs a map function emits.
+pub trait MapEmitter {
+    /// Emit one intermediate pair.
+    fn emit(&mut self, key: &[u8], value: &[u8]);
+}
+
+/// The user map function: transforms one input record into intermediate
+/// key/value pairs (§II: "the map function transforms input data into
+/// (key, value) pairs").
+pub trait MapFn: Send + Sync {
+    /// Process one input record.
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter);
+}
+
+/// Blanket adapter so closures can serve as map functions.
+impl<F> MapFn for F
+where
+    F: Fn(&[u8], &mut dyn MapEmitter) + Send + Sync,
+{
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        self(record, out)
+    }
+}
+
+/// Assigns intermediate keys to reducer partitions.
+pub trait Partitioner: Send + Sync {
+    /// Partition index in `0..reducers` for `key`.
+    fn partition(&self, key: &[u8], reducers: usize) -> usize;
+}
+
+/// Default hash partitioner.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    hasher: MultiplyShift,
+}
+
+impl Default for HashPartitioner {
+    fn default() -> Self {
+        // A family member distinct from those used inside the group-by
+        // operators, so partition and bucket decisions are independent.
+        HashPartitioner {
+            hasher: HashFamily::default().member(7_777_777),
+        }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, key: &[u8], reducers: usize) -> usize {
+        self.hasher.bucket(key, reducers)
+    }
+}
+
+/// How a map task turns its output buffer into shuffle segments — the
+/// choice §V's map module offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapSideMode {
+    /// Hadoop: sort the buffer on `(partition, key)`; segments arrive at
+    /// reducers sorted by key. Applies the combine function to each
+    /// key-streak when the job has one.
+    SortSpill,
+    /// §V map option 1: "the map output is scanned once for partitioning,
+    /// and no effort is spent for grouping." No sort, no combine.
+    HashPartitionOnly,
+    /// §V map option 2: in-memory hash combine per partition ("in most
+    /// cases the map output fits in memory so Hybrid Hash is simply
+    /// in-memory hashing"). Requires a combinable aggregate.
+    HashCombine,
+}
+
+/// How map output reaches the reducers (§IV-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleMode {
+    /// Hadoop: reducers receive a completed map task's output only after
+    /// the task finishes (and its output is persisted).
+    Pull,
+    /// MapReduce Online / the proposed system: mappers push output
+    /// eagerly, in `granularity`-record batches, while still running.
+    Push {
+        /// Records per pipelined batch.
+        granularity: usize,
+    },
+}
+
+/// The reduce-side group-by implementation (Table III's "Group By" row).
+#[derive(Clone)]
+pub enum ReduceBackend {
+    /// Hadoop: buffer sorted segments, spill merged runs, multi-pass merge
+    /// with factor F, blocking final merge. `snapshots` adds MapReduce
+    /// Online behaviour: emit approximate answers when those fractions of
+    /// map tasks have delivered (each snapshot re-reads all data — the
+    /// "significant I/O overhead" of §III-D).
+    SortMerge {
+        /// Multi-pass merge factor F.
+        merge_factor: usize,
+        /// Map-completion fractions at which to emit snapshot answers.
+        snapshots: Vec<f64>,
+    },
+    /// §V technique 1: hybrid hash with the given bucket fanout.
+    HybridHash {
+        /// Bucket fanout per recursion level.
+        fanout: usize,
+    },
+    /// §V technique 2: incremental hash; optional early-emit policy.
+    IncHash {
+        /// Early-emission policy applied after each state update.
+        early: Option<Arc<dyn EarlyEmit>>,
+    },
+    /// §V technique 3: incremental hash + frequent-key residency.
+    FreqHash(FreqHashConfig),
+}
+
+impl std::fmt::Debug for ReduceBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceBackend::SortMerge {
+                merge_factor,
+                snapshots,
+            } => f
+                .debug_struct("SortMerge")
+                .field("merge_factor", merge_factor)
+                .field("snapshots", snapshots)
+                .finish(),
+            ReduceBackend::HybridHash { fanout } => {
+                f.debug_struct("HybridHash").field("fanout", fanout).finish()
+            }
+            ReduceBackend::IncHash { early } => f
+                .debug_struct("IncHash")
+                .field("early", &early.is_some())
+                .finish(),
+            ReduceBackend::FreqHash(c) => f.debug_tuple("FreqHash").field(c).finish(),
+        }
+    }
+}
+
+impl ReduceBackend {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReduceBackend::SortMerge { snapshots, .. } if snapshots.is_empty() => "sort-merge",
+            ReduceBackend::SortMerge { .. } => "sort-merge+snapshots (HOP)",
+            ReduceBackend::HybridHash { .. } => "hybrid-hash",
+            ReduceBackend::IncHash { .. } => "incremental-hash",
+            ReduceBackend::FreqHash(_) => "frequent-hash",
+        }
+    }
+
+    /// Does this backend produce incremental (early) output?
+    pub fn incremental(&self) -> bool {
+        match self {
+            ReduceBackend::SortMerge { .. } | ReduceBackend::HybridHash { .. } => false,
+            ReduceBackend::IncHash { early } => early.is_some(),
+            ReduceBackend::FreqHash(c) => c.early_hot_answers,
+        }
+    }
+}
+
+/// A complete MapReduce job specification.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Job name for reports.
+    pub name: String,
+    /// The map function.
+    pub map_fn: Arc<dyn MapFn>,
+    /// The reduce (and, when combinable, combine) aggregate.
+    pub agg: Arc<dyn Aggregator>,
+    /// Partitioner for intermediate keys.
+    pub partitioner: Arc<dyn Partitioner>,
+    /// Number of reduce tasks.
+    pub reducers: usize,
+    /// Map-side processing mode.
+    pub map_side: MapSideMode,
+    /// Shuffle communication mode.
+    pub shuffle: ShuffleMode,
+    /// Reduce-side group-by backend.
+    pub backend: ReduceBackend,
+    /// Map output buffer bytes per map task (Hadoop `io.sort.mb`).
+    pub map_buffer_bytes: usize,
+    /// Reduce memory budget bytes per reduce task.
+    pub reduce_budget_bytes: usize,
+    /// Apply the combine function map-side when the aggregate allows it.
+    pub combine: bool,
+    /// Sort-merge reducers also flush their in-memory segments to disk
+    /// once this many segments accumulate, regardless of memory headroom
+    /// (Hadoop's `mapred.inmem.merge.threshold`, default 1000). This is
+    /// the §III-B.4 behaviour: "even if there is ample memory ... the
+    /// multi-pass merge still causes I/O".
+    pub inmem_merge_threshold: usize,
+    /// Collect final/early output pairs into the report (disable for
+    /// large-output benchmarks where only statistics matter).
+    pub collect_output: bool,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("reducers", &self.reducers)
+            .field("map_side", &self.map_side)
+            .field("shuffle", &self.shuffle)
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobSpec {
+    /// Start building a job.
+    pub fn builder(name: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder::new(name)
+    }
+
+    /// Validate cross-field constraints.
+    pub fn validate(&self) -> Result<()> {
+        if self.reducers == 0 {
+            return Err(Error::Config("reducers must be ≥ 1".into()));
+        }
+        if self.map_buffer_bytes < 1024 {
+            return Err(Error::Config("map buffer must be ≥ 1 KiB".into()));
+        }
+        if self.map_side == MapSideMode::HashCombine && !(self.combine && self.agg.combinable()) {
+            return Err(Error::Config(
+                "HashCombine map mode requires a combinable aggregate with combine enabled".into(),
+            ));
+        }
+        if let ReduceBackend::SortMerge {
+            merge_factor,
+            snapshots,
+        } = &self.backend
+        {
+            if *merge_factor < 2 {
+                return Err(Error::Config("merge factor must be ≥ 2".into()));
+            }
+            if snapshots.iter().any(|f| !(0.0..1.0).contains(f)) {
+                return Err(Error::Config(
+                    "snapshot fractions must lie in [0, 1)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`JobSpec`] with paper-faithful defaults (Hadoop baseline).
+pub struct JobSpecBuilder {
+    spec: JobSpec,
+}
+
+impl JobSpecBuilder {
+    /// New builder; defaults: Hadoop configuration (sort-spill map side,
+    /// pull shuffle, sort-merge reduce, F=10, combine on, 4 reducers,
+    /// 16 MiB map buffer, 64 MiB reduce budget).
+    pub fn new(name: impl Into<String>) -> Self {
+        JobSpecBuilder {
+            spec: JobSpec {
+                name: name.into(),
+                map_fn: Arc::new(identity_map),
+                agg: Arc::new(onepass_groupby::CountAgg),
+                partitioner: Arc::new(HashPartitioner::default()),
+                reducers: 4,
+                map_side: MapSideMode::SortSpill,
+                shuffle: ShuffleMode::Pull,
+                backend: ReduceBackend::SortMerge {
+                    merge_factor: DEFAULT_MERGE_FACTOR,
+                    snapshots: Vec::new(),
+                },
+                map_buffer_bytes: 16 * MIB as usize,
+                reduce_budget_bytes: 64 * MIB as usize,
+                combine: true,
+                inmem_merge_threshold: 1000,
+                collect_output: true,
+            },
+        }
+    }
+
+    /// Set the map function.
+    pub fn map_fn(mut self, f: Arc<dyn MapFn>) -> Self {
+        self.spec.map_fn = f;
+        self
+    }
+
+    /// Set the reduce/combine aggregate.
+    pub fn aggregate(mut self, a: Arc<dyn Aggregator>) -> Self {
+        self.spec.agg = a;
+        self
+    }
+
+    /// Set the partitioner.
+    pub fn partitioner(mut self, p: Arc<dyn Partitioner>) -> Self {
+        self.spec.partitioner = p;
+        self
+    }
+
+    /// Set the number of reduce tasks.
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.spec.reducers = n;
+        self
+    }
+
+    /// Set the map-side mode.
+    pub fn map_side(mut self, m: MapSideMode) -> Self {
+        self.spec.map_side = m;
+        self
+    }
+
+    /// Set the shuffle mode.
+    pub fn shuffle(mut self, s: ShuffleMode) -> Self {
+        self.spec.shuffle = s;
+        self
+    }
+
+    /// Set the reduce backend.
+    pub fn backend(mut self, b: ReduceBackend) -> Self {
+        self.spec.backend = b;
+        self
+    }
+
+    /// Set the map output buffer size.
+    pub fn map_buffer_bytes(mut self, n: usize) -> Self {
+        self.spec.map_buffer_bytes = n;
+        self
+    }
+
+    /// Set the per-reducer memory budget.
+    pub fn reduce_budget_bytes(mut self, n: usize) -> Self {
+        self.spec.reduce_budget_bytes = n;
+        self
+    }
+
+    /// Enable/disable the map-side combine function.
+    pub fn combine(mut self, on: bool) -> Self {
+        self.spec.combine = on;
+        self
+    }
+
+    /// Set the sort-merge reducers' segment-count flush threshold.
+    pub fn inmem_merge_threshold(mut self, n: usize) -> Self {
+        self.spec.inmem_merge_threshold = n.max(1);
+        self
+    }
+
+    /// Enable/disable collecting output pairs into the report.
+    pub fn collect_output(mut self, on: bool) -> Self {
+        self.spec.collect_output = on;
+        self
+    }
+
+    /// Finish, validating the configuration.
+    pub fn build(self) -> Result<JobSpec> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// Convenience presets matching the systems in Table III.
+impl JobSpecBuilder {
+    /// Stock Hadoop: sort-spill map, pull shuffle, sort-merge reduce.
+    pub fn preset_hadoop(self) -> Self {
+        self.map_side(MapSideMode::SortSpill)
+            .shuffle(ShuffleMode::Pull)
+            .backend(ReduceBackend::SortMerge {
+                merge_factor: DEFAULT_MERGE_FACTOR,
+                snapshots: Vec::new(),
+            })
+    }
+
+    /// MapReduce Online (HOP): sort-spill map, push shuffle, sort-merge
+    /// reduce with periodic snapshots at 25/50/75%.
+    pub fn preset_hop(self) -> Self {
+        self.map_side(MapSideMode::SortSpill)
+            .shuffle(ShuffleMode::Push { granularity: 4096 })
+            .backend(ReduceBackend::SortMerge {
+                merge_factor: DEFAULT_MERGE_FACTOR,
+                snapshots: vec![0.25, 0.50, 0.75],
+            })
+    }
+
+    /// The paper's proposed system: hash map side (combine when the
+    /// aggregate allows), push shuffle, frequent-key incremental hash.
+    pub fn preset_onepass(self) -> Self {
+        let combinable = self.spec.combine && self.spec.agg.combinable();
+        let map_side = if combinable {
+            MapSideMode::HashCombine
+        } else {
+            MapSideMode::HashPartitionOnly
+        };
+        self.map_side(map_side)
+            .shuffle(ShuffleMode::Push { granularity: 4096 })
+            .backend(ReduceBackend::FreqHash(FreqHashConfig::default()))
+    }
+}
+
+/// The identity map function: key = record, value = empty.
+pub fn identity_map(record: &[u8], out: &mut dyn MapEmitter) {
+    out.emit(record, b"");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepass_groupby::{ListAgg, SumAgg};
+
+    #[test]
+    fn builder_defaults_are_hadoop() {
+        let job = JobSpec::builder("t").build().unwrap();
+        assert_eq!(job.map_side, MapSideMode::SortSpill);
+        assert_eq!(job.shuffle, ShuffleMode::Pull);
+        assert!(matches!(job.backend, ReduceBackend::SortMerge { .. }));
+        assert_eq!(job.backend.label(), "sort-merge");
+        assert!(!job.backend.incremental());
+    }
+
+    #[test]
+    fn hash_combine_requires_combinable_aggregate() {
+        let err = JobSpec::builder("t")
+            .aggregate(Arc::new(ListAgg))
+            .map_side(MapSideMode::HashCombine)
+            .build();
+        assert!(err.is_err());
+
+        let ok = JobSpec::builder("t")
+            .aggregate(Arc::new(SumAgg))
+            .map_side(MapSideMode::HashCombine)
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn preset_onepass_downgrades_map_side_for_holistic_aggregates() {
+        let job = JobSpec::builder("sessionize")
+            .aggregate(Arc::new(ListAgg))
+            .preset_onepass()
+            .build()
+            .unwrap();
+        assert_eq!(job.map_side, MapSideMode::HashPartitionOnly);
+        assert!(job.backend.incremental());
+
+        let job = JobSpec::builder("count")
+            .aggregate(Arc::new(SumAgg))
+            .preset_onepass()
+            .build()
+            .unwrap();
+        assert_eq!(job.map_side, MapSideMode::HashCombine);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(JobSpec::builder("t").reducers(0).build().is_err());
+        assert!(JobSpec::builder("t").map_buffer_bytes(10).build().is_err());
+        assert!(JobSpec::builder("t")
+            .backend(ReduceBackend::SortMerge {
+                merge_factor: 1,
+                snapshots: vec![],
+            })
+            .build()
+            .is_err());
+        assert!(JobSpec::builder("t")
+            .backend(ReduceBackend::SortMerge {
+                merge_factor: 10,
+                snapshots: vec![1.5],
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner::default();
+        for i in 0..1000u32 {
+            let k = i.to_le_bytes();
+            let a = p.partition(&k, 7);
+            assert!(a < 7);
+            assert_eq!(a, p.partition(&k, 7));
+        }
+    }
+
+    #[test]
+    fn hop_preset_has_snapshots() {
+        let job = JobSpec::builder("t").preset_hop().build().unwrap();
+        assert_eq!(job.backend.label(), "sort-merge+snapshots (HOP)");
+        assert!(matches!(job.shuffle, ShuffleMode::Push { .. }));
+    }
+}

@@ -1,0 +1,39 @@
+//! # onepass-runtime
+//!
+//! A real, multithreaded MapReduce execution engine with the two execution
+//! paths the paper contrasts:
+//!
+//! * the **Hadoop baseline**: map-side block sort on `(partition, key)`
+//!   with combine-on-spill, synchronous map-output write, pull shuffle,
+//!   reduce-side multi-pass merge with factor `F` (§II-A, Fig. 1);
+//! * the paper's **hash-based one-pass paths**: map-side hash partitioning
+//!   (no sort) or hash combine, push (pipelined) shuffle, and reduce-side
+//!   hybrid hash / incremental hash / frequent-key hash (§V, Fig. 5);
+//!
+//! plus a MapReduce-Online-style variant (pipelined sort-merge with
+//! periodic snapshots) for the §III-D comparison.
+//!
+//! Entry points: build a [`JobSpec`], then run it with
+//! [`Engine::run`](driver::Engine::run), stream unbounded input through
+//! [`stream::StreamSession`], or window it with
+//! [`window::WindowedSession`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chain;
+pub mod driver;
+pub mod job;
+pub mod map_task;
+pub mod reduce_task;
+pub mod report;
+pub mod shuffle;
+pub mod stream;
+pub mod window;
+
+pub use driver::Engine;
+pub use job::{
+    JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode, Partitioner, ReduceBackend,
+    ShuffleMode,
+};
+pub use report::{JobOutput, JobReport, TaskKind, TaskSpan};

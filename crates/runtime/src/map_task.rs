@@ -1,0 +1,429 @@
+//! Map task execution: read a split, apply the map function, and turn the
+//! output buffer into shuffle segments under one of the three map-side
+//! modes (Fig. 1's map task vs Fig. 5's map module).
+
+use std::sync::Arc;
+
+use onepass_core::bytes_kv::KvBuf;
+use onepass_core::error::Result;
+use onepass_core::hashlib::ByteMap;
+use onepass_core::io::SpillStore;
+use onepass_core::metrics::{Phase, Profile};
+
+use crate::job::{JobSpec, MapEmitter, MapSideMode, ShuffleMode};
+use crate::shuffle::{Segment, ShuffleTx};
+
+/// One unit of input: a block of records, the granularity of a map task
+/// (Hadoop's 64 MB HDFS block, §II-A).
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    /// The input records (e.g. click-log lines or documents).
+    pub records: Vec<Vec<u8>>,
+}
+
+impl Split {
+    /// Create a split from records.
+    pub fn new(records: Vec<Vec<u8>>) -> Self {
+        Split { records }
+    }
+
+    /// Total payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+}
+
+/// Per-map-task result statistics.
+#[derive(Debug, Default, Clone)]
+pub struct MapTaskStats {
+    /// Input records processed.
+    pub input_records: u64,
+    /// Input bytes processed.
+    pub input_bytes: u64,
+    /// Intermediate records emitted by the map function.
+    pub output_records: u64,
+    /// Intermediate records actually shuffled (after combine).
+    pub shuffled_records: u64,
+    /// Intermediate bytes actually shuffled (after combine).
+    pub shuffled_bytes: u64,
+    /// Buffer flushes ("spills").
+    pub flushes: u64,
+    /// Phase-attributed CPU time.
+    pub profile: Profile,
+}
+
+/// Emitter collecting map output into a [`KvBuf`], partitioned up front.
+struct BufEmitter<'a> {
+    buf: &'a mut KvBuf,
+    partitioner: &'a dyn crate::job::Partitioner,
+    reducers: usize,
+    emitted: u64,
+}
+
+impl MapEmitter for BufEmitter<'_> {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        let p = self.partitioner.partition(key, self.reducers) as u32;
+        self.buf.push(p, key, value);
+        self.emitted += 1;
+    }
+}
+
+/// Execute one map task over `split`, sending segments through `tx`.
+///
+/// * `SortSpill` — sort the buffer on `(partition, key)` (the Table II
+///   CPU cost), combine key-streaks when enabled, persist the output via
+///   `map_store` (the synchronous map-output write of §III-B.2), then
+///   ship per-partition sorted segments.
+/// * `HashPartitionOnly` — single partition-clustering scan, no sort, no
+///   combine; raw segments.
+/// * `HashCombine` — per-partition in-memory hash combine; combined
+///   segments.
+///
+/// Under push shuffle the buffer is additionally flushed every
+/// `granularity` emitted records, so reducers receive data while the task
+/// is still running.
+pub fn run_map_task(
+    job: &JobSpec,
+    task_id: usize,
+    split: &Split,
+    tx: &ShuffleTx,
+    map_store: Option<&Arc<dyn SpillStore>>,
+) -> Result<MapTaskStats> {
+    let mut stats = MapTaskStats {
+        input_records: split.records.len() as u64,
+        input_bytes: split.bytes(),
+        ..Default::default()
+    };
+    let mut buf = KvBuf::new();
+    let push_granularity = match job.shuffle {
+        ShuffleMode::Push { granularity } => Some(granularity.max(1)),
+        ShuffleMode::Pull => None,
+    };
+    let mut since_flush = 0usize;
+
+    for record in &split.records {
+        let map_start = std::time::Instant::now();
+        let mut emitter = BufEmitter {
+            buf: &mut buf,
+            partitioner: job.partitioner.as_ref(),
+            reducers: job.reducers,
+            emitted: 0,
+        };
+        job.map_fn.map(record, &mut emitter);
+        let emitted = emitter.emitted;
+        stats.output_records += emitted;
+        since_flush += emitted as usize;
+        stats.profile.add_time(Phase::MapFn, map_start.elapsed());
+
+        let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
+        let push_due = push_granularity.is_some_and(|g| since_flush >= g);
+        if buffer_full || push_due {
+            flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats)?;
+            since_flush = 0;
+        }
+    }
+    flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats)?;
+    tx.map_done(task_id);
+    Ok(stats)
+}
+
+/// Turn the buffer into segments according to the map-side mode.
+fn flush_buffer(
+    job: &JobSpec,
+    task_id: usize,
+    buf: &mut KvBuf,
+    tx: &ShuffleTx,
+    map_store: Option<&Arc<dyn SpillStore>>,
+    stats: &mut MapTaskStats,
+) -> Result<()> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    stats.flushes += 1;
+    let combine_on = job.combine && job.agg.combinable();
+
+    let segments: Vec<Segment> = match job.map_side {
+        MapSideMode::SortSpill => {
+            {
+                let _t = stats.profile.timed(Phase::MapSort);
+                buf.sort_by_partition_key();
+            }
+            let ranges = buf.partition_ranges(job.reducers);
+            let combine_start = std::time::Instant::now();
+            let mut segs = Vec::new();
+            for (p, range) in ranges.into_iter().enumerate() {
+                if range.is_empty() {
+                    continue;
+                }
+                let mut records = Vec::new();
+                if combine_on {
+                    // Collapse each key streak into one partial state.
+                    let mut i = range.start;
+                    while i < range.end {
+                        let start = i;
+                        let mut state = job.agg.init(buf.key(i), buf.value(i));
+                        i += 1;
+                        while i < range.end && buf.key(i) == buf.key(start) {
+                            job.agg.update(buf.key(start), &mut state, buf.value(i));
+                            i += 1;
+                        }
+                        records.push((buf.key(start).to_vec(), state));
+                    }
+                } else {
+                    for i in range {
+                        records.push((buf.key(i).to_vec(), buf.value(i).to_vec()));
+                    }
+                }
+                segs.push(Segment {
+                    map_task: task_id,
+                    partition: p,
+                    sorted: true,
+                    combined: combine_on,
+                    records,
+                });
+            }
+            if combine_on {
+                stats
+                    .profile
+                    .add_time(Phase::Combine, combine_start.elapsed());
+            }
+            segs
+        }
+        MapSideMode::HashPartitionOnly => {
+            // "The map output is scanned once for partitioning, and no
+            // effort is spent for grouping" (§V): a single scatter pass
+            // straight into per-partition segments — no sort, no
+            // intermediate permutation. The scatter is the same record
+            // copying the sort path performs after sorting, so it is not
+            // attributed to a grouping phase: this mode's grouping CPU is
+            // genuinely ~zero.
+            let mut parts: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+                (0..job.reducers).map(|_| Vec::new()).collect();
+            for (p, key, value) in buf.iter() {
+                parts[p as usize].push((key.to_vec(), value.to_vec()));
+            }
+            parts
+                .into_iter()
+                .enumerate()
+                .filter(|(_, r)| !r.is_empty())
+                .map(|(p, records)| Segment {
+                    map_task: task_id,
+                    partition: p,
+                    sorted: false,
+                    combined: false,
+                    records,
+                })
+                .collect()
+        }
+        MapSideMode::HashCombine => {
+            let _t = stats.profile.timed(Phase::MapHash);
+            let mut tables: Vec<ByteMap<Vec<u8>>> =
+                (0..job.reducers).map(|_| ByteMap::default()).collect();
+            for (p, key, value) in buf.iter() {
+                let table = &mut tables[p as usize];
+                match table.get_mut(key) {
+                    Some(state) => job.agg.update(key, state, value),
+                    None => {
+                        table.insert(key.to_vec(), job.agg.init(key, value));
+                    }
+                }
+            }
+            tables
+                .into_iter()
+                .enumerate()
+                .filter(|(_, t)| !t.is_empty())
+                .map(|(p, table)| Segment {
+                    map_task: task_id,
+                    partition: p,
+                    sorted: false,
+                    combined: true,
+                    records: table.into_iter().collect(),
+                })
+                .collect()
+        }
+    };
+    buf.clear();
+
+    // Persist map output for fault tolerance — "a mapper completes after
+    // its output has been persisted" (§II-A). The write is synchronous and
+    // attributed to MapWrite; data is dropped immediately after (reducers
+    // get it via the channel, as Hadoop reducers usually get it from the
+    // mapper's memory, §II-A).
+    if let Some(store) = map_store {
+        let write_start = std::time::Instant::now();
+        let mut w = store.begin_run()?;
+        for seg in &segments {
+            for (k, v) in &seg.records {
+                w.write_record(k, v)?;
+            }
+        }
+        let meta = w.finish()?;
+        store.delete_run(meta.id)?;
+        stats.profile.add_time(Phase::MapWrite, write_start.elapsed());
+    }
+
+    for seg in segments {
+        stats.shuffled_records += seg.len() as u64;
+        stats.shuffled_bytes += seg.payload_bytes();
+        tx.send_segment(seg);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, MapEmitter};
+    use crate::shuffle::{shuffle_fabric, ShuffleMsg};
+    use onepass_groupby::SumAgg;
+
+    fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+        for w in record.split(|&b| b == b' ') {
+            if !w.is_empty() {
+                out.emit(w, &1u64.to_le_bytes());
+            }
+        }
+    }
+
+    fn drain_segments(
+        rxs: Vec<crossbeam::channel::Receiver<ShuffleMsg>>,
+    ) -> (Vec<Segment>, usize) {
+        let mut segs = Vec::new();
+        let mut dones = 0;
+        for rx in rxs {
+            while let Ok(msg) = rx.try_recv() {
+                match msg {
+                    ShuffleMsg::Segment(s) => segs.push(s),
+                    ShuffleMsg::MapDone { .. } => dones += 1,
+                }
+            }
+        }
+        (segs, dones)
+    }
+
+    fn run_with(job: JobSpec) -> (Vec<Segment>, MapTaskStats) {
+        let (tx, rxs) = shuffle_fabric(job.reducers, 1024);
+        let split = Split::new(vec![
+            b"a b a".to_vec(),
+            b"b c".to_vec(),
+            b"a".to_vec(),
+        ]);
+        let stats = run_map_task(&job, 0, &split, &tx, None).unwrap();
+        let (segs, dones) = drain_segments(rxs);
+        assert_eq!(dones, job.reducers, "MapDone must reach every reducer");
+        (segs, stats)
+    }
+
+    #[test]
+    fn sort_spill_produces_sorted_combined_segments() {
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .build()
+            .unwrap();
+        let (segs, stats) = run_with(job);
+        assert_eq!(stats.input_records, 3);
+        assert_eq!(stats.output_records, 6); // a,b,a,b,c,a
+        // Combine collapsed duplicates: only distinct words shuffle.
+        assert_eq!(stats.shuffled_records, 3);
+        for seg in &segs {
+            assert!(seg.sorted && seg.combined);
+            let mut keys: Vec<_> = seg.records.iter().map(|(k, _)| k.clone()).collect();
+            let orig = keys.clone();
+            keys.sort();
+            assert_eq!(keys, orig, "segment must be key-sorted");
+        }
+        // Sum of all states equals total emissions.
+        let total: u64 = segs
+            .iter()
+            .flat_map(|s| &s.records)
+            .map(|(_, v)| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+            .sum();
+        assert_eq!(total, 6);
+        assert!(stats.profile.time(Phase::MapSort) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn hash_partition_only_neither_sorts_nor_combines() {
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .map_side(MapSideMode::HashPartitionOnly)
+            .build()
+            .unwrap();
+        let (segs, stats) = run_with(job);
+        assert_eq!(stats.shuffled_records, 6, "no combine: all records shuffle");
+        for seg in &segs {
+            assert!(!seg.sorted && !seg.combined);
+        }
+        assert_eq!(
+            stats.profile.time(Phase::MapSort),
+            std::time::Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn hash_combine_collapses_without_sorting() {
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .map_side(MapSideMode::HashCombine)
+            .build()
+            .unwrap();
+        let (segs, stats) = run_with(job);
+        assert_eq!(stats.shuffled_records, 3);
+        for seg in &segs {
+            assert!(!seg.sorted && seg.combined);
+        }
+        assert_eq!(
+            stats.profile.time(Phase::MapSort),
+            std::time::Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn push_mode_flushes_mid_task() {
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .shuffle(ShuffleMode::Push { granularity: 2 })
+            .combine(false)
+            .build()
+            .unwrap();
+        let (segs, stats) = run_with(job);
+        assert!(stats.flushes >= 2, "push granularity must force early flushes");
+        assert!(segs.len() >= 2);
+    }
+
+    #[test]
+    fn map_write_is_accounted_when_store_present() {
+        let store: Arc<dyn SpillStore> =
+            Arc::new(onepass_core::io::SharedMemStore::new());
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .build()
+            .unwrap();
+        let (tx, _rxs) = shuffle_fabric(1, 64);
+        let split = Split::new(vec![b"x y z".to_vec()]);
+        let stats = run_map_task(&job, 0, &split, &tx, Some(&store)).unwrap();
+        assert!(store.stats().bytes_written > 0, "map output must be persisted");
+        assert!(stats.profile.time(Phase::MapWrite) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_split_still_reports_done() {
+        let job = JobSpec::builder("t").reducers(2).build().unwrap();
+        let (tx, rxs) = shuffle_fabric(2, 8);
+        let stats = run_map_task(&job, 3, &Split::default(), &tx, None).unwrap();
+        assert_eq!(stats.output_records, 0);
+        let (segs, dones) = drain_segments(rxs);
+        assert!(segs.is_empty());
+        assert_eq!(dones, 2);
+    }
+}

@@ -1,0 +1,675 @@
+//! Reduce task execution: receive shuffle segments, drive the configured
+//! group-by backend, emit output.
+//!
+//! The sort-merge backend here is the runtime-level reproduction of
+//! Hadoop's reducer (Fig. 1 right half): it buffers *pre-sorted* map
+//! segments, merges-and-spills them when its memory budget fills, lets
+//! [`MultiPassMerger`] run progressive background merges, and performs the
+//! blocking final merge at the end. It also implements MapReduce Online's
+//! snapshot mechanism (§III-D): at configured map-completion fractions it
+//! re-reads everything received so far and emits approximate answers —
+//! "this is done by repeating the merge operation for each snapshot",
+//! with the corresponding I/O charge.
+//!
+//! Hash backends delegate to the `onepass-groupby` operators.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::hashlib::ByteMap;
+use onepass_core::io::{IoStats, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_core::metrics::{Phase, Profile};
+use onepass_groupby::aggregate::StateInput;
+use onepass_groupby::{
+    Aggregator, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper,
+    MultiPassMerger, OpStats, Sink, SortMergeGrouper,
+};
+
+use crate::job::{JobSpec, ReduceBackend};
+use crate::shuffle::ShuffleMsg;
+
+/// Result of one reduce task.
+#[derive(Debug, Clone)]
+pub struct ReduceResult {
+    /// The partition this task served.
+    pub partition: usize,
+    /// Operator statistics (records, groups, spill I/O, CPU profile).
+    pub stats: OpStats,
+    /// Snapshots emitted (sort-merge + snapshots backend only).
+    pub snapshots_taken: u64,
+}
+
+/// The aggregate the backend should run: raw job aggregate when segments
+/// carry raw values; a [`StateInput`] wrapper when map-side combine ran.
+fn effective_agg(job: &JobSpec, combined: bool) -> Arc<dyn Aggregator> {
+    if combined {
+        Arc::new(StateInput(Arc::clone(&job.agg)))
+    } else {
+        Arc::clone(&job.agg)
+    }
+}
+
+/// Run one reduce task until all `total_map_tasks` map tasks have
+/// reported done, then finish the backend into `sink`.
+pub fn run_reduce_task(
+    job: &JobSpec,
+    partition: usize,
+    rx: &Receiver<ShuffleMsg>,
+    total_map_tasks: usize,
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    sink: &mut dyn Sink,
+) -> Result<ReduceResult> {
+    match &job.backend {
+        ReduceBackend::SortMerge {
+            merge_factor,
+            snapshots,
+        } => run_sortmerge_reduce(
+            job,
+            partition,
+            rx,
+            total_map_tasks,
+            store,
+            budget,
+            sink,
+            *merge_factor,
+            snapshots,
+        ),
+        _ => run_hash_reduce(job, partition, rx, total_map_tasks, store, budget, sink),
+    }
+}
+
+/// Shared message loop for the hash backends: push record-by-record.
+#[allow(clippy::too_many_arguments)]
+fn run_hash_reduce(
+    job: &JobSpec,
+    partition: usize,
+    rx: &Receiver<ShuffleMsg>,
+    total_map_tasks: usize,
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    sink: &mut dyn Sink,
+) -> Result<ReduceResult> {
+    let mut grouper: Option<Box<dyn GroupBy>> = None;
+    let mut shuffle_wait = std::time::Duration::ZERO;
+    let mut maps_done = 0usize;
+
+    while maps_done < total_map_tasks {
+        let wait_start = Instant::now();
+        let msg = rx
+            .recv()
+            .map_err(|_| Error::InvalidState("shuffle channel closed early".into()))?;
+        shuffle_wait += wait_start.elapsed();
+        match msg {
+            ShuffleMsg::MapDone { .. } => maps_done += 1,
+            ShuffleMsg::Segment(seg) => {
+                let g = match &mut grouper {
+                    Some(g) => g,
+                    None => {
+                        // Lazily build the backend now that the first
+                        // segment tells us whether input is combined.
+                        let agg = effective_agg(job, seg.combined);
+                        let g: Box<dyn GroupBy> = match &job.backend {
+                            ReduceBackend::HybridHash { fanout } => Box::new(
+                                HybridHashGrouper::new(
+                                    Arc::clone(&store),
+                                    budget.clone(),
+                                    *fanout,
+                                    agg,
+                                )?,
+                            ),
+                            ReduceBackend::IncHash { early } => {
+                                Box::new(IncHashGrouper::with_early(
+                                    Arc::clone(&store),
+                                    budget.clone(),
+                                    agg,
+                                    early.clone(),
+                                ))
+                            }
+                            ReduceBackend::FreqHash(cfg) => Box::new(FreqHashGrouper::with_config(
+                                Arc::clone(&store),
+                                budget.clone(),
+                                agg,
+                                cfg.clone(),
+                            )),
+                            ReduceBackend::SortMerge { .. } => {
+                                unreachable!("sort-merge handled separately")
+                            }
+                        };
+                        grouper.insert(g)
+                    }
+                };
+                for (k, v) in &seg.records {
+                    g.push(k, v, sink)?;
+                }
+            }
+        }
+    }
+
+    let mut stats = match grouper {
+        Some(mut g) => g.finish(sink)?,
+        None => OpStats::default(), // received no data at all
+    };
+    stats.profile.add_time(Phase::Shuffle, shuffle_wait);
+    Ok(ReduceResult {
+        partition,
+        stats,
+        snapshots_taken: 0,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge reduce (Hadoop / HOP)
+// ---------------------------------------------------------------------------
+
+/// A sorted in-memory segment awaiting merge.
+struct SortedSeg {
+    records: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sortmerge_reduce(
+    job: &JobSpec,
+    partition: usize,
+    rx: &Receiver<ShuffleMsg>,
+    total_map_tasks: usize,
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    sink: &mut dyn Sink,
+    merge_factor: usize,
+    snapshots: &[f64],
+) -> Result<ReduceResult> {
+    let io_base = store.stats();
+    let mut merger = MultiPassMerger::new(Arc::clone(&store), merge_factor)?;
+    let mut buffered: Vec<SortedSeg> = Vec::new();
+    let mut reserved = 0usize;
+    let mut peak_reserved = 0usize;
+    let mut profile = Profile::new();
+    let mut shuffle_wait = std::time::Duration::ZERO;
+    let mut records_in = 0u64;
+    let mut spills = 0u64;
+    let mut maps_done = 0usize;
+    let mut agg: Option<Arc<dyn Aggregator>> = None;
+    let mut snapshot_plan: Vec<usize> = snapshots
+        .iter()
+        .map(|f| ((f * total_map_tasks as f64).ceil() as usize).max(1))
+        .collect();
+    snapshot_plan.sort_unstable();
+    snapshot_plan.dedup();
+    let mut snapshots_taken = 0u64;
+
+    while maps_done < total_map_tasks {
+        let wait_start = Instant::now();
+        let msg = rx
+            .recv()
+            .map_err(|_| Error::InvalidState("shuffle channel closed early".into()))?;
+        shuffle_wait += wait_start.elapsed();
+        match msg {
+            ShuffleMsg::Segment(mut seg) => {
+                let a = agg
+                    .get_or_insert_with(|| effective_agg(job, seg.combined))
+                    .clone();
+                if !seg.sorted {
+                    // HOP "moves some of the sorting work to reducers"
+                    // (§III-D); charge it to the reduce side.
+                    let t = Instant::now();
+                    seg.records.sort_unstable_by(|x, y| x.0.cmp(&y.0));
+                    profile.add_time(Phase::ReduceGroup, t.elapsed());
+                }
+                records_in += seg.len() as u64;
+                let bytes: usize = seg
+                    .records
+                    .iter()
+                    .map(|(k, v)| k.len() + v.len() + 16)
+                    .sum();
+                let count_trigger = buffered.len() + 1 >= job.inmem_merge_threshold;
+                if count_trigger || !budget.try_grant(bytes) {
+                    spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile)?;
+                    spills += 1;
+                    budget.release(reserved);
+                    reserved = 0;
+                    if !budget.try_grant(bytes) {
+                        // A single segment larger than the whole budget: a
+                        // reducer must be able to hold at least one
+                        // segment, so take it (soft limit) and flush it to
+                        // disk right below.
+                        budget.force_grant(bytes);
+                    }
+                }
+                reserved += bytes;
+                peak_reserved = peak_reserved.max(reserved);
+                buffered.push(SortedSeg {
+                    records: seg.records,
+                });
+                if budget.over_limit() {
+                    spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile)?;
+                    spills += 1;
+                    budget.release(reserved);
+                    reserved = 0;
+                }
+            }
+            ShuffleMsg::MapDone { .. } => {
+                maps_done += 1;
+                if maps_done < total_map_tasks {
+                    while snapshot_plan.first().is_some_and(|&t| maps_done >= t) {
+                        snapshot_plan.remove(0);
+                        if let Some(a) = &agg {
+                            take_snapshot(&buffered, &merger, &store, a, sink, &mut profile)?;
+                            snapshots_taken += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Final phase.
+    let a = agg.unwrap_or_else(|| effective_agg(job, false));
+    let mut groups_out = 0u64;
+    if merger.runs().is_empty() && merger.merge_passes() == 0 {
+        // All data still in memory: merge and reduce directly.
+        let t = Instant::now();
+        let mut cursor = VecMergeCursor::new(&buffered);
+        let mut current: Option<(Vec<u8>, Vec<u8>)> = None;
+        while let Some((k, v)) = cursor.next_pair() {
+            match &mut current {
+                Some((ck, state)) if *ck == k => a.update(&k, state, v),
+                _ => {
+                    if let Some((ck, state)) = current.take() {
+                        let out = a.finish(&ck, state);
+                        sink.emit(&ck, &out, EmitKind::Final);
+                        groups_out += 1;
+                    }
+                    current = Some((k.clone(), a.init(&k, v)));
+                }
+            }
+        }
+        if let Some((ck, state)) = current.take() {
+            let out = a.finish(&ck, state);
+            sink.emit(&ck, &out, EmitKind::Final);
+            groups_out += 1;
+        }
+        profile.add_time(Phase::ReduceFn, t.elapsed());
+    } else {
+        // Hadoop behaviour: the in-memory tail is spilled too, then the
+        // final (multi-pass if needed) merge feeds the reduce function.
+        if !buffered.is_empty() {
+            spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile)?;
+            spills += 1;
+        }
+        let mut grouped = merger.into_grouped()?;
+        let t = Instant::now();
+        while let Some((key, states)) = grouped.next_group()? {
+            let mut iter = states.into_iter();
+            let mut state = iter.next().expect("non-empty group");
+            for other in iter {
+                a.merge(&key, &mut state, &other);
+            }
+            let out = a.finish(&key, state);
+            sink.emit(&key, &out, EmitKind::Final);
+            groups_out += 1;
+        }
+        profile.add_time(Phase::ReduceFn, t.elapsed());
+        profile.merge(grouped.profile());
+        grouped.cleanup()?;
+    }
+    budget.release(reserved);
+    profile.add_time(Phase::Shuffle, shuffle_wait);
+
+    let io_now = store.stats();
+    Ok(ReduceResult {
+        partition,
+        stats: OpStats {
+            records_in,
+            groups_out,
+            early_emits: 0, // snapshots are counted separately
+            io: IoStats {
+                bytes_written: io_now.bytes_written - io_base.bytes_written,
+                bytes_read: io_now.bytes_read - io_base.bytes_read,
+                runs_created: io_now.runs_created - io_base.runs_created,
+                runs_deleted: io_now.runs_deleted - io_base.runs_deleted,
+            },
+            profile,
+            peak_mem: peak_reserved,
+            spills,
+            passes: 0,
+        },
+        snapshots_taken,
+    })
+}
+
+/// Streaming k-way merge over sorted in-memory segments.
+struct VecMergeCursor<'a> {
+    segs: &'a [SortedSeg],
+    heap: BinaryHeap<Reverse<(&'a [u8], usize, usize)>>, // (key, seg, idx)
+}
+
+impl<'a> VecMergeCursor<'a> {
+    fn new(segs: &'a [SortedSeg]) -> Self {
+        let mut heap = BinaryHeap::new();
+        for (s, seg) in segs.iter().enumerate() {
+            if !seg.records.is_empty() {
+                heap.push(Reverse((seg.records[0].0.as_slice(), s, 0)));
+            }
+        }
+        VecMergeCursor { segs, heap }
+    }
+
+    fn next_pair(&mut self) -> Option<(Vec<u8>, &'a [u8])> {
+        let Reverse((key, s, i)) = self.heap.pop()?;
+        if i + 1 < self.segs[s].records.len() {
+            self.heap
+                .push(Reverse((self.segs[s].records[i + 1].0.as_slice(), s, i + 1)));
+        }
+        Some((key.to_vec(), self.segs[s].records[i].1.as_slice()))
+    }
+}
+
+/// Merge all buffered sorted segments into one on-disk run, collapsing
+/// key-streaks through the aggregate (Hadoop applies combine on reducer
+/// buffer fill — and writes the data out regardless, §III-B.4).
+fn spill_buffered(
+    buffered: &mut Vec<SortedSeg>,
+    merger: &mut MultiPassMerger,
+    store: &Arc<dyn SpillStore>,
+    agg: &Arc<dyn Aggregator>,
+    profile: &mut Profile,
+) -> Result<()> {
+    if buffered.is_empty() {
+        return Ok(());
+    }
+    let t = Instant::now();
+    let mut writer = store.begin_run()?;
+    let mut cursor = VecMergeCursor::new(buffered);
+    let mut current: Option<(Vec<u8>, Vec<u8>)> = None;
+    while let Some((k, v)) = cursor.next_pair() {
+        match &mut current {
+            Some((ck, state)) if *ck == k => agg.update(&k, state, v),
+            _ => {
+                if let Some((ck, state)) = current.take() {
+                    writer.write_record(&ck, &state)?;
+                }
+                current = Some((k.clone(), agg.init(&k, v)));
+            }
+        }
+    }
+    if let Some((ck, state)) = current.take() {
+        writer.write_record(&ck, &state)?;
+    }
+    let meta = writer.finish()?;
+    profile.add_time(Phase::Merge, t.elapsed());
+    buffered.clear();
+    merger.add_run(meta)
+}
+
+/// MapReduce Online snapshot: non-destructively re-read everything
+/// received so far (on-disk runs + in-memory segments), aggregate, and
+/// emit approximate answers. The re-read is the snapshot's I/O cost.
+fn take_snapshot(
+    buffered: &[SortedSeg],
+    merger: &MultiPassMerger,
+    store: &Arc<dyn SpillStore>,
+    agg: &Arc<dyn Aggregator>,
+    sink: &mut dyn Sink,
+    profile: &mut Profile,
+) -> Result<()> {
+    let t = Instant::now();
+    let mut states: ByteMap<Vec<u8>> = ByteMap::default();
+    for run in merger.runs() {
+        let mut reader = store.open_run(run.id)?;
+        while let Some(rec) = reader.next_record()? {
+            // Run records are already aggregate states.
+            match states.get_mut(rec.key) {
+                Some(s) => agg.merge(rec.key, s, rec.value),
+                None => {
+                    states.insert(rec.key.to_vec(), rec.value.to_vec());
+                }
+            }
+        }
+    }
+    for seg in buffered {
+        for (k, v) in &seg.records {
+            match states.get_mut(k.as_slice()) {
+                Some(s) => agg.update(k, s, v),
+                None => {
+                    states.insert(k.clone(), agg.init(k, v));
+                }
+            }
+        }
+    }
+    for (k, state) in states {
+        let out = agg.finish(&k, state);
+        sink.emit(&k, &out, EmitKind::Early);
+    }
+    profile.add_time(Phase::Merge, t.elapsed());
+    Ok(())
+}
+
+/// In-memory sort-merge reduce used by tests and by the capability matrix;
+/// delegates to [`SortMergeGrouper`]. Exposed mainly so downstream crates
+/// can run a standalone sort-merge reduce outside a full job.
+pub fn standalone_sortmerge(
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    merge_factor: usize,
+    agg: Arc<dyn Aggregator>,
+) -> Result<SortMergeGrouper> {
+    SortMergeGrouper::new(store, budget, merge_factor, agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, ShuffleMode};
+    use crate::shuffle::{shuffle_fabric, Segment};
+    use onepass_core::io::SharedMemStore;
+    use onepass_groupby::{SumAgg, VecSink};
+
+    fn sorted_seg(map_task: usize, pairs: &[(&str, u64)]) -> Segment {
+        let mut records: Vec<(Vec<u8>, Vec<u8>)> = pairs
+            .iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.to_le_bytes().to_vec()))
+            .collect();
+        records.sort();
+        Segment {
+            map_task,
+            partition: 0,
+            sorted: true,
+            combined: false,
+            records,
+        }
+    }
+
+    fn job_sortmerge(snapshots: Vec<f64>) -> JobSpec {
+        JobSpec::builder("t")
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .backend(ReduceBackend::SortMerge {
+                merge_factor: 3,
+                snapshots,
+            })
+            .shuffle(ShuffleMode::Pull)
+            .build()
+            .unwrap()
+    }
+
+    fn dec(v: &[u8]) -> u64 {
+        u64::from_le_bytes(v.try_into().unwrap())
+    }
+
+    #[test]
+    fn sortmerge_reduce_in_memory() {
+        let job = job_sortmerge(vec![]);
+        let (tx, rxs) = shuffle_fabric(1, 64);
+        tx.send_segment(sorted_seg(0, &[("a", 1), ("b", 2)]));
+        tx.send_segment(sorted_seg(1, &[("a", 10), ("c", 3)]));
+        tx.map_done(0);
+        tx.map_done(1);
+        let mut sink = VecSink::default();
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        let res = run_reduce_task(
+            &job,
+            0,
+            &rxs[0],
+            2,
+            store,
+            MemoryBudget::unlimited(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(res.stats.groups_out, 3);
+        assert_eq!(res.stats.io.bytes_written, 0);
+        let a = sink
+            .emitted
+            .iter()
+            .find(|(k, _, _)| k == b"a")
+            .map(|(_, v, _)| dec(v))
+            .unwrap();
+        assert_eq!(a, 11);
+    }
+
+    #[test]
+    fn sortmerge_reduce_spills_and_merges() {
+        let job = job_sortmerge(vec![]);
+        let (tx, rxs) = shuffle_fabric(1, 1024);
+        let n_maps = 12;
+        for m in 0..n_maps {
+            let pairs: Vec<(String, u64)> = (0..20)
+                .map(|i| (format!("key{:03}", (m * 7 + i) % 40), 1u64))
+                .collect();
+            let borrowed: Vec<(&str, u64)> =
+                pairs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            tx.send_segment(sorted_seg(m, &borrowed));
+            tx.map_done(m);
+        }
+        let mut sink = VecSink::default();
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        let res = run_reduce_task(
+            &job,
+            0,
+            &rxs[0],
+            n_maps,
+            store,
+            MemoryBudget::new(700),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(res.stats.groups_out, 40);
+        assert!(res.stats.spills >= 2);
+        assert!(res.stats.io.bytes_written > 0);
+        let total: u64 = sink
+            .emitted
+            .iter()
+            .filter(|(_, _, k)| *k == EmitKind::Final)
+            .map(|(_, v, _)| dec(v))
+            .sum();
+        assert_eq!(total, (n_maps * 20) as u64);
+    }
+
+    #[test]
+    fn snapshots_emit_early_answers_and_cost_io() {
+        let job = job_sortmerge(vec![0.5]);
+        let (tx, rxs) = shuffle_fabric(1, 1024);
+        let n_maps = 4;
+        for m in 0..n_maps {
+            tx.send_segment(sorted_seg(m, &[("x", 1), ("y", 1)]));
+            tx.map_done(m);
+        }
+        let mut sink = VecSink::default();
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        let res = run_reduce_task(
+            &job,
+            0,
+            &rxs[0],
+            n_maps,
+            store,
+            MemoryBudget::unlimited(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(res.snapshots_taken, 1);
+        let early: Vec<_> = sink
+            .emitted
+            .iter()
+            .filter(|(_, _, k)| *k == EmitKind::Early)
+            .collect();
+        assert_eq!(early.len(), 2, "snapshot covers both keys");
+        // Snapshot values are partial (2 of 4 maps seen).
+        let x_early = early.iter().find(|(k, _, _)| k == b"x").unwrap();
+        assert_eq!(dec(&x_early.1), 2);
+        // Finals are exact.
+        let x_final = sink
+            .emitted
+            .iter()
+            .find(|(k, _, kind)| k == b"x" && *kind == EmitKind::Final)
+            .unwrap();
+        assert_eq!(dec(&x_final.1), 4);
+    }
+
+    #[test]
+    fn hash_backend_reduces_combined_segments() {
+        let job = JobSpec::builder("t")
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .backend(ReduceBackend::IncHash { early: None })
+            .build()
+            .unwrap();
+        let (tx, rxs) = shuffle_fabric(1, 64);
+        // Combined segments: values are partial sums (states).
+        let mut seg = sorted_seg(0, &[("a", 5), ("b", 7)]);
+        seg.combined = true;
+        tx.send_segment(seg);
+        let mut seg = sorted_seg(1, &[("a", 3)]);
+        seg.combined = true;
+        tx.send_segment(seg);
+        tx.map_done(0);
+        tx.map_done(1);
+        let mut sink = VecSink::default();
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        let res = run_reduce_task(
+            &job,
+            0,
+            &rxs[0],
+            2,
+            store,
+            MemoryBudget::unlimited(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(res.stats.groups_out, 2);
+        let a = sink
+            .emitted
+            .iter()
+            .find(|(k, _, _)| k == b"a")
+            .map(|(_, v, _)| dec(v))
+            .unwrap();
+        assert_eq!(a, 8, "partial states must merge, not re-count");
+    }
+
+    #[test]
+    fn reducer_with_no_segments_finishes_cleanly() {
+        let job = job_sortmerge(vec![]);
+        let (tx, rxs) = shuffle_fabric(1, 8);
+        tx.map_done(0);
+        let mut sink = VecSink::default();
+        let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+        let res = run_reduce_task(
+            &job,
+            0,
+            &rxs[0],
+            1,
+            store,
+            MemoryBudget::unlimited(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(res.stats.groups_out, 0);
+        assert!(sink.emitted.is_empty());
+    }
+}

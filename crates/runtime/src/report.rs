@@ -1,0 +1,193 @@
+//! Job execution reports: everything the paper's profiling harness
+//! measured, per job.
+
+use std::time::Duration;
+
+use onepass_core::io::IoStats;
+use onepass_core::metrics::{Phase, Profile};
+use onepass_groupby::{EmitKind, OpStats};
+
+use crate::map_task::MapTaskStats;
+use crate::reduce_task::ReduceResult;
+
+/// What kind of task a [`TaskSpan`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+/// One task's lifetime relative to job start — the raw material of the
+/// paper's task-timeline plots (Fig. 2a / Fig. 3).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSpan {
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Task id (map task id or reducer partition).
+    pub id: usize,
+    /// Start offset from job start.
+    pub start: Duration,
+    /// End offset from job start.
+    pub end: Duration,
+}
+
+/// One output emission.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Output key.
+    pub key: Vec<u8>,
+    /// Output value.
+    pub value: Vec<u8>,
+    /// Early (incremental/snapshot) vs final.
+    pub kind: EmitKind,
+    /// When it was emitted, relative to job start.
+    pub at: Duration,
+}
+
+/// The full result of one engine run.
+#[derive(Debug, Default)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Backend label used on the reduce side.
+    pub backend: String,
+    /// Wall-clock duration of the whole job.
+    pub wall: Duration,
+    /// Merged per-phase CPU profile of all map tasks.
+    pub map_profile: Profile,
+    /// Merged per-phase CPU profile of all reduce tasks.
+    pub reduce_profile: Profile,
+    /// Number of map tasks executed.
+    pub map_tasks: usize,
+    /// Number of reduce tasks executed.
+    pub reduce_tasks: usize,
+    /// Input records consumed.
+    pub input_records: u64,
+    /// Input bytes consumed.
+    pub input_bytes: u64,
+    /// Map-function output records (before combine).
+    pub map_output_records: u64,
+    /// Records actually shuffled (after combine).
+    pub shuffled_records: u64,
+    /// Bytes actually shuffled (after combine).
+    pub shuffled_bytes: u64,
+    /// Map-side persistence I/O (the synchronous map-output write).
+    pub map_write_io: IoStats,
+    /// Reduce-side spill I/O (multi-pass merge / hash bucket spill).
+    pub reduce_spill_io: IoStats,
+    /// Groups emitted as final answers.
+    pub groups_out: u64,
+    /// Early emissions (incremental answers, hot-key answers, snapshots).
+    pub early_emits: u64,
+    /// HOP snapshots taken.
+    pub snapshots: u64,
+    /// Time of the first early emission (None if none happened).
+    pub first_early_at: Option<Duration>,
+    /// Time of the first final emission.
+    pub first_final_at: Option<Duration>,
+    /// Collected output (when the job asked for it).
+    pub outputs: Vec<JobOutput>,
+    /// Task lifetimes for timeline rendering.
+    pub spans: Vec<TaskSpan>,
+}
+
+impl JobReport {
+    /// Total CPU seconds across map+reduce phases (the §V "CPU cycles"
+    /// comparison metric).
+    pub fn total_cpu(&self) -> Duration {
+        self.map_profile.total_time() + self.reduce_profile.total_time()
+    }
+
+    /// CPU seconds excluding shuffle-wait (which is idle, not CPU).
+    pub fn total_compute_cpu(&self) -> Duration {
+        self.total_cpu()
+            .saturating_sub(self.map_profile.time(Phase::Shuffle))
+            .saturating_sub(self.reduce_profile.time(Phase::Shuffle))
+    }
+
+    /// Reduce-side spill traffic in bytes (written + read) — the §V
+    /// three-orders-of-magnitude metric.
+    pub fn reduce_spill_traffic(&self) -> u64 {
+        self.reduce_spill_io.bytes_written + self.reduce_spill_io.bytes_read
+    }
+
+    /// Intermediate-data-to-input ratio (Table I row
+    /// "Intermediate/input").
+    pub fn intermediate_ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            self.shuffled_bytes as f64 / self.input_bytes as f64
+        }
+    }
+
+    /// Fold one map task's stats into the report.
+    pub(crate) fn absorb_map(&mut self, s: &MapTaskStats) {
+        self.map_tasks += 1;
+        self.input_records += s.input_records;
+        self.input_bytes += s.input_bytes;
+        self.map_output_records += s.output_records;
+        self.shuffled_records += s.shuffled_records;
+        self.shuffled_bytes += s.shuffled_bytes;
+        self.map_profile.merge(&s.profile);
+    }
+
+    /// Fold one reduce task's result into the report.
+    pub(crate) fn absorb_reduce(&mut self, r: &ReduceResult) {
+        self.reduce_tasks += 1;
+        self.reduce_profile.merge(&r.stats.profile);
+        self.groups_out += r.stats.groups_out;
+        // early_emits is set by the driver from its sinks (covers backend
+        // early output and HOP snapshots uniformly); not accumulated here.
+        self.snapshots += r.snapshots_taken;
+        add_io(&mut self.reduce_spill_io, &r.stats.io);
+    }
+
+    /// Summarize reduce OpStats (used by tests to cross-check invariants).
+    pub fn reduce_stats_invariants_hold(&self, reduce_stats: &[OpStats]) -> bool {
+        let spill: u64 = reduce_stats.iter().map(|s| s.io.bytes_written).sum();
+        spill == self.reduce_spill_io.bytes_written
+    }
+}
+
+pub(crate) fn add_io(acc: &mut IoStats, other: &IoStats) {
+    acc.bytes_written += other.bytes_written;
+    acc.bytes_read += other.bytes_read;
+    acc.runs_created += other.runs_created;
+    acc.runs_deleted += other.runs_deleted;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let mut r = JobReport {
+            input_bytes: 100,
+            shuffled_bytes: 250,
+            ..Default::default()
+        };
+        assert!((r.intermediate_ratio() - 2.5).abs() < 1e-9);
+        r.input_bytes = 0;
+        assert_eq!(r.intermediate_ratio(), 0.0);
+
+        r.reduce_spill_io.bytes_written = 7;
+        r.reduce_spill_io.bytes_read = 5;
+        assert_eq!(r.reduce_spill_traffic(), 12);
+    }
+
+    #[test]
+    fn cpu_excludes_shuffle_wait() {
+        let mut r = JobReport::default();
+        r.map_profile.add_time(Phase::MapFn, Duration::from_secs(2));
+        r.reduce_profile
+            .add_time(Phase::Shuffle, Duration::from_secs(3));
+        r.reduce_profile
+            .add_time(Phase::ReduceFn, Duration::from_secs(1));
+        assert_eq!(r.total_cpu(), Duration::from_secs(6));
+        assert_eq!(r.total_compute_cpu(), Duration::from_secs(3));
+    }
+}

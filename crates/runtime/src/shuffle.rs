@@ -1,0 +1,199 @@
+//! Shuffle plumbing: how map output reaches reducers.
+//!
+//! Pull vs push (Table III "Shuffling"): under **pull**, a reducer sees a
+//! map task's output only after the task completes — Hadoop's
+//! "reducers periodically poll a centralized service asking about
+//! completed mappers" (§II-A). Under **push**, mappers transmit output
+//! eagerly in fine-grained batches while still running — MapReduce
+//! Online's pipelining (§III-D), which is also what the paper's proposed
+//! system adopts (§IV-2).
+//!
+//! In-process, both reduce to bounded channels; the difference the engine
+//! preserves is *when* data is sent (at flush/batch boundaries vs at task
+//! completion) and therefore when reducers can start incremental work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// A batch of intermediate records for one reducer partition.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Originating map task id.
+    pub map_task: usize,
+    /// Destination reducer partition.
+    pub partition: usize,
+    /// Records are sorted by key (sort-spill map side).
+    pub sorted: bool,
+    /// Values are partial aggregate states (combine was applied), not raw
+    /// values.
+    pub combined: bool,
+    /// The records.
+    pub records: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl Segment {
+    /// Payload bytes in this segment.
+    pub fn payload_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the segment carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Messages received by a reduce task.
+#[derive(Debug)]
+pub enum ShuffleMsg {
+    /// A batch of records for this reducer.
+    Segment(Segment),
+    /// The given map task has completed (sent to every reducer). A reduce
+    /// task has all of its input once every map task has reported done.
+    MapDone {
+        /// Completed map task id.
+        map_task: usize,
+    },
+}
+
+/// Sending side of the shuffle, shared by all map workers.
+#[derive(Clone)]
+pub struct ShuffleTx {
+    senders: Vec<Sender<ShuffleMsg>>,
+    bytes: Arc<AtomicU64>,
+    segments: Arc<AtomicU64>,
+}
+
+impl ShuffleTx {
+    /// Route a segment to its partition's reducer.
+    pub fn send_segment(&self, seg: Segment) {
+        if seg.is_empty() {
+            return;
+        }
+        self.bytes.fetch_add(seg.payload_bytes(), Ordering::Relaxed);
+        self.segments.fetch_add(1, Ordering::Relaxed);
+        let p = seg.partition;
+        // A send error means the reducer hung up (job aborting); the map
+        // worker will notice via its own channel teardown.
+        let _ = self.senders[p].send(ShuffleMsg::Segment(seg));
+    }
+
+    /// Announce a completed map task to every reducer.
+    pub fn map_done(&self, map_task: usize) {
+        for s in &self.senders {
+            let _ = s.send(ShuffleMsg::MapDone { map_task });
+        }
+    }
+
+    /// Total payload bytes shuffled so far.
+    pub fn shuffled_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total segments shuffled so far.
+    pub fn shuffled_segments(&self) -> u64 {
+        self.segments.load(Ordering::Relaxed)
+    }
+}
+
+/// Build the shuffle fabric for `reducers` partitions. Returns the shared
+/// sender plus one receiver per reducer. `depth` bounds each reducer's
+/// queue — the backpressure that makes push shuffling adaptive ("if the
+/// reducers become overloaded, the mappers will [...] wait until reducers
+/// are able to keep up again", §III-D).
+pub fn shuffle_fabric(reducers: usize, depth: usize) -> (ShuffleTx, Vec<Receiver<ShuffleMsg>>) {
+    let mut senders = Vec::with_capacity(reducers);
+    let mut receivers = Vec::with_capacity(reducers);
+    for _ in 0..reducers {
+        let (tx, rx) = bounded(depth);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    (
+        ShuffleTx {
+            senders,
+            bytes: Arc::new(AtomicU64::new(0)),
+            segments: Arc::new(AtomicU64::new(0)),
+        },
+        receivers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(partition: usize, n: usize) -> Segment {
+        Segment {
+            map_task: 0,
+            partition,
+            sorted: false,
+            combined: false,
+            records: (0..n)
+                .map(|i| (format!("k{i}").into_bytes(), b"v".to_vec()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn segments_route_by_partition() {
+        let (tx, rxs) = shuffle_fabric(2, 16);
+        tx.send_segment(seg(0, 3));
+        tx.send_segment(seg(1, 5));
+        match rxs[0].recv().unwrap() {
+            ShuffleMsg::Segment(s) => assert_eq!(s.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match rxs[1].recv().unwrap() {
+            ShuffleMsg::Segment(s) => assert_eq!(s.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_done_broadcasts() {
+        let (tx, rxs) = shuffle_fabric(3, 4);
+        tx.map_done(7);
+        for rx in &rxs {
+            match rx.recv().unwrap() {
+                ShuffleMsg::MapDone { map_task } => assert_eq!(map_task, 7),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let (tx, _rxs) = shuffle_fabric(1, 16);
+        tx.send_segment(seg(0, 4)); // keys "k0".."k3" (2 B) + "v" (1 B)
+        assert_eq!(tx.shuffled_bytes(), 4 * 3);
+        assert_eq!(tx.shuffled_segments(), 1);
+        // Empty segments are dropped silently.
+        tx.send_segment(seg(0, 0));
+        assert_eq!(tx.shuffled_segments(), 1);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rxs) = shuffle_fabric(1, 1);
+        tx.send_segment(seg(0, 1));
+        let t = std::thread::spawn(move || {
+            // This send must block until the receiver drains one message.
+            tx.send_segment(seg(0, 1));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "bounded channel should apply backpressure");
+        let _ = rxs[0].recv().unwrap();
+        t.join().unwrap();
+    }
+}

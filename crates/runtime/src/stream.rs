@@ -1,0 +1,330 @@
+//! Streaming (one-pass) session API.
+//!
+//! The batch driver ([`Engine`](crate::Engine)) runs a job over a fixed
+//! set of splits. `StreamSession` is the *data-arrives-over-time* entry
+//! point the paper motivates: records are fed in batches as they arrive,
+//! the map function and incremental reduce run immediately, and early
+//! answers flow out of `feed` itself — "near real-time stream processing
+//! that obviates the need for data loading and returns pipelined answers
+//! as data arrives" (§IV).
+//!
+//! Only incremental backends make sense here, so the session rejects
+//! blocking ones (sort-merge, hybrid hash) at construction: with those,
+//! *no* answer can be produced until the stream closes, which defeats the
+//! purpose (exactly Table III's point about Hadoop).
+
+use std::sync::Arc;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::io::{SharedMemStore, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_groupby::{EmitKind, FreqHashGrouper, GroupBy, IncHashGrouper, OpStats, Sink};
+
+use crate::job::{JobSpec, MapEmitter, ReduceBackend};
+
+/// An early or final answer from the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamAnswer {
+    /// Group key.
+    pub key: Vec<u8>,
+    /// Answer value.
+    pub value: Vec<u8>,
+    /// Early (produced mid-stream) or final (produced at close).
+    pub kind: EmitKind,
+}
+
+/// A live one-pass analytics session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use onepass_runtime::{JobSpec, ReduceBackend};
+/// use onepass_runtime::job::identity_map;
+/// use onepass_runtime::stream::StreamSession;
+/// use onepass_groupby::{CountAgg, EmitKind};
+/// use onepass_groupby::inc_hash::CountThreshold;
+///
+/// let job = JobSpec::builder("alerts")
+///     .map_fn(Arc::new(identity_map))
+///     .aggregate(Arc::new(CountAgg))
+///     .reducers(2)
+///     .backend(ReduceBackend::IncHash {
+///         early: Some(Arc::new(CountThreshold(3))),
+///     })
+///     .build()
+///     .unwrap();
+/// let mut session = StreamSession::new(job).unwrap();
+///
+/// // Early answer fires mid-stream when "x" hits 3 occurrences.
+/// let answers = session
+///     .feed([b"x".as_slice(), b"y", b"x", b"x"])
+///     .unwrap();
+/// assert_eq!(answers.len(), 1);
+/// assert_eq!(answers[0].key, b"x");
+/// assert_eq!(answers[0].kind, EmitKind::Early);
+///
+/// let (finals, _stats) = session.close().unwrap();
+/// assert_eq!(finals.iter().filter(|a| a.kind == EmitKind::Final).count(), 2);
+/// ```
+pub struct StreamSession {
+    job: JobSpec,
+    groupers: Vec<Box<dyn GroupBy>>,
+    records_in: u64,
+    closed: bool,
+}
+
+impl std::fmt::Debug for StreamSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("partitions", &self.groupers.len())
+            .field("records_in", &self.records_in)
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+struct CaptureSink<'a>(&'a mut Vec<StreamAnswer>);
+
+impl Sink for CaptureSink<'_> {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        self.0.push(StreamAnswer {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            kind,
+        });
+    }
+}
+
+impl StreamSession {
+    /// Open a session for `job`. The backend must be incremental
+    /// ([`ReduceBackend::IncHash`] or [`ReduceBackend::FreqHash`]).
+    pub fn new(job: JobSpec) -> Result<Self> {
+        job.validate()?;
+        let per_partition_budget = (job.reduce_budget_bytes / job.reducers).max(1024);
+        let mut groupers: Vec<Box<dyn GroupBy>> = Vec::with_capacity(job.reducers);
+        for _ in 0..job.reducers {
+            let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
+            let budget = MemoryBudget::new(per_partition_budget);
+            let agg = Arc::clone(&job.agg);
+            let g: Box<dyn GroupBy> = match &job.backend {
+                ReduceBackend::IncHash { early } => {
+                    Box::new(IncHashGrouper::with_early(store, budget, agg, early.clone()))
+                }
+                ReduceBackend::FreqHash(cfg) => {
+                    Box::new(FreqHashGrouper::with_config(store, budget, agg, cfg.clone()))
+                }
+                other => {
+                    return Err(Error::Config(format!(
+                        "stream sessions require an incremental backend; {} is blocking",
+                        other.label()
+                    )))
+                }
+            };
+            groupers.push(g);
+        }
+        Ok(StreamSession {
+            job,
+            groupers,
+            records_in: 0,
+            closed: false,
+        })
+    }
+
+    /// Feed a batch of input records; returns any early answers the batch
+    /// produced.
+    pub fn feed<'r>(
+        &mut self,
+        records: impl IntoIterator<Item = &'r [u8]>,
+    ) -> Result<Vec<StreamAnswer>> {
+        if self.closed {
+            return Err(Error::InvalidState("session is closed".into()));
+        }
+        let mut answers = Vec::new();
+        // Collect map output first (borrow rules: the emitter borrows
+        // self.job fields immutably, groupers are mutated after).
+        let mut pairs: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
+        {
+            struct RouteEmitter<'a> {
+                partitioner: &'a dyn crate::job::Partitioner,
+                reducers: usize,
+                out: &'a mut Vec<(usize, Vec<u8>, Vec<u8>)>,
+            }
+            impl MapEmitter for RouteEmitter<'_> {
+                fn emit(&mut self, key: &[u8], value: &[u8]) {
+                    let p = self.partitioner.partition(key, self.reducers);
+                    self.out.push((p, key.to_vec(), value.to_vec()));
+                }
+            }
+            let mut emitter = RouteEmitter {
+                partitioner: self.job.partitioner.as_ref(),
+                reducers: self.groupers.len(),
+                out: &mut pairs,
+            };
+            for rec in records {
+                self.records_in += 1;
+                self.job.map_fn.map(rec, &mut emitter);
+            }
+        }
+        // Partitions are independent: for large batches, push each
+        // partition's records on its own thread (the reducer-side
+        // parallelism of the batch engine, without leaving the streaming
+        // API). Small batches stay on the caller's thread.
+        const PARALLEL_THRESHOLD: usize = 4096;
+        if pairs.len() < PARALLEL_THRESHOLD || self.groupers.len() == 1 {
+            let mut sink = CaptureSink(&mut answers);
+            for (p, k, v) in pairs {
+                self.groupers[p].push(&k, &v, &mut sink)?;
+            }
+            return Ok(answers);
+        }
+
+        let mut by_partition: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+            (0..self.groupers.len()).map(|_| Vec::new()).collect();
+        for (p, k, v) in pairs {
+            by_partition[p].push((k, v));
+        }
+        let results: Vec<Result<Vec<StreamAnswer>>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (grouper, records) in self.groupers.iter_mut().zip(by_partition) {
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut sink = CaptureSink(&mut local);
+                    for (k, v) in records {
+                        grouper.push(&k, &v, &mut sink)?;
+                    }
+                    Ok(local)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream worker panicked"))
+                .collect()
+        })
+        .expect("stream scope panicked");
+        for r in results {
+            answers.extend(r?);
+        }
+        Ok(answers)
+    }
+
+    /// Records fed so far.
+    pub fn records_in(&self) -> u64 {
+        self.records_in
+    }
+
+    /// Close the stream: flush every group's final answer plus per-
+    /// partition operator statistics.
+    pub fn close(mut self) -> Result<(Vec<StreamAnswer>, Vec<OpStats>)> {
+        self.closed = true;
+        let mut answers = Vec::new();
+        let mut stats = Vec::new();
+        for g in &mut self.groupers {
+            let mut sink = CaptureSink(&mut answers);
+            stats.push(g.finish(&mut sink)?);
+        }
+        Ok((answers, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepass_groupby::inc_hash::CountThreshold;
+    use onepass_groupby::CountAgg;
+
+    fn session(backend: ReduceBackend) -> StreamSession {
+        let job = JobSpec::builder("stream")
+            .map_fn(Arc::new(crate::job::identity_map))
+            .aggregate(Arc::new(CountAgg))
+            .reducers(2)
+            .backend(backend)
+            .build()
+            .unwrap();
+        StreamSession::new(job).unwrap()
+    }
+
+    #[test]
+    fn early_answers_flow_mid_stream() {
+        let mut s = session(ReduceBackend::IncHash {
+            early: Some(Arc::new(CountThreshold(3))),
+        });
+        let batch1: Vec<&[u8]> = vec![b"x", b"y", b"x"];
+        assert!(s.feed(batch1).unwrap().is_empty(), "no threshold crossed yet");
+        let batch2: Vec<&[u8]> = vec![b"x", b"z"];
+        let answers = s.feed(batch2).unwrap();
+        assert_eq!(answers.len(), 1, "x crossed the threshold");
+        assert_eq!(answers[0].key, b"x");
+        assert_eq!(answers[0].kind, EmitKind::Early);
+        let (finals, _) = s.close().unwrap();
+        let finals: Vec<_> = finals
+            .iter()
+            .filter(|a| a.kind == EmitKind::Final)
+            .collect();
+        assert_eq!(finals.len(), 3, "x, y, z all appear at close");
+    }
+
+    #[test]
+    fn blocking_backends_are_rejected() {
+        let job = JobSpec::builder("stream").build().unwrap(); // sort-merge default
+        let err = StreamSession::new(job);
+        assert!(matches!(err, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn feed_after_close_fails() {
+        let s = session(ReduceBackend::FreqHash(Default::default()));
+        let (_, stats) = s.close().unwrap();
+        assert_eq!(stats.len(), 2);
+
+        let mut s = session(ReduceBackend::IncHash { early: None });
+        let b: Vec<&[u8]> = vec![b"a"];
+        s.feed(b).unwrap();
+        assert_eq!(s.records_in(), 1);
+    }
+
+    #[test]
+    fn large_batches_take_the_parallel_path_and_stay_exact() {
+        let job = JobSpec::builder("stream")
+            .map_fn(Arc::new(crate::job::identity_map))
+            .aggregate(Arc::new(CountAgg))
+            .reducers(4)
+            .backend(ReduceBackend::IncHash { early: None })
+            .build()
+            .unwrap();
+        let mut s = StreamSession::new(job).unwrap();
+        // One batch well above the parallel threshold.
+        let keys: Vec<Vec<u8>> = (0..20_000u32)
+            .map(|i| format!("k{}", i % 257).into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        s.feed(refs).unwrap();
+        let (answers, _) = s.close().unwrap();
+        let total: u64 = answers
+            .iter()
+            .filter(|a| a.kind == EmitKind::Final)
+            .map(|a| u64::from_le_bytes(a.value.as_slice().try_into().unwrap()))
+            .sum();
+        assert_eq!(total, 20_000);
+        let groups = answers
+            .iter()
+            .filter(|a| a.kind == EmitKind::Final)
+            .count();
+        assert_eq!(groups, 257);
+    }
+
+    #[test]
+    fn counts_are_exact_across_partitions() {
+        let mut s = session(ReduceBackend::FreqHash(Default::default()));
+        for i in 0..50u32 {
+            let key = format!("k{}", i % 7);
+            let batch: Vec<&[u8]> = vec![key.as_bytes()];
+            s.feed(batch).unwrap();
+        }
+        let (answers, _) = s.close().unwrap();
+        let total: u64 = answers
+            .iter()
+            .filter(|a| a.kind == EmitKind::Final)
+            .map(|a| u64::from_le_bytes(a.value.as_slice().try_into().unwrap()))
+            .sum();
+        assert_eq!(total, 50);
+    }
+}

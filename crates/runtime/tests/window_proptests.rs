@@ -1,0 +1,90 @@
+//! Property test: under any record order and window configuration, every
+//! record lands in exactly one window or is counted as dropped-late —
+//! never lost, never duplicated.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use onepass_groupby::{CountAgg, EmitKind};
+use onepass_runtime::window::{WindowConfig, WindowedSession};
+use onepass_runtime::{JobSpec, MapEmitter, ReduceBackend};
+use proptest::prelude::*;
+
+fn ts_of(record: &[u8]) -> Option<u64> {
+    let s = std::str::from_utf8(record).ok()?;
+    s.split(':').next()?.parse().ok()
+}
+
+fn key_map(record: &[u8], out: &mut dyn MapEmitter) {
+    if let Some(pos) = record.iter().position(|&b| b == b':') {
+        out.emit(&record[pos + 1..], &[]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn records_window_exactly_once_or_drop_late(
+        // (timestamp, key id) events in arbitrary order.
+        events in prop::collection::vec((0u64..500, 0u8..6), 1..300),
+        window_len in 1u64..60,
+        lateness in 0u64..30,
+        batch in 1usize..40,
+    ) {
+        let job = JobSpec::builder("w")
+            .map_fn(Arc::new(key_map))
+            .aggregate(Arc::new(CountAgg))
+            .reducers(2)
+            .backend(ReduceBackend::IncHash { early: None })
+            .build()
+            .unwrap();
+        let mut session = WindowedSession::new(
+            job,
+            Arc::new(ts_of),
+            WindowConfig { window_len, allowed_lateness: lateness },
+        )
+        .unwrap();
+
+        let records: Vec<Vec<u8>> = events
+            .iter()
+            .map(|(ts, k)| format!("{ts}:k{k}").into_bytes())
+            .collect();
+
+        let mut per_window: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut seen_windows = std::collections::BTreeSet::new();
+        for chunk in records.chunks(batch) {
+            for w in session.feed(chunk.iter().map(|r| r.as_slice())).unwrap() {
+                prop_assert!(
+                    seen_windows.insert(w.start),
+                    "window {} closed twice", w.start
+                );
+                let n: u64 = w
+                    .answers
+                    .iter()
+                    .filter(|a| a.kind == EmitKind::Final)
+                    .map(|a| u64::from_le_bytes(a.value.as_slice().try_into().unwrap()))
+                    .sum();
+                *per_window.entry(w.start).or_default() += n;
+            }
+        }
+        let late = session.late_dropped();
+        prop_assert_eq!(session.malformed(), 0);
+        for w in session.flush().unwrap() {
+            prop_assert!(seen_windows.insert(w.start), "window closed twice at flush");
+            let n: u64 = w
+                .answers
+                .iter()
+                .filter(|a| a.kind == EmitKind::Final)
+                .map(|a| u64::from_le_bytes(a.value.as_slice().try_into().unwrap()))
+                .sum();
+            *per_window.entry(w.start).or_default() += n;
+        }
+        let windowed: u64 = per_window.values().sum();
+        prop_assert_eq!(
+            windowed + late,
+            events.len() as u64,
+            "every record must be windowed once or counted late"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! HDFS-like distributed block store: placement, replication, locality.
+//!
+//! §II-A: "The Hadoop Distributed File System (HDFS) handles fault
+//! tolerance and replication … the unit of data storage is a 64 MB block
+//! [which serves] as the task granularity for MapReduce jobs." The
+//! paper's cluster ran with replication turned down to 1 from the
+//! default 3; both are supported here.
+//!
+//! Placement follows HDFS's rack-unaware default: each block's primary
+//! replica rotates round-robin over the data nodes; additional replicas
+//! land on the following nodes. The simulator's JobTracker uses
+//! [`Dfs::replica_nodes`] for locality-aware scheduling — a map task
+//! whose block has no replica on its node pays a network read.
+
+/// Placement configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Replicas per block (the paper used 1; HDFS default 3).
+    pub replication: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig { replication: 1 }
+    }
+}
+
+/// The block-placement map of one input file over `data_nodes`.
+#[derive(Debug, Clone)]
+pub struct Dfs {
+    data_nodes: usize,
+    replication: usize,
+    blocks: usize,
+}
+
+impl Dfs {
+    /// Place `blocks` blocks over `data_nodes` nodes.
+    pub fn place(blocks: usize, data_nodes: usize, config: DfsConfig) -> Self {
+        assert!(data_nodes >= 1, "need at least one data node");
+        Dfs {
+            data_nodes,
+            replication: config.replication.clamp(1, data_nodes),
+            blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Effective replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Nodes holding a replica of `block` (primary first).
+    pub fn replica_nodes(&self, block: usize) -> impl Iterator<Item = usize> + '_ {
+        let primary = block % self.data_nodes;
+        (0..self.replication).map(move |r| (primary + r) % self.data_nodes)
+    }
+
+    /// Is any replica of `block` on `node`?
+    pub fn is_local(&self, block: usize, node: usize) -> bool {
+        self.replica_nodes(block).any(|n| n == node)
+    }
+
+    /// The primary replica's node for `block`.
+    pub fn primary(&self, block: usize) -> usize {
+        block % self.data_nodes
+    }
+
+    /// Blocks whose primary replica is on `node` (the node's natural
+    /// work list for locality-first scheduling).
+    pub fn primary_blocks(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.blocks).filter(move |b| b % self.data_nodes == node)
+    }
+
+    /// Expected blocks per node (load-balance sanity).
+    pub fn blocks_per_node(&self) -> f64 {
+        self.blocks as f64 * self.replication as f64 / self.data_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_one_places_round_robin() {
+        let dfs = Dfs::place(10, 4, DfsConfig { replication: 1 });
+        assert_eq!(dfs.primary(0), 0);
+        assert_eq!(dfs.primary(5), 1);
+        assert!(dfs.is_local(6, 2));
+        assert!(!dfs.is_local(6, 3));
+        assert_eq!(dfs.replica_nodes(6).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn replication_three_uses_consecutive_nodes() {
+        let dfs = Dfs::place(8, 5, DfsConfig { replication: 3 });
+        assert_eq!(dfs.replica_nodes(4).collect::<Vec<_>>(), vec![4, 0, 1]);
+        assert!(dfs.is_local(4, 0));
+        assert!(dfs.is_local(4, 1));
+        assert!(!dfs.is_local(4, 2));
+    }
+
+    #[test]
+    fn replication_clamped_to_node_count() {
+        let dfs = Dfs::place(4, 2, DfsConfig { replication: 5 });
+        assert_eq!(dfs.replication(), 2);
+    }
+
+    #[test]
+    fn primary_blocks_partition_the_file() {
+        let dfs = Dfs::place(11, 3, DfsConfig::default());
+        let mut all: Vec<usize> = (0..3).flat_map(|n| dfs.primary_blocks(n)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn load_balance_metric() {
+        let dfs = Dfs::place(100, 10, DfsConfig { replication: 2 });
+        assert!((dfs.blocks_per_node() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,383 @@
+//! Discrete-event core: an event heap with an integer-microsecond clock,
+//! plus FIFO multi-server resources (CPU cores, disks, NICs).
+//!
+//! The engine is generic over the action type `A` so the MapReduce model
+//! can dispatch on a plain enum — no boxed closures, fully deterministic
+//! (ties broken by insertion sequence).
+
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulation time in integer microseconds.
+pub type SimTime = u64;
+
+/// One second in [`SimTime`] units.
+pub const SECOND: SimTime = 1_000_000;
+
+/// Convert seconds (f64) to [`SimTime`], saturating at zero.
+pub fn secs(s: f64) -> SimTime {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * SECOND as f64).round() as SimTime
+    }
+}
+
+/// Convert [`SimTime`] to fractional seconds.
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+/// The pending-event queue.
+#[derive(Debug)]
+pub struct EventQueue<A> {
+    heap: BinaryHeap<Scheduled<A>>,
+    seq: u64,
+    now: SimTime,
+}
+
+/// Heap entry ordered by (time, insertion sequence) only — payloads need
+/// no ordering, and ties resolve FIFO for determinism.
+#[derive(Debug)]
+struct Scheduled<A> {
+    time: SimTime,
+    seq: u64,
+    payload: EventPayload<A>,
+}
+
+impl<A> PartialEq for Scheduled<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<A> Eq for Scheduled<A> {}
+
+impl<A> PartialOrd for Scheduled<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A> Ord for Scheduled<A> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// What an event does when it fires.
+#[derive(Debug)]
+pub enum EventPayload<A> {
+    /// Run the model's dispatch for this action.
+    Act(A),
+    /// A resource finished serving a request: free a server slot, start
+    /// the next queued request, then dispatch the completion action.
+    ResourceDone {
+        /// Which resource completed.
+        res: usize,
+        /// Completion action to dispatch.
+        action: A,
+    },
+}
+
+impl<A> EventQueue<A> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `action` to fire `delay` from now.
+    pub fn schedule(&mut self, delay: SimTime, action: A) {
+        self.push(delay, EventPayload::Act(action));
+    }
+
+    fn push(&mut self, delay: SimTime, payload: EventPayload<A>) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: self.now + delay,
+            seq: self.seq,
+            payload,
+        });
+    }
+
+    /// Pop the next event, advancing the clock. `None` when drained.
+    pub fn pop(&mut self) -> Option<(SimTime, EventPayload<A>)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<A> Default for EventQueue<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A FIFO multi-server resource: `capacity` parallel servers, each
+/// processing `rate` units per second, with a fixed per-request
+/// `overhead` (e.g. a disk seek).
+#[derive(Debug)]
+pub struct Resource<A> {
+    /// Resource index (self-id, for completion events).
+    pub id: usize,
+    /// Descriptive name (diagnostics).
+    pub name: String,
+    /// Units served per second (e.g. MB/s for disks, CPU-seconds/second
+    /// = 1.0 for cores).
+    pub rate: f64,
+    /// Parallel servers (cores for CPU; 1 for a disk or NIC).
+    pub capacity: usize,
+    /// Fixed per-request latency added to every request (seek time).
+    pub overhead: SimTime,
+    /// Contention sensitivity: with `w` requests waiting, the effective
+    /// service rate is `rate / (1 + contention_slope * min(w, 6))`. Models
+    /// a seek-bound device thrashing between interleaved streams ("the
+    /// disk is often maxed out and subject to random I/Os", §III-C); ~0
+    /// for SSDs and NICs. Derived from `overhead` by [`with_overhead`]:
+    /// `overhead_s * 30`.
+    ///
+    /// [`with_overhead`]: Resource::with_overhead
+    pub contention_slope: f64,
+    busy: usize,
+    queue: VecDeque<(f64, A)>,
+    /// Cumulative busy server-microseconds (utilization accounting).
+    pub busy_time: u128,
+    last_change: SimTime,
+    /// Total units served.
+    pub units_served: f64,
+}
+
+impl<A> Resource<A> {
+    /// Create a resource.
+    pub fn new(id: usize, name: impl Into<String>, rate: f64, capacity: usize) -> Self {
+        assert!(rate > 0.0 && capacity > 0);
+        Resource {
+            id,
+            name: name.into(),
+            rate,
+            capacity,
+            overhead: 0,
+            contention_slope: 0.0,
+            busy: 0,
+            queue: VecDeque::new(),
+            busy_time: 0,
+            last_change: 0,
+            units_served: 0.0,
+        }
+    }
+
+    /// Set the per-request overhead (builder style); also derives the
+    /// contention slope from it (seek-bound devices thrash more).
+    pub fn with_overhead(mut self, overhead: SimTime) -> Self {
+        self.overhead = overhead;
+        self.contention_slope = to_secs(overhead) * 30.0;
+        self
+    }
+
+    /// Effective service duration for `amount` units given the current
+    /// number of waiting requests.
+    fn service_time(&self, amount: f64) -> SimTime {
+        let slowdown = 1.0 + self.contention_slope * (self.queue.len().min(6)) as f64;
+        secs(amount * slowdown / self.rate) + self.overhead
+    }
+
+    /// Servers currently busy.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Requests waiting for a server.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Busy + queued — the "outstanding requests" gauge (iowait proxy).
+    pub fn outstanding(&self) -> usize {
+        self.busy + self.queue.len()
+    }
+
+    fn accrue(&mut self, now: SimTime) {
+        self.busy_time += (now - self.last_change) as u128 * self.busy as u128;
+        self.last_change = now;
+    }
+
+    /// Request `amount` units; `action` is dispatched when served.
+    /// Zero-amount requests complete after just the overhead. Service
+    /// duration is computed when service *starts*, reflecting the
+    /// contention at that moment.
+    pub fn request(&mut self, q: &mut EventQueue<A>, amount: f64, action: A) {
+        self.units_served += amount;
+        if self.busy < self.capacity {
+            self.accrue(q.now());
+            self.busy += 1;
+            let dur = self.service_time(amount);
+            q.push(
+                dur,
+                EventPayload::ResourceDone {
+                    res: self.id,
+                    action,
+                },
+            );
+        } else {
+            self.queue.push_back((amount, action));
+        }
+    }
+
+    /// Handle a completion: free the server and start the next queued
+    /// request, if any. Call exactly once per `ResourceDone` event for
+    /// this resource, *before* dispatching its action.
+    pub fn on_done(&mut self, q: &mut EventQueue<A>) {
+        self.accrue(q.now());
+        debug_assert!(self.busy > 0);
+        self.busy -= 1;
+        if let Some((amount, action)) = self.queue.pop_front() {
+            self.busy += 1;
+            let dur = self.service_time(amount);
+            q.push(
+                dur,
+                EventPayload::ResourceDone {
+                    res: self.id,
+                    action,
+                },
+            );
+        }
+    }
+
+    /// Utilization over `[0, now]`: mean busy servers / capacity.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        self.accrue(now);
+        if now == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / (now as f64 * self.capacity as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Act {
+        Done(u32),
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(secs(1.5), 1_500_000);
+        assert_eq!(secs(-2.0), 0);
+        assert!((to_secs(2_500_000) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let mut q: EventQueue<Act> = EventQueue::new();
+        q.schedule(100, Act::Done(1));
+        q.schedule(50, Act::Done(2));
+        q.schedule(100, Act::Done(3));
+        let mut seen = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            if let EventPayload::Act(Act::Done(i)) = p {
+                seen.push((t, i));
+            }
+        }
+        assert_eq!(seen, vec![(50, 2), (100, 1), (100, 3)]);
+        assert_eq!(q.now(), 100);
+    }
+
+    /// Drive a queue+resource pair until drained; returns completions.
+    fn drain(q: &mut EventQueue<Act>, r: &mut Resource<Act>) -> Vec<(SimTime, u32)> {
+        let mut out = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            match p {
+                EventPayload::ResourceDone { res, action } => {
+                    assert_eq!(res, r.id);
+                    r.on_done(q);
+                    let Act::Done(i) = action;
+                    out.push((t, i));
+                }
+                EventPayload::Act(_) => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_server_serializes_requests() {
+        let mut q = EventQueue::new();
+        // 10 units/s => 1 unit per 100_000 us.
+        let mut r = Resource::new(0, "disk", 10.0, 1);
+        r.request(&mut q, 10.0, Act::Done(1)); // 1 s
+        r.request(&mut q, 5.0, Act::Done(2)); // 0.5 s, queued
+        let done = drain(&mut q, &mut r);
+        assert_eq!(done, vec![(1_000_000, 1), (1_500_000, 2)]);
+        assert_eq!(r.units_served, 15.0);
+    }
+
+    #[test]
+    fn multi_server_runs_in_parallel() {
+        let mut q = EventQueue::new();
+        let mut r = Resource::new(0, "cpu", 1.0, 2);
+        r.request(&mut q, 1.0, Act::Done(1));
+        r.request(&mut q, 1.0, Act::Done(2));
+        r.request(&mut q, 1.0, Act::Done(3)); // queued behind the first two
+        let done = drain(&mut q, &mut r);
+        assert_eq!(done[0].0, 1_000_000);
+        assert_eq!(done[1].0, 1_000_000);
+        assert_eq!(done[2].0, 2_000_000);
+    }
+
+    #[test]
+    fn overhead_applies_per_request() {
+        let mut q = EventQueue::new();
+        let mut r = Resource::new(0, "disk", 100.0, 1).with_overhead(5_000);
+        r.request(&mut q, 100.0, Act::Done(1)); // 1s + 5ms
+        let done = drain(&mut q, &mut r);
+        assert_eq!(done, vec![(1_005_000, 1)]);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut q = EventQueue::new();
+        let mut r = Resource::new(0, "cpu", 1.0, 2);
+        r.request(&mut q, 1.0, Act::Done(1));
+        let _ = drain(&mut q, &mut r);
+        // One of two servers busy for the full 1 s window: 50%.
+        let u = r.utilization(1_000_000);
+        assert!((u - 0.5).abs() < 1e-6, "utilization {u}");
+    }
+
+    #[test]
+    fn outstanding_counts_busy_plus_queued() {
+        let mut q = EventQueue::new();
+        let mut r = Resource::new(0, "disk", 1.0, 1);
+        r.request(&mut q, 1.0, Act::Done(1));
+        r.request(&mut q, 1.0, Act::Done(2));
+        r.request(&mut q, 1.0, Act::Done(3));
+        assert_eq!(r.busy(), 1);
+        assert_eq!(r.queued(), 2);
+        assert_eq!(r.outstanding(), 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Time-weighted gauge sampling into per-second bins — the simulator's
+//! `iostat`/`ps` profiling harness.
+//!
+//! A [`Gauge`] is a piecewise-constant value (e.g. "busy cores"); the
+//! sampler integrates it over time and reports the per-bin mean, which is
+//! exactly what a 1 Hz `iostat` poll would print. Event counters (bytes
+//! read) are accumulated into the bin where they occur.
+
+use onepass_core::metrics::Series;
+
+use crate::engine::{to_secs, SimTime, SECOND};
+
+/// The gauges the figures need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Running map tasks (Fig. 2a "map").
+    MapTasks,
+    /// Reducers still fetching map output (Fig. 2a "shuffle").
+    ShuffleTasks,
+    /// Reducers running background/multi-pass merges (Fig. 2a "merge").
+    MergeTasks,
+    /// Reducers in the final merge + reduce phase (Fig. 2a "reduce").
+    ReduceTasks,
+    /// Busy CPU cores, cluster-wide (Fig. 2b numerator).
+    BusyCores,
+    /// Outstanding disk requests, cluster-wide (iowait proxy, Fig. 2c).
+    DiskOutstanding,
+}
+
+/// Count of gauge variants (array-backed storage).
+const NUM_GAUGES: usize = 6;
+
+impl Gauge {
+    fn idx(self) -> usize {
+        match self {
+            Gauge::MapTasks => 0,
+            Gauge::ShuffleTasks => 1,
+            Gauge::MergeTasks => 2,
+            Gauge::ReduceTasks => 3,
+            Gauge::BusyCores => 4,
+            Gauge::DiskOutstanding => 5,
+        }
+    }
+
+    /// Display label (series name).
+    pub fn label(self) -> &'static str {
+        match self {
+            Gauge::MapTasks => "map_tasks",
+            Gauge::ShuffleTasks => "shuffle_tasks",
+            Gauge::MergeTasks => "merge_tasks",
+            Gauge::ReduceTasks => "reduce_tasks",
+            Gauge::BusyCores => "busy_cores",
+            Gauge::DiskOutstanding => "disk_outstanding",
+        }
+    }
+}
+
+/// Event counters accumulated per bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Disk bytes read (Fig. 2d), in MB.
+    DiskReadMb,
+    /// Disk bytes written, in MB.
+    DiskWriteMb,
+    /// Network bytes transferred, in MB.
+    NetMb,
+}
+
+const NUM_COUNTERS: usize = 3;
+
+impl Counter {
+    fn idx(self) -> usize {
+        match self {
+            Counter::DiskReadMb => 0,
+            Counter::DiskWriteMb => 1,
+            Counter::NetMb => 2,
+        }
+    }
+
+    /// Display label (series name).
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::DiskReadMb => "disk_read_mb",
+            Counter::DiskWriteMb => "disk_write_mb",
+            Counter::NetMb => "net_mb",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GaugeState {
+    value: f64,
+    last_change: SimTime,
+}
+
+/// The sampler: integrates gauges, bins counters.
+#[derive(Debug)]
+pub struct Sampler {
+    gauges: [GaugeState; NUM_GAUGES],
+    /// gauge integral per bin: gauges × bins (bin = 1 s).
+    gauge_bins: Vec<[f64; NUM_GAUGES]>,
+    counter_bins: Vec<[f64; NUM_COUNTERS]>,
+}
+
+impl Sampler {
+    /// New sampler; all gauges start at zero.
+    pub fn new() -> Self {
+        Sampler {
+            gauges: [GaugeState::default(); NUM_GAUGES],
+            gauge_bins: Vec::new(),
+            counter_bins: Vec::new(),
+        }
+    }
+
+    fn ensure_bins(&mut self, bin: usize) {
+        if self.gauge_bins.len() <= bin {
+            self.gauge_bins.resize(bin + 1, [0.0; NUM_GAUGES]);
+        }
+        if self.counter_bins.len() <= bin {
+            self.counter_bins.resize(bin + 1, [0.0; NUM_COUNTERS]);
+        }
+    }
+
+    /// Integrate gauge `g`'s current value from its last change to `now`,
+    /// splitting across 1-second bins.
+    fn integrate(&mut self, g: usize, now: SimTime) {
+        let st = self.gauges[g];
+        if now <= st.last_change || st.value == 0.0 {
+            self.gauges[g].last_change = now;
+            return;
+        }
+        let mut t = st.last_change;
+        while t < now {
+            let bin = (t / SECOND) as usize;
+            let bin_end = ((bin as u64) + 1) * SECOND;
+            let seg_end = bin_end.min(now);
+            self.ensure_bins(bin);
+            // Weighted by the fraction of the bin covered.
+            self.gauge_bins[bin][g] += st.value * (seg_end - t) as f64 / SECOND as f64;
+            t = seg_end;
+        }
+        self.gauges[g].last_change = now;
+    }
+
+    /// Set gauge `g` to `value` at time `now`.
+    pub fn set(&mut self, g: Gauge, now: SimTime, value: f64) {
+        let i = g.idx();
+        self.integrate(i, now);
+        self.gauges[i].value = value;
+    }
+
+    /// Adjust gauge `g` by `delta` at time `now`.
+    pub fn adjust(&mut self, g: Gauge, now: SimTime, delta: f64) {
+        let i = g.idx();
+        self.integrate(i, now);
+        self.gauges[i].value += delta;
+        debug_assert!(
+            self.gauges[i].value > -1e-9,
+            "gauge {} went negative",
+            g.label()
+        );
+    }
+
+    /// Current value of gauge `g`.
+    pub fn value(&self, g: Gauge) -> f64 {
+        self.gauges[g.idx()].value
+    }
+
+    /// Add `amount` to counter `c` in the bin containing `now`.
+    pub fn count(&mut self, c: Counter, now: SimTime, amount: f64) {
+        let bin = (now / SECOND) as usize;
+        self.ensure_bins(bin);
+        self.counter_bins[bin][c.idx()] += amount;
+    }
+
+    /// Finalize at `end` and extract the per-second mean series of `g`.
+    /// The series always covers every second of `[0, end)`, padding
+    /// zero-valued stretches.
+    pub fn gauge_series(&mut self, g: Gauge, end: SimTime) -> Series {
+        self.integrate(g.idx(), end);
+        if end > 0 {
+            self.ensure_bins(((end - 1) / SECOND) as usize);
+        }
+        let mut s = Series::new(g.label());
+        for (bin, vals) in self.gauge_bins.iter().enumerate() {
+            s.push(bin as f64, vals[g.idx()]);
+        }
+        let _ = to_secs(end);
+        s
+    }
+
+    /// Extract the per-second counter series of `c`.
+    pub fn counter_series(&self, c: Counter) -> Series {
+        let mut s = Series::new(c.label());
+        for (bin, vals) in self.counter_bins.iter().enumerate() {
+            s.push(bin as f64, vals[c.idx()]);
+        }
+        s
+    }
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_integrates_across_bins() {
+        let mut s = Sampler::new();
+        // Value 2.0 from t=0.5s to t=2.5s.
+        s.set(Gauge::MapTasks, SECOND / 2, 2.0);
+        s.set(Gauge::MapTasks, 2 * SECOND + SECOND / 2, 0.0);
+        let series = s.gauge_series(Gauge::MapTasks, 3 * SECOND);
+        // bin 0: 2.0 * 0.5 = 1.0; bin 1: 2.0; bin 2: 1.0
+        assert_eq!(series.points[0], (0.0, 1.0));
+        assert_eq!(series.points[1], (1.0, 2.0));
+        assert_eq!(series.points[2], (2.0, 1.0));
+    }
+
+    #[test]
+    fn adjust_accumulates() {
+        let mut s = Sampler::new();
+        s.adjust(Gauge::BusyCores, 0, 3.0);
+        s.adjust(Gauge::BusyCores, SECOND, -1.0);
+        assert_eq!(s.value(Gauge::BusyCores), 2.0);
+        let series = s.gauge_series(Gauge::BusyCores, 2 * SECOND);
+        assert_eq!(series.points[0].1, 3.0);
+        assert_eq!(series.points[1].1, 2.0);
+    }
+
+    #[test]
+    fn counters_bin_at_event_time() {
+        let mut s = Sampler::new();
+        s.count(Counter::DiskReadMb, SECOND / 4, 10.0);
+        s.count(Counter::DiskReadMb, SECOND / 2, 5.0);
+        s.count(Counter::DiskReadMb, 3 * SECOND, 7.0);
+        let series = s.counter_series(Counter::DiskReadMb);
+        assert_eq!(series.points[0].1, 15.0);
+        assert_eq!(series.points[1].1, 0.0);
+        assert_eq!(series.points[3].1, 7.0);
+    }
+
+    #[test]
+    fn zero_value_periods_cost_nothing() {
+        let mut s = Sampler::new();
+        s.set(Gauge::MergeTasks, 5 * SECOND, 1.0);
+        s.set(Gauge::MergeTasks, 6 * SECOND, 0.0);
+        let series = s.gauge_series(Gauge::MergeTasks, 10 * SECOND);
+        assert_eq!(series.points[4].1, 0.0);
+        assert_eq!(series.points[5].1, 1.0);
+        assert_eq!(series.points[6].1, 0.0);
+    }
+}

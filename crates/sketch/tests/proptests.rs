@@ -1,0 +1,116 @@
+//! Property-based tests of the classic frequent-items guarantees.
+
+use std::collections::HashMap;
+
+use onepass_sketch::{FrequentItems, LossyCounting, MisraGries, SpaceSaving};
+use proptest::prelude::*;
+
+fn truth(stream: &[Vec<u8>]) -> HashMap<Vec<u8>, u64> {
+    let mut t: HashMap<Vec<u8>, u64> = HashMap::new();
+    for k in stream {
+        *t.entry(k.clone()).or_default() += 1;
+    }
+    t
+}
+
+/// Streams over a small key alphabet so collisions and heavy keys occur.
+fn stream_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        // Skewed alphabet: key ids drawn from 0..40 but squared-down so
+        // low ids dominate.
+        (0u32..40).prop_map(|i| format!("key{}", i * i / 8).into_bytes()),
+        1..600,
+    )
+}
+
+proptest! {
+    #[test]
+    fn space_saving_bounds(stream in stream_strategy(), k in 2usize..24) {
+        let mut ss = SpaceSaving::new(k);
+        for key in &stream {
+            ss.offer(key);
+        }
+        let t = truth(&stream);
+        let n = stream.len() as u64;
+        prop_assert_eq!(ss.processed(), n);
+
+        for h in ss.items() {
+            let tc = t.get(&h.key).copied().unwrap_or(0);
+            // Upper bound and error-window bound.
+            prop_assert!(h.count >= tc, "SS must over-count: {} < {}", h.count, tc);
+            prop_assert!(h.count - h.error <= tc, "error window must contain truth");
+            // Global over-count bound: error <= N/k.
+            prop_assert!(h.error <= n / k as u64 + 1);
+        }
+        // Completeness: every key with truth > N/k is tracked.
+        for (key, &tc) in &t {
+            if tc > n / k as u64 {
+                prop_assert!(ss.contains(key), "heavy key untracked (tc={})", tc);
+            }
+        }
+    }
+
+    #[test]
+    fn misra_gries_bounds(stream in stream_strategy(), k in 2usize..24) {
+        let mut mg = MisraGries::new(k);
+        for key in &stream {
+            mg.offer(key);
+        }
+        let t = truth(&stream);
+        let n = stream.len() as u64;
+        let bound = n / (k as u64 + 1);
+
+        for h in mg.items() {
+            let tc = t.get(&h.key).copied().unwrap_or(0);
+            prop_assert!(h.count <= tc, "MG must under-count");
+            prop_assert!(tc - h.count <= bound, "under-count exceeds N/(k+1)");
+        }
+        for (key, &tc) in &t {
+            if tc > bound {
+                prop_assert!(mg.contains(key), "heavy key untracked (tc={tc}, bound={bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_counting_bounds(stream in stream_strategy(), eps_milli in 10u32..400) {
+        let eps = eps_milli as f64 / 1000.0;
+        let mut lc = LossyCounting::new(eps);
+        for key in &stream {
+            lc.offer(key);
+        }
+        let t = truth(&stream);
+        let n = stream.len() as u64;
+        let eps_n = (eps * n as f64).ceil() as u64;
+
+        for h in lc.items() {
+            let tc = t.get(&h.key).copied().unwrap_or(0);
+            prop_assert!(h.count <= tc, "LC must under-count");
+            prop_assert!(tc - h.count <= eps_n, "under-count exceeds eps*N");
+        }
+        for (key, &tc) in &t {
+            if tc > eps_n {
+                prop_assert!(lc.contains(key), "key with tc={tc} > {eps_n} untracked");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_offers_equal_unit_offers(counts in prop::collection::vec(1u64..50, 1..20)) {
+        // Feeding key_i exactly counts[i] times must match offer_n in bulk,
+        // for the identity-relevant outputs (estimates of surviving keys).
+        let mut unit = SpaceSaving::new(8);
+        let mut bulk = SpaceSaving::new(8);
+        for (i, &c) in counts.iter().enumerate() {
+            let key = format!("k{i}").into_bytes();
+            for _ in 0..c {
+                unit.offer(&key);
+            }
+            bulk.offer_n(&key, c);
+        }
+        prop_assert_eq!(unit.processed(), bulk.processed());
+        let u = unit.items();
+        let b = bulk.items();
+        prop_assert_eq!(u, b);
+    }
+}

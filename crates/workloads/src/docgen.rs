@@ -1,0 +1,155 @@
+//! Web-document generator: a synthetic stand-in for the GOV2 crawl
+//! (427 GB of government web pages) used by the inverted-index workload.
+//!
+//! Each record is one document: `"<doc_id>\t<w1> <w2> ..."` with words
+//! drawn from a Zipf-distributed vocabulary (natural-language word
+//! frequencies are famously Zipfian, which is what gives the inverted
+//! index its skewed posting-list lengths).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration for [`DocGen`].
+#[derive(Debug, Clone)]
+pub struct DocGenConfig {
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Zipf exponent for word frequency.
+    pub word_skew: f64,
+    /// Minimum words per document.
+    pub min_words: usize,
+    /// Maximum words per document.
+    pub max_words: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        DocGenConfig {
+            vocabulary: 20_000,
+            word_skew: 1.0,
+            min_words: 50,
+            max_words: 300,
+            seed: 0xd0c5,
+        }
+    }
+}
+
+/// Deterministic document generator.
+#[derive(Debug)]
+pub struct DocGen {
+    config: DocGenConfig,
+    rng: StdRng,
+    words: Zipf,
+    next_doc_id: u32,
+}
+
+impl DocGen {
+    /// Create a generator.
+    pub fn new(config: DocGenConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let words = Zipf::new(config.vocabulary, config.word_skew);
+        DocGen {
+            config,
+            rng,
+            words,
+            next_doc_id: 0,
+        }
+    }
+
+    /// Render word id `w` as its token.
+    pub fn word_token(w: usize) -> String {
+        format!("w{w}")
+    }
+
+    /// Generate the next document record.
+    pub fn next_doc(&mut self) -> Vec<u8> {
+        let id = self.next_doc_id;
+        self.next_doc_id += 1;
+        let n = self
+            .rng
+            .gen_range(self.config.min_words..=self.config.max_words);
+        let mut doc = format!("{id}\t");
+        for i in 0..n {
+            if i > 0 {
+                doc.push(' ');
+            }
+            doc.push_str(&Self::word_token(self.words.sample(&mut self.rng)));
+        }
+        doc.into_bytes()
+    }
+
+    /// Generate `n` documents.
+    pub fn records(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.next_doc()).collect()
+    }
+}
+
+/// Parse a document record into `(doc_id, words)`.
+pub fn parse_doc(record: &[u8]) -> Option<(u32, impl Iterator<Item = &[u8]> + '_)> {
+    let tab = record.iter().position(|&b| b == b'\t')?;
+    let id = std::str::from_utf8(&record[..tab]).ok()?.parse().ok()?;
+    let body = &record[tab + 1..];
+    Some((
+        id,
+        body.split(|&b| b == b' ').filter(|w| !w.is_empty()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn documents_parse_back() {
+        let mut g = DocGen::new(DocGenConfig::default());
+        for expected_id in 0..20u32 {
+            let doc = g.next_doc();
+            let (id, words) = parse_doc(&doc).expect("parseable");
+            assert_eq!(id, expected_id);
+            let words: Vec<&[u8]> = words.collect();
+            assert!(words.len() >= 50 && words.len() <= 300);
+            for w in words {
+                assert!(w.starts_with(b"w"));
+            }
+        }
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let mut g = DocGen::new(DocGenConfig {
+            vocabulary: 500,
+            ..Default::default()
+        });
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+        for _ in 0..100 {
+            let doc = g.next_doc();
+            let (_, words) = parse_doc(&doc).unwrap();
+            for w in words {
+                *counts.entry(w.to_vec()).or_default() += 1;
+            }
+        }
+        let total: usize = counts.values().sum();
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = freqs.iter().take(5).sum();
+        assert!(top5 * 100 > total * 10, "top words should dominate");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DocGen::new(DocGenConfig::default());
+        let mut b = DocGen::new(DocGenConfig::default());
+        assert_eq!(a.records(10), b.records(10));
+    }
+
+    #[test]
+    fn malformed_docs_rejected() {
+        assert!(parse_doc(b"no-tab-here").is_none());
+        assert!(parse_doc(b"notanumber\twords").is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Inverted-index construction — the web-document workload (Table I
+//! column 4, Fig. 3).
+//!
+//! "The map function extracts (word, (doc id, position)) pairs and the
+//! reduce function builds a list of document ids and positions for each
+//! word" (§III-A). Intermediate data is smaller than the collection but
+//! still substantial (~70% of input including reduce spill).
+
+use std::sync::Arc;
+
+use onepass_groupby::Aggregator;
+use onepass_runtime::{JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+
+use crate::docgen::parse_doc;
+
+/// One posting: where a word occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Document id.
+    pub doc: u32,
+    /// Word position within the document.
+    pub pos: u32,
+}
+
+impl Posting {
+    fn encode(self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[..4].copy_from_slice(&self.doc.to_le_bytes());
+        b[4..].copy_from_slice(&self.pos.to_le_bytes());
+        b
+    }
+
+    fn decode(b: &[u8]) -> Posting {
+        Posting {
+            doc: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            pos: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+        }
+    }
+}
+
+/// Map function: tokenize a document, emit `(word, (doc, pos))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexMap;
+
+impl MapFn for IndexMap {
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        let Some((doc, words)) = parse_doc(record) else {
+            return;
+        };
+        for (pos, word) in words.enumerate() {
+            out.emit(
+                word,
+                &Posting {
+                    doc,
+                    pos: pos as u32,
+                }
+                .encode(),
+            );
+        }
+    }
+}
+
+/// The index-building reduce function: collect postings, sort by
+/// `(doc, pos)`, emit the posting list. Holistic — no combiner can shrink
+/// it (every posting must survive).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PostingListAgg;
+
+impl PostingListAgg {
+    /// Decode a finished posting list.
+    pub fn decode(out: &[u8]) -> Vec<Posting> {
+        out.chunks_exact(8).map(Posting::decode).collect()
+    }
+}
+
+impl Aggregator for PostingListAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        value.to_vec()
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        state.extend_from_slice(value);
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        state.extend_from_slice(other);
+    }
+
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        let mut postings = Self::decode(&state);
+        postings.sort_unstable();
+        let mut out = Vec::with_capacity(state.len());
+        for p in postings {
+            out.extend_from_slice(&p.encode());
+        }
+        out
+    }
+
+    fn combinable(&self) -> bool {
+        false
+    }
+}
+
+/// Job builder preset: inverted-index construction.
+pub fn job() -> JobSpecBuilder {
+    JobSpec::builder("inverted-index")
+        .map_fn(Arc::new(IndexMap))
+        .aggregate(Arc::new(PostingListAgg))
+        .combine(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepass_runtime::Engine;
+    use std::collections::HashMap;
+
+    #[test]
+    fn posting_roundtrip_and_sort() {
+        let agg = PostingListAgg;
+        let mut state = agg.init(b"w", &Posting { doc: 2, pos: 5 }.encode());
+        agg.update(b"w", &mut state, &Posting { doc: 1, pos: 9 }.encode());
+        agg.update(b"w", &mut state, &Posting { doc: 1, pos: 3 }.encode());
+        let out = agg.finish(b"w", state);
+        let postings = PostingListAgg::decode(&out);
+        assert_eq!(
+            postings,
+            vec![
+                Posting { doc: 1, pos: 3 },
+                Posting { doc: 1, pos: 9 },
+                Posting { doc: 2, pos: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn index_matches_brute_force() {
+        let mut gen = crate::docgen::DocGen::new(crate::docgen::DocGenConfig {
+            vocabulary: 100,
+            min_words: 10,
+            max_words: 30,
+            ..Default::default()
+        });
+        let docs = gen.records(40);
+        // Brute-force reference index.
+        let mut truth: HashMap<Vec<u8>, Vec<Posting>> = HashMap::new();
+        for d in &docs {
+            let (doc, words) = parse_doc(d).unwrap();
+            for (pos, w) in words.enumerate() {
+                truth.entry(w.to_vec()).or_default().push(Posting {
+                    doc,
+                    pos: pos as u32,
+                });
+            }
+        }
+        for v in truth.values_mut() {
+            v.sort_unstable();
+        }
+
+        let splits = crate::make_splits(docs, 8);
+        let job = job().reducers(3).preset_hadoop().build().unwrap();
+        let report = Engine::new().run(&job, splits).unwrap();
+        let mut got: HashMap<Vec<u8>, Vec<Posting>> = HashMap::new();
+        for o in &report.outputs {
+            got.insert(o.key.clone(), PostingListAgg::decode(&o.value));
+        }
+        assert_eq!(got.len(), truth.len(), "vocabulary coverage");
+        for (w, t) in truth {
+            assert_eq!(got[&w], t, "postings for {:?}", String::from_utf8_lossy(&w));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Sessionization — the paper's flagship click-stream workload.
+//!
+//! "An important task is sessionization, which reorders click logs into
+//! individual user sessions. Its MapReduce program employs the map
+//! function to extract the url and user id from each click log, then
+//! groups click logs by user id, and implements the sessionization
+//! algorithm in the reduce function. A key feature of this task is a
+//! large amount of intermediate data" (§III-A).
+//!
+//! * Map: parse a click, emit `(user, (ts, url))` — 8-byte values, so the
+//!   intermediate volume ≈ input volume (no combiner exists).
+//! * Reduce ([`SessionizeAgg`]): collect a user's clicks, order by time,
+//!   split where the idle gap exceeds the threshold, emit the session
+//!   list.
+
+use std::sync::Arc;
+
+use onepass_groupby::Aggregator;
+use onepass_runtime::{JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+
+use crate::clickgen::Click;
+
+/// Default session gap: 30 minutes.
+pub const DEFAULT_GAP_S: u32 = 30 * 60;
+
+/// Map function over text click logs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionizeMapText;
+
+impl MapFn for SessionizeMapText {
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        if let Some(c) = Click::from_text(record) {
+            emit_click(c, out);
+        }
+    }
+}
+
+/// Map function over pre-parsed binary click logs (§III-B.1's
+/// SequenceFile variant — same emissions, no text parsing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionizeMapBinary;
+
+impl MapFn for SessionizeMapBinary {
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        if let Some(c) = Click::from_binary(record) {
+            emit_click(c, out);
+        }
+    }
+}
+
+fn emit_click(c: Click, out: &mut dyn MapEmitter) {
+    let mut value = [0u8; 8];
+    value[..4].copy_from_slice(&c.ts.to_le_bytes());
+    value[4..].copy_from_slice(&c.url.to_le_bytes());
+    out.emit(&c.user.to_le_bytes(), &value);
+}
+
+/// The sessionization reduce function as an aggregate: state is the
+/// concatenation of 8-byte `(ts, url)` entries; `finish` orders them and
+/// splits into sessions.
+///
+/// Holistic (`combinable() == false`): partial aggregation cannot shrink
+/// the data, exactly why this workload has 250% intermediate-to-input
+/// volume in Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionizeAgg {
+    /// Idle gap (seconds) that separates two sessions.
+    pub gap_s: u32,
+}
+
+impl Default for SessionizeAgg {
+    fn default() -> Self {
+        SessionizeAgg {
+            gap_s: DEFAULT_GAP_S,
+        }
+    }
+}
+
+impl SessionizeAgg {
+    /// Decode a finished session list: `Vec` of sessions, each a `Vec`
+    /// of `(ts, url)`.
+    pub fn decode_sessions(out: &[u8]) -> Vec<Vec<(u32, u32)>> {
+        let mut sessions = Vec::new();
+        let mut pos = 0;
+        while pos + 4 <= out.len() {
+            let n = u32::from_le_bytes(out[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            let mut session = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ts = u32::from_le_bytes(out[pos..pos + 4].try_into().unwrap());
+                let url = u32::from_le_bytes(out[pos + 4..pos + 8].try_into().unwrap());
+                session.push((ts, url));
+                pos += 8;
+            }
+            sessions.push(session);
+        }
+        sessions
+    }
+}
+
+impl Aggregator for SessionizeAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        value.to_vec()
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        state.extend_from_slice(value);
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        state.extend_from_slice(other);
+    }
+
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        // Decode, order by timestamp, split at gaps.
+        let mut clicks: Vec<(u32, u32)> = state
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                )
+            })
+            .collect();
+        clicks.sort_unstable();
+        let mut out = Vec::with_capacity(state.len() + 16);
+        let mut session_start = 0usize;
+        for i in 1..=clicks.len() {
+            let boundary =
+                i == clicks.len() || clicks[i].0.saturating_sub(clicks[i - 1].0) > self.gap_s;
+            if boundary {
+                let session = &clicks[session_start..i];
+                out.extend_from_slice(&(session.len() as u32).to_le_bytes());
+                for &(ts, url) in session {
+                    out.extend_from_slice(&ts.to_le_bytes());
+                    out.extend_from_slice(&url.to_le_bytes());
+                }
+                session_start = i;
+            }
+        }
+        out
+    }
+
+    fn combinable(&self) -> bool {
+        false
+    }
+}
+
+/// Job builder preset: sessionization over text click logs.
+pub fn job() -> JobSpecBuilder {
+    JobSpec::builder("sessionization")
+        .map_fn(Arc::new(SessionizeMapText))
+        .aggregate(Arc::new(SessionizeAgg::default()))
+        .combine(false)
+}
+
+/// Job builder preset over pre-parsed binary click logs.
+pub fn job_binary() -> JobSpecBuilder {
+    JobSpec::builder("sessionization-binary")
+        .map_fn(Arc::new(SessionizeMapBinary))
+        .aggregate(Arc::new(SessionizeAgg::default()))
+        .combine(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(clicks: &[(u32, u32)]) -> Vec<u8> {
+        let mut s = Vec::new();
+        for &(ts, url) in clicks {
+            s.extend_from_slice(&ts.to_le_bytes());
+            s.extend_from_slice(&url.to_le_bytes());
+        }
+        s
+    }
+
+    #[test]
+    fn splits_on_gap() {
+        let agg = SessionizeAgg { gap_s: 200 };
+        // Out-of-order input; only the 250 -> 1000 gap exceeds 200 s.
+        let state = enc(&[(1000, 3), (100, 1), (250, 2)]);
+        let out = agg.finish(b"u", state);
+        let sessions = SessionizeAgg::decode_sessions(&out);
+        assert_eq!(
+            sessions,
+            vec![vec![(100, 1), (250, 2)], vec![(1000, 3)]]
+        );
+    }
+
+    #[test]
+    fn single_session_when_no_gap() {
+        let agg = SessionizeAgg { gap_s: 1000 };
+        let state = enc(&[(10, 1), (20, 2), (30, 3)]);
+        let sessions = SessionizeAgg::decode_sessions(&agg.finish(b"u", state));
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_state_yields_no_sessions() {
+        let agg = SessionizeAgg::default();
+        let out = agg.finish(b"u", Vec::new());
+        assert!(SessionizeAgg::decode_sessions(&out).is_empty());
+    }
+
+    #[test]
+    fn update_and_merge_concatenate() {
+        let agg = SessionizeAgg::default();
+        let mut s = agg.init(b"u", &enc(&[(5, 1)]));
+        agg.update(b"u", &mut s, &enc(&[(9, 2)]));
+        let other = agg.init(b"u", &enc(&[(7, 3)]));
+        agg.merge(b"u", &mut s, &other);
+        assert_eq!(s.len(), 24);
+        assert!(!agg.combinable());
+    }
+
+    #[test]
+    fn map_functions_agree_across_encodings() {
+        use onepass_runtime::MapEmitter;
+        struct Cap(Vec<(Vec<u8>, Vec<u8>)>);
+        impl MapEmitter for Cap {
+            fn emit(&mut self, k: &[u8], v: &[u8]) {
+                self.0.push((k.to_vec(), v.to_vec()));
+            }
+        }
+        let c = Click {
+            ts: 777,
+            user: 5,
+            url: 42,
+        };
+        let mut a = Cap(Vec::new());
+        SessionizeMapText.map(&c.to_text(), &mut a);
+        let mut b = Cap(Vec::new());
+        SessionizeMapBinary.map(&c.to_binary(), &mut b);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0.len(), 1);
+        assert_eq!(a.0[0].0, 5u32.to_le_bytes().to_vec());
+
+        // Garbage records emit nothing.
+        let mut g = Cap(Vec::new());
+        SessionizeMapText.map(b"garbage line", &mut g);
+        assert!(g.0.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! Implemented in-repo (a CDF table + binary search) rather than pulling a
+//! distribution crate: the generators need exactly one distribution, and
+//! the table approach is both simple and fast (O(log n) per sample).
+//!
+//! Rank `k` (0-based) is drawn with probability `(k+1)^-s / H(n, s)`.
+
+use rand::Rng;
+
+/// A Zipf sampler over `n` ranks with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n ≥ 1` ranks with exponent `s ≥ 0`.
+    /// `s = 0` degenerates to the uniform distribution.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Fraction of probability mass held by the `top` most frequent ranks
+    /// — used to choose hot-key fractions for simulator profiles.
+    pub fn head_mass(&self, top: usize) -> f64 {
+        if top == 0 {
+            0.0
+        } else {
+            self.cdf[(top - 1).min(self.cdf.len() - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(50, 1.2);
+        for k in 1..50 {
+            assert!(z.pmf(k - 1) > z.pmf(k), "pmf must decrease with rank");
+        }
+        assert!(z.head_mass(5) > 0.5, "steep Zipf concentrates mass early");
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let dev = (emp - z.pmf(k)).abs();
+            assert!(dev < 0.01, "rank {k}: empirical {emp} vs pmf {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.head_mass(1), 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Cluster-scale what-if analysis with the discrete-event simulator:
+//! re-run the paper's sessionization study (256 GB, 10 nodes) under all
+//! three systems and all three storage architectures in milliseconds of
+//! wall time.
+//!
+//! Run: `cargo run --release --example cluster_sim`
+
+use onepass::prelude::*;
+use onepass_core::table::Table;
+
+fn main() {
+    println!("simulating sessionization (256 GB, 10 nodes) across systems and storage\n");
+
+    let mut table = Table::new(
+        "completion time and reduce-side I/O",
+        &["system", "storage", "completion", "spill GB", "merge rewrite GB", "mid-job CPU%", "mid-job iowait%"],
+    );
+
+    let configs = [
+        (SystemType::StockHadoop, StorageConfig::SingleHdd),
+        (SystemType::StockHadoop, StorageConfig::HddPlusSsd),
+        (SystemType::StockHadoop, StorageConfig::Separated),
+        (SystemType::Hop, StorageConfig::SingleHdd),
+        (SystemType::HashOnePass, StorageConfig::SingleHdd),
+    ];
+
+    let mut hadoop_baseline = 0.0;
+    let mut hash_time = 0.0;
+    for (system, storage) in configs {
+        let workload = if storage == StorageConfig::Separated {
+            // The paper halves the input for the separated configuration
+            // "to keep the running time comparable".
+            WorkloadProfile::sessionization().scaled(0.5)
+        } else {
+            WorkloadProfile::sessionization()
+        };
+        let r = run_sim_job(SimJobSpec::new(
+            system,
+            ClusterSpec::paper_cluster(storage),
+            workload,
+        ));
+        if system == SystemType::StockHadoop && storage == StorageConfig::SingleHdd {
+            hadoop_baseline = r.completion_secs;
+        }
+        if system == SystemType::HashOnePass {
+            hash_time = r.completion_secs;
+        }
+        table.row(&[
+            r.system.to_string(),
+            r.storage.to_string(),
+            format!("{:.0} min", r.completion_secs / 60.0),
+            format!("{:.0}", r.spill_written_mb / 1024.0),
+            format!("{:.0}", r.merge_written_mb / 1024.0),
+            format!("{:.0}", r.mean_cpu_util(0.45, 0.62)),
+            format!("{:.0}", r.mean_iowait(0.45, 0.62)),
+        ]);
+    }
+    println!("{}", table.to_text());
+
+    println!(
+        "The hash one-pass system finishes in {:.0}% of stock Hadoop's time and\n\
+         eliminates the multi-pass merge entirely (zero rewrite GB) — while the\n\
+         storage-architecture variants reduce runtime but never remove the\n\
+         blocking merge (§III-C's conclusion).",
+        hash_time / hadoop_baseline * 100.0
+    );
+    assert!(hash_time < hadoop_baseline);
+}

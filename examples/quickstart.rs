@@ -1,0 +1,80 @@
+//! Quickstart: the same word-count job run three ways — stock Hadoop
+//! (sort-merge), MapReduce Online (pipelined + snapshots), and the
+//! paper's hash-based one-pass configuration — with a side-by-side look
+//! at CPU phases and spill I/O.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use onepass::prelude::*;
+use onepass_core::table::Table;
+
+fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+    for w in record.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+        out.emit(w, &1u64.to_le_bytes());
+    }
+}
+
+fn lines() -> Vec<Split> {
+    let text = "the quick brown fox jumps over the lazy dog \
+                the dog barks and the fox runs the end";
+    // Repeat the sentence to give the engine something to chew on.
+    let records: Vec<Vec<u8>> = (0..2000)
+        .map(|i| format!("{text} extra{w}", w = i % 50).into_bytes())
+        .collect();
+    records
+        .chunks(200)
+        .map(|c| Split::new(c.to_vec()))
+        .collect()
+}
+
+fn main() {
+    println!("onepass quickstart: word count under three execution models\n");
+
+    let mut table = Table::new(
+        "word count, 2000 lines",
+        &["system", "groups", "early answers", "sort CPU (ms)", "reduce spill (B)", "wall (ms)"],
+    );
+
+    for (name, builder) in [
+        ("stock Hadoop", JobSpec::builder("wc").preset_hadoop()),
+        ("MapReduce Online", JobSpec::builder("wc").preset_hop()),
+        ("one-pass (hash)", JobSpec::builder("wc").preset_onepass()),
+    ] {
+        let job = builder
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .build()
+            .expect("valid job");
+        let report = Engine::new().run(&job, lines()).expect("job runs");
+
+        // Sanity: "the" appears 5x per line.
+        let the = report
+            .outputs
+            .iter()
+            .find(|o| o.key == b"the" && o.kind == EmitKind::Final)
+            .map(|o| u64::from_le_bytes(o.value.as_slice().try_into().unwrap()))
+            .expect("'the' counted");
+        assert_eq!(the, 5 * 2000);
+
+        table.row(&[
+            name.to_string(),
+            report.groups_out.to_string(),
+            report.early_emits.to_string(),
+            format!(
+                "{:.1}",
+                report.map_profile.time(Phase::MapSort).as_secs_f64() * 1000.0
+            ),
+            report.reduce_spill_traffic().to_string(),
+            format!("{:.1}", report.wall.as_secs_f64() * 1000.0),
+        ]);
+    }
+
+    println!("{}", table.to_text());
+    println!(
+        "Note the one-pass row: zero sort CPU (hash group-by) and early answers\n\
+         available before the job finished — the paper's Table III in action."
+    );
+}

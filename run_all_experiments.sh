@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper plus the supplementary
+# experiments. Outputs: console tables/charts + results/*.csv + results/*.svg.
+set -e
+cargo build --release -p onepass-bench
+for exp in exp_table1 exp_table2 exp_fig2 exp_fig3 exp_fig4 exp_table3 \
+           exp_section5 exp_parsing exp_mapwrite exp_calibrate exp_ablation \
+           exp_engine_timeline; do
+    echo "=================================================================="
+    ./target/release/$exp "$@"
+    echo
+done

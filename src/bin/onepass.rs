@@ -1,0 +1,198 @@
+//! `onepass` — command-line front end: run the paper's workloads on the
+//! real engine or simulate them at cluster scale.
+//!
+//! ```text
+//! onepass run <workload> [--system hadoop|hop|onepass] [--records N]
+//!              [--reducers R] [--budget-kb K]
+//! onepass sim <workload> [--system hadoop|hop|onepass]
+//!              [--storage single-hdd|hdd+ssd|separated] [--scale F]
+//! onepass workloads
+//! ```
+//!
+//! Workloads: sessionization, page-frequency, per-user-count,
+//! inverted-index.
+
+use onepass::prelude::*;
+use onepass::runtime::JobSpecBuilder;
+use onepass_core::config::{fmt_bytes, fmt_secs};
+use onepass_workloads::{
+    inverted_index, make_splits, page_frequency, per_user_count, sessionization, ClickGen,
+    ClickGenConfig, DocGen, DocGenConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         onepass run <workload> [--system hadoop|hop|onepass] [--records N] [--reducers R] [--budget-kb K]\n  \
+         onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
+         onepass workloads\n\n\
+         workloads: sessionization | page-frequency | per-user-count | inverted-index"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("workloads") => {
+            println!("sessionization    reorder click logs into user sessions (no combiner, heavy intermediate data)");
+            println!("page-frequency    COUNT(*) GROUP BY url (combiner-friendly)");
+            println!("per-user-count    COUNT(*) GROUP BY user");
+            println!("inverted-index    word -> (doc, position) posting lists");
+        }
+        _ => usage(),
+    }
+}
+
+fn job_builder(workload: &str) -> JobSpecBuilder {
+    match workload {
+        "sessionization" => sessionization::job(),
+        "page-frequency" => page_frequency::job(),
+        "per-user-count" => per_user_count::job(),
+        "inverted-index" => inverted_index::job(),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let workload = args.first().cloned().unwrap_or_else(|| usage());
+    let system = flag(args, "system").unwrap_or_else(|| "onepass".into());
+    let records: usize = flag(args, "records")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let reducers: usize = flag(args, "reducers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let budget_kb: usize = flag(args, "budget-kb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64 * 1024);
+
+    let builder = job_builder(&workload)
+        .reducers(reducers)
+        .collect_output(false)
+        .reduce_budget_bytes(budget_kb * 1024);
+    let job = match system.as_str() {
+        "hadoop" => builder.preset_hadoop(),
+        "hop" => builder.preset_hop(),
+        "onepass" => builder.preset_onepass(),
+        _ => usage(),
+    }
+    .build()
+    .expect("valid job");
+
+    let splits = if workload == "inverted-index" {
+        let mut gen = DocGen::new(DocGenConfig::default());
+        make_splits(gen.records(records / 100 + 1), records / 1600 + 1)
+    } else {
+        let mut gen = ClickGen::new(ClickGenConfig::default());
+        make_splits(gen.text_records(records), records / 16 + 1)
+    };
+    let input_records: u64 = splits.iter().map(|s| s.records.len() as u64).sum();
+
+    eprintln!("running {workload} on the {system} configuration ({input_records} records)...");
+    let report = Engine::new().run(&job, splits).expect("job failed");
+
+    println!("job:               {} [{}]", report.name, report.backend);
+    println!("wall time:         {}", fmt_secs(report.wall.as_secs_f64()));
+    println!(
+        "cpu (compute):     {}",
+        fmt_secs(report.total_compute_cpu().as_secs_f64())
+    );
+    println!("map tasks:         {}", report.map_tasks);
+    println!("input:             {}", fmt_bytes(report.input_bytes));
+    println!(
+        "shuffled:          {} ({} records, intermediate/input {:.0}%)",
+        fmt_bytes(report.shuffled_bytes),
+        report.shuffled_records,
+        report.intermediate_ratio() * 100.0
+    );
+    println!(
+        "reduce spill:      {}",
+        fmt_bytes(report.reduce_spill_traffic())
+    );
+    println!("groups out:        {}", report.groups_out);
+    println!("early answers:     {}", report.early_emits);
+    if let Some(t) = report.first_early_at {
+        println!(
+            "first early at:    {} ({}% of wall)",
+            fmt_secs(t.as_secs_f64()),
+            (t.as_secs_f64() / report.wall.as_secs_f64() * 100.0) as u32
+        );
+    }
+    let sort = report.map_profile.time(Phase::MapSort);
+    println!("map sort cpu:      {}", fmt_secs(sort.as_secs_f64()));
+}
+
+fn cmd_sim(args: &[String]) {
+    let workload_name = args.first().cloned().unwrap_or_else(|| usage());
+    let system = match flag(args, "system").as_deref().unwrap_or("hadoop") {
+        "hadoop" => SystemType::StockHadoop,
+        "hop" => SystemType::Hop,
+        "onepass" => SystemType::HashOnePass,
+        _ => usage(),
+    };
+    let storage = match flag(args, "storage").as_deref().unwrap_or("single-hdd") {
+        "single-hdd" => StorageConfig::SingleHdd,
+        "hdd+ssd" => StorageConfig::HddPlusSsd,
+        "separated" => StorageConfig::Separated,
+        _ => usage(),
+    };
+    let scale: f64 = flag(args, "scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    let workload = match workload_name.as_str() {
+        "sessionization" => WorkloadProfile::sessionization(),
+        "page-frequency" => WorkloadProfile::page_frequency(),
+        "per-user-count" => WorkloadProfile::per_user_count(),
+        "inverted-index" => WorkloadProfile::inverted_index(),
+        _ => usage(),
+    }
+    .scaled(scale);
+
+    eprintln!(
+        "simulating {workload_name} ({}x scale) as {} on {}...",
+        scale,
+        system.label(),
+        storage.label()
+    );
+    let r = run_sim_job(SimJobSpec::new(
+        system,
+        ClusterSpec::paper_cluster(storage),
+        workload,
+    ));
+
+    println!("completion:        {}", fmt_secs(r.completion_secs));
+    println!("map tasks:         {} ({} reducers)", r.map_tasks, r.reduce_tasks);
+    println!("input:             {:.1} GB", r.input_mb / 1024.0);
+    println!("map output:        {:.1} GB", r.map_output_mb / 1024.0);
+    println!(
+        "reduce spill:      {:.1} GB (merge rewrites {:.1} GB)",
+        r.reduce_spill_total_mb() / 1024.0,
+        r.merge_written_mb / 1024.0
+    );
+    println!(
+        "intermediate/input: {:.0}%",
+        r.intermediate_ratio() * 100.0
+    );
+    println!(
+        "locality:          {:.0}% of map reads local",
+        r.local_map_fraction * 100.0
+    );
+    println!(
+        "mid-job cpu/iowait: {:.0}% / {:.0}%",
+        r.mean_cpu_util(0.45, 0.62),
+        r.mean_iowait(0.45, 0.62)
+    );
+    if r.snapshots > 0 {
+        println!("snapshots:         {}", r.snapshots);
+    }
+}

@@ -1,0 +1,125 @@
+//! Stress tests: moderately large end-to-end runs with real file I/O and
+//! constrained memory, verifying exactness, resource cleanup and that no
+//! temp files leak. The `#[ignore]`d variants run the same checks at 10×
+//! the size (`cargo test --release -- --ignored`).
+
+use std::collections::BTreeMap;
+
+use onepass::prelude::*;
+use onepass_runtime::driver::{EngineConfig, SpillBackend};
+use onepass_workloads::{make_splits, per_user_count, sessionization, ClickGen, ClickGenConfig};
+
+fn temp_spill_dirs() -> usize {
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .starts_with("onepass-spill-")
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+fn run_pair(records: usize) {
+    let mut gen = ClickGen::new(ClickGenConfig {
+        users: 20_000,
+        user_skew: 1.1,
+        ..Default::default()
+    });
+    let data = gen.text_records(records);
+    let dirs_before = temp_spill_dirs();
+
+    let engine = Engine::with_config(EngineConfig {
+        spill: SpillBackend::TempFiles,
+        ..Default::default()
+    });
+    let mut finals: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = Vec::new();
+    for preset_onepass in [false, true] {
+        let builder = sessionization::job()
+            .reducers(4)
+            .reduce_budget_bytes(256 * 1024); // tight: forces real spills
+        let job = if preset_onepass {
+            builder.preset_onepass()
+        } else {
+            builder.preset_hadoop()
+        }
+        .build()
+        .unwrap();
+        let report = engine
+            .run(&job, make_splits(data.clone(), records / 64))
+            .unwrap();
+        assert!(
+            report.reduce_spill_io.bytes_written > 0,
+            "tight budget must force spilling"
+        );
+        finals.push(
+            report
+                .outputs
+                .iter()
+                .filter(|o| o.kind == EmitKind::Final)
+                .map(|o| (o.key.clone(), o.value.clone()))
+                .collect(),
+        );
+    }
+    assert_eq!(finals[0], finals[1], "paths disagree under file I/O");
+    assert!(!finals[0].is_empty());
+    assert_eq!(
+        temp_spill_dirs(),
+        dirs_before,
+        "temp spill directories leaked"
+    );
+}
+
+#[test]
+fn file_backed_spilling_agrees_and_cleans_up() {
+    run_pair(120_000);
+}
+
+#[test]
+#[ignore = "10x-size variant; run with --ignored"]
+fn file_backed_spilling_agrees_and_cleans_up_large() {
+    run_pair(1_200_000);
+}
+
+#[test]
+fn counting_workload_under_pressure_is_exact() {
+    let records = 150_000;
+    let mut gen = ClickGen::new(ClickGenConfig {
+        users: 50_000,
+        ..Default::default()
+    });
+    let data = gen.text_records(records);
+    let mut truth: BTreeMap<u32, u64> = BTreeMap::new();
+    for r in &data {
+        let c = onepass_workloads::clickgen::Click::from_text(r).unwrap();
+        *truth.entry(c.user).or_default() += 1;
+    }
+
+    let job = per_user_count::job()
+        .reducers(4)
+        .preset_onepass()
+        .reduce_budget_bytes(128 * 1024)
+        .build()
+        .unwrap();
+    let report = Engine::new()
+        .run(&job, make_splits(data, 2000))
+        .unwrap();
+    let mut total = 0u64;
+    let mut groups = 0usize;
+    for o in report
+        .outputs
+        .iter()
+        .filter(|o| o.kind == EmitKind::Final)
+    {
+        let user = u32::from_le_bytes(o.key.as_slice().try_into().unwrap());
+        let n = u64::from_le_bytes(o.value.as_slice().try_into().unwrap());
+        assert_eq!(truth[&user], n, "user {user}");
+        total += n;
+        groups += 1;
+    }
+    assert_eq!(total, records as u64);
+    assert_eq!(groups, truth.len());
+}

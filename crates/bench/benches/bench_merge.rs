@@ -39,8 +39,7 @@ fn merge_factor_sweep(c: &mut Criterion) {
                 b.iter(|| {
                     let store = SharedMemStore::new();
                     let metas = make_runs(&store, runs, per_run);
-                    let mut merger =
-                        MultiPassMerger::new(Arc::new(store.clone()), factor).unwrap();
+                    let mut merger = MultiPassMerger::new(Arc::new(store.clone()), factor).unwrap();
                     for m in metas {
                         merger.add_run(m).unwrap();
                     }

@@ -44,7 +44,10 @@ fn groupby_ops(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.sample_size(10);
 
-    for (name, budget) in [("in-memory", usize::MAX / 4), ("mem-constrained", 64 * 1024)] {
+    for (name, budget) in [
+        ("in-memory", usize::MAX / 4),
+        ("mem-constrained", 64 * 1024),
+    ] {
         group.bench_with_input(BenchmarkId::new("sort-merge", name), &budget, |b, &bud| {
             b.iter(|| {
                 run_grouper(

@@ -28,18 +28,26 @@ fn spec(scale: f64) -> SimJobSpec {
 
 fn main() {
     let scale = arg_f64("scale", 0.25);
-    println!("== Ablations: merge factor F and reducer buffer (sessionization, scale {scale}) ==\n");
+    println!(
+        "== Ablations: merge factor F and reducer buffer (sessionization, scale {scale}) ==\n"
+    );
 
     let mut csv = String::from("knob,value,completion_min,merge_rewrite_gb,spill_gb\n");
 
     let mut t1 = Table::new(
         "merge factor F sweep (stock Hadoop)",
-        &["F", "completion", "merge rewrites GB", "total reduce spill GB"],
+        &[
+            "F",
+            "completion",
+            "merge rewrites GB",
+            "total reduce spill GB",
+        ],
     );
     for f in [2usize, 5, 10, 20, 100] {
         let mut s = spec(scale);
         s.merge_factor = f;
         let r = run_sim_job(s);
+        onepass_bench::append_report_jsonl(&r.to_jsonl());
         t1.row(&[
             f.to_string(),
             format!("{:.0} min", r.completion_secs / 60.0),
@@ -57,13 +65,19 @@ fn main() {
 
     let mut t2 = Table::new(
         "reducer buffer sweep (stock Hadoop)",
-        &["buffer MB", "completion", "merge rewrites GB", "total reduce spill GB"],
+        &[
+            "buffer MB",
+            "completion",
+            "merge rewrites GB",
+            "total reduce spill GB",
+        ],
     );
     for frac in [0.25, 0.5, 1.0, 2.0] {
         let mut s = spec(scale);
         s.reduce_mem_mb *= frac;
         let buffer_mb = s.reduce_mem_mb;
         let r = run_sim_job(s);
+        onepass_bench::append_report_jsonl(&r.to_jsonl());
         t2.row(&[
             format!("{buffer_mb:.0}"),
             format!("{:.0} min", r.completion_secs / 60.0),
@@ -83,6 +97,7 @@ fn main() {
     let mut s = spec(scale);
     s.system = SystemType::HashOnePass;
     let hash = run_sim_job(s);
+    onepass_bench::append_report_jsonl(&hash.to_jsonl());
     println!(
         "hash one-pass, same workload: {:.0} min, 0.0 GB merge rewrites, {:.1} GB \
          cold spill — no F, no buffer tuning, nothing to ablate (§IV's point).",

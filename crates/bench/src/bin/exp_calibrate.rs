@@ -13,21 +13,53 @@ use onepass_workloads::calibrate::calibrate;
 
 fn main() {
     let records = arg_usize("records", 200_000);
-    println!("== Calibration: engine-measured CPU costs -> simulator cost model ({records} clicks) ==\n");
+    println!(
+        "== Calibration: engine-measured CPU costs -> simulator cost model ({records} clicks) ==\n"
+    );
 
     let cal = calibrate(records);
     let reference = CostModel::calibrated();
 
     let mut table = Table::new(
         "CPU seconds per MB",
-        &["operation", "measured (this machine)", "derived model", "shipped default"],
+        &[
+            "operation",
+            "measured (this machine)",
+            "derived model",
+            "shipped default",
+        ],
     );
     let rows = [
-        ("map function", cal.measured.map_s_mb, cal.model.cpu_map_s_mb, reference.cpu_map_s_mb),
-        ("map sort", cal.measured.sort_s_mb, cal.model.cpu_sort_s_mb, reference.cpu_sort_s_mb),
-        ("hash partition", cal.measured.hash_s_mb, cal.model.cpu_hash_s_mb, reference.cpu_hash_s_mb),
-        ("merge", cal.measured.merge_s_mb, cal.model.cpu_merge_s_mb, reference.cpu_merge_s_mb),
-        ("incremental update", cal.measured.inc_update_s_mb, cal.model.cpu_inc_update_s_mb, reference.cpu_inc_update_s_mb),
+        (
+            "map function",
+            cal.measured.map_s_mb,
+            cal.model.cpu_map_s_mb,
+            reference.cpu_map_s_mb,
+        ),
+        (
+            "map sort",
+            cal.measured.sort_s_mb,
+            cal.model.cpu_sort_s_mb,
+            reference.cpu_sort_s_mb,
+        ),
+        (
+            "hash partition",
+            cal.measured.hash_s_mb,
+            cal.model.cpu_hash_s_mb,
+            reference.cpu_hash_s_mb,
+        ),
+        (
+            "merge",
+            cal.measured.merge_s_mb,
+            cal.model.cpu_merge_s_mb,
+            reference.cpu_merge_s_mb,
+        ),
+        (
+            "incremental update",
+            cal.measured.inc_update_s_mb,
+            cal.model.cpu_inc_update_s_mb,
+            reference.cpu_inc_update_s_mb,
+        ),
     ];
     let mut csv = String::from("operation,measured_s_mb,derived_s_mb,default_s_mb\n");
     for (name, m, d, r) in rows {
@@ -59,7 +91,9 @@ fn main() {
     let mut derived_spec = spec.clone();
     derived_spec.cost = cal.model;
     let default_run = run_sim_job(spec);
+    onepass_bench::append_report_jsonl(&default_run.to_jsonl());
     let derived_run = run_sim_job(derived_spec);
+    onepass_bench::append_report_jsonl(&derived_run.to_jsonl());
     println!(
         "
 cross-validation (sessionization @25% scale): completion {} min with the          shipped model vs {} min with the machine-derived model; the merge valley          (mid-job CPU {{shipped {:.0}%, derived {:.0}%}} below map-phase CPU          {{{:.0}%, {:.0}%}}) survives either way.",

@@ -10,14 +10,16 @@
 //! function is holistic, so the at-finish sessionize pass dominates the
 //! tail under either backend.
 
-use onepass_bench::{arg_usize, save};
+use onepass_bench::{append_report_jsonl, arg, arg_usize, save};
+use onepass_core::trace::{chrome_trace_json, Tracer};
+use onepass_runtime::driver::EngineConfig;
 use onepass_runtime::report::{JobReport, TaskKind};
 use onepass_runtime::{Engine, JobSpec};
 use onepass_workloads::{make_splits, per_user_count, ClickGen, ClickGenConfig};
 
 fn gantt(report: &JobReport, width: usize) -> String {
     let wall = report.wall.as_secs_f64().max(1e-9);
-    let mut spans: Vec<_> = report.spans.iter().collect();
+    let mut spans: Vec<_> = report.task_spans.iter().collect();
     spans.sort_by(|a, b| {
         (a.kind == TaskKind::Reduce)
             .cmp(&(b.kind == TaskKind::Reduce))
@@ -27,8 +29,7 @@ fn gantt(report: &JobReport, width: usize) -> String {
     let mut out = String::new();
     for s in spans {
         let from = ((s.start.as_secs_f64() / wall) * width as f64) as usize;
-        let to = (((s.end.as_secs_f64() / wall) * width as f64) as usize)
-            .clamp(from + 1, width);
+        let to = (((s.end.as_secs_f64() / wall) * width as f64) as usize).clamp(from + 1, width);
         let (label, ch) = match s.kind {
             TaskKind::Map => (format!("map {:>3}", s.id), '='),
             TaskKind::Reduce => (format!("red {:>3}", s.id), '#'),
@@ -40,17 +41,13 @@ fn gantt(report: &JobReport, width: usize) -> String {
             " ".repeat(width - to)
         ));
     }
-    out.push_str(&format!(
-        "        0{:>width$.3}s\n",
-        wall,
-        width = width
-    ));
+    out.push_str(&format!("        0{:>width$.3}s\n", wall, width = width));
     out
 }
 
 fn csv(report: &JobReport) -> String {
     let mut s = String::from("kind,id,start_s,end_s\n");
-    for span in &report.spans {
+    for span in &report.task_spans {
         s.push_str(&format!(
             "{},{},{:.6},{:.6}\n",
             match span.kind {
@@ -65,10 +62,18 @@ fn csv(report: &JobReport) -> String {
     s
 }
 
-fn run(job: JobSpec, records: usize, map_tasks: usize) -> JobReport {
+fn run(job: JobSpec, records: usize, map_tasks: usize, tracer: Tracer) -> JobReport {
     let mut gen = ClickGen::new(ClickGenConfig::default());
     let splits = make_splits(gen.text_records(records), (records / map_tasks).max(1));
-    Engine::new().run(&job, splits).expect("job runs")
+    let config = EngineConfig {
+        tracer,
+        ..EngineConfig::default()
+    };
+    let report = Engine::with_config(config)
+        .run(&job, splits)
+        .expect("job runs");
+    append_report_jsonl(&report.to_jsonl());
+    report
 }
 
 fn main() {
@@ -84,35 +89,53 @@ fn main() {
             .reducers(3)
             .collect_output(false)
             .reduce_budget_bytes(4 * 1024 * 1024);
-        if onepass { b.preset_onepass() } else { b.preset_hadoop() }
-            .build()
-            .unwrap()
+        if onepass {
+            b.preset_onepass()
+        } else {
+            b.preset_hadoop()
+        }
+        .build()
+        .unwrap()
     };
-    let hadoop = run(chart_job(false), records, 12);
+    // With --trace-out, the Hadoop chart run also records a Chrome
+    // trace: the file shows Fig. 2a's lane structure in Perfetto.
+    let trace_out = arg("trace-out");
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let hadoop = run(chart_job(false), records, 12, tracer.clone());
+    if let Some(path) = &trace_out {
+        match std::fs::write(path, chrome_trace_json(&tracer.drain())) {
+            Ok(()) => println!("  [wrote Chrome trace to {path}]"),
+            Err(e) => eprintln!("  [could not write {path}: {e}]"),
+        }
+    }
     println!("-- stock Hadoop configuration (12 map tasks, chart view) --");
     println!("{}", gantt(&hadoop, 80));
     save("engine_timeline_hadoop.csv", &csv(&hadoop));
 
-    let onepass = run(chart_job(true), records, 12);
+    let onepass = run(chart_job(true), records, 12, Tracer::disabled());
     println!("-- one-pass configuration (12 map tasks, chart view) --");
     println!("{}", gantt(&onepass, 80));
     save("engine_timeline_onepass.csv", &csv(&onepass));
 
     // Tail measurement at realistic task counts.
-    let hadoop = run(chart_job(false), records, 1500);
-    let onepass = run(chart_job(true), records, 1500);
+    let hadoop = run(chart_job(false), records, 1500, Tracer::disabled());
+    let onepass = run(chart_job(true), records, 1500, Tracer::disabled());
 
     // Reduce tail: how long reducers keep running after the last map.
     let tail = |r: &JobReport| {
         let last_map = r
-            .spans
+            .task_spans
             .iter()
             .filter(|s| s.kind == TaskKind::Map)
             .map(|s| s.end)
             .max()
             .unwrap_or_default();
         let last_reduce = r
-            .spans
+            .task_spans
             .iter()
             .filter(|s| s.kind == TaskKind::Reduce)
             .map(|s| s.end)

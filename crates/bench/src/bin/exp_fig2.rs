@@ -16,11 +16,13 @@ use onepass_simcluster::{
 };
 
 fn sim(storage: StorageConfig, scale: f64) -> SimReport {
-    run_sim_job(SimJobSpec::new(
+    let r = run_sim_job(SimJobSpec::new(
         SystemType::StockHadoop,
         ClusterSpec::paper_cluster(storage),
         WorkloadProfile::sessionization().scaled(scale),
-    ))
+    ));
+    onepass_bench::append_report_jsonl(&r.to_jsonl());
+    r
 }
 
 fn main() {

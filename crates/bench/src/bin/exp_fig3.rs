@@ -19,6 +19,7 @@ fn main() {
         ClusterSpec::paper_cluster(StorageConfig::SingleHdd),
         WorkloadProfile::inverted_index().scaled(scale),
     ));
+    onepass_bench::append_report_jsonl(&r.to_jsonl());
     println!(
         "Completion: {:.0} min (paper: 118 min); reduce spill {:.0} GB (paper: 150 GB)\n",
         r.completion_secs / 60.0,

@@ -21,11 +21,13 @@ fn main() {
         cluster.clone(),
         WorkloadProfile::sessionization().scaled(scale),
     ));
+    onepass_bench::append_report_jsonl(&hop.to_jsonl());
     let stock = run_sim_job(SimJobSpec::new(
         SystemType::StockHadoop,
         cluster,
         WorkloadProfile::sessionization().scaled(scale),
     ));
+    onepass_bench::append_report_jsonl(&stock.to_jsonl());
 
     println!("-- (a) CPU utilization --");
     println!("{}", ascii_chart(&hop.series.cpu_util_pct, 90, 8));

@@ -35,7 +35,9 @@ fn main() {
             spill: SpillBackend::TempFiles,
             ..Default::default()
         });
-        runs.push(engine.run(&job, splits).unwrap());
+        let r = engine.run(&job, splits).unwrap();
+        onepass_bench::append_report_jsonl(&r.to_jsonl());
+        runs.push(r);
     }
     runs.sort_by(|a, b| {
         a.map_profile

@@ -35,10 +35,18 @@ fn main() {
 
     let rt = Engine::new().run(&text_job, text).unwrap();
     let rb = Engine::new().run(&bin_job, binary).unwrap();
+    onepass_bench::append_report_jsonl(&rt.to_jsonl());
+    onepass_bench::append_report_jsonl(&rb.to_jsonl());
 
     let mut table = Table::new(
         "Parsing cost",
-        &["input format", "wall time", "map fn CPU", "map sort CPU", "map-fn share of map phase"],
+        &[
+            "input format",
+            "wall time",
+            "map fn CPU",
+            "map sort CPU",
+            "map-fn share of map phase",
+        ],
     );
     for (name, r) in [("text lines", &rt), ("binary records", &rb)] {
         let map_fn = r.map_profile.time(Phase::MapFn).as_secs_f64();

@@ -27,7 +27,9 @@ fn run(job: JobSpec, records: usize, split_records: usize) -> JobReport {
         ..Default::default()
     });
     let splits = make_splits(gen.text_records(records), split_records);
-    Engine::new().run(&job, splits).expect("job runs")
+    let report = Engine::new().run(&job, splits).expect("job runs");
+    onepass_bench::append_report_jsonl(&report.to_jsonl());
+    report
 }
 
 struct Comparison {
@@ -43,7 +45,7 @@ fn run_median(job: &JobSpec, records: usize, split_records: usize) -> JobReport 
     let mut runs: Vec<JobReport> = (0..3)
         .map(|_| run(job.clone(), records, split_records))
         .collect();
-    runs.sort_by(|a, b| a.wall.cmp(&b.wall));
+    runs.sort_by_key(|r| r.wall);
     runs.swap_remove(1)
 }
 

@@ -101,6 +101,7 @@ fn main() {
             workload,
         );
         let r = run_sim_job(spec);
+        onepass_bench::append_report_jsonl(&r.to_jsonl());
         let gb = 1024.0;
         let min = r.completion_secs / 60.0;
         table.row(&[
@@ -122,11 +123,7 @@ fn main() {
                 paper.inter_pct
             ),
             format!("{:.1} ({:.2})", r.output_mb / gb, paper.output_gb * scale),
-            format!(
-                "{} ({:.0})",
-                r.map_tasks,
-                paper.map_tasks as f64 * scale
-            ),
+            format!("{} ({:.0})", r.map_tasks, paper.map_tasks as f64 * scale),
             format!("{}", r.reduce_tasks),
             format!("{:.0} min ({:.0} min)", min, paper.completion_min * scale),
         ]);

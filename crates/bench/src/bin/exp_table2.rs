@@ -9,7 +9,6 @@
 //! measured split. The split is a per-MB CPU property, so it holds at
 //! laptop scale; `--records` (default 400k) adjusts the input size.
 
-
 use onepass_bench::{arg_usize, pct, save};
 use onepass_core::metrics::Phase;
 use onepass_core::table::Table;
@@ -20,6 +19,7 @@ fn run(job: JobSpec, records: usize) -> (f64, f64) {
     let mut gen = ClickGen::new(ClickGenConfig::default());
     let splits = make_splits(gen.text_records(records), records / 16);
     let report = Engine::new().run(&job, splits).expect("job runs");
+    onepass_bench::append_report_jsonl(&report.to_jsonl());
     let map_fn = report.map_profile.time(Phase::MapFn).as_secs_f64();
     let sort = report.map_profile.time(Phase::MapSort).as_secs_f64();
     (map_fn, sort)
@@ -31,9 +31,17 @@ fn main() {
 
     let mut table = Table::new(
         "Table II (measured | paper in parentheses)",
-        &["workload", "map fn CPU", "sorting CPU", "map fn %", "sorting %"],
+        &[
+            "workload",
+            "map fn CPU",
+            "sorting CPU",
+            "map fn %",
+            "sorting %",
+        ],
     );
-    let mut csv = String::from("workload,map_fn_s,sort_s,map_fn_pct,sort_pct,paper_map_fn_pct,paper_sort_pct\n");
+    let mut csv = String::from(
+        "workload,map_fn_s,sort_s,map_fn_pct,sort_pct,paper_map_fn_pct,paper_sort_pct\n",
+    );
 
     let cases: Vec<(&str, JobSpec, f64, f64)> = vec![
         (

@@ -3,7 +3,6 @@
 //! capability descriptors (not hand-typed strings): each row is probed
 //! from the corresponding `JobSpec` preset.
 
-
 use std::sync::Arc;
 
 use onepass_bench::save;

@@ -54,6 +54,26 @@ pub fn arg(name: &str) -> Option<String> {
     std::env::var(format!("ONEPASS_{}", name.to_uppercase().replace('-', "_"))).ok()
 }
 
+/// Append JSONL job-report lines to the file named by `--report-jsonl`
+/// (or `ONEPASS_REPORT_JSONL`); a no-op when the flag is absent. Lets
+/// experiment binaries emit machine-readable reports alongside their
+/// console tables when `run_all_experiments.sh` forwards the flag —
+/// appending, so one file collects every job of a whole sweep.
+pub fn append_report_jsonl(jsonl: &str) {
+    let Some(path) = arg("report-jsonl") else {
+        return;
+    };
+    use std::io::Write;
+    match fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if f.write_all(jsonl.as_bytes()).is_ok() {
+                println!("  [appended report to {path}]");
+            }
+        }
+        Err(e) => eprintln!("  [could not append to {path}: {e}]"),
+    }
+}
+
 /// Parse a numeric flag with a default.
 pub fn arg_f64(name: &str, default: f64) -> f64 {
     arg(name).and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -207,7 +227,9 @@ pub fn svg_chart(title: &str, y_label: &str, series: &[&Series], w: u32, h: u32)
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

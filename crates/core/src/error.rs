@@ -77,7 +77,9 @@ mod tests {
         assert!(s.contains("100"));
         assert!(s.contains("10"));
 
-        assert!(Error::NotFound("run 3".into()).to_string().contains("run 3"));
+        assert!(Error::NotFound("run 3".into())
+            .to_string()
+            .contains("run 3"));
         assert!(Error::Config("bad".into()).to_string().contains("bad"));
     }
 

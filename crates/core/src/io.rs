@@ -158,14 +158,22 @@ impl SharedMemStore {
 
     /// Total payload bytes currently held by live runs.
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.runs.lock().values().map(|v| v.len() as u64).sum()
+        self.inner
+            .runs
+            .lock()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
     }
 }
 
 impl SpillStore for SharedMemStore {
     fn begin_run(&self) -> Result<Box<dyn RunWriter>> {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        self.inner.stats.runs_created.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .runs_created
+            .fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(MemWriter {
             store: Arc::clone(&self.inner),
             id,
@@ -195,7 +203,10 @@ impl SpillStore for SharedMemStore {
             .lock()
             .remove(&id.0)
             .ok_or_else(|| Error::NotFound(format!("mem run {}", id.0)))?;
-        self.inner.stats.runs_deleted.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .runs_deleted
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -206,8 +217,10 @@ impl SpillStore for SharedMemStore {
 
 impl RunWriter for MemWriter {
     fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(key);
         self.buf.extend_from_slice(value);
         self.records += 1;
@@ -334,8 +347,7 @@ impl SpillStore for FileSpillStore {
 
     fn open_run(&self, id: RunId) -> Result<Box<dyn RunReader>> {
         let path = self.run_path(id.0);
-        let file = File::open(&path)
-            .map_err(|_| Error::NotFound(format!("file run {}", id.0)))?;
+        let file = File::open(&path).map_err(|_| Error::NotFound(format!("file run {}", id.0)))?;
         Ok(Box::new(FileReader {
             input: BufReader::with_capacity(1 << 16, file),
             scratch: Vec::new(),
@@ -533,7 +545,9 @@ mod tests {
         assert_eq!(meta.records, 3);
         assert_eq!(
             meta.bytes,
-            encoded_len(b"alpha", b"1") + encoded_len(b"", b"empty-key") + encoded_len(b"beta", b"")
+            encoded_len(b"alpha", b"1")
+                + encoded_len(b"", b"empty-key")
+                + encoded_len(b"beta", b"")
         );
 
         let mut r = store.open_run(meta.id).unwrap();
@@ -581,10 +595,7 @@ mod tests {
     #[test]
     fn missing_run_is_not_found() {
         let store = SharedMemStore::new();
-        assert!(matches!(
-            store.open_run(RunId(42)),
-            Err(Error::NotFound(_))
-        ));
+        assert!(matches!(store.open_run(RunId(42)), Err(Error::NotFound(_))));
         assert!(store.delete_run(RunId(42)).is_err());
     }
 

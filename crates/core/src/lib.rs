@@ -20,6 +20,10 @@
 //!   store for tests.
 //! * [`metrics`] — phase-attributed CPU timers, counters and time-series
 //!   samplers (the paper's `iostat`/`ps` profiling harness analogue).
+//! * [`trace`] — structured task/phase trace events with Chrome
+//!   trace-event JSON export (the timeline plots of Fig. 2a/3 as data).
+//! * [`json`] — dependency-free JSON building and parsing backing the
+//!   trace and report exporters.
 //! * [`table`] — minimal aligned-text / CSV emission for experiment drivers.
 
 #![warn(missing_docs)]
@@ -30,8 +34,10 @@ pub mod config;
 pub mod error;
 pub mod hashlib;
 pub mod io;
+pub mod json;
 pub mod memory;
 pub mod metrics;
 pub mod table;
+pub mod trace;
 
 pub use error::{Error, Result};

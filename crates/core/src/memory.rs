@@ -120,7 +120,10 @@ impl MemoryBudget {
     /// saturates to zero.
     pub fn release(&self, bytes: usize) {
         let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
-        debug_assert!(prev >= bytes, "released {bytes} B but only {prev} B were granted");
+        debug_assert!(
+            prev >= bytes,
+            "released {bytes} B but only {prev} B were granted"
+        );
         if prev < bytes {
             self.inner.used.store(0, Ordering::Relaxed);
         }

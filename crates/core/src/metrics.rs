@@ -156,6 +156,72 @@ impl Profile {
         }
     }
 
+    /// Render as a JSON object: `{"phases":{label:secs,...},
+    /// "counters":{name:value,...}}`. Phase times are emitted in seconds
+    /// with all entries in canonical (label / name) order, so output is
+    /// deterministic. Inverse of [`Profile::from_json`].
+    pub fn to_json(&self) -> String {
+        use crate::json::{escape, fmt_f64};
+        let mut s = String::from("{\"phases\":{");
+        for (i, (p, d)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{}",
+                escape(p.label()),
+                fmt_f64(d.as_secs_f64())
+            ));
+        }
+        s.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Parse a profile from the [`Profile::to_json`] format. Counter
+    /// names must match `'static` names already interned in the binary
+    /// (all counters the engine emits are string literals); unknown
+    /// counter names are rejected rather than silently dropped.
+    pub fn from_json(text: &str, known_counters: &[&'static str]) -> crate::Result<Profile> {
+        use crate::json::Json;
+        let doc = Json::parse(text)?;
+        let bad = |what: &str| crate::Error::Corrupt(format!("profile JSON: {what}"));
+        let mut profile = Profile::new();
+        for (label, v) in doc
+            .get("phases")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("missing phases object"))?
+        {
+            let phase = Phase::all()
+                .iter()
+                .copied()
+                .find(|p| p.label() == label)
+                .ok_or_else(|| bad(&format!("unknown phase '{label}'")))?;
+            let secs = v.as_f64().ok_or_else(|| bad("phase time not a number"))?;
+            profile.add_time(phase, Duration::from_secs_f64(secs));
+        }
+        for (name, v) in doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("missing counters object"))?
+        {
+            let interned = known_counters
+                .iter()
+                .copied()
+                .find(|k| k == name)
+                .ok_or_else(|| bad(&format!("unknown counter '{name}'")))?;
+            let n = v.as_f64().ok_or_else(|| bad("counter not a number"))?;
+            profile.add_count(interned, n as u64);
+        }
+        Ok(profile)
+    }
+
     /// Start a scoped timer that accumulates into `phase` on drop.
     pub fn timed(&mut self, phase: Phase) -> ScopedTimer<'_> {
         ScopedTimer {
@@ -246,6 +312,47 @@ impl Series {
         } else {
             Some(ys.iter().sum::<f64>() / ys.len() as f64)
         }
+    }
+
+    /// Render as a JSON object `{"name":...,"points":[[x,y],...]}`.
+    /// Inverse of [`Series::from_json`].
+    pub fn to_json(&self) -> String {
+        use crate::json::{escape, fmt_f64};
+        let mut s = format!("{{\"name\":\"{}\",\"points\":[", escape(&self.name));
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{},{}]", fmt_f64(*x), fmt_f64(*y)));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a series from the [`Series::to_json`] format.
+    pub fn from_json(text: &str) -> crate::Result<Series> {
+        use crate::json::Json;
+        let doc = Json::parse(text)?;
+        let bad = |what: &str| crate::Error::Corrupt(format!("series JSON: {what}"));
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing name"))?;
+        let mut series = Series::new(name);
+        for point in doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing points array"))?
+        {
+            match point.as_arr() {
+                Some([x, y]) => series.push(
+                    x.as_f64().ok_or_else(|| bad("x not a number"))?,
+                    y.as_f64().ok_or_else(|| bad("y not a number"))?,
+                ),
+                _ => return Err(bad("point is not an [x,y] pair")),
+            }
+        }
+        Ok(series)
     }
 
     /// Render as two-column CSV with header `x,<name>`.
@@ -361,6 +468,54 @@ mod tests {
         assert!(csv.starts_with("x,v,w\n"));
         assert!(csv.contains("0,1.5,\n"));
         assert!(csv.contains("1,2.5,9\n"));
+    }
+
+    #[test]
+    fn profile_json_roundtrip() {
+        let mut p = Profile::new();
+        p.add_time(Phase::MapFn, Duration::from_millis(1500));
+        p.add_time(Phase::Merge, Duration::from_micros(250));
+        p.add_count("records", 12345);
+        p.add_count("spills", 3);
+
+        let json = p.to_json();
+        let back = Profile::from_json(&json, &["records", "spills"]).unwrap();
+        assert_eq!(back.count("records"), 12345);
+        assert_eq!(back.count("spills"), 3);
+        // Times round-trip through f64 seconds; re-serialization must be
+        // exact even if Duration nanos differ by float rounding.
+        assert_eq!(back.to_json(), json);
+        assert!((back.time(Phase::MapFn).as_secs_f64() - 1.5).abs() < 1e-12);
+
+        let empty = Profile::new();
+        assert_eq!(
+            Profile::from_json(&empty.to_json(), &[]).unwrap().to_json(),
+            empty.to_json()
+        );
+    }
+
+    #[test]
+    fn profile_json_rejects_unknowns() {
+        assert!(Profile::from_json("{}", &[]).is_err());
+        assert!(
+            Profile::from_json("{\"phases\":{\"warp_drive\":1},\"counters\":{}}", &[]).is_err()
+        );
+        assert!(Profile::from_json("{\"phases\":{},\"counters\":{\"unknown\":1}}", &[]).is_err());
+    }
+
+    #[test]
+    fn series_json_roundtrip() {
+        let mut s = Series::new("cpu \"busy\"");
+        s.push(0.0, 10.5);
+        s.push(1.0, -3.25);
+        s.push(2.5, 0.0);
+        let back = Series::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+
+        let empty = Series::new("e");
+        assert_eq!(Series::from_json(&empty.to_json()).unwrap(), empty);
+        assert!(Series::from_json("{\"name\":\"x\",\"points\":[[1]]}").is_err());
+        assert!(Series::from_json("{\"points\":[]}").is_err());
     }
 
     #[test]

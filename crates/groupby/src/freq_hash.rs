@@ -37,6 +37,7 @@ use onepass_core::hashlib::{ByteMap, HashFamily, KeyHasher};
 use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
+use onepass_core::trace::LocalTracer;
 use onepass_sketch::{FrequentItems, LossyCounting, MisraGries, SpaceSaving};
 
 use crate::aggregate::Aggregator;
@@ -117,6 +118,7 @@ pub struct FreqHashGrouper {
     spills: u64,
     profile: Profile,
     io_base: IoStats,
+    trace: LocalTracer,
 }
 
 impl std::fmt::Debug for FreqHashGrouper {
@@ -130,11 +132,7 @@ impl std::fmt::Debug for FreqHashGrouper {
 
 impl FreqHashGrouper {
     /// Create with default configuration.
-    pub fn new(
-        store: Arc<dyn SpillStore>,
-        budget: MemoryBudget,
-        agg: Arc<dyn Aggregator>,
-    ) -> Self {
+    pub fn new(store: Arc<dyn SpillStore>, budget: MemoryBudget, agg: Arc<dyn Aggregator>) -> Self {
         Self::with_config(store, budget, agg, FreqHashConfig::default())
     }
 
@@ -171,7 +169,13 @@ impl FreqHashGrouper {
             spills: 0,
             profile: Profile::new(),
             io_base,
+            trace: LocalTracer::disabled(),
         }
+    }
+
+    /// Attach a trace buffer; admit/evict/spill events land on its track.
+    pub fn set_tracer(&mut self, trace: LocalTracer) {
+        self.trace = trace;
     }
 
     /// Number of keys currently resident.
@@ -273,13 +277,23 @@ impl FreqHashGrouper {
         self.evictions += 1;
         self.profile
             .add_time(Phase::ReduceGroup, group_start.elapsed());
+        self.trace.instant(
+            "evict",
+            "freq",
+            &[
+                ("keys", n_evict as f64),
+                ("cold_threshold", self.cold_threshold as f64),
+            ],
+        );
         Ok(n_evict)
     }
 
     fn cold_bucket(&self, key: &[u8]) -> usize {
         // Member index chosen not to collide with the hybrid children's
         // level-0 function (they start at member 0).
-        self.family.member(1_000_003).bucket(key, self.config.cold_fanout)
+        self.family
+            .member(1_000_003)
+            .bucket(key, self.config.cold_fanout)
     }
 
     fn write_cold(&mut self, key: &[u8], payload: &[u8], is_state: bool) -> Result<()> {
@@ -351,9 +365,12 @@ impl GroupBy for FreqHashGrouper {
             return Ok(());
         }
         // Budget full and key not resident: hotness gate.
-        if self.heat(key) > self.cold_threshold {
+        let heat = self.heat(key);
+        if heat > self.cold_threshold {
             self.evict_batch()?;
             if self.try_insert(key, value, false) {
+                self.trace
+                    .instant("admit", "freq", &[("heat", heat as f64)]);
                 return Ok(());
             }
             // Even after eviction it does not fit (giant state): spill.
@@ -391,6 +408,14 @@ impl GroupBy for FreqHashGrouper {
                 continue;
             }
             passes += 1;
+            self.trace.instant(
+                "cold_bucket_resolve",
+                "spill",
+                &[
+                    ("bytes", meta.bytes as f64),
+                    ("records", meta.records as f64),
+                ],
+            );
             let mut child = HybridHashGrouper::new(
                 Arc::clone(&self.store),
                 self.budget.clone(),

@@ -30,6 +30,7 @@ use onepass_core::hashlib::{ByteMap, HashFamily, KeyHasher};
 use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
+use onepass_core::trace::LocalTracer;
 
 use crate::aggregate::Aggregator;
 use crate::sink::{EmitKind, OpStats, Sink};
@@ -71,6 +72,7 @@ pub struct HybridHashGrouper {
     passes: u64,
     profile: Profile,
     io_base: IoStats,
+    trace: LocalTracer,
 }
 
 impl std::fmt::Debug for HybridHashGrouper {
@@ -130,7 +132,13 @@ impl HybridHashGrouper {
             passes: 0,
             profile: Profile::new(),
             io_base,
+            trace: LocalTracer::disabled(),
         })
+    }
+
+    /// Attach a trace buffer; partition/reload events land on its track.
+    pub fn set_tracer(&mut self, trace: LocalTracer) {
+        self.trace = trace;
     }
 
     fn state_cost(key: &[u8], state: &[u8]) -> usize {
@@ -179,7 +187,9 @@ impl HybridHashGrouper {
 
     /// Bucket for `key` at this recursion level (0 = resident).
     fn bucket(&self, key: &[u8]) -> usize {
-        self.family.member(self.level as u64).bucket(key, self.fanout)
+        self.family
+            .member(self.level as u64)
+            .bucket(key, self.fanout)
     }
 
     /// First budget exhaustion: open spill writers and evict every
@@ -197,6 +207,14 @@ impl HybridHashGrouper {
             .filter(|k| hasher.bucket(k, self.fanout) != 0)
             .cloned()
             .collect();
+        self.trace.instant(
+            "partition",
+            "spill",
+            &[
+                ("level", self.level as f64),
+                ("evicted_keys", evicted.len() as f64),
+            ],
+        );
         for key in evicted {
             let state = self.resident.remove(&key).expect("key just listed");
             let b = hasher.bucket(&key, self.fanout);
@@ -243,10 +261,9 @@ impl HybridHashGrouper {
         }
         // Partitioned mode: bucket 0 keys update resident state when
         // possible; everything else goes to its bucket's run.
-        if self.bucket(key) == 0
-            && self.try_absorb(key, payload, tag)? {
-                return Ok(());
-            }
+        if self.bucket(key) == 0 && self.try_absorb(key, payload, tag)? {
+            return Ok(());
+        }
         self.spill_record(key, payload, tag)
     }
 
@@ -292,6 +309,15 @@ impl GroupBy for HybridHashGrouper {
                     continue;
                 }
                 passes += 1;
+                self.trace.instant(
+                    "bucket_reload",
+                    "spill",
+                    &[
+                        ("level", self.level as f64),
+                        ("bytes", meta.bytes as f64),
+                        ("records", meta.records as f64),
+                    ],
+                );
                 // Recurse with the next hash function.
                 let mut child = HybridHashGrouper::at_level(
                     Arc::clone(&self.store),
@@ -301,6 +327,7 @@ impl GroupBy for HybridHashGrouper {
                     self.family.clone(),
                     self.level + 1,
                 )?;
+                child.set_tracer(self.trace.fork());
                 {
                     let mut reader = self.store.open_run(meta.id)?;
                     while let Some(rec) = reader.next_record()? {
@@ -387,7 +414,10 @@ mod tests {
         for (k, c) in count_truth(&recs) {
             assert_eq!(dec_u64(&out[&k]), c);
         }
-        assert_eq!(stats.io.bytes_written, 0, "in-memory hybrid hash spills nothing");
+        assert_eq!(
+            stats.io.bytes_written, 0,
+            "in-memory hybrid hash spills nothing"
+        );
         assert_eq!(store.live_runs(), 0);
     }
 
@@ -400,7 +430,10 @@ mod tests {
         for (k, c) in count_truth(&recs) {
             assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
         }
-        assert!(stats.spills >= 1, "budget pressure must trigger partitioning");
+        assert!(
+            stats.spills >= 1,
+            "budget pressure must trigger partitioning"
+        );
         assert!(stats.io.bytes_written > 0);
         assert!(stats.passes >= 1, "spilled buckets must be recursed");
         assert_eq!(store.live_runs(), 0, "all runs must be cleaned up");
@@ -452,13 +485,10 @@ mod tests {
     #[test]
     fn fanout_below_two_rejected() {
         let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
-        assert!(HybridHashGrouper::new(
-            store,
-            MemoryBudget::unlimited(),
-            1,
-            Arc::new(CountAgg)
-        )
-        .is_err());
+        assert!(
+            HybridHashGrouper::new(store, MemoryBudget::unlimited(), 1, Arc::new(CountAgg))
+                .is_err()
+        );
     }
 
     #[test]
@@ -494,13 +524,8 @@ mod tests {
     fn budget_fully_released() {
         let budget = MemoryBudget::new(1500);
         let store = SharedMemStore::new();
-        let mut g = HybridHashGrouper::new(
-            Arc::new(store),
-            budget.clone(),
-            4,
-            Arc::new(CountAgg),
-        )
-        .unwrap();
+        let mut g =
+            HybridHashGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
         let recs = records(1000, 150);
         let _ = run_op(&mut g, &recs);
         assert_eq!(budget.used(), 0);

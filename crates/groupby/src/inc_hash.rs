@@ -31,6 +31,7 @@ use onepass_core::hashlib::ByteMap;
 use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
+use onepass_core::trace::LocalTracer;
 
 use crate::aggregate::Aggregator;
 use crate::sink::{EmitKind, OpStats, Sink};
@@ -54,8 +55,7 @@ pub struct CountThreshold(pub u64);
 
 impl EarlyEmit for CountThreshold {
     fn ready(&self, _key: &[u8], state: &[u8]) -> bool {
-        state.len() == 8
-            && u64::from_le_bytes(state.try_into().unwrap()) == self.0
+        state.len() == 8 && u64::from_le_bytes(state.try_into().unwrap()) == self.0
     }
 }
 
@@ -76,6 +76,7 @@ pub struct IncHashGrouper {
     spills: u64,
     profile: Profile,
     io_base: IoStats,
+    trace: LocalTracer,
 }
 
 impl std::fmt::Debug for IncHashGrouper {
@@ -89,11 +90,7 @@ impl std::fmt::Debug for IncHashGrouper {
 
 impl IncHashGrouper {
     /// Create an incremental hash grouper without early emission.
-    pub fn new(
-        store: Arc<dyn SpillStore>,
-        budget: MemoryBudget,
-        agg: Arc<dyn Aggregator>,
-    ) -> Self {
+    pub fn new(store: Arc<dyn SpillStore>, budget: MemoryBudget, agg: Arc<dyn Aggregator>) -> Self {
         Self::with_early(store, budget, agg, None)
     }
 
@@ -121,7 +118,14 @@ impl IncHashGrouper {
             spills: 0,
             profile: Profile::new(),
             io_base,
+            trace: LocalTracer::disabled(),
         }
+    }
+
+    /// Attach a trace buffer; overflow spill/pass events land on its
+    /// track.
+    pub fn set_tracer(&mut self, trace: LocalTracer) {
+        self.trace = trace;
     }
 
     /// Number of keys currently resident.
@@ -196,6 +200,8 @@ impl IncHashGrouper {
         if self.overflow.is_none() {
             self.overflow = Some(self.store.begin_run()?);
             self.spills += 1;
+            self.trace
+                .instant("overflow_open", "spill", &[("spill", self.spills as f64)]);
         }
         let mut tagged = Vec::with_capacity(1 + payload.len());
         tagged.push(is_state as u8);
@@ -254,7 +260,6 @@ impl GroupBy for IncHashGrouper {
         // Nested passes over the overflow data.
         let mut passes = 0u64;
         while let Some(meta) = {
-            
             if self.overflow_metas.is_empty() {
                 None
             } else {
@@ -262,6 +267,15 @@ impl GroupBy for IncHashGrouper {
             }
         } {
             passes += 1;
+            self.trace.instant(
+                "overflow_pass",
+                "spill",
+                &[
+                    ("pass", passes as f64),
+                    ("bytes", meta.bytes as f64),
+                    ("records", meta.records as f64),
+                ],
+            );
             let mut absorbed_this_pass = 0u64;
             {
                 let mut reader = self.store.open_run(meta.id)?;
@@ -400,7 +414,11 @@ mod tests {
             g.push(b"a", &i.to_le_bytes(), &mut sink).unwrap();
             g.push(b"b", &i.to_le_bytes(), &mut sink).unwrap();
         }
-        assert_eq!(sink.early_count(), 2, "both keys crossed the threshold once");
+        assert_eq!(
+            sink.early_count(),
+            2,
+            "both keys crossed the threshold once"
+        );
         let early_at: Vec<usize> = sink
             .emitted
             .iter()
@@ -461,14 +479,14 @@ mod tests {
     #[test]
     fn no_sort_phase_ever() {
         let store = SharedMemStore::new();
-        let mut g = IncHashGrouper::new(
-            Arc::new(store),
-            MemoryBudget::new(800),
-            Arc::new(CountAgg),
-        );
+        let mut g =
+            IncHashGrouper::new(Arc::new(store), MemoryBudget::new(800), Arc::new(CountAgg));
         let recs = records(500, 100);
         let (_, stats, _) = run_op(&mut g, &recs);
-        assert_eq!(stats.profile.time(Phase::MapSort), std::time::Duration::ZERO);
+        assert_eq!(
+            stats.profile.time(Phase::MapSort),
+            std::time::Duration::ZERO
+        );
     }
 
     #[test]

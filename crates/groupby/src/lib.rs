@@ -36,7 +36,9 @@ pub mod merge;
 pub mod sink;
 pub mod sortmerge;
 
-pub use aggregate::{Aggregator, AvgAgg, CountAgg, DistinctAgg, ListAgg, MaxAgg, StateInput, SumAgg};
+pub use aggregate::{
+    Aggregator, AvgAgg, CountAgg, DistinctAgg, ListAgg, MaxAgg, StateInput, SumAgg,
+};
 pub use freq_hash::FreqHashGrouper;
 pub use hybrid_hash::HybridHashGrouper;
 pub use inc_hash::IncHashGrouper;

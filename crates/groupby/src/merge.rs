@@ -270,8 +270,10 @@ mod tests {
     fn merges_two_runs_into_sorted_groups() {
         let store = SharedMemStore::new();
         let mut m = MultiPassMerger::new(Arc::new(store.clone()), 10).unwrap();
-        m.add_run(write_run(&store, &[(b"a", b"1"), (b"c", b"2")])).unwrap();
-        m.add_run(write_run(&store, &[(b"a", b"3"), (b"b", b"4")])).unwrap();
+        m.add_run(write_run(&store, &[(b"a", b"1"), (b"c", b"2")]))
+            .unwrap();
+        m.add_run(write_run(&store, &[(b"a", b"3"), (b"b", b"4")]))
+            .unwrap();
         let groups = collect_groups(m.into_grouped().unwrap());
         assert_eq!(groups.len(), 3);
         assert_eq!(groups[0].0, b"a".to_vec());

@@ -111,9 +111,7 @@ impl SortMergeGrouper {
         let mut i = 0;
         while i < self.buf.len() {
             let key_range_start = i;
-            let mut state = self
-                .agg
-                .init(self.buf.key(i), self.buf.value(i));
+            let mut state = self.agg.init(self.buf.key(i), self.buf.value(i));
             i += 1;
             while i < self.buf.len() && self.buf.key(i) == self.buf.key(key_range_start) {
                 self.agg
@@ -273,7 +271,10 @@ mod tests {
         for (k, c) in count_truth(&recs) {
             assert_eq!(dec_u64(&out[&k]), c);
         }
-        assert_eq!(stats.io.bytes_written, 0, "fully in-memory run must not spill");
+        assert_eq!(
+            stats.io.bytes_written, 0,
+            "fully in-memory run must not spill"
+        );
         assert_eq!(store.live_runs(), 0);
         assert_eq!(sink.early_count(), 0, "sort-merge never emits early");
     }
@@ -336,7 +337,10 @@ mod tests {
         // 2 distinct keys, many records: each spill collapses to 2 records.
         let recs = records(300, 2);
         let (_, stats, _) = run_op(&mut g, &recs);
-        assert!(stats.io.bytes_written < 3000, "combine should collapse runs");
+        assert!(
+            stats.io.bytes_written < 3000,
+            "combine should collapse runs"
+        );
     }
 
     #[test]
@@ -380,13 +384,8 @@ mod tests {
     fn budget_is_released_after_finish() {
         let budget = MemoryBudget::new(1 << 20);
         let store = SharedMemStore::new();
-        let mut g = SortMergeGrouper::new(
-            Arc::new(store),
-            budget.clone(),
-            4,
-            Arc::new(CountAgg),
-        )
-        .unwrap();
+        let mut g =
+            SortMergeGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
         let recs = records(100, 10);
         let _ = run_op(&mut g, &recs);
         assert_eq!(budget.used(), 0, "all reserved memory must be returned");

@@ -29,10 +29,8 @@ fn drive_with_faults(
     mk: &dyn Fn(Arc<dyn SpillStore>) -> Box<dyn GroupBy>,
     ops: u64,
 ) -> Result<(), Error> {
-    let store: Arc<dyn SpillStore> = Arc::new(FaultInjectStore::new(
-        Arc::new(SharedMemStore::new()),
-        ops,
-    ));
+    let store: Arc<dyn SpillStore> =
+        Arc::new(FaultInjectStore::new(Arc::new(SharedMemStore::new()), ops));
     let mut g = mk(store);
     let mut sink = VecSink::default();
     for (k, v) in records(3000) {
@@ -102,10 +100,8 @@ fn all_operators_succeed_with_enough_budget() {
 fn failure_mid_job_does_not_double_emit() {
     // Even when finish fails, any output already emitted must not
     // contain duplicate finals.
-    let store: Arc<dyn SpillStore> = Arc::new(FaultInjectStore::new(
-        Arc::new(SharedMemStore::new()),
-        200,
-    ));
+    let store: Arc<dyn SpillStore> =
+        Arc::new(FaultInjectStore::new(Arc::new(SharedMemStore::new()), 200));
     let mut g = FreqHashGrouper::new(store, MemoryBudget::new(4 * 1024), Arc::new(CountAgg));
     let mut sink = VecSink::default();
     for (k, v) in records(3000) {
@@ -123,5 +119,9 @@ fn failure_mid_job_does_not_double_emit() {
     let before = finals.len();
     finals.sort();
     finals.dedup();
-    assert_eq!(finals.len(), before, "duplicate final emissions after failure");
+    assert_eq!(
+        finals.len(),
+        before,
+        "duplicate final emissions after failure"
+    );
 }

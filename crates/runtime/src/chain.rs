@@ -66,7 +66,9 @@ pub fn run_chain(
     config: &ChainConfig,
 ) -> Result<Vec<JobReport>> {
     if jobs.is_empty() {
-        return Err(Error::Config("job chain must have at least one stage".into()));
+        return Err(Error::Config(
+            "job chain must have at least one stage".into(),
+        ));
     }
     for (i, job) in jobs.iter().enumerate() {
         if i + 1 < jobs.len() && !job.collect_output {
@@ -183,7 +185,10 @@ mod tests {
 
     #[test]
     fn stage_without_collect_output_is_rejected() {
-        let stage1 = JobSpec::builder("s1").collect_output(false).build().unwrap();
+        let stage1 = JobSpec::builder("s1")
+            .collect_output(false)
+            .build()
+            .unwrap();
         let stage2 = JobSpec::builder("s2").build().unwrap();
         let err = run_chain(
             &Engine::new(),

@@ -12,6 +12,7 @@ use crossbeam::channel::unbounded;
 use onepass_core::error::{Error, Result};
 use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
+use onepass_core::trace::{Tracer, Track};
 use onepass_groupby::{EmitKind, Sink};
 
 use crate::job::JobSpec;
@@ -43,6 +44,10 @@ pub struct EngineConfig {
     /// Persist map output before task completion (Hadoop fault-tolerance
     /// write, §II-A). Default true.
     pub persist_map_output: bool,
+    /// Trace collection point. Default disabled: every probe site in the
+    /// engine then costs a single branch. Hand in [`Tracer::enabled`] and
+    /// drain it after [`Engine::run`] to get the event stream.
+    pub tracer: Tracer,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +57,7 @@ impl Default for EngineConfig {
             channel_depth: 64,
             spill: SpillBackend::Memory,
             persist_map_output: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -111,8 +117,11 @@ impl Engine {
 
         // Result channels.
         let (map_res_tx, map_res_rx) = unbounded::<Result<(MapTaskStats, TaskSpan)>>();
-        let (red_res_tx, red_res_rx) =
-            unbounded::<Result<(ReduceResult, TaskSpan, TimedSink)>>();
+        let (red_res_tx, red_res_rx) = unbounded::<Result<(ReduceResult, TaskSpan, TimedSink)>>();
+
+        let tracer = &self.config.tracer;
+        let mut driver_trace = tracer.local(Track::new("driver", 0));
+        driver_trace.begin("job", "job");
 
         crossbeam::thread::scope(|scope| {
             // Map workers.
@@ -123,14 +132,25 @@ impl Engine {
                 let map_store = map_store.clone();
                 scope.spawn(move |_| {
                     while let Ok((id, split)) = task_rx.recv() {
+                        let mut trace = tracer.local(Track::new("map", id as u64));
+                        trace.begin("map_task", "task");
                         let t0 = start.elapsed();
-                        let res = run_map_task(job, id, &split, &shuffle_tx, map_store.as_ref());
+                        let res = run_map_task(
+                            job,
+                            id,
+                            &split,
+                            &shuffle_tx,
+                            map_store.as_ref(),
+                            &mut trace,
+                        );
                         let span = TaskSpan {
                             kind: TaskKind::Map,
                             id,
                             start: t0,
                             end: start.elapsed(),
                         };
+                        trace.end("map_task", "task");
+                        drop(trace);
                         let _ = map_res_tx.send(res.map(|s| (s, span)));
                     }
                 });
@@ -142,6 +162,8 @@ impl Engine {
                 let red_res_tx = red_res_tx.clone();
                 let store = Arc::clone(&reduce_stores[partition]);
                 scope.spawn(move |_| {
+                    let mut trace = tracer.local(Track::new("reduce", partition as u64));
+                    trace.begin("reduce_task", "task");
                     let t0 = start.elapsed();
                     let mut sink = TimedSink::new(start, job.collect_output);
                     let budget = MemoryBudget::new(job.reduce_budget_bytes);
@@ -153,6 +175,7 @@ impl Engine {
                         store,
                         budget,
                         &mut sink,
+                        &mut trace,
                     );
                     let span = TaskSpan {
                         kind: TaskKind::Reduce,
@@ -160,12 +183,17 @@ impl Engine {
                         start: t0,
                         end: start.elapsed(),
                     };
+                    trace.end("reduce_task", "task");
+                    drop(trace);
                     let _ = red_res_tx.send(res.map(|r| (r, span, sink)));
                 });
             }
             drop(red_res_tx);
         })
         .map_err(|_| Error::InvalidState("engine worker panicked".into()))?;
+
+        driver_trace.end("job", "job");
+        drop(driver_trace);
 
         // Assemble the report.
         let mut report = JobReport {
@@ -176,7 +204,7 @@ impl Engine {
         for res in map_res_rx.iter() {
             let (stats, span) = res?;
             report.absorb_map(&stats);
-            report.spans.push(span);
+            report.task_spans.push(span);
         }
         if report.map_tasks != total_map_tasks {
             return Err(Error::InvalidState(format!(
@@ -188,7 +216,7 @@ impl Engine {
         for res in red_res_rx.iter() {
             let (result, span, sink) = res?;
             report.absorb_reduce(&result);
-            report.spans.push(span);
+            report.task_spans.push(span);
             early_total += sink.early_seen;
             if let Some(t) = sink.first_early {
                 report.first_early_at = Some(match report.first_early_at {
@@ -346,7 +374,9 @@ mod tests {
         assert_eq!(final_counts(&report), expected());
         // Hash path must not register any sort CPU.
         assert_eq!(
-            report.map_profile.time(onepass_core::metrics::Phase::MapSort),
+            report
+                .map_profile
+                .time(onepass_core::metrics::Phase::MapSort),
             std::time::Duration::ZERO
         );
     }
@@ -415,18 +445,18 @@ mod tests {
             .unwrap();
         let report = Engine::new().run(&job, input()).unwrap();
         let maps = report
-            .spans
+            .task_spans
             .iter()
             .filter(|s| s.kind == TaskKind::Map)
             .count();
         let reds = report
-            .spans
+            .task_spans
             .iter()
             .filter(|s| s.kind == TaskKind::Reduce)
             .count();
         assert_eq!(maps, 2);
         assert_eq!(reds, 2);
-        for s in &report.spans {
+        for s in &report.task_spans {
             assert!(s.end >= s.start);
         }
     }
@@ -444,7 +474,9 @@ mod tests {
             spill: SpillBackend::TempFiles,
             ..Default::default()
         });
-        let many: Vec<String> = (0..200).map(|i| format!("w{} w{} a", i % 37, i % 11)).collect();
+        let many: Vec<String> = (0..200)
+            .map(|i| format!("w{} w{} a", i % 37, i % 11))
+            .collect();
         let refs: Vec<&str> = many.iter().map(|s| s.as_str()).collect();
         let report = engine.run(&job, splits(&refs, 20)).unwrap();
         let counts = final_counts(&report);

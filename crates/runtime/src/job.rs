@@ -132,9 +132,10 @@ impl std::fmt::Debug for ReduceBackend {
                 .field("merge_factor", merge_factor)
                 .field("snapshots", snapshots)
                 .finish(),
-            ReduceBackend::HybridHash { fanout } => {
-                f.debug_struct("HybridHash").field("fanout", fanout).finish()
-            }
+            ReduceBackend::HybridHash { fanout } => f
+                .debug_struct("HybridHash")
+                .field("fanout", fanout)
+                .finish(),
             ReduceBackend::IncHash { early } => f
                 .debug_struct("IncHash")
                 .field("early", &early.is_some())

@@ -9,6 +9,7 @@ use onepass_core::error::Result;
 use onepass_core::hashlib::ByteMap;
 use onepass_core::io::SpillStore;
 use onepass_core::metrics::{Phase, Profile};
+use onepass_core::trace::LocalTracer;
 
 use crate::job::{JobSpec, MapEmitter, MapSideMode, ShuffleMode};
 use crate::shuffle::{Segment, ShuffleTx};
@@ -88,6 +89,7 @@ pub fn run_map_task(
     split: &Split,
     tx: &ShuffleTx,
     map_store: Option<&Arc<dyn SpillStore>>,
+    trace: &mut LocalTracer,
 ) -> Result<MapTaskStats> {
     let mut stats = MapTaskStats {
         input_records: split.records.len() as u64,
@@ -118,11 +120,11 @@ pub fn run_map_task(
         let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
         let push_due = push_granularity.is_some_and(|g| since_flush >= g);
         if buffer_full || push_due {
-            flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats)?;
+            flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats, trace)?;
             since_flush = 0;
         }
     }
-    flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats)?;
+    flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats, trace)?;
     tx.map_done(task_id);
     Ok(stats)
 }
@@ -135,21 +137,32 @@ fn flush_buffer(
     tx: &ShuffleTx,
     map_store: Option<&Arc<dyn SpillStore>>,
     stats: &mut MapTaskStats,
+    trace: &mut LocalTracer,
 ) -> Result<()> {
     if buf.is_empty() {
         return Ok(());
     }
     stats.flushes += 1;
+    trace.instant(
+        "flush",
+        "map",
+        &[("buffer_bytes", buf.arena_bytes() as f64)],
+    );
     let combine_on = job.combine && job.agg.combinable();
 
     let segments: Vec<Segment> = match job.map_side {
         MapSideMode::SortSpill => {
             {
                 let _t = stats.profile.timed(Phase::MapSort);
+                trace.begin(Phase::MapSort.label(), "phase");
                 buf.sort_by_partition_key();
+                trace.end(Phase::MapSort.label(), "phase");
             }
             let ranges = buf.partition_ranges(job.reducers);
             let combine_start = std::time::Instant::now();
+            if combine_on {
+                trace.begin(Phase::Combine.label(), "phase");
+            }
             let mut segs = Vec::new();
             for (p, range) in ranges.into_iter().enumerate() {
                 if range.is_empty() {
@@ -186,6 +199,7 @@ fn flush_buffer(
                 stats
                     .profile
                     .add_time(Phase::Combine, combine_start.elapsed());
+                trace.end(Phase::Combine.label(), "phase");
             }
             segs
         }
@@ -217,6 +231,7 @@ fn flush_buffer(
         }
         MapSideMode::HashCombine => {
             let _t = stats.profile.timed(Phase::MapHash);
+            trace.begin(Phase::MapHash.label(), "phase");
             let mut tables: Vec<ByteMap<Vec<u8>>> =
                 (0..job.reducers).map(|_| ByteMap::default()).collect();
             for (p, key, value) in buf.iter() {
@@ -228,7 +243,7 @@ fn flush_buffer(
                     }
                 }
             }
-            tables
+            let segs: Vec<Segment> = tables
                 .into_iter()
                 .enumerate()
                 .filter(|(_, t)| !t.is_empty())
@@ -239,7 +254,9 @@ fn flush_buffer(
                     combined: true,
                     records: table.into_iter().collect(),
                 })
-                .collect()
+                .collect();
+            trace.end(Phase::MapHash.label(), "phase");
+            segs
         }
     };
     buf.clear();
@@ -251,6 +268,7 @@ fn flush_buffer(
     // mapper's memory, §II-A).
     if let Some(store) = map_store {
         let write_start = std::time::Instant::now();
+        trace.begin(Phase::MapWrite.label(), "phase");
         let mut w = store.begin_run()?;
         for seg in &segments {
             for (k, v) in &seg.records {
@@ -259,13 +277,30 @@ fn flush_buffer(
         }
         let meta = w.finish()?;
         store.delete_run(meta.id)?;
-        stats.profile.add_time(Phase::MapWrite, write_start.elapsed());
+        stats
+            .profile
+            .add_time(Phase::MapWrite, write_start.elapsed());
+        trace.end(Phase::MapWrite.label(), "phase");
     }
 
+    let mut sent_records = 0u64;
+    let mut sent_bytes = 0u64;
     for seg in segments {
-        stats.shuffled_records += seg.len() as u64;
-        stats.shuffled_bytes += seg.payload_bytes();
+        sent_records += seg.len() as u64;
+        sent_bytes += seg.payload_bytes();
         tx.send_segment(seg);
+    }
+    stats.shuffled_records += sent_records;
+    stats.shuffled_bytes += sent_bytes;
+    if sent_records > 0 {
+        trace.instant(
+            "shuffle_send",
+            "shuffle",
+            &[
+                ("records", sent_records as f64),
+                ("bytes", sent_bytes as f64),
+            ],
+        );
     }
     Ok(())
 }
@@ -285,9 +320,7 @@ mod tests {
         }
     }
 
-    fn drain_segments(
-        rxs: Vec<crossbeam::channel::Receiver<ShuffleMsg>>,
-    ) -> (Vec<Segment>, usize) {
+    fn drain_segments(rxs: Vec<crossbeam::channel::Receiver<ShuffleMsg>>) -> (Vec<Segment>, usize) {
         let mut segs = Vec::new();
         let mut dones = 0;
         for rx in rxs {
@@ -303,12 +336,8 @@ mod tests {
 
     fn run_with(job: JobSpec) -> (Vec<Segment>, MapTaskStats) {
         let (tx, rxs) = shuffle_fabric(job.reducers, 1024);
-        let split = Split::new(vec![
-            b"a b a".to_vec(),
-            b"b c".to_vec(),
-            b"a".to_vec(),
-        ]);
-        let stats = run_map_task(&job, 0, &split, &tx, None).unwrap();
+        let split = Split::new(vec![b"a b a".to_vec(), b"b c".to_vec(), b"a".to_vec()]);
+        let stats = run_map_task(&job, 0, &split, &tx, None, &mut LocalTracer::disabled()).unwrap();
         let (segs, dones) = drain_segments(rxs);
         assert_eq!(dones, job.reducers, "MapDone must reach every reducer");
         (segs, stats)
@@ -325,7 +354,7 @@ mod tests {
         let (segs, stats) = run_with(job);
         assert_eq!(stats.input_records, 3);
         assert_eq!(stats.output_records, 6); // a,b,a,b,c,a
-        // Combine collapsed duplicates: only distinct words shuffle.
+                                             // Combine collapsed duplicates: only distinct words shuffle.
         assert_eq!(stats.shuffled_records, 3);
         for seg in &segs {
             assert!(seg.sorted && seg.combined);
@@ -395,14 +424,16 @@ mod tests {
             .build()
             .unwrap();
         let (segs, stats) = run_with(job);
-        assert!(stats.flushes >= 2, "push granularity must force early flushes");
+        assert!(
+            stats.flushes >= 2,
+            "push granularity must force early flushes"
+        );
         assert!(segs.len() >= 2);
     }
 
     #[test]
     fn map_write_is_accounted_when_store_present() {
-        let store: Arc<dyn SpillStore> =
-            Arc::new(onepass_core::io::SharedMemStore::new());
+        let store: Arc<dyn SpillStore> = Arc::new(onepass_core::io::SharedMemStore::new());
         let job = JobSpec::builder("t")
             .map_fn(Arc::new(word_map))
             .aggregate(Arc::new(SumAgg))
@@ -411,16 +442,62 @@ mod tests {
             .unwrap();
         let (tx, _rxs) = shuffle_fabric(1, 64);
         let split = Split::new(vec![b"x y z".to_vec()]);
-        let stats = run_map_task(&job, 0, &split, &tx, Some(&store)).unwrap();
-        assert!(store.stats().bytes_written > 0, "map output must be persisted");
+        let stats = run_map_task(
+            &job,
+            0,
+            &split,
+            &tx,
+            Some(&store),
+            &mut LocalTracer::disabled(),
+        )
+        .unwrap();
+        assert!(
+            store.stats().bytes_written > 0,
+            "map output must be persisted"
+        );
         assert!(stats.profile.time(Phase::MapWrite) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_flush_emits_phase_spans() {
+        use onepass_core::trace::{complete_spans, Tracer, Track};
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(2)
+            .build()
+            .unwrap();
+        let tracer = Tracer::enabled();
+        let mut trace = tracer.local(Track::new("map", 0));
+        let (tx, _rxs) = shuffle_fabric(2, 1024);
+        let split = Split::new(vec![b"a b a".to_vec(), b"b c".to_vec()]);
+        run_map_task(&job, 0, &split, &tx, None, &mut trace).unwrap();
+        drop(trace);
+        let events = tracer.drain();
+        assert!(events.iter().any(|e| e.name == "flush"));
+        assert!(
+            events.iter().any(|e| e.name == "shuffle_send"
+                && e.args.iter().any(|&(k, v)| k == "records" && v > 0.0)),
+            "shuffle_send instant must carry record counts"
+        );
+        let spans = complete_spans(&events).unwrap();
+        assert!(spans.iter().any(|s| s.name == Phase::MapSort.label()));
+        assert!(spans.iter().any(|s| s.name == Phase::Combine.label()));
     }
 
     #[test]
     fn empty_split_still_reports_done() {
         let job = JobSpec::builder("t").reducers(2).build().unwrap();
         let (tx, rxs) = shuffle_fabric(2, 8);
-        let stats = run_map_task(&job, 3, &Split::default(), &tx, None).unwrap();
+        let stats = run_map_task(
+            &job,
+            3,
+            &Split::default(),
+            &tx,
+            None,
+            &mut LocalTracer::disabled(),
+        )
+        .unwrap();
         assert_eq!(stats.output_records, 0);
         let (segs, dones) = drain_segments(rxs);
         assert!(segs.is_empty());

@@ -25,6 +25,7 @@ use onepass_core::hashlib::ByteMap;
 use onepass_core::io::{IoStats, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
+use onepass_core::trace::LocalTracer;
 use onepass_groupby::aggregate::StateInput;
 use onepass_groupby::{
     Aggregator, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper,
@@ -57,6 +58,7 @@ fn effective_agg(job: &JobSpec, combined: bool) -> Arc<dyn Aggregator> {
 
 /// Run one reduce task until all `total_map_tasks` map tasks have
 /// reported done, then finish the backend into `sink`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_reduce_task(
     job: &JobSpec,
     partition: usize,
@@ -65,6 +67,7 @@ pub fn run_reduce_task(
     store: Arc<dyn SpillStore>,
     budget: MemoryBudget,
     sink: &mut dyn Sink,
+    trace: &mut LocalTracer,
 ) -> Result<ReduceResult> {
     match &job.backend {
         ReduceBackend::SortMerge {
@@ -80,8 +83,18 @@ pub fn run_reduce_task(
             sink,
             *merge_factor,
             snapshots,
+            trace,
         ),
-        _ => run_hash_reduce(job, partition, rx, total_map_tasks, store, budget, sink),
+        _ => run_hash_reduce(
+            job,
+            partition,
+            rx,
+            total_map_tasks,
+            store,
+            budget,
+            sink,
+            trace,
+        ),
     }
 }
 
@@ -95,11 +108,15 @@ fn run_hash_reduce(
     store: Arc<dyn SpillStore>,
     budget: MemoryBudget,
     sink: &mut dyn Sink,
+    trace: &mut LocalTracer,
 ) -> Result<ReduceResult> {
     let mut grouper: Option<Box<dyn GroupBy>> = None;
     let mut shuffle_wait = std::time::Duration::ZERO;
     let mut maps_done = 0usize;
 
+    // The shuffle phase (Fig. 2a lane): from task start until every map
+    // task has reported done.
+    trace.begin(Phase::Shuffle.label(), "phase");
     while maps_done < total_map_tasks {
         let wait_start = Instant::now();
         let msg = rx
@@ -116,28 +133,36 @@ fn run_hash_reduce(
                         // segment tells us whether input is combined.
                         let agg = effective_agg(job, seg.combined);
                         let g: Box<dyn GroupBy> = match &job.backend {
-                            ReduceBackend::HybridHash { fanout } => Box::new(
-                                HybridHashGrouper::new(
+                            ReduceBackend::HybridHash { fanout } => {
+                                let mut g = HybridHashGrouper::new(
                                     Arc::clone(&store),
                                     budget.clone(),
                                     *fanout,
                                     agg,
-                                )?,
-                            ),
+                                )?;
+                                g.set_tracer(trace.fork());
+                                Box::new(g)
+                            }
                             ReduceBackend::IncHash { early } => {
-                                Box::new(IncHashGrouper::with_early(
+                                let mut g = IncHashGrouper::with_early(
                                     Arc::clone(&store),
                                     budget.clone(),
                                     agg,
                                     early.clone(),
-                                ))
+                                );
+                                g.set_tracer(trace.fork());
+                                Box::new(g)
                             }
-                            ReduceBackend::FreqHash(cfg) => Box::new(FreqHashGrouper::with_config(
-                                Arc::clone(&store),
-                                budget.clone(),
-                                agg,
-                                cfg.clone(),
-                            )),
+                            ReduceBackend::FreqHash(cfg) => {
+                                let mut g = FreqHashGrouper::with_config(
+                                    Arc::clone(&store),
+                                    budget.clone(),
+                                    agg,
+                                    cfg.clone(),
+                                );
+                                g.set_tracer(trace.fork());
+                                Box::new(g)
+                            }
                             ReduceBackend::SortMerge { .. } => {
                                 unreachable!("sort-merge handled separately")
                             }
@@ -152,10 +177,14 @@ fn run_hash_reduce(
         }
     }
 
+    trace.end(Phase::Shuffle.label(), "phase");
+
+    trace.begin(Phase::ReduceFn.label(), "phase");
     let mut stats = match grouper {
         Some(mut g) => g.finish(sink)?,
         None => OpStats::default(), // received no data at all
     };
+    trace.end(Phase::ReduceFn.label(), "phase");
     stats.profile.add_time(Phase::Shuffle, shuffle_wait);
     Ok(ReduceResult {
         partition,
@@ -184,6 +213,7 @@ fn run_sortmerge_reduce(
     sink: &mut dyn Sink,
     merge_factor: usize,
     snapshots: &[f64],
+    trace: &mut LocalTracer,
 ) -> Result<ReduceResult> {
     let io_base = store.stats();
     let mut merger = MultiPassMerger::new(Arc::clone(&store), merge_factor)?;
@@ -204,6 +234,7 @@ fn run_sortmerge_reduce(
     snapshot_plan.dedup();
     let mut snapshots_taken = 0u64;
 
+    trace.begin(Phase::Shuffle.label(), "phase");
     while maps_done < total_map_tasks {
         let wait_start = Instant::now();
         let msg = rx
@@ -230,7 +261,7 @@ fn run_sortmerge_reduce(
                     .sum();
                 let count_trigger = buffered.len() + 1 >= job.inmem_merge_threshold;
                 if count_trigger || !budget.try_grant(bytes) {
-                    spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile)?;
+                    spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile, trace)?;
                     spills += 1;
                     budget.release(reserved);
                     reserved = 0;
@@ -248,7 +279,7 @@ fn run_sortmerge_reduce(
                     records: seg.records,
                 });
                 if budget.over_limit() {
-                    spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile)?;
+                    spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile, trace)?;
                     spills += 1;
                     budget.release(reserved);
                     reserved = 0;
@@ -260,7 +291,9 @@ fn run_sortmerge_reduce(
                     while snapshot_plan.first().is_some_and(|&t| maps_done >= t) {
                         snapshot_plan.remove(0);
                         if let Some(a) = &agg {
+                            trace.begin("snapshot", "phase");
                             take_snapshot(&buffered, &merger, &store, a, sink, &mut profile)?;
+                            trace.end("snapshot", "phase");
                             snapshots_taken += 1;
                         }
                     }
@@ -269,9 +302,12 @@ fn run_sortmerge_reduce(
         }
     }
 
+    trace.end(Phase::Shuffle.label(), "phase");
+
     // Final phase.
     let a = agg.unwrap_or_else(|| effective_agg(job, false));
     let mut groups_out = 0u64;
+    trace.begin(Phase::ReduceFn.label(), "phase");
     if merger.runs().is_empty() && merger.merge_passes() == 0 {
         // All data still in memory: merge and reduce directly.
         let t = Instant::now();
@@ -300,7 +336,7 @@ fn run_sortmerge_reduce(
         // Hadoop behaviour: the in-memory tail is spilled too, then the
         // final (multi-pass if needed) merge feeds the reduce function.
         if !buffered.is_empty() {
-            spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile)?;
+            spill_buffered(&mut buffered, &mut merger, &store, &a, &mut profile, trace)?;
             spills += 1;
         }
         let mut grouped = merger.into_grouped()?;
@@ -319,6 +355,7 @@ fn run_sortmerge_reduce(
         profile.merge(grouped.profile());
         grouped.cleanup()?;
     }
+    trace.end(Phase::ReduceFn.label(), "phase");
     budget.release(reserved);
     profile.add_time(Phase::Shuffle, shuffle_wait);
 
@@ -364,8 +401,11 @@ impl<'a> VecMergeCursor<'a> {
     fn next_pair(&mut self) -> Option<(Vec<u8>, &'a [u8])> {
         let Reverse((key, s, i)) = self.heap.pop()?;
         if i + 1 < self.segs[s].records.len() {
-            self.heap
-                .push(Reverse((self.segs[s].records[i + 1].0.as_slice(), s, i + 1)));
+            self.heap.push(Reverse((
+                self.segs[s].records[i + 1].0.as_slice(),
+                s,
+                i + 1,
+            )));
         }
         Some((key.to_vec(), self.segs[s].records[i].1.as_slice()))
     }
@@ -380,10 +420,12 @@ fn spill_buffered(
     store: &Arc<dyn SpillStore>,
     agg: &Arc<dyn Aggregator>,
     profile: &mut Profile,
+    trace: &mut LocalTracer,
 ) -> Result<()> {
     if buffered.is_empty() {
         return Ok(());
     }
+    trace.begin(Phase::Merge.label(), "phase");
     let t = Instant::now();
     let mut writer = store.begin_run()?;
     let mut cursor = VecMergeCursor::new(buffered);
@@ -404,6 +446,15 @@ fn spill_buffered(
     }
     let meta = writer.finish()?;
     profile.add_time(Phase::Merge, t.elapsed());
+    trace.end(Phase::Merge.label(), "phase");
+    trace.instant(
+        "reduce_spill",
+        "spill",
+        &[
+            ("bytes", meta.bytes as f64),
+            ("records", meta.records as f64),
+        ],
+    );
     buffered.clear();
     merger.add_run(meta)
 }
@@ -521,6 +572,7 @@ mod tests {
             store,
             MemoryBudget::unlimited(),
             &mut sink,
+            &mut LocalTracer::disabled(),
         )
         .unwrap();
         assert_eq!(res.stats.groups_out, 3);
@@ -543,8 +595,7 @@ mod tests {
             let pairs: Vec<(String, u64)> = (0..20)
                 .map(|i| (format!("key{:03}", (m * 7 + i) % 40), 1u64))
                 .collect();
-            let borrowed: Vec<(&str, u64)> =
-                pairs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let borrowed: Vec<(&str, u64)> = pairs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
             tx.send_segment(sorted_seg(m, &borrowed));
             tx.map_done(m);
         }
@@ -558,6 +609,7 @@ mod tests {
             store,
             MemoryBudget::new(700),
             &mut sink,
+            &mut LocalTracer::disabled(),
         )
         .unwrap();
         assert_eq!(res.stats.groups_out, 40);
@@ -591,6 +643,7 @@ mod tests {
             store,
             MemoryBudget::unlimited(),
             &mut sink,
+            &mut LocalTracer::disabled(),
         )
         .unwrap();
         assert_eq!(res.snapshots_taken, 1);
@@ -640,6 +693,7 @@ mod tests {
             store,
             MemoryBudget::unlimited(),
             &mut sink,
+            &mut LocalTracer::disabled(),
         )
         .unwrap();
         assert_eq!(res.stats.groups_out, 2);
@@ -667,6 +721,7 @@ mod tests {
             store,
             MemoryBudget::unlimited(),
             &mut sink,
+            &mut LocalTracer::disabled(),
         )
         .unwrap();
         assert_eq!(res.stats.groups_out, 0);

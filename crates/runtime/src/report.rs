@@ -19,6 +19,16 @@ pub enum TaskKind {
     Reduce,
 }
 
+impl TaskKind {
+    /// Lowercase label, as used in JSONL reports and trace track groups.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+}
+
 /// One task's lifetime relative to job start — the raw material of the
 /// paper's task-timeline plots (Fig. 2a / Fig. 3).
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +100,7 @@ pub struct JobReport {
     /// Collected output (when the job asked for it).
     pub outputs: Vec<JobOutput>,
     /// Task lifetimes for timeline rendering.
-    pub spans: Vec<TaskSpan>,
+    pub task_spans: Vec<TaskSpan>,
 }
 
 impl JobReport {
@@ -150,6 +160,59 @@ impl JobReport {
         let spill: u64 = reduce_stats.iter().map(|s| s.io.bytes_written).sum();
         spill == self.reduce_spill_io.bytes_written
     }
+
+    /// Render the report as JSONL: one `{"type":"task",...}` line per
+    /// task span followed by a single `{"type":"job",...}` summary line
+    /// embedding both phase profiles. Machine-readable counterpart of the
+    /// tables the experiment binaries print.
+    pub fn to_jsonl(&self) -> String {
+        use onepass_core::json::{escape, fmt_f64};
+        let mut out = String::new();
+        for s in &self.task_spans {
+            out.push_str(&format!(
+                "{{\"type\":\"task\",\"kind\":\"{}\",\"id\":{},\"start_s\":{},\"end_s\":{}}}\n",
+                s.kind.label(),
+                s.id,
+                fmt_f64(s.start.as_secs_f64()),
+                fmt_f64(s.end.as_secs_f64()),
+            ));
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"type\":\"job\",\"name\":\"{}\",\"backend\":\"{}\",\"wall_s\":{},",
+                "\"map_tasks\":{},\"reduce_tasks\":{},",
+                "\"input_records\":{},\"input_bytes\":{},",
+                "\"map_output_records\":{},\"shuffled_records\":{},\"shuffled_bytes\":{},",
+                "\"map_write_bytes\":{},\"reduce_spill_bytes_written\":{},",
+                "\"reduce_spill_bytes_read\":{},\"groups_out\":{},\"early_emits\":{},",
+                "\"snapshots\":{},\"first_early_s\":{},\"first_final_s\":{},",
+                "\"map_profile\":{},\"reduce_profile\":{}}}\n"
+            ),
+            escape(&self.name),
+            escape(&self.backend),
+            fmt_f64(self.wall.as_secs_f64()),
+            self.map_tasks,
+            self.reduce_tasks,
+            self.input_records,
+            self.input_bytes,
+            self.map_output_records,
+            self.shuffled_records,
+            self.shuffled_bytes,
+            self.map_write_io.bytes_written,
+            self.reduce_spill_io.bytes_written,
+            self.reduce_spill_io.bytes_read,
+            self.groups_out,
+            self.early_emits,
+            self.snapshots,
+            self.first_early_at
+                .map_or_else(|| "null".into(), |d| fmt_f64(d.as_secs_f64())),
+            self.first_final_at
+                .map_or_else(|| "null".into(), |d| fmt_f64(d.as_secs_f64())),
+            self.map_profile.to_json(),
+            self.reduce_profile.to_json(),
+        ));
+        out
+    }
 }
 
 pub(crate) fn add_io(acc: &mut IoStats, other: &IoStats) {
@@ -177,6 +240,56 @@ mod tests {
         r.reduce_spill_io.bytes_written = 7;
         r.reduce_spill_io.bytes_read = 5;
         assert_eq!(r.reduce_spill_traffic(), 12);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_task_plus_summary() {
+        use onepass_core::json::Json;
+        let mut r = JobReport {
+            name: "wordcount".into(),
+            backend: "sort-merge".into(),
+            wall: Duration::from_millis(1500),
+            ..Default::default()
+        };
+        r.map_tasks = 2;
+        r.reduce_tasks = 1;
+        r.map_profile.add_time(Phase::MapFn, Duration::from_secs(1));
+        r.task_spans = vec![
+            TaskSpan {
+                kind: TaskKind::Map,
+                id: 0,
+                start: Duration::ZERO,
+                end: Duration::from_millis(500),
+            },
+            TaskSpan {
+                kind: TaskKind::Map,
+                id: 1,
+                start: Duration::from_millis(100),
+                end: Duration::from_millis(700),
+            },
+            TaskSpan {
+                kind: TaskKind::Reduce,
+                id: 0,
+                start: Duration::ZERO,
+                end: Duration::from_millis(1500),
+            },
+        ];
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4, "3 tasks + 1 summary");
+        for line in &lines[..3] {
+            let doc = Json::parse(line).expect("valid task line");
+            assert_eq!(doc.get("type").and_then(Json::as_str), Some("task"));
+        }
+        let summary = Json::parse(lines[3]).expect("valid summary line");
+        assert_eq!(summary.get("type").and_then(Json::as_str), Some("job"));
+        assert_eq!(summary.get("map_tasks").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(summary.get("wall_s").and_then(Json::as_f64), Some(1.5));
+        assert!(summary.get("first_early_s").is_some_and(Json::is_null));
+        assert!(summary
+            .get("map_profile")
+            .and_then(|p| p.get("phases"))
+            .is_some());
     }
 
     #[test]

@@ -192,7 +192,10 @@ mod tests {
             tx.send_segment(seg(0, 1));
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!t.is_finished(), "bounded channel should apply backpressure");
+        assert!(
+            !t.is_finished(),
+            "bounded channel should apply backpressure"
+        );
         let _ = rxs[0].recv().unwrap();
         t.join().unwrap();
     }

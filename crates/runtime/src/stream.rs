@@ -106,12 +106,18 @@ impl StreamSession {
             let budget = MemoryBudget::new(per_partition_budget);
             let agg = Arc::clone(&job.agg);
             let g: Box<dyn GroupBy> = match &job.backend {
-                ReduceBackend::IncHash { early } => {
-                    Box::new(IncHashGrouper::with_early(store, budget, agg, early.clone()))
-                }
-                ReduceBackend::FreqHash(cfg) => {
-                    Box::new(FreqHashGrouper::with_config(store, budget, agg, cfg.clone()))
-                }
+                ReduceBackend::IncHash { early } => Box::new(IncHashGrouper::with_early(
+                    store,
+                    budget,
+                    agg,
+                    early.clone(),
+                )),
+                ReduceBackend::FreqHash(cfg) => Box::new(FreqHashGrouper::with_config(
+                    store,
+                    budget,
+                    agg,
+                    cfg.clone(),
+                )),
                 other => {
                     return Err(Error::Config(format!(
                         "stream sessions require an incremental backend; {} is blocking",
@@ -248,7 +254,10 @@ mod tests {
             early: Some(Arc::new(CountThreshold(3))),
         });
         let batch1: Vec<&[u8]> = vec![b"x", b"y", b"x"];
-        assert!(s.feed(batch1).unwrap().is_empty(), "no threshold crossed yet");
+        assert!(
+            s.feed(batch1).unwrap().is_empty(),
+            "no threshold crossed yet"
+        );
         let batch2: Vec<&[u8]> = vec![b"x", b"z"];
         let answers = s.feed(batch2).unwrap();
         assert_eq!(answers.len(), 1, "x crossed the threshold");
@@ -304,10 +313,7 @@ mod tests {
             .map(|a| u64::from_le_bytes(a.value.as_slice().try_into().unwrap()))
             .sum();
         assert_eq!(total, 20_000);
-        let groups = answers
-            .iter()
-            .filter(|a| a.kind == EmitKind::Final)
-            .count();
+        let groups = answers.iter().filter(|a| a.kind == EmitKind::Final).count();
         assert_eq!(groups, 257);
     }
 

@@ -1,0 +1,149 @@
+//! End-to-end check of the trace layer: run a real job with tracing on,
+//! drain the event stream, and validate that it pairs into complete
+//! spans, matches the report's task accounting, and renders as loadable
+//! Chrome trace JSON.
+
+use std::sync::Arc;
+
+use onepass_core::json::Json;
+use onepass_core::trace::{chrome_trace_json, complete_spans, Tracer};
+use onepass_groupby::SumAgg;
+use onepass_runtime::driver::EngineConfig;
+use onepass_runtime::job::{JobSpec, MapEmitter, ReduceBackend};
+use onepass_runtime::map_task::Split;
+use onepass_runtime::{Engine, TaskKind};
+
+fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+    for w in record.split(|&b| b == b' ') {
+        if !w.is_empty() {
+            out.emit(w, &1u64.to_le_bytes());
+        }
+    }
+}
+
+fn input() -> Vec<Split> {
+    ["a b a", "c b", "a d c", "b a", "d d a", "c a b"]
+        .chunks(2)
+        .map(|c| Split::new(c.iter().map(|l| l.as_bytes().to_vec()).collect()))
+        .collect()
+}
+
+fn run_traced(
+    backend: Option<ReduceBackend>,
+) -> (
+    onepass_runtime::JobReport,
+    Vec<onepass_core::trace::TraceEvent>,
+) {
+    let tracer = Tracer::enabled();
+    let config = EngineConfig {
+        tracer: tracer.clone(),
+        ..EngineConfig::default()
+    };
+    let mut builder = JobSpec::builder("wc-traced")
+        .map_fn(Arc::new(word_map))
+        .aggregate(Arc::new(SumAgg))
+        .reducers(2);
+    if let Some(b) = backend {
+        builder = builder.backend(b);
+    }
+    let job = builder.build().unwrap();
+    let report = Engine::with_config(config).run(&job, input()).unwrap();
+    (report, tracer.drain())
+}
+
+#[test]
+fn traced_job_produces_complete_spans_matching_the_report() {
+    let (report, events) = run_traced(None);
+    assert!(!events.is_empty(), "enabled tracer must record events");
+
+    let spans = complete_spans(&events).expect("every begin must be closed");
+    let task_spans: Vec<_> = spans.iter().filter(|s| s.cat == "task").collect();
+    assert_eq!(
+        task_spans.len(),
+        report.map_tasks + report.reduce_tasks,
+        "one task span per task"
+    );
+
+    // Each report task span has a matching trace span on its track.
+    for t in &report.task_spans {
+        let (group, name) = match t.kind {
+            TaskKind::Map => ("map", "map_task"),
+            TaskKind::Reduce => ("reduce", "reduce_task"),
+        };
+        assert!(
+            task_spans
+                .iter()
+                .any(|s| s.name == name && s.track.group == group && s.track.id == t.id as u64),
+            "missing trace span for {group} task {}",
+            t.id
+        );
+    }
+
+    // The driver's job span encloses every task span.
+    let job = spans.iter().find(|s| s.name == "job").expect("job span");
+    for s in &task_spans {
+        assert!(s.start >= job.start && s.end <= job.end);
+    }
+
+    // Phase sub-spans exist (shuffle on every reducer, at minimum).
+    let shuffles = spans
+        .iter()
+        .filter(|s| s.name == "shuffle" && s.cat == "phase")
+        .count();
+    assert_eq!(shuffles, report.reduce_tasks);
+}
+
+#[test]
+fn traced_job_chrome_json_is_loadable() {
+    let (report, events) = run_traced(None);
+    let text = chrome_trace_json(&events);
+    let doc = Json::parse(&text).expect("chrome trace must be valid JSON");
+    let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    assert!(arr.len() > events.len(), "metadata records must be present");
+
+    // Count B/E pairs with cat "task": one pair per task.
+    let begins = arr
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("B")
+                && e.get("cat").and_then(Json::as_str) == Some("task")
+        })
+        .count();
+    let ends = arr
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("E")
+                && e.get("cat").and_then(Json::as_str) == Some("task")
+        })
+        .count();
+    assert_eq!(begins, report.map_tasks + report.reduce_tasks);
+    assert_eq!(begins, ends);
+
+    // Every event carries a pid/tid that metadata names.
+    let named_pids: Vec<f64> = arr
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+        .map(|e| e.get("pid").and_then(Json::as_f64).unwrap())
+        .collect();
+    for e in arr {
+        if e.get("ph").and_then(Json::as_str) == Some("M") {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap();
+        assert!(named_pids.contains(&pid), "pid {pid} has no process_name");
+    }
+}
+
+#[test]
+fn sortmerge_backend_emits_spill_instants_when_memory_is_tight() {
+    let (_, events) = run_traced(Some(ReduceBackend::SortMerge {
+        merge_factor: 2,
+        snapshots: vec![],
+    }));
+    // Spans still pair even with merge/spill activity interleaved.
+    complete_spans(&events).expect("balanced spans with sort-merge backend");
+    // reduce_fn phase appears on reducer tracks.
+    assert!(events
+        .iter()
+        .any(|e| e.name == "reduce_fn" && e.track.group == "reduce"));
+}

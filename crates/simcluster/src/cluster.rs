@@ -144,7 +144,10 @@ mod tests {
             StorageConfig::Separated.label(),
         ];
         assert_eq!(
-            labels.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            labels
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             3
         );
     }

@@ -12,6 +12,10 @@
 //! cold-key spill, short final emit.
 
 use std::collections::VecDeque;
+use std::time::Duration;
+
+use onepass_core::metrics::Phase;
+use onepass_core::trace::{Tracer, Track};
 
 use crate::cluster::ClusterSpec;
 use crate::dfs::{Dfs, DfsConfig};
@@ -89,30 +93,78 @@ impl SimJobSpec {
 #[derive(Debug, Clone)]
 enum Action {
     // Map pipeline.
-    MapLoadedRemoteDisk { task: usize },
-    MapLoadedNic { task: usize },
-    MapLoaded { task: usize },
-    MapComputed { task: usize },
-    MapWritten { task: usize },
+    MapLoadedRemoteDisk {
+        task: usize,
+    },
+    MapLoadedNic {
+        task: usize,
+    },
+    MapLoaded {
+        task: usize,
+    },
+    MapComputed {
+        task: usize,
+    },
+    MapWritten {
+        task: usize,
+    },
     // Shuffle.
-    SegmentArrived { reducer: usize, mb: f64 },
+    SegmentArrived {
+        reducer: usize,
+        mb: f64,
+    },
     /// A partial (pipelined) chunk of a segment: bytes arrive and buffer,
     /// but the per-map segment counter only advances on `SegmentArrived`.
-    ChunkArrived { reducer: usize, mb: f64 },
+    ChunkArrived {
+        reducer: usize,
+        mb: f64,
+    },
     // Sort-merge reduce pipeline.
-    SpillWritten { reducer: usize, mb: f64 },
-    MergeRead { reducer: usize, mb: f64 },
-    MergeCpuDone { reducer: usize, mb: f64 },
-    MergeWritten { reducer: usize, mb: f64 },
-    SnapshotRead { reducer: usize, mb: f64 },
-    SnapshotCpuDone { reducer: usize },
-    FinalRead { reducer: usize, mb: f64 },
-    FinalCpuDone { reducer: usize },
-    FinalWrittenLocal { reducer: usize, mb: f64 },
-    FinalWritten { reducer: usize },
+    SpillWritten {
+        reducer: usize,
+        mb: f64,
+    },
+    MergeRead {
+        reducer: usize,
+        mb: f64,
+    },
+    MergeCpuDone {
+        reducer: usize,
+        mb: f64,
+    },
+    MergeWritten {
+        reducer: usize,
+        mb: f64,
+    },
+    SnapshotRead {
+        reducer: usize,
+        mb: f64,
+    },
+    SnapshotCpuDone {
+        reducer: usize,
+    },
+    FinalRead {
+        reducer: usize,
+        mb: f64,
+    },
+    FinalCpuDone {
+        reducer: usize,
+    },
+    FinalWrittenLocal {
+        reducer: usize,
+        mb: f64,
+    },
+    FinalWritten {
+        reducer: usize,
+    },
     // Hash reduce pipeline.
-    IncUpdateDone { reducer: usize },
-    ColdSpillWritten { reducer: usize, mb: f64 },
+    IncUpdateDone {
+        reducer: usize,
+    },
+    ColdSpillWritten {
+        reducer: usize,
+        mb: f64,
+    },
     // CPU consumed without gating anything (HOP reduce-side sorting).
     CpuSink,
 }
@@ -210,10 +262,14 @@ struct World {
     merge_read_mb: f64,
     merge_written_mb: f64,
     completion: Option<SimTime>,
+    /// Trace collection point; events are stamped with sim time so a
+    /// simulated run renders on the same Chrome-trace schema as a real
+    /// engine run.
+    tracer: Tracer,
 }
 
 impl World {
-    fn new(spec: SimJobSpec) -> Self {
+    fn new(spec: SimJobSpec, tracer: Tracer) -> Self {
         let cluster = &spec.cluster;
         let idx = ResIdx {
             compute_nodes: cluster.compute_nodes(),
@@ -340,7 +396,69 @@ impl World {
             merge_read_mb: 0.0,
             merge_written_mb: 0.0,
             completion: None,
+            tracer,
             spec,
+        }
+    }
+
+    // --- trace emission ---------------------------------------------------
+
+    /// Open a span on `(group, id)` at sim time `at`. Each emission uses a
+    /// transient buffer that flushes immediately, so the shared stream
+    /// keeps emission order at equal timestamps (which is what the
+    /// stack-based span pairing relies on).
+    fn trace_begin(
+        &self,
+        group: &'static str,
+        id: usize,
+        name: &'static str,
+        cat: &'static str,
+        at: SimTime,
+    ) {
+        if self.tracer.is_enabled() {
+            self.tracer.local(Track::new(group, id as u64)).begin_at(
+                name,
+                cat,
+                Duration::from_micros(at),
+            );
+        }
+    }
+
+    /// Close the innermost span on `(group, id)` at sim time `at`.
+    fn trace_end(
+        &self,
+        group: &'static str,
+        id: usize,
+        name: &'static str,
+        cat: &'static str,
+        at: SimTime,
+    ) {
+        if self.tracer.is_enabled() {
+            self.tracer.local(Track::new(group, id as u64)).end_at(
+                name,
+                cat,
+                Duration::from_micros(at),
+            );
+        }
+    }
+
+    /// Record a point event on `(group, id)` at sim time `at`.
+    fn trace_instant(
+        &self,
+        group: &'static str,
+        id: usize,
+        name: &'static str,
+        cat: &'static str,
+        at: SimTime,
+        args: &[(&'static str, f64)],
+    ) {
+        if self.tracer.is_enabled() {
+            self.tracer.local(Track::new(group, id as u64)).instant_at(
+                name,
+                cat,
+                Duration::from_micros(at),
+                args,
+            );
         }
     }
 
@@ -403,6 +521,7 @@ impl World {
                 self.task_node[task] = node;
                 let now = self.q.now();
                 self.sampler.adjust(Gauge::MapTasks, now, 1.0);
+                self.trace_begin("map", task, "map_task", "task", now);
                 let block = self.spec.cluster.block_mb;
                 if self.spec.cluster.dfs_is_remote() {
                     // Separated architecture: every read is remote, from
@@ -506,6 +625,7 @@ impl World {
                 .count(Counter::DiskWriteMb, now, self.map_out_block_mb);
         }
         self.sampler.adjust(Gauge::MapTasks, now, -1.0);
+        self.trace_end("map", task, "map_task", "task", now);
         self.free_slots[self.task_node[task]] += 1;
         self.maps_done += 1;
 
@@ -515,7 +635,11 @@ impl World {
         // small transfers, each paying the per-request overhead.
         let r_count = self.reducers.len();
         let seg_mb = self.map_out_block_mb / r_count as f64;
-        let chunks = if self.spec.system == SystemType::Hop { 6 } else { 1 };
+        let chunks = if self.spec.system == SystemType::Hop {
+            6
+        } else {
+            1
+        };
         for r in 0..r_count {
             let dst = self.reducers[r].node;
             for c in 0..chunks {
@@ -566,8 +690,10 @@ impl World {
             SystemType::StockHadoop | SystemType::Hop => {
                 if self.spec.system == SystemType::Hop {
                     // Reduce-side share of the sorting work.
-                    let cpu_s =
-                        mb * self.spec.cost.cpu_sort_s_mb * self.spec.workload.sort_cpu_weight * 0.5;
+                    let cpu_s = mb
+                        * self.spec.cost.cpu_sort_s_mb
+                        * self.spec.workload.sort_cpu_weight
+                        * 0.5;
                     self.res[self.idx.cpu(node)].request(&mut self.q, cpu_s, Action::CpuSink);
                 }
                 self.reducers[reducer].buffered_mb += mb;
@@ -588,9 +714,8 @@ impl World {
             }
             SystemType::HashOnePass => {
                 // Incremental in-memory update, spread over arrival.
-                let cpu_s = mb
-                    * self.spec.cost.cpu_inc_update_s_mb
-                    * self.spec.workload.reduce_cpu_weight;
+                let cpu_s =
+                    mb * self.spec.cost.cpu_inc_update_s_mb * self.spec.workload.reduce_cpu_weight;
                 self.reducers[reducer].pending_updates += 1;
                 self.res[self.idx.cpu(node)].request(
                     &mut self.q,
@@ -634,6 +759,14 @@ impl World {
     fn on_spill_written(&mut self, reducer: usize, mb: f64) {
         let now = self.q.now();
         self.sampler.count(Counter::DiskWriteMb, now, mb);
+        self.trace_instant(
+            "reduce",
+            reducer,
+            "reduce_spill",
+            "spill",
+            now,
+            &[("mb", mb)],
+        );
         self.spill_written_mb += mb;
         self.reducers[reducer].pending_spills -= 1;
         self.reducers[reducer].runs.push(mb);
@@ -710,6 +843,7 @@ impl World {
         self.sampler.count(Counter::DiskWriteMb, now, mb);
         self.merge_written_mb += mb;
         self.sampler.adjust(Gauge::MergeTasks, now, -1.0);
+        self.trace_instant("reduce", reducer, "merge_pass", "merge", now, &[("mb", mb)]);
         self.reducers[reducer].merging = false;
         self.reducers[reducer].runs.push(mb);
         self.maybe_background_merge(reducer, false);
@@ -763,6 +897,7 @@ impl World {
     fn on_snapshot_cpu_done(&mut self, reducer: usize) {
         let now = self.q.now();
         self.sampler.adjust(Gauge::MergeTasks, now, -1.0);
+        self.trace_instant("reduce", reducer, "snapshot", "phase", now, &[]);
         self.reducers[reducer].snapshotting = false;
         self.maybe_start_final(reducer);
     }
@@ -777,6 +912,7 @@ impl World {
     fn on_cold_spill_written(&mut self, reducer: usize, mb: f64) {
         let now = self.q.now();
         self.sampler.count(Counter::DiskWriteMb, now, mb);
+        self.trace_instant("reduce", reducer, "cold_spill", "spill", now, &[("mb", mb)]);
         self.spill_written_mb += mb;
         self.reducers[reducer].pending_spills -= 1;
         self.reducers[reducer].cold_total_mb += mb;
@@ -801,10 +937,8 @@ impl World {
             return;
         }
         // Sort-merge: if still above F runs, keep multipassing first.
-        if matches!(
-            self.spec.system,
-            SystemType::StockHadoop | SystemType::Hop
-        ) && self.reducers[reducer].runs.len() > self.spec.merge_factor
+        if matches!(self.spec.system, SystemType::StockHadoop | SystemType::Hop)
+            && self.reducers[reducer].runs.len() > self.spec.merge_factor
         {
             // End-of-job multipass: bring the file count down to F.
             self.maybe_background_merge(reducer, true);
@@ -814,10 +948,8 @@ impl World {
         // disk "waiting for all future data to produce a single sorted
         // run" — even when memory would have sufficed. This is the spill
         // Table I records for the counting workloads (1.4 GB / 0.2 GB).
-        if matches!(
-            self.spec.system,
-            SystemType::StockHadoop | SystemType::Hop
-        ) && self.reducers[reducer].buffered_mb > 0.0
+        if matches!(self.spec.system, SystemType::StockHadoop | SystemType::Hop)
+            && self.reducers[reducer].buffered_mb > 0.0
         {
             let spill_mb =
                 self.reducers[reducer].buffered_mb * self.spec.workload.reduce_spill_ratio;
@@ -837,6 +969,8 @@ impl World {
         self.reducers[reducer].state = ReducerState::Finalizing;
         let now = self.q.now();
         self.sampler.adjust(Gauge::ReduceTasks, now, 1.0);
+        self.trace_end("reduce", reducer, Phase::Shuffle.label(), "phase", now);
+        self.trace_begin("reduce", reducer, Phase::ReduceFn.label(), "phase", now);
         let node = self.reducers[reducer].node;
         let read_mb = match self.spec.system {
             SystemType::StockHadoop | SystemType::Hop => {
@@ -877,9 +1011,7 @@ impl World {
                 total_mb * (c.cpu_merge_s_mb + c.cpu_reduce_s_mb * w.reduce_cpu_weight)
             }
             // Hash: only the cold remainder needs work; hot keys are done.
-            SystemType::HashOnePass => {
-                mb * (c.cpu_inc_update_s_mb * w.reduce_cpu_weight) + 0.5
-            }
+            SystemType::HashOnePass => mb * (c.cpu_inc_update_s_mb * w.reduce_cpu_weight) + 0.5,
         };
         self.res[self.idx.cpu(node)].request(&mut self.q, cpu_s, Action::FinalCpuDone { reducer });
     }
@@ -923,6 +1055,8 @@ impl World {
             / self.reducers.len() as f64;
         self.sampler.count(Counter::DiskWriteMb, now, out_mb);
         self.sampler.adjust(Gauge::ReduceTasks, now, -1.0);
+        self.trace_end("reduce", reducer, Phase::ReduceFn.label(), "phase", now);
+        self.trace_end("reduce", reducer, "reduce_task", "task", now);
         self.reducers[reducer].state = ReducerState::Done;
         self.reducers_done += 1;
         if self.reducers_done == self.reducers.len() {
@@ -948,11 +1082,8 @@ impl World {
                 );
             }
             Action::MapLoadedNic { task } => {
-                self.sampler.count(
-                    Counter::NetMb,
-                    self.q.now(),
-                    self.spec.cluster.block_mb,
-                );
+                self.sampler
+                    .count(Counter::NetMb, self.q.now(), self.spec.cluster.block_mb);
                 self.on_map_loaded(task);
             }
             Action::MapLoaded { task } => {
@@ -973,9 +1104,7 @@ impl World {
             Action::SnapshotCpuDone { reducer } => self.on_snapshot_cpu_done(reducer),
             Action::FinalRead { reducer, mb } => self.on_final_read(reducer, mb),
             Action::FinalCpuDone { reducer } => self.on_final_cpu_done(reducer),
-            Action::FinalWrittenLocal { reducer, mb } => {
-                self.on_final_written_local(reducer, mb)
-            }
+            Action::FinalWrittenLocal { reducer, mb } => self.on_final_written_local(reducer, mb),
             Action::FinalWritten { reducer } => self.on_final_written(reducer),
             Action::IncUpdateDone { reducer } => self.on_inc_update_done(reducer),
             Action::ColdSpillWritten { reducer, mb } => self.on_cold_spill_written(reducer, mb),
@@ -985,6 +1114,11 @@ impl World {
 
     fn run(mut self) -> SimReport {
         // Job start: all reducers enter shuffle state; initial map wave.
+        self.trace_begin("driver", 0, "job", "job", 0);
+        for r in 0..self.reducers.len() {
+            self.trace_begin("reduce", r, "reduce_task", "task", 0);
+            self.trace_begin("reduce", r, Phase::Shuffle.label(), "phase", 0);
+        }
         self.sampler
             .set(Gauge::ShuffleTasks, 0, self.reducers.len() as f64);
         self.schedule_maps();
@@ -1001,6 +1135,7 @@ impl World {
             self.refresh_resource_gauges();
         }
         let end = self.completion.unwrap_or_else(|| self.q.now());
+        self.trace_end("driver", 0, "job", "job", end);
         let local_map_fraction = if self.local_maps + self.remote_maps == 0 {
             0.0
         } else {
@@ -1023,7 +1158,16 @@ impl World {
 
 /// Simulate `spec` to completion and return the report.
 pub fn run_sim_job(spec: SimJobSpec) -> SimReport {
-    World::new(spec).run()
+    run_sim_job_traced(spec, Tracer::disabled())
+}
+
+/// Simulate `spec`, recording trace events into `tracer` stamped with
+/// sim time. Drain the tracer afterwards and feed
+/// [`onepass_core::trace::chrome_trace_json`] to get a timeline on the
+/// exact schema a real engine run produces (map/reduce/driver lanes,
+/// `shuffle`/`reduce_fn` phase spans, spill instants with volumes).
+pub fn run_sim_job_traced(spec: SimJobSpec, tracer: Tracer) -> SimReport {
+    World::new(spec, tracer).run()
 }
 
 #[cfg(test)]
@@ -1107,8 +1251,7 @@ mod tests {
         // map output + reducer spills + merge rewrites + final output.
         let r = small(SystemType::StockHadoop, StorageConfig::SingleHdd);
         let counted: f64 = r.series.disk_write_mb.points.iter().map(|&(_, y)| y).sum();
-        let explained =
-            r.map_output_mb + r.spill_written_mb + r.merge_written_mb + r.output_mb;
+        let explained = r.map_output_mb + r.spill_written_mb + r.merge_written_mb + r.output_mb;
         let dev = (counted - explained).abs() / explained;
         assert!(
             dev < 0.01,
@@ -1170,6 +1313,46 @@ mod tests {
             r.local_map_fraction, 0.0,
             "separated architecture reads everything remotely"
         );
+    }
+
+    #[test]
+    fn traced_sim_emits_spans_on_the_engine_schema() {
+        use onepass_core::json::Json;
+        use onepass_core::trace::{chrome_trace_json, complete_spans};
+
+        let cluster = ClusterSpec::paper_cluster(StorageConfig::SingleHdd);
+        let workload = WorkloadProfile::sessionization().scaled(0.02);
+        let mut spec = SimJobSpec::new(SystemType::StockHadoop, cluster, workload);
+        spec.reduce_mem_mb = 20.0;
+        let tracer = Tracer::enabled();
+        let report = run_sim_job_traced(spec, tracer.clone());
+
+        let events = tracer.drain();
+        assert!(!events.is_empty());
+        let spans = complete_spans(&events).expect("balanced begin/end events");
+        let maps = spans.iter().filter(|s| s.name == "map_task").count();
+        assert_eq!(maps, report.map_tasks);
+        let reduces = spans.iter().filter(|s| s.name == "reduce_task").count();
+        assert_eq!(reduces, report.reduce_tasks);
+        // Every reducer shows the shuffle → final phase structure.
+        let shuffles = spans.iter().filter(|s| s.name == "shuffle").count();
+        assert_eq!(shuffles, report.reduce_tasks);
+        // The job span covers the whole run, in sim time.
+        let job = spans.iter().find(|s| s.name == "job").expect("job span");
+        assert!((job.end.as_secs_f64() - report.completion_secs).abs() < 1e-9);
+        // Spill instants carry volumes that add up to the report total.
+        let spilled: f64 = events
+            .iter()
+            .filter(|e| e.name == "reduce_spill")
+            .flat_map(|e| e.args.iter())
+            .filter(|(k, _)| *k == "mb")
+            .map(|&(_, v)| v)
+            .sum();
+        assert!((spilled - report.spill_written_mb).abs() < 1e-6);
+        // And the whole stream renders as loadable Chrome trace JSON.
+        let doc = Json::parse(&chrome_trace_json(&events)).expect("valid JSON");
+        let n = doc.get("traceEvents").and_then(Json::as_arr).unwrap().len();
+        assert!(n > events.len(), "metadata records must be present");
     }
 
     #[test]

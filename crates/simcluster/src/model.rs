@@ -251,7 +251,10 @@ mod tests {
     fn scaling_preserves_ratios() {
         let w = WorkloadProfile::sessionization().scaled(0.01);
         assert!((w.input_mb - 2.56 * MB_PER_GB).abs() < 1e-6);
-        assert_eq!(w.map_output_ratio, WorkloadProfile::sessionization().map_output_ratio);
+        assert_eq!(
+            w.map_output_ratio,
+            WorkloadProfile::sessionization().map_output_ratio
+        );
     }
 
     #[test]
@@ -259,7 +262,10 @@ mod tests {
         let c = CostModel::calibrated();
         let split = c.cpu_map_s_mb / (c.cpu_map_s_mb + c.cpu_sort_s_mb);
         assert!((split - 0.61).abs() < 0.03, "map-fn share {split}");
-        assert!(c.cpu_hash_s_mb < c.cpu_sort_s_mb / 2.0, "hash must be far cheaper than sort");
+        assert!(
+            c.cpu_hash_s_mb < c.cpu_sort_s_mb / 2.0,
+            "hash must be far cheaper than sort"
+        );
     }
 
     #[test]

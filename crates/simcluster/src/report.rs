@@ -1,6 +1,7 @@
 //! Simulation reports: completion time, volume totals, and the per-second
 //! series behind every figure panel.
 
+use onepass_core::json::{escape, fmt_f64};
 use onepass_core::metrics::Series;
 
 use crate::engine::{to_secs, SimTime};
@@ -134,6 +135,34 @@ impl SimReport {
         }
     }
 
+    /// One JSONL line summarizing the run — the simulator analogue of
+    /// `JobReport::to_jsonl` (the sim report has no per-task spans; use
+    /// [`crate::mapreduce::run_sim_job_traced`] for task-level detail).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"type\":\"job\",\"system\":\"{}\",\"storage\":\"{}\",\"workload\":\"{}\",\
+             \"completion_s\":{},\"map_tasks\":{},\"reduce_tasks\":{},\"input_mb\":{},\
+             \"map_output_mb\":{},\"spill_written_mb\":{},\"merge_read_mb\":{},\
+             \"merge_written_mb\":{},\"output_mb\":{},\"snapshots\":{},\"events\":{},\
+             \"local_map_fraction\":{}}}\n",
+            escape(self.system),
+            escape(self.storage),
+            escape(self.workload),
+            fmt_f64(self.completion_secs),
+            self.map_tasks,
+            self.reduce_tasks,
+            fmt_f64(self.input_mb),
+            fmt_f64(self.map_output_mb),
+            fmt_f64(self.spill_written_mb),
+            fmt_f64(self.merge_read_mb),
+            fmt_f64(self.merge_written_mb),
+            fmt_f64(self.output_mb),
+            self.snapshots,
+            self.events,
+            fmt_f64(self.local_map_fraction),
+        )
+    }
+
     /// Total reduce-side spill volume including multi-pass rewrites —
     /// the Table I "Reduce spill data" analogue.
     pub fn reduce_spill_total_mb(&self) -> f64 {
@@ -154,8 +183,14 @@ impl SimReport {
         // which is accounted under FinalRead → merge_read_mb. Subtract
         // nothing here for sort-merge; for hash the cold resolve equals
         // spill_written_mb, so background merging is the remainder.
-        (self.merge_read_mb - self.spill_written_mb).max(0.0).min(self.merge_read_mb)
-            * if self.system == "hash-one-pass" { 0.0 } else { 1.0 }
+        (self.merge_read_mb - self.spill_written_mb)
+            .max(0.0)
+            .min(self.merge_read_mb)
+            * if self.system == "hash-one-pass" {
+                0.0
+            } else {
+                1.0
+            }
     }
 
     /// Mean CPU utilization (%) over a window of the run, expressed in
@@ -201,7 +236,10 @@ mod tests {
     #[test]
     fn ratios_are_consistent() {
         let r = report();
-        assert!(r.intermediate_ratio() > 1.0, "sessionization is write-heavy");
+        assert!(
+            r.intermediate_ratio() > 1.0,
+            "sessionization is write-heavy"
+        );
         assert!(r.reduce_spill_total_mb() >= r.spill_written_mb);
     }
 
@@ -217,6 +255,25 @@ mod tests {
         for &(_, y) in &r.series.iowait_pct.points {
             assert!((0.0..=100.0).contains(&y));
         }
+    }
+
+    #[test]
+    fn jsonl_line_parses_and_matches_report() {
+        use onepass_core::json::Json;
+        let r = report();
+        let line = r.to_jsonl();
+        assert!(line.ends_with('\n'));
+        let doc = Json::parse(line.trim()).expect("valid JSON line");
+        assert_eq!(doc.get("type").and_then(Json::as_str), Some("job"));
+        assert_eq!(doc.get("system").and_then(Json::as_str), Some(r.system));
+        assert_eq!(
+            doc.get("completion_s").and_then(Json::as_f64),
+            Some(r.completion_secs)
+        );
+        assert_eq!(
+            doc.get("map_tasks").and_then(Json::as_f64),
+            Some(r.map_tasks as f64)
+        );
     }
 
     #[test]

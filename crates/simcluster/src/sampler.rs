@@ -11,6 +11,11 @@ use onepass_core::metrics::Series;
 use crate::engine::{to_secs, SimTime, SECOND};
 
 /// The gauges the figures need.
+///
+/// Array-backed storage indexes by the discriminant itself
+/// ([`Gauge::idx`] is `self as usize`), so variants must stay densely
+/// numbered from 0 — which the compiler guarantees for a plain
+/// fieldless enum. A unit test pins `idx` ↔ [`Gauge::all`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Gauge {
     /// Running map tasks (Fig. 2a "map").
@@ -28,18 +33,24 @@ pub enum Gauge {
 }
 
 /// Count of gauge variants (array-backed storage).
-const NUM_GAUGES: usize = 6;
+const NUM_GAUGES: usize = Gauge::all().len();
 
 impl Gauge {
+    /// Dense storage index: the derived discriminant.
     fn idx(self) -> usize {
-        match self {
-            Gauge::MapTasks => 0,
-            Gauge::ShuffleTasks => 1,
-            Gauge::MergeTasks => 2,
-            Gauge::ReduceTasks => 3,
-            Gauge::BusyCores => 4,
-            Gauge::DiskOutstanding => 5,
-        }
+        self as usize
+    }
+
+    /// All gauges, in discriminant order.
+    pub const fn all() -> &'static [Gauge] {
+        &[
+            Gauge::MapTasks,
+            Gauge::ShuffleTasks,
+            Gauge::MergeTasks,
+            Gauge::ReduceTasks,
+            Gauge::BusyCores,
+            Gauge::DiskOutstanding,
+        ]
     }
 
     /// Display label (series name).
@@ -55,7 +66,8 @@ impl Gauge {
     }
 }
 
-/// Event counters accumulated per bin.
+/// Event counters accumulated per bin. Indexed like [`Gauge`]: storage
+/// index is the derived discriminant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Disk bytes read (Fig. 2d), in MB.
@@ -66,15 +78,17 @@ pub enum Counter {
     NetMb,
 }
 
-const NUM_COUNTERS: usize = 3;
+const NUM_COUNTERS: usize = Counter::all().len();
 
 impl Counter {
+    /// Dense storage index: the derived discriminant.
     fn idx(self) -> usize {
-        match self {
-            Counter::DiskReadMb => 0,
-            Counter::DiskWriteMb => 1,
-            Counter::NetMb => 2,
-        }
+        self as usize
+    }
+
+    /// All counters, in discriminant order.
+    pub const fn all() -> &'static [Counter] {
+        &[Counter::DiskReadMb, Counter::DiskWriteMb, Counter::NetMb]
     }
 
     /// Display label (series name).
@@ -243,6 +257,31 @@ mod tests {
         assert_eq!(series.points[0].1, 15.0);
         assert_eq!(series.points[1].1, 0.0);
         assert_eq!(series.points[3].1, 7.0);
+    }
+
+    #[test]
+    fn idx_matches_all_order_and_labels_are_unique() {
+        // `idx` is the derived discriminant; `all()` must enumerate the
+        // variants in exactly that order, covering every index once, so
+        // array-backed storage cannot be silently corrupted by a new
+        // variant added to one list but not the other.
+        assert_eq!(Gauge::all().len(), NUM_GAUGES);
+        for (i, g) in Gauge::all().iter().enumerate() {
+            assert_eq!(g.idx(), i, "Gauge::all() out of discriminant order");
+        }
+        let mut labels: Vec<&str> = Gauge::all().iter().map(|g| g.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NUM_GAUGES, "duplicate gauge label");
+
+        assert_eq!(Counter::all().len(), NUM_COUNTERS);
+        for (i, c) in Counter::all().iter().enumerate() {
+            assert_eq!(c.idx(), i, "Counter::all() out of discriminant order");
+        }
+        let mut labels: Vec<&str> = Counter::all().iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NUM_COUNTERS, "duplicate counter label");
     }
 
     #[test]

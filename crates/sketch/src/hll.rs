@@ -69,11 +69,7 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range correction: linear counting over empty registers.
@@ -184,7 +180,10 @@ mod tests {
             both.insert(&bytes);
         }
         a.merge(&b);
-        assert_eq!(a.registers, both.registers, "merge must equal union exactly");
+        assert_eq!(
+            a.registers, both.registers,
+            "merge must equal union exactly"
+        );
     }
 
     #[test]
@@ -211,7 +210,10 @@ mod tests {
             obj.insert(&i.to_le_bytes());
             assert!(HyperLogLog::insert_raw(&mut raw, &i.to_le_bytes()));
         }
-        assert_eq!(HyperLogLog::from_bytes(&raw).unwrap().registers, obj.registers);
+        assert_eq!(
+            HyperLogLog::from_bytes(&raw).unwrap().registers,
+            obj.registers
+        );
 
         // merge_raw == merge
         let mut other = HyperLogLog::new(10);

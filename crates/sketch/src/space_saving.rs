@@ -112,13 +112,8 @@ impl FrequentItems for SpaceSaving {
             let count = c.count;
             self.push_heap(key, count);
         } else if self.counters.len() < self.capacity {
-            self.counters.insert(
-                key.to_vec(),
-                Counter {
-                    count: n,
-                    error: 0,
-                },
-            );
+            self.counters
+                .insert(key.to_vec(), Counter { count: n, error: 0 });
             self.push_heap(key, n);
         } else {
             let (_, min) = self.evict_min();

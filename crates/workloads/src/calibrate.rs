@@ -80,7 +80,9 @@ pub fn calibrate(records: usize) -> Calibration {
         .reducers(4)
         .collect_output(false)
         .map_side(MapSideMode::HashCombine)
-        .shuffle(ShuffleMode::Push { granularity: 65_536 })
+        .shuffle(ShuffleMode::Push {
+            granularity: 65_536,
+        })
         .backend(ReduceBackend::IncHash { early: None })
         .build()
         .expect("valid job");
@@ -94,14 +96,15 @@ pub fn calibrate(records: usize) -> Calibration {
         .reducers(4)
         .collect_output(false)
         .map_side(MapSideMode::HashPartitionOnly)
-        .shuffle(ShuffleMode::Push { granularity: 65_536 })
+        .shuffle(ShuffleMode::Push {
+            granularity: 65_536,
+        })
         .backend(ReduceBackend::IncHash { early: None })
         .build()
         .expect("valid job");
     let i = engine.run(&incjob, gen_splits()).expect("inc run");
     let i_shuffled_mb = mb(i.shuffled_bytes).max(1e-6);
-    let inc_update_s_mb =
-        i.reduce_profile.time(Phase::ReduceGroup).as_secs_f64() / i_shuffled_mb;
+    let inc_update_s_mb = i.reduce_profile.time(Phase::ReduceGroup).as_secs_f64() / i_shuffled_mb;
 
     let measured = MeasuredCosts {
         map_s_mb,

@@ -66,11 +66,7 @@ mod tests {
             .unwrap();
 
         let mut checked = 0;
-        for o in report
-            .outputs
-            .iter()
-            .filter(|o| o.kind == EmitKind::Final)
-        {
+        for o in report.outputs.iter().filter(|o| o.kind == EmitKind::Final) {
             let url = u32::from_le_bytes(o.key.as_slice().try_into().unwrap());
             let est = DistinctAgg::decode_estimate(&o.value);
             let exact = truth[&url].len() as f64;

@@ -93,10 +93,7 @@ pub fn parse_doc(record: &[u8]) -> Option<(u32, impl Iterator<Item = &[u8]> + '_
     let tab = record.iter().position(|&b| b == b'\t')?;
     let id = std::str::from_utf8(&record[..tab]).ok()?.parse().ok()?;
     let body = &record[tab + 1..];
-    Some((
-        id,
-        body.split(|&b| b == b' ').filter(|w| !w.is_empty()),
-    ))
+    Some((id, body.split(|&b| b == b' ').filter(|w| !w.is_empty())))
 }
 
 #[cfg(test)]

@@ -57,11 +57,7 @@ mod tests {
             *truth.entry(c.user).or_insert(0u64) += 1;
         }
         let splits = crate::make_splits(records, 64);
-        let job = job()
-            .reducers(2)
-            .preset_onepass()
-            .build()
-            .unwrap();
+        let job = job().reducers(2).preset_onepass().build().unwrap();
         assert!(matches!(job.backend, ReduceBackend::FreqHash(_)));
         let report = Engine::new().run(&job, splits).unwrap();
         let mut total = 0u64;

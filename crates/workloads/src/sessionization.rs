@@ -182,10 +182,7 @@ mod tests {
         let state = enc(&[(1000, 3), (100, 1), (250, 2)]);
         let out = agg.finish(b"u", state);
         let sessions = SessionizeAgg::decode_sessions(&out);
-        assert_eq!(
-            sessions,
-            vec![vec![(100, 1), (250, 2)], vec![(1000, 3)]]
-        );
+        assert_eq!(sessions, vec![vec![(100, 1), (250, 2)], vec![(1000, 3)]]);
     }
 
     #[test]

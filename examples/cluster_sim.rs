@@ -13,7 +13,15 @@ fn main() {
 
     let mut table = Table::new(
         "completion time and reduce-side I/O",
-        &["system", "storage", "completion", "spill GB", "merge rewrite GB", "mid-job CPU%", "mid-job iowait%"],
+        &[
+            "system",
+            "storage",
+            "completion",
+            "spill GB",
+            "merge rewrite GB",
+            "mid-job CPU%",
+            "mid-job iowait%",
+        ],
     );
 
     let configs = [

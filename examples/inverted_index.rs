@@ -53,15 +53,12 @@ fn main() {
     );
 
     // Query: documents containing both of the two most common words.
-    let mut by_len: Vec<(&Vec<u8>, usize)> =
-        index.iter().map(|(w, p)| (w, p.len())).collect();
+    let mut by_len: Vec<(&Vec<u8>, usize)> = index.iter().map(|(w, p)| (w, p.len())).collect();
     by_len.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let (w1, _) = by_len[0];
     let (w2, _) = by_len[1];
-    let docs1: std::collections::BTreeSet<u32> =
-        index[w1].iter().map(|p| p.doc).collect();
-    let docs2: std::collections::BTreeSet<u32> =
-        index[w2].iter().map(|p| p.doc).collect();
+    let docs1: std::collections::BTreeSet<u32> = index[w1].iter().map(|p| p.doc).collect();
+    let docs2: std::collections::BTreeSet<u32> = index[w2].iter().map(|p| p.doc).collect();
     let both: Vec<u32> = docs1.intersection(&docs2).copied().collect();
     println!(
         "\nquery: docs containing both {:?} and {:?}: {} of {}",

@@ -58,9 +58,7 @@ fn main() {
         for r in &records {
             topk.observe_text(r);
         }
-        let answers = session
-            .feed(records.iter().map(|r| r.as_slice()))
-            .unwrap();
+        let answers = session.feed(records.iter().map(|r| r.as_slice())).unwrap();
         for a in &answers {
             let url = u32::from_le_bytes(a.key.as_slice().try_into().unwrap());
             alerts += 1;

@@ -34,7 +34,14 @@ fn main() {
 
     let mut table = Table::new(
         "word count, 2000 lines",
-        &["system", "groups", "early answers", "sort CPU (ms)", "reduce spill (B)", "wall (ms)"],
+        &[
+            "system",
+            "groups",
+            "early answers",
+            "sort CPU (ms)",
+            "reduce spill (B)",
+            "wall (ms)",
+        ],
     );
 
     for (name, builder) in [

@@ -15,11 +15,7 @@ fn session_stats(report: &onepass_runtime::JobReport) -> (usize, usize, BTreeMap
     let mut per_user = BTreeMap::new();
     let mut sessions = 0;
     let mut clicks = 0;
-    for o in report
-        .outputs
-        .iter()
-        .filter(|o| o.kind == EmitKind::Final)
-    {
+    for o in report.outputs.iter().filter(|o| o.kind == EmitKind::Final) {
         let s = SessionizeAgg::decode_sessions(&o.value);
         sessions += s.len();
         clicks += s.iter().map(|x| x.len()).sum::<usize>();
@@ -63,10 +59,7 @@ fn main() {
 
     println!("users:            {}", hu.len());
     println!("sessions:         {hs}");
-    println!(
-        "clicks/session:   {:.1}",
-        n_clicks as f64 / hs as f64
-    );
+    println!("clicks/session:   {:.1}", n_clicks as f64 / hs as f64);
     println!();
     println!(
         "intermediate/input ratio: {:.0}% (the paper's sessionization hits 250%)",

@@ -53,9 +53,7 @@ fn main() {
     for _batch in 0..40 {
         let records = gen.text_records(2_000);
         total_clicks += records.len() as u64;
-        let closed = session
-            .feed(records.iter().map(|r| r.as_slice()))
-            .unwrap();
+        let closed = session.feed(records.iter().map(|r| r.as_slice())).unwrap();
         for w in closed {
             windows_seen += 1;
             windowed_clicks += w

@@ -1,6 +1,12 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper plus the supplementary
 # experiments. Outputs: console tables/charts + results/*.csv + results/*.svg.
+#
+# All flags are forwarded to every binary, e.g.:
+#   ./run_all_experiments.sh --records 100000
+#   ./run_all_experiments.sh --report-jsonl results/jobs.jsonl   # append JSONL job reports
+#   ./run_all_experiments.sh --trace-out results/trace.json      # Chrome trace (engine timeline)
+# (`onepass run`/`onepass sim` accept the same --trace-out/--report-jsonl flags.)
 set -e
 cargo build --release -p onepass-bench
 for exp in exp_table1 exp_table2 exp_fig2 exp_fig3 exp_fig4 exp_table3 \

@@ -4,15 +4,23 @@
 //! ```text
 //! onepass run <workload> [--system hadoop|hop|onepass] [--records N]
 //!              [--reducers R] [--budget-kb K]
+//!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass sim <workload> [--system hadoop|hop|onepass]
 //!              [--storage single-hdd|hdd+ssd|separated] [--scale F]
+//!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass workloads
 //! ```
+//!
+//! `--trace-out` writes a Chrome trace-event JSON file (open it in
+//! Perfetto or `chrome://tracing`); real and simulated runs share one
+//! schema, so their timelines render identically. `--report-jsonl`
+//! writes a machine-readable job report, one JSON object per line.
 //!
 //! Workloads: sessionization, page-frequency, per-user-count,
 //! inverted-index.
 
 use onepass::prelude::*;
+use onepass::runtime::driver::EngineConfig;
 use onepass::runtime::JobSpecBuilder;
 use onepass_core::config::{fmt_bytes, fmt_secs};
 use onepass_workloads::{
@@ -24,7 +32,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          onepass run <workload> [--system hadoop|hop|onepass] [--records N] [--reducers R] [--budget-kb K]\n  \
+         \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
+         \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass workloads\n\n\
          workloads: sessionization | page-frequency | per-user-count | inverted-index"
     );
@@ -97,8 +107,31 @@ fn cmd_run(args: &[String]) {
     };
     let input_records: u64 = splits.iter().map(|s| s.records.len() as u64).sum();
 
+    let trace_out = flag(args, "trace-out");
+    let report_jsonl = flag(args, "report-jsonl");
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let config = EngineConfig {
+        tracer: tracer.clone(),
+        ..EngineConfig::default()
+    };
+
     eprintln!("running {workload} on the {system} configuration ({input_records} records)...");
-    let report = Engine::new().run(&job, splits).expect("job failed");
+    let report = Engine::with_config(config)
+        .run(&job, splits)
+        .expect("job failed");
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &report_jsonl {
+        std::fs::write(path, report.to_jsonl()).expect("write report file");
+        eprintln!("wrote JSONL report to {path}");
+    }
 
     println!("job:               {} [{}]", report.name, report.backend);
     println!("wall time:         {}", fmt_secs(report.wall.as_secs_f64()));
@@ -164,14 +197,32 @@ fn cmd_sim(args: &[String]) {
         system.label(),
         storage.label()
     );
-    let r = run_sim_job(SimJobSpec::new(
-        system,
-        ClusterSpec::paper_cluster(storage),
-        workload,
-    ));
+    let trace_out = flag(args, "trace-out");
+    let report_jsonl = flag(args, "report-jsonl");
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let r = run_sim_job_traced(
+        SimJobSpec::new(system, ClusterSpec::paper_cluster(storage), workload),
+        tracer.clone(),
+    );
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &report_jsonl {
+        std::fs::write(path, r.to_jsonl()).expect("write report file");
+        eprintln!("wrote JSONL report to {path}");
+    }
 
     println!("completion:        {}", fmt_secs(r.completion_secs));
-    println!("map tasks:         {} ({} reducers)", r.map_tasks, r.reduce_tasks);
+    println!(
+        "map tasks:         {} ({} reducers)",
+        r.map_tasks, r.reduce_tasks
+    );
     println!("input:             {:.1} GB", r.input_mb / 1024.0);
     println!("map output:        {:.1} GB", r.map_output_mb / 1024.0);
     println!(
@@ -179,10 +230,7 @@ fn cmd_sim(args: &[String]) {
         r.reduce_spill_total_mb() / 1024.0,
         r.merge_written_mb / 1024.0
     );
-    println!(
-        "intermediate/input: {:.0}%",
-        r.intermediate_ratio() * 100.0
-    );
+    println!("intermediate/input: {:.0}%", r.intermediate_ratio() * 100.0);
     println!(
         "locality:          {:.0}% of map reads local",
         r.local_map_fraction * 100.0

@@ -61,18 +61,20 @@ pub use onepass_workloads as workloads;
 pub mod prelude {
     pub use onepass_core::memory::MemoryBudget;
     pub use onepass_core::metrics::Phase;
+    pub use onepass_core::trace::{chrome_trace_json, complete_spans, Tracer, Track};
     pub use onepass_groupby::{
         Aggregator, CountAgg, EmitKind, GroupBy, ListAgg, MaxAgg, Sink, SumAgg,
     };
-    pub use onepass_runtime::map_task::Split;
     pub use onepass_runtime::chain::{run_chain, ChainConfig};
+    pub use onepass_runtime::map_task::Split;
     pub use onepass_runtime::stream::StreamSession;
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
         Engine, JobSpec, MapEmitter, MapFn, MapSideMode, ReduceBackend, ShuffleMode,
     };
     pub use onepass_simcluster::{
-        run_sim_job, ClusterSpec, SimJobSpec, StorageConfig, SystemType, WorkloadProfile,
+        run_sim_job, run_sim_job_traced, ClusterSpec, SimJobSpec, StorageConfig, SystemType,
+        WorkloadProfile,
     };
     pub use onepass_sketch::{FrequentItems, SpaceSaving};
 }

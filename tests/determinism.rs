@@ -49,7 +49,11 @@ fn output_independent_of_worker_count() {
     let recs = records();
     let mut reference = None;
     for workers in [1, 2, 8] {
-        let job = page_frequency::job().reducers(3).preset_hadoop().build().unwrap();
+        let job = page_frequency::job()
+            .reducers(3)
+            .preset_hadoop()
+            .build()
+            .unwrap();
         let engine = Engine::with_config(EngineConfig {
             map_workers: workers,
             ..Default::default()
@@ -68,7 +72,11 @@ fn output_independent_of_split_size() {
     let recs = records();
     let mut reference = None;
     for per_split in [100, 1000, 8000] {
-        let job = page_frequency::job().reducers(2).preset_onepass().build().unwrap();
+        let job = page_frequency::job()
+            .reducers(2)
+            .preset_onepass()
+            .build()
+            .unwrap();
         let report = Engine::new()
             .run(&job, make_splits(recs.clone(), per_split))
             .unwrap();

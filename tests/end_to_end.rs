@@ -45,15 +45,27 @@ fn page_frequency_all_presets_match_brute_force() {
     for (label, job) in [
         (
             "hadoop",
-            page_frequency::job().reducers(3).preset_hadoop().build().unwrap(),
+            page_frequency::job()
+                .reducers(3)
+                .preset_hadoop()
+                .build()
+                .unwrap(),
         ),
         (
             "hop",
-            page_frequency::job().reducers(3).preset_hop().build().unwrap(),
+            page_frequency::job()
+                .reducers(3)
+                .preset_hop()
+                .build()
+                .unwrap(),
         ),
         (
             "onepass",
-            page_frequency::job().reducers(3).preset_onepass().build().unwrap(),
+            page_frequency::job()
+                .reducers(3)
+                .preset_onepass()
+                .build()
+                .unwrap(),
         ),
     ] {
         let report = Engine::new()
@@ -74,7 +86,11 @@ fn page_frequency_all_presets_match_brute_force() {
 fn sessionization_agrees_across_backends_and_memory_pressure() {
     let records = clicks(15_000, 2);
     let reference = {
-        let job = sessionization::job().reducers(2).preset_hadoop().build().unwrap();
+        let job = sessionization::job()
+            .reducers(2)
+            .preset_hadoop()
+            .build()
+            .unwrap();
         let report = Engine::new()
             .run(&job, make_splits(records.clone(), 2000))
             .unwrap();
@@ -106,10 +122,12 @@ fn sessionization_agrees_across_backends_and_memory_pressure() {
 #[test]
 fn sessions_never_contain_cross_gap_clicks() {
     let records = clicks(8_000, 3);
-    let job = sessionization::job().reducers(2).preset_onepass().build().unwrap();
-    let report = Engine::new()
-        .run(&job, make_splits(records, 1000))
+    let job = sessionization::job()
+        .reducers(2)
+        .preset_onepass()
+        .build()
         .unwrap();
+    let report = Engine::new().run(&job, make_splits(records, 1000)).unwrap();
     let gap = onepass_workloads::sessionization::DEFAULT_GAP_S;
     let mut sessions_checked = 0;
     for (_, v) in final_map(&report) {
@@ -131,7 +149,11 @@ fn sessions_never_contain_cross_gap_clicks() {
 fn per_user_count_streaming_equals_batch() {
     let records = clicks(10_000, 4);
     // Batch run.
-    let job = per_user_count::job().reducers(2).preset_onepass().build().unwrap();
+    let job = per_user_count::job()
+        .reducers(2)
+        .preset_onepass()
+        .build()
+        .unwrap();
     let batch = Engine::new()
         .run(&job, make_splits(records.clone(), 1000))
         .unwrap();
@@ -160,10 +182,12 @@ fn per_user_count_streaming_equals_batch() {
 #[test]
 fn early_output_happens_before_final_under_hop() {
     let records = clicks(20_000, 5);
-    let job = page_frequency::job().reducers(2).preset_hop().build().unwrap();
-    let report = Engine::new()
-        .run(&job, make_splits(records, 500))
+    let job = page_frequency::job()
+        .reducers(2)
+        .preset_hop()
+        .build()
         .unwrap();
+    let report = Engine::new().run(&job, make_splits(records, 500)).unwrap();
     assert!(report.snapshots > 0, "HOP must snapshot");
     let first_early = report.first_early_at.expect("early output exists");
     let first_final = report.first_final_at.expect("final output exists");
@@ -179,9 +203,7 @@ fn collect_output_off_still_reports_stats() {
         .preset_hadoop()
         .build()
         .unwrap();
-    let report = Engine::new()
-        .run(&job, make_splits(records, 1000))
-        .unwrap();
+    let report = Engine::new().run(&job, make_splits(records, 1000)).unwrap();
     assert!(report.outputs.is_empty());
     assert!(report.groups_out > 0);
     assert!(report.input_records == 5_000);
@@ -215,9 +237,7 @@ fn avg_session_gap_via_algebraic_aggregate() {
         .build()
         .unwrap();
     assert_eq!(job.map_side, MapSideMode::HashCombine, "AVG is combinable");
-    let report = Engine::new()
-        .run(&job, make_splits(records, 500))
-        .unwrap();
+    let report = Engine::new().run(&job, make_splits(records, 500)).unwrap();
     let got = final_map(&report);
     assert_eq!(got.len(), sums.len());
     for (user, (sum, count)) in sums {
@@ -235,13 +255,22 @@ fn approximate_top_k_tracks_exact_counts() {
     use onepass_workloads::top_k::TopKUrls;
     let records = clicks(30_000, 11);
     // Exact counts via the engine.
-    let job = page_frequency::job().reducers(2).preset_hadoop().build().unwrap();
+    let job = page_frequency::job()
+        .reducers(2)
+        .preset_hadoop()
+        .build()
+        .unwrap();
     let report = Engine::new()
         .run(&job, make_splits(records.clone(), 3000))
         .unwrap();
     let mut exact: Vec<(u32, u64)> = final_map(&report)
         .into_iter()
-        .map(|(k, v)| (u32::from_le_bytes(k.as_slice().try_into().unwrap()), dec(&v)))
+        .map(|(k, v)| {
+            (
+                u32::from_le_bytes(k.as_slice().try_into().unwrap()),
+                dec(&v),
+            )
+        })
         .collect();
     exact.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
 
@@ -265,7 +294,11 @@ fn approximate_top_k_tracks_exact_counts() {
 
 #[test]
 fn engine_handles_single_record_and_single_reducer() {
-    let job = page_frequency::job().reducers(1).preset_onepass().build().unwrap();
+    let job = page_frequency::job()
+        .reducers(1)
+        .preset_onepass()
+        .build()
+        .unwrap();
     let one = Click {
         ts: 1,
         user: 2,

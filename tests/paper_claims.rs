@@ -48,7 +48,10 @@ fn s3b4_multipass_merge_blocks_and_costs_io() {
     // Reduce-side spill exceeds map output? No — it exceeds zero and the
     // merge re-reads data (I/O amplification).
     assert!(r.spill_written_mb > 0.0);
-    assert!(r.merge_read_mb > r.spill_written_mb * 0.5, "merge re-reads spilled data");
+    assert!(
+        r.merge_read_mb > r.spill_written_mb * 0.5,
+        "merge re-reads spilled data"
+    );
     // Blocking: a merge phase exists between map and reduce phases.
     assert!(r.series.merge_tasks.max_y().unwrap_or(0.0) >= 1.0);
     // The CPU valley: mid-job utilization drops below the map phase's.
@@ -73,7 +76,11 @@ fn s3c_storage_variants_help_but_do_not_unblock() {
     // But the blocking merge phase is still present.
     assert!(ssd.series.merge_tasks.max_y().unwrap_or(0.0) >= 1.0);
 
-    let sep = sim(SystemType::StockHadoop, StorageConfig::Separated, SCALE * 0.5);
+    let sep = sim(
+        SystemType::StockHadoop,
+        StorageConfig::Separated,
+        SCALE * 0.5,
+    );
     assert!(sep.series.merge_tasks.max_y().unwrap_or(0.0) >= 1.0);
 }
 

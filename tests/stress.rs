@@ -104,16 +104,10 @@ fn counting_workload_under_pressure_is_exact() {
         .reduce_budget_bytes(128 * 1024)
         .build()
         .unwrap();
-    let report = Engine::new()
-        .run(&job, make_splits(data, 2000))
-        .unwrap();
+    let report = Engine::new().run(&job, make_splits(data, 2000)).unwrap();
     let mut total = 0u64;
     let mut groups = 0usize;
-    for o in report
-        .outputs
-        .iter()
-        .filter(|o| o.kind == EmitKind::Final)
-    {
+    for o in report.outputs.iter().filter(|o| o.kind == EmitKind::Final) {
         let user = u32::from_le_bytes(o.key.as_slice().try_into().unwrap());
         let n = u64::from_le_bytes(o.value.as_slice().try_into().unwrap());
         assert_eq!(truth[&user], n, "user {user}");

@@ -3,7 +3,7 @@
 //! comparison (map parse + grouping + shuffle + reduce).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use onepass_runtime::{Engine, JobSpec};
+use onepass_runtime::{CollectOutput, Engine, JobSpec};
 use onepass_workloads::{make_splits, page_frequency, ClickGen, ClickGenConfig};
 
 fn data(n: usize) -> Vec<Vec<u8>> {
@@ -27,7 +27,7 @@ fn pipeline(c: &mut Criterion) {
             "hadoop",
             page_frequency::job()
                 .reducers(2)
-                .collect_output(false)
+                .collect_mode(CollectOutput::Discard)
                 .preset_hadoop()
                 .build()
                 .unwrap(),
@@ -36,7 +36,7 @@ fn pipeline(c: &mut Criterion) {
             "hop",
             page_frequency::job()
                 .reducers(2)
-                .collect_output(false)
+                .collect_mode(CollectOutput::Discard)
                 .preset_hop()
                 .build()
                 .unwrap(),
@@ -45,7 +45,7 @@ fn pipeline(c: &mut Criterion) {
             "onepass",
             page_frequency::job()
                 .reducers(2)
-                .collect_output(false)
+                .collect_mode(CollectOutput::Discard)
                 .preset_onepass()
                 .build()
                 .unwrap(),

@@ -14,7 +14,7 @@ use onepass_bench::{append_report_jsonl, arg, arg_usize, save};
 use onepass_core::trace::{chrome_trace_json, Tracer};
 use onepass_runtime::driver::EngineConfig;
 use onepass_runtime::report::{JobReport, TaskKind};
-use onepass_runtime::{Engine, JobSpec};
+use onepass_runtime::{CollectOutput, Engine, JobSpec};
 use onepass_workloads::{make_splits, per_user_count, ClickGen, ClickGenConfig};
 
 fn gantt(report: &JobReport, width: usize) -> String {
@@ -65,10 +65,7 @@ fn csv(report: &JobReport) -> String {
 fn run(job: JobSpec, records: usize, map_tasks: usize, tracer: Tracer) -> JobReport {
     let mut gen = ClickGen::new(ClickGenConfig::default());
     let splits = make_splits(gen.text_records(records), (records / map_tasks).max(1));
-    let config = EngineConfig {
-        tracer,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder().tracer(tracer).build();
     let report = Engine::with_config(config)
         .run(&job, splits)
         .expect("job runs");
@@ -87,7 +84,7 @@ fn main() {
     let chart_job = |onepass: bool| {
         let b = per_user_count::job()
             .reducers(3)
-            .collect_output(false)
+            .collect_mode(CollectOutput::Discard)
             .reduce_budget_bytes(4 * 1024 * 1024);
         if onepass {
             b.preset_onepass()

@@ -12,7 +12,7 @@ use onepass_bench::{arg_usize, pct, save};
 use onepass_core::metrics::Phase;
 use onepass_core::table::Table;
 use onepass_runtime::driver::{EngineConfig, SpillBackend};
-use onepass_runtime::Engine;
+use onepass_runtime::{CollectOutput, Engine};
 use onepass_workloads::{make_splits, sessionization, ClickGen, ClickGenConfig};
 
 fn main() {
@@ -27,14 +27,15 @@ fn main() {
         let splits = make_splits(gen.text_records(records), records / 16);
         let job = sessionization::job()
             .reducers(4)
-            .collect_output(false)
+            .collect_mode(CollectOutput::Discard)
             .preset_hadoop()
             .build()
             .unwrap();
-        let engine = Engine::with_config(EngineConfig {
-            spill: SpillBackend::TempFiles,
-            ..Default::default()
-        });
+        let engine = Engine::with_config(
+            EngineConfig::builder()
+                .spill(SpillBackend::TempFiles)
+                .build(),
+        );
         let r = engine.run(&job, splits).unwrap();
         onepass_bench::append_report_jsonl(&r.to_jsonl());
         runs.push(r);

@@ -8,7 +8,7 @@
 use onepass_bench::{arg_usize, pct, save};
 use onepass_core::metrics::Phase;
 use onepass_core::table::Table;
-use onepass_runtime::Engine;
+use onepass_runtime::{CollectOutput, Engine};
 use onepass_workloads::{make_splits, sessionization, ClickGen, ClickGenConfig};
 
 fn main() {
@@ -22,13 +22,13 @@ fn main() {
 
     let text_job = sessionization::job()
         .reducers(4)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .preset_hadoop()
         .build()
         .unwrap();
     let bin_job = sessionization::job_binary()
         .reducers(4)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .preset_hadoop()
         .build()
         .unwrap();

@@ -17,7 +17,7 @@
 use onepass_bench::{arg_usize, pct, save};
 use onepass_core::table::Table;
 use onepass_runtime::report::JobReport;
-use onepass_runtime::{Engine, JobSpec};
+use onepass_runtime::{CollectOutput, Engine, JobSpec};
 use onepass_workloads::{make_splits, per_user_count, sessionization, ClickGen, ClickGenConfig};
 
 fn run(job: JobSpec, records: usize, split_records: usize) -> JobReport {
@@ -101,14 +101,14 @@ fn main() {
         "per-user-count",
         per_user_count::job()
             .reducers(4)
-            .collect_output(false)
+            .collect_mode(CollectOutput::Discard)
             .preset_hadoop()
             .reduce_budget_bytes(budget)
             .build()
             .unwrap(),
         per_user_count::job()
             .reducers(4)
-            .collect_output(false)
+            .collect_mode(CollectOutput::Discard)
             .preset_onepass()
             .reduce_budget_bytes(budget)
             .build()
@@ -124,14 +124,14 @@ fn main() {
         "sessionization",
         sessionization::job()
             .reducers(4)
-            .collect_output(false)
+            .collect_mode(CollectOutput::Discard)
             .preset_hadoop()
             .reduce_budget_bytes(budget * 8)
             .build()
             .unwrap(),
         sessionization::job()
             .reducers(4)
-            .collect_output(false)
+            .collect_mode(CollectOutput::Discard)
             .preset_onepass()
             .reduce_budget_bytes(budget * 8)
             .build()

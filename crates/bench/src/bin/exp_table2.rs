@@ -12,7 +12,7 @@
 use onepass_bench::{arg_usize, pct, save};
 use onepass_core::metrics::Phase;
 use onepass_core::table::Table;
-use onepass_runtime::{Engine, JobSpec};
+use onepass_runtime::{CollectOutput, Engine, JobSpec};
 use onepass_workloads::{make_splits, per_user_count, sessionization, ClickGen, ClickGenConfig};
 
 fn run(job: JobSpec, records: usize) -> (f64, f64) {
@@ -48,7 +48,7 @@ fn main() {
             "sessionization",
             sessionization::job()
                 .reducers(4)
-                .collect_output(false)
+                .collect_mode(CollectOutput::Discard)
                 .preset_hadoop()
                 .build()
                 .unwrap(),
@@ -59,7 +59,7 @@ fn main() {
             "per-user-count",
             per_user_count::job()
                 .reducers(4)
-                .collect_output(false)
+                .collect_mode(CollectOutput::Discard)
                 .preset_hadoop()
                 .build()
                 .unwrap(),

@@ -27,6 +27,10 @@ pub enum Error {
     },
     /// Corrupt or truncated on-disk run data.
     Corrupt(String),
+    /// The task attempt was cancelled by the driver (e.g. a speculative
+    /// twin finished first). Not a failure: the driver treats it as a
+    /// benign early exit and never retries it.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -44,6 +48,7 @@ impl fmt::Display for Error {
                 "memory budget exceeded: requested {requested} B, {available} B available"
             ),
             Error::Corrupt(msg) => write!(f, "corrupt run data: {msg}"),
+            Error::Cancelled => write!(f, "task attempt cancelled"),
         }
     }
 }

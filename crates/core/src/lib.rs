@@ -22,6 +22,8 @@
 //!   samplers (the paper's `iostat`/`ps` profiling harness analogue).
 //! * [`trace`] — structured task/phase trace events with Chrome
 //!   trace-event JSON export (the timeline plots of Fig. 2a/3 as data).
+//! * [`fault`] — seeded, deterministic fault schedules used to exercise
+//!   the engine's task retry / speculative-execution machinery.
 //! * [`json`] — dependency-free JSON building and parsing backing the
 //!   trace and report exporters.
 //! * [`table`] — minimal aligned-text / CSV emission for experiment drivers.
@@ -32,6 +34,7 @@
 pub mod bytes_kv;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod hashlib;
 pub mod io;
 pub mod json;

@@ -57,8 +57,9 @@ impl Default for ChainConfig {
 }
 
 /// Run `jobs` in sequence over `input`. Every stage except the last must
-/// collect output (`collect_output == true`), since its finals feed the
-/// next stage. Returns each stage's report, in order.
+/// collect output ([`CollectOutput::Collect`](crate::job::CollectOutput)),
+/// since its finals feed the next stage. Returns each stage's report, in
+/// order.
 pub fn run_chain(
     engine: &Engine,
     jobs: &[JobSpec],
@@ -71,7 +72,7 @@ pub fn run_chain(
         ));
     }
     for (i, job) in jobs.iter().enumerate() {
-        if i + 1 < jobs.len() && !job.collect_output {
+        if i + 1 < jobs.len() && !job.collect_output.is_collect() {
             return Err(Error::Config(format!(
                 "chain stage {i} ({}) must collect output to feed stage {}",
                 job.name,
@@ -186,7 +187,7 @@ mod tests {
     #[test]
     fn stage_without_collect_output_is_rejected() {
         let stage1 = JobSpec::builder("s1")
-            .collect_output(false)
+            .collect_mode(crate::job::CollectOutput::Discard)
             .build()
             .unwrap();
         let stage2 = JobSpec::builder("s2").build().unwrap();

@@ -3,21 +3,45 @@
 //! report. Thread fan-out uses crossbeam scoped threads; all inter-task
 //! communication is channel-based (no shared mutable state beyond the
 //! spill stores' atomic counters).
+//!
+//! # Fault tolerance
+//!
+//! The driver gives every map and reduce execution an **attempt id** and
+//! implements the recovery loop the paper's Hadoop baseline pays its
+//! map-output persistence tax for (§II-A):
+//!
+//! * **Retries.** A failed attempt (an `Err` from a spill store, a panic
+//!   in a user map function, or an injected [`FaultPlan`] fault) is
+//!   re-executed with a fresh attempt id, up to
+//!   [`RetryPolicy::max_attempts`].
+//! * **Speculative execution.** With [`SpeculationConfig::enabled`], the
+//!   coordinator watches running map attempts against the median duration
+//!   of completed ones and launches one backup clone per straggling task;
+//!   the first attempt to finish wins and the loser is cancelled.
+//! * **Attempt-aware shuffle.** Reducers commit exactly one attempt per
+//!   map task (the first whose `MapDone` arrives), so retried or raced
+//!   attempts never double-count records (see [`crate::shuffle`]).
+//!
+//! When retries are exhausted the driver cancels all outstanding
+//! attempts, broadcasts [`ShuffleMsg::Abort`](crate::shuffle::ShuffleMsg)
+//! so reducers unblock, and returns the original error — it never hangs.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, RecvTimeoutError};
 
 use onepass_core::error::{Error, Result};
+use onepass_core::fault::{FaultInjector, FaultPlan};
 use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::trace::{Tracer, Track};
 use onepass_groupby::{EmitKind, Sink};
 
 use crate::job::JobSpec;
-use crate::map_task::{run_map_task, MapTaskStats, Split};
-use crate::reduce_task::{run_reduce_task, ReduceResult};
+use crate::map_task::{run_map_task, MapAttemptCtx, MapTaskStats, Split};
+use crate::reduce_task::{panic_message, run_reduce_task_ft, ReduceResult, ReduceRetryOpts};
 use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
 use crate::shuffle::shuffle_fabric;
 
@@ -32,6 +56,103 @@ pub enum SpillBackend {
     TempFiles,
 }
 
+/// Whether map output is synchronously persisted before task completion —
+/// the Hadoop fault-tolerance write of §II-A. Replaces the old
+/// `persist_map_output: bool` field with a self-documenting two-variant
+/// type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapOutputPersistence {
+    /// Write map output to the map-side store before completing the task
+    /// (Hadoop behaviour). The default.
+    #[default]
+    Persist,
+    /// Skip the map-output write — the paper's one-pass configuration;
+    /// failed map tasks are recovered by re-running them from the input
+    /// split instead.
+    Volatile,
+}
+
+impl MapOutputPersistence {
+    /// True when map output is persisted.
+    pub fn is_persist(self) -> bool {
+        matches!(self, MapOutputPersistence::Persist)
+    }
+}
+
+impl From<bool> for MapOutputPersistence {
+    fn from(persist: bool) -> Self {
+        if persist {
+            MapOutputPersistence::Persist
+        } else {
+            MapOutputPersistence::Volatile
+        }
+    }
+}
+
+/// Per-task retry budget for failed attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per task, including the first. Must be at
+    /// least 1; 1 means a single failure fails the job.
+    pub max_attempts: usize,
+    /// Delay before launching a retry attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy allowing `max_attempts` total attempts with no backoff.
+    pub fn attempts(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Straggler mitigation: speculative backup execution of slow map tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Master switch. Default off.
+    pub enabled: bool,
+    /// An attempt is a straggler once it has run longer than
+    /// `slow_factor` × the median duration of completed map tasks.
+    pub slow_factor: f64,
+    /// Completed map tasks required before the median is trusted.
+    pub min_completed: usize,
+    /// Coordinator polling cadence while watching for stragglers.
+    pub poll: Duration,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            enabled: false,
+            slow_factor: 2.0,
+            min_completed: 2,
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+impl SpeculationConfig {
+    /// Speculation enabled with default thresholds.
+    pub fn on() -> Self {
+        SpeculationConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -42,12 +163,18 @@ pub struct EngineConfig {
     /// Spill-run backend. Default memory.
     pub spill: SpillBackend,
     /// Persist map output before task completion (Hadoop fault-tolerance
-    /// write, §II-A). Default true.
-    pub persist_map_output: bool,
+    /// write, §II-A). Default [`MapOutputPersistence::Persist`].
+    pub persist_map_output: MapOutputPersistence,
     /// Trace collection point. Default disabled: every probe site in the
     /// engine then costs a single branch. Hand in [`Tracer::enabled`] and
     /// drain it after [`Engine::run`] to get the event stream.
     pub tracer: Tracer,
+    /// Retry budget for failed task attempts. Default: no retries.
+    pub retry: RetryPolicy,
+    /// Speculative execution of straggling map tasks. Default off.
+    pub speculation: SpeculationConfig,
+    /// Planned fault schedule for recovery testing. Default inert.
+    pub faults: FaultInjector,
 }
 
 impl Default for EngineConfig {
@@ -56,10 +183,125 @@ impl Default for EngineConfig {
             map_workers: 4,
             channel_depth: 64,
             spill: SpillBackend::Memory,
-            persist_map_output: true,
+            persist_map_output: MapOutputPersistence::Persist,
             tracer: Tracer::disabled(),
+            retry: RetryPolicy::default(),
+            speculation: SpeculationConfig::default(),
+            faults: FaultInjector::none(),
         }
     }
+}
+
+impl EngineConfig {
+    /// Fluent builder over the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Default)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Concurrent map workers (task slots).
+    pub fn map_workers(mut self, n: usize) -> Self {
+        self.cfg.map_workers = n;
+        self
+    }
+
+    /// Reducer channel depth (shuffle backpressure).
+    pub fn channel_depth(mut self, depth: usize) -> Self {
+        self.cfg.channel_depth = depth;
+        self
+    }
+
+    /// Spill-run backend.
+    pub fn spill(mut self, spill: SpillBackend) -> Self {
+        self.cfg.spill = spill;
+        self
+    }
+
+    /// Map-output persistence mode.
+    pub fn map_output(mut self, mode: MapOutputPersistence) -> Self {
+        self.cfg.persist_map_output = mode;
+        self
+    }
+
+    /// Bool-flavoured map-output persistence knob.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use map_output(MapOutputPersistence::{Persist,Volatile})"
+    )]
+    pub fn persist_map_output(self, persist: bool) -> Self {
+        self.map_output(persist.into())
+    }
+
+    /// Trace collection point.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.cfg.tracer = tracer;
+        self
+    }
+
+    /// Retry budget for failed attempts.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Speculative-execution policy.
+    pub fn speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.cfg.speculation = speculation;
+        self
+    }
+
+    /// Install a planned fault schedule.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan.into_injector();
+        self
+    }
+
+    /// Finalize the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
+}
+
+/// One unit of map work handed to a worker.
+struct MapAssignment {
+    task: usize,
+    attempt: usize,
+    speculative: bool,
+    split: Arc<Split>,
+    cancel: Arc<AtomicBool>,
+    /// Retry backoff, slept by the worker so the coordinator never blocks.
+    delay: Duration,
+}
+
+/// Worker → coordinator notifications.
+enum MapEvent {
+    Started {
+        task: usize,
+        attempt: usize,
+        at: Duration,
+    },
+    Finished {
+        task: usize,
+        attempt: usize,
+        speculative: bool,
+        span: TaskSpan,
+        result: Result<MapTaskStats>,
+    },
+}
+
+/// A map attempt the coordinator believes is queued or running.
+struct RunningAttempt {
+    attempt: usize,
+    started: Option<Duration>,
+    cancel: Arc<AtomicBool>,
+    speculative: bool,
 }
 
 /// The MapReduce engine.
@@ -90,96 +332,165 @@ impl Engine {
     /// report.
     pub fn run(&self, job: &JobSpec, splits: Vec<Split>) -> Result<JobReport> {
         job.validate()?;
+        let retry = self.config.retry;
+        if retry.max_attempts == 0 {
+            return Err(Error::Config("retry.max_attempts must be >= 1".into()));
+        }
+        let spec = self.config.speculation;
+        let injector = self.config.faults.clone();
+        // Attempt-aware shuffle dedup is only needed when a map task can
+        // run more than once; otherwise reducers keep the eager
+        // commit-on-arrival fast path.
+        let ft_active = retry.max_attempts > 1 || spec.enabled || injector.is_active();
+
         let start = Instant::now();
+        let splits: Vec<Arc<Split>> = splits.into_iter().map(Arc::new).collect();
         let total_map_tasks = splits.len();
         let (shuffle_tx, shuffle_rxs) = shuffle_fabric(job.reducers, self.config.channel_depth);
 
         // Map-side persistence store (shared; only totals are read).
-        let map_store = if self.config.persist_map_output {
+        let map_store = if self.config.persist_map_output.is_persist() {
             Some(self.make_store()?)
         } else {
             None
         };
-        // One spill store per reducer so per-task I/O deltas are exact.
-        let mut reduce_stores = Vec::with_capacity(job.reducers);
-        for _ in 0..job.reducers {
-            reduce_stores.push(self.make_store()?);
-        }
+        let spill = self.config.spill;
 
-        // Work queue of map tasks.
-        let (task_tx, task_rx) = unbounded::<(usize, Split)>();
-        for (id, split) in splits.into_iter().enumerate() {
-            task_tx
-                .send((id, split))
-                .expect("queue cannot be disconnected yet");
-        }
-        drop(task_tx);
-
-        // Result channels.
-        let (map_res_tx, map_res_rx) = unbounded::<Result<(MapTaskStats, TaskSpan)>>();
+        // Work queue + event stream between coordinator and map workers.
+        let (task_tx, task_rx) = unbounded::<MapAssignment>();
+        let (evt_tx, evt_rx) = unbounded::<MapEvent>();
         let (red_res_tx, red_res_rx) = unbounded::<Result<(ReduceResult, TaskSpan, TimedSink)>>();
 
         let tracer = &self.config.tracer;
         let mut driver_trace = tracer.local(Track::new("driver", 0));
         driver_trace.begin("job", "job");
 
+        // Coordinator results, filled inside the scope.
+        let mut map_results: Vec<(MapTaskStats, TaskSpan)> = Vec::with_capacity(total_map_tasks);
+        let mut extra_spans: Vec<TaskSpan> = Vec::new();
+        let mut map_attempts = 0usize;
+        let mut failed_attempts = 0usize;
+        let mut speculative_launched = 0usize;
+        let mut speculative_wins = 0usize;
+        let mut fatal: Option<Error> = None;
+
         crossbeam::thread::scope(|scope| {
             // Map workers.
             for _ in 0..self.config.map_workers.max(1) {
                 let task_rx = task_rx.clone();
                 let shuffle_tx = shuffle_tx.clone();
-                let map_res_tx = map_res_tx.clone();
+                let evt_tx = evt_tx.clone();
                 let map_store = map_store.clone();
+                let injector = injector.clone();
                 scope.spawn(move |_| {
-                    while let Ok((id, split)) = task_rx.recv() {
-                        let mut trace = tracer.local(Track::new("map", id as u64));
-                        trace.begin("map_task", "task");
+                    while let Ok(asg) = task_rx.recv() {
+                        if !asg.delay.is_zero() {
+                            std::thread::sleep(asg.delay);
+                        }
+                        let MapAssignment {
+                            task,
+                            attempt,
+                            speculative,
+                            split,
+                            cancel,
+                            ..
+                        } = asg;
                         let t0 = start.elapsed();
-                        let res = run_map_task(
-                            job,
-                            id,
-                            &split,
-                            &shuffle_tx,
-                            map_store.as_ref(),
-                            &mut trace,
-                        );
+                        let _ = evt_tx.send(MapEvent::Started {
+                            task,
+                            attempt,
+                            at: t0,
+                        });
+                        let mut trace = tracer.local(Track::new("map", task as u64));
+                        trace.begin("map_task", "task");
+                        let ctx = MapAttemptCtx {
+                            attempt,
+                            injector: injector.clone(),
+                            cancel: Some(cancel),
+                        };
+                        // A panicking map function is a task failure, not
+                        // an engine failure: convert it to Err so the
+                        // retry budget applies.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_map_task(
+                                job,
+                                task,
+                                &split,
+                                &shuffle_tx,
+                                map_store.as_ref(),
+                                &mut trace,
+                                &ctx,
+                            )
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(Error::InvalidState(format!(
+                                "map task panicked: {}",
+                                panic_message(p.as_ref())
+                            )))
+                        });
+                        trace.end("map_task", "task");
+                        drop(trace);
                         let span = TaskSpan {
                             kind: TaskKind::Map,
-                            id,
+                            id: task,
+                            attempt,
                             start: t0,
                             end: start.elapsed(),
                         };
-                        trace.end("map_task", "task");
-                        drop(trace);
-                        let _ = map_res_tx.send(res.map(|s| (s, span)));
+                        let _ = evt_tx.send(MapEvent::Finished {
+                            task,
+                            attempt,
+                            speculative,
+                            span,
+                            result,
+                        });
                     }
                 });
             }
-            drop(map_res_tx);
+            drop(evt_tx);
 
             // Reduce workers, one per partition.
             for (partition, rx) in shuffle_rxs.into_iter().enumerate() {
                 let red_res_tx = red_res_tx.clone();
-                let store = Arc::clone(&reduce_stores[partition]);
+                let injector = injector.clone();
                 scope.spawn(move |_| {
                     let mut trace = tracer.local(Track::new("reduce", partition as u64));
                     trace.begin("reduce_task", "task");
                     let t0 = start.elapsed();
-                    let mut sink = TimedSink::new(start, job.collect_output);
-                    let budget = MemoryBudget::new(job.reduce_budget_bytes);
-                    let res = run_reduce_task(
+                    let mut sink = TimedSink::new(start, job.collect_output.is_collect());
+                    // Each reduce attempt gets a fresh store + budget, so
+                    // state a failed attempt abandoned can never starve or
+                    // corrupt its successor.
+                    let mut resources = || -> Result<(Arc<dyn SpillStore>, MemoryBudget)> {
+                        let store: Arc<dyn SpillStore> = match spill {
+                            SpillBackend::Memory => Arc::new(SharedMemStore::new()),
+                            SpillBackend::TempFiles => Arc::new(FileSpillStore::temp()?),
+                        };
+                        Ok((store, MemoryBudget::new(job.reduce_budget_bytes)))
+                    };
+                    let opts = ReduceRetryOpts {
+                        max_attempts: retry.max_attempts,
+                        backoff: retry.backoff,
+                        dedup_attempts: ft_active,
+                        injector,
+                    };
+                    let res = run_reduce_task_ft(
                         job,
                         partition,
                         &rx,
                         total_map_tasks,
-                        store,
-                        budget,
+                        &mut resources,
                         &mut sink,
                         &mut trace,
+                        &opts,
                     );
+                    let attempt = res
+                        .as_ref()
+                        .map_or(retry.max_attempts.saturating_sub(1), |r| r.attempts - 1);
                     let span = TaskSpan {
                         kind: TaskKind::Reduce,
                         id: partition,
+                        attempt,
                         start: t0,
                         end: start.elapsed(),
                     };
@@ -189,11 +500,217 @@ impl Engine {
                 });
             }
             drop(red_res_tx);
+
+            // ---- Map coordinator (this thread). ----
+            let mut running: Vec<Vec<RunningAttempt>> =
+                (0..total_map_tasks).map(|_| Vec::new()).collect();
+            let mut completed: Vec<bool> = vec![false; total_map_tasks];
+            let mut completed_count = 0usize;
+            let mut durations: Vec<Duration> = Vec::new();
+            let mut next_attempt: Vec<usize> = vec![1; total_map_tasks];
+            let mut spec_cloned: Vec<bool> = vec![false; total_map_tasks];
+            let mut outstanding = 0usize;
+
+            for (task, split) in splits.iter().enumerate() {
+                let cancel = Arc::new(AtomicBool::new(false));
+                running[task].push(RunningAttempt {
+                    attempt: 0,
+                    started: None,
+                    cancel: Arc::clone(&cancel),
+                    speculative: false,
+                });
+                let _ = task_tx.send(MapAssignment {
+                    task,
+                    attempt: 0,
+                    speculative: false,
+                    split: Arc::clone(split),
+                    cancel,
+                    delay: Duration::ZERO,
+                });
+                outstanding += 1;
+            }
+
+            while outstanding > 0 {
+                let evt = if spec.enabled {
+                    match evt_rx.recv_timeout(spec.poll) {
+                        Ok(e) => Some(e),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                } else {
+                    match evt_rx.recv() {
+                        Ok(e) => Some(e),
+                        Err(_) => break,
+                    }
+                };
+
+                match evt {
+                    None => {} // poll tick: fall through to straggler scan
+                    Some(MapEvent::Started { task, attempt, at }) => {
+                        if let Some(r) = running[task].iter_mut().find(|r| r.attempt == attempt) {
+                            r.started = Some(at);
+                        }
+                    }
+                    Some(MapEvent::Finished {
+                        task,
+                        attempt,
+                        speculative,
+                        span,
+                        result,
+                    }) => {
+                        outstanding -= 1;
+                        map_attempts += 1;
+                        running[task].retain(|r| r.attempt != attempt);
+                        match result {
+                            Ok(stats) => {
+                                if completed[task] {
+                                    // A raced twin also finished; reducers
+                                    // committed only one of them.
+                                    extra_spans.push(span);
+                                } else {
+                                    completed[task] = true;
+                                    completed_count += 1;
+                                    durations.push(span.end.saturating_sub(span.start));
+                                    if speculative {
+                                        speculative_wins += 1;
+                                    }
+                                    // First finisher wins: cancel twins.
+                                    for r in &running[task] {
+                                        r.cancel.store(true, Ordering::Relaxed);
+                                    }
+                                    map_results.push((stats, span));
+                                }
+                            }
+                            Err(Error::Cancelled) => {
+                                // Benign: the driver told it to stop.
+                                extra_spans.push(span);
+                            }
+                            Err(e) => {
+                                failed_attempts += 1;
+                                extra_spans.push(span);
+                                driver_trace.instant(
+                                    "task_failed",
+                                    "fault",
+                                    &[("task", task as f64), ("attempt", attempt as f64)],
+                                );
+                                if completed[task] || fatal.is_some() {
+                                    // Another attempt already delivered the
+                                    // task (or the job is going down);
+                                    // nothing to recover.
+                                } else if next_attempt[task] < retry.max_attempts {
+                                    let a = next_attempt[task];
+                                    next_attempt[task] += 1;
+                                    driver_trace.instant(
+                                        "retry",
+                                        "fault",
+                                        &[("task", task as f64), ("attempt", a as f64)],
+                                    );
+                                    let cancel = Arc::new(AtomicBool::new(false));
+                                    running[task].push(RunningAttempt {
+                                        attempt: a,
+                                        started: None,
+                                        cancel: Arc::clone(&cancel),
+                                        speculative: false,
+                                    });
+                                    let _ = task_tx.send(MapAssignment {
+                                        task,
+                                        attempt: a,
+                                        speculative: false,
+                                        split: Arc::clone(&splits[task]),
+                                        cancel,
+                                        delay: retry.backoff,
+                                    });
+                                    outstanding += 1;
+                                } else {
+                                    // Budget exhausted: fail the job, but
+                                    // keep draining outstanding attempts
+                                    // so no thread is left blocked.
+                                    fatal = Some(e);
+                                    for rs in &running {
+                                        for r in rs {
+                                            r.cancel.store(true, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Straggler scan: clone slow first attempts once a median
+                // over completed tasks exists.
+                if spec.enabled
+                    && fatal.is_none()
+                    && completed_count >= spec.min_completed.max(1)
+                    && completed_count < total_map_tasks
+                {
+                    let mut sorted = durations.clone();
+                    sorted.sort_unstable();
+                    let median = sorted[sorted.len() / 2];
+                    // Floor the threshold so micro-benchmark medians don't
+                    // flag everything as slow.
+                    let threshold = median
+                        .mul_f64(spec.slow_factor)
+                        .max(Duration::from_millis(1));
+                    let now = start.elapsed();
+                    for task in 0..total_map_tasks {
+                        if completed[task] || spec_cloned[task] {
+                            continue;
+                        }
+                        let Some(orig) = running[task].iter().find(|r| !r.speculative) else {
+                            continue;
+                        };
+                        let Some(started_at) = orig.started else {
+                            continue; // still queued, not slow
+                        };
+                        if now.saturating_sub(started_at) <= threshold {
+                            continue;
+                        }
+                        spec_cloned[task] = true;
+                        speculative_launched += 1;
+                        let a = next_attempt[task];
+                        next_attempt[task] += 1;
+                        driver_trace.instant(
+                            "speculate",
+                            "fault",
+                            &[("task", task as f64), ("attempt", a as f64)],
+                        );
+                        let cancel = Arc::new(AtomicBool::new(false));
+                        running[task].push(RunningAttempt {
+                            attempt: a,
+                            started: None,
+                            cancel: Arc::clone(&cancel),
+                            speculative: true,
+                        });
+                        let _ = task_tx.send(MapAssignment {
+                            task,
+                            attempt: a,
+                            speculative: true,
+                            split: Arc::clone(&splits[task]),
+                            cancel,
+                            delay: Duration::ZERO,
+                        });
+                        outstanding += 1;
+                    }
+                }
+            }
+
+            // All attempts drained. Shut the workers down; on failure,
+            // unblock reducers still waiting for MapDones that will never
+            // arrive.
+            drop(task_tx);
+            if fatal.is_some() {
+                shuffle_tx.abort();
+            }
         })
         .map_err(|_| Error::InvalidState("engine worker panicked".into()))?;
 
         driver_trace.end("job", "job");
         drop(driver_trace);
+
+        if let Some(e) = fatal {
+            return Err(e);
+        }
 
         // Assemble the report.
         let mut report = JobReport {
@@ -201,11 +718,15 @@ impl Engine {
             backend: job.backend.label().to_string(),
             ..Default::default()
         };
-        for res in map_res_rx.iter() {
-            let (stats, span) = res?;
-            report.absorb_map(&stats);
-            report.task_spans.push(span);
+        for (stats, span) in &map_results {
+            report.absorb_map(stats);
+            report.task_spans.push(*span);
         }
+        report.task_spans.extend(extra_spans);
+        report.map_attempts = map_attempts;
+        report.failed_attempts = failed_attempts;
+        report.speculative_launched = speculative_launched;
+        report.speculative_wins = speculative_wins;
         if report.map_tasks != total_map_tasks {
             return Err(Error::InvalidState(format!(
                 "expected {total_map_tasks} map results, got {}",
@@ -298,7 +819,7 @@ impl Sink for TimedSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{MapEmitter, MapSideMode, ReduceBackend, ShuffleMode};
+    use crate::job::{Combine, MapEmitter, MapSideMode, ReduceBackend, ShuffleMode};
     use onepass_groupby::SumAgg;
     use std::collections::BTreeMap;
 
@@ -342,6 +863,15 @@ mod tests {
         splits(&["a b a", "c b", "a d c", "b a"], 2)
     }
 
+    fn wc_job(reducers: usize) -> JobSpec {
+        JobSpec::builder("wc")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(reducers)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn hadoop_pipeline_end_to_end() {
         let job = JobSpec::builder("wc")
@@ -359,6 +889,9 @@ mod tests {
         assert_eq!(report.map_output_records, 10);
         assert_eq!(report.early_emits, 0, "stock Hadoop has no early output");
         assert!(report.map_write_io.bytes_written > 0);
+        assert_eq!(report.map_attempts, 2, "no retries on a clean run");
+        assert_eq!(report.reduce_attempts, 3);
+        assert_eq!(report.failed_attempts, 0);
     }
 
     #[test]
@@ -417,7 +950,7 @@ mod tests {
                 .aggregate(Arc::new(SumAgg))
                 .reducers(2)
                 .map_side(MapSideMode::HashPartitionOnly)
-                .combine(false)
+                .combine_mode(Combine::Off)
                 .shuffle(ShuffleMode::Push { granularity: 3 })
                 .backend(backend)
                 .build()
@@ -437,12 +970,7 @@ mod tests {
 
     #[test]
     fn spans_cover_all_tasks() {
-        let job = JobSpec::builder("wc")
-            .map_fn(Arc::new(word_map))
-            .aggregate(Arc::new(SumAgg))
-            .reducers(2)
-            .build()
-            .unwrap();
+        let job = wc_job(2);
         let report = Engine::new().run(&job, input()).unwrap();
         let maps = report
             .task_spans
@@ -458,6 +986,7 @@ mod tests {
         assert_eq!(reds, 2);
         for s in &report.task_spans {
             assert!(s.end >= s.start);
+            assert_eq!(s.attempt, 0, "clean run uses only first attempts");
         }
     }
 
@@ -470,10 +999,11 @@ mod tests {
             .reduce_budget_bytes(2048)
             .build()
             .unwrap();
-        let engine = Engine::with_config(EngineConfig {
-            spill: SpillBackend::TempFiles,
-            ..Default::default()
-        });
+        let engine = Engine::with_config(
+            EngineConfig::builder()
+                .spill(SpillBackend::TempFiles)
+                .build(),
+        );
         let many: Vec<String> = (0..200)
             .map(|i| format!("w{} w{} a", i % 37, i % 11))
             .collect();
@@ -482,5 +1012,145 @@ mod tests {
         let counts = final_counts(&report);
         assert_eq!(counts["a"], 200);
         assert!(report.reduce_spill_io.bytes_written > 0);
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let cfg = EngineConfig::builder()
+            .map_workers(2)
+            .channel_depth(8)
+            .spill(SpillBackend::TempFiles)
+            .map_output(MapOutputPersistence::Volatile)
+            .retry(RetryPolicy::attempts(3))
+            .speculation(SpeculationConfig::on())
+            .faults(FaultPlan::new().fail_map(0, 0, 1))
+            .build();
+        assert_eq!(cfg.map_workers, 2);
+        assert_eq!(cfg.channel_depth, 8);
+        assert_eq!(cfg.spill, SpillBackend::TempFiles);
+        assert!(!cfg.persist_map_output.is_persist());
+        assert_eq!(cfg.retry.max_attempts, 3);
+        assert!(cfg.speculation.enabled);
+        assert!(cfg.faults.is_active());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_persist_shim_agrees_with_enum() {
+        let cfg = EngineConfig::builder().persist_map_output(false).build();
+        assert_eq!(cfg.persist_map_output, MapOutputPersistence::Volatile);
+        assert_eq!(
+            MapOutputPersistence::from(true),
+            MapOutputPersistence::Persist
+        );
+    }
+
+    #[test]
+    fn map_fault_retries_and_recovers() {
+        let job = wc_job(2);
+        let cfg = EngineConfig::builder()
+            .retry(RetryPolicy::attempts(3))
+            .faults(FaultPlan::new().fail_map(0, 0, 1))
+            .build();
+        let report = Engine::with_config(cfg).run(&job, input()).unwrap();
+        assert_eq!(final_counts(&report), expected());
+        assert_eq!(report.map_tasks, 2);
+        assert_eq!(report.map_attempts, 3, "two firsts + one retry");
+        assert_eq!(report.failed_attempts, 1);
+        // The failed attempt leaves its own span.
+        assert!(report
+            .task_spans
+            .iter()
+            .any(|s| s.kind == TaskKind::Map && s.id == 0 && s.attempt == 1));
+    }
+
+    #[test]
+    fn map_panic_is_caught_and_retried() {
+        let job = wc_job(1);
+        let cfg = EngineConfig::builder()
+            .retry(RetryPolicy::attempts(2))
+            .faults(FaultPlan::new().panic_map(1, 0, 0))
+            .build();
+        let report = Engine::with_config(cfg).run(&job, input()).unwrap();
+        assert_eq!(final_counts(&report), expected());
+        assert_eq!(report.failed_attempts, 1);
+    }
+
+    #[test]
+    fn exhausted_map_retries_fail_the_job_without_hanging() {
+        let job = wc_job(2);
+        let cfg = EngineConfig::builder()
+            .retry(RetryPolicy::attempts(2))
+            .faults(
+                FaultPlan::new()
+                    .fail_map(0, 0, 0) // first attempt dies...
+                    .fail_map(0, 1, 0), // ...and so does the retry
+            )
+            .build();
+        let err = Engine::with_config(cfg).run(&job, input()).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn reduce_fault_retries_and_recovers() {
+        let job = wc_job(2);
+        let cfg = EngineConfig::builder()
+            .retry(RetryPolicy::attempts(3))
+            .faults(FaultPlan::new().fail_reduce(1, 0, 1))
+            .build();
+        let report = Engine::with_config(cfg).run(&job, input()).unwrap();
+        assert_eq!(final_counts(&report), expected());
+        assert_eq!(report.reduce_tasks, 2);
+        assert!(report.reduce_attempts >= 3, "one reducer retried");
+        assert!(report.failed_attempts >= 1);
+    }
+
+    #[test]
+    fn speculative_clone_beats_straggler() {
+        let job = wc_job(2);
+        // Task 0's first attempt sleeps 25 ms per record; its clone runs
+        // at full speed and must win. 3 records bound the cancelled
+        // straggler's exit latency to one sleep.
+        let lines: Vec<String> = (0..12).map(|i| format!("w{} a b", i % 5)).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let input = splits(&refs, 3);
+        let cfg = EngineConfig::builder()
+            .speculation(SpeculationConfig {
+                enabled: true,
+                slow_factor: 2.0,
+                min_completed: 1,
+                poll: Duration::from_millis(2),
+            })
+            .faults(FaultPlan::new().straggle_map(0, 0, Duration::from_millis(25)))
+            .build();
+        let report = Engine::with_config(cfg).run(&job, input).unwrap();
+        let mut want = BTreeMap::new();
+        for line in &lines {
+            for w in line.split(' ') {
+                *want.entry(w.to_string()).or_insert(0u64) += 1;
+            }
+        }
+        assert_eq!(
+            final_counts(&report),
+            want,
+            "speculation must not change output"
+        );
+        assert!(report.speculative_launched >= 1, "straggler was cloned");
+        assert!(report.speculative_wins >= 1, "clone finished first");
+        assert_eq!(report.map_tasks, 4, "each task counted once");
+    }
+
+    #[test]
+    fn zero_max_attempts_is_rejected() {
+        let job = wc_job(1);
+        let cfg = EngineConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                backoff: Duration::ZERO,
+            },
+            ..Default::default()
+        };
+        let err = Engine::with_config(cfg).run(&job, input()).unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
     }
 }

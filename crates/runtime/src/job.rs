@@ -62,6 +62,66 @@ impl Partitioner for HashPartitioner {
     }
 }
 
+/// Whether map tasks apply the combine function before shuffling.
+///
+/// Replaces the old `combine: bool` knob: `Combine::On` reads at the call
+/// site as "combine on", not as an anonymous boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Combine {
+    /// Apply the combine function map-side when the aggregate allows it.
+    #[default]
+    On,
+    /// Ship raw records; all grouping happens reduce-side.
+    Off,
+}
+
+impl Combine {
+    /// True when combining is enabled.
+    pub fn is_on(self) -> bool {
+        matches!(self, Combine::On)
+    }
+}
+
+impl From<bool> for Combine {
+    fn from(on: bool) -> Self {
+        if on {
+            Combine::On
+        } else {
+            Combine::Off
+        }
+    }
+}
+
+/// Whether final/early output pairs are collected into the report.
+///
+/// Replaces the old `collect_output: bool` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectOutput {
+    /// Keep the output pairs in [`crate::report::JobReport::output`].
+    #[default]
+    Collect,
+    /// Drop pairs after counting them — for large-output benchmarks where
+    /// only statistics matter.
+    Discard,
+}
+
+impl CollectOutput {
+    /// True when output pairs are retained.
+    pub fn is_collect(self) -> bool {
+        matches!(self, CollectOutput::Collect)
+    }
+}
+
+impl From<bool> for CollectOutput {
+    fn from(on: bool) -> Self {
+        if on {
+            CollectOutput::Collect
+        } else {
+            CollectOutput::Discard
+        }
+    }
+}
+
 /// How a map task turns its output buffer into shuffle segments — the
 /// choice §V's map module offers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,7 +251,7 @@ pub struct JobSpec {
     /// Reduce memory budget bytes per reduce task.
     pub reduce_budget_bytes: usize,
     /// Apply the combine function map-side when the aggregate allows it.
-    pub combine: bool,
+    pub combine: Combine,
     /// Sort-merge reducers also flush their in-memory segments to disk
     /// once this many segments accumulate, regardless of memory headroom
     /// (Hadoop's `mapred.inmem.merge.threshold`, default 1000). This is
@@ -200,7 +260,7 @@ pub struct JobSpec {
     pub inmem_merge_threshold: usize,
     /// Collect final/early output pairs into the report (disable for
     /// large-output benchmarks where only statistics matter).
-    pub collect_output: bool,
+    pub collect_output: CollectOutput,
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -229,7 +289,9 @@ impl JobSpec {
         if self.map_buffer_bytes < 1024 {
             return Err(Error::Config("map buffer must be ≥ 1 KiB".into()));
         }
-        if self.map_side == MapSideMode::HashCombine && !(self.combine && self.agg.combinable()) {
+        if self.map_side == MapSideMode::HashCombine
+            && !(self.combine.is_on() && self.agg.combinable())
+        {
             return Err(Error::Config(
                 "HashCombine map mode requires a combinable aggregate with combine enabled".into(),
             ));
@@ -277,9 +339,9 @@ impl JobSpecBuilder {
                 },
                 map_buffer_bytes: 16 * MIB as usize,
                 reduce_budget_bytes: 64 * MIB as usize,
-                combine: true,
+                combine: Combine::On,
                 inmem_merge_threshold: 1000,
-                collect_output: true,
+                collect_output: CollectOutput::Collect,
             },
         }
     }
@@ -338,10 +400,16 @@ impl JobSpecBuilder {
         self
     }
 
-    /// Enable/disable the map-side combine function.
-    pub fn combine(mut self, on: bool) -> Self {
-        self.spec.combine = on;
+    /// Set whether the map-side combine function runs.
+    pub fn combine_mode(mut self, mode: Combine) -> Self {
+        self.spec.combine = mode;
         self
+    }
+
+    /// Enable/disable the map-side combine function.
+    #[deprecated(since = "0.2.0", note = "use `combine_mode(Combine::{On,Off})`")]
+    pub fn combine(self, on: bool) -> Self {
+        self.combine_mode(on.into())
     }
 
     /// Set the sort-merge reducers' segment-count flush threshold.
@@ -350,10 +418,19 @@ impl JobSpecBuilder {
         self
     }
 
-    /// Enable/disable collecting output pairs into the report.
-    pub fn collect_output(mut self, on: bool) -> Self {
-        self.spec.collect_output = on;
+    /// Set whether output pairs are collected into the report.
+    pub fn collect_mode(mut self, mode: CollectOutput) -> Self {
+        self.spec.collect_output = mode;
         self
+    }
+
+    /// Enable/disable collecting output pairs into the report.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `collect_mode(CollectOutput::{Collect,Discard})`"
+    )]
+    pub fn collect_output(self, on: bool) -> Self {
+        self.collect_mode(on.into())
     }
 
     /// Finish, validating the configuration.
@@ -389,7 +466,7 @@ impl JobSpecBuilder {
     /// The paper's proposed system: hash map side (combine when the
     /// aggregate allows), push shuffle, frequent-key incremental hash.
     pub fn preset_onepass(self) -> Self {
-        let combinable = self.spec.combine && self.spec.agg.combinable();
+        let combinable = self.spec.combine.is_on() && self.spec.agg.combinable();
         let map_side = if combinable {
             MapSideMode::HashCombine
         } else {
@@ -483,6 +560,28 @@ mod tests {
             assert!(a < 7);
             assert_eq!(a, p.partition(&k, 7));
         }
+    }
+
+    #[test]
+    fn bool_shims_agree_with_enum_knobs() {
+        #[allow(deprecated)]
+        let shimmed = JobSpec::builder("t")
+            .combine(false)
+            .collect_output(false)
+            .build()
+            .unwrap();
+        assert_eq!(shimmed.combine, Combine::Off);
+        assert_eq!(shimmed.collect_output, CollectOutput::Discard);
+
+        let typed = JobSpec::builder("t")
+            .combine_mode(Combine::Off)
+            .collect_mode(CollectOutput::Discard)
+            .build()
+            .unwrap();
+        assert_eq!(typed.combine, shimmed.combine);
+        assert_eq!(typed.collect_output, shimmed.collect_output);
+        assert!(Combine::from(true).is_on());
+        assert!(CollectOutput::from(true).is_collect());
     }
 
     #[test]

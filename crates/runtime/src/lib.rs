@@ -31,9 +31,31 @@ pub mod shuffle;
 pub mod stream;
 pub mod window;
 
-pub use driver::Engine;
+pub use driver::{
+    Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
+    SpeculationConfig, SpillBackend,
+};
 pub use job::{
-    JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode, Partitioner, ReduceBackend,
-    ShuffleMode,
+    CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode, Partitioner,
+    ReduceBackend, ShuffleMode,
 };
 pub use report::{JobOutput, JobReport, TaskKind, TaskSpan};
+
+/// One-stop imports for building and running jobs.
+///
+/// ```
+/// use onepass_runtime::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::driver::{
+        Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
+        SpeculationConfig, SpillBackend,
+    };
+    pub use crate::job::{
+        CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode,
+        Partitioner, ReduceBackend, ShuffleMode,
+    };
+    pub use crate::map_task::Split;
+    pub use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
+    pub use onepass_core::fault::{FaultInjector, FaultPlan};
+}

@@ -2,10 +2,12 @@
 //! output buffer into shuffle segments under one of the three map-side
 //! modes (Fig. 1's map task vs Fig. 5's map module).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use onepass_core::bytes_kv::KvBuf;
-use onepass_core::error::Result;
+use onepass_core::error::{Error, Result};
+use onepass_core::fault::{FaultAction, FaultInjector, FaultTarget};
 use onepass_core::hashlib::ByteMap;
 use onepass_core::io::SpillStore;
 use onepass_core::metrics::{Phase, Profile};
@@ -53,6 +55,34 @@ pub struct MapTaskStats {
     pub profile: Profile,
 }
 
+/// Execution context for one attempt of a map task: the attempt id that
+/// stamps every shuffle message, the fault injector consulted per record,
+/// and the driver's cancellation flag (set when another attempt of the
+/// same task already committed, so losers stop burning CPU).
+#[derive(Clone, Default)]
+pub struct MapAttemptCtx {
+    /// Attempt number (0 = first execution of the task).
+    pub attempt: usize,
+    /// Fault schedule; inert by default.
+    pub injector: FaultInjector,
+    /// Set by the driver when this attempt's result is no longer wanted.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl MapAttemptCtx {
+    /// Context for a plain first attempt with no faults or cancellation.
+    pub fn first() -> Self {
+        Self::default()
+    }
+
+    /// Whether the driver has cancelled this attempt.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
 /// Emitter collecting map output into a [`KvBuf`], partitioned up front.
 struct BufEmitter<'a> {
     buf: &'a mut KvBuf,
@@ -90,6 +120,7 @@ pub fn run_map_task(
     tx: &ShuffleTx,
     map_store: Option<&Arc<dyn SpillStore>>,
     trace: &mut LocalTracer,
+    ctx: &MapAttemptCtx,
 ) -> Result<MapTaskStats> {
     let mut stats = MapTaskStats {
         input_records: split.records.len() as u64,
@@ -103,7 +134,29 @@ pub fn run_map_task(
     };
     let mut since_flush = 0usize;
 
-    for record in &split.records {
+    for (record_idx, record) in split.records.iter().enumerate() {
+        if ctx.cancelled() {
+            return Err(Error::Cancelled);
+        }
+        match ctx
+            .injector
+            .check(FaultTarget::Map, task_id, ctx.attempt, record_idx as u64)
+        {
+            Some(FaultAction::Fail) => {
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected fault: map task {task_id} attempt {} at record {record_idx}",
+                    ctx.attempt
+                ))));
+            }
+            Some(FaultAction::Panic) => {
+                panic!(
+                    "injected panic: map task {task_id} attempt {} at record {record_idx}",
+                    ctx.attempt
+                );
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            None => {}
+        }
         let map_start = std::time::Instant::now();
         let mut emitter = BufEmitter {
             buf: &mut buf,
@@ -120,19 +173,42 @@ pub fn run_map_task(
         let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
         let push_due = push_granularity.is_some_and(|g| since_flush >= g);
         if buffer_full || push_due {
-            flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats, trace)?;
+            flush_buffer(
+                job,
+                task_id,
+                ctx.attempt,
+                &mut buf,
+                tx,
+                map_store,
+                &mut stats,
+                trace,
+            )?;
             since_flush = 0;
         }
     }
-    flush_buffer(job, task_id, &mut buf, tx, map_store, &mut stats, trace)?;
-    tx.map_done(task_id);
+    if ctx.cancelled() {
+        return Err(Error::Cancelled);
+    }
+    flush_buffer(
+        job,
+        task_id,
+        ctx.attempt,
+        &mut buf,
+        tx,
+        map_store,
+        &mut stats,
+        trace,
+    )?;
+    tx.map_done(task_id, ctx.attempt);
     Ok(stats)
 }
 
 /// Turn the buffer into segments according to the map-side mode.
+#[allow(clippy::too_many_arguments)]
 fn flush_buffer(
     job: &JobSpec,
     task_id: usize,
+    attempt: usize,
     buf: &mut KvBuf,
     tx: &ShuffleTx,
     map_store: Option<&Arc<dyn SpillStore>>,
@@ -148,7 +224,7 @@ fn flush_buffer(
         "map",
         &[("buffer_bytes", buf.arena_bytes() as f64)],
     );
-    let combine_on = job.combine && job.agg.combinable();
+    let combine_on = job.combine.is_on() && job.agg.combinable();
 
     let segments: Vec<Segment> = match job.map_side {
         MapSideMode::SortSpill => {
@@ -189,6 +265,7 @@ fn flush_buffer(
                 }
                 segs.push(Segment {
                     map_task: task_id,
+                    attempt,
                     partition: p,
                     sorted: true,
                     combined: combine_on,
@@ -222,6 +299,7 @@ fn flush_buffer(
                 .filter(|(_, r)| !r.is_empty())
                 .map(|(p, records)| Segment {
                     map_task: task_id,
+                    attempt,
                     partition: p,
                     sorted: false,
                     combined: false,
@@ -249,6 +327,7 @@ fn flush_buffer(
                 .filter(|(_, t)| !t.is_empty())
                 .map(|(p, table)| Segment {
                     map_task: task_id,
+                    attempt,
                     partition: p,
                     sorted: false,
                     combined: true,
@@ -328,6 +407,7 @@ mod tests {
                 match msg {
                     ShuffleMsg::Segment(s) => segs.push(s),
                     ShuffleMsg::MapDone { .. } => dones += 1,
+                    ShuffleMsg::Abort => panic!("unexpected abort"),
                 }
             }
         }
@@ -337,7 +417,16 @@ mod tests {
     fn run_with(job: JobSpec) -> (Vec<Segment>, MapTaskStats) {
         let (tx, rxs) = shuffle_fabric(job.reducers, 1024);
         let split = Split::new(vec![b"a b a".to_vec(), b"b c".to_vec(), b"a".to_vec()]);
-        let stats = run_map_task(&job, 0, &split, &tx, None, &mut LocalTracer::disabled()).unwrap();
+        let stats = run_map_task(
+            &job,
+            0,
+            &split,
+            &tx,
+            None,
+            &mut LocalTracer::disabled(),
+            &MapAttemptCtx::first(),
+        )
+        .unwrap();
         let (segs, dones) = drain_segments(rxs);
         assert_eq!(dones, job.reducers, "MapDone must reach every reducer");
         (segs, stats)
@@ -420,7 +509,7 @@ mod tests {
             .aggregate(Arc::new(SumAgg))
             .reducers(1)
             .shuffle(ShuffleMode::Push { granularity: 2 })
-            .combine(false)
+            .combine_mode(crate::job::Combine::Off)
             .build()
             .unwrap();
         let (segs, stats) = run_with(job);
@@ -449,6 +538,7 @@ mod tests {
             &tx,
             Some(&store),
             &mut LocalTracer::disabled(),
+            &MapAttemptCtx::first(),
         )
         .unwrap();
         assert!(
@@ -471,7 +561,16 @@ mod tests {
         let mut trace = tracer.local(Track::new("map", 0));
         let (tx, _rxs) = shuffle_fabric(2, 1024);
         let split = Split::new(vec![b"a b a".to_vec(), b"b c".to_vec()]);
-        run_map_task(&job, 0, &split, &tx, None, &mut trace).unwrap();
+        run_map_task(
+            &job,
+            0,
+            &split,
+            &tx,
+            None,
+            &mut trace,
+            &MapAttemptCtx::first(),
+        )
+        .unwrap();
         drop(trace);
         let events = tracer.drain();
         assert!(events.iter().any(|e| e.name == "flush"));
@@ -486,6 +585,72 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_attempt_exits_early_without_map_done() {
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .build()
+            .unwrap();
+        let ctx = MapAttemptCtx {
+            attempt: 1,
+            injector: FaultInjector::none(),
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+        };
+        let (tx, rxs) = shuffle_fabric(1, 8);
+        let split = Split::new(vec![b"a b".to_vec()]);
+        let err = run_map_task(
+            &job,
+            0,
+            &split,
+            &tx,
+            None,
+            &mut LocalTracer::disabled(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Cancelled));
+        let (segs, dones) = drain_segments(rxs);
+        assert!(
+            segs.is_empty() && dones == 0,
+            "cancelled attempt stays silent"
+        );
+    }
+
+    #[test]
+    fn injected_fault_stops_mid_split() {
+        let job = JobSpec::builder("t")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(1)
+            .build()
+            .unwrap();
+        let ctx = MapAttemptCtx {
+            attempt: 0,
+            injector: onepass_core::fault::FaultPlan::new()
+                .fail_map(0, 0, 1)
+                .into_injector(),
+            cancel: None,
+        };
+        let (tx, rxs) = shuffle_fabric(1, 8);
+        let split = Split::new(vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        let err = run_map_task(
+            &job,
+            0,
+            &split,
+            &tx,
+            None,
+            &mut LocalTracer::disabled(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+        assert_eq!(ctx.injector.triggered(), 1);
+        let (_segs, dones) = drain_segments(rxs);
+        assert_eq!(dones, 0, "failed attempt must not announce MapDone");
+    }
+
+    #[test]
     fn empty_split_still_reports_done() {
         let job = JobSpec::builder("t").reducers(2).build().unwrap();
         let (tx, rxs) = shuffle_fabric(2, 8);
@@ -496,6 +661,7 @@ mod tests {
             &tx,
             None,
             &mut LocalTracer::disabled(),
+            &MapAttemptCtx::first(),
         )
         .unwrap();
         assert_eq!(stats.output_records, 0);

@@ -37,6 +37,9 @@ pub struct TaskSpan {
     pub kind: TaskKind,
     /// Task id (map task id or reducer partition).
     pub id: usize,
+    /// Execution attempt (0 = first). Retried and speculative attempts
+    /// each get their own span.
+    pub attempt: usize,
     /// Start offset from job start.
     pub start: Duration,
     /// End offset from job start.
@@ -101,6 +104,19 @@ pub struct JobReport {
     pub outputs: Vec<JobOutput>,
     /// Task lifetimes for timeline rendering.
     pub task_spans: Vec<TaskSpan>,
+    /// Map attempts executed to any outcome (success, failure, or
+    /// cancellation). Equals `map_tasks` when nothing failed.
+    pub map_attempts: usize,
+    /// Reduce attempts executed (internal reduce retries included).
+    /// Equals `reduce_tasks` when nothing failed.
+    pub reduce_attempts: usize,
+    /// Attempts that ended in a real failure and were retried or gave up
+    /// (cancelled speculative losers are not failures).
+    pub failed_attempts: usize,
+    /// Speculative map clones launched against stragglers.
+    pub speculative_launched: usize,
+    /// Speculative clones that finished before the original attempt.
+    pub speculative_wins: usize,
 }
 
 impl JobReport {
@@ -147,6 +163,8 @@ impl JobReport {
     /// Fold one reduce task's result into the report.
     pub(crate) fn absorb_reduce(&mut self, r: &ReduceResult) {
         self.reduce_tasks += 1;
+        self.reduce_attempts += r.attempts;
+        self.failed_attempts += r.attempts - 1;
         self.reduce_profile.merge(&r.stats.profile);
         self.groups_out += r.stats.groups_out;
         // early_emits is set by the driver from its sinks (covers backend
@@ -170,9 +188,13 @@ impl JobReport {
         let mut out = String::new();
         for s in &self.task_spans {
             out.push_str(&format!(
-                "{{\"type\":\"task\",\"kind\":\"{}\",\"id\":{},\"start_s\":{},\"end_s\":{}}}\n",
+                concat!(
+                    "{{\"type\":\"task\",\"kind\":\"{}\",\"id\":{},\"attempt\":{},",
+                    "\"start_s\":{},\"end_s\":{}}}\n"
+                ),
                 s.kind.label(),
                 s.id,
+                s.attempt,
                 fmt_f64(s.start.as_secs_f64()),
                 fmt_f64(s.end.as_secs_f64()),
             ));
@@ -186,6 +208,8 @@ impl JobReport {
                 "\"map_write_bytes\":{},\"reduce_spill_bytes_written\":{},",
                 "\"reduce_spill_bytes_read\":{},\"groups_out\":{},\"early_emits\":{},",
                 "\"snapshots\":{},\"first_early_s\":{},\"first_final_s\":{},",
+                "\"map_attempts\":{},\"reduce_attempts\":{},\"failed_attempts\":{},",
+                "\"speculative_launched\":{},\"speculative_wins\":{},",
                 "\"map_profile\":{},\"reduce_profile\":{}}}\n"
             ),
             escape(&self.name),
@@ -208,6 +232,11 @@ impl JobReport {
                 .map_or_else(|| "null".into(), |d| fmt_f64(d.as_secs_f64())),
             self.first_final_at
                 .map_or_else(|| "null".into(), |d| fmt_f64(d.as_secs_f64())),
+            self.map_attempts,
+            self.reduce_attempts,
+            self.failed_attempts,
+            self.speculative_launched,
+            self.speculative_wins,
             self.map_profile.to_json(),
             self.reduce_profile.to_json(),
         ));
@@ -258,18 +287,21 @@ mod tests {
             TaskSpan {
                 kind: TaskKind::Map,
                 id: 0,
+                attempt: 0,
                 start: Duration::ZERO,
                 end: Duration::from_millis(500),
             },
             TaskSpan {
                 kind: TaskKind::Map,
                 id: 1,
+                attempt: 1,
                 start: Duration::from_millis(100),
                 end: Duration::from_millis(700),
             },
             TaskSpan {
                 kind: TaskKind::Reduce,
                 id: 0,
+                attempt: 0,
                 start: Duration::ZERO,
                 end: Duration::from_millis(1500),
             },
@@ -281,6 +313,8 @@ mod tests {
             let doc = Json::parse(line).expect("valid task line");
             assert_eq!(doc.get("type").and_then(Json::as_str), Some("task"));
         }
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("attempt").and_then(Json::as_f64), Some(1.0));
         let summary = Json::parse(lines[3]).expect("valid summary line");
         assert_eq!(summary.get("type").and_then(Json::as_str), Some("job"));
         assert_eq!(summary.get("map_tasks").and_then(Json::as_f64), Some(2.0));

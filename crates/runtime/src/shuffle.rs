@@ -11,6 +11,13 @@
 //! In-process, both reduce to bounded channels; the difference the engine
 //! preserves is *when* data is sent (at flush/batch boundaries vs at task
 //! completion) and therefore when reducers can start incremental work.
+//!
+//! Every message is stamped with the producing **attempt**: when the
+//! driver retries a failed map task or races a speculative clone against a
+//! straggler, two attempts of the same logical task may both emit
+//! segments. Reducers dedup by `(map_task, attempt)`, committing exactly
+//! one attempt per task (the one whose `MapDone` arrives first), so
+//! re-execution never double-counts records.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -22,6 +29,8 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 pub struct Segment {
     /// Originating map task id.
     pub map_task: usize,
+    /// Execution attempt of the originating map task (0 = first run).
+    pub attempt: usize,
     /// Destination reducer partition.
     pub partition: usize,
     /// Records are sorted by key (sort-spill map side).
@@ -58,12 +67,20 @@ impl Segment {
 pub enum ShuffleMsg {
     /// A batch of records for this reducer.
     Segment(Segment),
-    /// The given map task has completed (sent to every reducer). A reduce
-    /// task has all of its input once every map task has reported done.
+    /// The given map task attempt has completed (sent to every reducer).
+    /// A reduce task has all of its input once every map task has a
+    /// committed attempt.
     MapDone {
         /// Completed map task id.
         map_task: usize,
+        /// The attempt that completed; reducers commit the first attempt
+        /// whose `MapDone` they see and discard segments from any other.
+        attempt: usize,
     },
+    /// The driver is aborting the job (retries exhausted); reducers stop
+    /// immediately instead of waiting for map tasks that will never
+    /// finish.
+    Abort,
 }
 
 /// Sending side of the shuffle, shared by all map workers.
@@ -88,10 +105,17 @@ impl ShuffleTx {
         let _ = self.senders[p].send(ShuffleMsg::Segment(seg));
     }
 
-    /// Announce a completed map task to every reducer.
-    pub fn map_done(&self, map_task: usize) {
+    /// Announce a completed map task attempt to every reducer.
+    pub fn map_done(&self, map_task: usize, attempt: usize) {
         for s in &self.senders {
-            let _ = s.send(ShuffleMsg::MapDone { map_task });
+            let _ = s.send(ShuffleMsg::MapDone { map_task, attempt });
+        }
+    }
+
+    /// Tell every reducer the job is aborting; they unblock and return.
+    pub fn abort(&self) {
+        for s in &self.senders {
+            let _ = s.send(ShuffleMsg::Abort);
         }
     }
 
@@ -136,6 +160,7 @@ mod tests {
     fn seg(partition: usize, n: usize) -> Segment {
         Segment {
             map_task: 0,
+            attempt: 0,
             partition,
             sorted: false,
             combined: false,
@@ -161,14 +186,26 @@ mod tests {
     }
 
     #[test]
-    fn map_done_broadcasts() {
+    fn map_done_broadcasts_with_attempt() {
         let (tx, rxs) = shuffle_fabric(3, 4);
-        tx.map_done(7);
+        tx.map_done(7, 2);
         for rx in &rxs {
             match rx.recv().unwrap() {
-                ShuffleMsg::MapDone { map_task } => assert_eq!(map_task, 7),
+                ShuffleMsg::MapDone { map_task, attempt } => {
+                    assert_eq!(map_task, 7);
+                    assert_eq!(attempt, 2);
+                }
                 other => panic!("unexpected {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn abort_broadcasts() {
+        let (tx, rxs) = shuffle_fabric(2, 4);
+        tx.abort();
+        for rx in &rxs {
+            assert!(matches!(rx.recv().unwrap(), ShuffleMsg::Abort));
         }
     }
 
@@ -185,18 +222,33 @@ mod tests {
 
     #[test]
     fn backpressure_blocks_until_drained() {
+        // Deterministic, no wall-clock sleeps: with a depth-1 channel the
+        // first send fills the queue; a second send on a helper thread
+        // must park inside the channel until this thread drains one
+        // message. The barrier guarantees the helper has *started* its
+        // send before we sample the queue, and the queue length (still 1)
+        // proves the send hasn't gone through.
         let (tx, rxs) = shuffle_fabric(1, 1);
         tx.send_segment(seg(0, 1));
+        assert_eq!(rxs[0].len(), 1, "queue full before helper starts");
+
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let b2 = barrier.clone();
         let t = std::thread::spawn(move || {
-            // This send must block until the receiver drains one message.
+            b2.wait();
+            // Blocks until the main thread drains one message.
             tx.send_segment(seg(0, 1));
         });
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(
-            !t.is_finished(),
-            "bounded channel should apply backpressure"
-        );
+
+        barrier.wait();
+        // The helper is now at (or past) the blocking send; the queue can
+        // only hold one message, so its segment cannot have been accepted.
+        assert_eq!(rxs[0].len(), 1, "second send must not fit yet");
+        let _ = rxs[0].recv().unwrap();
+        // recv freed one slot; the helper's send completes and the second
+        // segment becomes observable with a blocking recv.
         let _ = rxs[0].recv().unwrap();
         t.join().unwrap();
+        assert!(rxs[0].is_empty());
     }
 }

@@ -8,7 +8,9 @@ use std::sync::Arc;
 
 use onepass_groupby::{EmitKind, SumAgg};
 use onepass_runtime::map_task::Split;
-use onepass_runtime::{Engine, JobSpec, MapEmitter, MapSideMode, ReduceBackend, ShuffleMode};
+use onepass_runtime::{
+    Combine, Engine, JobSpec, MapEmitter, MapSideMode, ReduceBackend, ShuffleMode,
+};
 use proptest::prelude::*;
 
 fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
@@ -92,7 +94,7 @@ proptest! {
             .map_side(map_side)
             .shuffle(shuffle)
             .backend(mk_backend(backend_tag))
-            .combine(combine)
+            .combine_mode(if combine { Combine::On } else { Combine::Off })
             .reduce_budget_bytes(budget_kb * 1024)
             .build()
             .unwrap();

@@ -35,10 +35,7 @@ fn run_traced(
     Vec<onepass_core::trace::TraceEvent>,
 ) {
     let tracer = Tracer::enabled();
-    let config = EngineConfig {
-        tracer: tracer.clone(),
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder().tracer(tracer.clone()).build();
     let mut builder = JobSpec::builder("wc-traced")
         .map_fn(Arc::new(word_map))
         .aggregate(Arc::new(SumAgg))

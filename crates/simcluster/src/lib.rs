@@ -39,6 +39,6 @@ pub mod report;
 pub mod sampler;
 
 pub use cluster::{ClusterSpec, StorageConfig};
-pub use mapreduce::{run_sim_job, run_sim_job_traced, SimJobSpec, SystemType};
+pub use mapreduce::{run_sim_job, run_sim_job_traced, SimFaults, SimJobSpec, SystemType};
 pub use model::{CostModel, DeviceProfile, WorkloadProfile};
-pub use report::SimReport;
+pub use report::{FaultCounters, SimReport};

@@ -66,6 +66,9 @@ pub struct SimJobSpec {
     pub snapshots: Vec<f64>,
     /// DFS block replication (the paper turned it down to 1).
     pub replication: usize,
+    /// Fault and straggler injection (mirrors the engine's
+    /// `RetryPolicy` / `SpeculationConfig` / `FaultPlan`).
+    pub faults: SimFaults,
 }
 
 impl SimJobSpec {
@@ -84,7 +87,80 @@ impl SimJobSpec {
                 Vec::new()
             },
             replication: 1,
+            faults: SimFaults::default(),
         }
+    }
+}
+
+/// Fault and straggler plan for a simulated job — the cost-model mirror
+/// of the engine's task-level fault tolerance. Failed attempts waste the
+/// work they did before dying and are rescheduled with a fresh attempt
+/// id; stragglers run slow until (optionally) a speculative clone
+/// overtakes them; reduce failures replay the final phase.
+///
+/// The simulator models *successful* recovery: planned failure counts
+/// are clamped to `max_attempts - 1` at world construction so every run
+/// completes (an exhausted-retries run has no defined completion time).
+#[derive(Debug, Clone)]
+pub struct SimFaults {
+    /// `(task, failures)`: the first `failures` attempts of map `task`
+    /// die right after their map compute finishes — the read and CPU
+    /// cost is paid, no output is written — and the task is requeued.
+    pub map_failures: Vec<(usize, usize)>,
+    /// `(task, factor)`: attempt 0 of map `task` takes `factor`× the
+    /// normal compute time. Re-executions and clones run at full speed
+    /// (the slowdown models a sick node, not a slow task).
+    pub map_stragglers: Vec<(usize, f64)>,
+    /// `(reducer, failures)`: the first `failures` attempts of the
+    /// reducer's final phase fail after the reduce CPU pass and replay
+    /// from the final-merge read (re-paying disk and CPU).
+    pub reduce_failures: Vec<(usize, usize)>,
+    /// Attempts allowed per task, `>= 1` (engine `RetryPolicy`).
+    pub max_attempts: usize,
+    /// Clone straggling maps once their elapsed time exceeds
+    /// `slow_factor` × the median completed-map duration; the first
+    /// finisher commits, the loser's completion is discarded.
+    pub speculation: bool,
+    /// Straggler threshold multiplier for speculation.
+    pub slow_factor: f64,
+}
+
+impl Default for SimFaults {
+    fn default() -> Self {
+        SimFaults {
+            map_failures: Vec::new(),
+            map_stragglers: Vec::new(),
+            reduce_failures: Vec::new(),
+            max_attempts: 4,
+            speculation: false,
+            slow_factor: 2.0,
+        }
+    }
+}
+
+impl SimFaults {
+    fn map_attempt_fails(&self, task: usize, attempt: usize) -> bool {
+        let budget = self.max_attempts.saturating_sub(1);
+        self.map_failures
+            .iter()
+            .any(|&(t, n)| t == task && attempt < n.min(budget))
+    }
+
+    fn reduce_attempt_fails(&self, reducer: usize, attempt: usize) -> bool {
+        let budget = self.max_attempts.saturating_sub(1);
+        self.reduce_failures
+            .iter()
+            .any(|&(r, n)| r == reducer && attempt < n.min(budget))
+    }
+
+    fn map_slowdown(&self, task: usize, attempt: usize) -> f64 {
+        if attempt != 0 {
+            return 1.0;
+        }
+        self.map_stragglers
+            .iter()
+            .find(|&&(t, _)| t == task)
+            .map_or(1.0, |&(_, f)| f.max(1.0))
     }
 }
 
@@ -92,21 +168,27 @@ impl SimJobSpec {
 /// so handlers need no side tables.
 #[derive(Debug, Clone)]
 enum Action {
-    // Map pipeline.
+    // Map pipeline. Every stage carries the attempt id so retried and
+    // speculative executions of the same task stay distinguishable.
     MapLoadedRemoteDisk {
         task: usize,
+        attempt: usize,
     },
     MapLoadedNic {
         task: usize,
+        attempt: usize,
     },
     MapLoaded {
         task: usize,
+        attempt: usize,
     },
     MapComputed {
         task: usize,
+        attempt: usize,
     },
     MapWritten {
         task: usize,
+        attempt: usize,
     },
     // Shuffle.
     SegmentArrived {
@@ -191,6 +273,11 @@ struct Reducer {
     /// Incremental-update CPU requests in flight (hash system).
     pending_updates: usize,
     snapshotting: bool,
+    /// Final-phase attempt id (bumped by injected reduce failures).
+    attempt: usize,
+    /// MB the final phase reads from disk — remembered so an injected
+    /// failure can replay the read.
+    final_read_mb: f64,
 }
 
 /// Resource index layout per compute node plus storage nodes.
@@ -241,14 +328,33 @@ struct World {
     /// Global FIFO fallback for work stealing (remote reads).
     global_queue: VecDeque<usize>,
     scheduled: Vec<bool>,
-    /// Node each task was assigned to.
-    task_node: Vec<usize>,
+    /// Node each attempt of each task was assigned to (`[task][attempt]`;
+    /// attempt ids are sequential per task).
+    attempt_node: Vec<Vec<usize>>,
     free_slots: Vec<usize>,
     pending_count: usize,
     maps_done: usize,
     total_maps: usize,
     local_maps: usize,
     remote_maps: usize,
+    // Fault tolerance (attempt-aware map commit, mirroring the engine).
+    /// Attempt id the next launch of each task will use.
+    next_attempt: Vec<usize>,
+    /// Whether the task's output has been committed (first attempt to
+    /// finish wins; later completions are discarded).
+    map_committed: Vec<bool>,
+    /// Attempts of the task currently in flight.
+    map_running: Vec<usize>,
+    /// Sim time each attempt started (`[task][attempt]`).
+    attempt_started: Vec<Vec<SimTime>>,
+    /// Speculative clone attempt id, if one was launched.
+    clone_attempt: Vec<Option<usize>>,
+    /// Durations of committed maps (straggler-threshold median).
+    map_durations: Vec<SimTime>,
+    map_attempts: usize,
+    retries: usize,
+    speculative_launched: usize,
+    speculative_wins: usize,
     // Reducers.
     reducers: Vec<Reducer>,
     reducers_done: usize,
@@ -360,6 +466,8 @@ impl World {
                 cold_total_mb: 0.0,
                 pending_updates: 0,
                 snapshotting: false,
+                attempt: 0,
+                final_read_mb: 0.0,
             })
             .collect();
         let mut snapshot_plan: Vec<usize> = spec
@@ -380,13 +488,23 @@ impl World {
             node_queues,
             global_queue: (0..total_maps).collect(),
             scheduled: vec![false; total_maps],
-            task_node: vec![0; total_maps],
+            attempt_node: vec![Vec::new(); total_maps],
             free_slots,
             pending_count: total_maps,
             maps_done: 0,
             total_maps,
             local_maps: 0,
             remote_maps: 0,
+            next_attempt: vec![0; total_maps],
+            map_committed: vec![false; total_maps],
+            map_running: vec![0; total_maps],
+            attempt_started: vec![Vec::new(); total_maps],
+            clone_attempt: vec![None; total_maps],
+            map_durations: Vec::new(),
+            map_attempts: 0,
+            retries: 0,
+            speculative_launched: 0,
+            speculative_wins: 0,
             reducers,
             reducers_done: 0,
             map_out_block_mb,
@@ -517,41 +635,54 @@ impl World {
                 };
                 self.scheduled[task] = true;
                 self.pending_count -= 1;
-                self.free_slots[node] -= 1;
-                self.task_node[task] = node;
-                let now = self.q.now();
-                self.sampler.adjust(Gauge::MapTasks, now, 1.0);
-                self.trace_begin("map", task, "map_task", "task", now);
-                let block = self.spec.cluster.block_mb;
-                if self.spec.cluster.dfs_is_remote() {
-                    // Separated architecture: every read is remote, from
-                    // the storage node holding the block.
-                    self.remote_maps += 1;
-                    let s = self.dfs.primary(task);
-                    self.res[self.idx.storage_disk(s)].request(
-                        &mut self.q,
-                        block,
-                        Action::MapLoadedRemoteDisk { task },
-                    );
-                } else if self.dfs.is_local(task, node) {
-                    self.local_maps += 1;
-                    self.res[self.idx.data_disk(node)].request(
-                        &mut self.q,
-                        block,
-                        Action::MapLoaded { task },
-                    );
-                } else {
-                    // Non-local task: read from a replica holder's disk,
-                    // then cross the network to this node.
-                    self.remote_maps += 1;
-                    let src = self.dfs.primary(task);
-                    self.res[self.idx.data_disk(src)].request(
-                        &mut self.q,
-                        block,
-                        Action::MapLoadedRemoteDisk { task },
-                    );
-                }
+                self.launch_map(task, node);
             }
+        }
+    }
+
+    /// Start one attempt of `task` on `node`: claim the slot, assign the
+    /// attempt id, and issue the block read. Shared by initial
+    /// scheduling, failure re-execution, and speculative cloning.
+    fn launch_map(&mut self, task: usize, node: usize) {
+        self.free_slots[node] -= 1;
+        let attempt = self.next_attempt[task];
+        self.next_attempt[task] += 1;
+        debug_assert_eq!(self.attempt_node[task].len(), attempt);
+        self.attempt_node[task].push(node);
+        self.map_attempts += 1;
+        self.map_running[task] += 1;
+        let now = self.q.now();
+        self.attempt_started[task].push(now);
+        self.sampler.adjust(Gauge::MapTasks, now, 1.0);
+        self.trace_begin("map", task, "map_task", "task", now);
+        let block = self.spec.cluster.block_mb;
+        if self.spec.cluster.dfs_is_remote() {
+            // Separated architecture: every read is remote, from
+            // the storage node holding the block.
+            self.remote_maps += 1;
+            let s = self.dfs.primary(task);
+            self.res[self.idx.storage_disk(s)].request(
+                &mut self.q,
+                block,
+                Action::MapLoadedRemoteDisk { task, attempt },
+            );
+        } else if self.dfs.is_local(task, node) {
+            self.local_maps += 1;
+            self.res[self.idx.data_disk(node)].request(
+                &mut self.q,
+                block,
+                Action::MapLoaded { task, attempt },
+            );
+        } else {
+            // Non-local task: read from a replica holder's disk,
+            // then cross the network to this node.
+            self.remote_maps += 1;
+            let src = self.dfs.primary(task);
+            self.res[self.idx.data_disk(src)].request(
+                &mut self.q,
+                block,
+                Action::MapLoadedRemoteDisk { task, attempt },
+            );
         }
     }
 
@@ -572,21 +703,33 @@ impl World {
         map_fn + grouping
     }
 
-    fn on_map_loaded(&mut self, task: usize) {
-        let node = self.task_node[task];
-        let cpu_s = self.map_cpu_seconds();
-        self.res[self.idx.cpu(node)].request(&mut self.q, cpu_s, Action::MapComputed { task });
+    fn on_map_loaded(&mut self, task: usize, attempt: usize) {
+        let node = self.attempt_node[task][attempt];
+        // A straggling node runs the map function slow; re-executions
+        // and speculative clones land elsewhere and run at full speed.
+        let cpu_s = self.map_cpu_seconds() * self.spec.faults.map_slowdown(task, attempt);
+        self.res[self.idx.cpu(node)].request(
+            &mut self.q,
+            cpu_s,
+            Action::MapComputed { task, attempt },
+        );
     }
 
-    fn on_map_computed(&mut self, task: usize) {
-        let node = self.task_node[task];
+    fn on_map_computed(&mut self, task: usize, attempt: usize) {
+        if self.spec.faults.map_attempt_fails(task, attempt) {
+            // The attempt dies after its compute: the block read and the
+            // CPU are wasted, no output reaches disk or the shuffle.
+            self.fail_map_attempt(task, attempt);
+            return;
+        }
+        let node = self.attempt_node[task][attempt];
         match self.spec.system {
             SystemType::StockHadoop => {
                 // Synchronous map-output write gates completion (§II-A).
                 self.res[self.idx.inter_disk(node)].request(
                     &mut self.q,
                     self.map_out_block_mb,
-                    Action::MapWritten { task },
+                    Action::MapWritten { task, attempt },
                 );
             }
             SystemType::HashOnePass => {
@@ -598,7 +741,7 @@ impl World {
                     self.map_out_block_mb,
                     Action::CpuSink,
                 );
-                self.q.schedule(0, Action::MapWritten { task });
+                self.q.schedule(0, Action::MapWritten { task, attempt });
             }
             SystemType::Hop => {
                 // HOP pipelines the *push* but, being Hadoop underneath,
@@ -606,27 +749,70 @@ impl World {
                 self.res[self.idx.inter_disk(node)].request(
                     &mut self.q,
                     self.map_out_block_mb,
-                    Action::MapWritten { task },
+                    Action::MapWritten { task, attempt },
                 );
             }
         }
     }
 
-    fn on_map_written(&mut self, task: usize) {
+    /// An injected failure killed `attempt` of `task`: release its slot
+    /// and requeue the task (fresh attempt id) unless a twin attempt is
+    /// still running or the task already committed.
+    fn fail_map_attempt(&mut self, task: usize, attempt: usize) {
         let now = self.q.now();
-        if self.spec.system == SystemType::StockHadoop {
-            self.sampler
-                .count(Counter::DiskWriteMb, now, self.map_out_block_mb);
-        } else {
-            // Async write is counted when its disk request completes via
-            // CpuSink — approximate it here instead for simplicity of
-            // accounting (volume is identical).
-            self.sampler
-                .count(Counter::DiskWriteMb, now, self.map_out_block_mb);
-        }
+        self.retries += 1;
+        self.map_running[task] -= 1;
         self.sampler.adjust(Gauge::MapTasks, now, -1.0);
         self.trace_end("map", task, "map_task", "task", now);
-        self.free_slots[self.task_node[task]] += 1;
+        self.trace_instant(
+            "driver",
+            0,
+            "task_failed",
+            "fault",
+            now,
+            &[("task", task as f64), ("attempt", attempt as f64)],
+        );
+        self.free_slots[self.attempt_node[task][attempt]] += 1;
+        if !self.map_committed[task] && self.map_running[task] == 0 {
+            self.trace_instant(
+                "driver",
+                0,
+                "retry",
+                "fault",
+                now,
+                &[("task", task as f64), ("attempt", (attempt + 1) as f64)],
+            );
+            self.scheduled[task] = false;
+            self.pending_count += 1;
+            self.global_queue.push_back(task);
+        }
+        self.schedule_maps();
+    }
+
+    fn on_map_written(&mut self, task: usize, attempt: usize) {
+        let now = self.q.now();
+        // Sync and async writes count the same volume; the async one is
+        // approximated here (when its task finishes) rather than when its
+        // disk request drains — the totals are identical.
+        self.sampler
+            .count(Counter::DiskWriteMb, now, self.map_out_block_mb);
+        self.sampler.adjust(Gauge::MapTasks, now, -1.0);
+        self.trace_end("map", task, "map_task", "task", now);
+        self.map_running[task] -= 1;
+        self.free_slots[self.attempt_node[task][attempt]] += 1;
+        if self.map_committed[task] {
+            // A twin attempt already committed this task — the engine
+            // cancels the loser; the sim lets it drain and discards the
+            // completion (its output never reaches the shuffle).
+            self.schedule_maps();
+            return;
+        }
+        self.map_committed[task] = true;
+        self.map_durations
+            .push(now.saturating_sub(self.attempt_started[task][attempt]));
+        if self.clone_attempt[task] == Some(attempt) {
+            self.speculative_wins += 1;
+        }
         self.maps_done += 1;
 
         // Ship one segment per reducer through the destination NIC. HOP
@@ -674,6 +860,51 @@ impl World {
             self.trigger_snapshots();
         }
         self.schedule_maps();
+        self.maybe_speculate();
+    }
+
+    /// Mirror of the engine's straggler scan: once enough maps have
+    /// committed to estimate a median duration, clone any original
+    /// attempt that has been running longer than `slow_factor`× that
+    /// median (at most one clone per task); the first finisher commits.
+    /// Pending (unscheduled) work keeps priority — clones only take
+    /// slots `schedule_maps` left free.
+    fn maybe_speculate(&mut self) {
+        if !self.spec.faults.speculation || self.map_durations.len() < 2 {
+            return;
+        }
+        let mut durations = self.map_durations.clone();
+        durations.sort_unstable();
+        let median = durations[durations.len() / 2];
+        let threshold = ((median as f64) * self.spec.faults.slow_factor).ceil() as SimTime;
+        let now = self.q.now();
+        for task in 0..self.total_maps {
+            if self.map_committed[task]
+                || self.clone_attempt[task].is_some()
+                || self.map_running[task] == 0
+            {
+                continue;
+            }
+            let elapsed = now.saturating_sub(self.attempt_started[task][0]);
+            if elapsed <= threshold {
+                continue;
+            }
+            let Some(node) = (0..self.idx.compute_nodes).find(|&n| self.free_slots[n] > 0) else {
+                return; // no free slot anywhere; retry on the next completion
+            };
+            let attempt = self.next_attempt[task];
+            self.clone_attempt[task] = Some(attempt);
+            self.speculative_launched += 1;
+            self.trace_instant(
+                "driver",
+                0,
+                "speculate",
+                "fault",
+                now,
+                &[("task", task as f64), ("attempt", attempt as f64)],
+            );
+            self.launch_map(task, node);
+        }
     }
 
     // --- shuffle + sort-merge reduce ---------------------------------------
@@ -982,6 +1213,7 @@ impl World {
                 self.reducers[reducer].cold_total_mb + self.reducers[reducer].cold_pending_mb
             }
         };
+        self.reducers[reducer].final_read_mb = read_mb;
         if read_mb > 0.0 {
             self.res[self.idx.inter_disk(node)].request(
                 &mut self.q,
@@ -1017,6 +1249,46 @@ impl World {
     }
 
     fn on_final_cpu_done(&mut self, reducer: usize) {
+        let attempt = self.reducers[reducer].attempt;
+        if self.spec.faults.reduce_attempt_fails(reducer, attempt) {
+            // The reduce attempt dies after its CPU pass; the replacement
+            // replays the final phase from the on-disk runs (the engine's
+            // retained-segment replay, priced as re-read + re-reduce).
+            let now = self.q.now();
+            self.retries += 1;
+            self.reducers[reducer].attempt += 1;
+            self.trace_instant(
+                "driver",
+                0,
+                "task_failed",
+                "fault",
+                now,
+                &[("reducer", reducer as f64), ("attempt", attempt as f64)],
+            );
+            self.trace_instant(
+                "driver",
+                0,
+                "retry",
+                "fault",
+                now,
+                &[
+                    ("reducer", reducer as f64),
+                    ("attempt", (attempt + 1) as f64),
+                ],
+            );
+            let node = self.reducers[reducer].node;
+            let mb = self.reducers[reducer].final_read_mb;
+            if mb > 0.0 {
+                self.res[self.idx.inter_disk(node)].request(
+                    &mut self.q,
+                    mb,
+                    Action::FinalRead { reducer, mb },
+                );
+            } else {
+                self.q.schedule(0, Action::FinalRead { reducer, mb: 0.0 });
+            }
+            return;
+        }
         let node = self.reducers[reducer].node;
         let out_mb = self.spec.workload.input_mb * self.spec.workload.output_ratio
             / self.reducers.len() as f64;
@@ -1068,32 +1340,32 @@ impl World {
 
     fn dispatch(&mut self, action: Action) {
         match action {
-            Action::MapLoadedRemoteDisk { task } => {
+            Action::MapLoadedRemoteDisk { task, attempt } => {
                 // Remote DFS read: source disk done, now the compute
                 // node's NIC.
-                let node = self.task_node[task];
+                let node = self.attempt_node[task][attempt];
                 let now = self.q.now();
                 self.sampler
                     .count(Counter::DiskReadMb, now, self.spec.cluster.block_mb);
                 self.res[self.idx.nic(node)].request(
                     &mut self.q,
                     self.spec.cluster.block_mb,
-                    Action::MapLoadedNic { task },
+                    Action::MapLoadedNic { task, attempt },
                 );
             }
-            Action::MapLoadedNic { task } => {
+            Action::MapLoadedNic { task, attempt } => {
                 self.sampler
                     .count(Counter::NetMb, self.q.now(), self.spec.cluster.block_mb);
-                self.on_map_loaded(task);
+                self.on_map_loaded(task, attempt);
             }
-            Action::MapLoaded { task } => {
+            Action::MapLoaded { task, attempt } => {
                 let now = self.q.now();
                 self.sampler
                     .count(Counter::DiskReadMb, now, self.spec.cluster.block_mb);
-                self.on_map_loaded(task);
+                self.on_map_loaded(task, attempt);
             }
-            Action::MapComputed { task } => self.on_map_computed(task),
-            Action::MapWritten { task } => self.on_map_written(task),
+            Action::MapComputed { task, attempt } => self.on_map_computed(task, attempt),
+            Action::MapWritten { task, attempt } => self.on_map_written(task, attempt),
             Action::SegmentArrived { reducer, mb } => self.on_segment_arrived(reducer, mb, true),
             Action::ChunkArrived { reducer, mb } => self.on_segment_arrived(reducer, mb, false),
             Action::SpillWritten { reducer, mb } => self.on_spill_written(reducer, mb),
@@ -1151,6 +1423,12 @@ impl World {
             self.merge_written_mb,
             self.snapshots_taken,
             local_map_fraction,
+            crate::report::FaultCounters {
+                map_attempts: self.map_attempts,
+                retries: self.retries,
+                speculative_launched: self.speculative_launched,
+                speculative_wins: self.speculative_wins,
+            },
             &mut self.sampler,
         )
     }
@@ -1363,6 +1641,130 @@ mod tests {
             "greedy locality scheduling should keep most reads local, got {}",
             r.local_map_fraction
         );
+    }
+
+    fn faulty_spec(faults: SimFaults) -> SimJobSpec {
+        let cluster = ClusterSpec::paper_cluster(StorageConfig::SingleHdd);
+        let workload = WorkloadProfile::sessionization().scaled(0.02);
+        let mut spec = SimJobSpec::new(SystemType::StockHadoop, cluster, workload);
+        spec.reduce_mem_mb = 20.0;
+        spec.faults = faults;
+        spec
+    }
+
+    #[test]
+    fn injected_map_failure_retries_and_completes() {
+        let clean = run_sim_job(faulty_spec(SimFaults::default()));
+        let faults = SimFaults {
+            map_failures: vec![(0, 1), (3, 2)],
+            ..SimFaults::default()
+        };
+        let r = run_sim_job(faulty_spec(faults));
+        assert!(r.completion_secs > 0.0, "faulty job must still complete");
+        assert_eq!(r.map_tasks, clean.map_tasks);
+        assert_eq!(r.faults.retries, 3, "1 + 2 injected failures retried");
+        assert_eq!(
+            r.faults.map_attempts,
+            clean.map_tasks + 3,
+            "each failure costs exactly one extra attempt"
+        );
+        assert!(
+            r.completion_secs >= clean.completion_secs,
+            "recovery costs time: {} vs clean {}",
+            r.completion_secs,
+            clean.completion_secs
+        );
+    }
+
+    #[test]
+    fn failure_counts_are_clamped_to_max_attempts() {
+        // 100 planned failures but only 3 attempts allowed: the plan is
+        // clamped to 2 real failures so the run still completes.
+        let faults = SimFaults {
+            map_failures: vec![(0, 100)],
+            max_attempts: 3,
+            ..SimFaults::default()
+        };
+        let r = run_sim_job(faulty_spec(faults));
+        assert!(r.completion_secs > 0.0);
+        assert_eq!(r.faults.retries, 2);
+    }
+
+    #[test]
+    fn speculation_beats_a_straggling_map() {
+        let straggle = SimFaults {
+            map_stragglers: vec![(0, 40.0)],
+            ..SimFaults::default()
+        };
+        let without = run_sim_job(faulty_spec(straggle.clone()));
+        let with = run_sim_job(faulty_spec(SimFaults {
+            speculation: true,
+            ..straggle
+        }));
+        assert!(with.faults.speculative_launched >= 1, "clone must launch");
+        assert!(
+            with.faults.speculative_wins >= 1,
+            "the clone should beat a 40x straggler"
+        );
+        assert!(
+            with.completion_secs < without.completion_secs,
+            "speculation {} should beat straggling {}",
+            with.completion_secs,
+            without.completion_secs
+        );
+    }
+
+    #[test]
+    fn injected_reduce_failure_replays_the_final_phase() {
+        let clean = run_sim_job(faulty_spec(SimFaults::default()));
+        let faults = SimFaults {
+            reduce_failures: vec![(0, 1)],
+            ..SimFaults::default()
+        };
+        let r = run_sim_job(faulty_spec(faults));
+        assert!(r.completion_secs > 0.0);
+        assert_eq!(r.faults.retries, 1);
+        assert!(
+            r.merge_read_mb > clean.merge_read_mb,
+            "the replayed final phase re-reads the on-disk runs"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let faults = SimFaults {
+            map_failures: vec![(1, 1)],
+            map_stragglers: vec![(0, 20.0)],
+            reduce_failures: vec![(0, 1)],
+            speculation: true,
+            ..SimFaults::default()
+        };
+        let a = run_sim_job(faulty_spec(faults.clone()));
+        let b = run_sim_job(faulty_spec(faults));
+        assert_eq!(a.completion_secs, b.completion_secs);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn fault_trace_instants_ride_the_engine_schema() {
+        let faults = SimFaults {
+            map_failures: vec![(0, 1)],
+            ..SimFaults::default()
+        };
+        let tracer = Tracer::enabled();
+        let r = run_sim_job_traced(faulty_spec(faults), tracer.clone());
+        let events = tracer.drain();
+        let failed = events.iter().filter(|e| e.name == "task_failed").count();
+        let retried = events.iter().filter(|e| e.name == "retry").count();
+        assert_eq!(failed, 1);
+        assert_eq!(retried, 1);
+        // Spans stay balanced even with the extra attempt's map span.
+        use onepass_core::trace::complete_spans;
+        let spans = complete_spans(&events).expect("balanced spans");
+        let maps = spans.iter().filter(|s| s.name == "map_task").count();
+        assert_eq!(maps, r.faults.map_attempts);
+        assert_eq!(r.faults.map_attempts, r.map_tasks + 1);
     }
 
     #[test]

@@ -31,6 +31,21 @@ pub struct SimSeries {
     pub net_mb: Series,
 }
 
+/// Attempt-level accounting for a simulated run — the analogue of the
+/// engine `JobReport`'s attempt fields. All zero on a clean run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Map attempts launched, including retries and speculative clones
+    /// (equals `map_tasks` on a clean run).
+    pub map_attempts: usize,
+    /// Injected failures that triggered a re-execution (map + reduce).
+    pub retries: usize,
+    /// Speculative clones launched against stragglers.
+    pub speculative_launched: usize,
+    /// Clones that committed before the original attempt.
+    pub speculative_wins: usize,
+}
+
 /// Result of one simulated job.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -68,6 +83,8 @@ pub struct SimReport {
     pub local_map_fraction: f64,
     /// Total cores (for utilization scaling).
     pub total_cores: usize,
+    /// Attempt-level fault-tolerance counters.
+    pub faults: FaultCounters,
     /// The figure series.
     pub series: SimSeries,
 }
@@ -85,6 +102,7 @@ impl SimReport {
         merge_written_mb: f64,
         snapshots: u64,
         local_map_fraction: f64,
+        faults: FaultCounters,
         sampler: &mut Sampler,
     ) -> SimReport {
         let total_cores = spec.cluster.total_cores();
@@ -131,6 +149,7 @@ impl SimReport {
             events,
             local_map_fraction,
             total_cores,
+            faults,
             series,
         }
     }
@@ -144,7 +163,8 @@ impl SimReport {
              \"completion_s\":{},\"map_tasks\":{},\"reduce_tasks\":{},\"input_mb\":{},\
              \"map_output_mb\":{},\"spill_written_mb\":{},\"merge_read_mb\":{},\
              \"merge_written_mb\":{},\"output_mb\":{},\"snapshots\":{},\"events\":{},\
-             \"local_map_fraction\":{}}}\n",
+             \"local_map_fraction\":{},\"map_attempts\":{},\"retries\":{},\
+             \"speculative_launched\":{},\"speculative_wins\":{}}}\n",
             escape(self.system),
             escape(self.storage),
             escape(self.workload),
@@ -160,6 +180,10 @@ impl SimReport {
             self.snapshots,
             self.events,
             fmt_f64(self.local_map_fraction),
+            self.faults.map_attempts,
+            self.faults.retries,
+            self.faults.speculative_launched,
+            self.faults.speculative_wins,
         )
     }
 

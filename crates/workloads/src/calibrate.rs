@@ -12,7 +12,7 @@
 
 use onepass_core::config::MIB;
 use onepass_core::metrics::Phase;
-use onepass_runtime::{Engine, MapSideMode, ReduceBackend, ShuffleMode};
+use onepass_runtime::{CollectOutput, Engine, MapSideMode, ReduceBackend, ShuffleMode};
 use onepass_simcluster::CostModel;
 
 use crate::{make_splits, per_user_count, sessionization, ClickGen, ClickGenConfig};
@@ -61,7 +61,7 @@ pub fn calibrate(records: usize) -> Calibration {
     // 1. Hadoop path: map fn + sort costs, reduce-side merge cost.
     let hadoop = sessionization::job()
         .reducers(4)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .preset_hadoop()
         .reduce_budget_bytes(512 * 1024) // force merge activity
         .build()
@@ -78,7 +78,7 @@ pub fn calibrate(records: usize) -> Calibration {
     //    partition-only mode's grouping cost is ~zero by construction).
     let hashjob = per_user_count::job()
         .reducers(4)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .map_side(MapSideMode::HashCombine)
         .shuffle(ShuffleMode::Push {
             granularity: 65_536,
@@ -94,7 +94,7 @@ pub fn calibrate(records: usize) -> Calibration {
     //    hash backend (state appends per record).
     let incjob = sessionization::job()
         .reducers(4)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .map_side(MapSideMode::HashPartitionOnly)
         .shuffle(ShuffleMode::Push {
             granularity: 65_536,

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use onepass_groupby::Aggregator;
-use onepass_runtime::{JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+use onepass_runtime::{Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn};
 
 use crate::docgen::parse_doc;
 
@@ -106,7 +106,7 @@ pub fn job() -> JobSpecBuilder {
     JobSpec::builder("inverted-index")
         .map_fn(Arc::new(IndexMap))
         .aggregate(Arc::new(PostingListAgg))
-        .combine(false)
+        .combine_mode(Combine::Off)
 }
 
 #[cfg(test)]

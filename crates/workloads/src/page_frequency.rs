@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use onepass_groupby::SumAgg;
-use onepass_runtime::{JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+use onepass_runtime::{Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn};
 
 use crate::clickgen::Click;
 
@@ -41,7 +41,7 @@ pub fn job() -> JobSpecBuilder {
     JobSpec::builder("page-frequency")
         .map_fn(Arc::new(PageFreqMapText))
         .aggregate(Arc::new(SumAgg))
-        .combine(true)
+        .combine_mode(Combine::On)
 }
 
 /// Decode a final count value.

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use onepass_groupby::SumAgg;
-use onepass_runtime::{JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+use onepass_runtime::{Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn};
 
 use crate::clickgen::Click;
 
@@ -39,7 +39,7 @@ pub fn job() -> JobSpecBuilder {
     JobSpec::builder("per-user-count")
         .map_fn(Arc::new(PerUserMapText))
         .aggregate(Arc::new(SumAgg))
-        .combine(true)
+        .combine_mode(Combine::On)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use onepass_groupby::Aggregator;
-use onepass_runtime::{JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+use onepass_runtime::{Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn};
 
 use crate::clickgen::Click;
 
@@ -151,7 +151,7 @@ pub fn job() -> JobSpecBuilder {
     JobSpec::builder("sessionization")
         .map_fn(Arc::new(SessionizeMapText))
         .aggregate(Arc::new(SessionizeAgg::default()))
-        .combine(false)
+        .combine_mode(Combine::Off)
 }
 
 /// Job builder preset over pre-parsed binary click logs.
@@ -159,7 +159,7 @@ pub fn job_binary() -> JobSpecBuilder {
     JobSpec::builder("sessionization-binary")
         .map_fn(Arc::new(SessionizeMapBinary))
         .aggregate(Arc::new(SessionizeAgg::default()))
-        .combine(false)
+        .combine_mode(Combine::Off)
 }
 
 #[cfg(test)]

@@ -4,9 +4,14 @@
 //! ```text
 //! onepass run <workload> [--system hadoop|hop|onepass] [--records N]
 //!              [--reducers R] [--budget-kb K]
+//!              [--retries N] [--backoff-ms MS] [--speculate]
+//!              [--kill-map T] [--kill-reduce P] [--straggle-map T:MS]
+//!              [--fault-seed S]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass sim <workload> [--system hadoop|hop|onepass]
 //!              [--storage single-hdd|hdd+ssd|separated] [--scale F]
+//!              [--kill-map T] [--kill-reduce P] [--straggle-map T:X]
+//!              [--speculate]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass workloads
 //! ```
@@ -16,11 +21,18 @@
 //! schema, so their timelines render identically. `--report-jsonl`
 //! writes a machine-readable job report, one JSON object per line.
 //!
+//! Fault injection: `--kill-map T` / `--kill-reduce P` make the first
+//! attempt of that task fail mid-run (the driver retries it);
+//! `--straggle-map T:X` slows the task (a delay in ms on the engine, a
+//! compute multiplier in the sim) so `--speculate` has something to
+//! race; `--retries` defaults to 3 whenever a fault flag is present.
+//!
 //! Workloads: sessionization, page-frequency, per-user-count,
 //! inverted-index.
 
+use std::time::Duration;
+
 use onepass::prelude::*;
-use onepass::runtime::driver::EngineConfig;
 use onepass::runtime::JobSpecBuilder;
 use onepass_core::config::{fmt_bytes, fmt_secs};
 use onepass_workloads::{
@@ -32,8 +44,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          onepass run <workload> [--system hadoop|hop|onepass] [--records N] [--reducers R] [--budget-kb K]\n  \
+         \x20           [--retries N] [--backoff-ms MS] [--speculate] [--kill-map T] [--kill-reduce P]\n  \
+         \x20           [--straggle-map T:MS] [--fault-seed S]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
+         \x20           [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass workloads\n\n\
          workloads: sessionization | page-frequency | per-user-count | inverted-index"
@@ -45,6 +60,17 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == &format!("--{name}"))
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A value-less boolean switch (`--speculate`).
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{name}"))
+}
+
+/// Parse a `TASK:VALUE` pair (e.g. `--straggle-map 0:50`).
+fn task_value(spec: &str) -> Option<(usize, f64)> {
+    let (t, v) = spec.split_once(':')?;
+    Some((t.parse().ok()?, v.parse().ok()?))
 }
 
 fn main() {
@@ -87,7 +113,7 @@ fn cmd_run(args: &[String]) {
 
     let builder = job_builder(&workload)
         .reducers(reducers)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .reduce_budget_bytes(budget_kb * 1024);
     let job = match system.as_str() {
         "hadoop" => builder.preset_hadoop(),
@@ -114,10 +140,44 @@ fn cmd_run(args: &[String]) {
     } else {
         Tracer::disabled()
     };
-    let config = EngineConfig {
-        tracer: tracer.clone(),
-        ..EngineConfig::default()
-    };
+
+    // Fault-tolerance knobs: build a deterministic fault plan from the
+    // kill/straggle flags (first attempt of the named task dies after a
+    // handful of records), then retry/speculation policy around it.
+    let mut faults = FaultPlan::new();
+    if let Some(seed) = flag(args, "fault-seed").and_then(|v| v.parse().ok()) {
+        faults = FaultPlan::seeded(seed, splits.len(), reducers);
+    }
+    if let Some(t) = flag(args, "kill-map").and_then(|v| v.parse().ok()) {
+        faults = faults.fail_map(t, 0, 3);
+    }
+    if let Some(p) = flag(args, "kill-reduce").and_then(|v| v.parse().ok()) {
+        faults = faults.fail_reduce(p, 0, 3);
+    }
+    if let Some((t, ms)) = flag(args, "straggle-map").as_deref().and_then(task_value) {
+        faults = faults.straggle_map(t, 0, Duration::from_millis(ms as u64));
+    }
+    let retries: usize = flag(args, "retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if faults.is_empty() { 1 } else { 3 });
+    let backoff_ms: u64 = flag(args, "backoff-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let speculate = switch(args, "speculate");
+
+    let mut config = EngineConfig::builder()
+        .tracer(tracer.clone())
+        .retry(RetryPolicy {
+            max_attempts: retries.max(1),
+            backoff: Duration::from_millis(backoff_ms),
+        });
+    if speculate {
+        config = config.speculation(SpeculationConfig::on());
+    }
+    if !faults.is_empty() {
+        config = config.faults(faults);
+    }
+    let config = config.build();
 
     eprintln!("running {workload} on the {system} configuration ({input_records} records)...");
     let report = Engine::with_config(config)
@@ -140,6 +200,16 @@ fn cmd_run(args: &[String]) {
         fmt_secs(report.total_compute_cpu().as_secs_f64())
     );
     println!("map tasks:         {}", report.map_tasks);
+    if report.failed_attempts > 0 || report.speculative_launched > 0 {
+        println!(
+            "attempts:          {} map / {} reduce ({} failed, {} speculative, {} won)",
+            report.map_attempts,
+            report.reduce_attempts,
+            report.failed_attempts,
+            report.speculative_launched,
+            report.speculative_wins
+        );
+    }
     println!("input:             {}", fmt_bytes(report.input_bytes));
     println!(
         "shuffled:          {} ({} records, intermediate/input {:.0}%)",
@@ -204,10 +274,18 @@ fn cmd_sim(args: &[String]) {
     } else {
         Tracer::disabled()
     };
-    let r = run_sim_job_traced(
-        SimJobSpec::new(system, ClusterSpec::paper_cluster(storage), workload),
-        tracer.clone(),
-    );
+    let mut spec = SimJobSpec::new(system, ClusterSpec::paper_cluster(storage), workload);
+    if let Some(t) = flag(args, "kill-map").and_then(|v| v.parse().ok()) {
+        spec.faults.map_failures.push((t, 1));
+    }
+    if let Some(p) = flag(args, "kill-reduce").and_then(|v| v.parse().ok()) {
+        spec.faults.reduce_failures.push((p, 1));
+    }
+    if let Some((t, f)) = flag(args, "straggle-map").as_deref().and_then(task_value) {
+        spec.faults.map_stragglers.push((t, f));
+    }
+    spec.faults.speculation = switch(args, "speculate");
+    let r = run_sim_job_traced(spec, tracer.clone());
 
     if let Some(path) = &trace_out {
         std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
@@ -242,5 +320,14 @@ fn cmd_sim(args: &[String]) {
     );
     if r.snapshots > 0 {
         println!("snapshots:         {}", r.snapshots);
+    }
+    if r.faults.retries > 0 || r.faults.speculative_launched > 0 {
+        println!(
+            "attempts:          {} map ({} retried, {} speculative, {} won)",
+            r.faults.map_attempts,
+            r.faults.retries,
+            r.faults.speculative_launched,
+            r.faults.speculative_wins
+        );
     }
 }

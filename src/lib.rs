@@ -59,6 +59,7 @@ pub use onepass_workloads as workloads;
 
 /// The commonly-used API surface in one import.
 pub mod prelude {
+    pub use onepass_core::fault::{FaultInjector, FaultPlan};
     pub use onepass_core::memory::MemoryBudget;
     pub use onepass_core::metrics::Phase;
     pub use onepass_core::trace::{chrome_trace_json, complete_spans, Tracer, Track};
@@ -70,11 +71,13 @@ pub mod prelude {
     pub use onepass_runtime::stream::StreamSession;
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
-        Engine, JobSpec, MapEmitter, MapFn, MapSideMode, ReduceBackend, ShuffleMode,
+        CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, JobSpec, MapEmitter,
+        MapFn, MapOutputPersistence, MapSideMode, ReduceBackend, RetryPolicy, ShuffleMode,
+        SpeculationConfig, SpillBackend,
     };
     pub use onepass_simcluster::{
-        run_sim_job, run_sim_job_traced, ClusterSpec, SimJobSpec, StorageConfig, SystemType,
-        WorkloadProfile,
+        run_sim_job, run_sim_job_traced, ClusterSpec, SimFaults, SimJobSpec, StorageConfig,
+        SystemType, WorkloadProfile,
     };
     pub use onepass_sketch::{FrequentItems, SpaceSaving};
 }

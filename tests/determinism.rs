@@ -54,10 +54,7 @@ fn output_independent_of_worker_count() {
             .preset_hadoop()
             .build()
             .unwrap();
-        let engine = Engine::with_config(EngineConfig {
-            map_workers: workers,
-            ..Default::default()
-        });
+        let engine = Engine::with_config(EngineConfig::builder().map_workers(workers).build());
         let report = engine.run(&job, make_splits(recs.clone(), 500)).unwrap();
         let got = final_map(&report);
         match &reference {
@@ -128,10 +125,7 @@ fn output_independent_of_spill_backend_and_budget() {
             .reduce_budget_bytes(budget)
             .build()
             .unwrap();
-        let engine = Engine::with_config(EngineConfig {
-            spill,
-            ..Default::default()
-        });
+        let engine = Engine::with_config(EngineConfig::builder().spill(spill).build());
         let report = engine.run(&job, make_splits(recs.clone(), 500)).unwrap();
         let got = final_map(&report);
         match &reference {

@@ -199,7 +199,7 @@ fn collect_output_off_still_reports_stats() {
     let records = clicks(5_000, 6);
     let job = page_frequency::job()
         .reducers(2)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .preset_hadoop()
         .build()
         .unwrap();

@@ -28,7 +28,7 @@ fn s3b3_sorting_consumes_substantial_map_cpu() {
     let splits = make_splits(gen.text_records(60_000), 4_000);
     let job = per_user_count::job()
         .reducers(2)
-        .collect_output(false)
+        .collect_mode(CollectOutput::Discard)
         .preset_hadoop()
         .build()
         .unwrap();
@@ -116,7 +116,9 @@ fn s5_engine_cpu_and_spill_savings() {
             ..Default::default()
         });
         let splits = make_splits(gen.text_records(records), 150);
-        let builder = sessionization::job().reducers(2).collect_output(false);
+        let builder = sessionization::job()
+            .reducers(2)
+            .collect_mode(CollectOutput::Discard);
         let job = if preset_onepass {
             builder.preset_onepass()
         } else {

@@ -32,10 +32,11 @@ fn run_pair(records: usize) {
     let data = gen.text_records(records);
     let dirs_before = temp_spill_dirs();
 
-    let engine = Engine::with_config(EngineConfig {
-        spill: SpillBackend::TempFiles,
-        ..Default::default()
-    });
+    let engine = Engine::with_config(
+        EngineConfig::builder()
+            .spill(SpillBackend::TempFiles)
+            .build(),
+    );
     let mut finals: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = Vec::new();
     for preset_onepass in [false, true] {
         let builder = sessionization::job()

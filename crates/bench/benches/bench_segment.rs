@@ -1,0 +1,110 @@
+//! Zero-copy shuffle path ablation: building per-partition shuffle
+//! segments the old way (scatter into boxed `Vec<(Vec<u8>, Vec<u8>)>`
+//! per partition — two heap allocations per record) vs the arena way
+//! (`KvBuf::push` + `freeze_into_segments` — one shared arena, O(1)
+//! allocations per batch).
+//!
+//! Besides the Criterion timing comparison, a counting global allocator
+//! prints the exact allocations-per-record figure for both paths; these
+//! numbers back the README's Performance section.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, Criterion, Throughput};
+use onepass_core::bytes_kv::KvBuf;
+use onepass_core::SegmentBuf;
+
+/// System allocator wrapper counting every allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const N: usize = 100_000;
+const PARTITIONS: usize = 8;
+
+fn key(i: usize) -> [u8; 12] {
+    let mut k = [0u8; 12];
+    k[..4].copy_from_slice(&((i as u32).wrapping_mul(2_654_435_761) % 50_000).to_le_bytes());
+    k[4..8].copy_from_slice(b"pad0");
+    k[8..].copy_from_slice(&(i as u32).to_le_bytes());
+    k
+}
+
+/// Old path: scatter records into one boxed vec per partition.
+fn boxed_segments() -> usize {
+    let mut parts: Vec<Vec<(Vec<u8>, Vec<u8>)>> = (0..PARTITIONS).map(|_| Vec::new()).collect();
+    for i in 0..N {
+        parts[i % PARTITIONS].push((key(i).to_vec(), b"value!!!".to_vec()));
+    }
+    parts.iter().map(|p| p.len()).sum()
+}
+
+/// New path: one arena, per-partition entry tables sharing it.
+fn arena_segments() -> usize {
+    let mut buf = KvBuf::new();
+    for i in 0..N {
+        buf.push((i % PARTITIONS) as u32, &key(i), b"value!!!");
+    }
+    let segs: Vec<SegmentBuf> = buf.freeze_into_segments(PARTITIONS);
+    segs.iter().map(|s| s.len()).sum()
+}
+
+fn measure_allocs(f: impl FnOnce() -> usize) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let n = f();
+    assert_eq!(n, N);
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Print the allocations-per-record comparison (the README numbers).
+fn print_alloc_comparison() {
+    let boxed = measure_allocs(boxed_segments);
+    let arena = measure_allocs(arena_segments);
+    println!("--- allocations for {N} records across {PARTITIONS} partitions ---");
+    println!(
+        "boxed Vec<(Vec,Vec)> path: {boxed} allocations ({:.3}/record)",
+        boxed as f64 / N as f64
+    );
+    println!(
+        "arena SegmentBuf path:     {arena} allocations ({:.5}/record)",
+        arena as f64 / N as f64
+    );
+}
+
+fn segment_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle-segments");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+    group.bench_function("boxed: scatter into Vec<(Vec,Vec)>", |b| {
+        b.iter(boxed_segments)
+    });
+    group.bench_function("arena: KvBuf + freeze_into_segments", |b| {
+        b.iter(arena_segments)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, segment_path);
+
+fn main() {
+    print_alloc_comparison();
+    benches();
+}

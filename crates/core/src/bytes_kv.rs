@@ -14,6 +14,9 @@
 //! what Hadoop's map-side buffer does with its kvindices array. The
 //! `bench_kvbuf` benchmark quantifies the gap against the naive layout.
 
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
 use crate::hashlib::fingerprint;
 
 /// One logical record inside a [`KvBuf`]: which reducer partition it
@@ -201,6 +204,36 @@ impl KvBuf {
         self.entries.clear();
     }
 
+    /// Drain the buffer into one immutable [`SegmentBuf`] per partition
+    /// **without re-allocating payload bytes**: the arena is moved into an
+    /// `Arc` shared by every returned segment, and only the (12-byte)
+    /// entry tables are scattered per partition. Entries keep their
+    /// current order within each partition, so a buffer sorted with
+    /// [`KvBuf::sort_by_partition_key`] yields key-sorted segments and an
+    /// unsorted buffer yields arrival-ordered segments — no
+    /// partition-clustering pass is needed either way.
+    ///
+    /// The buffer is left empty (its arena ownership has been given away).
+    pub fn freeze_into_segments(&mut self, partitions: usize) -> Vec<SegmentBuf> {
+        let arena = Arc::new(std::mem::take(&mut self.arena));
+        let entries = std::mem::take(&mut self.entries);
+        let mut counts = vec![0usize; partitions];
+        for e in &entries {
+            counts[e.partition as usize] += 1;
+        }
+        let mut per: Vec<Vec<SegEntry>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for e in entries {
+            per[e.partition as usize].push(SegEntry {
+                key_off: e.key_off,
+                key_len: e.key_len,
+                val_len: e.val_len,
+            });
+        }
+        per.into_iter()
+            .map(|es| SegmentBuf::from_parts(Arc::clone(&arena), es))
+            .collect()
+    }
+
     /// A 64-bit content fingerprint, invariant under record order. Used by
     /// tests to check that transformations preserve the multiset of
     /// records.
@@ -216,8 +249,247 @@ impl KvBuf {
     }
 }
 
-/// An owned `(key, value)` pair — used at API boundaries where borrowing
-/// from an arena is impractical (e.g. crossing thread channels).
+/// Location of one record inside a [`SegmentBuf`] arena. The value bytes
+/// immediately follow the key bytes, so one entry is 12 bytes and a record
+/// access is two slice operations on the shared arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegEntry {
+    /// Byte offset of the key within the arena.
+    pub key_off: u32,
+    /// Key length in bytes.
+    pub key_len: u32,
+    /// Value length in bytes.
+    pub val_len: u32,
+}
+
+/// An immutable batch of `(key, value)` records backed by one contiguous,
+/// `Arc`-shared byte arena.
+///
+/// This is the flat-buffer record representation that flows across the
+/// whole engine: map flushes freeze a [`KvBuf`] into per-partition
+/// `SegmentBuf`s ([`KvBuf::freeze_into_segments`]), the shuffle moves one
+/// arena per partition instead of N boxed pairs, reducers retain segments
+/// for retry replay with two atomic increments instead of a deep copy, and
+/// spill readers hand back whole runs as zero-copy segments
+/// ([`SegmentBuf::from_framed`]). `clone()` bumps two `Arc`s; payload
+/// bytes are never re-allocated.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentBuf {
+    arena: Arc<Vec<u8>>,
+    entries: Arc<Vec<SegEntry>>,
+    payload: usize,
+}
+
+impl SegmentBuf {
+    fn from_parts(arena: Arc<Vec<u8>>, entries: Vec<SegEntry>) -> Self {
+        let payload = entries
+            .iter()
+            .map(|e| (e.key_len + e.val_len) as usize)
+            .sum();
+        SegmentBuf {
+            arena,
+            entries: Arc::new(entries),
+            payload,
+        }
+    }
+
+    /// Build a segment by copying borrowed pairs into a fresh arena.
+    /// Convenience for tests and small batches; hot paths should use
+    /// [`SegmentBufBuilder`] or [`KvBuf::freeze_into_segments`].
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>) -> Self {
+        let mut b = SegmentBufBuilder::new();
+        for (k, v) in pairs {
+            b.push(k, v);
+        }
+        b.finish()
+    }
+
+    /// Interpret length-prefixed record frames — the spill-run wire format
+    /// `[u32 klen][u32 vlen][key][value]`, little-endian — starting at
+    /// byte `start` of `data`, **sharing `data` as the arena**. Entries
+    /// point directly into the framed bytes (payload offsets skip each
+    /// 8-byte header), so no payload is copied.
+    pub fn from_framed(data: Arc<Vec<u8>>, start: usize) -> Result<Self> {
+        let n = data.len();
+        let mut entries = Vec::new();
+        let mut payload = 0usize;
+        let mut pos = start;
+        while pos < n {
+            if n - pos < 8 {
+                return Err(Error::Corrupt("truncated record header".into()));
+            }
+            let klen = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let vlen = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let body = pos + 8;
+            if n - body < klen + vlen {
+                return Err(Error::Corrupt("truncated record payload".into()));
+            }
+            entries.push(SegEntry {
+                key_off: body as u32,
+                key_len: klen as u32,
+                val_len: vlen as u32,
+            });
+            payload += klen + vlen;
+            pos = body + klen + vlen;
+        }
+        Ok(SegmentBuf {
+            arena: data,
+            entries: Arc::new(entries),
+            payload,
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the segment carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total key + value bytes (headers and entry tables excluded).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload
+    }
+
+    /// Key bytes of the `i`-th record.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u8] {
+        let e = self.entries[i];
+        &self.arena[e.key_off as usize..(e.key_off + e.key_len) as usize]
+    }
+
+    /// Value bytes of the `i`-th record.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let e = self.entries[i];
+        let start = (e.key_off + e.key_len) as usize;
+        &self.arena[start..start + e.val_len as usize]
+    }
+
+    /// Both slices of the `i`-th record.
+    #[inline]
+    pub fn get(&self, i: usize) -> (&[u8], &[u8]) {
+        (self.key(i), self.value(i))
+    }
+
+    /// The `i`-th record materialized as an [`OwnedKv`].
+    pub fn owned(&self, i: usize) -> OwnedKv {
+        OwnedKv::new(self.key(i), self.value(i))
+    }
+
+    /// Iterate `(key, value)` slice pairs in entry order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// A copy of this segment with entries re-ordered by key. The arena is
+    /// shared — only the 12-byte entry table is cloned and permuted, which
+    /// is how reducers sort unsorted (hash-path) segments without touching
+    /// payload bytes.
+    pub fn sorted_by_key(&self) -> SegmentBuf {
+        let mut entries: Vec<SegEntry> = self.entries.as_ref().clone();
+        let arena = &self.arena;
+        entries.sort_unstable_by(|a, b| {
+            let ka = &arena[a.key_off as usize..(a.key_off + a.key_len) as usize];
+            let kb = &arena[b.key_off as usize..(b.key_off + b.key_len) as usize];
+            ka.cmp(kb)
+        });
+        SegmentBuf {
+            arena: Arc::clone(&self.arena),
+            entries: Arc::new(entries),
+            payload: self.payload,
+        }
+    }
+
+    /// Order-invariant 64-bit content fingerprint over `(partition, key,
+    /// value)` triples — the [`KvBuf::unordered_fingerprint`] computation
+    /// with every record attributed to `partition`, so segment-level and
+    /// buffer-level fingerprints can be cross-checked.
+    pub fn unordered_fingerprint(&self, partition: u32) -> u64 {
+        let mut acc = 0u64;
+        for (k, v) in self.iter() {
+            let mut h = fingerprint(k);
+            h = h.rotate_left(17) ^ fingerprint(v);
+            h ^= (partition as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            acc = acc.wrapping_add(crate::hashlib::mix64(h));
+        }
+        acc
+    }
+}
+
+impl FromIterator<OwnedKv> for SegmentBuf {
+    fn from_iter<I: IntoIterator<Item = OwnedKv>>(iter: I) -> Self {
+        let mut b = SegmentBufBuilder::new();
+        for kv in iter {
+            b.push(&kv.key, &kv.value);
+        }
+        b.finish()
+    }
+}
+
+/// Incremental builder for a [`SegmentBuf`] — used where a flush has to
+/// synthesize new payload bytes (combine output, batched spill reads)
+/// rather than freeze an existing [`KvBuf`] arena.
+#[derive(Debug, Default)]
+pub struct SegmentBufBuilder {
+    arena: Vec<u8>,
+    entries: Vec<SegEntry>,
+}
+
+impl SegmentBufBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with arena capacity pre-reserved.
+    pub fn with_capacity(arena_bytes: usize, records: usize) -> Self {
+        SegmentBufBuilder {
+            arena: Vec::with_capacity(arena_bytes),
+            entries: Vec::with_capacity(records),
+        }
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        let key_off = self.arena.len() as u32;
+        self.arena.extend_from_slice(key);
+        self.arena.extend_from_slice(value);
+        self.entries.push(SegEntry {
+            key_off,
+            key_len: key.len() as u32,
+            val_len: value.len() as u32,
+        });
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Payload bytes appended so far.
+    pub fn payload_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Seal into an immutable, shareable segment.
+    pub fn finish(self) -> SegmentBuf {
+        SegmentBuf::from_parts(Arc::new(self.arena), self.entries)
+    }
+}
+
+/// The canonical owned `(key, value)` record — the materialized form of a
+/// [`SegmentBuf`] entry, used at API boundaries where borrowing from an
+/// arena is impractical (e.g. long-lived report output). Convert back and
+/// forth with [`SegmentBuf::owned`] and `SegmentBuf::from_iter`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct OwnedKv {
     /// Key bytes.
@@ -233,6 +505,11 @@ impl OwnedKv {
             key: key.to_vec(),
             value: value.to_vec(),
         }
+    }
+
+    /// Borrow both sides as the slice pair the operator APIs consume.
+    pub fn as_pair(&self) -> (&[u8], &[u8]) {
+        (&self.key, &self.value)
     }
 
     /// Payload size in bytes.
@@ -327,6 +604,124 @@ mod tests {
         b.group_by_partition(4);
         assert_eq!(b.partition_ranges(2), vec![0..0, 0..0]);
         assert_eq!(b.unordered_fingerprint(), 0);
+    }
+
+    #[test]
+    fn freeze_into_segments_shares_one_arena() {
+        let mut b = sample();
+        let fp: u64 = {
+            let mut acc = 0u64;
+            for i in 0..b.len() {
+                // Segment fingerprints must add up to the buffer's.
+                acc = acc.wrapping_add(
+                    SegmentBuf::from_pairs([(b.key(i), b.value(i))])
+                        .unordered_fingerprint(b.partition(i)),
+                );
+            }
+            acc
+        };
+        assert_eq!(fp, b.unordered_fingerprint());
+        let segs = b.freeze_into_segments(2);
+        assert!(b.is_empty(), "freeze drains the buffer");
+        assert_eq!(segs.len(), 2);
+        // Arrival order preserved within each partition.
+        assert_eq!(segs[0].key(0), b"cherry");
+        assert_eq!(segs[0].key(1), b"apple");
+        assert_eq!(segs[0].value(1), b"v4");
+        assert_eq!(segs[1].key(0), b"banana");
+        assert_eq!(segs[1].key(1), b"apple");
+        let total: u64 = segs
+            .iter()
+            .enumerate()
+            .map(|(p, s)| s.unordered_fingerprint(p as u32))
+            .fold(0u64, |a, x| a.wrapping_add(x));
+        assert_eq!(total, fp, "freeze must preserve content");
+    }
+
+    #[test]
+    fn freeze_after_sort_yields_key_sorted_segments() {
+        let mut b = sample();
+        b.sort_by_partition_key();
+        let segs = b.freeze_into_segments(2);
+        for seg in &segs {
+            let keys: Vec<&[u8]> = (0..seg.len()).map(|i| seg.key(i)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted);
+        }
+        assert_eq!(segs[0].payload_bytes(), 5 + 2 + 6 + 2);
+    }
+
+    #[test]
+    fn segment_clone_is_shallow_and_sorted_by_key_shares_arena() {
+        let seg = SegmentBuf::from_pairs([
+            (b"b".as_slice(), b"2".as_slice()),
+            (b"a".as_slice(), b"1".as_slice()),
+            (b"c".as_slice(), b"3".as_slice()),
+        ]);
+        let clone = seg.clone();
+        assert!(Arc::ptr_eq(&seg.arena, &clone.arena));
+        assert!(Arc::ptr_eq(&seg.entries, &clone.entries));
+        let sorted = seg.sorted_by_key();
+        assert!(Arc::ptr_eq(&seg.arena, &sorted.arena), "arena is shared");
+        let keys: Vec<&[u8]> = (0..sorted.len()).map(|i| sorted.key(i)).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+        // The original is untouched.
+        assert_eq!(seg.key(0), b"b");
+        assert_eq!(
+            sorted.unordered_fingerprint(0),
+            seg.unordered_fingerprint(0)
+        );
+    }
+
+    #[test]
+    fn from_framed_points_into_run_bytes() {
+        // Two frames in the spill wire format.
+        let mut data = Vec::new();
+        for (k, v) in [(b"ka".as_slice(), b"v1".as_slice()), (b"key2", b"")] {
+            data.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            data.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            data.extend_from_slice(k);
+            data.extend_from_slice(v);
+        }
+        let seg = SegmentBuf::from_framed(Arc::new(data), 0).unwrap();
+        assert_eq!(seg.len(), 2);
+        assert_eq!(seg.get(0), (b"ka".as_slice(), b"v1".as_slice()));
+        assert_eq!(seg.get(1), (b"key2".as_slice(), b"".as_slice()));
+        assert_eq!(seg.payload_bytes(), 2 + 2 + 4);
+
+        // Truncation surfaces as Corrupt.
+        let bad = vec![3u8, 0, 0];
+        assert!(SegmentBuf::from_framed(Arc::new(bad), 0).is_err());
+        let mut truncated = vec![4u8, 0, 0, 0, 1, 0, 0, 0];
+        truncated.extend_from_slice(b"ke"); // promises 5 payload bytes, has 2
+        assert!(SegmentBuf::from_framed(Arc::new(truncated), 0).is_err());
+    }
+
+    #[test]
+    fn owned_kv_roundtrips_through_segments() {
+        let seg = SegmentBuf::from_pairs([(b"k".as_slice(), b"v".as_slice())]);
+        let kv = seg.owned(0);
+        assert_eq!(kv.as_pair(), (b"k".as_slice(), b"v".as_slice()));
+        assert_eq!(kv.payload_bytes(), 2);
+        let back: SegmentBuf = vec![kv].into_iter().collect();
+        assert_eq!(back.get(0), seg.get(0));
+    }
+
+    #[test]
+    fn builder_matches_pairs_constructor() {
+        let mut b = SegmentBufBuilder::with_capacity(16, 2);
+        assert!(b.is_empty());
+        b.push(b"x", b"1");
+        b.push(b"", b"");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.payload_bytes(), 2);
+        let seg = b.finish();
+        let other = SegmentBuf::from_pairs([(b"x".as_slice(), b"1".as_slice()), (b"", b"")]);
+        assert_eq!(seg.unordered_fingerprint(3), other.unordered_fingerprint(3));
+        let empty = SegmentBuf::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.unordered_fingerprint(0), 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::bytes_kv::{SegmentBuf, SegmentBufBuilder};
 use crate::error::{Error, Result};
 
 /// Identifier of a spill run within its store.
@@ -91,6 +92,17 @@ pub struct Record<'a> {
 pub trait RunWriter: Send {
     /// Append one record.
     fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Append a whole batch. The on-disk byte stream is identical to
+    /// record-at-a-time writes; backends override this to encode and write
+    /// the batch in one operation instead of one syscall/copy per record.
+    fn write_segment(&mut self, seg: &SegmentBuf) -> Result<()> {
+        for (k, v) in seg.iter() {
+            self.write_record(k, v)?;
+        }
+        Ok(())
+    }
+
     /// Flush and seal the run, returning its metadata.
     fn finish(self: Box<Self>) -> Result<RunMeta>;
 }
@@ -99,6 +111,29 @@ pub trait RunWriter: Send {
 pub trait RunReader: Send {
     /// Next record, or `None` at a clean end-of-run.
     fn next_record(&mut self) -> Result<Option<Record<'_>>>;
+
+    /// Read roughly `max_bytes` of encoded records as one arena-backed
+    /// batch, or `None` at a clean end-of-run. Backends override this to
+    /// return the data in one read — the in-memory store hands back the
+    /// remaining run bytes zero-copy.
+    fn read_batch(&mut self, max_bytes: usize) -> Result<Option<SegmentBuf>> {
+        let mut batch = SegmentBufBuilder::new();
+        let mut taken = 0u64;
+        while taken < max_bytes as u64 {
+            match self.next_record()? {
+                None => break,
+                Some(rec) => {
+                    taken += encoded_len(rec.key, rec.value);
+                    batch.push(rec.key, rec.value);
+                }
+            }
+        }
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch.finish()))
+        }
+    }
 }
 
 /// A store of spill runs with shared I/O accounting.
@@ -227,6 +262,20 @@ impl RunWriter for MemWriter {
         Ok(())
     }
 
+    fn write_segment(&mut self, seg: &SegmentBuf) -> Result<()> {
+        // One reservation for the whole batch; the per-record extends
+        // below can never reallocate.
+        self.buf.reserve(seg.payload_bytes() + 8 * seg.len());
+        for (k, v) in seg.iter() {
+            self.buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(k);
+            self.buf.extend_from_slice(v);
+        }
+        self.records += seg.len() as u64;
+        Ok(())
+    }
+
     fn finish(self: Box<Self>) -> Result<RunMeta> {
         let bytes = self.buf.len() as u64;
         self.store
@@ -273,6 +322,24 @@ impl RunReader for MemReader {
             key: &self.data[start..start + klen],
             value: &self.data[start + klen..start + klen + vlen],
         }))
+    }
+
+    /// Zero-copy batch read: the remaining run bytes already live in one
+    /// `Arc`-shared buffer in the record wire format, so the returned
+    /// segment's entries point straight into it — no payload copy, one
+    /// "read" for the whole remainder regardless of `max_bytes`.
+    fn read_batch(&mut self, _max_bytes: usize) -> Result<Option<SegmentBuf>> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        let seg = SegmentBuf::from_framed(Arc::clone(&self.data), self.pos)?;
+        let consumed = (self.data.len() - self.pos) as u64;
+        self.pos = self.data.len();
+        self.store
+            .stats
+            .bytes_read
+            .fetch_add(consumed, Ordering::Relaxed);
+        Ok(Some(seg))
     }
 }
 
@@ -341,6 +408,7 @@ impl SpillStore for FileSpillStore {
             out: BufWriter::with_capacity(1 << 16, file),
             records: 0,
             bytes: 0,
+            scratch: Vec::new(),
             stats: Arc::clone(&self.stats),
         }))
     }
@@ -373,6 +441,7 @@ struct FileWriter {
     out: BufWriter<File>,
     records: u64,
     bytes: u64,
+    scratch: Vec<u8>,
     stats: Arc<StatsCell>,
 }
 
@@ -384,6 +453,26 @@ impl RunWriter for FileWriter {
         self.out.write_all(value)?;
         self.records += 1;
         self.bytes += encoded_len(key, value);
+        Ok(())
+    }
+
+    fn write_segment(&mut self, seg: &SegmentBuf) -> Result<()> {
+        // Encode the batch into one contiguous buffer and hand it to the
+        // writer in a single write, instead of 4 small writes per record.
+        let encoded = seg.payload_bytes() + 8 * seg.len();
+        self.scratch.clear();
+        self.scratch.reserve(encoded);
+        for (k, v) in seg.iter() {
+            self.scratch
+                .extend_from_slice(&(k.len() as u32).to_le_bytes());
+            self.scratch
+                .extend_from_slice(&(v.len() as u32).to_le_bytes());
+            self.scratch.extend_from_slice(k);
+            self.scratch.extend_from_slice(v);
+        }
+        self.out.write_all(&self.scratch)?;
+        self.records += seg.len() as u64;
+        self.bytes += encoded as u64;
         Ok(())
     }
 
@@ -512,6 +601,9 @@ struct FaultWriter {
 }
 
 impl RunWriter for FaultWriter {
+    // Note: the default `write_segment` is kept deliberately — it loops
+    // through `write_record`, so a batch write still ticks the fault
+    // budget once per record, preserving operation-count semantics.
     fn write_record(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         fault_tick(&self.budget)?;
         self.inner.write_record(key, value)
@@ -628,6 +720,80 @@ mod tests {
             assert!(dir.exists());
         }
         assert!(!dir.exists(), "temp spill dir should be removed on drop");
+    }
+
+    fn batch_roundtrip(store: &dyn SpillStore) {
+        let seg = SegmentBuf::from_pairs([
+            (b"alpha".as_slice(), b"1".as_slice()),
+            (b"", b"empty-key"),
+            (b"beta", b""),
+        ]);
+        // Batch write produces byte-identical runs to record-at-a-time.
+        let mut w = store.begin_run().unwrap();
+        w.write_segment(&seg).unwrap();
+        let batch_meta = w.finish().unwrap();
+        let mut w = store.begin_run().unwrap();
+        for (k, v) in seg.iter() {
+            w.write_record(k, v).unwrap();
+        }
+        let record_meta = w.finish().unwrap();
+        assert_eq!(batch_meta.records, 3);
+        assert_eq!(batch_meta.bytes, record_meta.bytes);
+
+        // Batch read returns the same records, and accounts the same
+        // bytes as a record-at-a-time scan.
+        let before = store.stats().bytes_read;
+        let mut r = store.open_run(batch_meta.id).unwrap();
+        let got = r.read_batch(usize::MAX).unwrap().unwrap();
+        assert_eq!(store.stats().bytes_read - before, batch_meta.bytes);
+        let got: Vec<_> = got.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let want: Vec<_> = seg.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        assert_eq!(got, want);
+        assert!(r.read_batch(usize::MAX).unwrap().is_none(), "end of run");
+
+        // A mixed scan: one record, then the batched remainder.
+        let mut r = store.open_run(record_meta.id).unwrap();
+        let first = r.next_record().unwrap().unwrap();
+        assert_eq!(first.key, b"alpha");
+        let rest = r.read_batch(usize::MAX).unwrap().unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest.get(0), (b"".as_slice(), b"empty-key".as_slice()));
+
+        store.delete_run(batch_meta.id).unwrap();
+        store.delete_run(record_meta.id).unwrap();
+    }
+
+    #[test]
+    fn mem_store_batch_roundtrip() {
+        batch_roundtrip(&SharedMemStore::new());
+    }
+
+    #[test]
+    fn file_store_batch_roundtrip() {
+        let store = FileSpillStore::temp().unwrap();
+        batch_roundtrip(&store);
+    }
+
+    #[test]
+    fn bounded_batch_reads_respect_max_bytes() {
+        let store = FileSpillStore::temp().unwrap();
+        let mut w = store.begin_run().unwrap();
+        for i in 0..10u32 {
+            w.write_record(&i.to_le_bytes(), &[0xee; 16]).unwrap();
+        }
+        let meta = w.finish().unwrap();
+        let mut r = store.open_run(meta.id).unwrap();
+        // Each record encodes to 28 bytes; a 30-byte cap yields ~2 records
+        // per batch (the default impl stops once the cap is crossed).
+        let mut total = 0usize;
+        let mut batches = 0usize;
+        while let Some(b) = r.read_batch(30).unwrap() {
+            total += b.len();
+            batches += 1;
+            assert!(b.len() <= 2);
+        }
+        assert_eq!(total, 10);
+        assert!(batches >= 5);
     }
 
     #[test]

@@ -43,4 +43,5 @@ pub mod metrics;
 pub mod table;
 pub mod trace;
 
+pub use bytes_kv::{KvBuf, OwnedKv, SegmentBuf, SegmentBufBuilder};
 pub use error::{Error, Result};

@@ -476,7 +476,7 @@ mod tests {
     use super::*;
     use crate::aggregate::CountAgg;
     use crate::sink::VecSink;
-    use crate::testutil::{count_truth, dec_u64, run_op};
+    use crate::test_support::{count_truth, dec_u64, pairs, run_op};
     use crate::SortMergeGrouper;
     use onepass_core::io::SharedMemStore;
 
@@ -505,8 +505,8 @@ mod tests {
             Arc::new(CountAgg),
         );
         let recs = skewed_records(4000, 500);
-        let (out, stats, _) = run_op(&mut g, &recs);
-        let truth = count_truth(&recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
+        let truth = count_truth(pairs(&recs));
         assert_eq!(out.len(), truth.len());
         for (k, c) in truth {
             assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
@@ -544,11 +544,11 @@ mod tests {
             Arc::new(CountAgg),
         );
         let recs = skewed_records(2000, 300);
-        let (out, stats, sink) = run_op(&mut g, &recs);
+        let (out, stats, sink) = run_op(&mut g, pairs(&recs));
         assert!(stats.early_emits > 0, "hot keys should be answered early");
         // The early answer for the hottest key must be close to its truth
         // (only pre-residency records can be missing from it).
-        let truth = count_truth(&recs);
+        let truth = count_truth(pairs(&recs));
         let early_hot = sink
             .emitted
             .iter()
@@ -581,7 +581,7 @@ mod tests {
             Arc::new(CountAgg),
         )
         .unwrap();
-        let (sm_out, sm_stats, _) = run_op(&mut sm, &recs);
+        let (sm_out, sm_stats, _) = run_op(&mut sm, pairs(&recs));
 
         let fh_store = SharedMemStore::new();
         let mut fh = FreqHashGrouper::new(
@@ -589,7 +589,7 @@ mod tests {
             MemoryBudget::new(budget_bytes),
             Arc::new(CountAgg),
         );
-        let (fh_out, fh_stats, _) = run_op(&mut fh, &recs);
+        let (fh_out, fh_stats, _) = run_op(&mut fh, pairs(&recs));
 
         assert_eq!(sm_out, fh_out, "both operators must agree exactly");
         assert!(
@@ -609,8 +609,8 @@ mod tests {
             Arc::new(CountAgg),
         );
         let recs = skewed_records(1000, 100);
-        let (out, stats, sink) = run_op(&mut g, &recs);
-        assert_eq!(out.len(), count_truth(&recs).len());
+        let (out, stats, sink) = run_op(&mut g, pairs(&recs));
+        assert_eq!(out.len(), count_truth(pairs(&recs)).len());
         assert_eq!(stats.io.bytes_written, 0);
         assert_eq!(sink.early_count(), 0, "no early pass needed when exact");
     }
@@ -620,7 +620,7 @@ mod tests {
         let budget = MemoryBudget::new(3000);
         let store = SharedMemStore::new();
         let mut g = FreqHashGrouper::new(Arc::new(store), budget.clone(), Arc::new(CountAgg));
-        let _ = run_op(&mut g, &skewed_records(3000, 400));
+        let _ = run_op(&mut g, pairs(&skewed_records(3000, 400)));
         assert_eq!(budget.used(), 0);
     }
 
@@ -636,7 +636,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (_, stats, sink) = run_op(&mut g, &skewed_records(3000, 400));
+        let (_, stats, sink) = run_op(&mut g, pairs(&skewed_records(3000, 400)));
         assert_eq!(stats.early_emits, 0);
         assert_eq!(sink.early_count(), 0);
     }

@@ -379,7 +379,7 @@ impl GroupBy for HybridHashGrouper {
 mod tests {
     use super::*;
     use crate::aggregate::{CountAgg, ListAgg};
-    use crate::testutil::{count_truth, dec_u64, run_op};
+    use crate::test_support::{count_truth, dec_u64, pairs, run_op};
     use onepass_core::io::SharedMemStore;
 
     fn records(n: u32, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -409,9 +409,9 @@ mod tests {
     fn in_memory_when_data_fits() {
         let (mut g, store) = grouper(1 << 20, 8);
         let recs = records(500, 20);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 20);
-        for (k, c) in count_truth(&recs) {
+        for (k, c) in count_truth(pairs(&recs)) {
             assert_eq!(dec_u64(&out[&k]), c);
         }
         assert_eq!(
@@ -425,9 +425,9 @@ mod tests {
     fn partitions_and_recurses_under_pressure() {
         let (mut g, store) = grouper(1200, 4);
         let recs = records(2000, 300);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 300);
-        for (k, c) in count_truth(&recs) {
+        for (k, c) in count_truth(pairs(&recs)) {
             assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
         }
         assert!(
@@ -443,7 +443,7 @@ mod tests {
     fn no_sort_cpu_is_charged() {
         let (mut g, _) = grouper(900, 4);
         let recs = records(1500, 200);
-        let (_, stats, _) = run_op(&mut g, &recs);
+        let (_, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(
             stats.profile.time(Phase::MapSort),
             std::time::Duration::ZERO,
@@ -459,7 +459,7 @@ mod tests {
         let recs: Vec<_> = (0..5000u32)
             .map(|i| (b"hot".to_vec(), i.to_le_bytes().to_vec()))
             .collect();
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 1);
         assert_eq!(dec_u64(&out[b"hot".as_slice()]), 5000);
         assert_eq!(stats.io.bytes_written, 0);
@@ -476,7 +476,7 @@ mod tests {
         )
         .unwrap();
         let recs = records(400, 80);
-        let (out, _, _) = run_op(&mut g, &recs);
+        let (out, _, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 80);
         let total: usize = out.values().map(|v| ListAgg::decode(v).len()).sum();
         assert_eq!(total, 400);
@@ -494,7 +494,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let (mut g, _) = grouper(1024, 4);
-        let (out, stats, _) = run_op(&mut g, &[]);
+        let (out, stats, _) = run_op(&mut g, pairs(&[]));
         assert!(out.is_empty());
         assert_eq!(stats.records_in, 0);
     }
@@ -514,7 +514,7 @@ mod tests {
         let recs: Vec<_> = (0..3000u32)
             .map(|i| (i.to_le_bytes().to_vec(), b"v".to_vec()))
             .collect();
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 3000);
         assert!(stats.passes > 1, "expected recursive passes");
         assert_eq!(store.live_runs(), 0);
@@ -527,7 +527,7 @@ mod tests {
         let mut g =
             HybridHashGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
         let recs = records(1000, 150);
-        let _ = run_op(&mut g, &recs);
+        let _ = run_op(&mut g, pairs(&recs));
         assert_eq!(budget.used(), 0);
     }
 }

@@ -346,7 +346,7 @@ impl Sink for NullEarly {
 mod tests {
     use super::*;
     use crate::aggregate::{CountAgg, ListAgg};
-    use crate::testutil::{count_truth, dec_u64, run_op};
+    use crate::test_support::{count_truth, dec_u64, pairs, run_op};
     use onepass_core::io::SharedMemStore;
 
     fn records(n: u32, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -369,9 +369,9 @@ mod tests {
             Arc::new(CountAgg),
         );
         let recs = records(1000, 50);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 50);
-        for (k, c) in count_truth(&recs) {
+        for (k, c) in count_truth(pairs(&recs)) {
             assert_eq!(dec_u64(&out[&k]), c);
         }
         assert_eq!(stats.io.bytes_written, 0);
@@ -389,9 +389,9 @@ mod tests {
             Arc::new(CountAgg),
         );
         let recs = records(2000, 200);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 200);
-        for (k, c) in count_truth(&recs) {
+        for (k, c) in count_truth(pairs(&recs)) {
             assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
         }
         assert!(stats.passes >= 2, "should need multiple overflow passes");
@@ -470,7 +470,7 @@ mod tests {
             Arc::new(ListAgg),
         );
         let recs = records(300, 60);
-        let (out, _, _) = run_op(&mut g, &recs);
+        let (out, _, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 60);
         let total: usize = out.values().map(|v| ListAgg::decode(v).len()).sum();
         assert_eq!(total, 300);
@@ -482,7 +482,7 @@ mod tests {
         let mut g =
             IncHashGrouper::new(Arc::new(store), MemoryBudget::new(800), Arc::new(CountAgg));
         let recs = records(500, 100);
-        let (_, stats, _) = run_op(&mut g, &recs);
+        let (_, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(
             stats.profile.time(Phase::MapSort),
             std::time::Duration::ZERO
@@ -515,7 +515,7 @@ mod tests {
         let budget = MemoryBudget::new(700);
         let store = SharedMemStore::new();
         let mut g = IncHashGrouper::new(Arc::new(store), budget.clone(), Arc::new(CountAgg));
-        let _ = run_op(&mut g, &records(400, 80));
+        let _ = run_op(&mut g, pairs(&records(400, 80)));
         assert_eq!(budget.used(), 0);
     }
 }

@@ -46,7 +46,7 @@ pub use merge::MultiPassMerger;
 pub use sink::{EmitKind, OpStats, Sink, VecSink};
 pub use sortmerge::SortMergeGrouper;
 
-use onepass_core::Result;
+use onepass_core::{Result, SegmentBuf};
 
 /// A streaming group-by operator: push records, then finish to flush
 /// remaining groups. Operators may emit *early* (incremental) output
@@ -78,6 +78,17 @@ pub trait GroupBy: Send {
     /// Consume one record. May emit early output into `sink`.
     fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()>;
 
+    /// Consume a whole arena-backed batch. The default forwards each
+    /// `(key, value)` slice pair straight out of the segment's arena into
+    /// [`GroupBy::push`] — no per-record copies — so every operator gets
+    /// the batched entry point for free while keeping the slice contract.
+    fn push_batch(&mut self, batch: &SegmentBuf, sink: &mut dyn Sink) -> Result<()> {
+        for (k, v) in batch.iter() {
+            self.push(k, v, sink)?;
+        }
+        Ok(())
+    }
+
     /// Flush all remaining groups into `sink` and return statistics.
     /// The operator must not be pushed to afterwards.
     fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats>;
@@ -87,15 +98,21 @@ pub trait GroupBy: Send {
 }
 
 #[cfg(test)]
-pub(crate) mod testutil {
+pub(crate) mod test_support {
     use super::*;
     use std::collections::BTreeMap;
 
+    /// Borrow owned pairs as the slice-pair iterator the helpers (and the
+    /// operator APIs) consume.
+    pub fn pairs(records: &[(Vec<u8>, Vec<u8>)]) -> impl Iterator<Item = (&[u8], &[u8])> {
+        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
     /// Drive `op` over `records` and return final `(key -> emitted value)`
     /// plus stats and the raw sink. Panics on duplicate final emissions.
-    pub fn run_op(
+    pub fn run_op<'a>(
         op: &mut dyn GroupBy,
-        records: &[(Vec<u8>, Vec<u8>)],
+        records: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
     ) -> (BTreeMap<Vec<u8>, Vec<u8>>, OpStats, VecSink) {
         let mut sink = VecSink::default();
         for (k, v) in records {
@@ -113,10 +130,12 @@ pub(crate) mod testutil {
     }
 
     /// Reference group-count: how often each key appears.
-    pub fn count_truth(records: &[(Vec<u8>, Vec<u8>)]) -> BTreeMap<Vec<u8>, u64> {
+    pub fn count_truth<'a>(
+        records: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
+    ) -> BTreeMap<Vec<u8>, u64> {
         let mut t: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
         for (k, _) in records {
-            *t.entry(k.clone()).or_default() += 1;
+            *t.entry(k.to_vec()).or_default() += 1;
         }
         t
     }

@@ -13,13 +13,19 @@
 //! amplification the paper measures as 370 GB for sessionization); the
 //! final merge streams groups straight to the consumer without writing.
 
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use onepass_core::error::{Error, Result};
 use onepass_core::io::{RunMeta, RunReader, SpillStore};
 use onepass_core::metrics::{Phase, Profile};
+use onepass_core::SegmentBuf;
+
+/// Bytes of arena data pulled from each run per [`RunReader::read_batch`]
+/// call. One allocation per batch replaces two allocations per record in
+/// the merge inner loop.
+const MERGE_BATCH_BYTES: usize = 256 * 1024;
 
 /// Policy + bookkeeping for multi-pass merging of sorted runs.
 pub struct MultiPassMerger {
@@ -98,8 +104,9 @@ impl MultiPassMerger {
         let mut writer = self.store.begin_run()?;
         {
             let mut cursor = MergeCursor::open(self.store.as_ref(), &victims)?;
-            while let Some((key, value)) = cursor.next_pair()? {
-                writer.write_record(&key, &value)?;
+            while let Some((batch, i)) = cursor.next_pair()? {
+                let (key, value) = batch.get(i);
+                writer.write_record(key, value)?;
             }
         }
         let merged = writer.finish()?;
@@ -132,18 +139,56 @@ impl MultiPassMerger {
     }
 }
 
-/// Heap entry of the k-way merge: (key, reader index, value). Ordering by
-/// (key, index) keeps the merge stable across runs.
-type HeadRecord = Reverse<(Vec<u8>, usize, Vec<u8>)>;
+/// Heap entry of the k-way merge: the current record of one reader's
+/// in-flight batch. Ordering by (key, reader index) keeps the merge stable
+/// across runs; cloning is two `Arc` bumps, never a payload copy.
+struct MergeHead {
+    batch: SegmentBuf,
+    idx: usize,
+    reader: usize,
+}
+
+impl MergeHead {
+    fn key(&self) -> &[u8] {
+        self.batch.key(self.idx)
+    }
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.reader == other.reader && self.key() == other.key()
+    }
+}
+
+impl Eq for MergeHead {}
+
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeHead {
+    /// Reversed (key, reader) ordering so `BinaryHeap`'s max-heap pops the
+    /// smallest head first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key()
+            .cmp(self.key())
+            .then_with(|| other.reader.cmp(&self.reader))
+    }
+}
 
 /// A `(key, values)` group produced by the final merge.
 pub type Group = (Vec<u8>, Vec<Vec<u8>>);
 
-/// Streaming k-way merge over a set of sorted runs.
+/// Streaming k-way merge over a set of sorted runs. Each reader is pulled
+/// one arena batch at a time; records are served as `(batch, index)`
+/// handles pointing into those arenas.
 struct MergeCursor {
     readers: Vec<Box<dyn RunReader>>,
     /// Min-heap of the current head record of each non-exhausted reader.
-    heap: BinaryHeap<HeadRecord>,
+    heap: BinaryHeap<MergeHead>,
 }
 
 impl MergeCursor {
@@ -157,34 +202,46 @@ impl MergeCursor {
             heap: BinaryHeap::new(),
         };
         for i in 0..cursor.readers.len() {
-            cursor.advance(i)?;
+            cursor.refill(i)?;
         }
         Ok(cursor)
     }
 
-    fn advance(&mut self, idx: usize) -> Result<()> {
-        if let Some(rec) = self.readers[idx].next_record()? {
-            self.heap
-                .push(Reverse((rec.key.to_vec(), idx, rec.value.to_vec())));
+    /// Pull the next batch from `reader` (if any) and seat its first record
+    /// on the heap.
+    fn refill(&mut self, reader: usize) -> Result<()> {
+        if let Some(batch) = self.readers[reader].read_batch(MERGE_BATCH_BYTES)? {
+            self.heap.push(MergeHead {
+                batch,
+                idx: 0,
+                reader,
+            });
         }
         Ok(())
     }
 
-    fn next_pair(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
-        match self.heap.pop() {
-            None => Ok(None),
-            Some(Reverse((key, idx, value))) => {
-                self.advance(idx)?;
-                Ok(Some((key, value)))
-            }
+    fn next_pair(&mut self) -> Result<Option<(SegmentBuf, usize)>> {
+        let MergeHead { batch, idx, reader } = match self.heap.pop() {
+            None => return Ok(None),
+            Some(head) => head,
+        };
+        if idx + 1 < batch.len() {
+            self.heap.push(MergeHead {
+                batch: batch.clone(),
+                idx: idx + 1,
+                reader,
+            });
+        } else {
+            self.refill(reader)?;
         }
+        Ok(Some((batch, idx)))
     }
 }
 
 /// Iterator over `(key, values)` groups produced by the final merge.
 pub struct GroupedMerge {
     cursor: MergeCursor,
-    pending: Option<(Vec<u8>, Vec<u8>)>,
+    pending: Option<(SegmentBuf, usize)>,
     store: Arc<dyn SpillStore>,
     runs: Vec<RunMeta>,
     profile: Profile,
@@ -193,24 +250,26 @@ pub struct GroupedMerge {
 
 impl GroupedMerge {
     /// Next group: the key plus all of its values, in merge order.
-    /// Returns `None` after the last group.
+    /// Returns `None` after the last group. Bytes are copied out of the
+    /// batch arenas only here, at group-assembly time.
     pub fn next_group(&mut self) -> Result<Option<Group>> {
-        let (key, first) = match self.pending.take() {
-            Some(kv) => kv,
+        let (batch, idx) = match self.pending.take() {
+            Some(head) => head,
             None => match self.cursor.next_pair()? {
-                Some(kv) => kv,
+                Some(head) => head,
                 None => return Ok(None),
             },
         };
-        let mut values = vec![first];
+        let key = batch.key(idx).to_vec();
+        let mut values = vec![batch.value(idx).to_vec()];
         loop {
             match self.cursor.next_pair()? {
                 None => break,
-                Some((k, v)) => {
-                    if k == key {
-                        values.push(v);
+                Some((b, i)) => {
+                    if b.key(i) == key.as_slice() {
+                        values.push(b.value(i).to_vec());
                     } else {
-                        self.pending = Some((k, v));
+                        self.pending = Some((b, i));
                         break;
                     }
                 }

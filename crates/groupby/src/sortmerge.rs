@@ -236,7 +236,7 @@ impl GroupBy for SortMergeGrouper {
 mod tests {
     use super::*;
     use crate::aggregate::{CountAgg, ListAgg};
-    use crate::testutil::{count_truth, dec_u64, run_op};
+    use crate::test_support::{count_truth, dec_u64, pairs, run_op};
     use onepass_core::io::SharedMemStore;
 
     fn records(n: u32, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -266,9 +266,9 @@ mod tests {
     fn in_memory_path_no_io() {
         let (mut g, store) = grouper(1 << 20);
         let recs = records(100, 10);
-        let (out, stats, sink) = run_op(&mut g, &recs);
+        let (out, stats, sink) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 10);
-        for (k, c) in count_truth(&recs) {
+        for (k, c) in count_truth(pairs(&recs)) {
             assert_eq!(dec_u64(&out[&k]), c);
         }
         assert_eq!(
@@ -283,9 +283,9 @@ mod tests {
     fn spilling_path_matches_truth() {
         let (mut g, _store) = grouper(600); // tiny: forces many spills
         let recs = records(500, 37);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 37);
-        for (k, c) in count_truth(&recs) {
+        for (k, c) in count_truth(pairs(&recs)) {
             assert_eq!(dec_u64(&out[&k]), c, "count mismatch for {k:?}");
         }
         assert!(stats.spills > 1);
@@ -305,7 +305,7 @@ mod tests {
         )
         .unwrap();
         let recs = records(400, 50);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 50);
         assert!(stats.passes >= 1, "expected intermediate merge passes");
         // Multi-pass amplification: bytes written exceed one spill's worth.
@@ -318,7 +318,7 @@ mod tests {
         // finish must write the remaining buffered tail too (§III-B.4).
         let (mut g, _store) = grouper(4 * (6 + 4 + RECORD_OVERHEAD) + 8);
         let recs = records(6, 6);
-        let (out, stats, _) = run_op(&mut g, &recs);
+        let (out, stats, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 6);
         assert!(stats.spills >= 2, "tail must be spilled as its own run");
     }
@@ -336,7 +336,7 @@ mod tests {
         .unwrap();
         // 2 distinct keys, many records: each spill collapses to 2 records.
         let recs = records(300, 2);
-        let (_, stats, _) = run_op(&mut g, &recs);
+        let (_, stats, _) = run_op(&mut g, pairs(&recs));
         assert!(
             stats.io.bytes_written < 3000,
             "combine should collapse runs"
@@ -354,7 +354,7 @@ mod tests {
         )
         .unwrap();
         let recs = records(60, 5);
-        let (out, _, _) = run_op(&mut g, &recs);
+        let (out, _, _) = run_op(&mut g, pairs(&recs));
         assert_eq!(out.len(), 5);
         let total: usize = out.values().map(|v| ListAgg::decode(v).len()).sum();
         assert_eq!(total, 60, "every value must appear in some group list");
@@ -364,7 +364,7 @@ mod tests {
     fn sort_cpu_is_attributed() {
         let (mut g, _) = grouper(1 << 20);
         let recs = records(20_000, 1000);
-        let (_, stats, _) = run_op(&mut g, &recs);
+        let (_, stats, _) = run_op(&mut g, pairs(&recs));
         assert!(
             stats.profile.time(Phase::MapSort) > std::time::Duration::ZERO,
             "sorting must register CPU time"
@@ -374,7 +374,7 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         let (mut g, _) = grouper(1024);
-        let (out, stats, _) = run_op(&mut g, &[]);
+        let (out, stats, _) = run_op(&mut g, pairs(&[]));
         assert!(out.is_empty());
         assert_eq!(stats.records_in, 0);
         assert_eq!(stats.groups_out, 0);
@@ -387,7 +387,7 @@ mod tests {
         let mut g =
             SortMergeGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
         let recs = records(100, 10);
-        let _ = run_op(&mut g, &recs);
+        let _ = run_op(&mut g, pairs(&recs));
         assert_eq!(budget.used(), 0, "all reserved memory must be returned");
     }
 }

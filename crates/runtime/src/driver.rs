@@ -79,16 +79,6 @@ impl MapOutputPersistence {
     }
 }
 
-impl From<bool> for MapOutputPersistence {
-    fn from(persist: bool) -> Self {
-        if persist {
-            MapOutputPersistence::Persist
-        } else {
-            MapOutputPersistence::Volatile
-        }
-    }
-}
-
 /// Per-task retry budget for failed attempts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -228,15 +218,6 @@ impl EngineConfigBuilder {
     pub fn map_output(mut self, mode: MapOutputPersistence) -> Self {
         self.cfg.persist_map_output = mode;
         self
-    }
-
-    /// Bool-flavoured map-output persistence knob.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use map_output(MapOutputPersistence::{Persist,Volatile})"
-    )]
-    pub fn persist_map_output(self, persist: bool) -> Self {
-        self.map_output(persist.into())
     }
 
     /// Trace collection point.
@@ -1035,14 +1016,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_persist_shim_agrees_with_enum() {
-        let cfg = EngineConfig::builder().persist_map_output(false).build();
+    fn map_output_knob_sets_persistence() {
+        let cfg = EngineConfig::builder()
+            .map_output(MapOutputPersistence::Volatile)
+            .build();
         assert_eq!(cfg.persist_map_output, MapOutputPersistence::Volatile);
-        assert_eq!(
-            MapOutputPersistence::from(true),
-            MapOutputPersistence::Persist
-        );
+        assert!(!cfg.persist_map_output.is_persist());
+        let defaults = EngineConfig::builder().build();
+        assert_eq!(defaults.persist_map_output, MapOutputPersistence::Persist);
     }
 
     #[test]

@@ -82,16 +82,6 @@ impl Combine {
     }
 }
 
-impl From<bool> for Combine {
-    fn from(on: bool) -> Self {
-        if on {
-            Combine::On
-        } else {
-            Combine::Off
-        }
-    }
-}
-
 /// Whether final/early output pairs are collected into the report.
 ///
 /// Replaces the old `collect_output: bool` knob.
@@ -109,16 +99,6 @@ impl CollectOutput {
     /// True when output pairs are retained.
     pub fn is_collect(self) -> bool {
         matches!(self, CollectOutput::Collect)
-    }
-}
-
-impl From<bool> for CollectOutput {
-    fn from(on: bool) -> Self {
-        if on {
-            CollectOutput::Collect
-        } else {
-            CollectOutput::Discard
-        }
     }
 }
 
@@ -406,12 +386,6 @@ impl JobSpecBuilder {
         self
     }
 
-    /// Enable/disable the map-side combine function.
-    #[deprecated(since = "0.2.0", note = "use `combine_mode(Combine::{On,Off})`")]
-    pub fn combine(self, on: bool) -> Self {
-        self.combine_mode(on.into())
-    }
-
     /// Set the sort-merge reducers' segment-count flush threshold.
     pub fn inmem_merge_threshold(mut self, n: usize) -> Self {
         self.spec.inmem_merge_threshold = n.max(1);
@@ -422,15 +396,6 @@ impl JobSpecBuilder {
     pub fn collect_mode(mut self, mode: CollectOutput) -> Self {
         self.spec.collect_output = mode;
         self
-    }
-
-    /// Enable/disable collecting output pairs into the report.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `collect_mode(CollectOutput::{Collect,Discard})`"
-    )]
-    pub fn collect_output(self, on: bool) -> Self {
-        self.collect_mode(on.into())
     }
 
     /// Finish, validating the configuration.
@@ -563,25 +528,20 @@ mod tests {
     }
 
     #[test]
-    fn bool_shims_agree_with_enum_knobs() {
-        #[allow(deprecated)]
-        let shimmed = JobSpec::builder("t")
-            .combine(false)
-            .collect_output(false)
-            .build()
-            .unwrap();
-        assert_eq!(shimmed.combine, Combine::Off);
-        assert_eq!(shimmed.collect_output, CollectOutput::Discard);
-
+    fn typed_knobs_set_modes() {
         let typed = JobSpec::builder("t")
             .combine_mode(Combine::Off)
             .collect_mode(CollectOutput::Discard)
             .build()
             .unwrap();
-        assert_eq!(typed.combine, shimmed.combine);
-        assert_eq!(typed.collect_output, shimmed.collect_output);
-        assert!(Combine::from(true).is_on());
-        assert!(CollectOutput::from(true).is_collect());
+        assert_eq!(typed.combine, Combine::Off);
+        assert_eq!(typed.collect_output, CollectOutput::Discard);
+        assert!(!typed.combine.is_on());
+        assert!(!typed.collect_output.is_collect());
+
+        let defaults = JobSpec::builder("t").build().unwrap();
+        assert!(defaults.combine.is_on());
+        assert!(defaults.collect_output.is_collect());
     }
 
     #[test]

@@ -58,4 +58,5 @@ pub mod prelude {
     pub use crate::map_task::Split;
     pub use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
     pub use onepass_core::fault::{FaultInjector, FaultPlan};
+    pub use onepass_core::{OwnedKv, SegmentBuf, SegmentBufBuilder};
 }

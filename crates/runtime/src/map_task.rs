@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use onepass_core::bytes_kv::KvBuf;
+use onepass_core::bytes_kv::{KvBuf, SegmentBufBuilder};
 use onepass_core::error::{Error, Result};
 use onepass_core::fault::{FaultAction, FaultInjector, FaultTarget};
 use onepass_core::hashlib::ByteMap;
@@ -234,19 +234,17 @@ fn flush_buffer(
                 buf.sort_by_partition_key();
                 trace.end(Phase::MapSort.label(), "phase");
             }
-            let ranges = buf.partition_ranges(job.reducers);
-            let combine_start = std::time::Instant::now();
             if combine_on {
+                let ranges = buf.partition_ranges(job.reducers);
+                let combine_start = std::time::Instant::now();
                 trace.begin(Phase::Combine.label(), "phase");
-            }
-            let mut segs = Vec::new();
-            for (p, range) in ranges.into_iter().enumerate() {
-                if range.is_empty() {
-                    continue;
-                }
-                let mut records = Vec::new();
-                if combine_on {
+                let mut segs = Vec::new();
+                for (p, range) in ranges.into_iter().enumerate() {
+                    if range.is_empty() {
+                        continue;
+                    }
                     // Collapse each key streak into one partial state.
+                    let mut records = SegmentBufBuilder::new();
                     let mut i = range.start;
                     while i < range.end {
                         let start = i;
@@ -256,44 +254,47 @@ fn flush_buffer(
                             job.agg.update(buf.key(start), &mut state, buf.value(i));
                             i += 1;
                         }
-                        records.push((buf.key(start).to_vec(), state));
+                        records.push(buf.key(start), &state);
                     }
-                } else {
-                    for i in range {
-                        records.push((buf.key(i).to_vec(), buf.value(i).to_vec()));
-                    }
+                    segs.push(Segment {
+                        map_task: task_id,
+                        attempt,
+                        partition: p,
+                        sorted: true,
+                        combined: true,
+                        records: records.finish(),
+                    });
                 }
-                segs.push(Segment {
-                    map_task: task_id,
-                    attempt,
-                    partition: p,
-                    sorted: true,
-                    combined: combine_on,
-                    records,
-                });
-            }
-            if combine_on {
                 stats
                     .profile
                     .add_time(Phase::Combine, combine_start.elapsed());
                 trace.end(Phase::Combine.label(), "phase");
+                segs
+            } else {
+                // Zero copy: the sorted arena is frozen in place and every
+                // per-partition segment shares it behind an `Arc`.
+                buf.freeze_into_segments(job.reducers)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.is_empty())
+                    .map(|(p, records)| Segment {
+                        map_task: task_id,
+                        attempt,
+                        partition: p,
+                        sorted: true,
+                        combined: false,
+                        records,
+                    })
+                    .collect()
             }
-            segs
         }
         MapSideMode::HashPartitionOnly => {
             // "The map output is scanned once for partitioning, and no
-            // effort is spent for grouping" (§V): a single scatter pass
-            // straight into per-partition segments — no sort, no
-            // intermediate permutation. The scatter is the same record
-            // copying the sort path performs after sorting, so it is not
-            // attributed to a grouping phase: this mode's grouping CPU is
-            // genuinely ~zero.
-            let mut parts: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
-                (0..job.reducers).map(|_| Vec::new()).collect();
-            for (p, key, value) in buf.iter() {
-                parts[p as usize].push((key.to_vec(), value.to_vec()));
-            }
-            parts
+            // effort is spent for grouping" (§V): the buffer is frozen as
+            // is — per-partition entry tables over the shared arena, in
+            // arrival order. No sort, no record copies; this mode's
+            // grouping CPU is genuinely ~zero.
+            buf.freeze_into_segments(job.reducers)
                 .into_iter()
                 .enumerate()
                 .filter(|(_, r)| !r.is_empty())
@@ -325,13 +326,19 @@ fn flush_buffer(
                 .into_iter()
                 .enumerate()
                 .filter(|(_, t)| !t.is_empty())
-                .map(|(p, table)| Segment {
-                    map_task: task_id,
-                    attempt,
-                    partition: p,
-                    sorted: false,
-                    combined: true,
-                    records: table.into_iter().collect(),
+                .map(|(p, table)| {
+                    let mut records = SegmentBufBuilder::new();
+                    for (k, state) in table {
+                        records.push(&k, &state);
+                    }
+                    Segment {
+                        map_task: task_id,
+                        attempt,
+                        partition: p,
+                        sorted: false,
+                        combined: true,
+                        records: records.finish(),
+                    }
                 })
                 .collect();
             trace.end(Phase::MapHash.label(), "phase");
@@ -344,15 +351,14 @@ fn flush_buffer(
     // its output has been persisted" (§II-A). The write is synchronous and
     // attributed to MapWrite; data is dropped immediately after (reducers
     // get it via the channel, as Hadoop reducers usually get it from the
-    // mapper's memory, §II-A).
+    // mapper's memory, §II-A). Each segment goes down as one batched
+    // framed write.
     if let Some(store) = map_store {
         let write_start = std::time::Instant::now();
         trace.begin(Phase::MapWrite.label(), "phase");
         let mut w = store.begin_run()?;
         for seg in &segments {
-            for (k, v) in &seg.records {
-                w.write_record(k, v)?;
-            }
+            w.write_segment(&seg.records)?;
         }
         let meta = w.finish()?;
         store.delete_run(meta.id)?;
@@ -447,7 +453,7 @@ mod tests {
         assert_eq!(stats.shuffled_records, 3);
         for seg in &segs {
             assert!(seg.sorted && seg.combined);
-            let mut keys: Vec<_> = seg.records.iter().map(|(k, _)| k.clone()).collect();
+            let mut keys: Vec<_> = seg.records.iter().map(|(k, _)| k.to_vec()).collect();
             let orig = keys.clone();
             keys.sort();
             assert_eq!(keys, orig, "segment must be key-sorted");
@@ -455,8 +461,8 @@ mod tests {
         // Sum of all states equals total emissions.
         let total: u64 = segs
             .iter()
-            .flat_map(|s| &s.records)
-            .map(|(_, v)| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+            .flat_map(|s| s.records.iter())
+            .map(|(_, v)| u64::from_le_bytes(v.try_into().unwrap()))
             .sum();
         assert_eq!(total, 6);
         assert!(stats.profile.time(Phase::MapSort) > std::time::Duration::ZERO);

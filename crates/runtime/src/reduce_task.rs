@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::Receiver;
 
+use onepass_core::bytes_kv::{SegmentBuf, SegmentBufBuilder};
 use onepass_core::error::{Error, Result};
 use onepass_core::fault::{FaultAction, FaultInjector, FaultTarget};
 use onepass_core::hashlib::ByteMap;
@@ -635,9 +636,7 @@ impl HashState {
                 self.grouper.insert(g)
             }
         };
-        for (k, v) in &seg.records {
-            g.push(k, v, sink)?;
-        }
+        g.push_batch(&seg.records, sink)?;
         Ok(())
     }
 
@@ -656,18 +655,15 @@ impl HashState {
 // Sort-merge reduce (Hadoop / HOP)
 // ---------------------------------------------------------------------------
 
-/// A sorted in-memory segment awaiting merge.
-struct SortedSeg {
-    records: Vec<(Vec<u8>, Vec<u8>)>,
-}
-
-/// Sort-merge backend state for one attempt.
+/// Sort-merge backend state for one attempt. Buffered segments are the
+/// arena-backed [`SegmentBuf`]s straight off the shuffle channel — sorted
+/// in place (entry permutation only) when a segment arrives unsorted.
 struct SortState {
     store: Arc<dyn SpillStore>,
     budget: MemoryBudget,
     io_base: IoStats,
     merger: MultiPassMerger,
-    buffered: Vec<SortedSeg>,
+    buffered: Vec<SegmentBuf>,
     reserved: usize,
     peak_reserved: usize,
     profile: Profile,
@@ -678,24 +674,24 @@ struct SortState {
 }
 
 impl SortState {
-    fn absorb(&mut self, job: &JobSpec, mut seg: Segment, trace: &mut LocalTracer) -> Result<()> {
+    fn absorb(&mut self, job: &JobSpec, seg: Segment, trace: &mut LocalTracer) -> Result<()> {
         let a = self
             .agg
             .get_or_insert_with(|| effective_agg(job, seg.combined))
             .clone();
-        if !seg.sorted {
+        let records = if seg.sorted {
+            seg.records
+        } else {
             // HOP "moves some of the sorting work to reducers"
-            // (§III-D); charge it to the reduce side.
+            // (§III-D); charge it to the reduce side. Sorting permutes
+            // the entry table only — the arena stays shared.
             let t = Instant::now();
-            seg.records.sort_unstable_by(|x, y| x.0.cmp(&y.0));
+            let sorted = seg.records.sorted_by_key();
             self.profile.add_time(Phase::ReduceGroup, t.elapsed());
-        }
-        self.records_in += seg.len() as u64;
-        let bytes: usize = seg
-            .records
-            .iter()
-            .map(|(k, v)| k.len() + v.len() + 16)
-            .sum();
+            sorted
+        };
+        self.records_in += records.len() as u64;
+        let bytes: usize = records.payload_bytes() + 16 * records.len();
         let count_trigger = self.buffered.len() + 1 >= job.inmem_merge_threshold;
         if count_trigger || !self.budget.try_grant(bytes) {
             spill_buffered(
@@ -719,9 +715,7 @@ impl SortState {
         }
         self.reserved += bytes;
         self.peak_reserved = self.peak_reserved.max(self.reserved);
-        self.buffered.push(SortedSeg {
-            records: seg.records,
-        });
+        self.buffered.push(records);
         if self.budget.over_limit() {
             spill_buffered(
                 &mut self.buffered,
@@ -783,14 +777,14 @@ impl SortState {
             let mut current: Option<(Vec<u8>, Vec<u8>)> = None;
             while let Some((k, v)) = cursor.next_pair() {
                 match &mut current {
-                    Some((ck, state)) if *ck == k => a.update(&k, state, v),
+                    Some((ck, state)) if ck.as_slice() == k => a.update(k, state, v),
                     _ => {
                         if let Some((ck, state)) = current.take() {
                             let out = a.finish(&ck, state);
                             sink.emit(&ck, &out, EmitKind::Final);
                             groups_out += 1;
                         }
-                        current = Some((k.clone(), a.init(&k, v)));
+                        current = Some((k.to_vec(), a.init(k, v)));
                     }
                 }
             }
@@ -852,41 +846,39 @@ impl SortState {
     }
 }
 
-/// Streaming k-way merge over sorted in-memory segments.
+/// Streaming k-way merge over sorted in-memory segments. Fully borrowed:
+/// keys and values are served as slices into the segments' arenas.
 struct VecMergeCursor<'a> {
-    segs: &'a [SortedSeg],
+    segs: &'a [SegmentBuf],
     heap: BinaryHeap<Reverse<(&'a [u8], usize, usize)>>, // (key, seg, idx)
 }
 
 impl<'a> VecMergeCursor<'a> {
-    fn new(segs: &'a [SortedSeg]) -> Self {
+    fn new(segs: &'a [SegmentBuf]) -> Self {
         let mut heap = BinaryHeap::new();
         for (s, seg) in segs.iter().enumerate() {
-            if !seg.records.is_empty() {
-                heap.push(Reverse((seg.records[0].0.as_slice(), s, 0)));
+            if !seg.is_empty() {
+                heap.push(Reverse((seg.key(0), s, 0)));
             }
         }
         VecMergeCursor { segs, heap }
     }
 
-    fn next_pair(&mut self) -> Option<(Vec<u8>, &'a [u8])> {
+    fn next_pair(&mut self) -> Option<(&'a [u8], &'a [u8])> {
         let Reverse((key, s, i)) = self.heap.pop()?;
-        if i + 1 < self.segs[s].records.len() {
-            self.heap.push(Reverse((
-                self.segs[s].records[i + 1].0.as_slice(),
-                s,
-                i + 1,
-            )));
+        if i + 1 < self.segs[s].len() {
+            self.heap.push(Reverse((self.segs[s].key(i + 1), s, i + 1)));
         }
-        Some((key.to_vec(), self.segs[s].records[i].1.as_slice()))
+        Some((key, self.segs[s].value(i)))
     }
 }
 
 /// Merge all buffered sorted segments into one on-disk run, collapsing
 /// key-streaks through the aggregate (Hadoop applies combine on reducer
-/// buffer fill — and writes the data out regardless, §III-B.4).
+/// buffer fill — and writes the data out regardless, §III-B.4). The
+/// combined output is staged in one arena and written as a single batch.
 fn spill_buffered(
-    buffered: &mut Vec<SortedSeg>,
+    buffered: &mut Vec<SegmentBuf>,
     merger: &mut MultiPassMerger,
     store: &Arc<dyn SpillStore>,
     agg: &Arc<dyn Aggregator>,
@@ -900,21 +892,23 @@ fn spill_buffered(
     let t = Instant::now();
     let mut writer = store.begin_run()?;
     let mut cursor = VecMergeCursor::new(buffered);
+    let mut out = SegmentBufBuilder::new();
     let mut current: Option<(Vec<u8>, Vec<u8>)> = None;
     while let Some((k, v)) = cursor.next_pair() {
         match &mut current {
-            Some((ck, state)) if *ck == k => agg.update(&k, state, v),
+            Some((ck, state)) if ck.as_slice() == k => agg.update(k, state, v),
             _ => {
                 if let Some((ck, state)) = current.take() {
-                    writer.write_record(&ck, &state)?;
+                    out.push(&ck, &state);
                 }
-                current = Some((k.clone(), agg.init(&k, v)));
+                current = Some((k.to_vec(), agg.init(k, v)));
             }
         }
     }
     if let Some((ck, state)) = current.take() {
-        writer.write_record(&ck, &state)?;
+        out.push(&ck, &state);
     }
+    writer.write_segment(&out.finish())?;
     let meta = writer.finish()?;
     profile.add_time(Phase::Merge, t.elapsed());
     trace.end(Phase::Merge.label(), "phase");
@@ -934,7 +928,7 @@ fn spill_buffered(
 /// received so far (on-disk runs + in-memory segments), aggregate, and
 /// emit approximate answers. The re-read is the snapshot's I/O cost.
 fn take_snapshot(
-    buffered: &[SortedSeg],
+    buffered: &[SegmentBuf],
     merger: &MultiPassMerger,
     store: &Arc<dyn SpillStore>,
     agg: &Arc<dyn Aggregator>,
@@ -956,11 +950,11 @@ fn take_snapshot(
         }
     }
     for seg in buffered {
-        for (k, v) in &seg.records {
-            match states.get_mut(k.as_slice()) {
+        for (k, v) in seg.iter() {
+            match states.get_mut(k) {
                 Some(s) => agg.update(k, s, v),
                 None => {
-                    states.insert(k.clone(), agg.init(k, v));
+                    states.insert(k.to_vec(), agg.init(k, v));
                 }
             }
         }
@@ -1006,7 +1000,7 @@ mod tests {
             partition: 0,
             sorted: true,
             combined: false,
-            records,
+            records: SegmentBuf::from_pairs(records.iter().map(|(k, v)| (&k[..], &v[..]))),
         }
     }
 

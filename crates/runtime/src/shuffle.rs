@@ -23,8 +23,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use onepass_core::SegmentBuf;
 
 /// A batch of intermediate records for one reducer partition.
+///
+/// Records live in a shared flat arena ([`SegmentBuf`]): cloning a segment
+/// (e.g. to retain it for reduce-retry replay) bumps two `Arc`s instead of
+/// copying every key and value.
 #[derive(Debug, Clone)]
 pub struct Segment {
     /// Originating map task id.
@@ -38,17 +43,14 @@ pub struct Segment {
     /// Values are partial aggregate states (combine was applied), not raw
     /// values.
     pub combined: bool,
-    /// The records.
-    pub records: Vec<(Vec<u8>, Vec<u8>)>,
+    /// The records, backed by a flat arena.
+    pub records: SegmentBuf,
 }
 
 impl Segment {
     /// Payload bytes in this segment.
     pub fn payload_bytes(&self) -> u64 {
-        self.records
-            .iter()
-            .map(|(k, v)| (k.len() + v.len()) as u64)
-            .sum()
+        self.records.payload_bytes() as u64
     }
 
     /// Number of records.
@@ -158,15 +160,17 @@ mod tests {
     use super::*;
 
     fn seg(partition: usize, n: usize) -> Segment {
+        let mut b = onepass_core::SegmentBufBuilder::new();
+        for i in 0..n {
+            b.push(format!("k{i}").as_bytes(), b"v");
+        }
         Segment {
             map_task: 0,
             attempt: 0,
             partition,
             sorted: false,
             combined: false,
-            records: (0..n)
-                .map(|i| (format!("k{i}").into_bytes(), b"v".to_vec()))
-                .collect(),
+            records: b.finish(),
         }
     }
 

@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use onepass_core::bytes_kv::KvBuf;
 use onepass_core::error::{Error, Result};
 use onepass_core::io::{SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
@@ -145,58 +146,55 @@ impl StreamSession {
             return Err(Error::InvalidState("session is closed".into()));
         }
         let mut answers = Vec::new();
-        // Collect map output first (borrow rules: the emitter borrows
-        // self.job fields immutably, groupers are mutated after).
-        let mut pairs: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
+        // Collect map output into one arena first (borrow rules: the
+        // emitter borrows self.job fields immutably, groupers are mutated
+        // after). Each record is written into the arena exactly once; the
+        // per-partition segments below are views over it.
+        let mut buf = KvBuf::new();
         {
             struct RouteEmitter<'a> {
                 partitioner: &'a dyn crate::job::Partitioner,
                 reducers: usize,
-                out: &'a mut Vec<(usize, Vec<u8>, Vec<u8>)>,
+                buf: &'a mut KvBuf,
             }
             impl MapEmitter for RouteEmitter<'_> {
                 fn emit(&mut self, key: &[u8], value: &[u8]) {
-                    let p = self.partitioner.partition(key, self.reducers);
-                    self.out.push((p, key.to_vec(), value.to_vec()));
+                    let p = self.partitioner.partition(key, self.reducers) as u32;
+                    self.buf.push(p, key, value);
                 }
             }
             let mut emitter = RouteEmitter {
                 partitioner: self.job.partitioner.as_ref(),
                 reducers: self.groupers.len(),
-                out: &mut pairs,
+                buf: &mut buf,
             };
             for rec in records {
                 self.records_in += 1;
                 self.job.map_fn.map(rec, &mut emitter);
             }
         }
+        let total = buf.len();
+        let segments = buf.freeze_into_segments(self.groupers.len());
         // Partitions are independent: for large batches, push each
         // partition's records on its own thread (the reducer-side
         // parallelism of the batch engine, without leaving the streaming
         // API). Small batches stay on the caller's thread.
         const PARALLEL_THRESHOLD: usize = 4096;
-        if pairs.len() < PARALLEL_THRESHOLD || self.groupers.len() == 1 {
+        if total < PARALLEL_THRESHOLD || self.groupers.len() == 1 {
             let mut sink = CaptureSink(&mut answers);
-            for (p, k, v) in pairs {
-                self.groupers[p].push(&k, &v, &mut sink)?;
+            for (p, seg) in segments.iter().enumerate() {
+                self.groupers[p].push_batch(seg, &mut sink)?;
             }
             return Ok(answers);
         }
 
-        let mut by_partition: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
-            (0..self.groupers.len()).map(|_| Vec::new()).collect();
-        for (p, k, v) in pairs {
-            by_partition[p].push((k, v));
-        }
         let results: Vec<Result<Vec<StreamAnswer>>> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (grouper, records) in self.groupers.iter_mut().zip(by_partition) {
+            for (grouper, seg) in self.groupers.iter_mut().zip(segments) {
                 handles.push(scope.spawn(move |_| {
                     let mut local = Vec::new();
                     let mut sink = CaptureSink(&mut local);
-                    for (k, v) in records {
-                        grouper.push(&k, &v, &mut sink)?;
-                    }
+                    grouper.push_batch(&seg, &mut sink)?;
                     Ok(local)
                 }));
             }

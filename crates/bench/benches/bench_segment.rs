@@ -107,4 +107,7 @@ criterion_group!(benches, segment_path);
 fn main() {
     print_alloc_comparison();
     benches();
+    // Custom main (not criterion_main!): honour --save-baseline for the
+    // CI perf gate explicitly.
+    criterion::finalize();
 }

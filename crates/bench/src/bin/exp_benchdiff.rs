@@ -1,0 +1,293 @@
+//! Perf-regression gate: compare a freshly saved criterion baseline
+//! against the committed `BENCH_BASELINE.json`.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark
+//! (`{"bench":..., "median_ns":..., "calibration_ns":...}`) when run with
+//! `--save-baseline NAME`. `calibration_ns` is a deterministic spin loop
+//! timed on the same machine as the medians, so this checker compares
+//! *normalised* scores (`median / calibration`) and machine-speed
+//! differences between the baseline author's box and the CI runner cancel
+//! out to first order.
+//!
+//! Modes:
+//!
+//! * default (check): fail (exit 1) if any benchmark present in both
+//!   files regressed by more than `--threshold` (default 0.15 = 15%);
+//! * `--refresh`: overwrite the committed baseline with the current file
+//!   (used by `scripts/refresh_bench_baseline.sh`).
+//!
+//! Flags: `--current NAME` (baseline name saved by the bench run,
+//! default `current`), `--baseline PATH` (committed file, default
+//! `BENCH_BASELINE.json`), `--threshold F` (allowed regression fraction).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use onepass_bench::{arg, arg_f64, pct};
+use onepass_core::table::Table;
+
+/// One benchmark measurement from a baseline file.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    /// Sample minimum; the gate metric. Minima are far less sensitive to
+    /// scheduler noise than medians on shared CI runners.
+    min_ns: f64,
+    calibration_ns: f64,
+}
+
+impl Sample {
+    /// Score normalised by this line's own calibration (used to pick the
+    /// best run among duplicates of one benchmark).
+    fn score(&self) -> f64 {
+        self.min_ns / self.calibration_ns.max(1.0)
+    }
+
+    /// Score normalised by the whole file's best calibration. The anchor
+    /// itself jitters per invocation, so per-line pairing would inject
+    /// that jitter into the comparison; the file-wide minimum is the
+    /// machine's true single-core speed.
+    fn file_score(&self, file_calibration: f64) -> f64 {
+        self.min_ns / file_calibration.max(1.0)
+    }
+}
+
+/// A parsed baseline: per-benchmark best samples plus the file-wide best
+/// calibration anchor.
+struct Baseline {
+    samples: BTreeMap<String, Sample>,
+    calibration_ns: f64,
+}
+
+/// Extract `"name":<number>` from a JSON line (the baseline format is
+/// flat, so a full parser is not needed).
+fn num_field(line: &str, name: &str) -> Option<f64> {
+    let at = line.find(&format!("\"{name}\":"))?;
+    let rest = &line[at + name.len() + 3..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `"bench":"label"` from a JSON line. Labels are benchmark
+/// paths (letters, digits, `/`, `_`, `-`) — no escapes to worry about.
+fn bench_field(line: &str) -> Option<String> {
+    let at = line.find("\"bench\":\"")?;
+    let rest = &line[at + 9..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parse a baseline file. Bench runs append, so a benchmark may appear
+/// several times (the refresh script and CI deliberately run each suite
+/// repeatedly); the *best-scoring* line wins. Taking the across-run
+/// minimum makes the gate robust to transient CI-runner contention — a
+/// real slowdown shifts every run, a noisy neighbour only some.
+fn parse_baseline(content: &str) -> Baseline {
+    let mut out: BTreeMap<String, Sample> = BTreeMap::new();
+    let mut file_cal = f64::MAX;
+    for line in content.lines().filter(|l| !l.trim().is_empty()) {
+        let (Some(bench), Some(median_ns), Some(calibration_ns)) = (
+            bench_field(line),
+            num_field(line, "median_ns"),
+            num_field(line, "calibration_ns"),
+        ) else {
+            eprintln!("skipping malformed baseline line: {line}");
+            continue;
+        };
+        // Older baseline files carry only medians.
+        let min_ns = num_field(line, "min_ns").unwrap_or(median_ns);
+        file_cal = file_cal.min(calibration_ns);
+        let sample = Sample {
+            median_ns,
+            min_ns,
+            calibration_ns,
+        };
+        out.entry(bench)
+            .and_modify(|best| {
+                if sample.score() < best.score() {
+                    *best = sample;
+                }
+            })
+            .or_insert(sample);
+    }
+    Baseline {
+        samples: out,
+        calibration_ns: if file_cal == f64::MAX { 1.0 } else { file_cal },
+    }
+}
+
+/// Locate the freshly saved baseline `NAME.json`. `cargo bench` runs
+/// each bench binary with the package directory as its working directory,
+/// while this checker usually runs from the workspace root — probe both,
+/// plus an explicit `CRITERION_HOME`.
+fn find_current(name: &str) -> Option<String> {
+    let mut candidates = Vec::new();
+    if let Ok(home) = std::env::var("CRITERION_HOME") {
+        candidates.push(format!("{home}/{name}.json"));
+    }
+    candidates.push(format!("target/criterion/{name}.json"));
+    candidates.push(format!("crates/bench/target/criterion/{name}.json"));
+    candidates
+        .into_iter()
+        .find(|p| std::path::Path::new(p).exists())
+}
+
+fn main() -> ExitCode {
+    let current_name = arg("current").unwrap_or_else(|| "current".into());
+    let baseline_path = arg("baseline").unwrap_or_else(|| "BENCH_BASELINE.json".into());
+    let threshold = arg_f64("threshold", 0.15);
+    let refresh = std::env::args().any(|a| a == "--refresh");
+
+    let Some(current_path) = find_current(&current_name) else {
+        eprintln!(
+            "no current baseline {current_name:?} found; run e.g.\n  \
+             cargo bench -p onepass-bench --bench bench_segment -- --save-baseline {current_name}"
+        );
+        return ExitCode::FAILURE;
+    };
+    let current = parse_baseline(&std::fs::read_to_string(&current_path).expect("read current"));
+    if current.samples.is_empty() {
+        eprintln!("current baseline {current_path} holds no benchmarks");
+        return ExitCode::FAILURE;
+    }
+
+    if refresh {
+        let mut out = String::new();
+        for (bench, s) in &current.samples {
+            out.push_str(&format!(
+                "{{\"bench\":{bench:?},\"median_ns\":{},\"min_ns\":{},\
+                 \"calibration_ns\":{}}}\n",
+                s.median_ns, s.min_ns, s.calibration_ns
+            ));
+        }
+        std::fs::write(&baseline_path, out).expect("write baseline");
+        println!(
+            "refreshed {baseline_path} from {current_path} ({} benchmarks)",
+            current.samples.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(content) => parse_baseline(&content),
+        Err(e) => {
+            eprintln!("cannot read committed baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Perf gate: {current_path} vs {baseline_path} (threshold {})",
+            pct(threshold)
+        ),
+        &[
+            "benchmark",
+            "baseline min",
+            "current min",
+            "normalised delta",
+            "verdict",
+        ],
+    );
+    let mut regressions = 0usize;
+    for (bench, cur) in &current.samples {
+        let Some(base) = baseline.samples.get(bench) else {
+            table.row(&[
+                bench.clone(),
+                "-".into(),
+                format!("{:.0} ns", cur.min_ns),
+                "-".into(),
+                "new (no baseline)".into(),
+            ]);
+            continue;
+        };
+        let delta =
+            cur.file_score(current.calibration_ns) / base.file_score(baseline.calibration_ns) - 1.0;
+        let verdict = if delta > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta < -threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        table.row(&[
+            bench.clone(),
+            format!("{:.0} ns", base.min_ns),
+            format!("{:.0} ns", cur.min_ns),
+            pct(delta),
+            verdict.into(),
+        ]);
+    }
+    for bench in baseline.samples.keys() {
+        if !current.samples.contains_key(bench) {
+            table.row(&[
+                bench.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "missing from current run".into(),
+            ]);
+        }
+    }
+    println!("{}", table.to_text());
+
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} benchmark(s) regressed more than {} (normalised); \
+             if intentional, run scripts/refresh_bench_baseline.sh and commit the result",
+            pct(threshold)
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf gate passed: no benchmark regressed more than {}",
+        pct(threshold)
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_lines_round_trip() {
+        let content = "{\"bench\":\"g/a\",\"median_ns\":1500,\"min_ns\":1400,\"calibration_ns\":1000}\n\
+                       {\"bench\":\"g/b\",\"median_ns\":200,\"calibration_ns\":1000}\n\
+                       {\"bench\":\"g/a\",\"median_ns\":1600,\"min_ns\":1500,\"calibration_ns\":1000}\n\
+                       not json\n";
+        let parsed = parse_baseline(content);
+        assert_eq!(parsed.samples.len(), 2);
+        assert_eq!(
+            parsed.samples["g/a"].min_ns, 1400.0,
+            "best-scoring run wins"
+        );
+        assert_eq!(
+            parsed.samples["g/b"].min_ns, 200.0,
+            "min falls back to median"
+        );
+        assert_eq!(parsed.samples["g/b"].score(), 0.2);
+        assert_eq!(parsed.calibration_ns, 1000.0);
+    }
+
+    #[test]
+    fn normalisation_cancels_machine_speed() {
+        // Same workload measured on a machine twice as slow: both median
+        // and calibration double, the score is unchanged.
+        let fast = Sample {
+            median_ns: 110.0,
+            min_ns: 100.0,
+            calibration_ns: 50.0,
+        };
+        let slow = Sample {
+            median_ns: 220.0,
+            min_ns: 200.0,
+            calibration_ns: 100.0,
+        };
+        assert_eq!(fast.score(), slow.score());
+        // File-level anchors cancel the same way.
+        assert_eq!(fast.file_score(50.0), slow.file_score(100.0));
+    }
+}

@@ -1,0 +1,628 @@
+//! Adaptive memory governance: a job-wide byte pool with leased,
+//! rebalanced child budgets.
+//!
+//! The paper's one-pass operators are defined by what happens at the
+//! memory boundary (§IV, Table III): hybrid hash partitions, incremental
+//! hash overflows, frequent hash evicts cold keys, and the sort-merge
+//! reducer spills runs. With a *static* split of job memory, a skewed
+//! reducer hits its boundary while its neighbors sit on idle headroom —
+//! the pathology M3R's in-memory budget sharing attacks. The
+//! [`MemoryGovernor`] removes it:
+//!
+//! * the governor owns the **pool** (job-wide limit) and [`lease`]s child
+//!   [`MemoryBudget`]s to tasks;
+//! * a task that exhausts its lease escalates
+//!   ([`MemoryBudget::try_grant_or_request`]) instead of spilling
+//!   immediately. The governor grows the lease from uncommitted pool
+//!   slack, or **rebalances** idle headroom away from the slackest
+//!   sibling lease;
+//! * when every lease is genuinely loaded (global pressure), a pluggable
+//!   [`SpillPolicy`] picks a **victim** lease and posts a shed request on
+//!   it; the victim's operator sheds bytes (`GroupBy::shed`) at its next
+//!   batch boundary, and the requester falls back to its own spill path
+//!   this one time.
+//!
+//! Shedding is a correctness-neutral reordering: operators shed by
+//! spilling partial state through the same tagged-record paths their
+//! normal overflow uses, so final output bytes are unchanged.
+//!
+//! [`lease`]: MemoryGovernor::lease
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::memory::{Escalator, MemoryBudget, WeakBudget};
+
+/// Snapshot of one live lease, handed to [`SpillPolicy::pick_victim`].
+#[derive(Debug, Clone)]
+pub struct LeaseStat {
+    /// Lease id (allocation order).
+    pub id: usize,
+    /// Bytes currently granted to the lease.
+    pub used: usize,
+    /// The lease's current limit.
+    pub limit: usize,
+    /// Operator-published size of its largest shedable unit (0 = none
+    /// published). See [`MemoryBudget::publish_shed_unit`].
+    pub shed_unit: usize,
+    /// Operator-published heat of its coldest resident key (`u64::MAX` =
+    /// unknown). See [`MemoryBudget::publish_heat`].
+    pub coldest_heat: u64,
+}
+
+/// Chooses which lease sheds memory under global pressure.
+///
+/// Returning `None`, or the requester's own id, means "no useful victim":
+/// the governor denies the request and the requester spills locally.
+pub trait SpillPolicy: Send + Sync {
+    /// Policy name for reports and CLI round-tripping.
+    fn name(&self) -> &'static str;
+
+    /// Pick a victim among `leases` (live leases only; `requester` is the
+    /// lease asking for more memory).
+    fn pick_victim(&self, leases: &[LeaseStat], requester: usize) -> Option<usize>;
+}
+
+/// Shed from the lease holding the most bytes — the default: freeing the
+/// biggest consumer yields the most headroom per shed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LargestConsumer;
+
+impl SpillPolicy for LargestConsumer {
+    fn name(&self) -> &'static str {
+        "largest-consumer"
+    }
+
+    fn pick_victim(&self, leases: &[LeaseStat], _requester: usize) -> Option<usize> {
+        leases
+            .iter()
+            .filter(|l| l.used > 0)
+            .max_by_key(|l| (l.used, l.id))
+            .map(|l| l.id)
+    }
+}
+
+/// Shed from the lease whose largest shedable unit is biggest — tuned for
+/// hybrid hash, where one partition event frees a whole resident bucket.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LargestBucket;
+
+impl SpillPolicy for LargestBucket {
+    fn name(&self) -> &'static str {
+        "largest-bucket"
+    }
+
+    fn pick_victim(&self, leases: &[LeaseStat], _requester: usize) -> Option<usize> {
+        leases
+            .iter()
+            .filter(|l| l.used > 0)
+            .max_by_key(|l| (l.shed_unit, l.used, l.id))
+            .map(|l| l.id)
+    }
+}
+
+/// Shed from the lease with the coldest resident keys — tuned for
+/// frequent hash, whose eviction cost is lowest where the data is cold
+/// (cold states are small and unlikely to be touched again).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ColdestKeys;
+
+impl SpillPolicy for ColdestKeys {
+    fn name(&self) -> &'static str {
+        "coldest-keys"
+    }
+
+    fn pick_victim(&self, leases: &[LeaseStat], _requester: usize) -> Option<usize> {
+        leases
+            .iter()
+            .filter(|l| l.used > 0)
+            .min_by_key(|l| (l.coldest_heat, usize::MAX - l.used, l.id))
+            .map(|l| l.id)
+    }
+}
+
+/// Rotate the victim across leases — the fairness baseline the adaptive
+/// policies are measured against.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: AtomicUsize,
+}
+
+impl SpillPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick_victim(&self, leases: &[LeaseStat], _requester: usize) -> Option<usize> {
+        let candidates: Vec<&LeaseStat> = leases.iter().filter(|l| l.used > 0).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) % candidates.len();
+        Some(candidates[at].id)
+    }
+}
+
+/// Construct a policy by its [`SpillPolicy::name`] (CLI round-trip).
+pub fn policy_by_name(name: &str) -> Option<Arc<dyn SpillPolicy>> {
+    match name {
+        "largest-consumer" => Some(Arc::new(LargestConsumer)),
+        "largest-bucket" => Some(Arc::new(LargestBucket)),
+        "coldest-keys" => Some(Arc::new(ColdestKeys)),
+        "round-robin" => Some(Arc::new(RoundRobin::default())),
+        _ => None,
+    }
+}
+
+/// Default high-water fraction: above this pool utilization the shuffle
+/// backpressures map-side pushes instead of growing reducer buffers.
+pub const DEFAULT_HIGH_WATER: f64 = 0.85;
+
+/// How the engine allocates reduce-side memory across tasks.
+#[derive(Clone, Default)]
+pub enum MemoryPolicy {
+    /// Every task gets a fixed, independent budget slice (the seed
+    /// behaviour).
+    #[default]
+    Static,
+    /// Tasks lease from a shared pool under a [`MemoryGovernor`] that
+    /// rebalances limits and, under pressure, sheds via `policy`.
+    Adaptive {
+        /// Victim-selection policy under global pressure.
+        policy: Arc<dyn SpillPolicy>,
+        /// Pool-utilization fraction above which the shuffle
+        /// backpressures map-side pushes.
+        high_water: f64,
+    },
+}
+
+impl MemoryPolicy {
+    /// The adaptive policy with default knobs ([`LargestConsumer`],
+    /// [`DEFAULT_HIGH_WATER`]).
+    pub fn adaptive() -> Self {
+        MemoryPolicy::Adaptive {
+            policy: Arc::new(LargestConsumer),
+            high_water: DEFAULT_HIGH_WATER,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            MemoryPolicy::Static => "static".into(),
+            MemoryPolicy::Adaptive { policy, .. } => format!("adaptive/{}", policy.name()),
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryPolicy::Static => f.write_str("Static"),
+            MemoryPolicy::Adaptive { policy, high_water } => f
+                .debug_struct("Adaptive")
+                .field("policy", &policy.name())
+                .field("high_water", high_water)
+                .finish(),
+        }
+    }
+}
+
+/// Monotonic governor activity counters (report gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorCounters {
+    /// Leases handed out over the governor's lifetime.
+    pub leases: u64,
+    /// Successful lease-limit raises (slack grants + reclaims).
+    pub rebalances: u64,
+    /// Shed requests posted on victim leases.
+    pub sheds: u64,
+    /// Total bytes requested across all shed requests.
+    pub shed_bytes_requested: u64,
+    /// Escalations denied outright (no slack, no reclaimable headroom,
+    /// no useful victim).
+    pub denied: u64,
+}
+
+struct LeaseEntry {
+    id: usize,
+    budget: WeakBudget,
+}
+
+pub(crate) struct GovInner {
+    pool: MemoryBudget,
+    policy: Arc<dyn SpillPolicy>,
+    high_water: f64,
+    /// Minimum bytes moved per rebalance, so hot leases don't escalate
+    /// once per record.
+    min_grant: usize,
+    leases: Mutex<Vec<LeaseEntry>>,
+    next_id: AtomicUsize,
+    leases_total: AtomicU64,
+    rebalances: AtomicU64,
+    sheds: AtomicU64,
+    shed_bytes: AtomicU64,
+    denied: AtomicU64,
+}
+
+impl GovInner {
+    /// Prune dead leases and snapshot the live ones.
+    fn live(&self, leases: &mut Vec<LeaseEntry>) -> Vec<(usize, MemoryBudget)> {
+        leases.retain(|l| l.budget.upgrade().is_some());
+        leases
+            .iter()
+            .filter_map(|l| l.budget.upgrade().map(|b| (l.id, b)))
+            .collect()
+    }
+}
+
+impl Escalator for GovInner {
+    fn request_more(&self, lease_id: usize, bytes: usize) -> bool {
+        let grant = bytes.max(self.min_grant);
+        let mut guard = self.leases.lock().expect("governor lock");
+        let live = self.live(&mut guard);
+        let Some((_, requester)) = live.iter().find(|(id, _)| *id == lease_id) else {
+            return false;
+        };
+        let global = self.pool.limit();
+        let committed: usize = live.iter().map(|(_, b)| b.limit()).sum();
+
+        // 1. Uncommitted pool slack: grow the lease outright.
+        if committed.saturating_add(grant) <= global {
+            requester.set_limit(requester.limit() + grant);
+            self.rebalances.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+
+        // 2. Rebalance: reclaim idle headroom from the slackest sibling.
+        let donor = live
+            .iter()
+            .filter(|(id, _)| *id != lease_id)
+            .max_by_key(|(_, b)| b.limit().saturating_sub(b.used()));
+        if let Some((_, donor)) = donor {
+            let slack = donor.limit().saturating_sub(donor.used());
+            if slack >= grant {
+                donor.set_limit(donor.limit() - grant);
+                requester.set_limit(requester.limit() + grant);
+                self.rebalances.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+
+        // 3. Global pressure: ask a victim to shed. The requester spills
+        //    locally this time; the freed headroom becomes reclaimable on
+        //    its next escalation.
+        let stats: Vec<LeaseStat> = live
+            .iter()
+            .map(|(id, b)| LeaseStat {
+                id: *id,
+                used: b.used(),
+                limit: b.limit(),
+                shed_unit: b.shed_unit_hint(),
+                coldest_heat: b.heat_hint(),
+            })
+            .collect();
+        match self.policy.pick_victim(&stats, lease_id) {
+            Some(victim) if victim != lease_id => {
+                if let Some((_, v)) = live.iter().find(|(id, _)| *id == victim) {
+                    v.request_shed(grant);
+                    self.sheds.fetch_add(1, Ordering::Relaxed);
+                    self.shed_bytes.fetch_add(grant as u64, Ordering::Relaxed);
+                } else {
+                    self.denied.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            _ => {
+                self.denied.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        false
+    }
+}
+
+/// The job-wide memory governor. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct MemoryGovernor {
+    inner: Arc<GovInner>,
+}
+
+impl std::fmt::Debug for MemoryGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryGovernor")
+            .field("policy", &self.inner.policy.name())
+            .field("pool_limit", &self.inner.pool.limit())
+            .field("pool_used", &self.inner.pool.used())
+            .finish()
+    }
+}
+
+impl MemoryGovernor {
+    /// Create a governor owning a `global_limit`-byte pool.
+    pub fn new(global_limit: usize, policy: Arc<dyn SpillPolicy>, high_water: f64) -> Self {
+        MemoryGovernor {
+            inner: Arc::new(GovInner {
+                pool: MemoryBudget::new(global_limit),
+                policy,
+                high_water: high_water.clamp(0.0, 1.0),
+                min_grant: (global_limit / 64).clamp(256, 1 << 20),
+                leases: Mutex::new(Vec::new()),
+                next_id: AtomicUsize::new(0),
+                leases_total: AtomicU64::new(0),
+                rebalances: AtomicU64::new(0),
+                sheds: AtomicU64::new(0),
+                shed_bytes: AtomicU64::new(0),
+                denied: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Lease a child budget with an `initial` limit. The lease escalates
+    /// back to this governor when exhausted; dropping every clone of the
+    /// returned budget ends the lease (its committed limit returns to
+    /// slack, any un-released bytes refund the pool).
+    pub fn lease(&self, initial: usize) -> MemoryBudget {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let esc: Weak<dyn Escalator> = Arc::downgrade(&self.inner) as Weak<dyn Escalator>;
+        let budget = MemoryBudget::leased(&self.inner.pool, initial, esc, id);
+        self.inner
+            .leases
+            .lock()
+            .expect("governor lock")
+            .push(LeaseEntry {
+                id,
+                budget: budget.downgrade(),
+            });
+        self.inner.leases_total.fetch_add(1, Ordering::Relaxed);
+        budget
+    }
+
+    /// The shared pool (for gauges: `used`, `high_water`, `limit`).
+    pub fn pool(&self) -> &MemoryBudget {
+        &self.inner.pool
+    }
+
+    /// Is pool utilization above the high-water fraction? The shuffle
+    /// uses this to backpressure map-side pushes.
+    pub fn over_high_water(&self) -> bool {
+        let limit = self.inner.pool.limit();
+        limit > 0 && self.inner.pool.used() as f64 >= self.inner.high_water * limit as f64
+    }
+
+    /// The configured high-water fraction.
+    pub fn high_water_frac(&self) -> f64 {
+        self.inner.high_water
+    }
+
+    /// The victim-selection policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.policy.name()
+    }
+
+    /// Snapshot the activity counters.
+    pub fn counters(&self) -> GovernorCounters {
+        GovernorCounters {
+            leases: self.inner.leases_total.load(Ordering::Relaxed),
+            rebalances: self.inner.rebalances.load(Ordering::Relaxed),
+            sheds: self.inner.sheds.load(Ordering::Relaxed),
+            shed_bytes_requested: self.inner.shed_bytes.load(Ordering::Relaxed),
+            denied: self.inner.denied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live (un-dropped) leases right now.
+    pub fn live_leases(&self) -> usize {
+        let mut guard = self.inner.leases.lock().expect("governor lock");
+        self.inner.live(&mut guard).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov(limit: usize) -> MemoryGovernor {
+        MemoryGovernor::new(limit, Arc::new(LargestConsumer), 0.85)
+    }
+
+    #[test]
+    fn lease_grants_charge_the_pool() {
+        let g = gov(1000);
+        let a = g.lease(500);
+        let b = g.lease(500);
+        assert!(a.try_grant(400));
+        assert!(b.try_grant(300));
+        assert_eq!(g.pool().used(), 700);
+        assert_eq!(g.live_leases(), 2);
+        a.release(400);
+        b.release(300);
+        assert_eq!(g.pool().used(), 0);
+        assert_eq!(g.counters().leases, 2);
+    }
+
+    #[test]
+    fn skewed_demand_rebalances_from_idle_sibling() {
+        // Two children split the pool statically; the hot one outgrows its
+        // half by borrowing the idle sibling's headroom — no spill needed.
+        let g = gov(1000);
+        let hot = g.lease(500);
+        let idle = g.lease(500);
+        assert!(idle.try_grant(50)); // idle sits on 450 B of headroom
+        assert!(hot.try_grant(500));
+        assert!(!hot.try_grant(300), "plain grant is over the lease");
+        assert!(
+            hot.try_grant_or_request(300),
+            "escalation must reclaim idle headroom"
+        );
+        assert!(hot.limit() > 500, "hot lease limit must have grown");
+        assert!(idle.limit() < 500, "idle lease must have donated");
+        assert!(idle.limit() >= idle.used(), "donor keeps what it uses");
+        let c = g.counters();
+        assert!(c.rebalances >= 1);
+        assert_eq!(c.sheds, 0, "no shed under mere skew");
+        assert!(g.pool().used() <= g.pool().limit());
+    }
+
+    #[test]
+    fn uncommitted_slack_grows_lease_without_donor() {
+        let g = gov(1000);
+        let only = g.lease(200);
+        assert!(only.try_grant(200));
+        assert!(only.try_grant_or_request(100), "pool has 800 B slack");
+        assert!(only.limit() >= 300);
+        assert_eq!(g.counters().rebalances, 1);
+    }
+
+    #[test]
+    fn global_pressure_posts_shed_on_largest_consumer() {
+        let g = gov(1000);
+        let big = g.lease(600);
+        let small = g.lease(400);
+        assert!(big.try_grant(600));
+        assert!(small.try_grant(390));
+        // No slack, no reclaimable headroom: escalation must pick `big`
+        // as the victim and deny the grant.
+        assert!(!small.try_grant_or_request(200));
+        assert!(
+            big.shed_requested() >= 200,
+            "victim must carry the shed request"
+        );
+        assert_eq!(small.shed_requested(), 0, "requester is not the victim");
+        let c = g.counters();
+        assert_eq!(c.sheds, 1);
+        assert!(c.shed_bytes_requested >= 200);
+
+        // After the victim sheds, the next escalation reclaims its now-
+        // idle headroom.
+        big.release(big.take_shed_request().min(600));
+        assert!(small.try_grant_or_request(200));
+        big.release(big.used());
+        small.release(small.used());
+    }
+
+    #[test]
+    fn dead_leases_return_their_commitment_to_slack() {
+        let g = gov(1000);
+        let a = g.lease(900);
+        assert!(a.try_grant(900));
+        drop(a);
+        assert_eq!(g.pool().used(), 0, "dead lease refunds the pool");
+        let b = g.lease(100);
+        assert!(
+            b.try_grant_or_request(800),
+            "commitment of the dead lease is slack again"
+        );
+        assert_eq!(g.live_leases(), 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_victims() {
+        let g = MemoryGovernor::new(300, Arc::new(RoundRobin::default()), 0.85);
+        let a = g.lease(100);
+        let b = g.lease(100);
+        let c = g.lease(100);
+        assert!(a.try_grant(100));
+        assert!(b.try_grant(100));
+        assert!(c.try_grant(95));
+        // Repeated denied escalations must spread shed requests around.
+        for _ in 0..6 {
+            let _ = c.try_grant_or_request(50);
+        }
+        let hit = [&a, &b, &c]
+            .iter()
+            .filter(|x| x.shed_requested() > 0)
+            .count();
+        assert!(hit >= 2, "round-robin must rotate across victims");
+    }
+
+    #[test]
+    fn policies_use_their_hints() {
+        let mk = |used: usize, unit: usize, heat: u64, id: usize| LeaseStat {
+            id,
+            used,
+            limit: used,
+            shed_unit: unit,
+            coldest_heat: heat,
+        };
+        let stats = vec![
+            mk(500, 40, u64::MAX, 0),
+            mk(300, 200, 7, 1),
+            mk(400, 90, 2, 2),
+        ];
+        assert_eq!(LargestConsumer.pick_victim(&stats, 9), Some(0));
+        assert_eq!(LargestBucket.pick_victim(&stats, 9), Some(1));
+        assert_eq!(ColdestKeys.pick_victim(&stats, 9), Some(2));
+        assert_eq!(LargestConsumer.pick_victim(&[], 9), None);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for name in [
+            "largest-consumer",
+            "largest-bucket",
+            "coldest-keys",
+            "round-robin",
+        ] {
+            let p = policy_by_name(name).expect("known policy");
+            assert_eq!(p.name(), name);
+        }
+        assert!(policy_by_name("nope").is_none());
+        assert_eq!(
+            MemoryPolicy::adaptive().label(),
+            "adaptive/largest-consumer"
+        );
+        assert_eq!(MemoryPolicy::Static.label(), "static");
+    }
+
+    #[test]
+    fn over_high_water_tracks_pool_utilization() {
+        let g = MemoryGovernor::new(1000, Arc::new(LargestConsumer), 0.8);
+        let a = g.lease(1000);
+        assert!(!g.over_high_water());
+        assert!(a.try_grant(800));
+        assert!(g.over_high_water());
+        a.release(100);
+        assert!(!g.over_high_water());
+        a.release(700);
+    }
+
+    #[test]
+    fn stress_high_water_never_exceeds_global_limit() {
+        // 8 threads lease, grant, escalate, shed and release concurrently;
+        // the pool's high-water mark must never pass the global limit
+        // (leases use try_grant only — no force overshoot).
+        let global = 8 * 1024;
+        let g = gov(global);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let g = g.clone();
+                s.spawn(move || {
+                    let lease = g.lease(global / 8);
+                    let mut held = 0usize;
+                    for i in 0..2000 {
+                        let want = 64 + (t * 37 + i * 13) % 256;
+                        if lease.try_grant_or_request(want) {
+                            held += want;
+                        } else {
+                            // Spill path: drop everything we hold.
+                            lease.release(held);
+                            held = 0;
+                        }
+                        if lease.take_shed_request() > 0 {
+                            lease.release(held);
+                            held = 0;
+                        }
+                    }
+                    lease.release(held);
+                });
+            }
+        });
+        assert_eq!(g.pool().used(), 0);
+        assert!(
+            g.pool().high_water() <= global,
+            "pool high water {} exceeded global limit {}",
+            g.pool().high_water(),
+            global
+        );
+        assert_eq!(g.live_leases(), 0);
+    }
+}

@@ -15,6 +15,9 @@
 //!   hybrid-hash bucket splits, and sketches.
 //! * [`memory`] — budgeted memory accounting, the mechanism by which
 //!   operators detect "buffer full" (Hadoop's `io.sort.mb` analogue).
+//! * [`governor`] — the adaptive memory governor: a job-wide pool leasing
+//!   hierarchical budgets to tasks, rebalancing under skew and picking
+//!   spill victims via pluggable policies under global pressure.
 //! * [`io`] — the *file management library*: spill-run files with counted
 //!   sequential I/O, backed either by real temp files or by an in-memory
 //!   store for tests.
@@ -35,6 +38,7 @@ pub mod bytes_kv;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod governor;
 pub mod hashlib;
 pub mod io;
 pub mod json;

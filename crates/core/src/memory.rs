@@ -7,11 +7,30 @@
 //! hash spills buckets; frequent-hash evicts cold keys). [`MemoryBudget`]
 //! provides that boundary as an explicit, testable object instead of
 //! relying on the allocator.
+//!
+//! Budgets can be **hierarchical**: a child created with
+//! [`MemoryBudget::with_parent`] charges every grant against its parent as
+//! well, so a job-wide pool observes the sum of its children. The
+//! [`crate::governor`] module leases such children to concurrent tasks and
+//! rebalances their limits at runtime; a leased budget additionally carries
+//! an escalation link so an operator that exhausts its lease can ask for
+//! more *before* falling back to spilling
+//! ([`MemoryBudget::try_grant_or_request`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 
 use crate::error::{Error, Result};
+
+/// Escalation target for leased budgets: implemented by the memory
+/// governor. Kept crate-private; external code interacts through
+/// [`crate::governor::MemoryGovernor`].
+pub(crate) trait Escalator: Send + Sync {
+    /// A lease has run out of budget and wants `bytes` more. Returns
+    /// `true` if the lease's limit was raised (the caller should retry its
+    /// grant), `false` if the caller should spill instead.
+    fn request_more(&self, lease_id: usize, bytes: usize) -> bool;
+}
 
 /// A shared, thread-safe byte budget.
 ///
@@ -33,21 +52,87 @@ pub struct MemoryBudget {
     inner: Arc<Inner>,
 }
 
-#[derive(Debug)]
 struct Inner {
-    limit: usize,
+    /// Atomic so a governor can rebalance the limit while operators run.
+    limit: AtomicUsize,
     used: AtomicUsize,
     high_water: AtomicUsize,
+    /// Pool this budget charges in addition to itself (None = root).
+    parent: Option<MemoryBudget>,
+    /// Bytes the governor has asked this budget's operator to shed.
+    shed_requested: AtomicUsize,
+    /// Policy hint published by the operator: bytes its largest shedable
+    /// unit (e.g. a hybrid-hash resident bucket) would free at once.
+    shed_unit_hint: AtomicUsize,
+    /// Policy hint published by the operator: heat of its coldest
+    /// resident key (`u64::MAX` = unknown / no cold data).
+    heat_hint: AtomicU64,
+    /// Escalation link + lease id, set when created by a governor.
+    escalator: Option<(Weak<dyn Escalator>, usize)>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("limit", &self.limit.load(Ordering::Relaxed))
+            .field("used", &self.used.load(Ordering::Relaxed))
+            .field("leased", &self.escalator.is_some())
+            .finish()
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // A lease abandoned mid-flight (task panic, retry teardown) must
+        // not leak its charge into the pool forever.
+        if let Some(parent) = &self.parent {
+            let leaked = self.used.load(Ordering::Relaxed);
+            if leaked > 0 {
+                parent.release(leaked);
+            }
+        }
+    }
 }
 
 impl MemoryBudget {
-    /// Create a budget of `limit` bytes.
+    /// Create a root budget of `limit` bytes.
     pub fn new(limit: usize) -> Self {
+        Self::build(limit, None, None)
+    }
+
+    /// Create a child budget of `limit` bytes whose grants are also
+    /// charged against `parent`. Releasing (and dropping the last clone
+    /// of) the child returns its bytes to the parent.
+    pub fn with_parent(parent: &MemoryBudget, limit: usize) -> Self {
+        Self::build(limit, Some(parent.clone()), None)
+    }
+
+    /// Create a governor lease: a child of `parent` that escalates to
+    /// `escalator` when it runs dry.
+    pub(crate) fn leased(
+        parent: &MemoryBudget,
+        limit: usize,
+        escalator: Weak<dyn Escalator>,
+        lease_id: usize,
+    ) -> Self {
+        Self::build(limit, Some(parent.clone()), Some((escalator, lease_id)))
+    }
+
+    fn build(
+        limit: usize,
+        parent: Option<MemoryBudget>,
+        escalator: Option<(Weak<dyn Escalator>, usize)>,
+    ) -> Self {
         MemoryBudget {
             inner: Arc::new(Inner {
-                limit,
+                limit: AtomicUsize::new(limit),
                 used: AtomicUsize::new(0),
                 high_water: AtomicUsize::new(0),
+                parent,
+                shed_requested: AtomicUsize::new(0),
+                shed_unit_hint: AtomicUsize::new(0),
+                heat_hint: AtomicU64::new(u64::MAX),
+                escalator,
             }),
         }
     }
@@ -57,9 +142,16 @@ impl MemoryBudget {
         Self::new(usize::MAX / 2)
     }
 
-    /// The configured limit in bytes.
+    /// The current limit in bytes (a governor may change it at runtime).
     pub fn limit(&self) -> usize {
-        self.inner.limit
+        self.inner.limit.load(Ordering::Relaxed)
+    }
+
+    /// Replace the limit. Used by the governor to rebalance leases; a new
+    /// limit below `used` simply makes the next `try_grant` fail, pushing
+    /// the operator onto its spill path.
+    pub fn set_limit(&self, limit: usize) {
+        self.inner.limit.store(limit, Ordering::Relaxed);
     }
 
     /// Bytes currently granted.
@@ -69,7 +161,7 @@ impl MemoryBudget {
 
     /// Bytes still available.
     pub fn available(&self) -> usize {
-        self.inner.limit.saturating_sub(self.used())
+        self.limit().saturating_sub(self.used())
     }
 
     /// Highest `used` value ever observed.
@@ -77,15 +169,21 @@ impl MemoryBudget {
         self.inner.high_water.load(Ordering::Relaxed)
     }
 
-    /// Try to reserve `bytes`; returns `false` (without reserving) if the
-    /// budget cannot cover it.
+    /// True when this budget was leased from a [`crate::governor`]
+    /// governor (it has an escalation link).
+    pub fn is_leased(&self) -> bool {
+        self.inner.escalator.is_some()
+    }
+
+    /// Try to reserve `bytes`; returns `false` (without reserving) if this
+    /// budget — or any ancestor pool — cannot cover it.
     pub fn try_grant(&self, bytes: usize) -> bool {
         let mut cur = self.inner.used.load(Ordering::Relaxed);
-        loop {
+        let new = loop {
             let Some(new) = cur.checked_add(bytes) else {
                 return false;
             };
-            if new > self.inner.limit {
+            if new > self.limit() {
                 return false;
             }
             match self.inner.used.compare_exchange_weak(
@@ -94,13 +192,37 @@ impl MemoryBudget {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => {
-                    self.inner.high_water.fetch_max(new, Ordering::Relaxed);
-                    return true;
-                }
+                Ok(_) => break new,
                 Err(actual) => cur = actual,
             }
+        };
+        if let Some(parent) = &self.inner.parent {
+            if !parent.try_grant(bytes) {
+                self.release_local(bytes);
+                return false;
+            }
         }
+        self.inner.high_water.fetch_max(new, Ordering::Relaxed);
+        true
+    }
+
+    /// Like [`MemoryBudget::try_grant`], but a leased budget that fails
+    /// locally first asks its governor for a bigger lease and retries.
+    /// The governor grants from pool slack or idle sibling headroom; under
+    /// global pressure it instead posts a shed request on a victim lease
+    /// and this returns `false` (the caller spills, as it would have).
+    pub fn try_grant_or_request(&self, bytes: usize) -> bool {
+        if self.try_grant(bytes) {
+            return true;
+        }
+        if let Some((esc, id)) = &self.inner.escalator {
+            if let Some(esc) = esc.upgrade() {
+                if esc.request_more(*id, bytes) {
+                    return self.try_grant(bytes);
+                }
+            }
+        }
+        false
     }
 
     /// Reserve `bytes` or return [`Error::MemoryExceeded`].
@@ -115,17 +237,38 @@ impl MemoryBudget {
         }
     }
 
-    /// Return `bytes` to the budget. Releasing more than was granted is a
-    /// bug in the caller; in debug builds it panics, in release it
-    /// saturates to zero.
+    /// Decrement `used` by at most `bytes`, saturating at zero; returns
+    /// the bytes actually freed.
+    fn release_local(&self, bytes: usize) -> usize {
+        let mut cur = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let dec = cur.min(bytes);
+            if dec == 0 {
+                return 0;
+            }
+            match self.inner.used.compare_exchange_weak(
+                cur,
+                cur - dec,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return dec,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Return `bytes` to the budget (and to ancestor pools). Saturates at
+    /// zero: an operator that double-releases after a governor-requested
+    /// shed (both the shed path and its normal teardown accounting may
+    /// cover the same buffer) must not underflow the pool, so only the
+    /// bytes actually held are freed and propagated upward.
     pub fn release(&self, bytes: usize) {
-        let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
-        debug_assert!(
-            prev >= bytes,
-            "released {bytes} B but only {prev} B were granted"
-        );
-        if prev < bytes {
-            self.inner.used.store(0, Ordering::Relaxed);
+        let freed = self.release_local(bytes);
+        if freed > 0 {
+            if let Some(parent) = &self.inner.parent {
+                parent.release(freed);
+            }
         }
     }
 
@@ -142,11 +285,72 @@ impl MemoryBudget {
     pub fn force_grant(&self, bytes: usize) {
         let new = self.inner.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.inner.high_water.fetch_max(new, Ordering::Relaxed);
+        if let Some(parent) = &self.inner.parent {
+            parent.force_grant(bytes);
+        }
     }
 
     /// Is usage currently above the configured limit (after force grants)?
     pub fn over_limit(&self) -> bool {
-        self.used() > self.inner.limit
+        self.used() > self.limit()
+    }
+
+    /// Ask this budget's operator to shed at least `bytes` at its next
+    /// opportunity. Requests coalesce to the maximum outstanding ask.
+    pub fn request_shed(&self, bytes: usize) {
+        self.inner
+            .shed_requested
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Outstanding shed request in bytes (0 = none).
+    pub fn shed_requested(&self) -> usize {
+        self.inner.shed_requested.load(Ordering::Relaxed)
+    }
+
+    /// Consume the outstanding shed request, returning its size.
+    pub fn take_shed_request(&self) -> usize {
+        self.inner.shed_requested.swap(0, Ordering::Relaxed)
+    }
+
+    /// Publish how many bytes this budget's operator could free in one
+    /// shed unit (e.g. its resident hybrid-hash bucket). Read by the
+    /// `LargestBucket` spill policy.
+    pub fn publish_shed_unit(&self, bytes: usize) {
+        self.inner.shed_unit_hint.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Last published shed-unit size (0 = nothing published).
+    pub fn shed_unit_hint(&self) -> usize {
+        self.inner.shed_unit_hint.load(Ordering::Relaxed)
+    }
+
+    /// Publish the heat (frequent-items count) of the operator's coldest
+    /// resident key. Read by the `ColdestKeys` spill policy; budgets that
+    /// never publish report `u64::MAX` (treated as hot / unknown).
+    pub fn publish_heat(&self, heat: u64) {
+        self.inner.heat_hint.store(heat, Ordering::Relaxed);
+    }
+
+    /// Last published coldest-key heat (`u64::MAX` = unknown).
+    pub fn heat_hint(&self) -> u64 {
+        self.inner.heat_hint.load(Ordering::Relaxed)
+    }
+
+    /// A non-owning handle for governor bookkeeping.
+    pub(crate) fn downgrade(&self) -> WeakBudget {
+        WeakBudget(Arc::downgrade(&self.inner))
+    }
+}
+
+/// Weak handle to a budget: lets the governor track leases without keeping
+/// dead attempts alive.
+pub(crate) struct WeakBudget(Weak<Inner>);
+
+impl WeakBudget {
+    /// Upgrade to a usable budget if any clone is still alive.
+    pub(crate) fn upgrade(&self) -> Option<MemoryBudget> {
+        self.0.upgrade().map(|inner| MemoryBudget { inner })
     }
 }
 
@@ -266,6 +470,83 @@ mod tests {
         b.release(13);
         assert!(!b.over_limit());
         assert_eq!(b.high_water(), 13);
+    }
+
+    #[test]
+    fn release_saturates_on_double_release() {
+        // Regression: an operator that sheds a buffer on governor request
+        // and then also releases it during teardown must not underflow.
+        let b = MemoryBudget::new(100);
+        b.grant(40).unwrap();
+        b.release(40);
+        b.release(40); // double release: saturates, no panic / wraparound
+        assert_eq!(b.used(), 0);
+        assert!(b.try_grant(100), "budget must stay usable after saturation");
+        b.release(100);
+
+        // Partial over-release: only the held bytes come back.
+        let pool = MemoryBudget::new(100);
+        let child = MemoryBudget::with_parent(&pool, 100);
+        child.grant(30).unwrap();
+        child.release(50);
+        assert_eq!(child.used(), 0);
+        assert_eq!(pool.used(), 0, "pool must see exactly 30 freed, not 50");
+    }
+
+    #[test]
+    fn child_grants_charge_parent() {
+        let pool = MemoryBudget::new(100);
+        let a = MemoryBudget::with_parent(&pool, 80);
+        let b = MemoryBudget::with_parent(&pool, 80);
+        assert!(a.try_grant(60));
+        assert_eq!(pool.used(), 60);
+        // b is within its own limit, but the pool can't cover it.
+        assert!(!b.try_grant(60));
+        assert_eq!(b.used(), 0, "failed grant must roll back the child");
+        assert!(b.try_grant(40));
+        assert_eq!(pool.used(), 100);
+        a.release(60);
+        assert_eq!(pool.used(), 40);
+        b.release(40);
+        assert_eq!(pool.used(), 0);
+        assert!(pool.high_water() <= 100);
+    }
+
+    #[test]
+    fn raising_child_limit_allows_more() {
+        let pool = MemoryBudget::new(100);
+        let child = MemoryBudget::with_parent(&pool, 10);
+        assert!(!child.try_grant(20));
+        child.set_limit(50);
+        assert!(child.try_grant(20));
+        assert_eq!(child.limit(), 50);
+        assert_eq!(pool.used(), 20);
+        child.release(20);
+    }
+
+    #[test]
+    fn dropping_child_refunds_parent() {
+        let pool = MemoryBudget::new(100);
+        {
+            let child = MemoryBudget::with_parent(&pool, 100);
+            child.grant(70).unwrap();
+            assert_eq!(pool.used(), 70);
+            // child dropped without releasing — simulates an abandoned
+            // attempt after a panic.
+        }
+        assert_eq!(pool.used(), 0, "dead lease must refund the pool");
+    }
+
+    #[test]
+    fn shed_requests_coalesce_to_max() {
+        let b = MemoryBudget::new(100);
+        assert_eq!(b.take_shed_request(), 0);
+        b.request_shed(10);
+        b.request_shed(30);
+        b.request_shed(20);
+        assert_eq!(b.shed_requested(), 30);
+        assert_eq!(b.take_shed_request(), 30);
+        assert_eq!(b.take_shed_request(), 0);
     }
 
     #[test]

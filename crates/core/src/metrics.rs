@@ -22,6 +22,20 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Canonical counter names for the memory-governor gauges, shared by the
+/// engine profile counters, the JSONL report fields, and the trace
+/// instants so dashboards key off one vocabulary.
+pub mod gauges {
+    /// A lease-limit raise granted by the governor (slack or reclaim).
+    pub const MEM_REBALANCE: &str = "mem_rebalance";
+    /// A shed request honoured by an operator (`GroupBy::shed`).
+    pub const MEM_SHED: &str = "mem_shed";
+    /// Bytes actually freed by honoured shed requests.
+    pub const MEM_SHED_BYTES: &str = "mem_shed_bytes";
+    /// Map-side shuffle pushes stalled by high-water backpressure.
+    pub const BACKPRESSURE_STALLS: &str = "backpressure_stalls";
+}
+
 /// Canonical phases of a MapReduce job, following the paper's timeline
 /// plots (Fig. 2a: map, shuffle, merge, reduce) and Table II's map-phase
 /// split (map function vs sorting).

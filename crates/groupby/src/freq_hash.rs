@@ -240,7 +240,9 @@ impl FreqHashGrouper {
             self.agg.init(key, payload)
         };
         let cost = Self::state_cost(key, &state);
-        if !self.budget.try_grant(cost) {
+        // Escalate to the governor (if leased) before the hotness gate
+        // decides between eviction and cold spill.
+        if !self.budget.try_grant_or_request(cost) {
             return false;
         }
         self.reserved += cost;
@@ -277,6 +279,9 @@ impl FreqHashGrouper {
         self.evictions += 1;
         self.profile
             .add_time(Phase::ReduceGroup, group_start.elapsed());
+        // Advertise how cold this operator's evictable tail is, so the
+        // governor's ColdestKeys policy can rank victims.
+        self.budget.publish_heat(self.cold_threshold);
         self.trace.instant(
             "evict",
             "freq",
@@ -376,6 +381,20 @@ impl GroupBy for FreqHashGrouper {
             // Even after eviction it does not fit (giant state): spill.
         }
         self.write_cold(key, value, false)
+    }
+
+    fn shed(&mut self, target_bytes: usize) -> Result<usize> {
+        // Shed = repeated coldest-first eviction batches: the shed states
+        // land in the cold buckets the exact pass already resolves, so
+        // re-admitted keys stay correct (finish flushes residents to cold
+        // whenever any cold spill exists).
+        let start = self.reserved;
+        while start - self.reserved < target_bytes {
+            if self.evict_batch()? == 0 {
+                break;
+            }
+        }
+        Ok(start - self.reserved)
     }
 
     fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats> {

@@ -66,6 +66,13 @@ pub struct HybridHashGrouper {
     /// not stay resident (they redistribute under the next level's hash),
     /// indices 1..fanout hold their buckets' records.
     spill: Option<Vec<Box<dyn RunWriter>>>,
+    /// Bucket-0 keys with records in run 0 (the bucket-0 overflow). A
+    /// resident key in this set is incomplete: at emit time its partial
+    /// state is flushed to run 0 for the child pass to merge, instead of
+    /// being emitted here. Without this, a key whose admission *flips*
+    /// mid-stream (possible once a shed or a governor limit-raise frees
+    /// budget) would get two Finals — one here, one from the run-0 child.
+    run0_keys: ByteMap<()>,
     records_in: u64,
     groups_out: u64,
     spills: u64,
@@ -126,6 +133,7 @@ impl HybridHashGrouper {
             reserved: 0,
             peak_reserved: 0,
             spill: None,
+            run0_keys: ByteMap::default(),
             records_in: 0,
             groups_out: 0,
             spills: 0,
@@ -176,7 +184,9 @@ impl HybridHashGrouper {
             _ => payload.to_vec(),
         };
         let cost = Self::state_cost(key, &state);
-        if !self.budget.try_grant(cost) {
+        // Escalate to the governor (if leased) before partitioning or
+        // spilling the record.
+        if !self.budget.try_grant_or_request(cost) {
             return Ok(false);
         }
         self.reserved += cost;
@@ -239,6 +249,9 @@ impl HybridHashGrouper {
         // into another bucket would let tiny budgets recurse almost
         // without shrinking).
         let b = self.bucket(key);
+        if b == 0 {
+            self.run0_keys.insert(key.to_vec(), ());
+        }
         let writers = self.spill.as_mut().expect("partitioned");
         let mut payload = Vec::with_capacity(1 + value.len());
         payload.push(tag);
@@ -268,10 +281,21 @@ impl HybridHashGrouper {
     }
 
     /// Emit all resident groups and drop their budget reservation.
+    /// Residents with records in run 0 are incomplete — their partial
+    /// state goes to run 0 for the child pass to merge and emit exactly
+    /// once.
     fn emit_resident(&mut self, sink: &mut dyn Sink) -> Result<()> {
         let reduce_start = std::time::Instant::now();
         let resident = std::mem::take(&mut self.resident);
         for (key, state) in resident {
+            if !self.run0_keys.is_empty() && self.run0_keys.contains_key(&key) {
+                let mut payload = Vec::with_capacity(1 + state.len());
+                payload.push(TAG_STATE);
+                payload.extend_from_slice(&state);
+                self.spill.as_mut().expect("run0_keys implies partitioned")[0]
+                    .write_record(&key, &payload)?;
+                continue;
+            }
             let out = self.agg.finish(&key, state);
             sink.emit(&key, &out, EmitKind::Final);
             self.groups_out += 1;
@@ -287,7 +311,52 @@ impl HybridHashGrouper {
 impl GroupBy for HybridHashGrouper {
     fn push(&mut self, key: &[u8], value: &[u8], _sink: &mut dyn Sink) -> Result<()> {
         self.records_in += 1;
-        self.push_tagged(key, value, TAG_RAW)
+        self.push_tagged(key, value, TAG_RAW)?;
+        // Advertise how much one shed would free (the whole resident
+        // table) so the governor's LargestBucket policy can rank victims.
+        self.budget.publish_shed_unit(self.reserved);
+        Ok(())
+    }
+
+    fn shed(&mut self, target_bytes: usize) -> Result<usize> {
+        let start = self.reserved;
+        if self.spill.is_none() {
+            if self.resident.is_empty() {
+                return Ok(0);
+            }
+            // Partitioning *is* the natural shed: every non-bucket-0
+            // state moves to its bucket's run.
+            self.partition()?;
+        }
+        let mut freed = start - self.reserved;
+        if freed < target_bytes && !self.resident.is_empty() {
+            // Still short: evict bucket-0 residents into run 0 (their
+            // overflow run) as partial states. `run0_keys` keeps any
+            // later re-admission of these keys correct.
+            let mut victims: Vec<Vec<u8>> = Vec::new();
+            let mut planned = freed;
+            for (k, v) in self.resident.iter() {
+                if planned >= target_bytes {
+                    break;
+                }
+                planned += Self::state_cost(k, v);
+                victims.push(k.clone());
+            }
+            for k in victims {
+                let state = self.resident.remove(&k).expect("key just listed");
+                let mut payload = Vec::with_capacity(1 + state.len());
+                payload.push(TAG_STATE);
+                payload.extend_from_slice(&state);
+                self.run0_keys.insert(k.clone(), ());
+                self.spill.as_mut().expect("partitioned")[0].write_record(&k, &payload)?;
+                let cost = Self::state_cost(&k, &state);
+                self.budget.release(cost);
+                self.reserved -= cost;
+                freed += cost;
+            }
+        }
+        self.budget.publish_shed_unit(self.reserved);
+        Ok(freed)
     }
 
     fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats> {

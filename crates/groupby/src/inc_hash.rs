@@ -66,6 +66,14 @@ pub struct IncHashGrouper {
     agg: Arc<dyn Aggregator>,
     early: Option<Arc<dyn EarlyEmit>>,
     states: ByteMap<Vec<u8>>,
+    /// Keys with records in the *pending* (unsealed) overflow run. A
+    /// resident key in this set must not be emitted directly at an emit
+    /// boundary — part of its data lives in the overflow, so its partial
+    /// state is flushed there instead and the next pass merges the two.
+    /// Without this, a key whose admission *flips* mid-stream (possible
+    /// once a shed or a governor limit-raise frees budget) would get two
+    /// Final emissions.
+    overflow_keys: ByteMap<()>,
     reserved: usize,
     peak_reserved: usize,
     overflow: Option<Box<dyn RunWriter>>,
@@ -108,6 +116,7 @@ impl IncHashGrouper {
             agg,
             early,
             states: ByteMap::default(),
+            overflow_keys: ByteMap::default(),
             reserved: 0,
             peak_reserved: 0,
             overflow: None,
@@ -171,7 +180,9 @@ impl IncHashGrouper {
                 self.agg.init(key, payload)
             };
             let cost = Self::state_cost(key, &state);
-            if self.budget.try_grant(cost) {
+            // Escalate to the governor (if leased) before overflowing the
+            // record to disk.
+            if self.budget.try_grant_or_request(cost) {
                 self.reserved += cost;
                 self.states.insert(key.to_vec(), state);
                 true
@@ -206,6 +217,7 @@ impl IncHashGrouper {
         let mut tagged = Vec::with_capacity(1 + payload.len());
         tagged.push(is_state as u8);
         tagged.extend_from_slice(payload);
+        self.overflow_keys.insert(key.to_vec(), ());
         self.overflow
             .as_mut()
             .expect("just created")
@@ -213,16 +225,24 @@ impl IncHashGrouper {
     }
 
     /// Emit every resident group as final output and clear the table.
+    /// Residents that also have records in the pending overflow are
+    /// incomplete: their partial state is flushed to the overflow instead,
+    /// to be merged (and emitted exactly once) by a later pass.
     fn emit_all_resident(&mut self, sink: &mut dyn Sink) -> Result<()> {
         let reduce_start = std::time::Instant::now();
         let states = std::mem::take(&mut self.states);
         for (key, state) in states {
+            if self.overflow_keys.contains_key(&key) {
+                self.spill(&key, &state, true)?;
+                continue;
+            }
             let out = self.agg.finish(&key, state);
             sink.emit(&key, &out, EmitKind::Final);
             self.groups_out += 1;
         }
         self.budget.release(self.reserved);
         self.reserved = 0;
+        self.overflow_keys.clear();
         self.profile
             .add_time(Phase::ReduceFn, reduce_start.elapsed());
         Ok(())
@@ -251,9 +271,37 @@ impl GroupBy for IncHashGrouper {
         self.spill(key, value, false)
     }
 
+    fn shed(&mut self, target_bytes: usize) -> Result<usize> {
+        // Move resident states into the overflow run (tagged as states —
+        // the same representation the nested passes already merge) until
+        // `target_bytes` are freed. A shed key may be re-admitted later;
+        // `overflow_keys` guarantees its eventual single exact emission.
+        let mut victims: Vec<Vec<u8>> = Vec::new();
+        let mut planned = 0usize;
+        for (k, v) in self.states.iter() {
+            if planned >= target_bytes {
+                break;
+            }
+            planned += Self::state_cost(k, v);
+            victims.push(k.clone());
+        }
+        let mut freed = 0usize;
+        for k in victims {
+            if let Some(state) = self.states.remove(&k) {
+                let cost = Self::state_cost(&k, &state);
+                self.spill(&k, &state, true)?;
+                self.budget.release(cost);
+                self.reserved = self.reserved.saturating_sub(cost);
+                freed += cost;
+            }
+        }
+        Ok(freed)
+    }
+
     fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats> {
-        // The streaming-resident keys absorbed every one of their records,
-        // so they are complete now (spilled records belong to other keys).
+        // The streaming-resident keys not in `overflow_keys` absorbed
+        // every one of their records, so they are complete now; the rest
+        // are flushed into the overflow for exact resolution below.
         self.emit_all_resident(sink)?;
         self.seal_overflow()?;
 

@@ -89,6 +89,21 @@ pub trait GroupBy: Send {
         Ok(())
     }
 
+    /// Shed at least `target_bytes` of resident state through the
+    /// operator's own spill path, returning the bytes actually freed.
+    ///
+    /// Called at batch boundaries when a
+    /// [`MemoryGovernor`](onepass_core::governor::MemoryGovernor) picks
+    /// this operator as a spill victim under global pressure. Shedding is
+    /// a correctness-neutral reordering: shed state flows through the same
+    /// tagged overflow/run machinery the operator's normal spill uses, so
+    /// final output is byte-identical. The default does nothing (an
+    /// operator with nothing shedable returns 0).
+    fn shed(&mut self, target_bytes: usize) -> Result<usize> {
+        let _ = target_bytes;
+        Ok(0)
+    }
+
     /// Flush all remaining groups into `sink` and return statistics.
     /// The operator must not be pushed to afterwards.
     fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats>;

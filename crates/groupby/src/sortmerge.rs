@@ -165,15 +165,36 @@ impl GroupBy for SortMergeGrouper {
     fn push(&mut self, key: &[u8], value: &[u8], _sink: &mut dyn Sink) -> Result<()> {
         debug_assert!(!self.finished, "push after finish");
         let cost = Self::record_cost(key, value);
-        if !self.budget.try_grant(cost) {
+        // Ask the governor (if leased) for more headroom before falling
+        // back to a local sort+spill of the buffer.
+        if !self.budget.try_grant_or_request(cost) {
             self.spill_buffer()?;
-            self.budget.grant(cost)?;
+            if !self.budget.try_grant(cost) {
+                // A leased budget can still fail here after spilling: the
+                // shared pool may be saturated by sibling leases. Overshoot
+                // softly (bounded: the buffer is empty) instead of failing
+                // the task; the governor's shed requests drain the pool.
+                if self.budget.is_leased() {
+                    self.budget.force_grant(cost);
+                } else {
+                    self.budget.grant(cost)?;
+                }
+            }
         }
         self.reserved += cost;
         self.peak_reserved = self.peak_reserved.max(self.reserved);
         self.buf.push(0, key, value);
         self.records_in += 1;
         Ok(())
+    }
+
+    fn shed(&mut self, target_bytes: usize) -> Result<usize> {
+        let _ = target_bytes;
+        // The whole buffer is one sorted-run spill away from free; partial
+        // sheds would sort twice for no I/O saving.
+        let freed = self.reserved;
+        self.spill_buffer()?;
+        Ok(freed)
     }
 
     fn finish(&mut self, sink: &mut dyn Sink) -> Result<OpStats> {

@@ -1,0 +1,157 @@
+//! `GroupBy::shed` correctness: shedding mid-stream at arbitrary points
+//! must free budget bytes AND leave final output byte-identical to an
+//! unshed run — for every backend. The nasty cases are re-admission after
+//! a shed (a shed key's records keep arriving), which must not produce
+//! duplicate Final emissions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use onepass_core::io::SharedMemStore;
+use onepass_core::memory::MemoryBudget;
+use onepass_groupby::{
+    CountAgg, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper,
+    SortMergeGrouper, VecSink,
+};
+
+fn records(n: u32, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("key{:05}", i.wrapping_mul(2_654_435_761) % distinct).into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+        })
+        .collect()
+}
+
+fn truth(recs: &[(Vec<u8>, Vec<u8>)]) -> BTreeMap<Vec<u8>, u64> {
+    let mut t: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (k, _) in recs {
+        *t.entry(k.clone()).or_default() += 1;
+    }
+    t
+}
+
+/// Push `recs`, shedding `target` bytes every `every` records, then
+/// finish. Asserts no duplicate finals and exact counts.
+fn run_with_sheds(op: &mut dyn GroupBy, recs: &[(Vec<u8>, Vec<u8>)], every: usize, target: usize) {
+    let mut sink = VecSink::default();
+    let mut shed_calls = 0u32;
+    let mut shed_freed = 0usize;
+    for (i, (k, v)) in recs.iter().enumerate() {
+        op.push(k, v, &mut sink).unwrap();
+        if i > 0 && i % every == 0 {
+            shed_freed += op.shed(target).unwrap();
+            shed_calls += 1;
+        }
+    }
+    op.finish(&mut sink).unwrap();
+    assert!(shed_calls > 0);
+    assert!(
+        shed_freed > 0,
+        "{}: repeated sheds never freed anything",
+        op.name()
+    );
+
+    let mut out: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (k, v, kind) in &sink.emitted {
+        if *kind == EmitKind::Final {
+            let prev = out.insert(
+                k.clone(),
+                u64::from_le_bytes(v.as_slice().try_into().unwrap()),
+            );
+            assert!(
+                prev.is_none(),
+                "{}: duplicate Final for key {:?} after shed",
+                op.name(),
+                String::from_utf8_lossy(k)
+            );
+        }
+    }
+    let want = truth(recs);
+    assert_eq!(out.len(), want.len(), "{}: group count mismatch", op.name());
+    for (k, c) in want {
+        assert_eq!(
+            out[&k],
+            c,
+            "{}: count mismatch for {:?}",
+            op.name(),
+            String::from_utf8_lossy(&k)
+        );
+    }
+}
+
+#[test]
+fn sortmerge_shed_is_correct() {
+    let store = SharedMemStore::new();
+    let budget = MemoryBudget::new(1 << 16);
+    let mut g =
+        SortMergeGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
+    run_with_sheds(&mut g, &records(3000, 250), 500, 1 << 12);
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn inc_hash_shed_is_correct() {
+    // Ample budget: without the shed_keys re-admission gate every shed key
+    // would be re-admitted and double-emitted.
+    let store = SharedMemStore::new();
+    let budget = MemoryBudget::new(1 << 16);
+    let mut g = IncHashGrouper::new(Arc::new(store), budget.clone(), Arc::new(CountAgg));
+    run_with_sheds(&mut g, &records(3000, 250), 400, 1 << 12);
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn inc_hash_shed_under_pressure_is_correct() {
+    let store = SharedMemStore::new();
+    let budget = MemoryBudget::new(1800);
+    let mut g = IncHashGrouper::new(Arc::new(store), budget.clone(), Arc::new(CountAgg));
+    run_with_sheds(&mut g, &records(2500, 300), 300, 600);
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn hybrid_shed_before_partition_is_correct() {
+    // Budget never exhausts on its own: the shed itself forces the
+    // partition, then seals bucket 0.
+    let store = SharedMemStore::new();
+    let budget = MemoryBudget::new(1 << 16);
+    let mut g =
+        HybridHashGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
+    run_with_sheds(&mut g, &records(3000, 250), 700, 1 << 14);
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn hybrid_shed_after_partition_is_correct() {
+    // Tight budget: the operator partitions by itself first, later sheds
+    // evict already-resident bucket-0 states into run 0.
+    let store = SharedMemStore::new();
+    let budget = MemoryBudget::new(2000);
+    let mut g =
+        HybridHashGrouper::new(Arc::new(store), budget.clone(), 4, Arc::new(CountAgg)).unwrap();
+    run_with_sheds(&mut g, &records(2500, 400), 300, 800);
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn freq_hash_shed_is_correct() {
+    let store = SharedMemStore::new();
+    let budget = MemoryBudget::new(1 << 14);
+    let mut g = FreqHashGrouper::new(Arc::new(store), budget.clone(), Arc::new(CountAgg));
+    run_with_sheds(&mut g, &records(4000, 500), 600, 1 << 12);
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn shed_with_no_state_frees_nothing() {
+    let store = SharedMemStore::new();
+    let mut g = IncHashGrouper::new(
+        Arc::new(store),
+        MemoryBudget::new(1 << 16),
+        Arc::new(CountAgg),
+    );
+    assert_eq!(g.shed(4096).unwrap(), 0);
+}

@@ -34,6 +34,7 @@ use crossbeam::channel::{unbounded, RecvTimeoutError};
 
 use onepass_core::error::{Error, Result};
 use onepass_core::fault::{FaultInjector, FaultPlan};
+use onepass_core::governor::{MemoryGovernor, MemoryPolicy};
 use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::trace::{Tracer, Track};
@@ -165,6 +166,14 @@ pub struct EngineConfig {
     pub speculation: SpeculationConfig,
     /// Planned fault schedule for recovery testing. Default inert.
     pub faults: FaultInjector,
+    /// Reduce-side memory governance. [`MemoryPolicy::Static`] (default)
+    /// gives every reduce task a fixed private budget of
+    /// `job.reduce_budget_bytes`. [`MemoryPolicy::Adaptive`] pools
+    /// `reduce_budget_bytes × reducers` under a [`MemoryGovernor`] that
+    /// rebalances lease limits between concurrent reducers, picks spill
+    /// victims via the configured policy under global pressure, and gates
+    /// map-side shuffle pushes above the high-water fraction.
+    pub memory_policy: MemoryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -178,6 +187,7 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             speculation: SpeculationConfig::default(),
             faults: FaultInjector::none(),
+            memory_policy: MemoryPolicy::Static,
         }
     }
 }
@@ -241,6 +251,12 @@ impl EngineConfigBuilder {
     /// Install a planned fault schedule.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = plan.into_injector();
+        self
+    }
+
+    /// Reduce-side memory governance policy.
+    pub fn memory_policy(mut self, policy: MemoryPolicy) -> Self {
+        self.cfg.memory_policy = policy;
         self
     }
 
@@ -328,6 +344,22 @@ impl Engine {
         let splits: Vec<Arc<Split>> = splits.into_iter().map(Arc::new).collect();
         let total_map_tasks = splits.len();
         let (shuffle_tx, shuffle_rxs) = shuffle_fabric(job.reducers, self.config.channel_depth);
+
+        // Adaptive governance: pool the per-reducer budgets job-wide and
+        // gate map pushes on pool pressure. Static keeps the seed
+        // behaviour: a fixed private budget per reduce attempt.
+        let governor = match &self.config.memory_policy {
+            MemoryPolicy::Static => None,
+            MemoryPolicy::Adaptive { policy, high_water } => Some(MemoryGovernor::new(
+                job.reduce_budget_bytes.saturating_mul(job.reducers.max(1)),
+                Arc::clone(policy),
+                *high_water,
+            )),
+        };
+        let shuffle_tx = match &governor {
+            Some(g) => shuffle_tx.with_pressure(g.clone(), self.config.channel_depth),
+            None => shuffle_tx,
+        };
 
         // Map-side persistence store (shared; only totals are read).
         let map_store = if self.config.persist_map_output.is_persist() {
@@ -434,6 +466,7 @@ impl Engine {
             for (partition, rx) in shuffle_rxs.into_iter().enumerate() {
                 let red_res_tx = red_res_tx.clone();
                 let injector = injector.clone();
+                let governor = governor.clone();
                 scope.spawn(move |_| {
                     let mut trace = tracer.local(Track::new("reduce", partition as u64));
                     trace.begin("reduce_task", "task");
@@ -447,7 +480,15 @@ impl Engine {
                             SpillBackend::Memory => Arc::new(SharedMemStore::new()),
                             SpillBackend::TempFiles => Arc::new(FileSpillStore::temp()?),
                         };
-                        Ok((store, MemoryBudget::new(job.reduce_budget_bytes)))
+                        // Under the governor, a retry's fresh lease starts
+                        // back at the nominal share; whatever the failed
+                        // attempt was holding drained back to the pool
+                        // when its budget dropped.
+                        let budget = match &governor {
+                            Some(g) => g.lease(job.reduce_budget_bytes),
+                            None => MemoryBudget::new(job.reduce_budget_bytes),
+                        };
+                        Ok((store, budget))
                     };
                     let opts = ReduceRetryOpts {
                         max_attempts: retry.max_attempts,
@@ -742,6 +783,14 @@ impl Engine {
         if let Some(ms) = &map_store {
             report.map_write_io = ms.stats();
         }
+        if let Some(g) = &governor {
+            let c = g.counters();
+            report.mem_rebalances = c.rebalances;
+            report.mem_sheds = c.sheds;
+            report.mem_shed_bytes = c.shed_bytes_requested;
+            report.mem_pool_high_water = g.pool().high_water() as u64;
+        }
+        report.backpressure_stalls = shuffle_tx.backpressure_stalls();
         report.wall = start.elapsed();
         Ok(report)
     }
@@ -1005,6 +1054,7 @@ mod tests {
             .retry(RetryPolicy::attempts(3))
             .speculation(SpeculationConfig::on())
             .faults(FaultPlan::new().fail_map(0, 0, 1))
+            .memory_policy(MemoryPolicy::adaptive())
             .build();
         assert_eq!(cfg.map_workers, 2);
         assert_eq!(cfg.channel_depth, 8);
@@ -1013,6 +1063,50 @@ mod tests {
         assert_eq!(cfg.retry.max_attempts, 3);
         assert!(cfg.speculation.enabled);
         assert!(cfg.faults.is_active());
+        assert!(matches!(cfg.memory_policy, MemoryPolicy::Adaptive { .. }));
+        let defaults = EngineConfig::builder().build();
+        assert!(matches!(defaults.memory_policy, MemoryPolicy::Static));
+    }
+
+    #[test]
+    fn adaptive_policy_matches_static_output() {
+        for backend in [
+            ReduceBackend::SortMerge {
+                merge_factor: 4,
+                snapshots: vec![],
+            },
+            ReduceBackend::HybridHash { fanout: 4 },
+            ReduceBackend::IncHash { early: None },
+            ReduceBackend::FreqHash(Default::default()),
+        ] {
+            let label = backend.label();
+            let job = JobSpec::builder("wc")
+                .map_fn(Arc::new(word_map))
+                .aggregate(Arc::new(SumAgg))
+                .reducers(2)
+                .reduce_budget_bytes(2048)
+                .backend(backend)
+                .build()
+                .unwrap();
+            let many: Vec<String> = (0..300)
+                .map(|i| format!("w{} w{} a", i % 53, i % 17))
+                .collect();
+            let refs: Vec<&str> = many.iter().map(|s| s.as_str()).collect();
+            let input = splits(&refs, 25);
+
+            let static_rep = Engine::new().run(&job, input.clone()).unwrap();
+            let adaptive = Engine::with_config(
+                EngineConfig::builder()
+                    .memory_policy(MemoryPolicy::adaptive())
+                    .build(),
+            );
+            let adaptive_rep = adaptive.run(&job, input).unwrap();
+            assert_eq!(
+                final_counts(&static_rep),
+                final_counts(&adaptive_rep),
+                "{label}: adaptive governance changed the output"
+            );
+        }
     }
 
     #[test]

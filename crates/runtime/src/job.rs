@@ -87,7 +87,7 @@ impl Combine {
 /// Replaces the old `collect_output: bool` knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CollectOutput {
-    /// Keep the output pairs in [`crate::report::JobReport::output`].
+    /// Keep the output pairs in [`crate::report::JobReport::outputs`].
     #[default]
     Collect,
     /// Drop pairs after counting them — for large-output benchmarks where

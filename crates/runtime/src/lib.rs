@@ -58,5 +58,9 @@ pub mod prelude {
     pub use crate::map_task::Split;
     pub use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
     pub use onepass_core::fault::{FaultInjector, FaultPlan};
+    pub use onepass_core::governor::{
+        policy_by_name, ColdestKeys, LargestBucket, LargestConsumer, MemoryGovernor, MemoryPolicy,
+        RoundRobin, SpillPolicy,
+    };
     pub use onepass_core::{OwnedKv, SegmentBuf, SegmentBufBuilder};
 }

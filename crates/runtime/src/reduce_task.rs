@@ -46,7 +46,7 @@ use onepass_core::fault::{FaultAction, FaultInjector, FaultTarget};
 use onepass_core::hashlib::ByteMap;
 use onepass_core::io::{IoStats, SpillStore};
 use onepass_core::memory::MemoryBudget;
-use onepass_core::metrics::{Phase, Profile};
+use onepass_core::metrics::{gauges, Phase, Profile};
 use onepass_core::trace::LocalTracer;
 use onepass_groupby::aggregate::StateInput;
 use onepass_groupby::{
@@ -153,6 +153,17 @@ fn check_injector(
     }
 }
 
+/// Per-task governance bookkeeping for [`run_reduce_task_ft`].
+struct GovState {
+    /// Lease limit at the last check; a change means the governor
+    /// rebalanced this task's share.
+    last_limit: usize,
+    /// Shed requests this task honoured.
+    sheds: u64,
+    /// Bytes those sheds actually freed.
+    shed_bytes: u64,
+}
+
 /// Sink adapter that drops [`EmitKind::Early`] emissions. Used while
 /// replaying retained segments into a rebuilt attempt, so snapshots /
 /// early answers the first attempt already published are not repeated.
@@ -238,6 +249,23 @@ pub fn run_reduce_task_ft(
     let mut shuffle_wait = Duration::ZERO;
 
     let (store, budget) = resources()?;
+    if budget.is_leased() {
+        trace.instant(
+            "mem_lease",
+            "mem",
+            &[
+                ("partition", partition as f64),
+                ("limit_bytes", budget.limit() as f64),
+            ],
+        );
+    }
+    // Governance bookkeeping: the last lease limit we observed (to spot
+    // governor rebalances) and shed totals for the profile counters.
+    let mut gov = GovState {
+        last_limit: budget.limit(),
+        sheds: 0,
+        shed_bytes: 0,
+    };
     let mut state = Some(AttemptState::new(job, store, budget, total_map_tasks)?);
 
     // Retry ladder shared by absorb / snapshot / finish failures: burn an
@@ -276,11 +304,60 @@ pub fn run_reduce_task_ft(
                     sink,
                 ) {
                     Ok((st, replayed)) => {
+                        gov.last_limit = st.budget_ref().limit();
                         state = Some(st);
                         attempt_records = replayed;
                         break;
                     }
                     Err(e2) => err = e2,
+                }
+            }
+        }};
+    }
+
+    // Service governor demands between segments: record an observed lease
+    // rebalance and honour a posted shed request (spill victim duty).
+    // Static budgets never carry either, so this is branch-only overhead.
+    macro_rules! govern {
+        () => {{
+            let (lim, target) = {
+                let st = state.as_ref().expect("attempt state present");
+                let b = st.budget_ref();
+                (b.limit(), b.take_shed_request())
+            };
+            if lim != gov.last_limit {
+                gov.last_limit = lim;
+                trace.instant(
+                    "mem_rebalance",
+                    "mem",
+                    &[("partition", partition as f64), ("limit_bytes", lim as f64)],
+                );
+            }
+            if target > 0 {
+                let res = {
+                    let st = state.as_mut().expect("attempt state present");
+                    guarded(|| st.shed(target, trace))
+                };
+                match res {
+                    Ok(freed) => {
+                        gov.sheds += 1;
+                        gov.shed_bytes += freed as u64;
+                        trace.instant(
+                            "mem_shed",
+                            "mem",
+                            &[
+                                ("partition", partition as f64),
+                                ("target_bytes", target as f64),
+                                ("freed_bytes", freed as f64),
+                            ],
+                        );
+                    }
+                    Err(e) => {
+                        if let Some(st) = state.as_mut() {
+                            st.abandon();
+                        }
+                        recover!(e);
+                    }
                 }
             }
         }};
@@ -303,7 +380,10 @@ pub fn run_reduce_task_ft(
                 })
             };
             match res {
-                Ok(()) => attempt_records += n,
+                Ok(()) => {
+                    attempt_records += n;
+                    govern!();
+                }
                 Err(e) => {
                     if let Some(st) = state.as_mut() {
                         st.abandon();
@@ -412,6 +492,12 @@ pub fn run_reduce_task_ft(
         }
     };
     stats.profile.add_time(Phase::Shuffle, shuffle_wait);
+    if gov.sheds > 0 {
+        stats.profile.add_count(gauges::MEM_SHED, gov.sheds);
+        stats
+            .profile
+            .add_count(gauges::MEM_SHED_BYTES, gov.shed_bytes);
+    }
     Ok(ReduceResult {
         partition,
         stats,
@@ -531,6 +617,26 @@ impl AttemptState {
         if let AttemptState::Sort(s) = self {
             s.budget.release(s.reserved);
             s.reserved = 0;
+        }
+    }
+
+    /// The attempt's memory budget (a governor lease when adaptive).
+    fn budget_ref(&self) -> &MemoryBudget {
+        match self {
+            AttemptState::Sort(s) => &s.budget,
+            AttemptState::Hash(h) => &h.budget,
+        }
+    }
+
+    /// Honour a governor shed request: move in-memory state to spill,
+    /// freeing budget. Returns bytes freed.
+    fn shed(&mut self, target_bytes: usize, trace: &mut LocalTracer) -> Result<usize> {
+        match self {
+            AttemptState::Sort(s) => s.shed(trace),
+            AttemptState::Hash(h) => match &mut h.grouper {
+                Some(g) => g.shed(target_bytes),
+                None => Ok(0),
+            },
         }
     }
 
@@ -693,7 +799,9 @@ impl SortState {
         self.records_in += records.len() as u64;
         let bytes: usize = records.payload_bytes() + 16 * records.len();
         let count_trigger = self.buffered.len() + 1 >= job.inmem_merge_threshold;
-        if count_trigger || !self.budget.try_grant(bytes) {
+        // Under a governor lease, ask for more budget before giving up
+        // and spilling; a static budget rejects escalation outright.
+        if count_trigger || !self.budget.try_grant_or_request(bytes) {
             spill_buffered(
                 &mut self.buffered,
                 &mut self.merger,
@@ -730,6 +838,30 @@ impl SortState {
             self.reserved = 0;
         }
         Ok(())
+    }
+
+    /// Governor shed duty: merge-spill the whole buffered tail (the
+    /// smallest spillable unit this backend has) and release its budget.
+    fn shed(&mut self, trace: &mut LocalTracer) -> Result<usize> {
+        if self.buffered.is_empty() {
+            return Ok(0);
+        }
+        let Some(a) = self.agg.clone() else {
+            return Ok(0);
+        };
+        let freed = self.reserved;
+        spill_buffered(
+            &mut self.buffered,
+            &mut self.merger,
+            &self.store,
+            &a,
+            &mut self.profile,
+            trace,
+        )?;
+        self.spills += 1;
+        self.budget.release(self.reserved);
+        self.reserved = 0;
+        Ok(freed)
     }
 
     fn on_map_committed(

@@ -117,6 +117,19 @@ pub struct JobReport {
     pub speculative_launched: usize,
     /// Speculative clones that finished before the original attempt.
     pub speculative_wins: usize,
+    /// Governor lease-limit rebalances (slack grants + donor transfers).
+    /// Zero under [`MemoryPolicy::Static`](onepass_core::governor::MemoryPolicy).
+    pub mem_rebalances: u64,
+    /// Shed requests the governor posted to victim operators.
+    pub mem_sheds: u64,
+    /// Total bytes of shedding requested across those requests.
+    pub mem_shed_bytes: u64,
+    /// High-water mark of the governed global pool, in bytes (0 when
+    /// static).
+    pub mem_pool_high_water: u64,
+    /// Map-side shuffle pushes that stalled at least once on the
+    /// pressure gate.
+    pub backpressure_stalls: u64,
 }
 
 impl JobReport {
@@ -210,6 +223,8 @@ impl JobReport {
                 "\"snapshots\":{},\"first_early_s\":{},\"first_final_s\":{},",
                 "\"map_attempts\":{},\"reduce_attempts\":{},\"failed_attempts\":{},",
                 "\"speculative_launched\":{},\"speculative_wins\":{},",
+                "\"mem_rebalances\":{},\"mem_sheds\":{},\"mem_shed_bytes\":{},",
+                "\"mem_pool_high_water\":{},\"backpressure_stalls\":{},",
                 "\"map_profile\":{},\"reduce_profile\":{}}}\n"
             ),
             escape(&self.name),
@@ -237,6 +252,11 @@ impl JobReport {
             self.failed_attempts,
             self.speculative_launched,
             self.speculative_wins,
+            self.mem_rebalances,
+            self.mem_sheds,
+            self.mem_shed_bytes,
+            self.mem_pool_high_water,
+            self.backpressure_stalls,
             self.map_profile.to_json(),
             self.reduce_profile.to_json(),
         ));
@@ -320,6 +340,14 @@ mod tests {
         assert_eq!(summary.get("map_tasks").and_then(Json::as_f64), Some(2.0));
         assert_eq!(summary.get("wall_s").and_then(Json::as_f64), Some(1.5));
         assert!(summary.get("first_early_s").is_some_and(Json::is_null));
+        assert_eq!(
+            summary.get("mem_rebalances").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            summary.get("backpressure_stalls").and_then(Json::as_f64),
+            Some(0.0)
+        );
         assert!(summary
             .get("map_profile")
             .and_then(|p| p.get("phases"))

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use onepass_core::governor::MemoryGovernor;
 use onepass_core::SegmentBuf;
 
 /// A batch of intermediate records for one reducer partition.
@@ -85,26 +86,91 @@ pub enum ShuffleMsg {
     Abort,
 }
 
+/// Pressure-driven shrink of the effective shuffle queue depth.
+///
+/// When the memory governor reports pool utilization above its high-water
+/// fraction, map-side pushes stop filling reducer queues to their full
+/// `channel_depth` and instead wait for them to drain below a shrunken
+/// depth. Reducers under memory pressure are usually pressure *sources*
+/// (large in-flight hash state); slowing the mappers gives the governor's
+/// rebalancing and shedding a chance to act before more segments pile up
+/// — MapReduce Online's "wait until reducers are able to keep up again"
+/// (§III-D), extended from queue-full to memory-pressure.
+#[derive(Clone)]
+struct PressureGate {
+    governor: MemoryGovernor,
+    /// Effective queue depth while over high water.
+    shrunk_depth: usize,
+    stalls: Arc<AtomicU64>,
+}
+
+impl PressureGate {
+    /// Max iterations of the 50µs wait loop per segment (~50ms cap), so a
+    /// stuck governor can never deadlock the map side.
+    const MAX_WAIT_ITERS: u32 = 1000;
+
+    /// Wait (bounded) while the pool is over high water and `sender`'s
+    /// queue is at or above the shrunken depth. Counts at most one stall
+    /// per gated segment.
+    fn admit(&self, sender: &Sender<ShuffleMsg>) {
+        let mut stalled = false;
+        for _ in 0..Self::MAX_WAIT_ITERS {
+            if !self.governor.over_high_water() || sender.len() < self.shrunk_depth {
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
 /// Sending side of the shuffle, shared by all map workers.
 #[derive(Clone)]
 pub struct ShuffleTx {
     senders: Vec<Sender<ShuffleMsg>>,
     bytes: Arc<AtomicU64>,
     segments: Arc<AtomicU64>,
+    pressure: Option<PressureGate>,
 }
 
 impl ShuffleTx {
+    /// Gate map-side pushes on `governor` pool pressure: while utilization
+    /// is over the governor's high-water fraction, pushes treat each
+    /// reducer queue as if its depth were `depth / 8` (min 1). Call before
+    /// cloning the tx out to map workers.
+    pub fn with_pressure(mut self, governor: MemoryGovernor, depth: usize) -> Self {
+        self.pressure = Some(PressureGate {
+            governor,
+            shrunk_depth: (depth / 8).max(1),
+            stalls: Arc::new(AtomicU64::new(0)),
+        });
+        self
+    }
+
     /// Route a segment to its partition's reducer.
     pub fn send_segment(&self, seg: Segment) {
         if seg.is_empty() {
             return;
         }
+        let p = seg.partition;
+        if let Some(gate) = &self.pressure {
+            gate.admit(&self.senders[p]);
+        }
         self.bytes.fetch_add(seg.payload_bytes(), Ordering::Relaxed);
         self.segments.fetch_add(1, Ordering::Relaxed);
-        let p = seg.partition;
         // A send error means the reducer hung up (job aborting); the map
         // worker will notice via its own channel teardown.
         let _ = self.senders[p].send(ShuffleMsg::Segment(seg));
+    }
+
+    /// Map-side sends that stalled at least once on memory pressure.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.pressure
+            .as_ref()
+            .map_or(0, |g| g.stalls.load(Ordering::Relaxed))
     }
 
     /// Announce a completed map task attempt to every reducer.
@@ -150,6 +216,7 @@ pub fn shuffle_fabric(reducers: usize, depth: usize) -> (ShuffleTx, Vec<Receiver
             senders,
             bytes: Arc::new(AtomicU64::new(0)),
             segments: Arc::new(AtomicU64::new(0)),
+            pressure: None,
         },
         receivers,
     )
@@ -222,6 +289,39 @@ mod tests {
         // Empty segments are dropped silently.
         tx.send_segment(seg(0, 0));
         assert_eq!(tx.shuffled_segments(), 1);
+    }
+
+    #[test]
+    fn pressure_gate_stalls_over_high_water_and_releases_under() {
+        use onepass_core::governor::{MemoryGovernor, MemoryPolicy};
+
+        let MemoryPolicy::Adaptive { policy, high_water } = MemoryPolicy::adaptive() else {
+            unreachable!()
+        };
+        let gov = MemoryGovernor::new(1000, policy, high_water);
+        let (tx, rxs) = shuffle_fabric(1, 16);
+        let tx = tx.with_pressure(gov.clone(), 16);
+
+        // Fill the queue past the shrunken depth (16 / 8 = 2) with no
+        // pressure: nothing stalls.
+        for _ in 0..4 {
+            tx.send_segment(seg(0, 1));
+        }
+        assert_eq!(tx.backpressure_stalls(), 0);
+
+        // Push the pool over high water; the next send stalls (bounded)
+        // because the queue is already >= shrunk depth.
+        let lease = gov.lease(900);
+        assert!(lease.grant(900).is_ok());
+        assert!(gov.over_high_water());
+        tx.send_segment(seg(0, 1));
+        assert_eq!(tx.backpressure_stalls(), 1);
+
+        // Release the pressure: sends flow freely again.
+        lease.release(900);
+        tx.send_segment(seg(0, 1));
+        assert_eq!(tx.backpressure_stalls(), 1);
+        assert_eq!(rxs[0].len(), 6);
     }
 
     #[test]

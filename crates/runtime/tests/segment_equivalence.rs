@@ -79,6 +79,9 @@ proptest! {
         fault_seed in any::<u64>(),
         reducers in 1usize..4,
         per_split in 1usize..10,
+        // 0 = static; 1..=4 index the pluggable spill policies, exercising
+        // governor rebalancing + shedding under the same fingerprint check.
+        policy_tag in 0u8..5,
     ) {
         let job = JobSpec::builder("seg-eq")
             .map_fn(Arc::new(word_map))
@@ -100,6 +103,25 @@ proptest! {
         };
         // One seeded map kill + one seeded reduce kill mid-run: the replay
         // path (retained SegmentBuf clones) must reproduce the same bytes.
+        let memory_policy = match policy_tag {
+            0 => MemoryPolicy::Static,
+            1 => MemoryPolicy::Adaptive {
+                policy: policy_by_name("largest-consumer").unwrap(),
+                high_water: 0.85,
+            },
+            2 => MemoryPolicy::Adaptive {
+                policy: policy_by_name("largest-bucket").unwrap(),
+                high_water: 0.75,
+            },
+            3 => MemoryPolicy::Adaptive {
+                policy: policy_by_name("coldest-keys").unwrap(),
+                high_water: 0.85,
+            },
+            _ => MemoryPolicy::Adaptive {
+                policy: policy_by_name("round-robin").unwrap(),
+                high_water: 0.5,
+            },
+        };
         let cfg = EngineConfig::builder()
             .spill(spill)
             .retry(RetryPolicy {
@@ -107,6 +129,7 @@ proptest! {
                 backoff: Duration::ZERO,
             })
             .faults(FaultPlan::seeded(fault_seed, splits.len(), reducers))
+            .memory_policy(memory_policy)
             .build();
         let report = Engine::with_config(cfg).run(&job, splits).unwrap();
 

@@ -69,6 +69,11 @@ pub struct SimJobSpec {
     /// Fault and straggler injection (mirrors the engine's
     /// `RetryPolicy` / `SpeculationConfig` / `FaultPlan`).
     pub faults: SimFaults,
+    /// Mirror of the engine's adaptive memory governor: pool the
+    /// reducer shuffle buffers job-wide, spill only on *global*
+    /// pressure, and pick the largest consumer as the spill victim.
+    /// Default off (per-reducer private caps, the Hadoop behaviour).
+    pub adaptive_memory: bool,
 }
 
 impl SimJobSpec {
@@ -88,6 +93,7 @@ impl SimJobSpec {
             },
             replication: 1,
             faults: SimFaults::default(),
+            adaptive_memory: false,
         }
     }
 }
@@ -928,16 +934,37 @@ impl World {
                     self.res[self.idx.cpu(node)].request(&mut self.q, cpu_s, Action::CpuSink);
                 }
                 self.reducers[reducer].buffered_mb += mb;
-                if self.reducers[reducer].buffered_mb >= self.spec.reduce_mem_mb {
+                // Adaptive governor mirror: skewed reducers borrow slack
+                // from idle siblings, so spills happen only under global
+                // pressure — and hit the largest consumer.
+                let victim = if self.spec.adaptive_memory {
+                    let pool = self.spec.reduce_mem_mb * self.reducers.len() as f64;
+                    let total: f64 = self.reducers.iter().map(|r| r.buffered_mb).sum();
+                    if total >= pool {
+                        (0..self.reducers.len()).max_by(|&a, &b| {
+                            self.reducers[a]
+                                .buffered_mb
+                                .total_cmp(&self.reducers[b].buffered_mb)
+                        })
+                    } else {
+                        None
+                    }
+                } else if self.reducers[reducer].buffered_mb >= self.spec.reduce_mem_mb {
+                    Some(reducer)
+                } else {
+                    None
+                };
+                if let Some(victim) = victim {
                     let spill_mb =
-                        self.reducers[reducer].buffered_mb * self.spec.workload.reduce_spill_ratio;
-                    self.reducers[reducer].buffered_mb = 0.0;
-                    self.reducers[reducer].pending_spills += 1;
-                    self.res[self.idx.inter_disk(node)].request(
+                        self.reducers[victim].buffered_mb * self.spec.workload.reduce_spill_ratio;
+                    self.reducers[victim].buffered_mb = 0.0;
+                    self.reducers[victim].pending_spills += 1;
+                    let vnode = self.reducers[victim].node;
+                    self.res[self.idx.inter_disk(vnode)].request(
                         &mut self.q,
                         spill_mb,
                         Action::SpillWritten {
-                            reducer,
+                            reducer: victim,
                             mb: spill_mb,
                         },
                     );
@@ -1498,6 +1525,26 @@ mod tests {
             hadoop.spill_written_mb
         );
         assert_eq!(hash.merge_read_mb_background(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_memory_pools_reducer_buffers() {
+        let cluster = ClusterSpec::paper_cluster(StorageConfig::SingleHdd);
+        let workload = WorkloadProfile::sessionization().scaled(0.05);
+        let mut spec = SimJobSpec::new(SystemType::StockHadoop, cluster, workload);
+        spec.reduce_mem_mb = 20.0;
+        let static_r = run_sim_job(spec.clone());
+        spec.adaptive_memory = true;
+        let adaptive_r = run_sim_job(spec);
+        assert!(adaptive_r.completion_secs > 0.0);
+        assert_eq!(adaptive_r.map_tasks, static_r.map_tasks);
+        // Pooling buffer slack can only defer spills, never add them.
+        assert!(
+            adaptive_r.spill_written_mb <= static_r.spill_written_mb + 1e-6,
+            "pooled buffers spilled more: {} vs {}",
+            adaptive_r.spill_written_mb,
+            static_r.spill_written_mb
+        );
     }
 
     #[test]

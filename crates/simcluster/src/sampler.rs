@@ -13,7 +13,7 @@ use crate::engine::{to_secs, SimTime, SECOND};
 /// The gauges the figures need.
 ///
 /// Array-backed storage indexes by the discriminant itself
-/// ([`Gauge::idx`] is `self as usize`), so variants must stay densely
+/// (`Gauge::idx` is `self as usize`), so variants must stay densely
 /// numbered from 0 — which the compiler guarantees for a plain
 /// fieldless enum. A unit test pins `idx` ↔ [`Gauge::all`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -4,12 +4,15 @@
 //! ```text
 //! onepass run <workload> [--system hadoop|hop|onepass] [--records N]
 //!              [--reducers R] [--budget-kb K]
+//!              [--mem-policy static|largest-consumer|largest-bucket|coldest-keys|round-robin]
+//!              [--mem-high-water F]
 //!              [--retries N] [--backoff-ms MS] [--speculate]
 //!              [--kill-map T] [--kill-reduce P] [--straggle-map T:MS]
 //!              [--fault-seed S]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass sim <workload> [--system hadoop|hop|onepass]
 //!              [--storage single-hdd|hdd+ssd|separated] [--scale F]
+//!              [--adaptive-memory]
 //!              [--kill-map T] [--kill-reduce P] [--straggle-map T:X]
 //!              [--speculate]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
@@ -26,6 +29,12 @@
 //! `--straggle-map T:X` slows the task (a delay in ms on the engine, a
 //! compute multiplier in the sim) so `--speculate` has something to
 //! race; `--retries` defaults to 3 whenever a fault flag is present.
+//!
+//! Memory governance: `--mem-policy <policy>` pools the reduce budgets
+//! under the adaptive governor with the named spill policy (`static`,
+//! the default, keeps fixed private budgets); `--mem-high-water F` sets
+//! the pool fraction above which map-side pushes backpressure. The sim
+//! mirrors the governor with `--adaptive-memory`.
 //!
 //! Workloads: sessionization, page-frequency, per-user-count,
 //! inverted-index.
@@ -44,11 +53,12 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          onepass run <workload> [--system hadoop|hop|onepass] [--records N] [--reducers R] [--budget-kb K]\n  \
+         \x20           [--mem-policy static|largest-consumer|largest-bucket|coldest-keys|round-robin] [--mem-high-water F]\n  \
          \x20           [--retries N] [--backoff-ms MS] [--speculate] [--kill-map T] [--kill-reduce P]\n  \
          \x20           [--straggle-map T:MS] [--fault-seed S]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
-         \x20           [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
+         \x20           [--adaptive-memory] [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass workloads\n\n\
          workloads: sessionization | page-frequency | per-user-count | inverted-index"
@@ -165,8 +175,23 @@ fn cmd_run(args: &[String]) {
         .unwrap_or(0);
     let speculate = switch(args, "speculate");
 
+    let memory_policy = match flag(args, "mem-policy").as_deref() {
+        None | Some("static") => MemoryPolicy::Static,
+        Some(name) => {
+            let Some(policy) = policy_by_name(name) else {
+                eprintln!("unknown --mem-policy {name:?}");
+                usage();
+            };
+            let high_water = flag(args, "mem-high-water")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(onepass_core::governor::DEFAULT_HIGH_WATER);
+            MemoryPolicy::Adaptive { policy, high_water }
+        }
+    };
+
     let mut config = EngineConfig::builder()
         .tracer(tracer.clone())
+        .memory_policy(memory_policy)
         .retry(RetryPolicy {
             max_attempts: retries.max(1),
             backoff: Duration::from_millis(backoff_ms),
@@ -232,6 +257,16 @@ fn cmd_run(args: &[String]) {
     }
     let sort = report.map_profile.time(Phase::MapSort);
     println!("map sort cpu:      {}", fmt_secs(sort.as_secs_f64()));
+    if report.mem_rebalances > 0 || report.mem_sheds > 0 || report.backpressure_stalls > 0 {
+        println!(
+            "mem governance:    {} rebalances, {} sheds ({} requested), {} push stalls, pool peak {}",
+            report.mem_rebalances,
+            report.mem_sheds,
+            fmt_bytes(report.mem_shed_bytes),
+            report.backpressure_stalls,
+            fmt_bytes(report.mem_pool_high_water)
+        );
+    }
 }
 
 fn cmd_sim(args: &[String]) {
@@ -285,6 +320,7 @@ fn cmd_sim(args: &[String]) {
         spec.faults.map_stragglers.push((t, f));
     }
     spec.faults.speculation = switch(args, "speculate");
+    spec.adaptive_memory = switch(args, "adaptive-memory");
     let r = run_sim_job_traced(spec, tracer.clone());
 
     if let Some(path) = &trace_out {

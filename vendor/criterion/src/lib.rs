@@ -5,11 +5,15 @@
 //! `iter_batched`, throughput annotations) over a simple wall-clock
 //! harness: each benchmark is calibrated to a target sample duration,
 //! run for `sample_size` samples, and reported as the median per-iteration
-//! time with min/max spread. No statistical regression analysis, plots,
-//! or saved baselines — numbers print to stdout and are good enough for
-//! relative comparisons on a quiet machine.
+//! time with min/max spread. There is no statistical regression analysis
+//! or plotting, but `--save-baseline NAME` (the flag CI's perf gate
+//! passes) is honoured: every measured median is appended as a JSON line
+//! to `${CRITERION_HOME:-target/criterion}/NAME.json`, together with a
+//! deterministic calibration-anchor time that lets a checker normalise
+//! away machine-speed differences (see the workspace's `exp_benchdiff`).
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from discarding a computed value.
@@ -162,7 +166,90 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Medians recorded this process, drained by [`finalize`].
+fn recorded() -> &'static Mutex<Vec<(String, u128, u128)>> {
+    static RECORDS: OnceLock<Mutex<Vec<(String, u128, u128)>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Deterministic calibration anchor: a fixed integer spin whose wall time
+/// scales with single-core machine speed. Baselines record it alongside
+/// each median so a checker can compare `median / calibration` ratios
+/// across machines instead of raw nanoseconds. Minimum of several runs to
+/// shave scheduler noise.
+pub fn calibration_anchor_ns() -> u128 {
+    fn spin() -> u64 {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..2_000_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    }
+    let mut best = u128::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        black_box(spin());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best.max(1)
+}
+
+/// Honour `--save-baseline NAME` (appended by `criterion_main!`): append
+/// every recorded benchmark median as a JSON line to
+/// `${CRITERION_HOME:-target/criterion}/NAME.json`. Append (not
+/// overwrite) so the several bench binaries of one `cargo bench` sweep
+/// accumulate into a single baseline file.
+pub fn finalize() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(at) = args.iter().position(|a| a == "--save-baseline") else {
+        return;
+    };
+    let Some(name) = args.get(at + 1) else {
+        eprintln!("--save-baseline needs a name; baseline not saved");
+        return;
+    };
+    let dir = std::env::var("CRITERION_HOME").unwrap_or_else(|_| "target/criterion".into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create baseline dir {dir}: {e}");
+        return;
+    }
+    let calibration = calibration_anchor_ns();
+    let mut out = String::new();
+    for (bench, median_ns, min_ns) in recorded().lock().unwrap().drain(..) {
+        out.push_str(&format!(
+            "{{\"bench\":{:?},\"median_ns\":{median_ns},\"min_ns\":{min_ns},\
+             \"calibration_ns\":{calibration}}}\n",
+            bench
+        ));
+    }
+    let path = format!("{dir}/{name}.json");
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(out.as_bytes()) {
+                eprintln!("cannot write baseline {path}: {e}");
+            } else {
+                println!("baseline appended to {path}");
+            }
+        }
+        Err(e) => eprintln!("cannot open baseline {path}: {e}"),
+    }
+}
+
 fn report(path: &str, b: &Bencher, throughput: Option<Throughput>) {
+    recorded().lock().unwrap().push((
+        path.to_string(),
+        b.last_median.as_nanos(),
+        // The sample minimum: far less scheduler-noise-sensitive than the
+        // median, so the perf gate compares minima.
+        b.last_spread.0.as_nanos(),
+    ));
     let rate = throughput.map(|t| {
         let per_sec = match t {
             Throughput::Elements(n) => (n as f64 / b.last_median.as_secs_f64(), "elem/s"),
@@ -286,6 +373,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -299,6 +387,25 @@ mod tests {
         let mut b = Bencher::new(3);
         b.iter(|| (0..100u64).sum::<u64>());
         assert!(b.last_median > Duration::ZERO || b.iters_per_sample > 1);
+    }
+
+    #[test]
+    fn benchmarks_are_recorded_for_baselines() {
+        let mut c = Criterion::default();
+        c.bench_function("recorded/one", |b| b.iter(|| black_box(2u64) * 3));
+        let records = recorded().lock().unwrap();
+        assert!(records.iter().any(|(name, _, _)| name == "recorded/one"));
+    }
+
+    #[test]
+    fn calibration_anchor_is_positive_and_stable() {
+        let a = calibration_anchor_ns();
+        let b = calibration_anchor_ns();
+        assert!(a > 0 && b > 0);
+        // Same machine, back to back: within 8x of each other (the anchor
+        // only needs to absorb cross-machine differences, which are far
+        // larger than scheduler noise).
+        assert!(a / 8 <= b && b / 8 <= a, "anchor unstable: {a} vs {b}");
     }
 
     #[test]

@@ -101,6 +101,17 @@ pub mod channel {
                 st = self.shared.not_full.wait(st).unwrap();
             }
         }
+
+        /// Number of messages currently queued (send-side view, used by
+        /// backpressure gates that must not consume from the channel).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {

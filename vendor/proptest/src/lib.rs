@@ -8,6 +8,14 @@
 //! so failures reproduce across runs. There is **no shrinking**: a
 //! failing case reports its case index and panics with the generated
 //! message instead of minimizing the input.
+//!
+//! Two pieces of upstream behaviour the CI deep-fuzz job relies on are
+//! implemented: the `PROPTEST_CASES` environment variable overrides the
+//! configured case count (nightly runs crank it to thousands), and a
+//! failing property persists a reproduction note under
+//! `proptest-regressions/<test>.txt` (or `$PROPTEST_REGRESSIONS/`) that
+//! CI uploads as an artifact. Because generation is deterministic by test
+//! name, the note records the case count needed to replay the failure.
 
 pub mod test_runner {
     //! Config, error type, and the deterministic RNG driving generation.
@@ -35,6 +43,49 @@ pub mod test_runner {
             // while still exploring a useful slice of the input space.
             ProptestConfig { cases: 64 }
         }
+    }
+
+    /// Effective case count: the `PROPTEST_CASES` environment variable
+    /// (upstream-compatible) overrides the configured count when set to a
+    /// positive integer. CI's nightly deep-fuzz job uses this to run the
+    /// same properties at thousands of cases without a code change.
+    pub fn resolve_cases(configured: u32) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or(configured),
+            Err(_) => configured,
+        }
+    }
+
+    /// Persist a failure reproduction note, mirroring upstream's
+    /// `proptest-regressions/` files. Ours records the deterministic
+    /// replay recipe (test name seeds the RNG; the case index pins the
+    /// failing input) instead of a seed blob. Returns the path written,
+    /// if the write succeeded.
+    pub fn persist_regression(test: &str, case: u32, cases: u32, msg: &str) -> Option<String> {
+        let dir =
+            std::env::var("PROPTEST_REGRESSIONS").unwrap_or_else(|_| "proptest-regressions".into());
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = format!("{dir}/{test}.txt");
+        let note = format!(
+            "# {test}: case {case} of {cases} failed.\n\
+             # Generation is deterministic by test name; replay with:\n\
+             #   PROPTEST_CASES={cases} cargo test {test}\n\
+             cc case={case} cases={cases} msg={}\n",
+            msg.lines().next().unwrap_or(""),
+        );
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .ok()?;
+        f.write_all(note.as_bytes()).ok()?;
+        Some(path)
     }
 
     /// A failed property case (carries the formatted assertion message).
@@ -230,7 +281,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,
@@ -340,8 +391,9 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
             let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(
                     let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
                 )+
@@ -354,12 +406,24 @@ macro_rules! __proptest_impl {
                     ::core::result::Result::Ok(())
                 })();
                 if let ::core::result::Result::Err(e) = outcome {
-                    panic!(
-                        "proptest case {}/{} of `{}` failed: {}",
-                        case + 1,
-                        config.cases,
+                    let msg = e.to_string();
+                    let persisted = $crate::test_runner::persist_regression(
                         stringify!($name),
-                        e
+                        case + 1,
+                        cases,
+                        &msg,
+                    );
+                    panic!(
+                        "proptest case {}/{} of `{}` failed{}: {}",
+                        case + 1,
+                        cases,
+                        stringify!($name),
+                        match &persisted {
+                            ::core::option::Option::Some(p) =>
+                                format!(" (regression persisted to {p})"),
+                            ::core::option::Option::None => ::std::string::String::new(),
+                        },
+                        msg
                     );
                 }
             }
@@ -397,6 +461,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest case")]
     fn failing_property_panics_with_case_info() {
+        // Keep the failure's regression note out of the source tree.
+        std::env::set_var(
+            "PROPTEST_REGRESSIONS",
+            std::env::temp_dir().join("proptest-stub-selftest"),
+        );
         proptest! {
             #[allow(unused)]
             fn always_fails(x in 0u8..4) {
@@ -404,5 +473,31 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        assert_eq!(crate::test_runner::resolve_cases(64), 64);
+        std::env::set_var("PROPTEST_CASES", "128");
+        assert_eq!(crate::test_runner::resolve_cases(64), 128);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(crate::test_runner::resolve_cases(64), 64);
+        std::env::remove_var("PROPTEST_CASES");
+    }
+
+    #[test]
+    fn regression_note_is_persisted_with_replay_recipe() {
+        // Same dir as `failing_property_panics_with_case_info` (tests share
+        // the process environment; never unset, to avoid racing it into
+        // writing inside the source tree).
+        std::env::set_var(
+            "PROPTEST_REGRESSIONS",
+            std::env::temp_dir().join("proptest-stub-selftest"),
+        );
+        let path = crate::test_runner::persist_regression("some_prop", 7, 99, "boom\nmore")
+            .expect("persist failed");
+        let note = std::fs::read_to_string(&path).unwrap();
+        assert!(note.contains("case=7 cases=99 msg=boom"));
+        assert!(note.contains("PROPTEST_CASES=99 cargo test some_prop"));
     }
 }

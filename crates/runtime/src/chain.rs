@@ -12,11 +12,11 @@
 //! finals); collect them from each stage's report if needed.
 
 use onepass_core::error::{Error, Result};
-use onepass_groupby::EmitKind;
 
 use crate::driver::Engine;
 use crate::job::JobSpec;
 use crate::map_task::Split;
+use crate::plan::{Plan, PlanConfig, PlanMode};
 use crate::report::JobReport;
 
 /// Encode a `(key, value)` pair as a chain record:
@@ -60,6 +60,11 @@ impl Default for ChainConfig {
 /// collect output ([`CollectOutput::Collect`](crate::job::CollectOutput)),
 /// since its finals feed the next stage. Returns each stage's report, in
 /// order.
+///
+/// This is a thin wrapper over the plan layer: the chain becomes a
+/// [`Plan::linear`] executed in [`PlanMode::Barrier`], preserving the
+/// historical materialize-then-re-split semantics. Build a [`Plan`]
+/// directly for DAG topologies or pipelined inter-stage edges.
 pub fn run_chain(
     engine: &Engine,
     jobs: &[JobSpec],
@@ -81,32 +86,21 @@ pub fn run_chain(
         }
     }
 
-    let mut reports = Vec::with_capacity(jobs.len());
-    let mut splits = input;
-    for (i, job) in jobs.iter().enumerate() {
-        let report = engine.run(job, std::mem::take(&mut splits))?;
-        if i + 1 < jobs.len() {
-            let records: Vec<Vec<u8>> = report
-                .outputs
-                .iter()
-                .filter(|o| o.kind == EmitKind::Final)
-                .map(|o| encode_pair(&o.key, &o.value))
-                .collect();
-            splits = records
-                .chunks(config.records_per_split.max(1))
-                .map(|c| Split::new(c.to_vec()))
-                .collect();
-        }
-        reports.push(report);
-    }
-    Ok(reports)
+    let plan = Plan::linear(jobs.to_vec())?;
+    let plan_config = PlanConfig {
+        mode: PlanMode::Barrier,
+        records_per_split: config.records_per_split,
+        ..Default::default()
+    };
+    let report = engine.run_plan(&plan, input, &plan_config)?;
+    Ok(report.stages.into_iter().map(|s| s.report).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::job::{MapEmitter, ReduceBackend};
-    use onepass_groupby::SumAgg;
+    use onepass_groupby::{EmitKind, SumAgg};
     use std::collections::BTreeMap;
     use std::sync::Arc;
 

@@ -1,8 +1,11 @@
-//! The engine driver: schedules map tasks over a worker pool, wires the
-//! shuffle, runs one reduce task per partition, and assembles the job
-//! report. Thread fan-out uses crossbeam scoped threads; all inter-task
-//! communication is channel-based (no shared mutable state beyond the
-//! spill stores' atomic counters).
+//! The engine facade: public configuration types ([`EngineConfig`] and
+//! friends) and the [`Engine`] entry point. The actual machinery lives in
+//! two focused layers: `scheduler` (task queues, retries,
+//! speculation) and `executor` (worker pools, shuffle wiring,
+//! shared spill/governor services, report assembly). Thread fan-out uses
+//! crossbeam scoped threads; all inter-task communication is
+//! channel-based (no shared mutable state beyond the spill stores' atomic
+//! counters).
 //!
 //! # Fault tolerance
 //!
@@ -26,25 +29,18 @@
 //! attempts, broadcasts [`ShuffleMsg::Abort`](crate::shuffle::ShuffleMsg)
 //! so reducers unblock, and returns the original error — it never hangs.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, RecvTimeoutError};
-
-use onepass_core::error::{Error, Result};
+use onepass_core::error::Result;
 use onepass_core::fault::{FaultInjector, FaultPlan};
-use onepass_core::governor::{MemoryGovernor, MemoryPolicy};
-use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
-use onepass_core::memory::MemoryBudget;
-use onepass_core::trace::{Tracer, Track};
-use onepass_groupby::{EmitKind, Sink};
+use onepass_core::governor::MemoryPolicy;
+use onepass_core::trace::Tracer;
 
+use crate::executor;
 use crate::job::JobSpec;
-use crate::map_task::{run_map_task, MapAttemptCtx, MapTaskStats, Split};
-use crate::reduce_task::{panic_message, run_reduce_task_ft, ReduceResult, ReduceRetryOpts};
-use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
-use crate::shuffle::shuffle_fabric;
+use crate::map_task::Split;
+use crate::report::JobReport;
+use crate::scheduler::SplitFeed;
 
 /// Where spill runs live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,7 +165,8 @@ pub struct EngineConfig {
     /// Reduce-side memory governance. [`MemoryPolicy::Static`] (default)
     /// gives every reduce task a fixed private budget of
     /// `job.reduce_budget_bytes`. [`MemoryPolicy::Adaptive`] pools
-    /// `reduce_budget_bytes × reducers` under a [`MemoryGovernor`] that
+    /// `reduce_budget_bytes × reducers` under a
+    /// [`MemoryGovernor`](onepass_core::governor::MemoryGovernor) that
     /// rebalances lease limits between concurrent reducers, picks spill
     /// victims via the configured policy under global pressure, and gates
     /// map-side shuffle pushes above the high-water fraction.
@@ -266,41 +263,6 @@ impl EngineConfigBuilder {
     }
 }
 
-/// One unit of map work handed to a worker.
-struct MapAssignment {
-    task: usize,
-    attempt: usize,
-    speculative: bool,
-    split: Arc<Split>,
-    cancel: Arc<AtomicBool>,
-    /// Retry backoff, slept by the worker so the coordinator never blocks.
-    delay: Duration,
-}
-
-/// Worker → coordinator notifications.
-enum MapEvent {
-    Started {
-        task: usize,
-        attempt: usize,
-        at: Duration,
-    },
-    Finished {
-        task: usize,
-        attempt: usize,
-        speculative: bool,
-        span: TaskSpan,
-        result: Result<MapTaskStats>,
-    },
-}
-
-/// A map attempt the coordinator believes is queued or running.
-struct RunningAttempt {
-    attempt: usize,
-    started: Option<Duration>,
-    cancel: Arc<AtomicBool>,
-    speculative: bool,
-}
-
 /// The MapReduce engine.
 #[derive(Debug, Default)]
 pub struct Engine {
@@ -318,531 +280,24 @@ impl Engine {
         Engine { config }
     }
 
-    fn make_store(&self) -> Result<Arc<dyn SpillStore>> {
-        Ok(match self.config.spill {
-            SpillBackend::Memory => Arc::new(SharedMemStore::new()),
-            SpillBackend::TempFiles => Arc::new(FileSpillStore::temp()?),
-        })
+    /// The engine's configuration (used by the plan layer to run stages
+    /// through the shared executor).
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Run `job` over `splits` (one map task per split) and return the
     /// report.
     pub fn run(&self, job: &JobSpec, splits: Vec<Split>) -> Result<JobReport> {
-        job.validate()?;
-        let retry = self.config.retry;
-        if retry.max_attempts == 0 {
-            return Err(Error::Config("retry.max_attempts must be >= 1".into()));
-        }
-        let spec = self.config.speculation;
-        let injector = self.config.faults.clone();
-        // Attempt-aware shuffle dedup is only needed when a map task can
-        // run more than once; otherwise reducers keep the eager
-        // commit-on-arrival fast path.
-        let ft_active = retry.max_attempts > 1 || spec.enabled || injector.is_active();
-
-        let start = Instant::now();
-        let splits: Vec<Arc<Split>> = splits.into_iter().map(Arc::new).collect();
-        let total_map_tasks = splits.len();
-        let (shuffle_tx, shuffle_rxs) = shuffle_fabric(job.reducers, self.config.channel_depth);
-
-        // Adaptive governance: pool the per-reducer budgets job-wide and
-        // gate map pushes on pool pressure. Static keeps the seed
-        // behaviour: a fixed private budget per reduce attempt.
-        let governor = match &self.config.memory_policy {
-            MemoryPolicy::Static => None,
-            MemoryPolicy::Adaptive { policy, high_water } => Some(MemoryGovernor::new(
-                job.reduce_budget_bytes.saturating_mul(job.reducers.max(1)),
-                Arc::clone(policy),
-                *high_water,
-            )),
-        };
-        let shuffle_tx = match &governor {
-            Some(g) => shuffle_tx.with_pressure(g.clone(), self.config.channel_depth),
-            None => shuffle_tx,
-        };
-
-        // Map-side persistence store (shared; only totals are read).
-        let map_store = if self.config.persist_map_output.is_persist() {
-            Some(self.make_store()?)
-        } else {
-            None
-        };
-        let spill = self.config.spill;
-
-        // Work queue + event stream between coordinator and map workers.
-        let (task_tx, task_rx) = unbounded::<MapAssignment>();
-        let (evt_tx, evt_rx) = unbounded::<MapEvent>();
-        let (red_res_tx, red_res_rx) = unbounded::<Result<(ReduceResult, TaskSpan, TimedSink)>>();
-
-        let tracer = &self.config.tracer;
-        let mut driver_trace = tracer.local(Track::new("driver", 0));
-        driver_trace.begin("job", "job");
-
-        // Coordinator results, filled inside the scope.
-        let mut map_results: Vec<(MapTaskStats, TaskSpan)> = Vec::with_capacity(total_map_tasks);
-        let mut extra_spans: Vec<TaskSpan> = Vec::new();
-        let mut map_attempts = 0usize;
-        let mut failed_attempts = 0usize;
-        let mut speculative_launched = 0usize;
-        let mut speculative_wins = 0usize;
-        let mut fatal: Option<Error> = None;
-
-        crossbeam::thread::scope(|scope| {
-            // Map workers.
-            for _ in 0..self.config.map_workers.max(1) {
-                let task_rx = task_rx.clone();
-                let shuffle_tx = shuffle_tx.clone();
-                let evt_tx = evt_tx.clone();
-                let map_store = map_store.clone();
-                let injector = injector.clone();
-                scope.spawn(move |_| {
-                    while let Ok(asg) = task_rx.recv() {
-                        if !asg.delay.is_zero() {
-                            std::thread::sleep(asg.delay);
-                        }
-                        let MapAssignment {
-                            task,
-                            attempt,
-                            speculative,
-                            split,
-                            cancel,
-                            ..
-                        } = asg;
-                        let t0 = start.elapsed();
-                        let _ = evt_tx.send(MapEvent::Started {
-                            task,
-                            attempt,
-                            at: t0,
-                        });
-                        let mut trace = tracer.local(Track::new("map", task as u64));
-                        trace.begin("map_task", "task");
-                        let ctx = MapAttemptCtx {
-                            attempt,
-                            injector: injector.clone(),
-                            cancel: Some(cancel),
-                        };
-                        // A panicking map function is a task failure, not
-                        // an engine failure: convert it to Err so the
-                        // retry budget applies.
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_map_task(
-                                job,
-                                task,
-                                &split,
-                                &shuffle_tx,
-                                map_store.as_ref(),
-                                &mut trace,
-                                &ctx,
-                            )
-                        }))
-                        .unwrap_or_else(|p| {
-                            Err(Error::InvalidState(format!(
-                                "map task panicked: {}",
-                                panic_message(p.as_ref())
-                            )))
-                        });
-                        trace.end("map_task", "task");
-                        drop(trace);
-                        let span = TaskSpan {
-                            kind: TaskKind::Map,
-                            id: task,
-                            attempt,
-                            start: t0,
-                            end: start.elapsed(),
-                        };
-                        let _ = evt_tx.send(MapEvent::Finished {
-                            task,
-                            attempt,
-                            speculative,
-                            span,
-                            result,
-                        });
-                    }
-                });
-            }
-            drop(evt_tx);
-
-            // Reduce workers, one per partition.
-            for (partition, rx) in shuffle_rxs.into_iter().enumerate() {
-                let red_res_tx = red_res_tx.clone();
-                let injector = injector.clone();
-                let governor = governor.clone();
-                scope.spawn(move |_| {
-                    let mut trace = tracer.local(Track::new("reduce", partition as u64));
-                    trace.begin("reduce_task", "task");
-                    let t0 = start.elapsed();
-                    let mut sink = TimedSink::new(start, job.collect_output.is_collect());
-                    // Each reduce attempt gets a fresh store + budget, so
-                    // state a failed attempt abandoned can never starve or
-                    // corrupt its successor.
-                    let mut resources = || -> Result<(Arc<dyn SpillStore>, MemoryBudget)> {
-                        let store: Arc<dyn SpillStore> = match spill {
-                            SpillBackend::Memory => Arc::new(SharedMemStore::new()),
-                            SpillBackend::TempFiles => Arc::new(FileSpillStore::temp()?),
-                        };
-                        // Under the governor, a retry's fresh lease starts
-                        // back at the nominal share; whatever the failed
-                        // attempt was holding drained back to the pool
-                        // when its budget dropped.
-                        let budget = match &governor {
-                            Some(g) => g.lease(job.reduce_budget_bytes),
-                            None => MemoryBudget::new(job.reduce_budget_bytes),
-                        };
-                        Ok((store, budget))
-                    };
-                    let opts = ReduceRetryOpts {
-                        max_attempts: retry.max_attempts,
-                        backoff: retry.backoff,
-                        dedup_attempts: ft_active,
-                        injector,
-                    };
-                    let res = run_reduce_task_ft(
-                        job,
-                        partition,
-                        &rx,
-                        total_map_tasks,
-                        &mut resources,
-                        &mut sink,
-                        &mut trace,
-                        &opts,
-                    );
-                    let attempt = res
-                        .as_ref()
-                        .map_or(retry.max_attempts.saturating_sub(1), |r| r.attempts - 1);
-                    let span = TaskSpan {
-                        kind: TaskKind::Reduce,
-                        id: partition,
-                        attempt,
-                        start: t0,
-                        end: start.elapsed(),
-                    };
-                    trace.end("reduce_task", "task");
-                    drop(trace);
-                    let _ = red_res_tx.send(res.map(|r| (r, span, sink)));
-                });
-            }
-            drop(red_res_tx);
-
-            // ---- Map coordinator (this thread). ----
-            let mut running: Vec<Vec<RunningAttempt>> =
-                (0..total_map_tasks).map(|_| Vec::new()).collect();
-            let mut completed: Vec<bool> = vec![false; total_map_tasks];
-            let mut completed_count = 0usize;
-            let mut durations: Vec<Duration> = Vec::new();
-            let mut next_attempt: Vec<usize> = vec![1; total_map_tasks];
-            let mut spec_cloned: Vec<bool> = vec![false; total_map_tasks];
-            let mut outstanding = 0usize;
-
-            for (task, split) in splits.iter().enumerate() {
-                let cancel = Arc::new(AtomicBool::new(false));
-                running[task].push(RunningAttempt {
-                    attempt: 0,
-                    started: None,
-                    cancel: Arc::clone(&cancel),
-                    speculative: false,
-                });
-                let _ = task_tx.send(MapAssignment {
-                    task,
-                    attempt: 0,
-                    speculative: false,
-                    split: Arc::clone(split),
-                    cancel,
-                    delay: Duration::ZERO,
-                });
-                outstanding += 1;
-            }
-
-            while outstanding > 0 {
-                let evt = if spec.enabled {
-                    match evt_rx.recv_timeout(spec.poll) {
-                        Ok(e) => Some(e),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                } else {
-                    match evt_rx.recv() {
-                        Ok(e) => Some(e),
-                        Err(_) => break,
-                    }
-                };
-
-                match evt {
-                    None => {} // poll tick: fall through to straggler scan
-                    Some(MapEvent::Started { task, attempt, at }) => {
-                        if let Some(r) = running[task].iter_mut().find(|r| r.attempt == attempt) {
-                            r.started = Some(at);
-                        }
-                    }
-                    Some(MapEvent::Finished {
-                        task,
-                        attempt,
-                        speculative,
-                        span,
-                        result,
-                    }) => {
-                        outstanding -= 1;
-                        map_attempts += 1;
-                        running[task].retain(|r| r.attempt != attempt);
-                        match result {
-                            Ok(stats) => {
-                                if completed[task] {
-                                    // A raced twin also finished; reducers
-                                    // committed only one of them.
-                                    extra_spans.push(span);
-                                } else {
-                                    completed[task] = true;
-                                    completed_count += 1;
-                                    durations.push(span.end.saturating_sub(span.start));
-                                    if speculative {
-                                        speculative_wins += 1;
-                                    }
-                                    // First finisher wins: cancel twins.
-                                    for r in &running[task] {
-                                        r.cancel.store(true, Ordering::Relaxed);
-                                    }
-                                    map_results.push((stats, span));
-                                }
-                            }
-                            Err(Error::Cancelled) => {
-                                // Benign: the driver told it to stop.
-                                extra_spans.push(span);
-                            }
-                            Err(e) => {
-                                failed_attempts += 1;
-                                extra_spans.push(span);
-                                driver_trace.instant(
-                                    "task_failed",
-                                    "fault",
-                                    &[("task", task as f64), ("attempt", attempt as f64)],
-                                );
-                                if completed[task] || fatal.is_some() {
-                                    // Another attempt already delivered the
-                                    // task (or the job is going down);
-                                    // nothing to recover.
-                                } else if next_attempt[task] < retry.max_attempts {
-                                    let a = next_attempt[task];
-                                    next_attempt[task] += 1;
-                                    driver_trace.instant(
-                                        "retry",
-                                        "fault",
-                                        &[("task", task as f64), ("attempt", a as f64)],
-                                    );
-                                    let cancel = Arc::new(AtomicBool::new(false));
-                                    running[task].push(RunningAttempt {
-                                        attempt: a,
-                                        started: None,
-                                        cancel: Arc::clone(&cancel),
-                                        speculative: false,
-                                    });
-                                    let _ = task_tx.send(MapAssignment {
-                                        task,
-                                        attempt: a,
-                                        speculative: false,
-                                        split: Arc::clone(&splits[task]),
-                                        cancel,
-                                        delay: retry.backoff,
-                                    });
-                                    outstanding += 1;
-                                } else {
-                                    // Budget exhausted: fail the job, but
-                                    // keep draining outstanding attempts
-                                    // so no thread is left blocked.
-                                    fatal = Some(e);
-                                    for rs in &running {
-                                        for r in rs {
-                                            r.cancel.store(true, Ordering::Relaxed);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-
-                // Straggler scan: clone slow first attempts once a median
-                // over completed tasks exists.
-                if spec.enabled
-                    && fatal.is_none()
-                    && completed_count >= spec.min_completed.max(1)
-                    && completed_count < total_map_tasks
-                {
-                    let mut sorted = durations.clone();
-                    sorted.sort_unstable();
-                    let median = sorted[sorted.len() / 2];
-                    // Floor the threshold so micro-benchmark medians don't
-                    // flag everything as slow.
-                    let threshold = median
-                        .mul_f64(spec.slow_factor)
-                        .max(Duration::from_millis(1));
-                    let now = start.elapsed();
-                    for task in 0..total_map_tasks {
-                        if completed[task] || spec_cloned[task] {
-                            continue;
-                        }
-                        let Some(orig) = running[task].iter().find(|r| !r.speculative) else {
-                            continue;
-                        };
-                        let Some(started_at) = orig.started else {
-                            continue; // still queued, not slow
-                        };
-                        if now.saturating_sub(started_at) <= threshold {
-                            continue;
-                        }
-                        spec_cloned[task] = true;
-                        speculative_launched += 1;
-                        let a = next_attempt[task];
-                        next_attempt[task] += 1;
-                        driver_trace.instant(
-                            "speculate",
-                            "fault",
-                            &[("task", task as f64), ("attempt", a as f64)],
-                        );
-                        let cancel = Arc::new(AtomicBool::new(false));
-                        running[task].push(RunningAttempt {
-                            attempt: a,
-                            started: None,
-                            cancel: Arc::clone(&cancel),
-                            speculative: true,
-                        });
-                        let _ = task_tx.send(MapAssignment {
-                            task,
-                            attempt: a,
-                            speculative: true,
-                            split: Arc::clone(&splits[task]),
-                            cancel,
-                            delay: Duration::ZERO,
-                        });
-                        outstanding += 1;
-                    }
-                }
-            }
-
-            // All attempts drained. Shut the workers down; on failure,
-            // unblock reducers still waiting for MapDones that will never
-            // arrive.
-            drop(task_tx);
-            if fatal.is_some() {
-                shuffle_tx.abort();
-            }
+        executor::execute(executor::ExecParams {
+            config: &self.config,
+            job,
+            feed: SplitFeed::Fixed(splits),
+            clock: Instant::now(),
+            tap: None,
+            governor: None,
+            track_offset: 0,
         })
-        .map_err(|_| Error::InvalidState("engine worker panicked".into()))?;
-
-        driver_trace.end("job", "job");
-        drop(driver_trace);
-
-        if let Some(e) = fatal {
-            return Err(e);
-        }
-
-        // Assemble the report.
-        let mut report = JobReport {
-            name: job.name.clone(),
-            backend: job.backend.label().to_string(),
-            ..Default::default()
-        };
-        for (stats, span) in &map_results {
-            report.absorb_map(stats);
-            report.task_spans.push(*span);
-        }
-        report.task_spans.extend(extra_spans);
-        report.map_attempts = map_attempts;
-        report.failed_attempts = failed_attempts;
-        report.speculative_launched = speculative_launched;
-        report.speculative_wins = speculative_wins;
-        if report.map_tasks != total_map_tasks {
-            return Err(Error::InvalidState(format!(
-                "expected {total_map_tasks} map results, got {}",
-                report.map_tasks
-            )));
-        }
-        let mut early_total = 0u64;
-        for res in red_res_rx.iter() {
-            let (result, span, sink) = res?;
-            report.absorb_reduce(&result);
-            report.task_spans.push(span);
-            early_total += sink.early_seen;
-            if let Some(t) = sink.first_early {
-                report.first_early_at = Some(match report.first_early_at {
-                    Some(cur) => cur.min(t),
-                    None => t,
-                });
-            }
-            if let Some(t) = sink.first_final {
-                report.first_final_at = Some(match report.first_final_at {
-                    Some(cur) => cur.min(t),
-                    None => t,
-                });
-            }
-            report.outputs.extend(sink.outputs);
-        }
-        // Early emissions = what the sinks actually saw: covers backend
-        // early output *and* HOP snapshots uniformly, independent of
-        // whether outputs were collected.
-        report.early_emits = early_total;
-        report.shuffled_bytes = shuffle_tx.shuffled_bytes();
-        if let Some(ms) = &map_store {
-            report.map_write_io = ms.stats();
-        }
-        if let Some(g) = &governor {
-            let c = g.counters();
-            report.mem_rebalances = c.rebalances;
-            report.mem_sheds = c.sheds;
-            report.mem_shed_bytes = c.shed_bytes_requested;
-            report.mem_pool_high_water = g.pool().high_water() as u64;
-        }
-        report.backpressure_stalls = shuffle_tx.backpressure_stalls();
-        report.wall = start.elapsed();
-        Ok(report)
-    }
-}
-
-/// Sink that timestamps emissions and optionally stores them.
-#[derive(Debug)]
-pub(crate) struct TimedSink {
-    start: Instant,
-    collect: bool,
-    pub(crate) outputs: Vec<JobOutput>,
-    pub(crate) early_seen: u64,
-    pub(crate) final_seen: u64,
-    pub(crate) first_early: Option<std::time::Duration>,
-    pub(crate) first_final: Option<std::time::Duration>,
-}
-
-impl TimedSink {
-    fn new(start: Instant, collect: bool) -> Self {
-        TimedSink {
-            start,
-            collect,
-            outputs: Vec::new(),
-            early_seen: 0,
-            final_seen: 0,
-            first_early: None,
-            first_final: None,
-        }
-    }
-}
-
-impl Sink for TimedSink {
-    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
-        let at = self.start.elapsed();
-        match kind {
-            EmitKind::Early => {
-                self.early_seen += 1;
-                self.first_early.get_or_insert(at);
-            }
-            EmitKind::Final => {
-                self.final_seen += 1;
-                self.first_final.get_or_insert(at);
-            }
-        }
-        if self.collect {
-            self.outputs.push(JobOutput {
-                key: key.to_vec(),
-                value: value.to_vec(),
-                kind,
-                at,
-            });
-        }
     }
 }
 
@@ -850,8 +305,11 @@ impl Sink for TimedSink {
 mod tests {
     use super::*;
     use crate::job::{Combine, MapEmitter, MapSideMode, ReduceBackend, ShuffleMode};
-    use onepass_groupby::SumAgg;
+    use crate::report::TaskKind;
+    use onepass_core::error::Error;
+    use onepass_groupby::{EmitKind, SumAgg};
     use std::collections::BTreeMap;
+    use std::sync::Arc;
 
     fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
         for w in record.split(|&b| b == b' ') {

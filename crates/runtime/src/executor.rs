@@ -1,0 +1,514 @@
+//! Job execution mechanics: worker pools, shuffle wiring, shared
+//! backend-construction services, and report assembly.
+//!
+//! The executor is the layer between the public [`Engine`](crate::Engine)
+//! facade and the [`crate::scheduler`] policy loop. It owns everything a
+//! single job run needs — spawning map/reduce workers, building spill
+//! stores and groupers, timing output — while the scheduler decides *what*
+//! to run next. The plan layer ([`crate::plan`]) calls [`execute`]
+//! directly, once per stage, with a streamed split feed and an output tap
+//! that forwards finals to downstream stages.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::governor::{MemoryGovernor, MemoryPolicy};
+use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
+use onepass_core::memory::MemoryBudget;
+use onepass_core::trace::{LocalTracer, Track};
+use onepass_groupby::{
+    Aggregator, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper, Sink,
+};
+
+use crate::driver::{EngineConfig, SpillBackend};
+use crate::job::{JobSpec, ReduceBackend};
+use crate::map_task::{run_map_task, MapAttemptCtx};
+use crate::reduce_task::{panic_message, run_reduce_task_open, ReduceResult, ReduceRetryOpts};
+use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
+use crate::scheduler::{schedule_maps, MapAssignment, MapEvent, SchedulerCtx, SplitFeed};
+use crate::shuffle::shuffle_fabric;
+
+/// Per-partition observer invoked on every sink emission, in addition to
+/// normal output collection. The plan layer uses it to stream a stage's
+/// final answers into the next stage's split feed while the stage is
+/// still running.
+pub(crate) type ReduceTap = Box<dyn FnMut(&[u8], &[u8], EmitKind) + Send>;
+
+/// Builds the [`ReduceTap`] for one reduce partition. A factory (rather
+/// than one shared closure) lets each partition own private buffering
+/// state, so concurrently-draining reducers never contend on a lock in
+/// the emission hot path.
+pub(crate) type TapFactory = Arc<dyn Fn(usize) -> ReduceTap + Send + Sync>;
+
+/// Everything one job execution needs.
+pub(crate) struct ExecParams<'a> {
+    pub config: &'a EngineConfig,
+    pub job: &'a JobSpec,
+    pub feed: SplitFeed,
+    /// Time base for spans and output timestamps. The engine passes the
+    /// job start; a plan passes the *plan* start so time-to-first-answer
+    /// is comparable across stages.
+    pub clock: Instant,
+    /// Optional per-partition emission observer (see [`TapFactory`]).
+    pub tap: Option<TapFactory>,
+    /// Governor override. `Some` pools this job's reducers with other
+    /// concurrently-live stages of a plan; `None` derives a governor (or
+    /// static budgets) from `config.memory_policy` as a standalone job.
+    pub governor: Option<MemoryGovernor>,
+    /// Added to every trace track id so concurrent stages of a plan don't
+    /// collide in the flamegraph (stage `i` uses `i * 1_000_000`).
+    pub track_offset: u64,
+}
+
+/// Build a spill store for `spill`.
+pub(crate) fn make_store(spill: SpillBackend) -> Result<Arc<dyn SpillStore>> {
+    Ok(match spill {
+        SpillBackend::Memory => Arc::new(SharedMemStore::new()),
+        SpillBackend::TempFiles => Arc::new(FileSpillStore::temp()?),
+    })
+}
+
+/// Build a hash group-by operator for `backend`. The shared construction
+/// service used by reduce attempts and (via
+/// [`build_incremental_grouper`]) stream sessions, so backend wiring
+/// lives in exactly one place.
+pub(crate) fn build_hash_grouper(
+    backend: &ReduceBackend,
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    agg: Arc<dyn Aggregator>,
+    tracer: Option<LocalTracer>,
+) -> Result<Box<dyn GroupBy>> {
+    Ok(match backend {
+        ReduceBackend::HybridHash { fanout } => {
+            let mut g = HybridHashGrouper::new(store, budget, *fanout, agg)?;
+            if let Some(t) = tracer {
+                g.set_tracer(t);
+            }
+            Box::new(g)
+        }
+        ReduceBackend::IncHash { early } => {
+            let mut g = IncHashGrouper::with_early(store, budget, agg, early.clone());
+            if let Some(t) = tracer {
+                g.set_tracer(t);
+            }
+            Box::new(g)
+        }
+        ReduceBackend::FreqHash(cfg) => {
+            let mut g = FreqHashGrouper::with_config(store, budget, agg, cfg.clone());
+            if let Some(t) = tracer {
+                g.set_tracer(t);
+            }
+            Box::new(g)
+        }
+        ReduceBackend::SortMerge { .. } => {
+            return Err(Error::InvalidState(
+                "sort-merge is not a hash backend".into(),
+            ))
+        }
+    })
+}
+
+/// Build an *incremental* grouper (IncHash / FreqHash), rejecting blocking
+/// backends with a config error. Used by
+/// [`StreamSession`](crate::stream::StreamSession).
+pub(crate) fn build_incremental_grouper(
+    backend: &ReduceBackend,
+    store: Arc<dyn SpillStore>,
+    budget: MemoryBudget,
+    agg: Arc<dyn Aggregator>,
+) -> Result<Box<dyn GroupBy>> {
+    match backend {
+        ReduceBackend::IncHash { .. } | ReduceBackend::FreqHash(_) => {
+            build_hash_grouper(backend, store, budget, agg, None)
+        }
+        other => Err(Error::Config(format!(
+            "incremental grouping requires an incremental backend; {} is blocking",
+            other.label()
+        ))),
+    }
+}
+
+/// Execute one job: spawn map workers, one reducer per partition, run the
+/// scheduler's coordinator loop, and assemble the report.
+pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
+    let ExecParams {
+        config,
+        job,
+        feed,
+        clock,
+        tap,
+        governor,
+        track_offset,
+    } = params;
+    job.validate()?;
+    let retry = config.retry;
+    if retry.max_attempts == 0 {
+        return Err(Error::Config("retry.max_attempts must be >= 1".into()));
+    }
+    let spec = config.speculation;
+    let injector = config.faults.clone();
+    // Attempt-aware shuffle dedup is only needed when a map task can run
+    // more than once; otherwise reducers keep the eager commit-on-arrival
+    // fast path.
+    let ft_active = retry.max_attempts > 1 || spec.enabled || injector.is_active();
+
+    let start = clock;
+    let (initial, feed_rx) = match feed {
+        SplitFeed::Fixed(splits) => (splits.into_iter().map(Arc::new).collect::<Vec<_>>(), None),
+        SplitFeed::Streamed(rx) => (Vec::new(), Some(rx)),
+    };
+    // A fixed feed knows its map-task count up front; a streamed feed's
+    // reducers run open-ended until the scheduler broadcasts the total.
+    let known_total = if feed_rx.is_none() {
+        Some(initial.len())
+    } else {
+        None
+    };
+    let (shuffle_tx, shuffle_rxs) = shuffle_fabric(job.reducers, config.channel_depth);
+
+    // Adaptive governance: pool the per-reducer budgets job-wide and gate
+    // map pushes on pool pressure. Static keeps the seed behaviour: a
+    // fixed private budget per reduce attempt. A plan-supplied governor
+    // (pooling across stages) takes precedence.
+    let governor = match governor {
+        Some(g) => Some(g),
+        None => match &config.memory_policy {
+            MemoryPolicy::Static => None,
+            MemoryPolicy::Adaptive { policy, high_water } => Some(MemoryGovernor::new(
+                job.reduce_budget_bytes.saturating_mul(job.reducers.max(1)),
+                Arc::clone(policy),
+                *high_water,
+            )),
+        },
+    };
+    let shuffle_tx = match &governor {
+        Some(g) => shuffle_tx.with_pressure(g.clone(), config.channel_depth),
+        None => shuffle_tx,
+    };
+
+    // Map-side persistence store (shared; only totals are read).
+    let map_store = if config.persist_map_output.is_persist() {
+        Some(make_store(config.spill)?)
+    } else {
+        None
+    };
+    let spill = config.spill;
+
+    // Work queue + event stream between coordinator and map workers.
+    let (task_tx, task_rx) = unbounded::<MapAssignment>();
+    let (evt_tx, evt_rx) = unbounded::<MapEvent>();
+    let (red_res_tx, red_res_rx) = unbounded::<Result<(ReduceResult, TaskSpan, TimedSink)>>();
+
+    let tracer = &config.tracer;
+    let mut driver_trace = tracer.local(Track::new("driver", track_offset));
+    driver_trace.begin("job", "job");
+
+    let mut outcome = None;
+
+    crossbeam::thread::scope(|scope| {
+        // Map workers.
+        for _ in 0..config.map_workers.max(1) {
+            let task_rx = task_rx.clone();
+            let shuffle_tx = shuffle_tx.clone();
+            let evt_tx = evt_tx.clone();
+            let map_store = map_store.clone();
+            let injector = injector.clone();
+            scope.spawn(move |_| {
+                while let Ok(asg) = task_rx.recv() {
+                    if !asg.delay.is_zero() {
+                        std::thread::sleep(asg.delay);
+                    }
+                    let MapAssignment {
+                        task,
+                        attempt,
+                        speculative,
+                        split,
+                        cancel,
+                        ..
+                    } = asg;
+                    let t0 = start.elapsed();
+                    let _ = evt_tx.send(MapEvent::Started {
+                        task,
+                        attempt,
+                        at: t0,
+                    });
+                    let mut trace = tracer.local(Track::new("map", track_offset + task as u64));
+                    trace.begin("map_task", "task");
+                    let ctx = MapAttemptCtx {
+                        attempt,
+                        injector: injector.clone(),
+                        cancel: Some(cancel),
+                    };
+                    // A panicking map function is a task failure, not an
+                    // engine failure: convert it to Err so the retry
+                    // budget applies.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_map_task(
+                            job,
+                            task,
+                            &split,
+                            &shuffle_tx,
+                            map_store.as_ref(),
+                            &mut trace,
+                            &ctx,
+                        )
+                    }))
+                    .unwrap_or_else(|p| {
+                        Err(Error::InvalidState(format!(
+                            "map task panicked: {}",
+                            panic_message(p.as_ref())
+                        )))
+                    });
+                    trace.end("map_task", "task");
+                    drop(trace);
+                    let span = TaskSpan {
+                        kind: TaskKind::Map,
+                        id: task,
+                        attempt,
+                        start: t0,
+                        end: start.elapsed(),
+                    };
+                    let _ = evt_tx.send(MapEvent::Finished {
+                        task,
+                        attempt,
+                        speculative,
+                        span,
+                        result,
+                    });
+                }
+            });
+        }
+
+        // Streamed feed forwarder: turn arriving splits into scheduler
+        // events so the coordinator stays a single recv loop.
+        if let Some(rx) = feed_rx {
+            let evt_tx = evt_tx.clone();
+            scope.spawn(move |_| {
+                for item in rx.iter() {
+                    let _ = evt_tx.send(MapEvent::NewSplit(item));
+                }
+                let _ = evt_tx.send(MapEvent::FeedClosed);
+            });
+        }
+        drop(evt_tx);
+
+        // Reduce workers, one per partition.
+        for (partition, rx) in shuffle_rxs.into_iter().enumerate() {
+            let red_res_tx = red_res_tx.clone();
+            let injector = injector.clone();
+            let governor = governor.clone();
+            let tap = tap.clone();
+            scope.spawn(move |_| {
+                let mut trace = tracer.local(Track::new("reduce", track_offset + partition as u64));
+                trace.begin("reduce_task", "task");
+                let t0 = start.elapsed();
+                let tap = tap.as_ref().map(|factory| factory(partition));
+                let mut sink = TimedSink::new(start, job.collect_output.is_collect(), tap);
+                // Each reduce attempt gets a fresh store + budget, so
+                // state a failed attempt abandoned can never starve or
+                // corrupt its successor.
+                let mut resources = || -> Result<(Arc<dyn SpillStore>, MemoryBudget)> {
+                    let store = make_store(spill)?;
+                    // Under the governor, a retry's fresh lease starts
+                    // back at the nominal share; whatever the failed
+                    // attempt was holding drained back to the pool when
+                    // its budget dropped.
+                    let budget = match &governor {
+                        Some(g) => g.lease(job.reduce_budget_bytes),
+                        None => MemoryBudget::new(job.reduce_budget_bytes),
+                    };
+                    Ok((store, budget))
+                };
+                let opts = ReduceRetryOpts {
+                    max_attempts: retry.max_attempts,
+                    backoff: retry.backoff,
+                    dedup_attempts: ft_active,
+                    injector,
+                };
+                let res = run_reduce_task_open(
+                    job,
+                    partition,
+                    &rx,
+                    known_total,
+                    &mut resources,
+                    &mut sink,
+                    &mut trace,
+                    &opts,
+                );
+                let attempt = res
+                    .as_ref()
+                    .map_or(retry.max_attempts.saturating_sub(1), |r| r.attempts - 1);
+                let span = TaskSpan {
+                    kind: TaskKind::Reduce,
+                    id: partition,
+                    attempt,
+                    start: t0,
+                    end: start.elapsed(),
+                };
+                trace.end("reduce_task", "task");
+                drop(trace);
+                let _ = red_res_tx.send(res.map(|r| (r, span, sink)));
+            });
+        }
+        drop(red_res_tx);
+
+        // ---- Map coordinator (this thread). ----
+        let ctx = SchedulerCtx {
+            retry,
+            speculation: spec,
+            task_tx,
+            evt_rx,
+            shuffle_tx: &shuffle_tx,
+            clock: start,
+        };
+        let feed_open = known_total.is_none();
+        let out = schedule_maps(ctx, initial, feed_open, &mut driver_trace);
+
+        // All attempts drained (SchedulerCtx::task_tx dropped with the
+        // ctx). On failure, unblock reducers still waiting for MapDones
+        // that will never arrive.
+        if out.fatal.is_some() {
+            shuffle_tx.abort();
+        }
+        outcome = Some(out);
+    })
+    .map_err(|_| Error::InvalidState("engine worker panicked".into()))?;
+
+    driver_trace.end("job", "job");
+    drop(driver_trace);
+
+    let outcome = outcome.expect("scheduler outcome present");
+    if let Some(e) = outcome.fatal {
+        return Err(e);
+    }
+
+    // Assemble the report.
+    let mut report = JobReport {
+        name: job.name.clone(),
+        backend: job.backend.label().to_string(),
+        ..Default::default()
+    };
+    for (stats, span) in &outcome.map_results {
+        report.absorb_map(stats);
+        report.task_spans.push(*span);
+    }
+    report.task_spans.extend(outcome.extra_spans);
+    report.map_attempts = outcome.map_attempts;
+    report.failed_attempts = outcome.failed_attempts;
+    report.speculative_launched = outcome.speculative_launched;
+    report.speculative_wins = outcome.speculative_wins;
+    if report.map_tasks != outcome.total_map_tasks {
+        return Err(Error::InvalidState(format!(
+            "expected {} map results, got {}",
+            outcome.total_map_tasks, report.map_tasks
+        )));
+    }
+    let mut early_total = 0u64;
+    for res in red_res_rx.iter() {
+        let (result, span, sink) = res?;
+        report.absorb_reduce(&result);
+        report.task_spans.push(span);
+        early_total += sink.early_seen;
+        if let Some(t) = sink.first_early {
+            report.first_early_at = Some(match report.first_early_at {
+                Some(cur) => cur.min(t),
+                None => t,
+            });
+        }
+        if let Some(t) = sink.first_final {
+            report.first_final_at = Some(match report.first_final_at {
+                Some(cur) => cur.min(t),
+                None => t,
+            });
+        }
+        report.outputs.extend(sink.outputs);
+    }
+    // Early emissions = what the sinks actually saw: covers backend early
+    // output *and* HOP snapshots uniformly, independent of whether
+    // outputs were collected.
+    report.early_emits = early_total;
+    report.shuffled_bytes = shuffle_tx.shuffled_bytes();
+    if let Some(ms) = &map_store {
+        report.map_write_io = ms.stats();
+    }
+    if let Some(g) = &governor {
+        let c = g.counters();
+        report.mem_rebalances = c.rebalances;
+        report.mem_sheds = c.sheds;
+        report.mem_shed_bytes = c.shed_bytes_requested;
+        report.mem_pool_high_water = g.pool().high_water() as u64;
+    }
+    report.backpressure_stalls = shuffle_tx.backpressure_stalls();
+    report.wall = start.elapsed();
+    Ok(report)
+}
+
+/// Sink that timestamps emissions, optionally stores them, and optionally
+/// forwards each one to an [`OutputTap`].
+pub(crate) struct TimedSink {
+    start: Instant,
+    collect: bool,
+    tap: Option<ReduceTap>,
+    pub(crate) outputs: Vec<JobOutput>,
+    pub(crate) early_seen: u64,
+    pub(crate) final_seen: u64,
+    pub(crate) first_early: Option<std::time::Duration>,
+    pub(crate) first_final: Option<std::time::Duration>,
+}
+
+impl std::fmt::Debug for TimedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedSink")
+            .field("collect", &self.collect)
+            .field("outputs", &self.outputs.len())
+            .field("early_seen", &self.early_seen)
+            .field("final_seen", &self.final_seen)
+            .finish()
+    }
+}
+
+impl TimedSink {
+    fn new(start: Instant, collect: bool, tap: Option<ReduceTap>) -> Self {
+        TimedSink {
+            start,
+            collect,
+            tap,
+            outputs: Vec::new(),
+            early_seen: 0,
+            final_seen: 0,
+            first_early: None,
+            first_final: None,
+        }
+    }
+}
+
+impl Sink for TimedSink {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        let at = self.start.elapsed();
+        match kind {
+            EmitKind::Early => {
+                self.early_seen += 1;
+                self.first_early.get_or_insert(at);
+            }
+            EmitKind::Final => {
+                self.final_seen += 1;
+                self.first_final.get_or_insert(at);
+            }
+        }
+        if let Some(tap) = self.tap.as_mut() {
+            tap(key, value, kind);
+        }
+        if self.collect {
+            self.outputs.push(JobOutput {
+                key: key.to_vec(),
+                value: value.to_vec(),
+                kind,
+                at,
+            });
+        }
+    }
+}

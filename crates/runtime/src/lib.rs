@@ -14,8 +14,10 @@
 //! periodic snapshots) for the §III-D comparison.
 //!
 //! Entry points: build a [`JobSpec`], then run it with
-//! [`Engine::run`](driver::Engine::run), stream unbounded input through
-//! [`stream::StreamSession`], or window it with
+//! [`Engine::run`](driver::Engine::run), compose multi-stage jobs into a
+//! [`plan::Plan`] and run them with
+//! [`Engine::run_plan`](driver::Engine::run_plan), stream unbounded input
+//! through [`stream::StreamSession`], or window it with
 //! [`window::WindowedSession`].
 
 #![warn(missing_docs)]
@@ -23,10 +25,13 @@
 
 pub mod chain;
 pub mod driver;
+mod executor;
 pub mod job;
 pub mod map_task;
+pub mod plan;
 pub mod reduce_task;
 pub mod report;
+mod scheduler;
 pub mod shuffle;
 pub mod stream;
 pub mod window;
@@ -39,7 +44,8 @@ pub use job::{
     CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode, Partitioner,
     ReduceBackend, ShuffleMode,
 };
-pub use report::{JobOutput, JobReport, TaskKind, TaskSpan};
+pub use plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
+pub use report::{JobOutput, JobReport, PlanReport, StageReport, TaskKind, TaskSpan};
 
 /// One-stop imports for building and running jobs.
 ///
@@ -47,6 +53,7 @@ pub use report::{JobOutput, JobReport, TaskKind, TaskSpan};
 /// use onepass_runtime::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::chain::{run_chain, ChainConfig};
     pub use crate::driver::{
         Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
         SpeculationConfig, SpillBackend,
@@ -56,7 +63,8 @@ pub mod prelude {
         Partitioner, ReduceBackend, ShuffleMode,
     };
     pub use crate::map_task::Split;
-    pub use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
+    pub use crate::plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
+    pub use crate::report::{JobOutput, JobReport, PlanReport, StageReport, TaskKind, TaskSpan};
     pub use onepass_core::fault::{FaultInjector, FaultPlan};
     pub use onepass_core::governor::{
         policy_by_name, ColdestKeys, LargestBucket, LargestConsumer, MemoryGovernor, MemoryPolicy,

@@ -413,7 +413,7 @@ mod tests {
                 match msg {
                     ShuffleMsg::Segment(s) => segs.push(s),
                     ShuffleMsg::MapDone { .. } => dones += 1,
-                    ShuffleMsg::Abort => panic!("unexpected abort"),
+                    other => panic!("unexpected {other:?}"),
                 }
             }
         }

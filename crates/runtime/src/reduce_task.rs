@@ -50,8 +50,7 @@ use onepass_core::metrics::{gauges, Phase, Profile};
 use onepass_core::trace::LocalTracer;
 use onepass_groupby::aggregate::StateInput;
 use onepass_groupby::{
-    Aggregator, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper,
-    MultiPassMerger, OpStats, Sink, SortMergeGrouper, VecSink,
+    Aggregator, EmitKind, GroupBy, MultiPassMerger, OpStats, Sink, SortMergeGrouper, VecSink,
 };
 
 use crate::job::{JobSpec, ReduceBackend};
@@ -230,8 +229,37 @@ pub fn run_reduce_task_ft(
     trace: &mut LocalTracer,
     opts: &ReduceRetryOpts,
 ) -> Result<ReduceResult> {
+    run_reduce_task_open(
+        job,
+        partition,
+        rx,
+        Some(total_map_tasks),
+        resources,
+        sink,
+        trace,
+        opts,
+    )
+}
+
+/// [`run_reduce_task_ft`] generalised over an *unknown* map-task count:
+/// with `total_map_tasks == None` (a streamed split feed), the task keeps
+/// absorbing until a [`ShuffleMsg::InputExhausted`] broadcast tells it how
+/// many map tasks the job ended up with. Per-task bookkeeping grows on
+/// demand since task ids are discovered as segments arrive.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_reduce_task_open(
+    job: &JobSpec,
+    partition: usize,
+    rx: &Receiver<ShuffleMsg>,
+    total_map_tasks: Option<usize>,
+    resources: &mut ReduceResources<'_>,
+    sink: &mut dyn Sink,
+    trace: &mut LocalTracer,
+    opts: &ReduceRetryOpts,
+) -> Result<ReduceResult> {
     let retain = opts.max_attempts > 1;
     let dedup = opts.dedup_attempts;
+    let mut total = total_map_tasks;
     let mut attempt = 0usize;
     // Records absorbed by the *current* attempt; the injector's trigger
     // counter. Reset (to the replayed total) when an attempt is rebuilt.
@@ -239,11 +267,12 @@ pub fn run_reduce_task_ft(
     // Committed segments kept for replay; only populated when retries are
     // actually possible, so the common single-attempt path pays nothing.
     let mut retained: Vec<Segment> = Vec::new();
+    let sized = total.unwrap_or(0);
     // Per map task: the committed attempt id, once its MapDone arrived.
-    let mut committed: Vec<Option<usize>> = vec![None; total_map_tasks];
+    let mut committed: Vec<Option<usize>> = vec![None; sized];
     // Segments from not-yet-committed attempts, buffered until a MapDone
     // picks the winner.
-    let mut pending: Vec<Vec<Segment>> = (0..total_map_tasks).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Vec<Segment>> = (0..sized).map(|_| Vec::new()).collect();
     let mut maps_done = 0usize;
     let mut snapshots_taken = 0u64;
     let mut shuffle_wait = Duration::ZERO;
@@ -266,7 +295,7 @@ pub fn run_reduce_task_ft(
         sheds: 0,
         shed_bytes: 0,
     };
-    let mut state = Some(AttemptState::new(job, store, budget, total_map_tasks)?);
+    let mut state = Some(AttemptState::new(job, store, budget, total)?);
 
     // Retry ladder shared by absorb / snapshot / finish failures: burn an
     // attempt, back off, rebuild state, replay retained segments. Returns
@@ -293,15 +322,7 @@ pub fn run_reduce_task_ft(
                     &[("partition", partition as f64), ("attempt", attempt as f64)],
                 );
                 match rebuild(
-                    job,
-                    resources,
-                    total_map_tasks,
-                    maps_done,
-                    &retained,
-                    opts,
-                    partition,
-                    attempt,
-                    sink,
+                    job, resources, total, maps_done, &retained, opts, partition, attempt, sink,
                 ) {
                     Ok((st, replayed)) => {
                         gov.last_limit = st.budget_ref().limit();
@@ -399,7 +420,7 @@ pub fn run_reduce_task_ft(
         () => {{
             let res = {
                 let st = state.as_mut().expect("attempt state present");
-                guarded(|| st.on_map_committed(maps_done, total_map_tasks, sink, trace))
+                guarded(|| st.on_map_committed(maps_done, total, sink, trace))
             };
             match res {
                 Ok(n) => snapshots_taken += n,
@@ -413,10 +434,23 @@ pub fn run_reduce_task_ft(
         }};
     }
 
+    // Grow per-task bookkeeping on demand: under a streamed feed, map
+    // task ids are discovered as their segments arrive.
+    macro_rules! ensure_task {
+        ($id:expr) => {{
+            let id = $id;
+            if id >= committed.len() {
+                committed.resize(id + 1, None);
+                pending.resize_with(id + 1, Vec::new);
+            }
+        }};
+    }
+
     // The shuffle phase (Fig. 2a lane): from task start until every map
-    // task has a committed attempt.
+    // task has a committed attempt. With an unknown total (streamed
+    // feed), keep going until InputExhausted pins it down.
     trace.begin(Phase::Shuffle.label(), "phase");
-    while maps_done < total_map_tasks {
+    while total.is_none_or(|t| maps_done < t) {
         let wait_start = Instant::now();
         let msg = rx
             .recv()
@@ -427,12 +461,22 @@ pub fn run_reduce_task_ft(
                 trace.end(Phase::Shuffle.label(), "phase");
                 return Err(Error::InvalidState("job aborted by driver".into()));
             }
+            ShuffleMsg::InputExhausted { total_map_tasks: t } => {
+                total = Some(t);
+                // Snapshot fractions become concrete map-completion
+                // triggers now; triggers already passed are dropped so a
+                // late-arriving total can't cause stale snapshots.
+                if let Some(st) = state.as_mut() {
+                    st.install_snapshot_plan(t, maps_done);
+                }
+            }
             ShuffleMsg::Segment(seg) => {
                 if !dedup {
                     // Fast path: exactly one attempt per map task exists,
                     // consume eagerly (pipelined reduce).
                     deliver!(seg);
                 } else {
+                    ensure_task!(seg.map_task);
                     match committed[seg.map_task] {
                         Some(a) if a == seg.attempt => deliver!(seg),
                         Some(_) => {} // losing attempt: drop
@@ -447,17 +491,21 @@ pub fn run_reduce_task_ft(
                 if !dedup {
                     maps_done += 1;
                     after_commit!();
-                } else if committed[map_task].is_none() {
-                    committed[map_task] = Some(map_attempt);
-                    maps_done += 1;
-                    for seg in std::mem::take(&mut pending[map_task]) {
-                        if seg.attempt == map_attempt {
-                            deliver!(seg);
+                } else {
+                    ensure_task!(map_task);
+                    if committed[map_task].is_none() {
+                        committed[map_task] = Some(map_attempt);
+                        maps_done += 1;
+                        for seg in std::mem::take(&mut pending[map_task]) {
+                            if seg.attempt == map_attempt {
+                                deliver!(seg);
+                            }
                         }
+                        after_commit!();
                     }
-                    after_commit!();
+                    // else: a duplicate MapDone from a losing attempt —
+                    // ignore.
                 }
-                // else: a duplicate MapDone from a losing attempt — ignore.
             }
         }
     }
@@ -513,7 +561,7 @@ pub fn run_reduce_task_ft(
 fn rebuild(
     job: &JobSpec,
     resources: &mut ReduceResources<'_>,
-    total_map_tasks: usize,
+    total_map_tasks: Option<usize>,
     maps_done: usize,
     retained: &[Segment],
     opts: &ReduceRetryOpts,
@@ -560,7 +608,7 @@ impl AttemptState {
         job: &JobSpec,
         store: Arc<dyn SpillStore>,
         budget: MemoryBudget,
-        total_map_tasks: usize,
+        total_map_tasks: Option<usize>,
     ) -> Result<Self> {
         match &job.backend {
             ReduceBackend::SortMerge {
@@ -569,12 +617,13 @@ impl AttemptState {
             } => {
                 let io_base = store.stats();
                 let merger = MultiPassMerger::new(Arc::clone(&store), *merge_factor)?;
-                let mut snapshot_plan: Vec<usize> = snapshots
-                    .iter()
-                    .map(|f| ((f * total_map_tasks as f64).ceil() as usize).max(1))
-                    .collect();
-                snapshot_plan.sort_unstable();
-                snapshot_plan.dedup();
+                // Snapshot fractions only become concrete map-completion
+                // triggers once the total is known; under a streamed feed
+                // that happens at InputExhausted.
+                let snapshot_plan = match total_map_tasks {
+                    Some(total) => plan_from_fracs(snapshots, total),
+                    None => Vec::new(),
+                };
                 Ok(AttemptState::Sort(Box::new(SortState {
                     store,
                     budget,
@@ -587,6 +636,7 @@ impl AttemptState {
                     records_in: 0,
                     spills: 0,
                     agg: None,
+                    snapshot_fracs: snapshots.clone(),
                     snapshot_plan,
                 })))
             }
@@ -598,14 +648,23 @@ impl AttemptState {
         }
     }
 
+    /// The map-task total just became known (streamed feed): compute the
+    /// snapshot triggers, dropping any already passed.
+    fn install_snapshot_plan(&mut self, total_map_tasks: usize, maps_done: usize) {
+        if let AttemptState::Sort(s) = self {
+            let mut plan = plan_from_fracs(&s.snapshot_fracs, total_map_tasks);
+            plan.retain(|&t| t > maps_done);
+            s.snapshot_plan = plan;
+        }
+    }
+
     /// Drop snapshot triggers that already fired (or can no longer fire)
     /// in a previous attempt.
-    fn skip_snapshots_up_to(&mut self, maps_done: usize, total_map_tasks: usize) {
+    fn skip_snapshots_up_to(&mut self, maps_done: usize, total_map_tasks: Option<usize>) {
         if let AttemptState::Sort(s) = self {
-            if maps_done >= total_map_tasks {
-                s.snapshot_plan.clear();
-            } else {
-                s.snapshot_plan.retain(|&t| t > maps_done);
+            match total_map_tasks {
+                Some(total) if maps_done >= total => s.snapshot_plan.clear(),
+                _ => s.snapshot_plan.retain(|&t| t > maps_done),
             }
         }
     }
@@ -659,7 +718,7 @@ impl AttemptState {
     fn on_map_committed(
         &mut self,
         maps_done: usize,
-        total_map_tasks: usize,
+        total_map_tasks: Option<usize>,
         sink: &mut dyn Sink,
         trace: &mut LocalTracer,
     ) -> Result<u64> {
@@ -702,43 +761,16 @@ impl HashState {
             Some(g) => g,
             None => {
                 // Lazily build the backend now that the first segment
-                // tells us whether input is combined.
+                // tells us whether input is combined. Construction goes
+                // through the executor's shared service.
                 let agg = effective_agg(job, seg.combined);
-                let g: Box<dyn GroupBy> = match &job.backend {
-                    ReduceBackend::HybridHash { fanout } => {
-                        let mut g = HybridHashGrouper::new(
-                            Arc::clone(&self.store),
-                            self.budget.clone(),
-                            *fanout,
-                            agg,
-                        )?;
-                        g.set_tracer(trace.fork());
-                        Box::new(g)
-                    }
-                    ReduceBackend::IncHash { early } => {
-                        let mut g = IncHashGrouper::with_early(
-                            Arc::clone(&self.store),
-                            self.budget.clone(),
-                            agg,
-                            early.clone(),
-                        );
-                        g.set_tracer(trace.fork());
-                        Box::new(g)
-                    }
-                    ReduceBackend::FreqHash(cfg) => {
-                        let mut g = FreqHashGrouper::with_config(
-                            Arc::clone(&self.store),
-                            self.budget.clone(),
-                            agg,
-                            cfg.clone(),
-                        );
-                        g.set_tracer(trace.fork());
-                        Box::new(g)
-                    }
-                    ReduceBackend::SortMerge { .. } => {
-                        unreachable!("sort-merge handled separately")
-                    }
-                };
+                let g = crate::executor::build_hash_grouper(
+                    &job.backend,
+                    Arc::clone(&self.store),
+                    self.budget.clone(),
+                    agg,
+                    Some(trace.fork()),
+                )?;
                 self.grouper.insert(g)
             }
         };
@@ -776,7 +808,22 @@ struct SortState {
     records_in: u64,
     spills: u64,
     agg: Option<Arc<dyn Aggregator>>,
+    /// Configured snapshot fractions, kept so the trigger plan can be
+    /// (re)computed when a streamed feed's total arrives late.
+    snapshot_fracs: Vec<f64>,
     snapshot_plan: Vec<usize>,
+}
+
+/// Convert snapshot fractions into sorted, deduped map-completion
+/// trigger counts for a known map-task total.
+fn plan_from_fracs(fracs: &[f64], total_map_tasks: usize) -> Vec<usize> {
+    let mut plan: Vec<usize> = fracs
+        .iter()
+        .map(|f| ((f * total_map_tasks as f64).ceil() as usize).max(1))
+        .collect();
+    plan.sort_unstable();
+    plan.dedup();
+    plan
 }
 
 impl SortState {
@@ -867,12 +914,14 @@ impl SortState {
     fn on_map_committed(
         &mut self,
         maps_done: usize,
-        total_map_tasks: usize,
+        total_map_tasks: Option<usize>,
         sink: &mut dyn Sink,
         trace: &mut LocalTracer,
     ) -> Result<u64> {
         let mut taken = 0u64;
-        if maps_done < total_map_tasks {
+        // Snapshots are mid-stream approximations: none fire while the
+        // total is unknown (empty plan) or once every map has committed.
+        if total_map_tasks.is_some_and(|t| maps_done < t) {
             while self.snapshot_plan.first().is_some_and(|&t| maps_done >= t) {
                 self.snapshot_plan.remove(0);
                 if let Some(a) = &self.agg {

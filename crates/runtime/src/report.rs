@@ -264,6 +264,101 @@ impl JobReport {
     }
 }
 
+/// One stage's slice of a plan run.
+#[derive(Debug)]
+pub struct StageReport {
+    /// Stage index within the plan.
+    pub stage: usize,
+    /// Stage (job) name.
+    pub name: String,
+    /// True when the stage has no downstream consumers: its output is
+    /// part of the plan's answer.
+    pub is_sink: bool,
+    /// Malformed inter-stage records the stage's edge decoder skipped
+    /// (within the configured threshold; more fail the stage).
+    pub decode_errors: u64,
+    /// The stage's job report. Task spans and output timestamps are
+    /// measured against the *plan* clock, so `wall` is the offset from
+    /// plan start to stage completion — not the stage's own duration.
+    pub report: JobReport,
+}
+
+/// The result of running a [`Plan`](crate::plan::Plan) via
+/// [`Engine::run_plan`](crate::Engine::run_plan).
+#[derive(Debug)]
+pub struct PlanReport {
+    /// Execution mode label (`"pipelined"` or `"barrier"`).
+    pub mode: &'static str,
+    /// Wall-clock duration of the whole plan.
+    pub wall: Duration,
+    /// Earliest final emission of any *sink* stage, relative to plan
+    /// start — the plan's time-to-first-answer.
+    pub first_final_at: Option<Duration>,
+    /// Per-stage reports, in stage-id order.
+    pub stages: Vec<StageReport>,
+}
+
+impl PlanReport {
+    /// The plan's answer: every sink stage's final `(key, value)` pairs,
+    /// sorted. Emission order across reducers and stages is
+    /// nondeterministic; sorting makes runs comparable.
+    pub fn sorted_final_outputs(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = self
+            .stages
+            .iter()
+            .filter(|s| s.is_sink)
+            .flat_map(|s| {
+                s.report
+                    .outputs
+                    .iter()
+                    .filter(|o| o.kind == EmitKind::Final)
+                    .map(|o| (o.key.clone(), o.value.clone()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Render as JSONL: one `{"type":"stage",...}` summary line per stage
+    /// followed by a single `{"type":"plan",...}` line. For full per-task
+    /// detail, render each stage's [`JobReport::to_jsonl`] too.
+    pub fn to_jsonl(&self) -> String {
+        use onepass_core::json::{escape, fmt_f64};
+        let mut out = String::new();
+        for s in &self.stages {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"type\":\"stage\",\"stage\":{},\"name\":\"{}\",\"sink\":{},",
+                    "\"decode_errors\":{},\"backend\":\"{}\",\"wall_s\":{},",
+                    "\"groups_out\":{},\"first_final_s\":{}}}\n"
+                ),
+                s.stage,
+                escape(&s.name),
+                s.is_sink,
+                s.decode_errors,
+                escape(&s.report.backend),
+                fmt_f64(s.report.wall.as_secs_f64()),
+                s.report.groups_out,
+                s.report
+                    .first_final_at
+                    .map_or_else(|| "null".into(), |d| fmt_f64(d.as_secs_f64())),
+            ));
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"type\":\"plan\",\"mode\":\"{}\",\"stages\":{},\"wall_s\":{},",
+                "\"first_final_s\":{}}}\n"
+            ),
+            self.mode,
+            self.stages.len(),
+            fmt_f64(self.wall.as_secs_f64()),
+            self.first_final_at
+                .map_or_else(|| "null".into(), |d| fmt_f64(d.as_secs_f64())),
+        ));
+        out
+    }
+}
+
 pub(crate) fn add_io(acc: &mut IoStats, other: &IoStats) {
     acc.bytes_written += other.bytes_written;
     acc.bytes_read += other.bytes_read;
@@ -352,6 +447,67 @@ mod tests {
             .get("map_profile")
             .and_then(|p| p.get("phases"))
             .is_some());
+    }
+
+    #[test]
+    fn plan_jsonl_and_sorted_outputs() {
+        use onepass_core::json::Json;
+        let out = |key: &[u8], value: &[u8], kind: EmitKind| JobOutput {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            kind,
+            at: Duration::ZERO,
+        };
+        let report = PlanReport {
+            mode: "pipelined",
+            wall: Duration::from_millis(250),
+            first_final_at: Some(Duration::from_millis(90)),
+            stages: vec![
+                StageReport {
+                    stage: 0,
+                    name: "count".into(),
+                    is_sink: false,
+                    decode_errors: 0,
+                    report: JobReport {
+                        // Interior finals must NOT appear in the plan's
+                        // answer.
+                        outputs: vec![out(b"x", b"1", EmitKind::Final)],
+                        ..Default::default()
+                    },
+                },
+                StageReport {
+                    stage: 1,
+                    name: "hist".into(),
+                    is_sink: true,
+                    decode_errors: 2,
+                    report: JobReport {
+                        outputs: vec![
+                            out(b"b", b"2", EmitKind::Final),
+                            out(b"a", b"9", EmitKind::Early),
+                            out(b"a", b"1", EmitKind::Final),
+                        ],
+                        ..Default::default()
+                    },
+                },
+            ],
+        };
+        assert_eq!(
+            report.sorted_final_outputs(),
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec()),
+            ]
+        );
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3, "2 stages + 1 plan line");
+        let s1 = Json::parse(lines[1]).expect("valid stage line");
+        assert_eq!(s1.get("type").and_then(Json::as_str), Some("stage"));
+        assert_eq!(s1.get("decode_errors").and_then(Json::as_f64), Some(2.0));
+        let plan = Json::parse(lines[2]).expect("valid plan line");
+        assert_eq!(plan.get("mode").and_then(Json::as_str), Some("pipelined"));
+        assert_eq!(plan.get("wall_s").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(plan.get("first_final_s").and_then(Json::as_f64), Some(0.09));
     }
 
     #[test]

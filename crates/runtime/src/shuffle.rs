@@ -84,6 +84,14 @@ pub enum ShuffleMsg {
     /// immediately instead of waiting for map tasks that will never
     /// finish.
     Abort,
+    /// Streamed-input jobs (pipelined plan edges) don't know their map
+    /// task count up front: the scheduler broadcasts it once the upstream
+    /// feed closes. Reducers treat the total as unknown until this
+    /// arrives, then finish once that many `MapDone`s have committed.
+    InputExhausted {
+        /// Final number of map tasks in the job.
+        total_map_tasks: usize,
+    },
 }
 
 /// Pressure-driven shrink of the effective shuffle queue depth.
@@ -97,7 +105,7 @@ pub enum ShuffleMsg {
 /// — MapReduce Online's "wait until reducers are able to keep up again"
 /// (§III-D), extended from queue-full to memory-pressure.
 #[derive(Clone)]
-struct PressureGate {
+pub(crate) struct PressureGate {
     governor: MemoryGovernor,
     /// Effective queue depth while over high water.
     shrunk_depth: usize,
@@ -109,10 +117,22 @@ impl PressureGate {
     /// stuck governor can never deadlock the map side.
     const MAX_WAIT_ITERS: u32 = 1000;
 
+    /// Gate on `governor` pressure with a shrunken queue depth of
+    /// `depth / 8` (min 1). Also used by the plan layer to gate
+    /// cross-stage edge channels on the shared governor.
+    pub(crate) fn new(governor: MemoryGovernor, depth: usize) -> Self {
+        PressureGate {
+            governor,
+            shrunk_depth: (depth / 8).max(1),
+            stalls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// Wait (bounded) while the pool is over high water and `sender`'s
     /// queue is at or above the shrunken depth. Counts at most one stall
-    /// per gated segment.
-    fn admit(&self, sender: &Sender<ShuffleMsg>) {
+    /// per gated segment. Generic over the message type so shuffle
+    /// segment channels and plan edge channels share one gate.
+    pub(crate) fn admit<T>(&self, sender: &Sender<T>) {
         let mut stalled = false;
         for _ in 0..Self::MAX_WAIT_ITERS {
             if !self.governor.over_high_water() || sender.len() < self.shrunk_depth {
@@ -142,11 +162,7 @@ impl ShuffleTx {
     /// reducer queue as if its depth were `depth / 8` (min 1). Call before
     /// cloning the tx out to map workers.
     pub fn with_pressure(mut self, governor: MemoryGovernor, depth: usize) -> Self {
-        self.pressure = Some(PressureGate {
-            governor,
-            shrunk_depth: (depth / 8).max(1),
-            stalls: Arc::new(AtomicU64::new(0)),
-        });
+        self.pressure = Some(PressureGate::new(governor, depth));
         self
     }
 
@@ -184,6 +200,16 @@ impl ShuffleTx {
     pub fn abort(&self) {
         for s in &self.senders {
             let _ = s.send(ShuffleMsg::Abort);
+        }
+    }
+
+    /// Tell every reducer how many map tasks the job ended up with. Sent
+    /// by the scheduler when a streamed split feed closes; reducers that
+    /// started without a known total finish once this many map tasks have
+    /// committed.
+    pub fn input_exhausted(&self, total_map_tasks: usize) {
+        for s in &self.senders {
+            let _ = s.send(ShuffleMsg::InputExhausted { total_map_tasks });
         }
     }
 

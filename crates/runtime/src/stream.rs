@@ -19,9 +19,10 @@ use onepass_core::bytes_kv::KvBuf;
 use onepass_core::error::{Error, Result};
 use onepass_core::io::{SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
-use onepass_groupby::{EmitKind, FreqHashGrouper, GroupBy, IncHashGrouper, OpStats, Sink};
+use onepass_groupby::{EmitKind, GroupBy, OpStats, Sink};
 
-use crate::job::{JobSpec, MapEmitter, ReduceBackend};
+use crate::executor;
+use crate::job::{JobSpec, MapEmitter};
 
 /// An early or final answer from the stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,7 +98,8 @@ impl Sink for CaptureSink<'_> {
 
 impl StreamSession {
     /// Open a session for `job`. The backend must be incremental
-    /// ([`ReduceBackend::IncHash`] or [`ReduceBackend::FreqHash`]).
+    /// ([`ReduceBackend::IncHash`](crate::job::ReduceBackend::IncHash) or
+    /// [`ReduceBackend::FreqHash`](crate::job::ReduceBackend::FreqHash)).
     pub fn new(job: JobSpec) -> Result<Self> {
         job.validate()?;
         let per_partition_budget = (job.reduce_budget_bytes / job.reducers).max(1024);
@@ -106,27 +108,16 @@ impl StreamSession {
             let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
             let budget = MemoryBudget::new(per_partition_budget);
             let agg = Arc::clone(&job.agg);
-            let g: Box<dyn GroupBy> = match &job.backend {
-                ReduceBackend::IncHash { early } => Box::new(IncHashGrouper::with_early(
-                    store,
-                    budget,
-                    agg,
-                    early.clone(),
-                )),
-                ReduceBackend::FreqHash(cfg) => Box::new(FreqHashGrouper::with_config(
-                    store,
-                    budget,
-                    agg,
-                    cfg.clone(),
-                )),
-                other => {
-                    return Err(Error::Config(format!(
-                        "stream sessions require an incremental backend; {} is blocking",
-                        other.label()
-                    )))
-                }
-            };
-            groupers.push(g);
+            // Grouper construction goes through the executor's shared
+            // service, which rejects blocking backends with a config
+            // error: with those, no answer can be produced until the
+            // stream closes, defeating the purpose.
+            groupers.push(executor::build_incremental_grouper(
+                &job.backend,
+                store,
+                budget,
+                agg,
+            )?);
         }
         Ok(StreamSession {
             job,
@@ -232,6 +223,7 @@ impl StreamSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::ReduceBackend;
     use onepass_groupby::inc_hash::CountThreshold;
     use onepass_groupby::CountAgg;
 

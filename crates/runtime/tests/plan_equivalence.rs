@@ -1,0 +1,249 @@
+//! Equivalence property for staged query plans: a two-stage plan
+//! (word count, then a histogram of the counts) produces byte-identical
+//! sink output whether the stages run [`PlanMode::Pipelined`],
+//! [`PlanMode::Barrier`], or as two hand-chained [`Engine::run`] calls
+//! with the edge encoded manually through the chain codec — and all
+//! three match a pure-Rust reference. The property sweeps all four
+//! reduce backends, both spill backends, the memory-governor policies,
+//! and a seeded fault plan that kills a map and a reduce task mid-run,
+//! so edge streaming must survive retries, spills, and rebalancing
+//! without changing answers.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use onepass_groupby::SumAgg;
+use onepass_runtime::chain::encode_pair;
+use onepass_runtime::prelude::*;
+use proptest::prelude::*;
+
+fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+    for w in record.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+        out.emit(w, &1u64.to_le_bytes());
+    }
+}
+
+/// Stage-2 logic: one `(count, 1)` pair per distinct word, so the sink
+/// aggregates "how many words occurred N times".
+fn histogram_pair(value: &[u8], out: &mut dyn MapEmitter) {
+    let mut c = [0u8; 8];
+    c.copy_from_slice(&value[..8]);
+    out.emit(&c, &1u64.to_le_bytes());
+}
+
+/// Random "documents" over a tiny alphabet so keys collide heavily.
+fn docs() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u8..12, 0..12).prop_map(|words| {
+            words
+                .iter()
+                .map(|w| format!("w{w}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+                .into_bytes()
+        }),
+        1..40,
+    )
+}
+
+fn mk_backend(tag: u8) -> ReduceBackend {
+    match tag {
+        0 => ReduceBackend::SortMerge {
+            merge_factor: 3,
+            snapshots: vec![],
+        },
+        1 => ReduceBackend::HybridHash { fanout: 4 },
+        2 => ReduceBackend::IncHash { early: None },
+        _ => ReduceBackend::FreqHash(Default::default()),
+    }
+}
+
+fn mk_policy(tag: u8) -> MemoryPolicy {
+    match tag {
+        0 => MemoryPolicy::Static,
+        1 => MemoryPolicy::Adaptive {
+            policy: policy_by_name("largest-consumer").unwrap(),
+            high_water: 0.85,
+        },
+        2 => MemoryPolicy::Adaptive {
+            policy: policy_by_name("largest-bucket").unwrap(),
+            high_water: 0.75,
+        },
+        3 => MemoryPolicy::Adaptive {
+            policy: policy_by_name("coldest-keys").unwrap(),
+            high_water: 0.85,
+        },
+        _ => MemoryPolicy::Adaptive {
+            policy: policy_by_name("round-robin").unwrap(),
+            high_water: 0.5,
+        },
+    }
+}
+
+fn count_job(backend: ReduceBackend, reducers: usize) -> JobSpec {
+    JobSpec::builder("plan-eq-counts")
+        .map_fn(Arc::new(word_map))
+        .aggregate(Arc::new(SumAgg))
+        .reducers(reducers)
+        .backend(backend)
+        .reduce_budget_bytes(2048) // small: force spills mid-stream
+        .build()
+        .unwrap()
+}
+
+fn histogram_job() -> JobSpec {
+    JobSpec::builder("plan-eq-histogram")
+        .aggregate(Arc::new(SumAgg))
+        .reducers(1)
+        .preset_onepass()
+        .build()
+        .unwrap()
+}
+
+/// `histogram of (word -> occurrences)` computed without the engine.
+fn reference(records: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut counts: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for r in records {
+        for w in r.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            *counts.entry(w.to_vec()).or_default() += 1;
+        }
+    }
+    let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+    for &c in counts.values() {
+        *hist.entry(c).or_default() += 1;
+    }
+    hist.into_iter()
+        .map(|(c, n)| (c.to_le_bytes().to_vec(), n.to_le_bytes().to_vec()))
+        .collect()
+}
+
+fn mk_config(spill: SpillBackend, policy: MemoryPolicy, faults: Option<FaultPlan>) -> EngineConfig {
+    let mut b = EngineConfig::builder().spill(spill).memory_policy(policy);
+    if let Some(f) = faults {
+        b = b
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::ZERO,
+            })
+            .faults(f);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn plan_modes_and_manual_stages_agree(
+        records in docs(),
+        backend_tag in 0u8..4,
+        temp_files in any::<bool>(),
+        fault_seed in any::<u64>(),
+        reducers in 1usize..4,
+        per_split in 1usize..10,
+        policy_tag in 0u8..5,
+        // Tiny edge splits exercise the streaming hand-off; larger ones
+        // exercise batching. Either way the answer must not move.
+        records_per_split in 1usize..64,
+    ) {
+        let splits: Vec<Split> = records
+            .chunks(per_split)
+            .map(|c| Split::new(c.to_vec()))
+            .collect();
+        let spill = if temp_files {
+            SpillBackend::TempFiles
+        } else {
+            SpillBackend::Memory
+        };
+        let backend = mk_backend(backend_tag);
+
+        let mut b = Plan::builder();
+        let counts = b.add_stage(count_job(backend.clone(), reducers));
+        let hist = b.add_pair_stage(
+            histogram_job(),
+            Arc::new(|_key: &[u8], value: &[u8], out: &mut dyn MapEmitter| {
+                histogram_pair(value, out);
+            }),
+        );
+        b.connect(counts, hist);
+        let plan = b.build().unwrap();
+
+        // The fault plan is sized for stage 1 (the stage with real map
+        // splits and multiple reducers); stage 2's task ids mostly miss
+        // it, which is fine — the seeded kills land somewhere upstream.
+        let faults = FaultPlan::seeded(fault_seed, splits.len(), reducers);
+
+        let mut outputs = Vec::new();
+        for mode in [PlanMode::Pipelined, PlanMode::Barrier] {
+            let cfg = mk_config(spill, mk_policy(policy_tag), Some(faults.clone()));
+            let mut pc = PlanConfig::new(mode);
+            pc.records_per_split = records_per_split;
+            let report = Engine::with_config(cfg)
+                .run_plan(&plan, splits.clone(), &pc)
+                .unwrap();
+            for s in &report.stages {
+                prop_assert_eq!(s.decode_errors, 0, "stage {} skipped edge records", s.stage);
+            }
+            outputs.push((mode.label(), report.sorted_final_outputs()));
+        }
+
+        // Manual chaining: run each stage as a standalone job and carry
+        // the edge by hand through the public chain codec. No faults —
+        // this leg is the engine-level reference, kept deterministic.
+        let r1 = Engine::with_config(mk_config(spill, mk_policy(policy_tag), None))
+            .run(&count_job(backend, reducers), splits)
+            .unwrap();
+        let edge: Vec<Vec<u8>> = r1
+            .outputs
+            .iter()
+            .filter(|o| o.kind == onepass_groupby::EmitKind::Final)
+            .map(|o| encode_pair(&o.key, &o.value))
+            .collect();
+        let edge_splits: Vec<Split> = edge
+            .chunks(records_per_split)
+            .map(|c| Split::new(c.to_vec()))
+            .collect();
+        let mut job2 = histogram_job();
+        job2.map_fn = Arc::new(|record: &[u8], out: &mut dyn MapEmitter| {
+            let (_, value) = onepass_runtime::chain::decode_pair(record).expect("valid edge");
+            histogram_pair(value, out);
+        });
+        let r2 = if edge_splits.is_empty() {
+            None
+        } else {
+            Some(
+                Engine::with_config(mk_config(spill, mk_policy(policy_tag), None))
+                    .run(&job2, edge_splits)
+                    .unwrap(),
+            )
+        };
+        let manual: Vec<(Vec<u8>, Vec<u8>)> = {
+            let mut v: Vec<_> = r2
+                .iter()
+                .flat_map(|r| r.outputs.iter())
+                .filter(|o| o.kind == onepass_groupby::EmitKind::Final)
+                .map(|o| (o.key.clone(), o.value.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+
+        let expect = reference(&records);
+        for (label, got) in &outputs {
+            prop_assert_eq!(
+                got,
+                &expect,
+                "{} sink output diverged from reference (backend {})",
+                label,
+                backend_tag
+            );
+        }
+        prop_assert_eq!(
+            &manual,
+            &expect,
+            "manually chained stages diverged from reference (backend {})",
+            backend_tag
+        );
+    }
+}

@@ -8,8 +8,9 @@
 
 use std::sync::Arc;
 
-use onepass_groupby::Aggregator;
-use onepass_runtime::{Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn};
+use onepass_core::error::Result;
+use onepass_groupby::{Aggregator, SumAgg};
+use onepass_runtime::{Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, PairMap, Plan};
 
 use crate::docgen::parse_doc;
 
@@ -109,6 +110,47 @@ pub fn job() -> JobSpecBuilder {
         .combine_mode(Combine::Off)
 }
 
+/// Count the distinct documents in a finished posting list. The list is
+/// sorted by `(doc, pos)`, so distinct docs are doc-id transitions.
+pub fn document_frequency(postings: &[Posting]) -> u64 {
+    let mut df = 0u64;
+    let mut last = None;
+    for p in postings {
+        if last != Some(p.doc) {
+            df += 1;
+            last = Some(p.doc);
+        }
+    }
+    df
+}
+
+/// Two-stage query plan: build the inverted index, then histogram its
+/// document frequencies — "how many words appear in exactly n docs".
+///
+/// Stage 1 is the holistic [`job`] above. Stage 2 consumes each
+/// `(word, posting list)` final as a decoded pair, counts the distinct
+/// docs in the list, and sums per df bucket: `(df as u64 LE, count)`
+/// finals. The second stage is tiny next to the first, so a pipelined
+/// run folds buckets while posting lists are still being built.
+pub fn df_histogram_plan(index_reducers: usize) -> Result<Plan> {
+    let index = job().reducers(index_reducers).preset_onepass().build()?;
+    let histogram = JobSpec::builder("df-histogram")
+        .aggregate(Arc::new(SumAgg))
+        .reducers(1)
+        .preset_onepass()
+        .build()?;
+    let bucket: Arc<dyn PairMap> =
+        Arc::new(|_word: &[u8], list: &[u8], out: &mut dyn MapEmitter| {
+            let df = document_frequency(&PostingListAgg::decode(list));
+            out.emit(&df.to_le_bytes(), &1u64.to_le_bytes());
+        });
+    let mut b = Plan::builder();
+    let s1 = b.add_stage(index);
+    let s2 = b.add_pair_stage(histogram, bucket);
+    b.connect(s1, s2);
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +209,62 @@ mod tests {
         assert_eq!(got.len(), truth.len(), "vocabulary coverage");
         for (w, t) in truth {
             assert_eq!(got[&w], t, "postings for {:?}", String::from_utf8_lossy(&w));
+        }
+    }
+
+    #[test]
+    fn df_histogram_plan_matches_brute_force() {
+        use onepass_runtime::{PlanConfig, PlanMode};
+        use std::collections::BTreeMap;
+
+        let mut gen = crate::docgen::DocGen::new(crate::docgen::DocGenConfig {
+            vocabulary: 120,
+            min_words: 10,
+            max_words: 40,
+            ..Default::default()
+        });
+        let docs = gen.records(60);
+        // Brute force: docs-per-word, then histogram of those counts.
+        let mut word_docs: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+        for d in &docs {
+            let (doc, words) = parse_doc(d).unwrap();
+            for w in words {
+                word_docs.entry(w.to_vec()).or_default().push(doc);
+            }
+        }
+        let mut truth: BTreeMap<u64, u64> = BTreeMap::new();
+        for ids in word_docs.values_mut() {
+            ids.sort_unstable();
+            ids.dedup();
+            *truth.entry(ids.len() as u64).or_default() += 1;
+        }
+
+        let splits = crate::make_splits(docs, 8);
+        let plan = df_histogram_plan(3).unwrap();
+        let engine = Engine::new();
+        for mode in [PlanMode::Pipelined, PlanMode::Barrier] {
+            let report = engine
+                .run_plan(
+                    &plan,
+                    splits.clone(),
+                    &PlanConfig {
+                        mode,
+                        records_per_split: 16,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            let hist: BTreeMap<u64, u64> = report
+                .sorted_final_outputs()
+                .into_iter()
+                .map(|(k, v)| {
+                    (
+                        u64::from_le_bytes(k.as_slice().try_into().unwrap()),
+                        u64::from_le_bytes(v.as_slice().try_into().unwrap()),
+                    )
+                })
+                .collect();
+            assert_eq!(hist, truth, "{mode:?}");
         }
     }
 }

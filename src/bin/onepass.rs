@@ -10,6 +10,10 @@
 //!              [--kill-map T] [--kill-reduce P] [--straggle-map T:MS]
 //!              [--fault-seed S]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
+//! onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N]
+//!              [--reducers R] [--k K]
+//!              [--mem-policy <policy>] [--mem-high-water F]
+//!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass sim <workload> [--system hadoop|hop|onepass]
 //!              [--storage single-hdd|hdd+ssd|separated] [--scale F]
 //!              [--adaptive-memory]
@@ -18,6 +22,14 @@
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass workloads
 //! ```
+//!
+//! `onepass plan` runs a multi-stage query plan: `top-k` (count clicks
+//! per URL, then keep the k most-clicked) or `df-histogram` (build the
+//! inverted index, then histogram document frequencies). The default
+//! `--pipeline` mode streams stage outputs downstream as they finish
+//! so the plan reports a time-to-first-answer well before the total
+//! wall clock; `--barrier` materializes each stage before the next
+//! starts, the classic multi-job behaviour.
 //!
 //! `--trace-out` writes a Chrome trace-event JSON file (open it in
 //! Perfetto or `chrome://tracing`); real and simulated runs share one
@@ -45,7 +57,7 @@ use onepass::prelude::*;
 use onepass::runtime::JobSpecBuilder;
 use onepass_core::config::{fmt_bytes, fmt_secs};
 use onepass_workloads::{
-    inverted_index, make_splits, page_frequency, per_user_count, sessionization, ClickGen,
+    inverted_index, make_splits, page_frequency, per_user_count, sessionization, top_k, ClickGen,
     ClickGenConfig, DocGen, DocGenConfig,
 };
 
@@ -57,6 +69,8 @@ fn usage() -> ! {
          \x20           [--retries N] [--backoff-ms MS] [--speculate] [--kill-map T] [--kill-reduce P]\n  \
          \x20           [--straggle-map T:MS] [--fault-seed S]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
+         onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N] [--reducers R] [--k K]\n  \
+         \x20           [--mem-policy <policy>] [--mem-high-water F] [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
          \x20           [--adaptive-memory] [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
@@ -87,12 +101,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("workloads") => {
             println!("sessionization    reorder click logs into user sessions (no combiner, heavy intermediate data)");
             println!("page-frequency    COUNT(*) GROUP BY url (combiner-friendly)");
             println!("per-user-count    COUNT(*) GROUP BY user");
             println!("inverted-index    word -> (doc, position) posting lists");
+            println!("top-k             [plan] per-URL counts, then the k most-clicked URLs");
+            println!("df-histogram      [plan] inverted index, then document-frequency histogram");
         }
         _ => usage(),
     }
@@ -266,6 +283,119 @@ fn cmd_run(args: &[String]) {
             report.backpressure_stalls,
             fmt_bytes(report.mem_pool_high_water)
         );
+    }
+}
+
+fn cmd_plan(args: &[String]) {
+    let workload = args.first().cloned().unwrap_or_else(|| usage());
+    let records: usize = flag(args, "records")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let reducers: usize = flag(args, "reducers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let k: usize = flag(args, "k").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let mode = if switch(args, "barrier") {
+        PlanMode::Barrier
+    } else {
+        PlanMode::Pipelined
+    };
+
+    let (plan, splits) = match workload.as_str() {
+        "top-k" => {
+            let mut gen = ClickGen::new(ClickGenConfig::default());
+            (
+                top_k::plan(k, reducers).expect("valid plan"),
+                make_splits(gen.text_records(records), records / 16 + 1),
+            )
+        }
+        "df-histogram" => {
+            let mut gen = DocGen::new(DocGenConfig::default());
+            (
+                inverted_index::df_histogram_plan(reducers).expect("valid plan"),
+                make_splits(gen.records(records / 100 + 1), records / 1600 + 1),
+            )
+        }
+        _ => usage(),
+    };
+    let input_records: u64 = splits.iter().map(|s| s.records.len() as u64).sum();
+
+    let trace_out = flag(args, "trace-out");
+    let report_jsonl = flag(args, "report-jsonl");
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let memory_policy = match flag(args, "mem-policy").as_deref() {
+        None | Some("static") => MemoryPolicy::Static,
+        Some(name) => {
+            let Some(policy) = policy_by_name(name) else {
+                eprintln!("unknown --mem-policy {name:?}");
+                usage();
+            };
+            let high_water = flag(args, "mem-high-water")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(onepass_core::governor::DEFAULT_HIGH_WATER);
+            MemoryPolicy::Adaptive { policy, high_water }
+        }
+    };
+    let config = EngineConfig::builder()
+        .tracer(tracer.clone())
+        .memory_policy(memory_policy)
+        .build();
+
+    eprintln!(
+        "running the {workload} plan ({} stages, {} mode, {input_records} records)...",
+        plan.stage_count(),
+        mode.label()
+    );
+    let report = Engine::with_config(config)
+        .run_plan(&plan, splits, &PlanConfig::new(mode))
+        .expect("plan failed");
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &report_jsonl {
+        std::fs::write(path, report.to_jsonl()).expect("write report file");
+        eprintln!("wrote JSONL report to {path}");
+    }
+
+    println!("plan:              {workload} [{}]", report.mode);
+    println!("wall time:         {}", fmt_secs(report.wall.as_secs_f64()));
+    if let Some(t) = report.first_final_at {
+        println!(
+            "first answer at:   {} ({}% of wall)",
+            fmt_secs(t.as_secs_f64()),
+            (t.as_secs_f64() / report.wall.as_secs_f64() * 100.0) as u32
+        );
+    }
+    for s in &report.stages {
+        let sink = if s.is_sink { " -> output" } else { "" };
+        println!(
+            "stage {}:           {} [{}] done at {} ({} groups{}{})",
+            s.stage,
+            s.name,
+            s.report.backend,
+            fmt_secs(s.report.wall.as_secs_f64()),
+            s.report.groups_out,
+            if s.decode_errors > 0 {
+                format!(", {} decode errors", s.decode_errors)
+            } else {
+                String::new()
+            },
+            sink
+        );
+    }
+    if workload == "top-k" {
+        if let Some((_, out)) = report.sorted_final_outputs().first() {
+            println!("top {k} urls:");
+            for (url, count) in top_k::decode_top_urls(out) {
+                println!("  url {url:<8} {count} clicks");
+            }
+        }
     }
 }
 

@@ -73,8 +73,9 @@ pub mod prelude {
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
         CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, JobSpec, MapEmitter,
-        MapFn, MapOutputPersistence, MapSideMode, ReduceBackend, RetryPolicy, ShuffleMode,
-        SpeculationConfig, SpillBackend,
+        MapFn, MapOutputPersistence, MapSideMode, PairMap, Plan, PlanBuilder, PlanConfig, PlanMode,
+        PlanReport, ReduceBackend, RetryPolicy, ShuffleMode, SpeculationConfig, SpillBackend,
+        StageId, StageReport,
     };
     pub use onepass_simcluster::{
         run_sim_job, run_sim_job_traced, ClusterSpec, SimFaults, SimJobSpec, StorageConfig,

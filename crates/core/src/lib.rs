@@ -23,6 +23,9 @@
 //!   store for tests.
 //! * [`metrics`] — phase-attributed CPU timers, counters and time-series
 //!   samplers (the paper's `iostat`/`ps` profiling harness analogue).
+//! * [`obs`] — live metrics: a sharded lock-free registry of atomic
+//!   counters/gauges/histograms with a background sampler, Prometheus
+//!   text exposition, and JSONL snapshot streaming.
 //! * [`trace`] — structured task/phase trace events with Chrome
 //!   trace-event JSON export (the timeline plots of Fig. 2a/3 as data).
 //! * [`fault`] — seeded, deterministic fault schedules used to exercise
@@ -44,6 +47,7 @@ pub mod io;
 pub mod json;
 pub mod memory;
 pub mod metrics;
+pub mod obs;
 pub mod table;
 pub mod trace;
 

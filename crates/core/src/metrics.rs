@@ -19,6 +19,7 @@
 //! faithful proxy for CPU seconds, matching the paper's `ps`-based
 //! profiling granularity.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -107,7 +108,7 @@ impl Phase {
 #[derive(Debug, Default, Clone)]
 pub struct Profile {
     phases: BTreeMap<Phase, Duration>,
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
 }
 
 impl Profile {
@@ -131,9 +132,10 @@ impl Profile {
         self.phases.values().copied().sum()
     }
 
-    /// Increment counter `name` by `n`.
-    pub fn add_count(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_default() += n;
+    /// Increment counter `name` by `n`. Engine call sites pass string
+    /// literals (no allocation); deserialized profiles carry owned names.
+    pub fn add_count(&mut self, name: impl Into<Cow<'static, str>>, n: u64) {
+        *self.counters.entry(name.into()).or_default() += n;
     }
 
     /// Current value of counter `name` (0 if never incremented).
@@ -147,7 +149,7 @@ impl Profile {
             *self.phases.entry(*p).or_default() += *d;
         }
         for (name, n) in &other.counters {
-            *self.counters.entry(name).or_default() += *n;
+            *self.counters.entry(name.clone()).or_default() += *n;
         }
     }
 
@@ -157,8 +159,8 @@ impl Profile {
     }
 
     /// Iterate counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(n, v)| (*n, *v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (n.as_ref(), *v))
     }
 
     /// Fraction of `total` taken by `phase` (0.0 when total is zero).
@@ -198,11 +200,12 @@ impl Profile {
         s
     }
 
-    /// Parse a profile from the [`Profile::to_json`] format. Counter
-    /// names must match `'static` names already interned in the binary
-    /// (all counters the engine emits are string literals); unknown
-    /// counter names are rejected rather than silently dropped.
-    pub fn from_json(text: &str, known_counters: &[&'static str]) -> crate::Result<Profile> {
+    /// Parse a profile from the [`Profile::to_json`] format. Unknown
+    /// phase labels are rejected (phase attribution is a closed enum);
+    /// counter names are preserved verbatim, known to this binary or
+    /// not, so profiles written by a newer, more-instrumented build
+    /// survive a round-trip instead of being rejected.
+    pub fn from_json(text: &str) -> crate::Result<Profile> {
         use crate::json::Json;
         let doc = Json::parse(text)?;
         let bad = |what: &str| crate::Error::Corrupt(format!("profile JSON: {what}"));
@@ -225,13 +228,8 @@ impl Profile {
             .and_then(Json::as_obj)
             .ok_or_else(|| bad("missing counters object"))?
         {
-            let interned = known_counters
-                .iter()
-                .copied()
-                .find(|k| k == name)
-                .ok_or_else(|| bad(&format!("unknown counter '{name}'")))?;
             let n = v.as_f64().ok_or_else(|| bad("counter not a number"))?;
-            profile.add_count(interned, n as u64);
+            profile.add_count(name.clone(), n as u64);
         }
         Ok(profile)
     }
@@ -493,7 +491,7 @@ mod tests {
         p.add_count("spills", 3);
 
         let json = p.to_json();
-        let back = Profile::from_json(&json, &["records", "spills"]).unwrap();
+        let back = Profile::from_json(&json).unwrap();
         assert_eq!(back.count("records"), 12345);
         assert_eq!(back.count("spills"), 3);
         // Times round-trip through f64 seconds; re-serialization must be
@@ -503,18 +501,25 @@ mod tests {
 
         let empty = Profile::new();
         assert_eq!(
-            Profile::from_json(&empty.to_json(), &[]).unwrap().to_json(),
+            Profile::from_json(&empty.to_json()).unwrap().to_json(),
             empty.to_json()
         );
     }
 
     #[test]
-    fn profile_json_rejects_unknowns() {
-        assert!(Profile::from_json("{}", &[]).is_err());
-        assert!(
-            Profile::from_json("{\"phases\":{\"warp_drive\":1},\"counters\":{}}", &[]).is_err()
+    fn profile_json_rejects_unknown_phases_keeps_unknown_counters() {
+        assert!(Profile::from_json("{}").is_err());
+        assert!(Profile::from_json("{\"phases\":{\"warp_drive\":1},\"counters\":{}}").is_err());
+        // Unknown counters are preserved, not rejected: profiles written
+        // by a newer, more-instrumented binary must survive a round-trip.
+        let p = Profile::from_json("{\"phases\":{},\"counters\":{\"from_the_future\":7}}").unwrap();
+        assert_eq!(p.count("from_the_future"), 7);
+        assert_eq!(
+            Profile::from_json(&p.to_json())
+                .unwrap()
+                .count("from_the_future"),
+            7
         );
-        assert!(Profile::from_json("{\"phases\":{},\"counters\":{\"unknown\":1}}", &[]).is_err());
     }
 
     #[test]

@@ -1,0 +1,1151 @@
+//! Live metrics: a sharded, lock-free registry of counters, gauges and
+//! log-bucketed histograms, with a background sampler and two exporters.
+//!
+//! The paper's empirical method is in-depth instrumentation of the
+//! running engine — per-phase CPU cost, shuffle volume, progress and
+//! time-to-first-answer. [`crate::metrics::Profile`] attributes CPU to
+//! phases *after* a task finishes; this module is the *live* complement:
+//! instruments update atomic cells while the job runs, and anything —
+//! the in-process [`MetricsSampler`], a Prometheus scraper hitting
+//! [`MetricsServer`], or a JSONL tail — can observe the whole registry
+//! at any instant.
+//!
+//! # Architecture
+//!
+//! * [`MetricsRegistry`] — a cheaply cloneable handle to a set of
+//!   *shards*, each an `RwLock<BTreeMap<key, metric>>`. The lock is
+//!   taken only to **register** a metric (slow path, once per metric);
+//!   after that, updates go through handles.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — handles wrapping an
+//!   `Arc` of atomic cells. Updating is one (or a few) relaxed atomic
+//!   operations: no locks, no allocation, safe from any thread. Hot
+//!   loops keep a handle and hit the atomics directly.
+//! * [`Histogram`] buckets observations by the binary exponent of the
+//!   value (one bucket per power of two), so p50/p95/p99 extraction is
+//!   a 128-entry scan and any quantile is bounded by one octave of
+//!   relative error.
+//! * [`MetricsSampler`] — a background thread snapshotting the whole
+//!   registry on a period into a time series of [`MetricsSnapshot`]s,
+//!   optionally streaming each snapshot as a JSONL line.
+//! * [`MetricsServer`] — a minimal blocking HTTP listener (std only)
+//!   answering every GET with [`MetricsRegistry::render_prometheus`]
+//!   text exposition.
+//!
+//! # Naming
+//!
+//! Metric names follow `onepass_<layer>_<name>` with `_total` suffixed
+//! on counters (Prometheus convention); differing contexts (stage,
+//! side, phase) are labels, never name fragments. The simulator
+//! publishes mirrors of engine metrics under the same names with a
+//! `source="sim"` label, so predicted-vs-actual comparison is a join on
+//! metric name.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::json::fmt_f64;
+use crate::metrics::Series;
+
+/// Registration shards; updates never touch these locks.
+const NUM_SHARDS: usize = 8;
+
+/// Histogram bucket count: one bucket per binary exponent.
+const NUM_BUCKETS: usize = 128;
+
+/// Exponent of the lowest bucket: bucket 0 spans `[2^MIN_EXP, 2^(MIN_EXP+1))`,
+/// i.e. everything below ~2.3e-10 (and all non-positive values) lands there.
+/// The top bucket ends at `2^(MIN_EXP + NUM_BUCKETS)` = 2^96 — wide enough
+/// for nanoseconds-to-hours durations and byte counts alike.
+const MIN_EXP: i32 = -32;
+
+/// Atomic f64 add via compare-exchange on the bit pattern.
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; `inc` is one relaxed atomic add.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not registered anywhere — updates go to a private cell.
+    /// Useful as a no-op default in contexts where metrics are optional.
+    pub fn detached() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// A last-value-wins gauge handle (stored as f64 bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge not registered anywhere (no-op default).
+    pub fn detached() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `delta` (CAS loop; still lock-free).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        atomic_f64_add(&self.bits, delta);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.value())
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    /// Sum of observed values, as f64 bits.
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_upper_bound(i), n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// Bucket index for a value: its binary exponent, clamped into range.
+/// Non-positive and subnormal values land in bucket 0.
+fn bucket_index(v: f64) -> usize {
+    // NaN fails the is_finite check, so the comparison never sees it.
+    if v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    (exp - MIN_EXP).clamp(0, NUM_BUCKETS as i32 - 1) as usize
+}
+
+/// Exclusive upper bound of bucket `i`: `2^(MIN_EXP + i + 1)`.
+fn bucket_upper_bound(i: usize) -> f64 {
+    (2.0f64).powi(MIN_EXP + i as i32 + 1)
+}
+
+/// A log-bucketed histogram handle.
+///
+/// One bucket per power of two of the observed value; `observe` is two
+/// relaxed atomic adds plus one CAS-loop f64 add for the sum. Quantiles
+/// extracted from a snapshot are upper bounds with at most one octave
+/// (2×) of relative error — plenty for "did TTFA regress 10×" questions,
+/// at a fraction of the cost of exact reservoirs.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram not registered anywhere (no-op default).
+    pub fn detached() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore::new()),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.core.sum_bits, v);
+    }
+
+    /// Record a duration, in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Snapshot the current bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count, s.sum)
+    }
+}
+
+/// A point-in-time copy of one histogram's buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Non-empty buckets as `(exclusive_upper_bound, count)`, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing that rank — i.e. a value `>=` the true quantile, within
+    /// one octave. Returns `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(u, _)| u).unwrap_or(0.0)
+    }
+
+    /// Mean of the observed values (exact — tracked as a running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    kind: Kind,
+    cell: Cell,
+}
+
+struct RegistryInner {
+    created: Instant,
+    shards: [RwLock<BTreeMap<String, Entry>>; NUM_SHARDS],
+}
+
+/// The sharded metrics registry. Cloning shares the same metric set.
+///
+/// Handles obtained from [`counter`](MetricsRegistry::counter) /
+/// [`gauge`](MetricsRegistry::gauge) /
+/// [`histogram`](MetricsRegistry::histogram) stay valid for the life of
+/// the registry; asking twice for the same name + labels returns a
+/// handle to the same cell.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsRegistry({} metrics)", self.len())
+    }
+}
+
+/// Canonical registry key: name + sorted labels.
+fn metric_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    for (k, v) in labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(v);
+    }
+    key
+}
+
+fn shard_of(key: &str) -> usize {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % NUM_SHARDS
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+impl MetricsRegistry {
+    /// An empty registry; `at_s` timestamps count from this instant.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                created: Instant::now(),
+                shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+            }),
+        }
+    }
+
+    /// Seconds since the registry was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.inner.created.elapsed().as_secs_f64()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn register(&self, name: &str, labels: &[(&str, &str)], kind: Kind) -> Cell {
+        let labels = sorted_labels(labels);
+        let key = metric_key(name, &labels);
+        let shard = &self.inner.shards[shard_of(&key)];
+        if let Some(e) = shard.read().get(&key) {
+            assert!(
+                e.kind == kind,
+                "metric `{name}` already registered as a {}, requested as a {}",
+                e.kind.label(),
+                kind.label()
+            );
+            return e.cell.clone();
+        }
+        let mut w = shard.write();
+        let e = w.entry(key).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            kind,
+            cell: match kind {
+                Kind::Counter => Cell::Counter(Arc::new(AtomicU64::new(0))),
+                Kind::Gauge => Cell::Gauge(Arc::new(AtomicU64::new(0))),
+                Kind::Histogram => Cell::Histogram(Arc::new(HistogramCore::new())),
+            },
+        });
+        assert!(
+            e.kind == kind,
+            "metric `{name}` already registered as a {}, requested as a {}",
+            e.kind.label(),
+            kind.label()
+        );
+        e.cell.clone()
+    }
+
+    /// Get-or-register a counter.
+    ///
+    /// # Panics
+    /// If `name` + `labels` was already registered with a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, labels, Kind::Counter) {
+            Cell::Counter(cell) => Counter { cell },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-register a gauge.
+    ///
+    /// # Panics
+    /// If `name` + `labels` was already registered with a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, labels, Kind::Gauge) {
+            Cell::Gauge(bits) => Gauge { bits },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-register a histogram.
+    ///
+    /// # Panics
+    /// If `name` + `labels` was already registered with a different kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, labels, Kind::Histogram) {
+            Cell::Histogram(core) => Histogram { core },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Snapshot every metric, sorted by name then labels.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut metrics = Vec::new();
+        for shard in &self.inner.shards {
+            let guard = shard.read();
+            for e in guard.values() {
+                let value = match &e.cell {
+                    Cell::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => SampleValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
+                    Cell::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                };
+                metrics.push(MetricSample {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    value,
+                });
+            }
+        }
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        MetricsSnapshot {
+            at_s: self.elapsed_s(),
+            metrics,
+        }
+    }
+
+    /// Render the whole registry in Prometheus text exposition format
+    /// (version 0.0.4). Histograms are emitted as summaries with
+    /// `quantile` labels for p50/p95/p99 plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_name = "";
+        for m in &snap.metrics {
+            if m.name != last_name {
+                let ty = match &m.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "summary",
+                };
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(ty);
+                out.push('\n');
+            }
+            match &m.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&m.name);
+                    prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&m.name);
+                    prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    out.push_str(&fmt_f64(*v));
+                    out.push('\n');
+                }
+                SampleValue::Histogram(h) => {
+                    for q in ["0.5", "0.95", "0.99"] {
+                        out.push_str(&m.name);
+                        prom_labels(&mut out, &m.labels, Some(q));
+                        out.push(' ');
+                        out.push_str(&fmt_f64(h.quantile(q.parse().unwrap())));
+                        out.push('\n');
+                    }
+                    out.push_str(&m.name);
+                    out.push_str("_sum");
+                    prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    out.push_str(&fmt_f64(h.sum));
+                    out.push('\n');
+                    out.push_str(&m.name);
+                    out.push_str("_count");
+                    prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    out.push_str(&h.count.to_string());
+                    out.push('\n');
+                }
+            }
+            last_name = &m.name;
+        }
+        out
+    }
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_labels(out: &mut String, labels: &[(String, String)], quantile: Option<&str>) {
+    if labels.is_empty() && quantile.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&prom_escape(v));
+        out.push('"');
+    }
+    if let Some(q) = quantile {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("quantile=\"");
+        out.push_str(q);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// One sampled metric inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric name (`onepass_<layer>_<name>`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// The value part of a [`MetricSample`].
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram bucket snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A whole-registry snapshot at one instant.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Seconds since registry creation.
+    pub at_s: f64,
+    /// Every metric, sorted by name then labels.
+    pub metrics: Vec<MetricSample>,
+}
+
+fn jsonl_labels(out: &mut String, labels: &[(String, String)]) {
+    out.push_str("\"labels\":{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&crate::json::escape(k));
+        out.push_str("\":\"");
+        out.push_str(&crate::json::escape(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as one JSONL line:
+    ///
+    /// ```json
+    /// {"type":"metrics","at_s":1.5,
+    ///  "counters":[{"name":"...","labels":{"stage":"s0"},"value":3}],
+    ///  "gauges":[{"name":"...","labels":{},"value":0.5}],
+    ///  "histograms":[{"name":"...","labels":{},"count":3,"sum":1.5,
+    ///                 "p50":0.25,"p95":0.5,"p99":0.5}]}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for m in &self.metrics {
+            let (buf, tail) = match &m.value {
+                SampleValue::Counter(v) => (&mut counters, format!("\"value\":{v}}}")),
+                SampleValue::Gauge(v) => (&mut gauges, format!("\"value\":{}}}", fmt_f64(*v))),
+                SampleValue::Histogram(h) => (
+                    &mut histograms,
+                    format!(
+                        "\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        h.count,
+                        fmt_f64(h.sum),
+                        fmt_f64(h.quantile(0.5)),
+                        fmt_f64(h.quantile(0.95)),
+                        fmt_f64(h.quantile(0.99)),
+                    ),
+                ),
+            };
+            if !buf.is_empty() {
+                buf.push(',');
+            }
+            buf.push_str("{\"name\":\"");
+            buf.push_str(&crate::json::escape(&m.name));
+            buf.push_str("\",");
+            jsonl_labels(buf, &m.labels);
+            buf.push(',');
+            buf.push_str(&tail);
+        }
+        format!(
+            "{{\"type\":\"metrics\",\"at_s\":{},\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}]}}\n",
+            fmt_f64(self.at_s),
+            counters,
+            gauges,
+            histograms,
+        )
+    }
+
+    /// Find a sample by name and (subset of) labels.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| m.labels.iter().any(|(mk, mv)| mk == k && mv == v))
+        })
+    }
+}
+
+/// Extract one metric's trajectory across a snapshot series as a
+/// [`Series`] (x = `at_s`, y = counter value / gauge value / histogram
+/// count). Snapshots where the metric is absent are skipped.
+pub fn snapshots_series(snaps: &[MetricsSnapshot], name: &str, labels: &[(&str, &str)]) -> Series {
+    let mut s = Series::new("metric");
+    for snap in snaps {
+        if let Some(m) = snap.find(name, labels) {
+            let y = match &m.value {
+                SampleValue::Counter(v) => *v as f64,
+                SampleValue::Gauge(v) => *v,
+                SampleValue::Histogram(h) => h.count as f64,
+            };
+            s.push(snap.at_s, y);
+        }
+    }
+    s
+}
+
+/// Background thread snapshotting a registry on a period.
+///
+/// Snapshots accumulate in memory and are returned by
+/// [`stop`](MetricsSampler::stop); with
+/// [`start_streaming`](MetricsSampler::start_streaming) each snapshot is
+/// also written as a JSONL line as it is taken. A final snapshot is
+/// always taken on stop, so even sub-period runs yield one sample.
+pub struct MetricsSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Vec<MetricsSnapshot>>>,
+}
+
+impl fmt::Debug for MetricsSampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsSampler(running={})", self.handle.is_some())
+    }
+}
+
+impl MetricsSampler {
+    /// Start sampling `registry` every `period`.
+    pub fn start(registry: MetricsRegistry, period: Duration) -> Self {
+        Self::start_streaming(registry, period, None)
+    }
+
+    /// Start sampling; when `writer` is given, each snapshot is streamed
+    /// to it as one JSONL line (flushed on stop).
+    pub fn start_streaming(
+        registry: MetricsRegistry,
+        period: Duration,
+        mut writer: Option<Box<dyn std::io::Write + Send>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-sampler".into())
+            .spawn(move || {
+                let mut snaps = Vec::new();
+                let tick = Duration::from_millis(2);
+                let mut since_sample = Duration::ZERO;
+                loop {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(tick);
+                    since_sample += tick;
+                    if since_sample >= period {
+                        since_sample = Duration::ZERO;
+                        let snap = registry.snapshot();
+                        if let Some(w) = writer.as_mut() {
+                            let _ = w.write_all(snap.to_jsonl().as_bytes());
+                        }
+                        snaps.push(snap);
+                    }
+                }
+                let snap = registry.snapshot();
+                if let Some(w) = writer.as_mut() {
+                    let _ = w.write_all(snap.to_jsonl().as_bytes());
+                    let _ = w.flush();
+                }
+                snaps.push(snap);
+                snaps
+            })
+            .expect("spawn metrics-sampler");
+        MetricsSampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the sampler and return every snapshot taken (a final one is
+    /// appended on the way out).
+    pub fn stop(mut self) -> Vec<MetricsSnapshot> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Drop for MetricsSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A minimal blocking HTTP listener serving Prometheus text exposition.
+///
+/// Every request — the path is ignored — is answered `200 OK` with
+/// `Content-Type: text/plain; version=0.0.4` and the current
+/// [`MetricsRegistry::render_prometheus`] body. One connection is served
+/// at a time; scrapers poll, they don't flood. Dropping the server stops
+/// the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsServer({})", self.addr)
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// serve `registry` until dropped.
+    pub fn serve(registry: MetricsRegistry, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-http".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut conn, _)) => {
+                            let _ = conn.set_nonblocking(false);
+                            let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                            // Drain the request line + headers, best effort.
+                            let mut buf = [0u8; 4096];
+                            let mut seen = Vec::new();
+                            loop {
+                                match conn.read(&mut buf) {
+                                    Ok(0) => break,
+                                    Ok(n) => {
+                                        seen.extend_from_slice(&buf[..n]);
+                                        if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                                            break;
+                                        }
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                            let body = registry.render_prometheus();
+                            let resp = format!(
+                                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                                body.len(),
+                                body
+                            );
+                            let _ = conn.write_all(resp.as_bytes());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn metrics-http");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("onepass_test_total", &[("stage", "s0")]);
+        c.inc(3);
+        c.inc(2);
+        let g = reg.gauge("onepass_test_progress", &[]);
+        g.set(0.25);
+        g.add(0.25);
+        let h = reg.histogram("onepass_test_seconds", &[]);
+        h.observe(1.0);
+        h.observe_duration(Duration::from_secs(1));
+
+        assert_eq!(c.value(), 5);
+        assert_eq!(g.value(), 0.5);
+        let snap = reg.snapshot();
+        assert_eq!(reg.len(), 3);
+        match &snap
+            .find("onepass_test_total", &[("stage", "s0")])
+            .unwrap()
+            .value
+        {
+            SampleValue::Counter(v) => assert_eq!(*v, 5),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match &snap.find("onepass_test_seconds", &[]).unwrap().value {
+            SampleValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 2.0);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_name_and_labels_share_a_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("onepass_shared_total", &[("k", "v")]);
+        let b = reg.counter("onepass_shared_total", &[("k", "v")]);
+        a.inc(1);
+        b.inc(1);
+        assert_eq!(a.value(), 2);
+        // Different labels are a different cell.
+        let c = reg.counter("onepass_shared_total", &[("k", "w")]);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("onepass_kind_total", &[]);
+        let _g = reg.gauge("onepass_kind_total", &[]);
+    }
+
+    // Satellite: quantile extraction pinned at bucket boundaries.
+    #[test]
+    fn histogram_quantiles_at_bucket_boundaries() {
+        let h = Histogram::detached();
+        // 1.0 has exponent 0 → bucket [1, 2); every quantile reports the
+        // bucket's upper bound.
+        for _ in 0..100 {
+            h.observe(1.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 2.0);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.99), 2.0);
+        assert_eq!(s.quantile(1.0), 2.0);
+        assert_eq!(s.mean(), 1.0);
+    }
+
+    #[test]
+    fn histogram_exact_powers_of_two_fall_in_their_own_bucket() {
+        let h = Histogram::detached();
+        // One observation per bucket: 1, 2, 4, 8 land in [1,2), [2,4),
+        // [4,8), [8,16) respectively.
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 4);
+        assert_eq!(s.buckets[0], (2.0, 1));
+        assert_eq!(s.buckets[3], (16.0, 1));
+        // rank(0.5 * 4) = 2 → second bucket's upper bound.
+        assert_eq!(s.quantile(0.5), 4.0);
+        // rank(0.75 * 4) = 3 → third bucket.
+        assert_eq!(s.quantile(0.75), 8.0);
+        assert_eq!(s.quantile(1.0), 16.0);
+    }
+
+    #[test]
+    fn histogram_boundary_value_just_below_a_power_stays_below() {
+        let h = Histogram::detached();
+        // 2.0 - ulp is still in [1, 2); 2.0 itself is in [2, 4).
+        h.observe(1.9999999999999998);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(2.0, 1)]);
+    }
+
+    #[test]
+    fn histogram_pathological_values_clamp_to_bucket_zero() {
+        let h = Histogram::detached();
+        h.observe(0.0);
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets.len(), 1);
+        assert_eq!(s.buckets[0].1, 3);
+        // The shared bottom bucket's upper bound: 2^(MIN_EXP + 1).
+        assert_eq!(s.buckets[0].0, (2.0f64).powi(MIN_EXP + 1));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let s = Histogram::detached().snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("onepass_a_total", &[("stage", "s\"0")]).inc(7);
+        reg.gauge("onepass_b", &[]).set(1.5);
+        reg.histogram("onepass_c_seconds", &[]).observe(1.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE onepass_a_total counter\n"));
+        assert!(text.contains("onepass_a_total{stage=\"s\\\"0\"} 7\n"));
+        assert!(text.contains("# TYPE onepass_b gauge\n"));
+        assert!(text.contains("onepass_b 1.5\n"));
+        assert!(text.contains("# TYPE onepass_c_seconds summary\n"));
+        assert!(text.contains("onepass_c_seconds{quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("onepass_c_seconds_sum 1\n"));
+        assert!(text.contains("onepass_c_seconds_count 1\n"));
+        // Every non-comment line is `name{...} value` with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, val) = line.rsplit_once(' ').expect("value separator");
+            val.parse::<f64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn snapshot_jsonl_parses_and_carries_sections() {
+        let reg = MetricsRegistry::new();
+        reg.counter("onepass_a_total", &[("stage", "s0")]).inc(7);
+        reg.gauge("onepass_b", &[]).set(0.5);
+        reg.histogram("onepass_c_seconds", &[]).observe(0.25);
+        let line = reg.snapshot().to_jsonl();
+        assert!(line.ends_with('\n'));
+        let doc = Json::parse(line.trim()).expect("valid JSON");
+        assert_eq!(doc.get("type").and_then(Json::as_str), Some("metrics"));
+        assert!(doc.get("at_s").and_then(Json::as_f64).is_some());
+        let counters = doc.get("counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0].get("name").and_then(Json::as_str),
+            Some("onepass_a_total")
+        );
+        assert_eq!(counters[0].get("value").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(
+            counters[0]
+                .get("labels")
+                .and_then(|l| l.get("stage"))
+                .and_then(Json::as_str),
+            Some("s0")
+        );
+        let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
+        assert_eq!(hists[0].get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(hists[0].get("p95").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn sampler_collects_snapshots_and_series() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("onepass_work_total", &[]);
+        let sampler = MetricsSampler::start(reg.clone(), Duration::from_millis(5));
+        c.inc(10);
+        std::thread::sleep(Duration::from_millis(25));
+        let snaps = sampler.stop();
+        assert!(!snaps.is_empty());
+        let last = snaps.last().unwrap();
+        match &last.find("onepass_work_total", &[]).unwrap().value {
+            SampleValue::Counter(v) => assert_eq!(*v, 10),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let series = snapshots_series(&snaps, "onepass_work_total", &[]);
+        assert_eq!(series.len(), snaps.len());
+        assert_eq!(series.points.last().unwrap().1, 10.0);
+    }
+
+    #[test]
+    fn http_server_answers_with_exposition() {
+        use std::io::{Read, Write};
+        let reg = MetricsRegistry::new();
+        reg.counter("onepass_http_total", &[]).inc(42);
+        let server = MetricsServer::serve(reg, "127.0.0.1:0").expect("bind");
+        let mut conn = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"));
+        assert!(resp.contains("text/plain; version=0.0.4"));
+        assert!(resp.contains("onepass_http_total 42\n"));
+    }
+
+    #[test]
+    fn streaming_sampler_writes_jsonl() {
+        use std::sync::Mutex;
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let reg = MetricsRegistry::new();
+        reg.counter("onepass_stream_total", &[]).inc(1);
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        let sampler = MetricsSampler::start_streaming(
+            reg,
+            Duration::from_millis(5),
+            Some(Box::new(buf.clone())),
+        );
+        std::thread::sleep(Duration::from_millis(15));
+        drop(sampler.stop());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let doc = Json::parse(line).expect("each line is valid JSON");
+            assert_eq!(doc.get("type").and_then(Json::as_str), Some("metrics"));
+        }
+    }
+}

@@ -548,6 +548,111 @@ mod tests {
     }
 
     #[test]
+    fn end_on_wrong_track_cannot_close_another_tracks_begin() {
+        // A begin on map/0 followed by an end on map/1 must NOT pair:
+        // pairing is strictly per-track, so this stream has both an
+        // end-without-begin (map/1) and a dangling begin (map/0).
+        let tracer = Tracer::enabled();
+        let mut a = tracer.local(Track::new("map", 0));
+        let mut b = tracer.local(Track::new("map", 1));
+        a.begin_at("task", "t", Duration::from_micros(1));
+        b.end_at("task", "t", Duration::from_micros(2));
+        drop(a);
+        drop(b);
+        let err = complete_spans(&tracer.drain()).unwrap_err().to_string();
+        assert!(err.contains("without an open begin"), "got: {err}");
+    }
+
+    #[test]
+    fn deeply_unbalanced_stream_reports_open_count() {
+        let tracer = Tracer::enabled();
+        let mut local = tracer.local(Track::new("reduce", 3));
+        for i in 0..5 {
+            local.begin_at("nested", "t", Duration::from_micros(i));
+        }
+        // Close only two of the five.
+        local.end_at("nested", "t", Duration::from_micros(10));
+        local.end_at("nested", "t", Duration::from_micros(11));
+        drop(local);
+        let err = complete_spans(&tracer.drain()).unwrap_err().to_string();
+        assert!(err.contains("3 span(s) left open"), "got: {err}");
+        assert!(err.contains("reduce/3"), "got: {err}");
+    }
+
+    #[test]
+    fn zero_duration_and_inverted_spans_never_underflow() {
+        // Build the stream by hand: `drain` time-orders events, so a
+        // clock-skewed end-before-begin pair can only reach
+        // `complete_spans` from an externally assembled stream (e.g. a
+        // loaded trace file).
+        let ev = |kind: EventKind, name: &'static str, us: u64| TraceEvent {
+            kind,
+            name,
+            cat: "t",
+            track: Track::new("map", 0),
+            ts: Duration::from_micros(us),
+            args: Vec::new(),
+        };
+        let events = vec![
+            // Zero-duration: begin and end share a timestamp.
+            ev(EventKind::Begin, "instantaneous", 5),
+            ev(EventKind::End, "instantaneous", 5),
+            // Inverted: a clock-skewed end earlier than its begin.
+            ev(EventKind::Begin, "skewed", 9),
+            ev(EventKind::End, "skewed", 4),
+        ];
+        let spans = complete_spans(&events).unwrap();
+        assert_eq!(spans.len(), 2);
+        let zero = spans.iter().find(|s| s.name == "instantaneous").unwrap();
+        assert_eq!(zero.duration(), Duration::ZERO);
+        let skewed = spans.iter().find(|s| s.name == "skewed").unwrap();
+        assert_eq!(skewed.duration(), Duration::ZERO, "saturates, not panics");
+    }
+
+    #[test]
+    fn interleaved_same_name_spans_pair_per_track_stacks() {
+        // Two tracks run identically-named nested spans, interleaved in
+        // one stream; every span must close against its own track's
+        // innermost open begin.
+        let tracer = Tracer::enabled();
+        let mut a = tracer.local(Track::new("map", 0));
+        let mut b = tracer.local(Track::new("map", 1));
+        a.begin_at("task", "t", Duration::from_micros(0));
+        b.begin_at("task", "t", Duration::from_micros(1));
+        a.begin_at("task", "t", Duration::from_micros(2));
+        b.end_at("task", "t", Duration::from_micros(3));
+        a.end_at("task", "t", Duration::from_micros(4));
+        a.end_at("task", "t", Duration::from_micros(6));
+        drop(a);
+        drop(b);
+        let spans = complete_spans(&tracer.drain()).unwrap();
+        assert_eq!(spans.len(), 3);
+        // Sorted by (start, end): outer-a spans [0,6], b spans [1,3],
+        // inner-a spans [2,4].
+        assert_eq!(spans[0].track, Track::new("map", 0));
+        assert_eq!(spans[0].end, Duration::from_micros(6));
+        assert_eq!(spans[1].track, Track::new("map", 1));
+        assert_eq!(spans[1].end, Duration::from_micros(3));
+        assert_eq!(spans[2].track, Track::new("map", 0));
+        assert_eq!(spans[2].start, Duration::from_micros(2));
+        assert_eq!(spans[2].end, Duration::from_micros(4));
+    }
+
+    #[test]
+    fn instants_and_counters_do_not_disturb_pairing() {
+        let tracer = Tracer::enabled();
+        let mut local = tracer.local(Track::new("map", 0));
+        local.begin_at("task", "t", Duration::from_micros(0));
+        local.instant_at("spill", "io", Duration::from_micros(1), &[]);
+        local.counter_at("mem", Duration::from_micros(2), 42.0);
+        local.end_at("task", "t", Duration::from_micros(3));
+        drop(local);
+        let spans = complete_spans(&tracer.drain()).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "task");
+    }
+
+    #[test]
     fn drain_merges_thread_buffers_in_time_order() {
         let tracer = Tracer::enabled();
         std::thread::scope(|s| {

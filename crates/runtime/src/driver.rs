@@ -171,6 +171,13 @@ pub struct EngineConfig {
     /// victims via the configured policy under global pressure, and gates
     /// map-side shuffle pushes above the high-water fraction.
     pub memory_policy: MemoryPolicy,
+    /// Live-metrics registry. `None` (default) builds no instruments:
+    /// every probe site then costs one branch, exactly like the disabled
+    /// tracer. Hand in a registry (shared with a
+    /// [`MetricsSampler`](onepass_core::obs::MetricsSampler) or
+    /// [`MetricsServer`](onepass_core::obs::MetricsServer)) to get live
+    /// per-stage progress, phase cost, shuffle volume, and TTFA metrics.
+    pub metrics: Option<onepass_core::obs::MetricsRegistry>,
 }
 
 impl Default for EngineConfig {
@@ -185,6 +192,7 @@ impl Default for EngineConfig {
             speculation: SpeculationConfig::default(),
             faults: FaultInjector::none(),
             memory_policy: MemoryPolicy::Static,
+            metrics: None,
         }
     }
 }
@@ -254,6 +262,12 @@ impl EngineConfigBuilder {
     /// Reduce-side memory governance policy.
     pub fn memory_policy(mut self, policy: MemoryPolicy) -> Self {
         self.cfg.memory_policy = policy;
+        self
+    }
+
+    /// Publish live metrics into `registry` while jobs run.
+    pub fn metrics(mut self, registry: onepass_core::obs::MetricsRegistry) -> Self {
+        self.cfg.metrics = Some(registry);
         self
     }
 
@@ -513,6 +527,7 @@ mod tests {
             .speculation(SpeculationConfig::on())
             .faults(FaultPlan::new().fail_map(0, 0, 1))
             .memory_policy(MemoryPolicy::adaptive())
+            .metrics(onepass_core::obs::MetricsRegistry::new())
             .build();
         assert_eq!(cfg.map_workers, 2);
         assert_eq!(cfg.channel_depth, 8);
@@ -522,8 +537,10 @@ mod tests {
         assert!(cfg.speculation.enabled);
         assert!(cfg.faults.is_active());
         assert!(matches!(cfg.memory_policy, MemoryPolicy::Adaptive { .. }));
+        assert!(cfg.metrics.is_some());
         let defaults = EngineConfig::builder().build();
         assert!(matches!(defaults.memory_policy, MemoryPolicy::Static));
+        assert!(defaults.metrics.is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::reduce_task::{panic_message, run_reduce_task_open, ReduceResult, Redu
 use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
 use crate::scheduler::{schedule_maps, MapAssignment, MapEvent, SchedulerCtx, SplitFeed};
 use crate::shuffle::shuffle_fabric;
+use crate::telemetry::{SinkObs, StageTelemetry};
 
 /// Per-partition observer invoked on every sink emission, in addition to
 /// normal output collection. The plan layer uses it to stream a stage's
@@ -190,6 +191,21 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
         None => shuffle_tx,
     };
 
+    // Live metrics: one handle set per executed job, labeled by job name
+    // (which is the stage name inside a plan).
+    let telemetry = config
+        .metrics
+        .as_ref()
+        .map(|m| StageTelemetry::new(m, &job.name));
+    let shuffle_tx = match &telemetry {
+        Some(t) => shuffle_tx.with_metrics(
+            t.shuffle_bytes.clone(),
+            t.shuffle_segments.clone(),
+            t.backpressure_stalls.clone(),
+        ),
+        None => shuffle_tx,
+    };
+
     // Map-side persistence store (shared; only totals are read).
     let map_store = if config.persist_map_output.is_persist() {
         Some(make_store(config.spill)?)
@@ -302,12 +318,14 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
             let injector = injector.clone();
             let governor = governor.clone();
             let tap = tap.clone();
+            let sink_obs = telemetry.as_ref().map(SinkObs::new);
             scope.spawn(move |_| {
                 let mut trace = tracer.local(Track::new("reduce", track_offset + partition as u64));
                 trace.begin("reduce_task", "task");
                 let t0 = start.elapsed();
                 let tap = tap.as_ref().map(|factory| factory(partition));
-                let mut sink = TimedSink::new(start, job.collect_output.is_collect(), tap);
+                let mut sink =
+                    TimedSink::new(start, job.collect_output.is_collect(), tap, sink_obs);
                 // Each reduce attempt gets a fresh store + budget, so
                 // state a failed attempt abandoned can never starve or
                 // corrupt its successor.
@@ -364,6 +382,7 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
             evt_rx,
             shuffle_tx: &shuffle_tx,
             clock: start,
+            telemetry: telemetry.as_ref(),
         };
         let feed_open = known_total.is_none();
         let out = schedule_maps(ctx, initial, feed_open, &mut driver_trace);
@@ -409,7 +428,11 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
     }
     let mut early_total = 0u64;
     for res in red_res_rx.iter() {
-        let (result, span, sink) = res?;
+        let (result, span, mut sink) = res?;
+        sink.flush_obs();
+        if let Some(t) = &telemetry {
+            t.publish_profile("reduce", &result.stats.profile);
+        }
         report.absorb_reduce(&result);
         report.task_spans.push(span);
         early_total += sink.early_seen;
@@ -444,6 +467,15 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
     }
     report.backpressure_stalls = shuffle_tx.backpressure_stalls();
     report.wall = start.elapsed();
+    if let Some(t) = &telemetry {
+        t.publish_governor(
+            report.mem_rebalances,
+            report.mem_sheds,
+            report.mem_shed_bytes,
+            report.mem_pool_high_water,
+        );
+        t.publish_wall(report.wall);
+    }
     Ok(report)
 }
 
@@ -453,6 +485,7 @@ pub(crate) struct TimedSink {
     start: Instant,
     collect: bool,
     tap: Option<ReduceTap>,
+    obs: Option<SinkObs>,
     pub(crate) outputs: Vec<JobOutput>,
     pub(crate) early_seen: u64,
     pub(crate) final_seen: u64,
@@ -472,16 +505,24 @@ impl std::fmt::Debug for TimedSink {
 }
 
 impl TimedSink {
-    fn new(start: Instant, collect: bool, tap: Option<ReduceTap>) -> Self {
+    fn new(start: Instant, collect: bool, tap: Option<ReduceTap>, obs: Option<SinkObs>) -> Self {
         TimedSink {
             start,
             collect,
             tap,
+            obs,
             outputs: Vec::new(),
             early_seen: 0,
             final_seen: 0,
             first_early: None,
             first_final: None,
+        }
+    }
+
+    /// Flush buffered emission counts to the live registry (end of task).
+    pub(crate) fn flush_obs(&mut self) {
+        if let Some(o) = self.obs.as_mut() {
+            o.flush();
         }
     }
 }
@@ -498,6 +539,9 @@ impl Sink for TimedSink {
                 self.final_seen += 1;
                 self.first_final.get_or_insert(at);
             }
+        }
+        if let Some(o) = self.obs.as_mut() {
+            o.on_emit(kind == EmitKind::Final, at);
         }
         if let Some(tap) = self.tap.as_mut() {
             tap(key, value, kind);

@@ -34,6 +34,7 @@ pub mod report;
 mod scheduler;
 pub mod shuffle;
 pub mod stream;
+mod telemetry;
 pub mod window;
 
 pub use driver::{
@@ -45,7 +46,9 @@ pub use job::{
     ReduceBackend, ShuffleMode,
 };
 pub use plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
-pub use report::{JobOutput, JobReport, PlanReport, StageReport, TaskKind, TaskSpan};
+pub use report::{
+    JobOutput, JobReport, PhaseBreakdown, PlanReport, StageReport, TaskKind, TaskSpan,
+};
 
 /// One-stop imports for building and running jobs.
 ///
@@ -64,7 +67,9 @@ pub mod prelude {
     };
     pub use crate::map_task::Split;
     pub use crate::plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
-    pub use crate::report::{JobOutput, JobReport, PlanReport, StageReport, TaskKind, TaskSpan};
+    pub use crate::report::{
+        JobOutput, JobReport, PhaseBreakdown, PlanReport, StageReport, TaskKind, TaskSpan,
+    };
     pub use onepass_core::fault::{FaultInjector, FaultPlan};
     pub use onepass_core::governor::{
         policy_by_name, ColdestKeys, LargestBucket, LargestConsumer, MemoryGovernor, MemoryPolicy,

@@ -436,6 +436,9 @@ struct EdgeWriter {
     /// Gates edge sends on shared-governor memory pressure, exactly like
     /// map-side shuffle pushes within a job.
     gate: Option<PressureGate>,
+    /// `onepass_plan_edge_depth{stage}` — sampled after each flush so a
+    /// scraper sees how far ahead this stage runs of its consumers.
+    depth: Option<onepass_core::obs::Gauge>,
 }
 
 impl EdgeWriter {
@@ -468,6 +471,10 @@ impl EdgeWriter {
             g.admit(tx);
         }
         let _ = tx.send(Ok(split));
+        if let Some(d) = &self.depth {
+            let deepest = self.outs.iter().map(|tx| tx.len()).max().unwrap_or(0);
+            d.set(deepest as f64);
+        }
     }
 
     /// Flush the remainder and hang up, closing the downstream feeds.
@@ -687,11 +694,18 @@ fn run_pipelined(
         let gate = governor
             .as_ref()
             .map(|g| PressureGate::new(g.clone(), cfg.edge_depth.max(1)));
+        let depth = config.metrics.as_ref().map(|m| {
+            m.gauge(
+                "onepass_plan_edge_depth",
+                &[("stage", &plan.stages[s].job.name)],
+            )
+        });
         let writer = Arc::new(Mutex::new(EdgeWriter {
             per_split: cfg.records_per_split.max(1),
             buf: Vec::new(),
             outs,
             gate,
+            depth,
         }));
         // Each reducer gets a private writer over cloned senders, so the
         // emission hot path never takes a shared lock: concurrently
@@ -703,15 +717,16 @@ fn run_pipelined(
         let tap_writer = Arc::clone(&writer);
         let per_split = cfg.records_per_split.max(1);
         taps[s] = Some(Arc::new(move |_partition: usize| {
-            let (outs, gate) = {
+            let (outs, gate, depth) = {
                 let w = lock_writer(&tap_writer);
-                (w.outs.clone(), w.gate.clone())
+                (w.outs.clone(), w.gate.clone(), w.depth.clone())
             };
             let mut edge = EdgeWriter {
                 per_split,
                 buf: Vec::new(),
                 outs,
                 gate,
+                depth,
             };
             Box::new(move |key: &[u8], value: &[u8], kind: EmitKind| {
                 if kind == EmitKind::Final {

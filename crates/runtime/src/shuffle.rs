@@ -110,6 +110,8 @@ pub(crate) struct PressureGate {
     /// Effective queue depth while over high water.
     shrunk_depth: usize,
     stalls: Arc<AtomicU64>,
+    /// Live mirror of `stalls` in the metrics registry, when enabled.
+    stall_metric: Option<onepass_core::obs::Counter>,
 }
 
 impl PressureGate {
@@ -125,7 +127,14 @@ impl PressureGate {
             governor,
             shrunk_depth: (depth / 8).max(1),
             stalls: Arc::new(AtomicU64::new(0)),
+            stall_metric: None,
         }
+    }
+
+    /// Also mirror each stall into a live metrics counter.
+    pub(crate) fn with_stall_metric(mut self, counter: onepass_core::obs::Counter) -> Self {
+        self.stall_metric = Some(counter);
+        self
     }
 
     /// Wait (bounded) while the pool is over high water and `sender`'s
@@ -141,6 +150,9 @@ impl PressureGate {
             if !stalled {
                 stalled = true;
                 self.stalls.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = &self.stall_metric {
+                    c.inc(1);
+                }
             }
             std::thread::sleep(std::time::Duration::from_micros(50));
         }
@@ -154,6 +166,8 @@ pub struct ShuffleTx {
     bytes: Arc<AtomicU64>,
     segments: Arc<AtomicU64>,
     pressure: Option<PressureGate>,
+    /// Live registry mirrors of `bytes` / `segments`, when enabled.
+    obs: Option<(onepass_core::obs::Counter, onepass_core::obs::Counter)>,
 }
 
 impl ShuffleTx {
@@ -163,6 +177,21 @@ impl ShuffleTx {
     /// cloning the tx out to map workers.
     pub fn with_pressure(mut self, governor: MemoryGovernor, depth: usize) -> Self {
         self.pressure = Some(PressureGate::new(governor, depth));
+        self
+    }
+
+    /// Mirror shuffle volume (and, if a pressure gate is installed,
+    /// stalls) into live metrics counters. Call after
+    /// [`with_pressure`](Self::with_pressure) and before cloning the tx
+    /// out to map workers.
+    pub(crate) fn with_metrics(
+        mut self,
+        bytes: onepass_core::obs::Counter,
+        segments: onepass_core::obs::Counter,
+        stalls: onepass_core::obs::Counter,
+    ) -> Self {
+        self.obs = Some((bytes, segments));
+        self.pressure = self.pressure.map(|g| g.with_stall_metric(stalls));
         self
     }
 
@@ -177,6 +206,10 @@ impl ShuffleTx {
         }
         self.bytes.fetch_add(seg.payload_bytes(), Ordering::Relaxed);
         self.segments.fetch_add(1, Ordering::Relaxed);
+        if let Some((bytes, segments)) = &self.obs {
+            bytes.inc(seg.payload_bytes());
+            segments.inc(1);
+        }
         // A send error means the reducer hung up (job aborting); the map
         // worker will notice via its own channel teardown.
         let _ = self.senders[p].send(ShuffleMsg::Segment(seg));
@@ -242,6 +275,7 @@ pub fn shuffle_fabric(reducers: usize, depth: usize) -> (ShuffleTx, Vec<Receiver
             senders,
             bytes: Arc::new(AtomicU64::new(0)),
             segments: Arc::new(AtomicU64::new(0)),
+            obs: None,
             pressure: None,
         },
         receivers,

@@ -1,0 +1,71 @@
+#!/bin/sh
+# End-to-end smoke test for the live-metrics exporters (CI runs this):
+#
+#   1. run a pipelined plan with --metrics-addr + --metrics-out,
+#   2. curl the Prometheus endpoint while the plan is live (the linger
+#      keeps it up even if the run finishes first),
+#   3. check the exposition contains per-stage progress gauges, a
+#      nonzero TTFA histogram, and phase busy-time counters,
+#   4. validate the JSONL snapshot stream with `onepass metrics-validate`.
+set -e
+
+ADDR=127.0.0.1:9464
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release --bin onepass
+
+./target/release/onepass plan top-k --records 300000 \
+    --metrics-addr "$ADDR" --metrics-out "$OUT/snaps.jsonl" \
+    --metrics-linger-ms 4000 &
+PLAN_PID=$!
+
+# Scrape as soon as the listener answers; retry while the plan warms up.
+EXPO=""
+for _ in $(seq 1 40); do
+    if EXPO=$(curl -sf "http://$ADDR/metrics" 2>/dev/null) && [ -n "$EXPO" ]; then
+        break
+    fi
+    sleep 0.25
+done
+[ -n "$EXPO" ] || { echo "FAIL: metrics endpoint never answered"; exit 1; }
+echo "$EXPO" | head -5
+
+# A second scrape near the end of the run (during linger) sees the
+# final state: progress at 1, TTFA observed.
+wait_for_final() {
+    for _ in $(seq 1 40); do
+        FINAL=$(curl -sf "http://$ADDR/metrics" 2>/dev/null) || FINAL=""
+        if echo "$FINAL" | grep -q '^onepass_plan_ttfa_seconds_count{[^}]*} [1-9]'; then
+            echo "$FINAL"
+            return 0
+        fi
+        sleep 0.25
+    done
+    echo "$FINAL"
+}
+FINAL=$(wait_for_final)
+
+check() {
+    if echo "$FINAL" | grep -qE "$2"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 (pattern: $2)"
+        echo "$FINAL" | head -40
+        exit 1
+    fi
+}
+
+check "exposition TYPE lines"        '^# TYPE onepass_stage_progress_ratio gauge'
+check "per-stage progress gauges"    '^onepass_stage_progress_ratio\{stage="[^"]+"\} '
+check "nonzero TTFA histogram"       '^onepass_plan_ttfa_seconds_count\{[^}]*\} [1-9]'
+check "TTFA quantiles"               '^onepass_plan_ttfa_seconds\{[^}]*quantile="0.99"[^}]*\} '
+check "phase busy-time counters"     '^onepass_engine_phase_micros_total\{[^}]*phase="[a-z_]+"'
+check "shuffle byte counters"        '^onepass_engine_shuffle_bytes_total\{stage="[^"]+"\} [0-9]'
+
+wait "$PLAN_PID"
+
+# JSONL schema round-trip.
+./target/release/onepass metrics-validate "$OUT/snaps.jsonl"
+
+echo "metrics smoke: all checks passed"

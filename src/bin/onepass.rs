@@ -48,6 +48,15 @@
 //! the pool fraction above which map-side pushes backpressure. The sim
 //! mirrors the governor with `--adaptive-memory`.
 //!
+//! Live metrics: `--metrics-addr HOST:PORT` serves Prometheus text
+//! exposition over HTTP for the duration of the run (add
+//! `--metrics-linger-ms MS` to keep serving briefly after completion so
+//! a scraper can catch the final state); `--metrics-out FILE` streams
+//! periodic whole-registry snapshots as JSONL. `onepass metrics-validate
+//! FILE` checks such a file against the snapshot schema — CI uses it.
+//! `onepass sim` publishes the same metric names labeled `source="sim"`
+//! so predicted and measured runs join on metric name.
+//!
 //! Workloads: sessionization, page-frequency, per-user-count,
 //! inverted-index.
 
@@ -74,7 +83,9 @@ fn usage() -> ! {
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
          \x20           [--adaptive-memory] [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
+         onepass metrics-validate <snapshots.jsonl>\n  \
          onepass workloads\n\n\
+         run/plan/sim also take [--metrics-addr HOST:PORT] [--metrics-out FILE] [--metrics-linger-ms MS]\n\n\
          workloads: sessionization | page-frequency | per-user-count | inverted-index"
     );
     std::process::exit(2);
@@ -97,12 +108,138 @@ fn task_value(spec: &str) -> Option<(usize, f64)> {
     Some((t.parse().ok()?, v.parse().ok()?))
 }
 
+/// Live-metrics plumbing shared by `run`, `plan`, and `sim`: a registry
+/// plus the exporters the flags asked for. `None` when no metrics flag
+/// is present — the engine then skips every probe site.
+struct MetricsRig {
+    registry: MetricsRegistry,
+    sampler: Option<MetricsSampler>,
+    server: Option<MetricsServer>,
+    out_path: Option<String>,
+    linger: Duration,
+}
+
+impl MetricsRig {
+    fn from_args(args: &[String]) -> Option<MetricsRig> {
+        let addr = flag(args, "metrics-addr");
+        let out_path = flag(args, "metrics-out");
+        if addr.is_none() && out_path.is_none() {
+            return None;
+        }
+        let linger: u64 = flag(args, "metrics-linger-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let registry = MetricsRegistry::new();
+        let server = addr.map(|a| {
+            let s = MetricsServer::serve(registry.clone(), &a).expect("bind --metrics-addr");
+            eprintln!("serving metrics on http://{}/metrics", s.local_addr());
+            s
+        });
+        let sampler = out_path.as_ref().map(|path| {
+            let file = std::fs::File::create(path).expect("create --metrics-out file");
+            MetricsSampler::start_streaming(
+                registry.clone(),
+                Duration::from_millis(100),
+                Some(Box::new(std::io::BufWriter::new(file))),
+            )
+        });
+        Some(MetricsRig {
+            registry,
+            sampler,
+            server,
+            out_path,
+            linger: Duration::from_millis(linger),
+        })
+    }
+
+    /// Flush the final snapshot, keep the HTTP endpoint up for the
+    /// requested linger, then shut everything down.
+    fn finish(self) {
+        if let Some(sampler) = self.sampler {
+            sampler.stop();
+            if let Some(path) = &self.out_path {
+                eprintln!("wrote metrics snapshots to {path}");
+            }
+        }
+        if self.server.is_some() && !self.linger.is_zero() {
+            std::thread::sleep(self.linger);
+        }
+    }
+}
+
+/// `onepass metrics-validate FILE` — check every line of a
+/// `--metrics-out` file against the snapshot schema. Exits nonzero (with
+/// the first offending line) on any violation; prints a summary on
+/// success.
+fn cmd_metrics_validate(args: &[String]) {
+    use onepass_core::json::Json;
+    let path = args.first().cloned().unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let fail = |line_no: usize, why: &str| -> ! {
+        eprintln!("{path}:{line_no}: {why}");
+        std::process::exit(1);
+    };
+    let mut snapshots = 0usize;
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(doc) = Json::parse(line) else {
+            fail(n, "not valid JSON");
+        };
+        if doc.get("type").and_then(Json::as_str) != Some("metrics") {
+            fail(n, "missing \"type\":\"metrics\"");
+        }
+        if doc.get("at_s").and_then(Json::as_f64).is_none() {
+            fail(n, "missing numeric at_s");
+        }
+        for section in ["counters", "gauges", "histograms"] {
+            let Some(entries) = doc.get(section).and_then(Json::as_arr) else {
+                fail(n, &format!("missing {section} array"));
+            };
+            for e in entries {
+                if e.get("name").and_then(Json::as_str).is_none() {
+                    fail(n, &format!("{section} entry without a name"));
+                }
+                if e.get("labels").is_none() {
+                    fail(n, &format!("{section} entry without labels"));
+                }
+                let ok = match section {
+                    "histograms" => ["count", "sum", "p50", "p95", "p99"]
+                        .iter()
+                        .all(|k| e.get(k).and_then(Json::as_f64).is_some()),
+                    _ => e.get("value").and_then(Json::as_f64).is_some(),
+                };
+                if !ok {
+                    fail(
+                        n,
+                        &format!("{section} entry with missing/non-numeric values"),
+                    );
+                }
+                samples += 1;
+            }
+        }
+        snapshots += 1;
+    }
+    if snapshots == 0 {
+        eprintln!("{path}: no snapshots found");
+        std::process::exit(1);
+    }
+    println!("{path}: {snapshots} snapshot(s), {samples} sample(s), schema ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("metrics-validate") => cmd_metrics_validate(&args[1..]),
         Some("workloads") => {
             println!("sessionization    reorder click logs into user sessions (no combiner, heavy intermediate data)");
             println!("page-frequency    COUNT(*) GROUP BY url (combiner-friendly)");
@@ -219,12 +356,19 @@ fn cmd_run(args: &[String]) {
     if !faults.is_empty() {
         config = config.faults(faults);
     }
+    let rig = MetricsRig::from_args(args);
+    if let Some(r) = &rig {
+        config = config.metrics(r.registry.clone());
+    }
     let config = config.build();
 
     eprintln!("running {workload} on the {system} configuration ({input_records} records)...");
     let report = Engine::with_config(config)
         .run(&job, splits)
         .expect("job failed");
+    if let Some(r) = rig {
+        r.finish();
+    }
 
     if let Some(path) = &trace_out {
         std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
@@ -340,10 +484,14 @@ fn cmd_plan(args: &[String]) {
             MemoryPolicy::Adaptive { policy, high_water }
         }
     };
-    let config = EngineConfig::builder()
+    let mut config = EngineConfig::builder()
         .tracer(tracer.clone())
-        .memory_policy(memory_policy)
-        .build();
+        .memory_policy(memory_policy);
+    let rig = MetricsRig::from_args(args);
+    if let Some(r) = &rig {
+        config = config.metrics(r.registry.clone());
+    }
+    let config = config.build();
 
     eprintln!(
         "running the {workload} plan ({} stages, {} mode, {input_records} records)...",
@@ -353,6 +501,9 @@ fn cmd_plan(args: &[String]) {
     let report = Engine::with_config(config)
         .run_plan(&plan, splits, &PlanConfig::new(mode))
         .expect("plan failed");
+    if let Some(r) = rig {
+        r.finish();
+    }
 
     if let Some(path) = &trace_out {
         std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
@@ -451,7 +602,14 @@ fn cmd_sim(args: &[String]) {
     }
     spec.faults.speculation = switch(args, "speculate");
     spec.adaptive_memory = switch(args, "adaptive-memory");
+    let rig = MetricsRig::from_args(args);
     let r = run_sim_job_traced(spec, tracer.clone());
+    if let Some(rig) = rig {
+        // Mirror the finished run into the registry under the engine's
+        // metric names (labeled source="sim"), then export as requested.
+        r.publish_metrics(&rig.registry);
+        rig.finish();
+    }
 
     if let Some(path) = &trace_out {
         std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");

@@ -63,6 +63,10 @@ pub mod prelude {
     pub use onepass_core::governor::{policy_by_name, MemoryGovernor, MemoryPolicy, SpillPolicy};
     pub use onepass_core::memory::MemoryBudget;
     pub use onepass_core::metrics::Phase;
+    pub use onepass_core::obs::{
+        snapshots_series, MetricsRegistry, MetricsSampler, MetricsServer, MetricsSnapshot,
+        SampleValue,
+    };
     pub use onepass_core::trace::{chrome_trace_json, complete_spans, Tracer, Track};
     pub use onepass_groupby::{
         Aggregator, CountAgg, EmitKind, GroupBy, ListAgg, MaxAgg, Sink, SumAgg,
@@ -73,9 +77,9 @@ pub mod prelude {
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
         CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, JobSpec, MapEmitter,
-        MapFn, MapOutputPersistence, MapSideMode, PairMap, Plan, PlanBuilder, PlanConfig, PlanMode,
-        PlanReport, ReduceBackend, RetryPolicy, ShuffleMode, SpeculationConfig, SpillBackend,
-        StageId, StageReport,
+        MapFn, MapOutputPersistence, MapSideMode, PairMap, PhaseBreakdown, Plan, PlanBuilder,
+        PlanConfig, PlanMode, PlanReport, ReduceBackend, RetryPolicy, ShuffleMode,
+        SpeculationConfig, SpillBackend, StageId, StageReport,
     };
     pub use onepass_simcluster::{
         run_sim_job, run_sim_job_traced, ClusterSpec, SimFaults, SimJobSpec, StorageConfig,

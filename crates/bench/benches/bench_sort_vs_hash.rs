@@ -30,8 +30,12 @@ fn records(n: usize, distinct: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
 
 fn run_grouper(mut g: Box<dyn GroupBy>, recs: &[(Vec<u8>, Vec<u8>)]) -> u64 {
     let mut sink = VecSink::default();
-    for (k, v) in recs {
-        g.push(k, v, &mut sink).unwrap();
+    // Shuffle-sized batches, like the engine delivers.
+    for chunk in recs.chunks(4096) {
+        let batch = onepass_core::bytes_kv::SegmentBuf::from_pairs(
+            chunk.iter().map(|(k, v)| (&k[..], &v[..])),
+        );
+        g.push_batch(&batch, &mut sink).unwrap();
     }
     let stats = g.finish(&mut sink).unwrap();
     stats.groups_out

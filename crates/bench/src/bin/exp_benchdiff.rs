@@ -12,7 +12,9 @@
 //! Modes:
 //!
 //! * default (check): fail (exit 1) if any benchmark present in both
-//!   files regressed by more than `--threshold` (default 0.15 = 15%);
+//!   files regressed by more than `--threshold` (default 0.15 = 15%), or
+//!   if any `pipeline-*` group's `onepass` median does not beat its
+//!   `hadoop` (sort-merge) median in the current run;
 //! * `--refresh`: overwrite the committed baseline with the current file
 //!   (used by `scripts/refresh_bench_baseline.sh`).
 //!
@@ -115,6 +117,30 @@ fn parse_baseline(content: &str) -> Baseline {
         samples: out,
         calibration_ns: if file_cal == f64::MAX { 1.0 } else { file_cal },
     }
+}
+
+/// The paper's headline claim, enforced: in every `pipeline-*` criterion
+/// group where the current run measured both variants, the one-pass
+/// configuration must finish ahead of the sort-merge (`hadoop`)
+/// configuration. Both numbers come from the same file, machine, and run,
+/// so raw medians compare directly — no normalisation needed. Returns the
+/// losing groups as `(group, onepass_median_ns, hadoop_median_ns)`.
+fn onepass_losses(current: &Baseline) -> Vec<(String, f64, f64)> {
+    let mut losses = Vec::new();
+    for (bench, one) in &current.samples {
+        let Some(group) = bench
+            .strip_suffix("/onepass")
+            .filter(|g| g.starts_with("pipeline-"))
+        else {
+            continue;
+        };
+        if let Some(hadoop) = current.samples.get(&format!("{group}/hadoop")) {
+            if one.median_ns >= hadoop.median_ns {
+                losses.push((group.to_string(), one.median_ns, hadoop.median_ns));
+            }
+        }
+    }
+    losses
 }
 
 /// Locate the freshly saved baseline `NAME.json`. `cargo bench` runs
@@ -233,16 +259,27 @@ fn main() -> ExitCode {
     }
     println!("{}", table.to_text());
 
-    if regressions > 0 {
+    let losses = onepass_losses(&current);
+    for (group, one, hadoop) in &losses {
         eprintln!(
-            "{regressions} benchmark(s) regressed more than {} (normalised); \
-             if intentional, run scripts/refresh_bench_baseline.sh and commit the result",
-            pct(threshold)
+            "{group}: one-pass median {:.2} ms is not ahead of sort-merge {:.2} ms",
+            one / 1e6,
+            hadoop / 1e6
         );
+    }
+    if regressions > 0 || !losses.is_empty() {
+        if regressions > 0 {
+            eprintln!(
+                "{regressions} benchmark(s) regressed more than {} (normalised); \
+                 if intentional, run scripts/refresh_bench_baseline.sh and commit the result",
+                pct(threshold)
+            );
+        }
         return ExitCode::FAILURE;
     }
     println!(
-        "perf gate passed: no benchmark regressed more than {}",
+        "perf gate passed: no benchmark regressed more than {}, and one-pass \
+         leads sort-merge on every measured pipeline-* group",
         pct(threshold)
     );
     ExitCode::SUCCESS
@@ -270,6 +307,21 @@ mod tests {
         );
         assert_eq!(parsed.samples["g/b"].score(), 0.2);
         assert_eq!(parsed.calibration_ns, 1000.0);
+    }
+
+    #[test]
+    fn onepass_must_beat_sort_merge_on_pipeline_groups() {
+        let content = "{\"bench\":\"pipeline-pagefreq/onepass\",\"median_ns\":30,\"calibration_ns\":1}\n\
+                       {\"bench\":\"pipeline-pagefreq/hadoop\",\"median_ns\":40,\"calibration_ns\":1}\n\
+                       {\"bench\":\"pipeline-wc/onepass\",\"median_ns\":50,\"calibration_ns\":1}\n\
+                       {\"bench\":\"pipeline-wc/hadoop\",\"median_ns\":45,\"calibration_ns\":1}\n\
+                       {\"bench\":\"segment/onepass\",\"median_ns\":99,\"calibration_ns\":1}\n\
+                       {\"bench\":\"segment/hadoop\",\"median_ns\":1,\"calibration_ns\":1}\n\
+                       {\"bench\":\"pipeline-solo/onepass\",\"median_ns\":7,\"calibration_ns\":1}\n";
+        let losses = onepass_losses(&parse_baseline(content));
+        // pagefreq wins, wc loses; non-pipeline groups and groups missing
+        // a hadoop counterpart are out of scope.
+        assert_eq!(losses, vec![("pipeline-wc".to_string(), 50.0, 45.0)]);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Worker-scoped in-node combining A/B, plus the sort-merge baseline.
+//!
+//! Runs the same page-frequency job (the `pipeline-pagefreq` bench
+//! workload) under three configurations — one-pass with the in-node
+//! combiner (the default), one-pass with per-task combining
+//! (`--in-node-combine off`), and the Hadoop-style sort-merge preset —
+//! and reports median wall time over `--iters` interleaved repetitions,
+//! shuffle volume, and the map-side combine ratio (shuffled / emitted
+//! records). Interleaving the repetitions round-robin decorrelates the
+//! comparison from machine drift, which on small inputs is larger than
+//! the effect itself if each configuration is timed in one contiguous
+//! block.
+//!
+//! A final collected run per configuration cross-checks that all three
+//! produce an identical unordered output fingerprint — the combiner must
+//! move bytes, never answers.
+//!
+//! Flags: `--records N` (default 100k clicks), `--reducers R` (2),
+//! `--iters I` (9), `--users U` (5000), `--urls W` (8000).
+
+use std::time::Instant;
+
+use onepass_bench::{arg_usize, pct, save};
+use onepass_core::config::fmt_bytes;
+use onepass_core::table::Table;
+use onepass_core::KvBuf;
+use onepass_groupby::EmitKind;
+use onepass_runtime::map_task::Split;
+use onepass_runtime::{CollectOutput, Engine, EngineConfig, InNodeCombine, JobReport, JobSpec};
+use onepass_workloads::{make_splits, page_frequency, ClickGen, ClickGenConfig};
+
+struct Config {
+    label: &'static str,
+    csv_label: &'static str,
+    preset_onepass: bool,
+    in_node: InNodeCombine,
+}
+
+fn configs() -> Vec<Config> {
+    vec![
+        Config {
+            label: "one-pass, in-node combine",
+            csv_label: "onepass-innode",
+            preset_onepass: true,
+            in_node: InNodeCombine::On,
+        },
+        Config {
+            label: "one-pass, per-task combine",
+            csv_label: "onepass-pertask",
+            preset_onepass: true,
+            in_node: InNodeCombine::Off,
+        },
+        Config {
+            label: "hadoop sort-merge",
+            csv_label: "hadoop",
+            preset_onepass: false,
+            in_node: InNodeCombine::On, // ineligible (sort-spill map side)
+        },
+    ]
+}
+
+fn job(c: &Config, reducers: usize, collect: CollectOutput) -> JobSpec {
+    let b = page_frequency::job()
+        .reducers(reducers)
+        .collect_mode(collect);
+    let b = if c.preset_onepass {
+        b.preset_onepass()
+    } else {
+        b.preset_hadoop()
+    };
+    b.build().expect("valid job")
+}
+
+fn run_once(c: &Config, reducers: usize, splits: Vec<Split>, collect: CollectOutput) -> JobReport {
+    let job = job(c, reducers, collect);
+    let cfg = EngineConfig::builder().in_node_combine(c.in_node).build();
+    Engine::with_config(cfg)
+        .run(&job, splits)
+        .expect("job failed")
+}
+
+/// Order-insensitive fingerprint of the job's final output.
+fn output_fingerprint(report: &JobReport) -> u64 {
+    let mut buf = KvBuf::new();
+    for o in report.outputs.iter().filter(|o| o.kind == EmitKind::Final) {
+        buf.push(0, &o.key, &o.value);
+    }
+    buf.unordered_fingerprint()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let records = arg_usize("records", 100_000);
+    let reducers = arg_usize("reducers", 2);
+    let iters = arg_usize("iters", 9).max(1);
+    let users = arg_usize("users", 5_000);
+    let urls = arg_usize("urls", 8_000);
+
+    println!(
+        "== in-node combining A/B: page-frequency, {records} clicks, \
+         {users} users x {urls} urls, {reducers} reducers, {iters} interleaved iters ==\n"
+    );
+
+    let mut gen = ClickGen::new(ClickGenConfig {
+        users,
+        urls,
+        ..Default::default()
+    });
+    let data = gen.text_records(records);
+    let cs = configs();
+
+    // Interleaved timing: iteration i runs every configuration once, so
+    // slow phases of the machine hit all three equally.
+    let mut walls: Vec<Vec<f64>> = cs.iter().map(|_| Vec::with_capacity(iters)).collect();
+    let mut last: Vec<Option<JobReport>> = cs.iter().map(|_| None).collect();
+    for _ in 0..iters {
+        for (ci, c) in cs.iter().enumerate() {
+            let splits = make_splits(data.clone(), 10_000);
+            let t0 = Instant::now();
+            let rep = run_once(c, reducers, splits, CollectOutput::Discard);
+            walls[ci].push(t0.elapsed().as_secs_f64() * 1e3);
+            last[ci] = Some(rep);
+        }
+    }
+
+    // One collected run each for the answer cross-check.
+    let fps: Vec<u64> = cs
+        .iter()
+        .map(|c| {
+            let splits = make_splits(data.clone(), 10_000);
+            output_fingerprint(&run_once(c, reducers, splits, CollectOutput::Collect))
+        })
+        .collect();
+    let all_match = fps.iter().all(|&f| f == fps[0]);
+
+    let mut table = Table::new(
+        "In-node combining vs per-task combining vs sort-merge".to_string(),
+        &[
+            "configuration",
+            "median wall",
+            "shuffled",
+            "records",
+            "combine ratio",
+            "output",
+        ],
+    );
+    let mut csv =
+        String::from("config,median_wall_ms,shuffled_bytes,shuffled_records,combine_ratio\n");
+    let mut medians = Vec::new();
+    for (ci, c) in cs.iter().enumerate() {
+        let rep = last[ci].as_ref().expect("at least one iteration ran");
+        let wall = median(&mut walls[ci]);
+        medians.push(wall);
+        let ratio = rep.shuffled_records as f64 / rep.map_output_records.max(1) as f64;
+        table.row(&[
+            c.label.to_string(),
+            format!("{wall:.2} ms"),
+            fmt_bytes(rep.shuffled_bytes),
+            rep.shuffled_records.to_string(),
+            pct(1.0 - ratio),
+            if fps[ci] == fps[0] {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+            .to_string(),
+        ]);
+        csv.push_str(&format!(
+            "{},{wall:.3},{},{},{ratio:.4}\n",
+            c.csv_label, rep.shuffled_bytes, rep.shuffled_records
+        ));
+    }
+    println!("{}", table.to_text());
+
+    let innode = medians[0];
+    let pertask = medians[1];
+    let sortmerge = medians[2];
+    println!(
+        "in-node vs per-task: {}  |  in-node vs sort-merge: {}",
+        pct(1.0 - innode / pertask),
+        pct(1.0 - innode / sortmerge),
+    );
+    if !all_match {
+        println!("WARNING: output fingerprints diverged across configurations");
+    }
+
+    save("exp_innode.csv", &csv);
+    save(
+        "exp_innode.txt",
+        &format!(
+            "{}\nin-node vs per-task: {}\nin-node vs sort-merge: {}\noutputs_match: {all_match}\n",
+            table.to_text(),
+            pct(1.0 - innode / pertask),
+            pct(1.0 - innode / sortmerge),
+        ),
+    );
+}

@@ -33,11 +33,12 @@
 use std::sync::Arc;
 
 use onepass_core::error::{Error, Result};
-use onepass_core::hashlib::{ByteMap, HashFamily, KeyHasher};
+use onepass_core::hashlib::{ByteMap, FamilyHasher, KeyHasher, SeededFamily};
 use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
 use onepass_core::trace::LocalTracer;
+use onepass_core::SegmentBuf;
 use onepass_sketch::{FrequentItems, LossyCounting, MisraGries, SpaceSaving};
 
 use crate::aggregate::Aggregator;
@@ -102,7 +103,10 @@ pub struct FreqHashGrouper {
     agg: Arc<dyn Aggregator>,
     sketch: Box<dyn FrequentItems>,
     config: FreqHashConfig,
-    family: HashFamily,
+    family: SeededFamily,
+    /// Cached cold-bucket hasher (member 1_000_003 of `family`) — built
+    /// once so per-record cold routing never re-derives the member.
+    cold_hasher: FamilyHasher,
     states: ByteMap<Vec<u8>>,
     reserved: usize,
     peak_reserved: usize,
@@ -143,6 +147,20 @@ impl FreqHashGrouper {
         agg: Arc<dyn Aggregator>,
         config: FreqHashConfig,
     ) -> Self {
+        Self::with_family(store, budget, agg, config, SeededFamily::default())
+    }
+
+    /// Create with explicit configuration and hash family (see
+    /// `EngineConfigBuilder::hash_family`). The family routes cold-spill
+    /// buckets here and probe buckets in the hybrid-hash children that
+    /// resolve them.
+    pub fn with_family(
+        store: Arc<dyn SpillStore>,
+        budget: MemoryBudget,
+        agg: Arc<dyn Aggregator>,
+        config: FreqHashConfig,
+        family: SeededFamily,
+    ) -> Self {
         let io_base = store.stats();
         let k = config.sketch_capacity.max(1);
         let sketch: Box<dyn FrequentItems> = match config.detector {
@@ -150,12 +168,16 @@ impl FreqHashGrouper {
             Detector::SpaceSaving => Box::new(SpaceSaving::new(k)),
             Detector::Lossy(eps) => Box::new(LossyCounting::new(eps)),
         };
+        // Member index chosen not to collide with the hybrid children's
+        // level-0 function (they start at member 0).
+        let cold_hasher = family.member(1_000_003);
         FreqHashGrouper {
             store,
             budget,
             agg,
             sketch,
-            family: HashFamily::default(),
+            family,
+            cold_hasher,
             config,
             states: ByteMap::default(),
             reserved: 0,
@@ -294,11 +316,7 @@ impl FreqHashGrouper {
     }
 
     fn cold_bucket(&self, key: &[u8]) -> usize {
-        // Member index chosen not to collide with the hybrid children's
-        // level-0 function (they start at member 0).
-        self.family
-            .member(1_000_003)
-            .bucket(key, self.config.cold_fanout)
+        self.cold_hasher.bucket(key, self.config.cold_fanout)
     }
 
     fn write_cold(&mut self, key: &[u8], payload: &[u8], is_state: bool) -> Result<()> {
@@ -359,10 +377,17 @@ impl FreqHashGrouper {
     }
 }
 
-impl GroupBy for FreqHashGrouper {
-    fn push(&mut self, key: &[u8], value: &[u8], _sink: &mut dyn Sink) -> Result<()> {
-        self.records_in += 1;
-        self.sketch.offer(key);
+impl FreqHashGrouper {
+    fn push_one(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        // The sketch exists to rank evictions. Until the table nears its
+        // budget (or has already spilled), per-record sketch maintenance
+        // is pure overhead on the no-pressure fast path — so it stays
+        // cold while used < limit/2. Estimates are lower bounds either
+        // way; activating late only makes early evictions rank on less
+        // history, never produces wrong answers.
+        if self.cold.is_some() || self.budget.used() >= self.budget.limit() / 2 {
+            self.sketch.offer(key);
+        }
         if self.update_resident(key, value, false) {
             return Ok(());
         }
@@ -381,6 +406,16 @@ impl GroupBy for FreqHashGrouper {
             // Even after eviction it does not fit (giant state): spill.
         }
         self.write_cold(key, value, false)
+    }
+}
+
+impl GroupBy for FreqHashGrouper {
+    fn push_batch(&mut self, batch: &SegmentBuf, _sink: &mut dyn Sink) -> Result<()> {
+        self.records_in += batch.len() as u64;
+        for (key, value) in batch.iter() {
+            self.push_one(key, value)?;
+        }
+        Ok(())
     }
 
     fn shed(&mut self, target_bytes: usize) -> Result<usize> {
@@ -435,11 +470,12 @@ impl GroupBy for FreqHashGrouper {
                     ("records", meta.records as f64),
                 ],
             );
-            let mut child = HybridHashGrouper::new(
+            let mut child = HybridHashGrouper::with_family(
                 Arc::clone(&self.store),
                 self.budget.clone(),
                 self.config.resolve_fanout,
                 Arc::clone(&self.agg),
+                self.family.clone(),
             )?;
             {
                 let mut reader = self.store.open_run(meta.id)?;
@@ -544,9 +580,8 @@ mod tests {
         );
         let mut sink = VecSink::default();
         let recs = skewed_records(5000, 400);
-        for (k, v) in &recs {
-            g.push(k, v, &mut sink).unwrap();
-        }
+        g.push_batch(&SegmentBuf::from_pairs(pairs(&recs)), &mut sink)
+            .unwrap();
         assert!(
             g.resident_state(b"key00000").is_some(),
             "hottest key evicted — hotness gate failed"

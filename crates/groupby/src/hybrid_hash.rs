@@ -26,11 +26,12 @@
 use std::sync::Arc;
 
 use onepass_core::error::{Error, Result};
-use onepass_core::hashlib::{ByteMap, HashFamily, KeyHasher};
+use onepass_core::hashlib::{fingerprint, ByteMap, FamilyHasher, KeyHasher, SeededFamily};
 use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
 use onepass_core::trace::LocalTracer;
+use onepass_core::SegmentBuf;
 
 use crate::aggregate::Aggregator;
 use crate::sink::{EmitKind, OpStats, Sink};
@@ -54,7 +55,12 @@ pub struct HybridHashGrouper {
     store: Arc<dyn SpillStore>,
     budget: MemoryBudget,
     agg: Arc<dyn Aggregator>,
-    family: HashFamily,
+    family: SeededFamily,
+    /// Cached member hasher for this recursion level. Constructed once in
+    /// [`Self::at_level`]; per-record probes reuse it via the fingerprint
+    /// fast path instead of re-deriving the member (which for tabulation
+    /// hashing would rebuild 16 KiB of tables per call).
+    hasher: FamilyHasher,
     fanout: usize,
     level: u32,
     resident: ByteMap<Vec<u8>>,
@@ -100,7 +106,19 @@ impl HybridHashGrouper {
         fanout: usize,
         agg: Arc<dyn Aggregator>,
     ) -> Result<Self> {
-        Self::at_level(store, budget, fanout, agg, HashFamily::default(), 0)
+        Self::at_level(store, budget, fanout, agg, SeededFamily::default(), 0)
+    }
+
+    /// Like [`Self::new`] but probing with an explicit hash family (see
+    /// `EngineConfigBuilder::hash_family`).
+    pub fn with_family(
+        store: Arc<dyn SpillStore>,
+        budget: MemoryBudget,
+        fanout: usize,
+        agg: Arc<dyn Aggregator>,
+        family: SeededFamily,
+    ) -> Result<Self> {
+        Self::at_level(store, budget, fanout, agg, family, 0)
     }
 
     fn at_level(
@@ -108,7 +126,7 @@ impl HybridHashGrouper {
         budget: MemoryBudget,
         fanout: usize,
         agg: Arc<dyn Aggregator>,
-        family: HashFamily,
+        family: SeededFamily,
         level: u32,
     ) -> Result<Self> {
         if fanout < 2 {
@@ -122,11 +140,13 @@ impl HybridHashGrouper {
             )));
         }
         let io_base = store.stats();
+        let hasher = family.member(level as u64);
         Ok(HybridHashGrouper {
             store,
             budget,
             agg,
             family,
+            hasher,
             fanout,
             level,
             resident: ByteMap::default(),
@@ -195,11 +215,10 @@ impl HybridHashGrouper {
         Ok(true)
     }
 
-    /// Bucket for `key` at this recursion level (0 = resident).
-    fn bucket(&self, key: &[u8]) -> usize {
-        self.family
-            .member(self.level as u64)
-            .bucket(key, self.fanout)
+    /// Bucket for a precomputed key fingerprint at this recursion level
+    /// (0 = resident).
+    fn bucket_fp(&self, fp: u64) -> usize {
+        self.hasher.bucket_fp(fp, self.fanout)
     }
 
     /// First budget exhaustion: open spill writers and evict every
@@ -210,12 +229,11 @@ impl HybridHashGrouper {
         for _ in 0..self.fanout {
             writers.push(self.store.begin_run()?);
         }
-        let hasher = self.family.member(self.level as u64);
-        let evicted: Vec<Vec<u8>> = self
+        let evicted: Vec<(Vec<u8>, usize)> = self
             .resident
             .keys()
-            .filter(|k| hasher.bucket(k, self.fanout) != 0)
-            .cloned()
+            .map(|k| (k.clone(), self.hasher.bucket(k, self.fanout)))
+            .filter(|(_, b)| *b != 0)
             .collect();
         self.trace.instant(
             "partition",
@@ -225,9 +243,8 @@ impl HybridHashGrouper {
                 ("evicted_keys", evicted.len() as f64),
             ],
         );
-        for key in evicted {
+        for (key, b) in evicted {
             let state = self.resident.remove(&key).expect("key just listed");
-            let b = hasher.bucket(&key, self.fanout);
             let mut payload = Vec::with_capacity(1 + state.len());
             payload.push(TAG_STATE);
             payload.extend_from_slice(&state);
@@ -242,13 +259,13 @@ impl HybridHashGrouper {
         Ok(())
     }
 
-    fn spill_record(&mut self, key: &[u8], value: &[u8], tag: u8) -> Result<()> {
+    fn spill_record(&mut self, key: &[u8], fp: u64, value: &[u8], tag: u8) -> Result<()> {
         // Bucket-0 keys that could not stay resident overflow into run 0:
         // keeping them separate from bucket 1..B is what guarantees each
         // child sees at most ~1/fanout of this level's keys (merging them
         // into another bucket would let tiny budgets recurse almost
         // without shrinking).
-        let b = self.bucket(key);
+        let b = self.bucket_fp(fp);
         if b == 0 {
             self.run0_keys.insert(key.to_vec(), ());
         }
@@ -265,6 +282,19 @@ impl HybridHashGrouper {
     /// for recursion. Callers must count `records_in` themselves if they
     /// care about it.
     pub(crate) fn push_tagged(&mut self, key: &[u8], payload: &[u8], tag: u8) -> Result<()> {
+        self.push_tagged_fp(key, fingerprint(key), payload, tag)
+    }
+
+    /// [`Self::push_tagged`] with the key's fingerprint already computed —
+    /// the batched entry points hash each record once and reuse the value
+    /// for routing and probing.
+    pub(crate) fn push_tagged_fp(
+        &mut self,
+        key: &[u8],
+        fp: u64,
+        payload: &[u8],
+        tag: u8,
+    ) -> Result<()> {
         if self.spill.is_none() {
             if self.try_absorb(key, payload, tag)? {
                 return Ok(());
@@ -274,10 +304,10 @@ impl HybridHashGrouper {
         }
         // Partitioned mode: bucket 0 keys update resident state when
         // possible; everything else goes to its bucket's run.
-        if self.bucket(key) == 0 && self.try_absorb(key, payload, tag)? {
+        if self.bucket_fp(fp) == 0 && self.try_absorb(key, payload, tag)? {
             return Ok(());
         }
-        self.spill_record(key, payload, tag)
+        self.spill_record(key, fp, payload, tag)
     }
 
     /// Emit all resident groups and drop their budget reservation.
@@ -309,9 +339,14 @@ impl HybridHashGrouper {
 }
 
 impl GroupBy for HybridHashGrouper {
-    fn push(&mut self, key: &[u8], value: &[u8], _sink: &mut dyn Sink) -> Result<()> {
-        self.records_in += 1;
-        self.push_tagged(key, value, TAG_RAW)?;
+    fn push_batch(&mut self, batch: &SegmentBuf, _sink: &mut dyn Sink) -> Result<()> {
+        self.records_in += batch.len() as u64;
+        for (key, value) in batch.iter() {
+            // Hash once per record; the fingerprint is reused for bucket
+            // routing here and (post-partition) for spill routing.
+            let fp = fingerprint(key);
+            self.push_tagged_fp(key, fp, value, TAG_RAW)?;
+        }
         // Advertise how much one shed would free (the whole resident
         // table) so the governor's LargestBucket policy can rank victims.
         self.budget.publish_shed_unit(self.reserved);

@@ -32,6 +32,7 @@ use onepass_core::io::{IoStats, RunMeta, RunWriter, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_core::metrics::{Phase, Profile};
 use onepass_core::trace::LocalTracer;
+use onepass_core::SegmentBuf;
 
 use crate::aggregate::Aggregator;
 use crate::sink::{EmitKind, OpStats, Sink};
@@ -263,12 +264,14 @@ impl IncHashGrouper {
 }
 
 impl GroupBy for IncHashGrouper {
-    fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()> {
-        self.records_in += 1;
-        if self.try_absorb(key, value, false, sink)? {
-            return Ok(());
+    fn push_batch(&mut self, batch: &SegmentBuf, sink: &mut dyn Sink) -> Result<()> {
+        self.records_in += batch.len() as u64;
+        for (key, value) in batch.iter() {
+            if !self.try_absorb(key, value, false, sink)? {
+                self.spill(key, value, false)?;
+            }
         }
-        self.spill(key, value, false)
+        Ok(())
     }
 
     fn shed(&mut self, target_bytes: usize) -> Result<usize> {
@@ -447,6 +450,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated per-record shim on purpose: early emission
+    // must interleave with individual pushes, not batch boundaries.
+    #[allow(deprecated)]
     fn early_emission_at_threshold() {
         let store = SharedMemStore::new();
         let mut g = IncHashGrouper::with_early(
@@ -482,6 +488,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // per-record shim must stay equivalent to batching
     fn early_value_reflects_threshold_state() {
         let store = SharedMemStore::new();
         let mut g = IncHashGrouper::with_early(
@@ -548,9 +555,11 @@ mod tests {
             Arc::new(CountAgg),
         );
         let mut sink = crate::sink::VecSink::default();
-        for i in 0..50u32 {
-            g.push(&i.to_le_bytes(), b"v", &mut sink).unwrap();
-        }
+        let recs: Vec<_> = (0..50u32)
+            .map(|i| (i.to_le_bytes().to_vec(), b"v".to_vec()))
+            .collect();
+        g.push_batch(&SegmentBuf::from_pairs(pairs(&recs)), &mut sink)
+            .unwrap();
         let err = g.finish(&mut sink);
         assert!(
             matches!(err, Err(onepass_core::Error::MemoryExceeded { .. })),

@@ -64,9 +64,10 @@ use onepass_core::{Result, SegmentBuf};
 ///     Arc::new(CountAgg),
 /// );
 /// let mut sink = VecSink::default();
-/// for key in [b"a", b"b", b"a"] {
-///     op.push(key, b"", &mut sink).unwrap();
-/// }
+/// let batch = onepass_core::SegmentBuf::from_pairs(
+///     [b"a", b"b", b"a"].map(|k| (k.as_slice(), b"".as_slice())),
+/// );
+/// op.push_batch(&batch, &mut sink).unwrap();
 /// let stats = op.finish(&mut sink).unwrap();
 /// assert_eq!(stats.groups_out, 2);
 /// assert_eq!(stats.io.bytes_written, 0); // fits in memory: zero I/O
@@ -75,18 +76,25 @@ use onepass_core::{Result, SegmentBuf};
 /// Operators are `Send` so engines can move them across worker threads
 /// (each operator is still single-threaded internally).
 pub trait GroupBy: Send {
-    /// Consume one record. May emit early output into `sink`.
-    fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()>;
+    /// Consume a whole arena-backed batch — the primary entry point.
+    ///
+    /// Operators probe per segment, not per record: implementations hash
+    /// each key once and reuse the fingerprint for partition routing and
+    /// table probes, which is where the one-pass CPU advantage over
+    /// sort-merge comes from (§V). Key/value slices borrow straight from
+    /// the segment's arena; no per-record copies are required.
+    fn push_batch(&mut self, batch: &SegmentBuf, sink: &mut dyn Sink) -> Result<()>;
 
-    /// Consume a whole arena-backed batch. The default forwards each
-    /// `(key, value)` slice pair straight out of the segment's arena into
-    /// [`GroupBy::push`] — no per-record copies — so every operator gets
-    /// the batched entry point for free while keeping the slice contract.
-    fn push_batch(&mut self, batch: &SegmentBuf, sink: &mut dyn Sink) -> Result<()> {
-        for (k, v) in batch.iter() {
-            self.push(k, v, sink)?;
-        }
-        Ok(())
+    /// Consume one record. Compatibility shim over [`GroupBy::push_batch`]:
+    /// it materialises a single-record segment per call, so hot paths must
+    /// batch instead.
+    #[deprecated(
+        since = "0.7.0",
+        note = "push_batch is the primary entry point; per-record push copies each \
+                record into a throwaway single-entry segment"
+    )]
+    fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()> {
+        self.push_batch(&SegmentBuf::from_pairs([(key, value)]), sink)
     }
 
     /// Shed at least `target_bytes` of resident state through the
@@ -123,15 +131,17 @@ pub(crate) mod test_support {
         records.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
     }
 
-    /// Drive `op` over `records` and return final `(key -> emitted value)`
-    /// plus stats and the raw sink. Panics on duplicate final emissions.
+    /// Drive `op` over `records` (as one arena-backed batch, the primary
+    /// API) and return final `(key -> emitted value)` plus stats and the
+    /// raw sink. Panics on duplicate final emissions.
     pub fn run_op<'a>(
         op: &mut dyn GroupBy,
         records: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
     ) -> (BTreeMap<Vec<u8>, Vec<u8>>, OpStats, VecSink) {
         let mut sink = VecSink::default();
-        for (k, v) in records {
-            op.push(k, v, &mut sink).unwrap();
+        let batch = SegmentBuf::from_pairs(records);
+        if !batch.is_empty() {
+            op.push_batch(&batch, &mut sink).unwrap();
         }
         let stats = op.finish(&mut sink).unwrap();
         let mut out = BTreeMap::new();

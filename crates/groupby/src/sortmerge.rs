@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use onepass_core::bytes_kv::KvBuf;
+use onepass_core::bytes_kv::{KvBuf, SegmentBuf};
 use onepass_core::error::Result;
 use onepass_core::io::{IoStats, SpillStore};
 use onepass_core::memory::MemoryBudget;
@@ -161,8 +161,8 @@ impl SortMergeGrouper {
     }
 }
 
-impl GroupBy for SortMergeGrouper {
-    fn push(&mut self, key: &[u8], value: &[u8], _sink: &mut dyn Sink) -> Result<()> {
+impl SortMergeGrouper {
+    fn push_one(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         debug_assert!(!self.finished, "push after finish");
         let cost = Self::record_cost(key, value);
         // Ask the governor (if leased) for more headroom before falling
@@ -185,6 +185,15 @@ impl GroupBy for SortMergeGrouper {
         self.peak_reserved = self.peak_reserved.max(self.reserved);
         self.buf.push(0, key, value);
         self.records_in += 1;
+        Ok(())
+    }
+}
+
+impl GroupBy for SortMergeGrouper {
+    fn push_batch(&mut self, batch: &SegmentBuf, _sink: &mut dyn Sink) -> Result<()> {
+        for (key, value) in batch.iter() {
+            self.push_one(key, value)?;
+        }
         Ok(())
     }
 

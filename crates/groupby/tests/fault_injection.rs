@@ -33,8 +33,12 @@ fn drive_with_faults(
         Arc::new(FaultInjectStore::new(Arc::new(SharedMemStore::new()), ops));
     let mut g = mk(store);
     let mut sink = VecSink::default();
-    for (k, v) in records(3000) {
-        g.push(&k, &v, &mut sink)?;
+    // Small batches so the fault budget can expire mid-stream, not just
+    // at finish.
+    for chunk in records(3000).chunks(64) {
+        let batch =
+            onepass_core::SegmentBuf::from_pairs(chunk.iter().map(|(k, v)| (&k[..], &v[..])));
+        g.push_batch(&batch, &mut sink)?;
     }
     g.finish(&mut sink)?;
     Ok(())
@@ -104,8 +108,10 @@ fn failure_mid_job_does_not_double_emit() {
         Arc::new(FaultInjectStore::new(Arc::new(SharedMemStore::new()), 200));
     let mut g = FreqHashGrouper::new(store, MemoryBudget::new(4 * 1024), Arc::new(CountAgg));
     let mut sink = VecSink::default();
-    for (k, v) in records(3000) {
-        if g.push(&k, &v, &mut sink).is_err() {
+    for chunk in records(3000).chunks(64) {
+        let batch =
+            onepass_core::SegmentBuf::from_pairs(chunk.iter().map(|(k, v)| (&k[..], &v[..])));
+        if g.push_batch(&batch, &mut sink).is_err() {
             break;
         }
     }

@@ -39,9 +39,8 @@ fn finals(sink: &VecSink) -> BTreeMap<Vec<u8>, Vec<u8>> {
 
 fn run(mut op: Box<dyn GroupBy>, recs: &Records) -> BTreeMap<Vec<u8>, Vec<u8>> {
     let mut sink = VecSink::default();
-    for (k, v) in recs {
-        op.push(k, v, &mut sink).unwrap();
-    }
+    let batch = onepass_core::SegmentBuf::from_pairs(recs.iter().map(|(k, v)| (&k[..], &v[..])));
+    op.push_batch(&batch, &mut sink).unwrap();
     op.finish(&mut sink).unwrap();
     finals(&sink)
 }

@@ -33,18 +33,19 @@ fn truth(recs: &[(Vec<u8>, Vec<u8>)]) -> BTreeMap<Vec<u8>, u64> {
     t
 }
 
-/// Push `recs`, shedding `target` bytes every `every` records, then
-/// finish. Asserts no duplicate finals and exact counts.
+/// Push `recs` in batches of `every` records, shedding `target` bytes at
+/// each batch boundary, then finish. Asserts no duplicate finals and
+/// exact counts.
 fn run_with_sheds(op: &mut dyn GroupBy, recs: &[(Vec<u8>, Vec<u8>)], every: usize, target: usize) {
     let mut sink = VecSink::default();
     let mut shed_calls = 0u32;
     let mut shed_freed = 0usize;
-    for (i, (k, v)) in recs.iter().enumerate() {
-        op.push(k, v, &mut sink).unwrap();
-        if i > 0 && i % every == 0 {
-            shed_freed += op.shed(target).unwrap();
-            shed_calls += 1;
-        }
+    for chunk in recs.chunks(every) {
+        let batch =
+            onepass_core::SegmentBuf::from_pairs(chunk.iter().map(|(k, v)| (&k[..], &v[..])));
+        op.push_batch(&batch, &mut sink).unwrap();
+        shed_freed += op.shed(target).unwrap();
+        shed_calls += 1;
     }
     op.finish(&mut sink).unwrap();
     assert!(shed_calls > 0);

@@ -34,9 +34,11 @@ use std::time::{Duration, Instant};
 use onepass_core::error::Result;
 use onepass_core::fault::{FaultInjector, FaultPlan};
 use onepass_core::governor::MemoryPolicy;
+use onepass_core::hashlib::HashFamily;
 use onepass_core::trace::Tracer;
 
 use crate::executor;
+use crate::in_node::InNodeCombine;
 use crate::job::JobSpec;
 use crate::map_task::Split;
 use crate::report::JobReport;
@@ -143,7 +145,9 @@ impl SpeculationConfig {
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Concurrent map workers (task slots). Default 4.
+    /// Concurrent map workers (task slots). Defaults to the machine's
+    /// available parallelism (min 2 so speculation and straggler tests
+    /// still overlap attempts), capped at 4.
     pub map_workers: usize,
     /// Reducer channel depth (shuffle backpressure). Default 64.
     pub channel_depth: usize,
@@ -178,12 +182,31 @@ pub struct EngineConfig {
     /// [`MetricsServer`](onepass_core::obs::MetricsServer)) to get live
     /// per-stage progress, phase cost, shuffle volume, and TTFA metrics.
     pub metrics: Option<onepass_core::obs::MetricsRegistry>,
+    /// Hash family for the engine's hash groupers (reduce-side hybrid /
+    /// frequent-key tables and their recursive children). Default
+    /// [`HashFamily::MultiplyShift`] — one multiply + shift per probe;
+    /// [`HashFamily::Tabulation`] trades a table lookup per byte for
+    /// stronger independence guarantees.
+    pub hash_family: HashFamily,
+    /// Worker-scoped in-node combining of map output (see
+    /// [`crate::in_node`]). Default [`InNodeCombine::On`]: eligible jobs
+    /// (hash-combine map side, combinable aggregate, speculation off)
+    /// combine across all map tasks sharing a worker before shuffling.
+    pub in_node_combine: InNodeCombine,
+}
+
+/// Map task slots sized to the machine: one per hardware thread, floored
+/// at 2 (so speculative attempts can overlap their originals) and capped
+/// at 4 (more slots than that just thrash worker combine tables on the
+/// small inputs this engine targets).
+fn default_map_workers() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4))
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            map_workers: 4,
+            map_workers: default_map_workers(),
             channel_depth: 64,
             spill: SpillBackend::Memory,
             persist_map_output: MapOutputPersistence::Persist,
@@ -193,6 +216,8 @@ impl Default for EngineConfig {
             faults: FaultInjector::none(),
             memory_policy: MemoryPolicy::Static,
             metrics: None,
+            hash_family: HashFamily::default(),
+            in_node_combine: InNodeCombine::default(),
         }
     }
 }
@@ -268,6 +293,18 @@ impl EngineConfigBuilder {
     /// Publish live metrics into `registry` while jobs run.
     pub fn metrics(mut self, registry: onepass_core::obs::MetricsRegistry) -> Self {
         self.cfg.metrics = Some(registry);
+        self
+    }
+
+    /// Hash family for the engine's hash groupers.
+    pub fn hash_family(mut self, family: HashFamily) -> Self {
+        self.cfg.hash_family = family;
+        self
+    }
+
+    /// Worker-scoped in-node combining of map output.
+    pub fn in_node_combine(mut self, mode: InNodeCombine) -> Self {
+        self.cfg.in_node_combine = mode;
         self
     }
 
@@ -528,6 +565,8 @@ mod tests {
             .faults(FaultPlan::new().fail_map(0, 0, 1))
             .memory_policy(MemoryPolicy::adaptive())
             .metrics(onepass_core::obs::MetricsRegistry::new())
+            .hash_family(HashFamily::Tabulation)
+            .in_node_combine(InNodeCombine::Off)
             .build();
         assert_eq!(cfg.map_workers, 2);
         assert_eq!(cfg.channel_depth, 8);
@@ -538,9 +577,16 @@ mod tests {
         assert!(cfg.faults.is_active());
         assert!(matches!(cfg.memory_policy, MemoryPolicy::Adaptive { .. }));
         assert!(cfg.metrics.is_some());
+        assert_eq!(cfg.hash_family, HashFamily::Tabulation);
+        assert_eq!(cfg.in_node_combine, InNodeCombine::Off);
         let defaults = EngineConfig::builder().build();
         assert!(matches!(defaults.memory_policy, MemoryPolicy::Static));
         assert!(defaults.metrics.is_none());
+        assert_eq!(defaults.hash_family, HashFamily::MultiplyShift);
+        assert!(
+            defaults.in_node_combine.is_on(),
+            "in-node combining is the default fast path"
+        );
     }
 
     #[test]

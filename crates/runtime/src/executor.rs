@@ -14,18 +14,22 @@ use std::time::Instant;
 
 use crossbeam::channel::unbounded;
 
+use onepass_core::bytes_kv::KvBuf;
 use onepass_core::error::{Error, Result};
 use onepass_core::governor::{MemoryGovernor, MemoryPolicy};
+use onepass_core::hashlib::{HashFamily, SeededFamily};
 use onepass_core::io::{FileSpillStore, SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
+use onepass_core::metrics::Phase;
 use onepass_core::trace::{LocalTracer, Track};
 use onepass_groupby::{
     Aggregator, EmitKind, FreqHashGrouper, GroupBy, HybridHashGrouper, IncHashGrouper, Sink,
 };
 
 use crate::driver::{EngineConfig, SpillBackend};
+use crate::in_node::{innode_eligible, WorkerCombiner};
 use crate::job::{JobSpec, ReduceBackend};
-use crate::map_task::{run_map_task, MapAttemptCtx};
+use crate::map_task::{run_map_task_with, MapAttemptCtx};
 use crate::reduce_task::{panic_message, run_reduce_task_open, ReduceResult, ReduceRetryOpts};
 use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
 use crate::scheduler::{schedule_maps, MapAssignment, MapEvent, SchedulerCtx, SplitFeed};
@@ -82,16 +86,20 @@ pub(crate) fn build_hash_grouper(
     budget: MemoryBudget,
     agg: Arc<dyn Aggregator>,
     tracer: Option<LocalTracer>,
+    family: HashFamily,
 ) -> Result<Box<dyn GroupBy>> {
+    let seeded = SeededFamily::of(family);
     Ok(match backend {
         ReduceBackend::HybridHash { fanout } => {
-            let mut g = HybridHashGrouper::new(store, budget, *fanout, agg)?;
+            let mut g = HybridHashGrouper::with_family(store, budget, *fanout, agg, seeded)?;
             if let Some(t) = tracer {
                 g.set_tracer(t);
             }
             Box::new(g)
         }
         ReduceBackend::IncHash { early } => {
+            // Incremental hash probes only its resident table (no bucket
+            // routing), so the family choice has nothing to configure.
             let mut g = IncHashGrouper::with_early(store, budget, agg, early.clone());
             if let Some(t) = tracer {
                 g.set_tracer(t);
@@ -99,7 +107,7 @@ pub(crate) fn build_hash_grouper(
             Box::new(g)
         }
         ReduceBackend::FreqHash(cfg) => {
-            let mut g = FreqHashGrouper::with_config(store, budget, agg, cfg.clone());
+            let mut g = FreqHashGrouper::with_family(store, budget, agg, cfg.clone(), seeded);
             if let Some(t) = tracer {
                 g.set_tracer(t);
             }
@@ -121,10 +129,11 @@ pub(crate) fn build_incremental_grouper(
     store: Arc<dyn SpillStore>,
     budget: MemoryBudget,
     agg: Arc<dyn Aggregator>,
+    family: HashFamily,
 ) -> Result<Box<dyn GroupBy>> {
     match backend {
         ReduceBackend::IncHash { .. } | ReduceBackend::FreqHash(_) => {
-            build_hash_grouper(backend, store, budget, agg, None)
+            build_hash_grouper(backend, store, budget, agg, None, family)
         }
         other => Err(Error::Config(format!(
             "incremental grouping requires an incremental backend; {} is blocking",
@@ -213,6 +222,11 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
         None
     };
     let spill = config.spill;
+    let hash_family = config.hash_family;
+    // In-node combining: map tasks on the same worker drain into one
+    // shared combine table that flushes far less often than per-task
+    // combining ships (see `crate::in_node` for eligibility + protocol).
+    let innode = innode_eligible(config, job);
 
     // Work queue + event stream between coordinator and map workers.
     let (task_tx, task_rx) = unbounded::<MapAssignment>();
@@ -233,7 +247,21 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
             let evt_tx = evt_tx.clone();
             let map_store = map_store.clone();
             let injector = injector.clone();
+            let governor = governor.clone();
+            let innode_ratio = telemetry.as_ref().map(|t| t.innode_combine_ratio.clone());
             scope.spawn(move |_| {
+                // Worker-scoped combine table, governor-leased so its
+                // bytes are debited from the same pool as reduce tables.
+                let mut combiner = innode.then(|| {
+                    let budget = match &governor {
+                        Some(g) => g.lease(job.map_buffer_bytes),
+                        None => MemoryBudget::new(job.map_buffer_bytes),
+                    };
+                    WorkerCombiner::new(job.reducers, budget)
+                });
+                // Reusable deferred-output arena: each attempt's full map
+                // output lands here before the post-success fold.
+                let mut deferred_buf = KvBuf::new();
                 while let Ok(asg) = task_rx.recv() {
                     if !asg.delay.is_zero() {
                         std::thread::sleep(asg.delay);
@@ -259,18 +287,28 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
                         injector: injector.clone(),
                         cancel: Some(cancel),
                     };
+                    // In deferred mode persistence moves to the worker
+                    // flush (what goes down is what actually shuffles).
+                    let task_store = if combiner.is_some() {
+                        None
+                    } else {
+                        map_store.as_ref()
+                    };
+                    deferred_buf.clear();
+                    let deferred = combiner.as_ref().map(|_| &mut deferred_buf);
                     // A panicking map function is a task failure, not an
                     // engine failure: convert it to Err so the retry
                     // budget applies.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_map_task(
+                    let mut result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_map_task_with(
                             job,
                             task,
                             &split,
                             &shuffle_tx,
-                            map_store.as_ref(),
+                            task_store,
                             &mut trace,
                             &ctx,
+                            deferred,
                         )
                     }))
                     .unwrap_or_else(|p| {
@@ -279,6 +317,29 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
                             panic_message(p.as_ref())
                         )))
                     });
+                    // Only a *successful* attempt reaches the shared
+                    // table — a failed or cancelled attempt's buffer is
+                    // simply discarded, exactly as a failed attempt never
+                    // announces MapDone.
+                    if let (Some(c), Ok(stats)) = (combiner.as_mut(), result.as_mut()) {
+                        let fold_start = std::time::Instant::now();
+                        trace.begin(Phase::MapHash.label(), "phase");
+                        c.fold_task(
+                            task,
+                            attempt,
+                            &deferred_buf,
+                            job.partitioner.as_ref(),
+                            job.agg.as_ref(),
+                        );
+                        trace.end(Phase::MapHash.label(), "phase");
+                        stats.profile.add_time(Phase::MapHash, fold_start.elapsed());
+                        if c.should_flush()
+                            && c.flush(&shuffle_tx, map_store.as_ref(), innode_ratio.as_ref())
+                                .is_err()
+                        {
+                            shuffle_tx.abort();
+                        }
+                    }
                     trace.end("map_task", "task");
                     drop(trace);
                     let span = TaskSpan {
@@ -295,6 +356,16 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
                         span,
                         result,
                     });
+                }
+                // Task queue closed (scheduler exited): drain the table.
+                // Segments ship first, then the deferred MapDones, so the
+                // reducers waiting on those tasks can now finish.
+                if let Some(mut c) = combiner {
+                    if c.flush(&shuffle_tx, map_store.as_ref(), innode_ratio.as_ref())
+                        .is_err()
+                    {
+                        shuffle_tx.abort();
+                    }
                 }
             });
         }
@@ -346,6 +417,7 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
                     backoff: retry.backoff,
                     dedup_attempts: ft_active,
                     injector,
+                    hash_family,
                 };
                 let res = run_reduce_task_open(
                     job,
@@ -455,6 +527,7 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
     // outputs were collected.
     report.early_emits = early_total;
     report.shuffled_bytes = shuffle_tx.shuffled_bytes();
+    report.shuffled_records = shuffle_tx.shuffled_records();
     if let Some(ms) = &map_store {
         report.map_write_io = ms.stats();
     }

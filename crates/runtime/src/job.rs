@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use onepass_core::config::{DEFAULT_MERGE_FACTOR, MIB};
 use onepass_core::error::{Error, Result};
-use onepass_core::hashlib::{HashFamily, KeyHasher, MultiplyShift};
+use onepass_core::hashlib::{FamilyHasher, HashFamily, KeyHasher, SeededFamily};
 use onepass_groupby::freq_hash::FreqHashConfig;
 use onepass_groupby::inc_hash::EarlyEmit;
 use onepass_groupby::Aggregator;
@@ -38,27 +38,49 @@ where
 pub trait Partitioner: Send + Sync {
     /// Partition index in `0..reducers` for `key`.
     fn partition(&self, key: &[u8], reducers: usize) -> usize;
+
+    /// Partition a key whose [`onepass_core::hashlib::fingerprint`] is
+    /// already in hand. Must agree with [`Partitioner::partition`] for
+    /// every key; hash partitioners route straight from `fp` so callers
+    /// that fingerprint anyway (the in-node combiner's fold) pay for one
+    /// fingerprint per record, not two. The default ignores `fp`.
+    fn partition_fp(&self, fp: u64, key: &[u8], reducers: usize) -> usize {
+        let _ = fp;
+        self.partition(key, reducers)
+    }
 }
 
 /// Default hash partitioner.
 #[derive(Debug, Clone)]
 pub struct HashPartitioner {
-    hasher: MultiplyShift,
+    hasher: FamilyHasher,
+}
+
+impl HashPartitioner {
+    /// Partitioner drawing its hash function from `family` (the engine's
+    /// configured [`HashFamily`]).
+    pub fn with_family(family: HashFamily) -> Self {
+        // A family member distinct from those used inside the group-by
+        // operators, so partition and bucket decisions are independent.
+        HashPartitioner {
+            hasher: SeededFamily::of(family).member(7_777_777),
+        }
+    }
 }
 
 impl Default for HashPartitioner {
     fn default() -> Self {
-        // A family member distinct from those used inside the group-by
-        // operators, so partition and bucket decisions are independent.
-        HashPartitioner {
-            hasher: HashFamily::default().member(7_777_777),
-        }
+        Self::with_family(HashFamily::default())
     }
 }
 
 impl Partitioner for HashPartitioner {
     fn partition(&self, key: &[u8], reducers: usize) -> usize {
         self.hasher.bucket(key, reducers)
+    }
+
+    fn partition_fp(&self, fp: u64, _key: &[u8], reducers: usize) -> usize {
+        self.hasher.bucket_fp(fp, reducers)
     }
 }
 

@@ -26,6 +26,7 @@
 pub mod chain;
 pub mod driver;
 mod executor;
+pub mod in_node;
 pub mod job;
 pub mod map_task;
 pub mod plan;
@@ -41,6 +42,7 @@ pub use driver::{
     Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
     SpeculationConfig, SpillBackend,
 };
+pub use in_node::InNodeCombine;
 pub use job::{
     CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode, Partitioner,
     ReduceBackend, ShuffleMode,
@@ -61,6 +63,7 @@ pub mod prelude {
         Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
         SpeculationConfig, SpillBackend,
     };
+    pub use crate::in_node::InNodeCombine;
     pub use crate::job::{
         CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode,
         Partitioner, ReduceBackend, ShuffleMode,
@@ -75,5 +78,6 @@ pub mod prelude {
         policy_by_name, ColdestKeys, LargestBucket, LargestConsumer, MemoryGovernor, MemoryPolicy,
         RoundRobin, SpillPolicy,
     };
+    pub use onepass_core::hashlib::HashFamily;
     pub use onepass_core::{OwnedKv, SegmentBuf, SegmentBufBuilder};
 }

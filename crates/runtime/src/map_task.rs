@@ -84,16 +84,24 @@ impl MapAttemptCtx {
 }
 
 /// Emitter collecting map output into a [`KvBuf`], partitioned up front.
+///
+/// With `partitioner: None` (deferred mode) every pair lands in partition
+/// 0 unrouted: the in-node fold fingerprints each key anyway, so it
+/// routes from that fingerprint via
+/// [`crate::job::Partitioner::partition_fp`] and the
+/// per-emit partition call would be a second hash of the same bytes.
 struct BufEmitter<'a> {
     buf: &'a mut KvBuf,
-    partitioner: &'a dyn crate::job::Partitioner,
+    partitioner: Option<&'a dyn crate::job::Partitioner>,
     reducers: usize,
     emitted: u64,
 }
 
 impl MapEmitter for BufEmitter<'_> {
     fn emit(&mut self, key: &[u8], value: &[u8]) {
-        let p = self.partitioner.partition(key, self.reducers) as u32;
+        let p = self
+            .partitioner
+            .map_or(0, |pt| pt.partition(key, self.reducers) as u32);
         self.buf.push(p, key, value);
         self.emitted += 1;
     }
@@ -122,12 +130,39 @@ pub fn run_map_task(
     trace: &mut LocalTracer,
     ctx: &MapAttemptCtx,
 ) -> Result<MapTaskStats> {
+    run_map_task_with(job, task_id, split, tx, map_store, trace, ctx, None)
+}
+
+/// [`run_map_task`] with an optional deferred-output buffer. When
+/// `deferred` is `Some` (the executor only passes one for `HashCombine`
+/// jobs running under the in-node combiner), the attempt's entire
+/// output accumulates in that buffer (unrouted — the fold partitions
+/// from its own fingerprints) and nothing is
+/// shipped — no segments, no `MapDone`, no mid-task flushes. On success
+/// the executor folds the buffer into the worker's shared combine table;
+/// see [`crate::in_node`] for the full protocol.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_map_task_with(
+    job: &JobSpec,
+    task_id: usize,
+    split: &Split,
+    tx: &ShuffleTx,
+    map_store: Option<&Arc<dyn SpillStore>>,
+    trace: &mut LocalTracer,
+    ctx: &MapAttemptCtx,
+    deferred: Option<&mut KvBuf>,
+) -> Result<MapTaskStats> {
     let mut stats = MapTaskStats {
         input_records: split.records.len() as u64,
         input_bytes: split.bytes(),
         ..Default::default()
     };
-    let mut buf = KvBuf::new();
+    let mut local = KvBuf::new();
+    let defer = deferred.is_some();
+    let buf: &mut KvBuf = match deferred {
+        Some(b) => b,
+        None => &mut local,
+    };
     let push_granularity = match job.shuffle {
         ShuffleMode::Push { granularity } => Some(granularity.max(1)),
         ShuffleMode::Pull => None,
@@ -159,8 +194,8 @@ pub fn run_map_task(
         }
         let map_start = std::time::Instant::now();
         let mut emitter = BufEmitter {
-            buf: &mut buf,
-            partitioner: job.partitioner.as_ref(),
+            buf,
+            partitioner: (!defer).then(|| job.partitioner.as_ref()),
             reducers: job.reducers,
             emitted: 0,
         };
@@ -170,36 +205,44 @@ pub fn run_map_task(
         since_flush += emitted as usize;
         stats.profile.add_time(Phase::MapFn, map_start.elapsed());
 
-        let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
-        let push_due = push_granularity.is_some_and(|g| since_flush >= g);
-        if buffer_full || push_due {
-            flush_buffer(
-                job,
-                task_id,
-                ctx.attempt,
-                &mut buf,
-                tx,
-                map_store,
-                &mut stats,
-                trace,
-            )?;
-            since_flush = 0;
+        // Deferred mode buffers the whole attempt: granularity and
+        // buffer-bytes checkpoints don't apply (the arena is bounded by
+        // the split's output; the worker's combine budget governs the
+        // shared table instead).
+        if !defer {
+            let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
+            let push_due = push_granularity.is_some_and(|g| since_flush >= g);
+            if buffer_full || push_due {
+                flush_buffer(
+                    job,
+                    task_id,
+                    ctx.attempt,
+                    buf,
+                    tx,
+                    map_store,
+                    &mut stats,
+                    trace,
+                )?;
+                since_flush = 0;
+            }
         }
     }
     if ctx.cancelled() {
         return Err(Error::Cancelled);
     }
-    flush_buffer(
-        job,
-        task_id,
-        ctx.attempt,
-        &mut buf,
-        tx,
-        map_store,
-        &mut stats,
-        trace,
-    )?;
-    tx.map_done(task_id, ctx.attempt);
+    if !defer {
+        flush_buffer(
+            job,
+            task_id,
+            ctx.attempt,
+            buf,
+            tx,
+            map_store,
+            &mut stats,
+            trace,
+        )?;
+        tx.map_done(task_id, ctx.attempt);
+    }
     Ok(stats)
 }
 

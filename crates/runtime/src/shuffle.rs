@@ -164,6 +164,7 @@ impl PressureGate {
 pub struct ShuffleTx {
     senders: Vec<Sender<ShuffleMsg>>,
     bytes: Arc<AtomicU64>,
+    records: Arc<AtomicU64>,
     segments: Arc<AtomicU64>,
     pressure: Option<PressureGate>,
     /// Live registry mirrors of `bytes` / `segments`, when enabled.
@@ -205,6 +206,7 @@ impl ShuffleTx {
             gate.admit(&self.senders[p]);
         }
         self.bytes.fetch_add(seg.payload_bytes(), Ordering::Relaxed);
+        self.records.fetch_add(seg.len() as u64, Ordering::Relaxed);
         self.segments.fetch_add(1, Ordering::Relaxed);
         if let Some((bytes, segments)) = &self.obs {
             bytes.inc(seg.payload_bytes());
@@ -251,6 +253,12 @@ impl ShuffleTx {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Total records shuffled so far. Counted at the fabric (not per map
+    /// task) so worker-scoped in-node combine flushes are included.
+    pub fn shuffled_records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
     /// Total segments shuffled so far.
     pub fn shuffled_segments(&self) -> u64 {
         self.segments.load(Ordering::Relaxed)
@@ -274,6 +282,7 @@ pub fn shuffle_fabric(reducers: usize, depth: usize) -> (ShuffleTx, Vec<Receiver
         ShuffleTx {
             senders,
             bytes: Arc::new(AtomicU64::new(0)),
+            records: Arc::new(AtomicU64::new(0)),
             segments: Arc::new(AtomicU64::new(0)),
             obs: None,
             pressure: None,

@@ -101,6 +101,16 @@ impl StreamSession {
     /// ([`ReduceBackend::IncHash`](crate::job::ReduceBackend::IncHash) or
     /// [`ReduceBackend::FreqHash`](crate::job::ReduceBackend::FreqHash)).
     pub fn new(job: JobSpec) -> Result<Self> {
+        Self::with_hash_family(job, onepass_core::hashlib::HashFamily::default())
+    }
+
+    /// [`StreamSession::new`] with an explicit hash family for the
+    /// session's groupers (the streaming analogue of
+    /// [`EngineConfigBuilder::hash_family`](crate::EngineConfigBuilder::hash_family)).
+    pub fn with_hash_family(
+        job: JobSpec,
+        family: onepass_core::hashlib::HashFamily,
+    ) -> Result<Self> {
         job.validate()?;
         let per_partition_budget = (job.reduce_budget_bytes / job.reducers).max(1024);
         let mut groupers: Vec<Box<dyn GroupBy>> = Vec::with_capacity(job.reducers);
@@ -117,6 +127,7 @@ impl StreamSession {
                 store,
                 budget,
                 agg,
+                family,
             )?);
         }
         Ok(StreamSession {

@@ -51,6 +51,9 @@ pub(crate) struct StageTelemetry {
     /// `onepass_engine_combine_ratio{stage}` — shuffled / emitted records
     /// per map task (1.0 = combiner saved nothing).
     pub combine_ratio: Histogram,
+    /// `onepass_innode_combine_ratio{stage}` — shuffled / absorbed records
+    /// per worker combine-table flush (in-node combiner effectiveness).
+    pub innode_combine_ratio: Histogram,
     /// `onepass_plan_ttfa_seconds{stage}` — time to each partition's first
     /// final answer, measured against the job (or plan) clock.
     pub ttfa: Histogram,
@@ -73,6 +76,7 @@ impl StageTelemetry {
             shuffle_segments: registry.counter("onepass_engine_shuffle_segments_total", l),
             backpressure_stalls: registry.counter("onepass_engine_backpressure_stalls_total", l),
             combine_ratio: registry.histogram("onepass_engine_combine_ratio", l),
+            innode_combine_ratio: registry.histogram("onepass_innode_combine_ratio", l),
             ttfa: registry.histogram("onepass_plan_ttfa_seconds", l),
             registry: registry.clone(),
             stage: stage.to_string(),

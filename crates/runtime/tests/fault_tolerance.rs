@@ -108,9 +108,17 @@ fn recovery_roundtrip(spill: SpillBackend, preset_onepass: bool) {
     assert_eq!(faulty.map_attempts, clean.map_tasks + 1);
     assert_eq!(faulty.reduce_attempts, job.reducers + 1);
     assert_eq!(faulty.failed_attempts, 2);
-    assert_eq!(
-        faulty.shuffled_records, clean.shuffled_records,
-        "a retried map must not double-count shuffle traffic"
+    // A retried map must not double-count its output. The committed
+    // record count is schedule-independent; the shuffled count is
+    // physical (with worker-scoped in-node combining it depends on how
+    // tasks landed on workers), so bound it instead of pinning it — the
+    // byte-identical output check above is the true double-count guard.
+    assert_eq!(faulty.map_output_records, clean.map_output_records);
+    assert!(
+        faulty.shuffled_records > 0 && faulty.shuffled_records <= faulty.map_output_records,
+        "combining must not inflate shuffle traffic ({} shuffled, {} emitted)",
+        faulty.shuffled_records,
+        faulty.map_output_records
     );
 
     // The trace layer saw the recovery.

@@ -5,9 +5,10 @@
 //! with the edge encoded manually through the chain codec — and all
 //! three match a pure-Rust reference. The property sweeps all four
 //! reduce backends, both spill backends, the memory-governor policies,
-//! and a seeded fault plan that kills a map and a reduce task mid-run,
-//! so edge streaming must survive retries, spills, and rebalancing
-//! without changing answers.
+//! both hash families, in-node combining on/off, and a seeded fault plan
+//! that kills a map and a reduce task mid-run, so edge streaming must
+//! survive retries, spills, worker combine-table flushes, and
+//! rebalancing without changing answers.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -118,8 +119,18 @@ fn reference(records: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
         .collect()
 }
 
-fn mk_config(spill: SpillBackend, policy: MemoryPolicy, faults: Option<FaultPlan>) -> EngineConfig {
-    let mut b = EngineConfig::builder().spill(spill).memory_policy(policy);
+fn mk_config(
+    spill: SpillBackend,
+    policy: MemoryPolicy,
+    faults: Option<FaultPlan>,
+    family: HashFamily,
+    in_node: InNodeCombine,
+) -> EngineConfig {
+    let mut b = EngineConfig::builder()
+        .spill(spill)
+        .memory_policy(policy)
+        .hash_family(family)
+        .in_node_combine(in_node);
     if let Some(f) = faults {
         b = b
             .retry(RetryPolicy {
@@ -146,7 +157,19 @@ proptest! {
         // Tiny edge splits exercise the streaming hand-off; larger ones
         // exercise batching. Either way the answer must not move.
         records_per_split in 1usize..64,
+        innode_off in any::<bool>(),
+        tabulation in any::<bool>(),
     ) {
+        let family = if tabulation {
+            HashFamily::Tabulation
+        } else {
+            HashFamily::MultiplyShift
+        };
+        let in_node = if innode_off {
+            InNodeCombine::Off
+        } else {
+            InNodeCombine::On
+        };
         let splits: Vec<Split> = records
             .chunks(per_split)
             .map(|c| Split::new(c.to_vec()))
@@ -176,7 +199,7 @@ proptest! {
 
         let mut outputs = Vec::new();
         for mode in [PlanMode::Pipelined, PlanMode::Barrier] {
-            let cfg = mk_config(spill, mk_policy(policy_tag), Some(faults.clone()));
+            let cfg = mk_config(spill, mk_policy(policy_tag), Some(faults.clone()), family, in_node);
             let mut pc = PlanConfig::new(mode);
             pc.records_per_split = records_per_split;
             let report = Engine::with_config(cfg)
@@ -191,7 +214,7 @@ proptest! {
         // Manual chaining: run each stage as a standalone job and carry
         // the edge by hand through the public chain codec. No faults —
         // this leg is the engine-level reference, kept deterministic.
-        let r1 = Engine::with_config(mk_config(spill, mk_policy(policy_tag), None))
+        let r1 = Engine::with_config(mk_config(spill, mk_policy(policy_tag), None, family, in_node))
             .run(&count_job(backend, reducers), splits)
             .unwrap();
         let edge: Vec<Vec<u8>> = r1
@@ -213,7 +236,7 @@ proptest! {
             None
         } else {
             Some(
-                Engine::with_config(mk_config(spill, mk_policy(policy_tag), None))
+                Engine::with_config(mk_config(spill, mk_policy(policy_tag), None, family, in_node))
                     .run(&job2, edge_splits)
                     .unwrap(),
             )

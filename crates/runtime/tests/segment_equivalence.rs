@@ -1,10 +1,12 @@
 //! Equivalence property: jobs shuffled over the arena-backed
 //! [`SegmentBuf`] path produce output whose unordered fingerprint is
 //! byte-identical to the reference computation — across all four reduce
-//! backends, both spill backends, and with a seeded fault plan forcing a
-//! map and a reduce retry mid-run. A single flipped, dropped, or
-//! duplicated byte anywhere on the record path (arena framing, shuffle,
-//! spill, merge, replay) changes the fingerprint.
+//! backends, both spill backends, both hash families, in-node combining
+//! on and off (with map-side hash combine engaged so the worker combine
+//! table actually runs), and with a seeded fault plan forcing a map and
+//! a reduce retry mid-run. A single flipped, dropped, or duplicated byte
+//! anywhere on the record path (arena framing, shuffle, spill, merge,
+//! worker combine-table replay) changes the fingerprint.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -82,15 +84,27 @@ proptest! {
         // 0 = static; 1..=4 index the pluggable spill policies, exercising
         // governor rebalancing + shedding under the same fingerprint check.
         policy_tag in 0u8..5,
+        // Map-side hash combine (the in-node-eligible configuration) vs
+        // the sort-spill default, crossed with in-node on/off and both
+        // hash families: answers must not move.
+        hash_combine_map in any::<bool>(),
+        innode_off in any::<bool>(),
+        tabulation in any::<bool>(),
     ) {
-        let job = JobSpec::builder("seg-eq")
+        let mut builder = JobSpec::builder("seg-eq")
             .map_fn(Arc::new(word_map))
             .aggregate(Arc::new(SumAgg))
             .reducers(reducers)
             .backend(mk_backend(backend_tag))
-            .reduce_budget_bytes(2048) // small: force spills through the arena path
-            .build()
-            .unwrap();
+            .reduce_budget_bytes(2048); // small: force spills through the arena path
+        if hash_combine_map {
+            // Small push granularity: many flush points per task, so the
+            // worker combine table absorbs multiple partial deltas.
+            builder = builder
+                .map_side(MapSideMode::HashCombine)
+                .shuffle(ShuffleMode::Push { granularity: 512 });
+        }
+        let job = builder.build().unwrap();
 
         let splits: Vec<Split> = records
             .chunks(per_split)
@@ -130,6 +144,16 @@ proptest! {
             })
             .faults(FaultPlan::seeded(fault_seed, splits.len(), reducers))
             .memory_policy(memory_policy)
+            .hash_family(if tabulation {
+                HashFamily::Tabulation
+            } else {
+                HashFamily::MultiplyShift
+            })
+            .in_node_combine(if innode_off {
+                InNodeCombine::Off
+            } else {
+                InNodeCombine::On
+            })
             .build();
         let report = Engine::with_config(cfg).run(&job, splits).unwrap();
 

@@ -62,10 +62,16 @@ check "nonzero TTFA histogram"       '^onepass_plan_ttfa_seconds_count\{[^}]*\} 
 check "TTFA quantiles"               '^onepass_plan_ttfa_seconds\{[^}]*quantile="0.99"[^}]*\} '
 check "phase busy-time counters"     '^onepass_engine_phase_micros_total\{[^}]*phase="[a-z_]+"'
 check "shuffle byte counters"        '^onepass_engine_shuffle_bytes_total\{stage="[^"]+"\} [0-9]'
+# Both plan stages are in-node-eligible one-pass jobs, so their worker
+# combiners must have flushed (and observed the ratio) at least once.
+check "in-node combine ratio histogram" '^onepass_innode_combine_ratio_count\{[^}]*\} [1-9]'
 
 wait "$PLAN_PID"
 
-# JSONL schema round-trip.
+# JSONL schema round-trip, and the snapshot stream must carry the
+# in-node combine ratio family the exposition check saw.
 ./target/release/onepass metrics-validate "$OUT/snaps.jsonl"
+grep -q '"name":"onepass_innode_combine_ratio"' "$OUT/snaps.jsonl" \
+    || { echo "FAIL: snapshots missing onepass_innode_combine_ratio"; exit 1; }
 
 echo "metrics smoke: all checks passed"

@@ -4,6 +4,8 @@
 //! ```text
 //! onepass run <workload> [--system hadoop|hop|onepass] [--records N]
 //!              [--reducers R] [--budget-kb K]
+//!              [--hash-family multiply-shift|tabulation]
+//!              [--in-node-combine on|off]
 //!              [--mem-policy static|largest-consumer|largest-bucket|coldest-keys|round-robin]
 //!              [--mem-high-water F]
 //!              [--retries N] [--backoff-ms MS] [--speculate]
@@ -12,6 +14,8 @@
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N]
 //!              [--reducers R] [--k K]
+//!              [--hash-family multiply-shift|tabulation]
+//!              [--in-node-combine on|off]
 //!              [--mem-policy <policy>] [--mem-high-water F]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
 //! onepass sim <workload> [--system hadoop|hop|onepass]
@@ -41,6 +45,13 @@
 //! `--straggle-map T:X` slows the task (a delay in ms on the engine, a
 //! compute multiplier in the sim) so `--speculate` has something to
 //! race; `--retries` defaults to 3 whenever a fault flag is present.
+//!
+//! Hashing & combining: `--hash-family` selects the engine-wide hash
+//! family (multiply-shift, the default, or tabulation) used by the
+//! partitioner and every hash group-by; `--in-node-combine off` disables
+//! the worker-scoped combine table that map tasks on the same executor
+//! worker drain into before shuffle (it is on by default on every
+//! combiner-friendly hash-combine job).
 //!
 //! Memory governance: `--mem-policy <policy>` pools the reduce budgets
 //! under the adaptive governor with the named spill policy (`static`,
@@ -74,11 +85,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          onepass run <workload> [--system hadoop|hop|onepass] [--records N] [--reducers R] [--budget-kb K]\n  \
+         \x20           [--hash-family multiply-shift|tabulation] [--in-node-combine on|off]\n  \
          \x20           [--mem-policy static|largest-consumer|largest-bucket|coldest-keys|round-robin] [--mem-high-water F]\n  \
          \x20           [--retries N] [--backoff-ms MS] [--speculate] [--kill-map T] [--kill-reduce P]\n  \
          \x20           [--straggle-map T:MS] [--fault-seed S]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N] [--reducers R] [--k K]\n  \
+         \x20           [--hash-family multiply-shift|tabulation] [--in-node-combine on|off]\n  \
          \x20           [--mem-policy <policy>] [--mem-high-water F] [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
          \x20           [--adaptive-memory] [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
@@ -106,6 +119,26 @@ fn switch(args: &[String], name: &str) -> bool {
 fn task_value(spec: &str) -> Option<(usize, f64)> {
     let (t, v) = spec.split_once(':')?;
     Some((t.parse().ok()?, v.parse().ok()?))
+}
+
+fn hash_family_flag(args: &[String]) -> HashFamily {
+    match flag(args, "hash-family") {
+        None => HashFamily::default(),
+        Some(v) => HashFamily::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --hash-family {v:?} (multiply-shift | tabulation)");
+            usage();
+        }),
+    }
+}
+
+fn in_node_flag(args: &[String]) -> InNodeCombine {
+    match flag(args, "in-node-combine") {
+        None => InNodeCombine::default(),
+        Some(v) => InNodeCombine::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --in-node-combine {v:?} (on | off)");
+            usage();
+        }),
+    }
 }
 
 /// Live-metrics plumbing shared by `run`, `plan`, and `sim`: a registry
@@ -275,10 +308,14 @@ fn cmd_run(args: &[String]) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(64 * 1024);
 
+    let hash_family = hash_family_flag(args);
     let builder = job_builder(&workload)
         .reducers(reducers)
         .collect_mode(CollectOutput::Discard)
-        .reduce_budget_bytes(budget_kb * 1024);
+        .reduce_budget_bytes(budget_kb * 1024)
+        .partitioner(std::sync::Arc::new(
+            onepass::runtime::job::HashPartitioner::with_family(hash_family),
+        ));
     let job = match system.as_str() {
         "hadoop" => builder.preset_hadoop(),
         "hop" => builder.preset_hop(),
@@ -346,6 +383,8 @@ fn cmd_run(args: &[String]) {
     let mut config = EngineConfig::builder()
         .tracer(tracer.clone())
         .memory_policy(memory_policy)
+        .hash_family(hash_family)
+        .in_node_combine(in_node_flag(args))
         .retry(RetryPolicy {
             max_attempts: retries.max(1),
             backoff: Duration::from_millis(backoff_ms),
@@ -486,7 +525,9 @@ fn cmd_plan(args: &[String]) {
     };
     let mut config = EngineConfig::builder()
         .tracer(tracer.clone())
-        .memory_policy(memory_policy);
+        .memory_policy(memory_policy)
+        .hash_family(hash_family_flag(args))
+        .in_node_combine(in_node_flag(args));
     let rig = MetricsRig::from_args(args);
     if let Some(r) = &rig {
         config = config.metrics(r.registry.clone());

@@ -61,6 +61,7 @@ pub use onepass_workloads as workloads;
 pub mod prelude {
     pub use onepass_core::fault::{FaultInjector, FaultPlan};
     pub use onepass_core::governor::{policy_by_name, MemoryGovernor, MemoryPolicy, SpillPolicy};
+    pub use onepass_core::hashlib::HashFamily;
     pub use onepass_core::memory::MemoryBudget;
     pub use onepass_core::metrics::Phase;
     pub use onepass_core::obs::{
@@ -76,9 +77,9 @@ pub mod prelude {
     pub use onepass_runtime::stream::StreamSession;
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
-        CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, JobSpec, MapEmitter,
-        MapFn, MapOutputPersistence, MapSideMode, PairMap, PhaseBreakdown, Plan, PlanBuilder,
-        PlanConfig, PlanMode, PlanReport, ReduceBackend, RetryPolicy, ShuffleMode,
+        CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, InNodeCombine, JobSpec,
+        MapEmitter, MapFn, MapOutputPersistence, MapSideMode, PairMap, PhaseBreakdown, Plan,
+        PlanBuilder, PlanConfig, PlanMode, PlanReport, ReduceBackend, RetryPolicy, ShuffleMode,
         SpeculationConfig, SpillBackend, StageId, StageReport,
     };
     pub use onepass_simcluster::{

@@ -450,9 +450,8 @@ mod tests {
     }
 
     #[test]
-    // Exercises the deprecated per-record shim on purpose: early emission
-    // must interleave with individual pushes, not batch boundaries.
-    #[allow(deprecated)]
+    // Single-record batches on purpose: early emission must interleave
+    // with individual records, not land at bulk-batch boundaries.
     fn early_emission_at_threshold() {
         let store = SharedMemStore::new();
         let mut g = IncHashGrouper::with_early(
@@ -465,8 +464,16 @@ mod tests {
         // Key "a" reaches 5 at the 5th record: early output fires exactly
         // once, while pushes are still happening.
         for i in 0..8u32 {
-            g.push(b"a", &i.to_le_bytes(), &mut sink).unwrap();
-            g.push(b"b", &i.to_le_bytes(), &mut sink).unwrap();
+            g.push_batch(
+                &SegmentBuf::from_pairs([(b"a".as_slice(), &i.to_le_bytes()[..])]),
+                &mut sink,
+            )
+            .unwrap();
+            g.push_batch(
+                &SegmentBuf::from_pairs([(b"b".as_slice(), &i.to_le_bytes()[..])]),
+                &mut sink,
+            )
+            .unwrap();
         }
         assert_eq!(
             sink.early_count(),
@@ -488,7 +495,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // per-record shim must stay equivalent to batching
+    // Single-record batches must stay equivalent to bulk batching.
     fn early_value_reflects_threshold_state() {
         let store = SharedMemStore::new();
         let mut g = IncHashGrouper::with_early(
@@ -499,7 +506,11 @@ mod tests {
         );
         let mut sink = crate::sink::VecSink::default();
         for i in 0..10u32 {
-            g.push(b"k", &i.to_le_bytes(), &mut sink).unwrap();
+            g.push_batch(
+                &SegmentBuf::from_pairs([(b"k".as_slice(), &i.to_le_bytes()[..])]),
+                &mut sink,
+            )
+            .unwrap();
         }
         let (_, v, _) = sink
             .emitted

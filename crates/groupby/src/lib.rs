@@ -85,18 +85,6 @@ pub trait GroupBy: Send {
     /// the segment's arena; no per-record copies are required.
     fn push_batch(&mut self, batch: &SegmentBuf, sink: &mut dyn Sink) -> Result<()>;
 
-    /// Consume one record. Compatibility shim over [`GroupBy::push_batch`]:
-    /// it materialises a single-record segment per call, so hot paths must
-    /// batch instead.
-    #[deprecated(
-        since = "0.7.0",
-        note = "push_batch is the primary entry point; per-record push copies each \
-                record into a throwaway single-entry segment"
-    )]
-    fn push(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Sink) -> Result<()> {
-        self.push_batch(&SegmentBuf::from_pairs([(key, value)]), sink)
-    }
-
     /// Shed at least `target_bytes` of resident state through the
     /// operator's own spill path, returning the bytes actually freed.
     ///

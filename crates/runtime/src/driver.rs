@@ -43,6 +43,7 @@ use crate::job::JobSpec;
 use crate::map_task::Split;
 use crate::report::JobReport;
 use crate::scheduler::SplitFeed;
+use crate::transport::Transport;
 
 /// Where spill runs live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +194,15 @@ pub struct EngineConfig {
     /// (hash-combine map side, combinable aggregate, speculation off)
     /// combine across all map tasks sharing a worker before shuffling.
     pub in_node_combine: InNodeCombine,
+    /// Executor/shuffle transport. [`Transport::InProc`] (default) runs
+    /// map and reduce tasks on in-process worker threads over the
+    /// zero-copy channel fabric. [`Transport::Tcp`] places tasks on
+    /// external worker processes (`onepass worker --listen ADDR`); each
+    /// job must be registered by name in every worker's
+    /// [`JobRegistry`](crate::transport::JobRegistry). See
+    /// [`crate::transport`] for the framing, heartbeat, and replay
+    /// semantics.
+    pub transport: Transport,
 }
 
 /// Map task slots sized to the machine: one per hardware thread, floored
@@ -218,6 +228,7 @@ impl Default for EngineConfig {
             metrics: None,
             hash_family: HashFamily::default(),
             in_node_combine: InNodeCombine::default(),
+            transport: Transport::default(),
         }
     }
 }
@@ -305,6 +316,12 @@ impl EngineConfigBuilder {
     /// Worker-scoped in-node combining of map output.
     pub fn in_node_combine(mut self, mode: InNodeCombine) -> Self {
         self.cfg.in_node_combine = mode;
+        self
+    }
+
+    /// Executor/shuffle transport (in-proc fabric or TCP worker fleet).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.cfg.transport = transport;
         self
     }
 
@@ -567,6 +584,9 @@ mod tests {
             .metrics(onepass_core::obs::MetricsRegistry::new())
             .hash_family(HashFamily::Tabulation)
             .in_node_combine(InNodeCombine::Off)
+            .transport(Transport::Tcp {
+                workers: vec!["127.0.0.1:7777".into()],
+            })
             .build();
         assert_eq!(cfg.map_workers, 2);
         assert_eq!(cfg.channel_depth, 8);
@@ -579,10 +599,12 @@ mod tests {
         assert!(cfg.metrics.is_some());
         assert_eq!(cfg.hash_family, HashFamily::Tabulation);
         assert_eq!(cfg.in_node_combine, InNodeCombine::Off);
+        assert!(matches!(cfg.transport, Transport::Tcp { ref workers } if workers.len() == 1));
         let defaults = EngineConfig::builder().build();
         assert!(matches!(defaults.memory_policy, MemoryPolicy::Static));
         assert!(defaults.metrics.is_none());
         assert_eq!(defaults.hash_family, HashFamily::MultiplyShift);
+        assert!(matches!(defaults.transport, Transport::InProc));
         assert!(
             defaults.in_node_combine.is_on(),
             "in-node combining is the default fast path"

@@ -35,6 +35,9 @@ use crate::report::{JobOutput, JobReport, TaskKind, TaskSpan};
 use crate::scheduler::{schedule_maps, MapAssignment, MapEvent, SchedulerCtx, SplitFeed};
 use crate::shuffle::shuffle_fabric;
 use crate::telemetry::{SinkObs, StageTelemetry};
+use crate::transport::coordinator::{SinkFactory, TcpCluster};
+use crate::transport::wire::WireJob;
+use crate::transport::Transport;
 
 /// Per-partition observer invoked on every sink emission, in addition to
 /// normal output collection. The plan layer uses it to stream a stage's
@@ -155,10 +158,25 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
         track_offset,
     } = params;
     job.validate()?;
-    let retry = config.retry;
+    let mut retry = config.retry;
     if retry.max_attempts == 0 {
         return Err(Error::Config("retry.max_attempts must be >= 1".into()));
     }
+    let tcp_workers = match &config.transport {
+        Transport::InProc => None,
+        Transport::Tcp { workers } => {
+            if workers.is_empty() {
+                return Err(Error::Config(
+                    "transport tcp requires at least one worker address".into(),
+                ));
+            }
+            // Worker loss is survived by re-running lost attempts on
+            // survivors; guarantee the retry budget can absorb losing
+            // every worker once.
+            retry.max_attempts = retry.max_attempts.max(workers.len() + 2);
+            Some(workers.as_slice())
+        }
+    };
     let spec = config.speculation;
     let injector = config.faults.clone();
     // Attempt-aware shuffle dedup is only needed when a map task can run
@@ -215,8 +233,10 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
         None => shuffle_tx,
     };
 
-    // Map-side persistence store (shared; only totals are read).
-    let map_store = if config.persist_map_output.is_persist() {
+    // Map-side persistence store (shared; only totals are read). Remote
+    // map tasks never persist output — recovery is re-execution from the
+    // coordinator-held split.
+    let map_store = if tcp_workers.is_none() && config.persist_map_output.is_persist() {
         Some(make_store(config.spill)?)
     } else {
         None
@@ -226,7 +246,9 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
     // In-node combining: map tasks on the same worker drain into one
     // shared combine table that flushes far less often than per-task
     // combining ships (see `crate::in_node` for eligibility + protocol).
-    let innode = innode_eligible(config, job);
+    // Worker-scoped combining doesn't cross process boundaries, so it's
+    // off for remote maps (per-task HashCombine still applies there).
+    let innode = tcp_workers.is_none() && innode_eligible(config, job);
 
     // Work queue + event stream between coordinator and map workers.
     let (task_tx, task_rx) = unbounded::<MapAssignment>();
@@ -237,11 +259,63 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
     let mut driver_trace = tracer.local(Track::new("driver", track_offset));
     driver_trace.begin("job", "job");
 
+    // Distributed mode: dial the worker fleet up front. Reduces run
+    // remotely only when nothing taps emissions locally (a plan's
+    // interior stages keep local reducers feeding downstream stages; maps
+    // still go remote).
+    let remote_reduce = tcp_workers.is_some() && tap.is_none();
+    let cluster = match tcp_workers {
+        Some(addrs) => {
+            let wire = WireJob::from_job(job, retry.max_attempts, spill, hash_family);
+            let collect = job.collect_output.is_collect();
+            let sink_telemetry = telemetry.clone();
+            let sink_factory: SinkFactory<'_> = Box::new(move |_p| {
+                TimedSink::new(
+                    start,
+                    collect,
+                    None,
+                    sink_telemetry.as_ref().map(SinkObs::new),
+                )
+            });
+            Some(TcpCluster::connect(
+                addrs,
+                &job.name,
+                wire,
+                job.reducers,
+                remote_reduce,
+                start,
+                config.metrics.as_ref(),
+                tracer,
+                track_offset,
+                sink_factory,
+            )?)
+        }
+        None => None,
+    };
+
     let mut outcome = None;
 
     crossbeam::thread::scope(|scope| {
-        // Map workers.
-        for _ in 0..config.map_workers.max(1) {
+        if let Some(c) = &cluster {
+            // Distributed map side: dispatcher threads bridge the
+            // scheduler's queue onto worker connections; reader threads
+            // feed worker segments back into the local fabric.
+            c.set_bail(task_rx.clone(), evt_tx.clone());
+            c.spawn_io(scope, &shuffle_tx, red_res_tx.clone());
+            c.spawn_map_dispatch(
+                scope,
+                task_rx.clone(),
+                evt_tx.clone(),
+                config.map_workers.max(1),
+            );
+        }
+        // Map workers (in-proc; none when maps run on remote workers).
+        let local_map_workers = if cluster.is_some() {
+            0
+        } else {
+            config.map_workers.max(1)
+        };
+        for _ in 0..local_map_workers {
             let task_rx = task_rx.clone();
             let shuffle_tx = shuffle_tx.clone();
             let evt_tx = evt_tx.clone();
@@ -383,7 +457,16 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
         }
         drop(evt_tx);
 
-        // Reduce workers, one per partition.
+        // Reduce side: remote partitions are forwarded to their owning
+        // workers (with a retained log for replay); otherwise local
+        // reduce workers, one per partition.
+        let shuffle_rxs = match &cluster {
+            Some(c) if remote_reduce => {
+                c.spawn_partition_forwarders(scope, shuffle_rxs);
+                Vec::new()
+            }
+            _ => shuffle_rxs,
+        };
         for (partition, rx) in shuffle_rxs.into_iter().enumerate() {
             let red_res_tx = red_res_tx.clone();
             let injector = injector.clone();
@@ -457,13 +540,39 @@ pub(crate) fn execute(params: ExecParams<'_>) -> Result<JobReport> {
             telemetry: telemetry.as_ref(),
         };
         let feed_open = known_total.is_none();
-        let out = schedule_maps(ctx, initial, feed_open, &mut driver_trace);
+        let mut out = schedule_maps(ctx, initial, feed_open, &mut driver_trace);
 
+        if let Some(c) = &cluster {
+            if out.fatal.is_none() {
+                // Fixed feeds never broadcast the task total locally
+                // (reducers are born knowing it) — remote reduces aren't,
+                // so tell them now that every map has committed.
+                if known_total.is_some() {
+                    shuffle_tx.input_exhausted(out.total_map_tasks);
+                }
+                if remote_reduce {
+                    if let Err(e) = c.await_remote_reduces(job.reducers) {
+                        out.fatal = Some(e);
+                    }
+                }
+            }
+            if out.fatal.is_some() {
+                // A job rejection (unregistered name, bad knobs) is the
+                // root cause behind whatever the scheduler saw.
+                if let Some(reason) = c.rejection() {
+                    out.fatal = Some(Error::Config(reason));
+                }
+                c.set_aborting();
+            }
+        }
         // All attempts drained (SchedulerCtx::task_tx dropped with the
         // ctx). On failure, unblock reducers still waiting for MapDones
         // that will never arrive.
         if out.fatal.is_some() {
             shuffle_tx.abort();
+        }
+        if let Some(c) = &cluster {
+            c.close();
         }
         outcome = Some(out);
     })

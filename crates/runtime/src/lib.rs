@@ -36,6 +36,7 @@ mod scheduler;
 pub mod shuffle;
 pub mod stream;
 mod telemetry;
+pub mod transport;
 pub mod window;
 
 pub use driver::{
@@ -51,6 +52,7 @@ pub use plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
 pub use report::{
     JobOutput, JobReport, PhaseBreakdown, PlanReport, StageReport, TaskKind, TaskSpan,
 };
+pub use transport::{worker::WorkerOptions, JobRegistry, Transport};
 
 /// One-stop imports for building and running jobs.
 ///
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use crate::report::{
         JobOutput, JobReport, PhaseBreakdown, PlanReport, StageReport, TaskKind, TaskSpan,
     };
+    pub use crate::transport::{worker::WorkerOptions, JobRegistry, Transport};
     pub use onepass_core::fault::{FaultInjector, FaultPlan};
     pub use onepass_core::governor::{
         policy_by_name, ColdestKeys, LargestBucket, LargestConsumer, MemoryGovernor, MemoryPolicy,

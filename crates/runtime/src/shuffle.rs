@@ -65,8 +65,10 @@ impl Segment {
     }
 }
 
-/// Messages received by a reduce task.
-#[derive(Debug)]
+/// Messages received by a reduce task. `Clone` because the TCP
+/// coordinator retains a per-partition log of delivered messages so it can
+/// replay a partition onto a live worker when its owner dies.
+#[derive(Debug, Clone)]
 pub enum ShuffleMsg {
     /// A batch of records for this reducer.
     Segment(Segment),
@@ -105,7 +107,7 @@ pub enum ShuffleMsg {
 /// — MapReduce Online's "wait until reducers are able to keep up again"
 /// (§III-D), extended from queue-full to memory-pressure.
 #[derive(Clone)]
-pub(crate) struct PressureGate {
+pub struct PressureGate {
     governor: MemoryGovernor,
     /// Effective queue depth while over high water.
     shrunk_depth: usize,
@@ -141,7 +143,7 @@ impl PressureGate {
     /// queue is at or above the shrunken depth. Counts at most one stall
     /// per gated segment. Generic over the message type so shuffle
     /// segment channels and plan edge channels share one gate.
-    pub(crate) fn admit<T>(&self, sender: &Sender<T>) {
+    pub fn admit<T>(&self, sender: &Sender<T>) {
         let mut stalled = false;
         for _ in 0..Self::MAX_WAIT_ITERS {
             if !self.governor.over_high_water() || sender.len() < self.shrunk_depth {
@@ -160,9 +162,16 @@ impl PressureGate {
 }
 
 /// Sending side of the shuffle, shared by all map workers.
+///
+/// All volume accounting (records / bytes / segments) lives here, *above*
+/// the [`SegmentSink`](crate::transport::SegmentSink) that actually moves
+/// the data — so `shuffled_records`/`shuffled_bytes` in a
+/// [`JobReport`](crate::report::JobReport) are transport-agnostic: the
+/// same job shuffles the same counted volume whether the sink is the
+/// in-proc channel fabric or a TCP connection.
 #[derive(Clone)]
 pub struct ShuffleTx {
-    senders: Vec<Sender<ShuffleMsg>>,
+    sink: Arc<dyn crate::transport::SegmentSink>,
     bytes: Arc<AtomicU64>,
     records: Arc<AtomicU64>,
     segments: Arc<AtomicU64>,
@@ -172,6 +181,20 @@ pub struct ShuffleTx {
 }
 
 impl ShuffleTx {
+    /// Wrap an arbitrary sink in fresh accounting. Used by the in-proc
+    /// fabric constructor and by worker processes wiring map tasks to a
+    /// TCP connection back to the coordinator.
+    pub(crate) fn over(sink: Arc<dyn crate::transport::SegmentSink>) -> Self {
+        ShuffleTx {
+            sink,
+            bytes: Arc::new(AtomicU64::new(0)),
+            records: Arc::new(AtomicU64::new(0)),
+            segments: Arc::new(AtomicU64::new(0)),
+            pressure: None,
+            obs: None,
+        }
+    }
+
     /// Gate map-side pushes on `governor` pool pressure: while utilization
     /// is over the governor's high-water fraction, pushes treat each
     /// reducer queue as if its depth were `depth / 8` (min 1). Call before
@@ -201,10 +224,6 @@ impl ShuffleTx {
         if seg.is_empty() {
             return;
         }
-        let p = seg.partition;
-        if let Some(gate) = &self.pressure {
-            gate.admit(&self.senders[p]);
-        }
         self.bytes.fetch_add(seg.payload_bytes(), Ordering::Relaxed);
         self.records.fetch_add(seg.len() as u64, Ordering::Relaxed);
         self.segments.fetch_add(1, Ordering::Relaxed);
@@ -212,9 +231,7 @@ impl ShuffleTx {
             bytes.inc(seg.payload_bytes());
             segments.inc(1);
         }
-        // A send error means the reducer hung up (job aborting); the map
-        // worker will notice via its own channel teardown.
-        let _ = self.senders[p].send(ShuffleMsg::Segment(seg));
+        self.sink.send_segment(seg, self.pressure.as_ref());
     }
 
     /// Map-side sends that stalled at least once on memory pressure.
@@ -226,16 +243,12 @@ impl ShuffleTx {
 
     /// Announce a completed map task attempt to every reducer.
     pub fn map_done(&self, map_task: usize, attempt: usize) {
-        for s in &self.senders {
-            let _ = s.send(ShuffleMsg::MapDone { map_task, attempt });
-        }
+        self.sink.map_done(map_task, attempt);
     }
 
     /// Tell every reducer the job is aborting; they unblock and return.
     pub fn abort(&self) {
-        for s in &self.senders {
-            let _ = s.send(ShuffleMsg::Abort);
-        }
+        self.sink.abort();
     }
 
     /// Tell every reducer how many map tasks the job ended up with. Sent
@@ -243,9 +256,7 @@ impl ShuffleTx {
     /// started without a known total finish once this many map tasks have
     /// committed.
     pub fn input_exhausted(&self, total_map_tasks: usize) {
-        for s in &self.senders {
-            let _ = s.send(ShuffleMsg::InputExhausted { total_map_tasks });
-        }
+        self.sink.input_exhausted(total_map_tasks);
     }
 
     /// Total payload bytes shuffled so far.
@@ -278,17 +289,8 @@ pub fn shuffle_fabric(reducers: usize, depth: usize) -> (ShuffleTx, Vec<Receiver
         senders.push(tx);
         receivers.push(rx);
     }
-    (
-        ShuffleTx {
-            senders,
-            bytes: Arc::new(AtomicU64::new(0)),
-            records: Arc::new(AtomicU64::new(0)),
-            segments: Arc::new(AtomicU64::new(0)),
-            obs: None,
-            pressure: None,
-        },
-        receivers,
-    )
+    let sink = Arc::new(crate::transport::inproc::InProcSink::new(senders));
+    (ShuffleTx::over(sink), receivers)
 }
 
 #[cfg(test)]

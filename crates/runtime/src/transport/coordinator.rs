@@ -1,0 +1,782 @@
+//! The coordinator side of the TCP transport.
+//!
+//! When [`EngineConfig::transport`](crate::EngineConfig) is
+//! [`Transport::Tcp`](super::Transport), the executor builds a
+//! [`TcpCluster`] instead of spawning local map workers. The cluster owns
+//! one framed connection per worker process and bridges them onto the
+//! engine's existing machinery:
+//!
+//! * **Map dispatch** — per-worker dispatcher threads pull
+//!   [`MapAssignment`]s from the scheduler's normal work queue, ship the
+//!   split to a worker (`NewSplit`), and turn the worker's
+//!   `MapOk`/`MapFailed` into the [`MapEvent`]s the scheduler already
+//!   understands. The scheduler's retry budget, speculation, and
+//!   straggler logic run completely unchanged.
+//! * **Shuffle routing** — every worker's segments flow back through the
+//!   coordinator's [`ShuffleTx`], so volume accounting and backpressure
+//!   are identical across transports; from there they reach either local
+//!   reducers (in-proc receivers) or remote reduce partitions via
+//!   per-partition forwarder threads.
+//! * **Fault tolerance** — each partition's forwarded stream is retained
+//!   in a log; when a worker dies (socket EOF, or missed heartbeats), its
+//!   reduce partitions are replayed in full onto a surviving worker and
+//!   its in-flight map attempts are failed back to the scheduler, which
+//!   reruns them elsewhere. Attempt-aware dedup on the reduce side makes
+//!   the rerun invisible in the output.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::thread::Scope;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::io::IoStats;
+use onepass_core::obs::{Histogram, MetricsRegistry};
+use onepass_core::trace::{Tracer, Track};
+use onepass_groupby::{EmitKind, OpStats, Sink};
+
+use super::tcp::Conn;
+use super::wire::{Frame, WireJob, WireMapStats, WireReduceStats};
+use crate::executor::TimedSink;
+use crate::map_task::MapTaskStats;
+use crate::reduce_task::ReduceResult;
+use crate::report::{TaskKind, TaskSpan};
+use crate::scheduler::{MapAssignment, MapEvent};
+use crate::shuffle::{Segment, ShuffleMsg, ShuffleTx};
+
+/// Builds a fresh staging sink for one remote reduce partition (used at
+/// assignment and again on replay, so a replayed partition can never
+/// double-emit).
+pub(crate) type SinkFactory<'a> = Box<dyn Fn(usize) -> TimedSink + Send + Sync + 'a>;
+
+/// How long a worker may go without answering heartbeats before it is
+/// declared dead. Deliberately conservative: socket EOF is the primary
+/// death signal (a killed process closes its sockets immediately); the
+/// timeout only catches wedged-but-connected workers.
+const PONG_TIMEOUT: Duration = Duration::from_secs(10);
+/// Heartbeat period.
+const PING_EVERY: Duration = Duration::from_millis(250);
+/// Forwarder poll tick (how quickly forwarders notice done/abort flags).
+const FORWARD_TICK: Duration = Duration::from_millis(50);
+
+/// Waiters for map attempts shipped to a worker and not yet answered,
+/// keyed by `(task, attempt)`.
+type InflightMap = HashMap<(usize, usize), Sender<Result<MapTaskStats>>>;
+
+/// One connected worker process.
+struct WorkerLink {
+    id: usize,
+    conn: Arc<Conn>,
+    alive: AtomicBool,
+    /// Map attempts shipped to this worker and not yet answered; the
+    /// waiter receives the attempt's result (or a worker-lost error).
+    inflight: Mutex<InflightMap>,
+    /// Outstanding heartbeat: nonce and send time.
+    ping: Mutex<(u64, Instant)>,
+    last_pong: Mutex<Instant>,
+}
+
+/// Replay state for one remote reduce partition.
+struct PartInner {
+    /// Link id currently hosting this partition.
+    owner: usize,
+    /// Everything forwarded to the owner, retained verbatim for replay.
+    log: Vec<ShuffleMsg>,
+    /// Output staged from the current owner; discarded wholesale (and
+    /// rebuilt) on replay so a half-emitted dead owner leaves no trace.
+    stage: Option<TimedSink>,
+    /// When this partition's reduce first started (span bookkeeping).
+    started: Duration,
+}
+
+struct PartitionState {
+    done: AtomicBool,
+    inner: Mutex<PartInner>,
+}
+
+/// A connected set of worker processes executing one job, driven by the
+/// executor. Lives on the executor's stack so scoped worker threads can
+/// borrow it directly.
+pub(crate) struct TcpCluster<'a> {
+    links: Vec<WorkerLink>,
+    parts: Vec<PartitionState>,
+    remote_reduce: bool,
+    start: Instant,
+    aborting: AtomicBool,
+    closing: AtomicBool,
+    /// Serializes death handling (and replay) so two concurrent failure
+    /// detections can't both re-home the same partition.
+    death_lock: Mutex<()>,
+    sink_factory: SinkFactory<'a>,
+    /// Terminal per-partition outcomes for `await_remote_reduces`.
+    done_tx: Sender<Result<()>>,
+    done_rx: Receiver<Result<()>>,
+    /// Scheduler queue handles, consumed by the bail-out thread if every
+    /// worker dies (so the scheduler's retry budget exhausts instead of
+    /// the job hanging on an empty worker pool).
+    bail: Mutex<Option<(Receiver<MapAssignment>, Sender<MapEvent>)>>,
+    /// First job rejection reason seen, surfaced as the fatal error.
+    rejection: Mutex<Option<String>>,
+    rtt: Option<Histogram>,
+    tracer: &'a Tracer,
+    track_offset: u64,
+}
+
+impl<'a> TcpCluster<'a> {
+    /// Dial every worker, announce the job, and (if this job's reduces run
+    /// remotely) assign partitions round-robin.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn connect(
+        workers: &[String],
+        job_name: &str,
+        wire: WireJob,
+        reducers: usize,
+        remote_reduce: bool,
+        start: Instant,
+        metrics: Option<&MetricsRegistry>,
+        tracer: &'a Tracer,
+        track_offset: u64,
+        sink_factory: SinkFactory<'a>,
+    ) -> Result<Self> {
+        if workers.is_empty() {
+            return Err(Error::Config(
+                "transport tcp requires at least one worker address".into(),
+            ));
+        }
+        let obs = metrics.map(|m| {
+            let stage: &[(&str, &str)] = &[("stage", job_name)];
+            let tx_l: &[(&str, &str)] = &[("stage", job_name), ("dir", "tx")];
+            let rx_l: &[(&str, &str)] = &[("stage", job_name), ("dir", "rx")];
+            (
+                m.counter("onepass_transport_bytes_total", tx_l),
+                m.counter("onepass_transport_bytes_total", rx_l),
+                m.histogram("onepass_transport_rtt_seconds", stage),
+            )
+        });
+        let mut links = Vec::with_capacity(workers.len());
+        for (id, addr) in workers.iter().enumerate() {
+            let conn = Conn::connect(addr)?;
+            if let Some((tx, rx, _)) = &obs {
+                conn.set_metrics(tx.clone(), rx.clone());
+            }
+            conn.send(&Frame::JobInit(wire.clone()))?;
+            links.push(WorkerLink {
+                id,
+                conn: Arc::new(conn),
+                alive: AtomicBool::new(true),
+                inflight: Mutex::new(HashMap::new()),
+                ping: Mutex::new((0, Instant::now())),
+                last_pong: Mutex::new(Instant::now()),
+            });
+        }
+        let mut parts = Vec::new();
+        if remote_reduce {
+            for p in 0..reducers {
+                let owner = p % links.len();
+                links[owner].conn.send(&Frame::ReduceTask {
+                    partition: p as u64,
+                })?;
+                parts.push(PartitionState {
+                    done: AtomicBool::new(false),
+                    inner: Mutex::new(PartInner {
+                        owner,
+                        log: Vec::new(),
+                        stage: Some(sink_factory(p)),
+                        started: start.elapsed(),
+                    }),
+                });
+            }
+        }
+        let (done_tx, done_rx) = unbounded();
+        Ok(TcpCluster {
+            links,
+            parts,
+            remote_reduce,
+            start,
+            aborting: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            death_lock: Mutex::new(()),
+            sink_factory,
+            done_tx,
+            done_rx,
+            bail: Mutex::new(None),
+            rejection: Mutex::new(None),
+            rtt: obs.map(|(_, _, rtt)| rtt),
+            tracer,
+            track_offset,
+        })
+    }
+
+    /// Stash scheduler queue handles for the all-workers-dead bail-out.
+    pub(crate) fn set_bail(&self, task_rx: Receiver<MapAssignment>, evt_tx: Sender<MapEvent>) {
+        *self.bail.lock().unwrap() = Some((task_rx, evt_tx));
+    }
+
+    /// First `JobRejected` reason seen, if any (the most useful error when
+    /// the job subsequently fails).
+    pub(crate) fn rejection(&self) -> Option<String> {
+        self.rejection.lock().unwrap().clone()
+    }
+
+    /// Mark the job as aborting: forwarders stop, deaths stop replaying.
+    pub(crate) fn set_aborting(&self) {
+        self.aborting.store(true, Ordering::SeqCst);
+    }
+
+    /// End of job: stop heartbeats, tell live workers the feed is closed,
+    /// and sever every connection so reader threads unblock and exit.
+    pub(crate) fn close(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for link in &self.links {
+            if link.alive.load(Ordering::SeqCst) {
+                let _ = link.conn.send(&Frame::FeedClosed);
+            }
+            link.conn.shutdown();
+        }
+    }
+
+    /// Spawn one reader thread per connection (frames → engine events)
+    /// plus the heartbeat thread.
+    pub(crate) fn spawn_io<'scope, 'env>(
+        &'scope self,
+        scope: &Scope<'scope, 'env>,
+        shuffle_tx: &'scope ShuffleTx,
+        red_res_tx: Sender<Result<(ReduceResult, TaskSpan, TimedSink)>>,
+    ) {
+        for link in &self.links {
+            let red_res_tx = red_res_tx.clone();
+            scope.spawn(move |_| self.read_loop(link, shuffle_tx, &red_res_tx));
+        }
+        drop(red_res_tx);
+        scope.spawn(move |_| self.heartbeat_loop());
+    }
+
+    fn read_loop(
+        &self,
+        link: &WorkerLink,
+        shuffle_tx: &ShuffleTx,
+        red_res_tx: &Sender<Result<(ReduceResult, TaskSpan, TimedSink)>>,
+    ) {
+        while let Ok(frame) = link.conn.recv() {
+            match frame {
+                Frame::Segment {
+                    map_task,
+                    attempt,
+                    partition,
+                    sorted,
+                    combined,
+                    payload,
+                } => {
+                    if let Ok(records) = super::wire::decode_kv(payload) {
+                        // Into the coordinator fabric: accounting and
+                        // backpressure happen here, exactly as for local
+                        // map workers.
+                        shuffle_tx.send_segment(Segment {
+                            map_task: map_task as usize,
+                            attempt: attempt as usize,
+                            partition: partition as usize,
+                            sorted,
+                            combined,
+                            records,
+                        });
+                    }
+                }
+                Frame::MapDone { map_task, attempt } => {
+                    shuffle_tx.map_done(map_task as usize, attempt as usize);
+                }
+                Frame::MapOk {
+                    task,
+                    attempt,
+                    stats,
+                } => {
+                    self.complete_inflight(
+                        link,
+                        task as usize,
+                        attempt as usize,
+                        Ok(map_stats(&stats)),
+                    );
+                }
+                Frame::MapFailed {
+                    task,
+                    attempt,
+                    error,
+                } => {
+                    self.complete_inflight(
+                        link,
+                        task as usize,
+                        attempt as usize,
+                        Err(Error::InvalidState(error)),
+                    );
+                }
+                Frame::FinalBatch {
+                    partition,
+                    kind,
+                    payload,
+                } => self.stage_batch(link, partition as usize, kind, payload),
+                Frame::ReduceDone { partition, stats } => {
+                    self.finish_partition(link, partition as usize, &stats, red_res_tx)
+                }
+                Frame::Pong { nonce } => {
+                    let (sent_nonce, sent_at) = *link.ping.lock().unwrap();
+                    if sent_nonce == nonce {
+                        if let Some(rtt) = &self.rtt {
+                            rtt.observe_duration(sent_at.elapsed());
+                        }
+                    }
+                    *link.last_pong.lock().unwrap() = Instant::now();
+                }
+                Frame::JobRejected { reason } => {
+                    self.rejection
+                        .lock()
+                        .unwrap()
+                        .get_or_insert_with(|| format!("{}: {reason}", link.conn.peer()));
+                    break;
+                }
+                // Coordinator→worker shapes echoed back, or protocol
+                // noise: ignore rather than kill the job.
+                _ => {}
+            }
+        }
+        self.on_worker_down(link.id);
+    }
+
+    /// Deliver a map attempt's terminal result to its dispatcher.
+    fn complete_inflight(
+        &self,
+        link: &WorkerLink,
+        task: usize,
+        attempt: usize,
+        result: Result<MapTaskStats>,
+    ) {
+        if let Some(tx) = link.inflight.lock().unwrap().remove(&(task, attempt)) {
+            let _ = tx.send(result);
+        }
+    }
+
+    /// Stage a batch of reduce output from `link`, unless the partition
+    /// has since been re-homed (stale batches from a dying owner).
+    fn stage_batch(&self, link: &WorkerLink, partition: usize, kind: u8, payload: Vec<u8>) {
+        let Some(part) = self.parts.get(partition) else {
+            return;
+        };
+        if part.done.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(records) = super::wire::decode_kv(payload) else {
+            return;
+        };
+        let emit_kind = if kind == 0 {
+            EmitKind::Early
+        } else {
+            EmitKind::Final
+        };
+        let mut inner = part.inner.lock().unwrap();
+        if inner.owner != link.id {
+            return;
+        }
+        if let Some(stage) = inner.stage.as_mut() {
+            for (k, v) in records.iter() {
+                stage.emit(k, v, emit_kind);
+            }
+        }
+    }
+
+    /// A remote reduce partition completed: commit its staged output and
+    /// hand the engine a result shaped exactly like a local reducer's.
+    fn finish_partition(
+        &self,
+        link: &WorkerLink,
+        partition: usize,
+        stats: &WireReduceStats,
+        red_res_tx: &Sender<Result<(ReduceResult, TaskSpan, TimedSink)>>,
+    ) {
+        let Some(part) = self.parts.get(partition) else {
+            return;
+        };
+        let mut inner = part.inner.lock().unwrap();
+        if inner.owner != link.id || part.done.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let Some(sink) = inner.stage.take() else {
+            return;
+        };
+        let result = ReduceResult {
+            partition,
+            stats: OpStats {
+                records_in: stats.records_in,
+                groups_out: stats.groups_out,
+                early_emits: stats.early_emits,
+                io: IoStats {
+                    bytes_written: stats.bytes_written,
+                    bytes_read: stats.bytes_read,
+                    runs_created: stats.runs_created,
+                    runs_deleted: stats.runs_deleted,
+                },
+                peak_mem: stats.peak_mem as usize,
+                spills: stats.spills,
+                passes: stats.passes,
+                ..OpStats::default()
+            },
+            snapshots_taken: stats.snapshots_taken,
+            attempts: (stats.attempts as usize).max(1),
+        };
+        let span = TaskSpan {
+            kind: TaskKind::Reduce,
+            id: partition,
+            attempt: result.attempts - 1,
+            start: inner.started,
+            end: self.start.elapsed(),
+        };
+        drop(inner);
+        let _ = red_res_tx.send(Ok((result, span, sink)));
+        let _ = self.done_tx.send(Ok(()));
+    }
+
+    fn heartbeat_loop(&self) {
+        let mut nonce = 0u64;
+        while !self.closing.load(Ordering::SeqCst) {
+            std::thread::sleep(PING_EVERY);
+            for link in &self.links {
+                if !link.alive.load(Ordering::SeqCst) {
+                    continue;
+                }
+                nonce += 1;
+                *link.ping.lock().unwrap() = (nonce, Instant::now());
+                if link.conn.send(&Frame::Ping { nonce }).is_err() {
+                    self.on_worker_down(link.id);
+                    continue;
+                }
+                let silent = link.last_pong.lock().unwrap().elapsed();
+                if silent > PONG_TIMEOUT {
+                    self.on_worker_down(link.id);
+                }
+            }
+        }
+    }
+
+    /// Spawn dispatcher threads bridging the scheduler's work queue onto
+    /// worker connections. `map_workers` (the in-proc pool size) caps the
+    /// cluster-wide dispatch concurrency so local and distributed runs
+    /// schedule comparably.
+    pub(crate) fn spawn_map_dispatch<'scope, 'env>(
+        &'scope self,
+        scope: &Scope<'scope, 'env>,
+        task_rx: Receiver<MapAssignment>,
+        evt_tx: Sender<MapEvent>,
+        map_workers: usize,
+    ) {
+        let slots = map_workers.div_ceil(self.links.len()).max(1);
+        for link in &self.links {
+            for _ in 0..slots {
+                let task_rx = task_rx.clone();
+                let evt_tx = evt_tx.clone();
+                scope.spawn(move |_| self.dispatch_loop(link, &task_rx, &evt_tx));
+            }
+        }
+    }
+
+    fn dispatch_loop(
+        &self,
+        link: &WorkerLink,
+        task_rx: &Receiver<MapAssignment>,
+        evt_tx: &Sender<MapEvent>,
+    ) {
+        while let Ok(asg) = task_rx.recv() {
+            if !asg.delay.is_zero() {
+                std::thread::sleep(asg.delay);
+            }
+            let t0 = self.start.elapsed();
+            let _ = evt_tx.send(MapEvent::Started {
+                task: asg.task,
+                attempt: asg.attempt,
+                at: t0,
+            });
+            let result = match self.run_remote_map(link, &asg) {
+                // A worker-lost failure of a cancelled (speculative
+                // loser) attempt is not a real failure; don't charge the
+                // retry budget.
+                Err(_) if asg.cancel.load(Ordering::SeqCst) => Err(Error::Cancelled),
+                other => other,
+            };
+            let span = TaskSpan {
+                kind: TaskKind::Map,
+                id: asg.task,
+                attempt: asg.attempt,
+                start: t0,
+                end: self.start.elapsed(),
+            };
+            let _ = evt_tx.send(MapEvent::Finished {
+                task: asg.task,
+                attempt: asg.attempt,
+                speculative: asg.speculative,
+                span,
+                result,
+            });
+            // A dead link stops pulling work so it can't starve the
+            // retry budget; surviving dispatchers (or the bail-out
+            // thread) drain the queue.
+            if !link.alive.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+    }
+
+    /// Ship one map attempt to `link` and wait for its result.
+    fn run_remote_map(&self, link: &WorkerLink, asg: &MapAssignment) -> Result<MapTaskStats> {
+        let lost = || Error::InvalidState(format!("worker {} lost", link.conn.peer()));
+        let (wtx, wrx) = bounded(1);
+        link.inflight
+            .lock()
+            .unwrap()
+            .insert((asg.task, asg.attempt), wtx);
+        let sent = link.alive.load(Ordering::SeqCst)
+            && link
+                .conn
+                .send(&Frame::NewSplit {
+                    task: asg.task as u64,
+                    attempt: asg.attempt as u64,
+                    records: asg.split.records.clone(),
+                })
+                .is_ok();
+        if !sent {
+            // Fail our own waiter unless the death handler already did.
+            if let Some(tx) = link
+                .inflight
+                .lock()
+                .unwrap()
+                .remove(&(asg.task, asg.attempt))
+            {
+                let _ = tx.send(Err(lost()));
+            }
+        }
+        wrx.recv().unwrap_or_else(|_| Err(lost()))
+    }
+
+    /// Handle a worker death: fail its in-flight map attempts back to the
+    /// scheduler and replay its reduce partitions onto survivors.
+    /// Idempotent; safe to call from any thread.
+    fn on_worker_down(&self, id: usize) {
+        let guard = self.death_lock.lock().unwrap();
+        let link = &self.links[id];
+        if !link.alive.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        // Force the link's reader out of recv even if death was declared
+        // by heartbeat while the socket is technically still open.
+        link.conn.shutdown();
+        let waiters: Vec<_> = link.inflight.lock().unwrap().drain().collect();
+        for (_key, tx) in waiters {
+            let _ = tx.send(Err(Error::InvalidState(format!(
+                "worker {} lost",
+                link.conn.peer()
+            ))));
+        }
+        if self.closing.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut trace = self
+            .tracer
+            .local(Track::new("transport", self.track_offset));
+        trace.instant("worker_dead", "transport", &[("worker", id as f64)]);
+        let mut cascade = Vec::new();
+        if self.remote_reduce && !self.aborting.load(Ordering::SeqCst) {
+            for (p, part) in self.parts.iter().enumerate() {
+                if part.done.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let mut inner = part.inner.lock().unwrap();
+                if inner.owner != id {
+                    continue;
+                }
+                let Some(new_owner) = self.pick_alive() else {
+                    let _ = self.done_tx.send(Err(Error::InvalidState(format!(
+                        "all workers lost before partition {p} completed"
+                    ))));
+                    continue;
+                };
+                trace.instant(
+                    "reduce_replay",
+                    "transport",
+                    &[("partition", p as f64), ("to", new_owner as f64)],
+                );
+                inner.owner = new_owner;
+                // Discard anything the dead owner staged; the replacement
+                // re-runs the partition from the retained log and re-emits
+                // everything, so output stays exactly-once.
+                inner.stage = Some((self.sink_factory)(p));
+                let conn = &self.links[new_owner].conn;
+                let mut ok = conn
+                    .send(&Frame::ReduceTask {
+                        partition: p as u64,
+                    })
+                    .is_ok();
+                if ok {
+                    for msg in &inner.log {
+                        if send_shuffle_frame(conn, p, msg).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok && !cascade.contains(&new_owner) {
+                    cascade.push(new_owner);
+                }
+            }
+        }
+        let all_dead = self.links.iter().all(|l| !l.alive.load(Ordering::SeqCst));
+        let bail = if all_dead {
+            self.bail.lock().unwrap().take()
+        } else {
+            None
+        };
+        drop(guard);
+        // A replacement that failed mid-replay is itself dead; recurse
+        // (the death lock is released, and `alive` makes this idempotent).
+        for target in cascade {
+            self.on_worker_down(target);
+        }
+        if let Some((task_rx, evt_tx)) = bail {
+            // Every worker is gone: insta-fail queued assignments so the
+            // scheduler's retry budget exhausts (fatal) instead of the
+            // job hanging on an empty pool. Detached thread; exits when
+            // the scheduler drops its sender.
+            let start = self.start;
+            std::thread::spawn(move || {
+                while let Ok(asg) = task_rx.recv() {
+                    let at = start.elapsed();
+                    let _ = evt_tx.send(MapEvent::Started {
+                        task: asg.task,
+                        attempt: asg.attempt,
+                        at,
+                    });
+                    let span = TaskSpan {
+                        kind: TaskKind::Map,
+                        id: asg.task,
+                        attempt: asg.attempt,
+                        start: at,
+                        end: start.elapsed(),
+                    };
+                    let _ = evt_tx.send(MapEvent::Finished {
+                        task: asg.task,
+                        attempt: asg.attempt,
+                        speculative: asg.speculative,
+                        span,
+                        result: Err(Error::InvalidState("all workers lost".into())),
+                    });
+                }
+            });
+        }
+    }
+
+    fn pick_alive(&self) -> Option<usize> {
+        self.links
+            .iter()
+            .find(|l| l.alive.load(Ordering::SeqCst))
+            .map(|l| l.id)
+    }
+
+    /// Spawn one forwarder per partition, bridging the coordinator fabric
+    /// onto the owning worker's connection and retaining every message
+    /// for replay.
+    pub(crate) fn spawn_partition_forwarders<'scope, 'env>(
+        &'scope self,
+        scope: &Scope<'scope, 'env>,
+        shuffle_rxs: Vec<Receiver<ShuffleMsg>>,
+    ) {
+        for (p, rx) in shuffle_rxs.into_iter().enumerate() {
+            scope.spawn(move |_| self.forward_partition(p, &rx));
+        }
+    }
+
+    fn forward_partition(&self, p: usize, rx: &Receiver<ShuffleMsg>) {
+        loop {
+            if self.parts[p].done.load(Ordering::SeqCst)
+                || self.aborting.load(Ordering::SeqCst)
+                || self.closing.load(Ordering::SeqCst)
+            {
+                return;
+            }
+            let msg = match rx.recv_timeout(FORWARD_TICK) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            // Log + forward under the partition lock, so a concurrent
+            // replay can never interleave between "appended to log" and
+            // "sent to owner" (which could reorder MapDone ahead of its
+            // segments on the replacement).
+            let failed_owner = {
+                let mut inner = self.parts[p].inner.lock().unwrap();
+                inner.log.push(msg.clone());
+                let owner = inner.owner;
+                if send_shuffle_frame(&self.links[owner].conn, p, &msg).is_err() {
+                    Some(owner)
+                } else {
+                    None
+                }
+            };
+            if let Some(owner) = failed_owner {
+                self.on_worker_down(owner);
+            }
+        }
+    }
+
+    /// Block until every remote reduce partition reports a terminal
+    /// outcome; the first failure wins (a failure means no worker is left
+    /// to host some partition, so the job cannot complete).
+    pub(crate) fn await_remote_reduces(&self, reducers: usize) -> Result<()> {
+        for _ in 0..reducers {
+            match self.done_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    return Err(Error::InvalidState(
+                        "reduce completion channel closed".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encode one fabric message as its partition-addressed wire frame.
+fn send_shuffle_frame(conn: &Conn, partition: usize, msg: &ShuffleMsg) -> Result<()> {
+    match msg {
+        ShuffleMsg::Segment(seg) => conn.send(&Frame::Segment {
+            map_task: seg.map_task as u64,
+            attempt: seg.attempt as u64,
+            partition: partition as u64,
+            sorted: seg.sorted,
+            combined: seg.combined,
+            payload: super::wire::encode_kv(&seg.records),
+        }),
+        ShuffleMsg::MapDone { map_task, attempt } => conn.send(&Frame::RedMapDone {
+            partition: partition as u64,
+            map_task: *map_task as u64,
+            attempt: *attempt as u64,
+        }),
+        ShuffleMsg::InputExhausted { total_map_tasks } => conn.send(&Frame::RedInputExhausted {
+            partition: partition as u64,
+            total: *total_map_tasks as u64,
+        }),
+        ShuffleMsg::Abort => conn.send(&Frame::RedAbort {
+            partition: partition as u64,
+        }),
+    }
+}
+
+fn map_stats(w: &WireMapStats) -> MapTaskStats {
+    MapTaskStats {
+        input_records: w.input_records,
+        input_bytes: w.input_bytes,
+        output_records: w.output_records,
+        shuffled_records: w.shuffled_records,
+        shuffled_bytes: w.shuffled_bytes,
+        flushes: w.flushes,
+        ..MapTaskStats::default()
+    }
+}

@@ -1,0 +1,221 @@
+//! Framed TCP connection shared by coordinator and workers.
+//!
+//! A [`Conn`] wraps one socket with independently locked read and write
+//! halves, so a reader thread can block in [`Conn::recv`] while other
+//! threads interleave whole frames through [`Conn::send`]. Frames are
+//! `[u32 LE length][body]`; flow control is TCP's own (a slow receiver
+//! backpressures senders through the socket buffer, the distributed
+//! analogue of the in-proc bounded channels).
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use onepass_core::error::{Error, Result};
+use onepass_core::obs::Counter;
+
+use super::wire::{Frame, MAX_FRAME};
+use super::SegmentSink;
+use crate::shuffle::{PressureGate, Segment, ShuffleTx};
+
+/// One framed, bidirectional connection.
+pub(crate) struct Conn {
+    peer: String,
+    writer: Mutex<TcpStream>,
+    reader: Mutex<BufReader<TcpStream>>,
+    /// Kept solely so either side can force-unblock the reader.
+    raw: TcpStream,
+    tx_bytes: AtomicU64,
+    rx_bytes: AtomicU64,
+    /// Live mirrors of tx/rx byte totals, when metrics are enabled.
+    obs: Mutex<Option<(Counter, Counter)>>,
+}
+
+impl Conn {
+    /// Wrap an established socket. `peer` is used in error messages.
+    pub(crate) fn new(stream: TcpStream, peer: String) -> Result<Self> {
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let reader = stream.try_clone()?;
+        Ok(Conn {
+            peer,
+            writer: Mutex::new(writer),
+            reader: Mutex::new(BufReader::new(reader)),
+            raw: stream,
+            tx_bytes: AtomicU64::new(0),
+            rx_bytes: AtomicU64::new(0),
+            obs: Mutex::new(None),
+        })
+    }
+
+    /// Dial `addr` and wrap the socket.
+    pub(crate) fn connect(addr: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::Io(std::io::Error::new(e.kind(), format!("{addr}: {e}"))))?;
+        Conn::new(stream, addr.to_string())
+    }
+
+    /// Mirror per-direction byte totals into live metrics counters.
+    pub(crate) fn set_metrics(&self, tx: Counter, rx: Counter) {
+        *self.obs.lock().unwrap() = Some((tx, rx));
+    }
+
+    /// The remote address this connection talks to.
+    pub(crate) fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Write one frame (length prefix + body) as a single `write_all`.
+    pub(crate) fn send(&self, frame: &Frame) -> Result<()> {
+        let body = frame.encode();
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        {
+            let mut w = self.writer.lock().unwrap();
+            w.write_all(&buf)?;
+        }
+        self.tx_bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if let Some((tx, _)) = self.obs.lock().unwrap().as_ref() {
+            tx.inc(buf.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Block until one whole frame arrives (or the peer hangs up).
+    pub(crate) fn recv(&self) -> Result<Frame> {
+        let body = {
+            let mut r = self.reader.lock().unwrap();
+            let mut len = [0u8; 4];
+            r.read_exact(&mut len)?;
+            let len = u32::from_le_bytes(len) as usize;
+            if len > MAX_FRAME {
+                return Err(Error::Corrupt(format!(
+                    "frame length {len} from {} exceeds limit",
+                    self.peer
+                )));
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body)?;
+            body
+        };
+        self.rx_bytes
+            .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+        if let Some((_, rx)) = self.obs.lock().unwrap().as_ref() {
+            rx.inc(4 + body.len() as u64);
+        }
+        Frame::decode(&body)
+    }
+
+    /// Bytes written so far (frames included, length prefixes included).
+    #[cfg(test)]
+    pub(crate) fn tx_bytes(&self) -> u64 {
+        self.tx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read so far.
+    #[cfg(test)]
+    pub(crate) fn rx_bytes(&self) -> u64 {
+        self.rx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Force-close both directions; any blocked `recv`/`send` unblocks
+    /// with an error.
+    pub(crate) fn shutdown(&self) {
+        let _ = self.raw.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Worker-side shuffle sink: map tasks on a worker process push their
+/// segments into this, which frames them back to the coordinator. The
+/// coordinator's own fabric then routes them (and does the accounting —
+/// the worker's counts travel separately in `MapOk` stats).
+pub(crate) struct TcpSink {
+    conn: std::sync::Arc<Conn>,
+}
+
+impl TcpSink {
+    pub(crate) fn new(conn: std::sync::Arc<Conn>) -> Self {
+        TcpSink { conn }
+    }
+
+    /// A [`ShuffleTx`] whose fabric is this connection.
+    pub(crate) fn shuffle_tx(conn: std::sync::Arc<Conn>) -> ShuffleTx {
+        ShuffleTx::over(std::sync::Arc::new(TcpSink::new(conn)))
+    }
+}
+
+impl SegmentSink for TcpSink {
+    fn send_segment(&self, seg: Segment, _gate: Option<&PressureGate>) {
+        // Send errors mean the coordinator hung up (job over or this
+        // worker was declared dead); the map task keeps running and its
+        // MapOk/MapFailed send will fail the same way.
+        let _ = self.conn.send(&Frame::Segment {
+            map_task: seg.map_task as u64,
+            attempt: seg.attempt as u64,
+            partition: seg.partition as u64,
+            sorted: seg.sorted,
+            combined: seg.combined,
+            payload: super::wire::encode_kv(&seg.records),
+        });
+    }
+
+    fn map_done(&self, map_task: usize, attempt: usize) {
+        let _ = self.conn.send(&Frame::MapDone {
+            map_task: map_task as u64,
+            attempt: attempt as u64,
+        });
+    }
+
+    fn abort(&self) {
+        let _ = self.conn.send(&Frame::Abort);
+    }
+
+    fn input_exhausted(&self, _total_map_tasks: usize) {
+        // Workers never learn the job-wide task total; the coordinator
+        // broadcasts it through its own fabric.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn conn_roundtrips_frames_and_counts_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let conn = Conn::new(s, "client".into()).unwrap();
+            let f = conn.recv().unwrap();
+            conn.send(&f).unwrap(); // echo
+            conn.recv().unwrap_err(); // peer shut down
+        });
+
+        let conn = Conn::connect(&addr).unwrap();
+        let sent = Frame::Ping { nonce: 7 };
+        conn.send(&sent).unwrap();
+        assert_eq!(conn.recv().unwrap(), sent);
+        assert!(conn.tx_bytes() > 0);
+        assert_eq!(conn.tx_bytes(), conn.rx_bytes(), "echo is symmetric");
+        conn.shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            use std::io::Write as _;
+            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        });
+        let conn = Conn::connect(&addr).unwrap();
+        assert!(matches!(conn.recv(), Err(Error::Corrupt(_))));
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,498 @@
+//! The worker side of the TCP transport: `onepass worker --listen ADDR`.
+//!
+//! A worker process accepts one connection per job from a coordinator.
+//! Over that connection it receives a `JobInit` (job name + scalar knobs,
+//! resolved against its [`JobRegistry`]), map task dispatches
+//! (`NewSplit`), and reduce partition assignments (`ReduceTask`); it sends
+//! back shuffle segments, `MapDone`/`MapOk`/`MapFailed`, reduce output
+//! batches, and `ReduceDone`.
+//!
+//! Map tasks run through the exact same
+//! [`run_map_task_with`](crate::map_task) code path as in-process workers
+//! — only the [`ShuffleTx`] sink differs (a `TcpSink` framing segments
+//! back to the coordinator instead of in-proc channels). Likewise reduce partitions
+//! run the stock attempt-aware
+//! [`run_reduce_task_open`](crate::reduce_task) loop, so worker-internal
+//! reduce retries (fresh store + budget, replayed retained segments) work
+//! unchanged.
+//!
+//! Two deliberate simplifications versus in-process execution: remote map
+//! tasks skip worker-scoped in-node combining (per-task `HashCombine`
+//! still applies) and never persist map output (recovery is re-execution
+//! from the coordinator-held input split).
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver};
+
+use onepass_core::error::{Error, Result};
+use onepass_core::fault::FaultInjector;
+use onepass_core::memory::MemoryBudget;
+use onepass_core::trace::LocalTracer;
+use onepass_groupby::{EmitKind, Sink};
+
+use super::tcp::{Conn, TcpSink};
+use super::wire::{Frame, WireJob, WireMapStats, WireReduceStats};
+use super::JobRegistry;
+use crate::executor::make_store;
+use crate::job::JobSpec;
+use crate::map_task::{run_map_task_with, MapAttemptCtx, MapTaskStats, Split};
+use crate::reduce_task::{panic_message, run_reduce_task_open, ReduceResult, ReduceRetryOpts};
+use crate::shuffle::{Segment, ShuffleMsg, ShuffleTx};
+
+/// Knobs for a worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Concurrent map tasks per job connection.
+    pub map_slots: usize,
+    /// Fault-injection hook: after this many successful map tasks on a
+    /// connection, the worker severs that connection without warning —
+    /// indistinguishable, from the coordinator's side, from `kill -9`.
+    /// Used by the equivalence tests to exercise worker-loss replay
+    /// deterministically.
+    pub die_after_maps: Option<u64>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            map_slots: 2,
+            die_after_maps: None,
+        }
+    }
+}
+
+/// An in-process worker spawned for tests: same code as `onepass worker`,
+/// listening on an ephemeral loopback port.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// The `host:port` this worker listens on.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. Connections
+    /// already serving a job drain on their own.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(&self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(&self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawn a worker on `127.0.0.1:0` in a background thread (test harness
+/// for the TCP transport; production workers run `serve` in their own
+/// process).
+pub fn spawn_local(registry: JobRegistry, opts: WorkerOptions) -> Result<WorkerHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        let _ = serve_until(listener, registry, opts, Some(stop2));
+    });
+    Ok(WorkerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+/// Serve jobs on `listener` forever: one connection = one job submission.
+/// This is the body of `onepass worker --listen ADDR`.
+pub fn serve(listener: TcpListener, registry: JobRegistry, opts: WorkerOptions) -> Result<()> {
+    serve_until(listener, registry, opts, None)
+}
+
+fn serve_until(
+    listener: TcpListener,
+    registry: JobRegistry,
+    opts: WorkerOptions,
+    stop: Option<Arc<AtomicBool>>,
+) -> Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        if let Some(s) = &stop {
+            if s.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+        }
+        let registry = registry.clone();
+        let opts = opts.clone();
+        std::thread::spawn(move || handle_conn(stream, registry, opts));
+    }
+}
+
+/// Serve one job connection to completion.
+fn handle_conn(stream: TcpStream, registry: JobRegistry, opts: WorkerOptions) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "coordinator".into());
+    let Ok(conn) = Conn::new(stream, peer) else {
+        return;
+    };
+    let conn = Arc::new(conn);
+
+    // First frame must name the job.
+    let wire = match conn.recv() {
+        Ok(Frame::JobInit(w)) => w,
+        _ => return,
+    };
+    let job = match instantiate(&registry, &wire) {
+        Ok(j) => Arc::new(j),
+        Err(e) => {
+            let _ = conn.send(&Frame::JobRejected {
+                reason: e.to_string(),
+            });
+            return;
+        }
+    };
+
+    // Map tasks: a slot pool draining one dispatch queue, shuffling
+    // straight back over the connection.
+    let shuffle_tx = TcpSink::shuffle_tx(Arc::clone(&conn));
+    let dead = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let (map_tx, map_rx) = unbounded::<(usize, usize, Split)>();
+    let mut joins = Vec::new();
+    for _ in 0..opts.map_slots.max(1) {
+        let conn = Arc::clone(&conn);
+        let job = Arc::clone(&job);
+        let shuffle_tx = shuffle_tx.clone();
+        let dead = Arc::clone(&dead);
+        let completed = Arc::clone(&completed);
+        let map_rx = map_rx.clone();
+        let die_after = opts.die_after_maps;
+        joins.push(std::thread::spawn(move || {
+            map_slot(
+                &conn,
+                &job,
+                &shuffle_tx,
+                &map_rx,
+                &dead,
+                &completed,
+                die_after,
+            )
+        }));
+    }
+    drop(map_rx);
+
+    // Reduce partitions hosted on this connection: one routing channel and
+    // one thread each.
+    let mut reduce_txs: HashMap<u64, crossbeam::channel::Sender<ShuffleMsg>> = HashMap::new();
+
+    // Recv errors end the loop: the coordinator hung up (job over), or we
+    // severed the connection ourselves (simulated death).
+    while let Ok(frame) = conn.recv() {
+        match frame {
+            Frame::NewSplit {
+                task,
+                attempt,
+                records,
+            } => {
+                let _ = map_tx.send((task as usize, attempt as usize, Split::new(records)));
+            }
+            Frame::ReduceTask { partition } => {
+                let (rtx, rrx) = bounded::<ShuffleMsg>(64);
+                reduce_txs.insert(partition, rtx);
+                let conn = Arc::clone(&conn);
+                let job = Arc::clone(&job);
+                let wire = wire.clone();
+                joins.push(std::thread::spawn(move || {
+                    reduce_partition(&conn, &job, &wire, partition, &rrx)
+                }));
+            }
+            Frame::Segment {
+                map_task,
+                attempt,
+                partition,
+                sorted,
+                combined,
+                payload,
+            } => {
+                if let (Some(tx), Ok(records)) =
+                    (reduce_txs.get(&partition), super::wire::decode_kv(payload))
+                {
+                    let _ = tx.send(ShuffleMsg::Segment(Segment {
+                        map_task: map_task as usize,
+                        attempt: attempt as usize,
+                        partition: partition as usize,
+                        sorted,
+                        combined,
+                        records,
+                    }));
+                }
+            }
+            Frame::RedMapDone {
+                partition,
+                map_task,
+                attempt,
+            } => {
+                if let Some(tx) = reduce_txs.get(&partition) {
+                    let _ = tx.send(ShuffleMsg::MapDone {
+                        map_task: map_task as usize,
+                        attempt: attempt as usize,
+                    });
+                }
+            }
+            Frame::RedInputExhausted { partition, total } => {
+                if let Some(tx) = reduce_txs.get(&partition) {
+                    let _ = tx.send(ShuffleMsg::InputExhausted {
+                        total_map_tasks: total as usize,
+                    });
+                }
+            }
+            Frame::RedAbort { partition } => {
+                if let Some(tx) = reduce_txs.get(&partition) {
+                    let _ = tx.send(ShuffleMsg::Abort);
+                }
+            }
+            Frame::Ping { nonce } => {
+                let _ = conn.send(&Frame::Pong { nonce });
+            }
+            Frame::FeedClosed => {
+                // No further map dispatches will arrive; reduce frames may
+                // still. Nothing to do eagerly — teardown happens when the
+                // coordinator closes the socket.
+            }
+            // Frames this side never expects (worker→coordinator shapes,
+            // or protocol noise): ignore rather than kill the job.
+            _ => {}
+        }
+    }
+
+    // Teardown: closing the dispatch queue and partition channels unblocks
+    // every slot/reduce thread still waiting for input.
+    drop(map_tx);
+    drop(reduce_txs);
+    for j in joins {
+        let _ = j.join();
+    }
+}
+
+/// Resolve a `JobInit` against the registry and overlay its wire knobs.
+fn instantiate(registry: &JobRegistry, wire: &WireJob) -> Result<JobSpec> {
+    let base = registry.build(&wire.name).ok_or_else(|| {
+        Error::Config(format!(
+            "job '{}' is not registered on this worker",
+            wire.name
+        ))
+    })?;
+    wire.apply(base)
+}
+
+/// One map slot: run dispatched attempts until the queue closes (or this
+/// worker "dies").
+fn map_slot(
+    conn: &Conn,
+    job: &JobSpec,
+    shuffle_tx: &ShuffleTx,
+    map_rx: &Receiver<(usize, usize, Split)>,
+    dead: &AtomicBool,
+    completed: &AtomicU64,
+    die_after: Option<u64>,
+) {
+    while let Ok((task, attempt, split)) = map_rx.recv() {
+        if dead.load(Ordering::Relaxed) {
+            break;
+        }
+        let ctx = MapAttemptCtx {
+            attempt,
+            injector: FaultInjector::none(),
+            cancel: None,
+        };
+        let mut trace = LocalTracer::disabled();
+        // Same containment as in-process workers: a panicking map function
+        // is a task failure, reported as such, not a worker crash.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_map_task_with(job, task, &split, shuffle_tx, None, &mut trace, &ctx, None)
+        }))
+        .unwrap_or_else(|p| {
+            Err(Error::InvalidState(format!(
+                "map task panicked: {}",
+                panic_message(p.as_ref())
+            )))
+        });
+        match result {
+            Ok(stats) => {
+                // `run_map_task_with` already framed the segments and the
+                // MapDone; the MapOk (with stats) commits the attempt to
+                // the scheduler.
+                let _ = conn.send(&Frame::MapOk {
+                    task: task as u64,
+                    attempt: attempt as u64,
+                    stats: wire_map_stats(&stats),
+                });
+                if let Some(n) = die_after {
+                    if completed.fetch_add(1, Ordering::Relaxed) + 1 >= n {
+                        // Simulated kill -9: sever the socket mid-job. The
+                        // coordinator sees EOF and replays our work.
+                        dead.store(true, Ordering::Relaxed);
+                        conn.shutdown();
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = conn.send(&Frame::MapFailed {
+                    task: task as u64,
+                    attempt: attempt as u64,
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Host one reduce partition: run the stock attempt-aware reduce loop,
+/// batching its output back to the coordinator.
+fn reduce_partition(
+    conn: &Arc<Conn>,
+    job: &JobSpec,
+    wire: &WireJob,
+    partition: u64,
+    rx: &Receiver<ShuffleMsg>,
+) {
+    let spill = wire.spill_backend();
+    let mut resources = || -> Result<(Arc<dyn onepass_core::io::SpillStore>, MemoryBudget)> {
+        Ok((
+            make_store(spill)?,
+            MemoryBudget::new(job.reduce_budget_bytes),
+        ))
+    };
+    let opts = ReduceRetryOpts {
+        max_attempts: (wire.max_attempts as usize).max(1),
+        backoff: Duration::ZERO,
+        dedup_attempts: true,
+        injector: FaultInjector::none(),
+        hash_family: wire.family(),
+    };
+    let mut sink = FrameSink::new(Arc::clone(conn), partition);
+    let mut trace = LocalTracer::disabled();
+    match run_reduce_task_open(
+        job,
+        partition as usize,
+        rx,
+        None, // the coordinator broadcasts the task total when it's known
+        &mut resources,
+        &mut sink,
+        &mut trace,
+        &opts,
+    ) {
+        Ok(res) => {
+            sink.flush();
+            let _ = conn.send(&Frame::ReduceDone {
+                partition,
+                stats: wire_reduce_stats(&res),
+            });
+        }
+        Err(_) => {
+            // Aborted or exhausted its worker-internal retries. The
+            // coordinator learns through the job-level abort flow (or our
+            // death); no frame to send.
+        }
+    }
+}
+
+fn wire_map_stats(s: &MapTaskStats) -> WireMapStats {
+    WireMapStats {
+        input_records: s.input_records,
+        input_bytes: s.input_bytes,
+        output_records: s.output_records,
+        shuffled_records: s.shuffled_records,
+        shuffled_bytes: s.shuffled_bytes,
+        flushes: s.flushes,
+    }
+}
+
+fn wire_reduce_stats(r: &ReduceResult) -> WireReduceStats {
+    WireReduceStats {
+        records_in: r.stats.records_in,
+        groups_out: r.stats.groups_out,
+        early_emits: r.stats.early_emits,
+        bytes_written: r.stats.io.bytes_written,
+        bytes_read: r.stats.io.bytes_read,
+        runs_created: r.stats.io.runs_created,
+        runs_deleted: r.stats.io.runs_deleted,
+        peak_mem: r.stats.peak_mem as u64,
+        spills: r.stats.spills,
+        passes: r.stats.passes,
+        snapshots_taken: r.snapshots_taken,
+        attempts: r.attempts as u64,
+    }
+}
+
+/// Buffers reduce emissions into framed batches (~64 KiB, split on
+/// early/final boundaries so emission kind survives the wire, order
+/// preserved).
+struct FrameSink {
+    conn: Arc<Conn>,
+    partition: u64,
+    kind: u8,
+    buf: Vec<u8>,
+}
+
+impl FrameSink {
+    const FLUSH_BYTES: usize = 64 * 1024;
+
+    fn new(conn: Arc<Conn>, partition: u64) -> Self {
+        FrameSink {
+            conn,
+            partition,
+            kind: 1,
+            buf: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let _ = self.conn.send(&Frame::FinalBatch {
+            partition: self.partition,
+            kind: self.kind,
+            payload: std::mem::take(&mut self.buf),
+        });
+    }
+}
+
+impl Sink for FrameSink {
+    fn emit(&mut self, key: &[u8], value: &[u8], kind: EmitKind) {
+        let k = match kind {
+            EmitKind::Early => 0,
+            EmitKind::Final => 1,
+        };
+        if k != self.kind {
+            self.flush();
+            self.kind = k;
+        }
+        super::wire::append_kv(&mut self.buf, key, value);
+        if self.buf.len() >= Self::FLUSH_BYTES {
+            self.flush();
+        }
+    }
+}

@@ -15,8 +15,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use onepass_groupby::SumAgg;
-use onepass_runtime::chain::encode_pair;
+use onepass_runtime::chain::{decode_pair, encode_pair};
 use onepass_runtime::prelude::*;
+use onepass_runtime::transport::worker::spawn_local;
 use proptest::prelude::*;
 
 fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
@@ -267,6 +268,106 @@ proptest! {
             &expect,
             "manually chained stages diverged from reference (backend {})",
             backend_tag
+        );
+    }
+}
+
+/// Build the two-stage plan the TCP property runs.
+fn mk_plan(backend: ReduceBackend, reducers: usize) -> Plan {
+    let mut b = Plan::builder();
+    let counts = b.add_stage(count_job(backend, reducers));
+    let hist = b.add_pair_stage(
+        histogram_job(),
+        Arc::new(|_key: &[u8], value: &[u8], out: &mut dyn MapEmitter| {
+            histogram_pair(value, out);
+        }),
+    );
+    b.connect(counts, hist);
+    b.build().unwrap()
+}
+
+/// The registry a worker needs to serve both stages of the plan. Pair
+/// stages get their map function replaced coordinator-side at run time;
+/// remote workers rebuild the job from the registry instead, so the
+/// histogram stage is registered with the edge decoding inlined.
+fn plan_registry(backend: ReduceBackend, reducers: usize) -> JobRegistry {
+    let r = JobRegistry::new();
+    r.register_spec(count_job(backend, reducers));
+    let mut hist = histogram_job();
+    hist.map_fn = Arc::new(|record: &[u8], out: &mut dyn MapEmitter| {
+        let (_, value) = decode_pair(record).expect("valid edge record");
+        histogram_pair(value, out);
+    });
+    r.register_spec(hist);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Transport equivalence for staged plans: the two-stage plan run
+    /// over the TCP loopback fabric — in both plan modes, including with
+    /// a worker seeded to sever its connections mid-job — matches the
+    /// pure-Rust reference byte for byte. Interior stages keep their
+    /// reduce local (the inter-stage tap), so this exercises remote maps
+    /// feeding local reducers (stage 1) and the fully remote map+reduce
+    /// path (stage 2) in the same run.
+    #[test]
+    fn plan_over_tcp_loopback_matches_reference(
+        records in docs(),
+        backend_tag in 0u8..4,
+        reducers in 1usize..4,
+        per_split in 1usize..10,
+        records_per_split in 1usize..64,
+        // Per-connection kill (0 = healthy): in pipelined mode the dying
+        // worker severs both stage connections independently.
+        die_after_tag in 0u64..3,
+        barrier in any::<bool>(),
+    ) {
+        let backend = mk_backend(backend_tag);
+        let splits: Vec<Split> = records
+            .chunks(per_split)
+            .map(|c| Split::new(c.to_vec()))
+            .collect();
+        let plan = mk_plan(backend.clone(), reducers);
+
+        let die_after = (die_after_tag > 0).then_some(die_after_tag);
+        let registry = plan_registry(backend, reducers);
+        let w1 = spawn_local(
+            registry.clone(),
+            WorkerOptions {
+                map_slots: 1,
+                die_after_maps: die_after,
+            },
+        )
+        .unwrap();
+        let w2 = spawn_local(registry, WorkerOptions::default()).unwrap();
+
+        let cfg = EngineConfig::builder()
+            .transport(Transport::Tcp {
+                workers: vec![w1.addr().to_string(), w2.addr().to_string()],
+            })
+            .build();
+        let mode = if barrier {
+            PlanMode::Barrier
+        } else {
+            PlanMode::Pipelined
+        };
+        let mut pc = PlanConfig::new(mode);
+        pc.records_per_split = records_per_split;
+        let report = Engine::with_config(cfg)
+            .run_plan(&plan, splits, &pc)
+            .unwrap();
+        w1.shutdown();
+        w2.shutdown();
+
+        prop_assert_eq!(
+            report.sorted_final_outputs(),
+            reference(&records),
+            "tcp plan output diverged from reference ({}, backend {}, die_after {:?})",
+            mode.label(),
+            backend_tag,
+            die_after
         );
     }
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 use onepass_core::KvBuf;
 use onepass_groupby::{EmitKind, SumAgg};
 use onepass_runtime::prelude::*;
+use onepass_runtime::transport::worker::spawn_local;
 use proptest::prelude::*;
 
 fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
@@ -171,5 +172,119 @@ proptest! {
             .collect();
         let expect = fingerprint(expect_enc.iter().map(|(k, v)| (k.as_slice(), &v[..])));
         prop_assert_eq!(got, expect, "fingerprint mismatch: backend {}", backend_tag);
+    }
+}
+
+/// Final `(key -> value)` outputs of a report, for byte-level comparison.
+fn final_outputs(report: &JobReport) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    report
+        .outputs
+        .iter()
+        .filter(|o| o.kind == EmitKind::Final)
+        .map(|o| (o.key.clone(), o.value.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Transport equivalence: the same job run over the TCP loopback
+    /// fabric — including with a worker seeded to sever its connection
+    /// mid-job (the moral equivalent of `kill -9`) — produces output
+    /// byte-identical to the in-proc run, across all four reduce
+    /// backends, the three map-side modes, both spill backends and both
+    /// hash families.
+    #[test]
+    fn tcp_loopback_matches_inproc(
+        records in docs(),
+        backend_tag in 0u8..4,
+        temp_files in any::<bool>(),
+        reducers in 1usize..4,
+        per_split in 1usize..10,
+        // 0 = both workers healthy; n > 0 = the first worker dies after
+        // n completed maps, forcing map replay and (for partitions it
+        // hosted) reduce-side log replay onto the survivor.
+        die_after_tag in 0u64..3,
+        mapside_tag in 0u8..3,
+        tabulation in any::<bool>(),
+    ) {
+        let mut builder = JobSpec::builder("seg-eq-tcp")
+            .map_fn(Arc::new(word_map))
+            .aggregate(Arc::new(SumAgg))
+            .reducers(reducers)
+            .backend(mk_backend(backend_tag))
+            .reduce_budget_bytes(2048);
+        builder = match mapside_tag {
+            0 => builder, // SortSpill + Pull defaults
+            1 => builder
+                .map_side(MapSideMode::HashPartitionOnly)
+                .shuffle(ShuffleMode::Push { granularity: 64 }),
+            _ => builder
+                .map_side(MapSideMode::HashCombine)
+                .shuffle(ShuffleMode::Push { granularity: 512 }),
+        };
+        let job = builder.build().unwrap();
+        let family = if tabulation {
+            HashFamily::Tabulation
+        } else {
+            HashFamily::MultiplyShift
+        };
+        let spill = if temp_files {
+            SpillBackend::TempFiles
+        } else {
+            SpillBackend::Memory
+        };
+        let mk_splits = || -> Vec<Split> {
+            records
+                .chunks(per_split)
+                .map(|c| Split::new(c.to_vec()))
+                .collect()
+        };
+
+        let base_cfg = EngineConfig::builder()
+            .spill(spill)
+            .hash_family(family)
+            .in_node_combine(InNodeCombine::Off)
+            .build();
+        let base = Engine::with_config(base_cfg).run(&job, mk_splits()).unwrap();
+
+        let die_after = (die_after_tag > 0).then_some(die_after_tag);
+        let registry = JobRegistry::new();
+        registry.register_spec(job.clone());
+        let w1 = spawn_local(
+            registry.clone(),
+            WorkerOptions {
+                map_slots: 1,
+                die_after_maps: die_after,
+            },
+        )
+        .unwrap();
+        let w2 = spawn_local(registry, WorkerOptions::default()).unwrap();
+        let tcp_cfg = EngineConfig::builder()
+            .spill(spill)
+            .hash_family(family)
+            .transport(Transport::Tcp {
+                workers: vec![w1.addr().to_string(), w2.addr().to_string()],
+            })
+            .build();
+        let dist = Engine::with_config(tcp_cfg).run(&job, mk_splits()).unwrap();
+        w1.shutdown();
+        w2.shutdown();
+
+        prop_assert_eq!(
+            final_outputs(&base),
+            final_outputs(&dist),
+            "tcp output diverged from in-proc (backend {}, mapside {}, die_after {:?})",
+            backend_tag,
+            mapside_tag,
+            die_after
+        );
+
+        // Both must also equal the pure-Rust reference, not just each other.
+        let expect: BTreeMap<Vec<u8>, Vec<u8>> = reference(&records)
+            .into_iter()
+            .map(|(k, c)| (k, c.to_le_bytes().to_vec()))
+            .collect();
+        prop_assert_eq!(final_outputs(&dist), expect, "tcp output diverged from reference");
     }
 }

@@ -1,0 +1,167 @@
+//! Distributed-mode integration tests: the same job must produce
+//! byte-identical output (and identical transport-agnostic shuffle
+//! accounting) whether it runs on the in-proc fabric or on TCP worker
+//! processes — including when a worker is killed mid-job.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use onepass_groupby::{EmitKind, SumAgg};
+use onepass_runtime::prelude::*;
+use onepass_runtime::transport::worker::spawn_local;
+
+fn word_map(record: &[u8], out: &mut dyn MapEmitter) {
+    for w in record.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+        out.emit(w, &1u64.to_le_bytes());
+    }
+}
+
+fn splits() -> Vec<Split> {
+    (0..6)
+        .map(|s| {
+            Split::new(
+                (0..150)
+                    .map(|i| format!("w{} w{} common", (s * 7 + i) % 23, i % 11).into_bytes())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Hash-partition-only map side with combining off: every emitted record
+/// shuffles, so the volume accounting is exactly comparable between
+/// transports.
+fn wc_job() -> JobSpec {
+    JobSpec::builder("wc-transport")
+        .map_fn(Arc::new(word_map))
+        .aggregate(Arc::new(SumAgg))
+        .reducers(3)
+        .map_side(MapSideMode::HashPartitionOnly)
+        .shuffle(ShuffleMode::Push { granularity: 64 })
+        .combine_mode(Combine::Off)
+        .backend(ReduceBackend::HybridHash { fanout: 8 })
+        .build()
+        .unwrap()
+}
+
+fn registry() -> JobRegistry {
+    let r = JobRegistry::new();
+    r.register_spec(wc_job());
+    r
+}
+
+fn finals(report: &JobReport) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    report
+        .outputs
+        .iter()
+        .filter(|o| o.kind == EmitKind::Final)
+        .map(|o| (o.key.clone(), o.value.clone()))
+        .collect()
+}
+
+fn run_inproc() -> JobReport {
+    Engine::with_config(
+        EngineConfig::builder()
+            .in_node_combine(InNodeCombine::Off)
+            .build(),
+    )
+    .run(&wc_job(), splits())
+    .unwrap()
+}
+
+fn run_tcp(workers: &[&str]) -> JobReport {
+    let cfg = EngineConfig::builder()
+        .transport(Transport::Tcp {
+            workers: workers.iter().map(|s| s.to_string()).collect(),
+        })
+        .build();
+    Engine::with_config(cfg).run(&wc_job(), splits()).unwrap()
+}
+
+#[test]
+fn tcp_two_workers_matches_inproc_byte_for_byte() {
+    let base = run_inproc();
+    let w1 = spawn_local(registry(), WorkerOptions::default()).unwrap();
+    let w2 = spawn_local(registry(), WorkerOptions::default()).unwrap();
+    let dist = run_tcp(&[w1.addr(), w2.addr()]);
+    assert_eq!(finals(&base), finals(&dist), "distributed output differs");
+    assert_eq!(dist.map_tasks, base.map_tasks);
+    assert_eq!(dist.reduce_tasks, base.reduce_tasks);
+    w1.shutdown();
+    w2.shutdown();
+}
+
+/// Satellite: `shuffled_records`/`shuffled_bytes` are counted at the
+/// fabric, above the transport — the same job shuffles the same counted
+/// volume on both transports.
+#[test]
+fn shuffle_accounting_is_transport_agnostic() {
+    let base = run_inproc();
+    let w1 = spawn_local(registry(), WorkerOptions::default()).unwrap();
+    let w2 = spawn_local(registry(), WorkerOptions::default()).unwrap();
+    let dist = run_tcp(&[w1.addr(), w2.addr()]);
+    assert_eq!(
+        dist.shuffled_records, base.shuffled_records,
+        "shuffled record accounting differs between transports"
+    );
+    assert_eq!(
+        dist.shuffled_bytes, base.shuffled_bytes,
+        "shuffled byte accounting differs between transports"
+    );
+    w1.shutdown();
+    w2.shutdown();
+}
+
+/// Kill one worker after its first completed map (the moral equivalent of
+/// `kill -9` mid-job): the survivor absorbs replayed map attempts and
+/// reduce partitions, and the output stays byte-identical.
+#[test]
+fn worker_killed_mid_job_is_byte_identical() {
+    let base = run_inproc();
+    let dying = spawn_local(
+        registry(),
+        WorkerOptions {
+            map_slots: 1,
+            die_after_maps: Some(1),
+        },
+    )
+    .unwrap();
+    let survivor = spawn_local(registry(), WorkerOptions::default()).unwrap();
+    let dist = run_tcp(&[dying.addr(), survivor.addr()]);
+    assert_eq!(
+        finals(&base),
+        finals(&dist),
+        "output diverged after worker loss"
+    );
+    survivor.shutdown();
+    dying.shutdown();
+}
+
+#[test]
+fn unregistered_job_is_rejected_with_config_error() {
+    let w = spawn_local(JobRegistry::new(), WorkerOptions::default()).unwrap();
+    let cfg = EngineConfig::builder()
+        .transport(Transport::Tcp {
+            workers: vec![w.addr().to_string()],
+        })
+        .build();
+    let err = Engine::with_config(cfg)
+        .run(&wc_job(), splits())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("not registered"),
+        "expected a job-rejection error, got: {err}"
+    );
+    w.shutdown();
+}
+
+#[test]
+fn empty_worker_list_is_a_config_error() {
+    let cfg = EngineConfig::builder()
+        .transport(Transport::Tcp { workers: vec![] })
+        .build();
+    let err = Engine::with_config(cfg)
+        .run(&wc_job(), splits())
+        .unwrap_err();
+    assert!(err.to_string().contains("worker address"), "got: {err}");
+}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end smoke test for distributed mode (CI runs this):
+#
+#   1. run page-frequency single-process and dump its sorted output,
+#   2. start two `onepass worker` processes on loopback ports and run the
+#      same job with `--workers`; the dump must be byte-identical,
+#   3. restart one worker with --die-after-maps so it severs its
+#      connection mid-job (the scripted `kill -9`); replay onto the
+#      survivor must still produce byte-identical output.
+set -e
+
+W1=127.0.0.1:41751
+W2=127.0.0.1:41752
+OUT=$(mktemp -d)
+WORKER_PIDS=""
+cleanup() {
+    [ -n "$WORKER_PIDS" ] && kill $WORKER_PIDS 2>/dev/null || true
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+cargo build --release --bin onepass
+
+RUN="./target/release/onepass run page-frequency --records 100000 --reducers 4"
+
+# Coordinator dials fail fast while a worker is still binding its
+# listener, so retry the whole run until the fleet answers.
+run_dist() {
+    out=$1
+    for _ in $(seq 1 20); do
+        if $RUN --workers "$W1,$W2" --dump-out "$out"; then
+            return 0
+        fi
+        sleep 0.25
+    done
+    echo "FAIL: distributed run never succeeded"
+    exit 1
+}
+
+# 1. Single-process reference.
+$RUN --dump-out "$OUT/solo.tsv"
+
+# 2. Two healthy workers.
+./target/release/onepass worker --listen "$W1" &
+P1=$!
+./target/release/onepass worker --listen "$W2" &
+P2=$!
+WORKER_PIDS="$P1 $P2"
+
+run_dist "$OUT/dist.tsv"
+if ! cmp -s "$OUT/solo.tsv" "$OUT/dist.tsv"; then
+    echo "FAIL: distributed output differs from single-process"
+    diff "$OUT/solo.tsv" "$OUT/dist.tsv" | head -20
+    exit 1
+fi
+echo "ok: two-worker output is byte-identical"
+
+# 3. Worker loss mid-job: the first worker dies cold after one completed
+# map; the survivor absorbs the replayed maps and reduce partitions.
+kill "$P1"
+wait "$P1" 2>/dev/null || true
+WORKER_PIDS="$P2"
+./target/release/onepass worker --listen "$W1" --slots 1 --die-after-maps 1 &
+P1=$!
+WORKER_PIDS="$P1 $P2"
+
+run_dist "$OUT/killed.tsv"
+if ! cmp -s "$OUT/solo.tsv" "$OUT/killed.tsv"; then
+    echo "FAIL: output diverged after mid-job worker loss"
+    diff "$OUT/solo.tsv" "$OUT/killed.tsv" | head -20
+    exit 1
+fi
+echo "ok: output survives a mid-job worker kill byte-identically"
+
+echo "transport smoke: all checks passed"

@@ -10,8 +10,9 @@
 //!              [--mem-high-water F]
 //!              [--retries N] [--backoff-ms MS] [--speculate]
 //!              [--kill-map T] [--kill-reduce P] [--straggle-map T:MS]
-//!              [--fault-seed S]
+//!              [--fault-seed S] [--workers ADDR,ADDR,...]
 //!              [--trace-out trace.json] [--report-jsonl report.jsonl]
+//! onepass worker --listen ADDR [--slots N] [--die-after-maps N]
 //! onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N]
 //!              [--reducers R] [--k K]
 //!              [--hash-family multiply-shift|tabulation]
@@ -68,6 +69,14 @@
 //! `onepass sim` publishes the same metric names labeled `source="sim"`
 //! so predicted and measured runs join on metric name.
 //!
+//! Distributed mode: `onepass worker --listen ADDR` starts a worker
+//! process serving every benchmark workload by name; `onepass run
+//! <workload> --workers a:1,b:2` places that run's map and reduce tasks
+//! on those workers over the framed-TCP transport. Killing a worker
+//! mid-job (`kill -9`, or `--die-after-maps N` for a scripted drill) is
+//! survived: the coordinator replays lost work on survivors and the
+//! output stays byte-identical to a single-process run.
+//!
 //! Workloads: sessionization, page-frequency, per-user-count,
 //! inverted-index.
 
@@ -88,8 +97,9 @@ fn usage() -> ! {
          \x20           [--hash-family multiply-shift|tabulation] [--in-node-combine on|off]\n  \
          \x20           [--mem-policy static|largest-consumer|largest-bucket|coldest-keys|round-robin] [--mem-high-water F]\n  \
          \x20           [--retries N] [--backoff-ms MS] [--speculate] [--kill-map T] [--kill-reduce P]\n  \
-         \x20           [--straggle-map T:MS] [--fault-seed S]\n  \
-         \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
+         \x20           [--straggle-map T:MS] [--fault-seed S] [--workers ADDR,ADDR,...]\n  \
+         \x20           [--trace-out trace.json] [--report-jsonl report.jsonl] [--dump-out FILE]\n  \
+         onepass worker --listen ADDR [--slots N] [--die-after-maps N]\n  \
          onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N] [--reducers R] [--k K]\n  \
          \x20           [--hash-family multiply-shift|tabulation] [--in-node-combine on|off]\n  \
          \x20           [--mem-policy <policy>] [--mem-high-water F] [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
@@ -272,6 +282,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("metrics-validate") => cmd_metrics_validate(&args[1..]),
         Some("workloads") => {
             println!("sessionization    reorder click logs into user sessions (no combiner, heavy intermediate data)");
@@ -295,6 +306,46 @@ fn job_builder(workload: &str) -> JobSpecBuilder {
     }
 }
 
+/// `onepass worker --listen ADDR`: serve jobs to a coordinator. Every
+/// benchmark workload is registered by name; the coordinator's `JobInit`
+/// overlays its scalar knobs (reducers, map side, backend, budgets) onto
+/// the registered spec, so one worker fleet serves any `onepass run
+/// --workers` configuration of these workloads.
+fn cmd_worker(args: &[String]) {
+    let listen = flag(args, "listen").unwrap_or_else(|| usage());
+    let slots: usize = flag(args, "slots")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    // Deterministic fault injection for recovery drills: exit the job
+    // connection cold after N completed maps (the scripted stand-in for
+    // `kill -9` mid-job).
+    let die_after_maps = flag(args, "die-after-maps").and_then(|v| v.parse().ok());
+    let registry = JobRegistry::new();
+    for job in [
+        sessionization::job,
+        page_frequency::job,
+        per_user_count::job,
+        inverted_index::job,
+    ] {
+        registry.register_spec(job().build().expect("workload job is valid"));
+    }
+    let listener = std::net::TcpListener::bind(&listen)
+        .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
+    eprintln!(
+        "worker listening on {listen} ({slots} map slots; jobs: {})",
+        registry.names().join(", ")
+    );
+    onepass::runtime::transport::worker::serve(
+        listener,
+        registry,
+        WorkerOptions {
+            map_slots: slots,
+            die_after_maps,
+        },
+    )
+    .expect("worker accept loop failed");
+}
+
 fn cmd_run(args: &[String]) {
     let workload = args.first().cloned().unwrap_or_else(|| usage());
     let system = flag(args, "system").unwrap_or_else(|| "onepass".into());
@@ -309,9 +360,18 @@ fn cmd_run(args: &[String]) {
         .unwrap_or(64 * 1024);
 
     let hash_family = hash_family_flag(args);
+    // --dump-out FILE: retain the final output pairs and write them,
+    // sorted, to FILE — the hook the distributed smoke test diffs across
+    // single-process and multi-worker runs.
+    let dump_out = flag(args, "dump-out");
+    let collect_mode = if dump_out.is_some() {
+        CollectOutput::Collect
+    } else {
+        CollectOutput::Discard
+    };
     let builder = job_builder(&workload)
         .reducers(reducers)
-        .collect_mode(CollectOutput::Discard)
+        .collect_mode(collect_mode)
         .reduce_budget_bytes(budget_kb * 1024)
         .partitioner(std::sync::Arc::new(
             onepass::runtime::job::HashPartitioner::with_family(hash_family),
@@ -399,6 +459,19 @@ fn cmd_run(args: &[String]) {
     if let Some(r) = &rig {
         config = config.metrics(r.registry.clone());
     }
+    // Distributed mode: place map/reduce tasks on `onepass worker`
+    // processes instead of in-process threads.
+    let workers: Vec<String> = flag(args, "workers")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    if !workers.is_empty() {
+        config = config.transport(Transport::Tcp { workers });
+    }
     let config = config.build();
 
     eprintln!("running {workload} on the {system} configuration ({input_records} records)...");
@@ -416,6 +489,25 @@ fn cmd_run(args: &[String]) {
     if let Some(path) = &report_jsonl {
         std::fs::write(path, report.to_jsonl()).expect("write report file");
         eprintln!("wrote JSONL report to {path}");
+    }
+    if let Some(path) = &dump_out {
+        let mut lines: Vec<String> = report
+            .outputs
+            .iter()
+            .filter(|o| o.kind == onepass::groupby::EmitKind::Final)
+            .map(|o| {
+                let mut l = String::from_utf8_lossy(&o.key).into_owned();
+                l.push('\t');
+                for b in &o.value {
+                    l.push_str(&format!("{b:02x}"));
+                }
+                l
+            })
+            .collect();
+        lines.sort();
+        lines.push(String::new()); // trailing newline
+        std::fs::write(path, lines.join("\n")).expect("write output dump");
+        eprintln!("wrote {} final pairs to {path}", lines.len() - 1);
     }
 
     println!("job:               {} [{}]", report.name, report.backend);

@@ -77,10 +77,11 @@ pub mod prelude {
     pub use onepass_runtime::stream::StreamSession;
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
-        CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, InNodeCombine, JobSpec,
-        MapEmitter, MapFn, MapOutputPersistence, MapSideMode, PairMap, PhaseBreakdown, Plan,
-        PlanBuilder, PlanConfig, PlanMode, PlanReport, ReduceBackend, RetryPolicy, ShuffleMode,
-        SpeculationConfig, SpillBackend, StageId, StageReport,
+        CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, InNodeCombine,
+        JobRegistry, JobSpec, MapEmitter, MapFn, MapOutputPersistence, MapSideMode, PairMap,
+        PhaseBreakdown, Plan, PlanBuilder, PlanConfig, PlanMode, PlanReport, ReduceBackend,
+        RetryPolicy, ShuffleMode, SpeculationConfig, SpillBackend, StageId, StageReport, Transport,
+        WorkerOptions,
     };
     pub use onepass_simcluster::{
         run_sim_job, run_sim_job_traced, ClusterSpec, SimFaults, SimJobSpec, StorageConfig,

@@ -205,9 +205,17 @@ impl HybridHashGrouper {
         };
         let cost = Self::state_cost(key, &state);
         // Escalate to the governor (if leased) before partitioning or
-        // spilling the record.
+        // spilling the record. The *first* key of a level is exempt and
+        // force-charged (soft limit): recursion only terminates if every
+        // level can keep at least one group resident — under a fully
+        // subscribed shared pool a denied first key would re-spill a
+        // single-key bucket unchanged, level after level, until the
+        // depth cap trips.
         if !self.budget.try_grant_or_request(cost) {
-            return Ok(false);
+            if !self.resident.is_empty() {
+                return Ok(false);
+            }
+            self.budget.force_grant(cost);
         }
         self.reserved += cost;
         self.peak_reserved = self.peak_reserved.max(self.reserved);

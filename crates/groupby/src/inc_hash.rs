@@ -60,6 +60,22 @@ impl EarlyEmit for CountThreshold {
     }
 }
 
+/// Early-emit policy: fire every time a little-endian u64 state reaches
+/// a multiple of `period` — a periodic refresh of hot groups while input
+/// is still arriving (the serving front-end's per-tenant early answers).
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicCount(pub u64);
+
+impl EarlyEmit for PeriodicCount {
+    fn ready(&self, _key: &[u8], state: &[u8]) -> bool {
+        if self.0 == 0 || state.len() != 8 {
+            return false;
+        }
+        let n = u64::from_le_bytes(state.try_into().unwrap());
+        n > 0 && n % self.0 == 0
+    }
+}
+
 /// The incremental hash group-by operator.
 pub struct IncHashGrouper {
     store: Arc<dyn SpillStore>,

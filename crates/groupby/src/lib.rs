@@ -41,7 +41,7 @@ pub use aggregate::{
 };
 pub use freq_hash::FreqHashGrouper;
 pub use hybrid_hash::HybridHashGrouper;
-pub use inc_hash::IncHashGrouper;
+pub use inc_hash::{CountThreshold, EarlyEmit, IncHashGrouper, PeriodicCount};
 pub use merge::MultiPassMerger;
 pub use sink::{EmitKind, OpStats, Sink, VecSink};
 pub use sortmerge::SortMergeGrouper;

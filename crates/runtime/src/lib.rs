@@ -33,6 +33,7 @@ pub mod plan;
 pub mod reduce_task;
 pub mod report;
 mod scheduler;
+pub mod serve;
 pub mod shuffle;
 pub mod stream;
 mod telemetry;
@@ -51,6 +52,10 @@ pub use job::{
 pub use plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
 pub use report::{
     JobOutput, JobReport, PhaseBreakdown, PlanReport, StageReport, TaskKind, TaskSpan,
+};
+pub use serve::{
+    AdmissionConfig, DlqConfig, Frontend, QueryCatalog, ServeConfig, Server, StreamingQuery,
+    TenantEvent, TenantHandle, TenantSession,
 };
 pub use transport::{worker::WorkerOptions, JobRegistry, Transport};
 
@@ -74,6 +79,10 @@ pub mod prelude {
     pub use crate::plan::{PairMap, Plan, PlanBuilder, PlanConfig, PlanMode, StageId};
     pub use crate::report::{
         JobOutput, JobReport, PhaseBreakdown, PlanReport, StageReport, TaskKind, TaskSpan,
+    };
+    pub use crate::serve::{
+        AdmissionConfig, DlqConfig, Frontend, QueryCatalog, ServeConfig, Server, StreamingQuery,
+        TenantEvent, TenantHandle, TenantSession,
     };
     pub use crate::transport::{worker::WorkerOptions, JobRegistry, Transport};
     pub use onepass_core::fault::{FaultInjector, FaultPlan};

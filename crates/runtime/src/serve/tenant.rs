@@ -1,0 +1,205 @@
+//! One tenant's live query state: a cascade of [`StreamSession`]s plus a
+//! dead-letter queue.
+//!
+//! Stage 0 stays open against the shared ingest stream and produces the
+//! tenant's *early* answers (the paper's incremental-hash payoff). At
+//! close, each stage's finals pour through the connecting
+//! [`PairMap`] into the next stage's session — the
+//! streaming equivalent of a pipelined plan edge — and the last stage's
+//! finals are the tenant's answer.
+//!
+//! Poison containment: a record whose map function panics is isolated by
+//! re-feeding the offending batch record-by-record (the map phase runs
+//! before any grouper state is touched, so a map panic leaves the session
+//! clean), quarantined in the DLQ, and retried at later feed boundaries.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use onepass_core::error::Result;
+use onepass_groupby::{EmitKind, OpStats};
+
+use crate::plan::PairMap;
+use crate::stream::{SessionOptions, StreamAnswer, StreamSession};
+
+use super::dlq::{DeadLetterQueue, DlqConfig};
+use super::query::StreamingQuery;
+
+/// Everything a tenant's close produces.
+#[derive(Debug)]
+pub struct TenantClose {
+    /// Final answers of the cascade's last stage.
+    pub answers: Vec<StreamAnswer>,
+    /// Per-partition operator stats across all stages.
+    pub stats: Vec<OpStats>,
+    /// Records fed into stage 0 (poisons excluded).
+    pub records_in: u64,
+    /// Records quarantined, ever.
+    pub dlq_poisoned: u64,
+    /// Quarantined records that recovered on retry.
+    pub dlq_recovered: u64,
+    /// Quarantined records that exhausted their retries.
+    pub dlq_dead: u64,
+}
+
+/// A tenant's open query: session cascade + DLQ.
+pub struct TenantSession {
+    id: String,
+    query_name: String,
+    sessions: Vec<StreamSession>,
+    routes: Vec<Arc<dyn PairMap>>,
+    dlq: DeadLetterQueue,
+}
+
+impl std::fmt::Debug for TenantSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantSession")
+            .field("id", &self.id)
+            .field("query", &self.query_name)
+            .field("stages", &self.sessions.len())
+            .field("dlq_pending", &self.dlq.pending())
+            .finish()
+    }
+}
+
+impl TenantSession {
+    /// Open the cascade for `query` with the given session options (the
+    /// serving layer passes a governor lease share here).
+    pub fn open(
+        id: &str,
+        query_name: &str,
+        query: &StreamingQuery,
+        opts: &SessionOptions,
+        dlq: DlqConfig,
+    ) -> Result<TenantSession> {
+        super::install_poison_panic_filter();
+        Ok(TenantSession {
+            id: id.to_string(),
+            query_name: query_name.to_string(),
+            sessions: query.open(opts)?,
+            routes: query.routes.clone(),
+            dlq: DeadLetterQueue::new(dlq),
+        })
+    }
+
+    /// Tenant id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Query name this tenant subscribed to.
+    pub fn query_name(&self) -> &str {
+        &self.query_name
+    }
+
+    /// Dead-letter queue state.
+    pub fn dlq(&self) -> &DeadLetterQueue {
+        &self.dlq
+    }
+
+    /// Total bytes of governor lease this tenant holds across stages.
+    pub fn lease_bytes(&self) -> usize {
+        self.sessions.iter().map(|s| s.budget_bytes()).sum()
+    }
+
+    /// Governor-requested sheds serviced across all stages.
+    pub fn shed_stats(&self) -> (u64, u64) {
+        self.sessions.iter().fold((0, 0), |(n, b), s| {
+            let (sn, sb) = s.shed_stats();
+            (n + sn, b + sb)
+        })
+    }
+
+    /// Feed an ingest batch into stage 0; returns any early answers.
+    /// Poison records (map panics) are quarantined, not fatal; earlier
+    /// quarantined records get one bounded retry per feed boundary.
+    pub fn feed(&mut self, records: &[Vec<u8>]) -> Result<Vec<StreamAnswer>> {
+        let mut answers = Vec::new();
+        let head = &mut self.sessions[0];
+        let fed = quiet_catch(|| head.feed(records.iter().map(|r| r.as_slice())));
+        match fed {
+            Ok(res) => answers.extend(res?),
+            Err(()) => {
+                // A poison is somewhere in the batch. The map phase runs
+                // entirely before groupers are touched, so the panicked
+                // feed left no partial state — isolate per record.
+                for rec in records {
+                    match quiet_catch(|| head.feed(std::iter::once(rec.as_slice()))) {
+                        Ok(Ok(a)) => answers.extend(a),
+                        Ok(Err(e)) => return Err(e),
+                        Err(()) => self.dlq.quarantine(rec.clone()),
+                    }
+                }
+            }
+        }
+        // Bounded retry of earlier poisons at this feed boundary.
+        let head = &mut self.sessions[0];
+        let dlq = &mut self.dlq;
+        dlq.retry_sweep(
+            |rec| match quiet_catch(|| head.feed(std::iter::once(rec))) {
+                Ok(Ok(a)) => {
+                    answers.extend(a);
+                    true
+                }
+                _ => false,
+            },
+        );
+        Ok(answers)
+    }
+
+    /// Close the cascade: drain the DLQ's remaining retries, then pour
+    /// each stage's finals into the next, returning the last stage's
+    /// finals plus stats and DLQ accounting.
+    pub fn close(mut self) -> Result<TenantClose> {
+        {
+            let head = &mut self.sessions[0];
+            self.dlq
+                .drain(|rec| matches!(quiet_catch(|| head.feed(std::iter::once(rec))), Ok(Ok(_))));
+        }
+        let mut stats = Vec::new();
+        let mut stages = self.sessions.into_iter();
+        let mut routes = self.routes.into_iter();
+        let mut current = stages.next().expect("cascade has at least one stage");
+        let records_in = current.records_in();
+        loop {
+            let (answers, st) = current.close()?;
+            stats.extend(st);
+            let finals: Vec<StreamAnswer> = answers
+                .into_iter()
+                .filter(|a| a.kind == EmitKind::Final)
+                .collect();
+            match stages.next() {
+                None => {
+                    return Ok(TenantClose {
+                        answers: finals,
+                        stats,
+                        records_in,
+                        dlq_poisoned: self.dlq.poisoned_total(),
+                        dlq_recovered: self.dlq.recovered_total(),
+                        dlq_dead: self.dlq.dead_total(),
+                    });
+                }
+                Some(mut next) => {
+                    let route = routes.next().expect("one route per cascade edge");
+                    next.feed_pairs(
+                        finals
+                            .iter()
+                            .map(|a| (a.key.as_slice(), a.value.as_slice())),
+                        route.as_ref(),
+                    )?;
+                    current = next;
+                }
+            }
+        }
+    }
+}
+
+/// Run `f`, converting a panic into `Err(())` while suppressing the
+/// default panic message (the filter installed by
+/// [`install_poison_panic_filter`](super::install_poison_panic_filter)).
+fn quiet_catch<T>(f: impl FnOnce() -> T) -> std::result::Result<T, ()> {
+    super::QUIET_PANICS.with(|q| q.set(true));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    super::QUIET_PANICS.with(|q| q.set(false));
+    out.map_err(|_| ())
+}

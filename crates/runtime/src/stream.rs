@@ -17,12 +17,45 @@ use std::sync::Arc;
 
 use onepass_core::bytes_kv::KvBuf;
 use onepass_core::error::{Error, Result};
+use onepass_core::governor::MemoryGovernor;
 use onepass_core::io::{SharedMemStore, SpillStore};
 use onepass_core::memory::MemoryBudget;
 use onepass_groupby::{EmitKind, GroupBy, OpStats, Sink};
 
 use crate::executor;
 use crate::job::{JobSpec, MapEmitter};
+use crate::plan::PairMap;
+
+/// How a [`StreamSession`] sources its per-partition memory.
+///
+/// The default is the classic standalone mode: each partition owns a
+/// private budget carved from the job's `reduce_budget_bytes`. Serving
+/// many sessions side by side instead wants every session *leasing* from
+/// one job-wide [`MemoryGovernor`] pool, so spill policies arbitrate
+/// across sessions (tenants) the same way they arbitrate across reduce
+/// partitions in the batch engine.
+#[derive(Clone, Default)]
+pub struct SessionOptions {
+    /// Hash family for the session's groupers.
+    pub hash_family: onepass_core::hashlib::HashFamily,
+    /// When set, per-partition budgets are leases from this governor's
+    /// pool instead of private budgets; shed requests the governor posts
+    /// are serviced at feed-batch boundaries.
+    pub governor: Option<MemoryGovernor>,
+    /// Initial per-partition lease (or private budget) in bytes. Defaults
+    /// to `job.reduce_budget_bytes / job.reducers`, floored at 1 KiB.
+    pub lease_bytes: Option<usize>,
+}
+
+impl std::fmt::Debug for SessionOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionOptions")
+            .field("hash_family", &self.hash_family)
+            .field("governed", &self.governor.is_some())
+            .field("lease_bytes", &self.lease_bytes)
+            .finish()
+    }
+}
 
 /// An early or final answer from the stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +103,13 @@ pub struct StreamAnswer {
 pub struct StreamSession {
     job: JobSpec,
     groupers: Vec<Box<dyn GroupBy>>,
+    /// Clones of each grouper's budget, kept so governor-posted shed
+    /// requests can be serviced at feed boundaries (the streaming
+    /// analogue of the reduce task's batch-boundary governance).
+    budgets: Vec<MemoryBudget>,
     records_in: u64,
+    sheds: u64,
+    shed_bytes: u64,
     closed: bool,
 }
 
@@ -79,6 +118,7 @@ impl std::fmt::Debug for StreamSession {
         f.debug_struct("StreamSession")
             .field("partitions", &self.groupers.len())
             .field("records_in", &self.records_in)
+            .field("sheds", &self.sheds)
             .field("closed", &self.closed)
             .finish()
     }
@@ -111,12 +151,34 @@ impl StreamSession {
         job: JobSpec,
         family: onepass_core::hashlib::HashFamily,
     ) -> Result<Self> {
+        Self::with_options(
+            job,
+            SessionOptions {
+                hash_family: family,
+                ..SessionOptions::default()
+            },
+        )
+    }
+
+    /// Open a session with full [`SessionOptions`] — in particular, with
+    /// per-partition budgets leased from a shared [`MemoryGovernor`] pool
+    /// instead of private ones, so many concurrent sessions arbitrate one
+    /// memory limit.
+    pub fn with_options(job: JobSpec, opts: SessionOptions) -> Result<Self> {
         job.validate()?;
-        let per_partition_budget = (job.reduce_budget_bytes / job.reducers).max(1024);
+        let per_partition = opts
+            .lease_bytes
+            .unwrap_or(job.reduce_budget_bytes / job.reducers)
+            .max(1024);
         let mut groupers: Vec<Box<dyn GroupBy>> = Vec::with_capacity(job.reducers);
+        let mut budgets = Vec::with_capacity(job.reducers);
         for _ in 0..job.reducers {
             let store: Arc<dyn SpillStore> = Arc::new(SharedMemStore::new());
-            let budget = MemoryBudget::new(per_partition_budget);
+            let budget = match &opts.governor {
+                Some(gov) => gov.lease(per_partition),
+                None => MemoryBudget::new(per_partition),
+            };
+            budgets.push(budget.clone());
             let agg = Arc::clone(&job.agg);
             // Grouper construction goes through the executor's shared
             // service, which rejects blocking backends with a config
@@ -127,13 +189,16 @@ impl StreamSession {
                 store,
                 budget,
                 agg,
-                family,
+                opts.hash_family,
             )?);
         }
         Ok(StreamSession {
             job,
             groupers,
+            budgets,
             records_in: 0,
+            sheds: 0,
+            shed_bytes: 0,
             closed: false,
         })
     }
@@ -170,11 +235,70 @@ impl StreamSession {
                 reducers: self.groupers.len(),
                 buf: &mut buf,
             };
+            // Count into a local and commit after the whole batch maps:
+            // a map panic (poison record) must leave the session exactly
+            // as it was, including this counter, so the serving layer can
+            // re-feed record-by-record without double counting.
+            let mut mapped = 0u64;
             for rec in records {
-                self.records_in += 1;
                 self.job.map_fn.map(rec, &mut emitter);
+                mapped += 1;
             }
+            self.records_in += mapped;
         }
+        self.push_routed(buf, &mut answers)?;
+        Ok(answers)
+    }
+
+    /// Feed already-decoded `(key, value)` pairs through `route` (a
+    /// [`PairMap`], the inter-stage map of a [`Plan`](crate::Plan)),
+    /// bypassing the job's own record map function. This is how a serving
+    /// front-end cascades one session's finals into the next stage's
+    /// session without re-encoding them as edge records.
+    pub fn feed_pairs<'r>(
+        &mut self,
+        pairs: impl IntoIterator<Item = (&'r [u8], &'r [u8])>,
+        route: &dyn PairMap,
+    ) -> Result<Vec<StreamAnswer>> {
+        if self.closed {
+            return Err(Error::InvalidState("session is closed".into()));
+        }
+        let mut answers = Vec::new();
+        let mut buf = KvBuf::new();
+        {
+            struct RouteEmitter<'a> {
+                partitioner: &'a dyn crate::job::Partitioner,
+                reducers: usize,
+                buf: &'a mut KvBuf,
+            }
+            impl MapEmitter for RouteEmitter<'_> {
+                fn emit(&mut self, key: &[u8], value: &[u8]) {
+                    let p = self.partitioner.partition(key, self.reducers) as u32;
+                    self.buf.push(p, key, value);
+                }
+            }
+            let mut emitter = RouteEmitter {
+                partitioner: self.job.partitioner.as_ref(),
+                reducers: self.groupers.len(),
+                buf: &mut buf,
+            };
+            let mut mapped = 0u64;
+            for (k, v) in pairs {
+                route.map_pair(k, v, &mut emitter);
+                mapped += 1;
+            }
+            self.records_in += mapped;
+        }
+        self.push_routed(buf, &mut answers)?;
+        Ok(answers)
+    }
+
+    /// Push a routed map-output buffer into the per-partition groupers,
+    /// then service any shed requests the governor posted on this
+    /// session's leases (mirrors the reduce task's segment-boundary
+    /// governance, so a session under cross-tenant pressure spills
+    /// through its operators' own correctness-neutral spill paths).
+    fn push_routed(&mut self, mut buf: KvBuf, answers: &mut Vec<StreamAnswer>) -> Result<()> {
         let total = buf.len();
         let segments = buf.freeze_into_segments(self.groupers.len());
         // Partitions are independent: for large batches, push each
@@ -183,11 +307,12 @@ impl StreamSession {
         // API). Small batches stay on the caller's thread.
         const PARALLEL_THRESHOLD: usize = 4096;
         if total < PARALLEL_THRESHOLD || self.groupers.len() == 1 {
-            let mut sink = CaptureSink(&mut answers);
+            let mut sink = CaptureSink(answers);
             for (p, seg) in segments.iter().enumerate() {
                 self.groupers[p].push_batch(seg, &mut sink)?;
             }
-            return Ok(answers);
+            self.service_shed_requests()?;
+            return Ok(());
         }
 
         let results: Vec<Result<Vec<StreamAnswer>>> = crossbeam::thread::scope(|scope| {
@@ -209,12 +334,38 @@ impl StreamSession {
         for r in results {
             answers.extend(r?);
         }
-        Ok(answers)
+        self.service_shed_requests()
+    }
+
+    /// Check every partition lease for a governor-posted shed request and
+    /// service it through the grouper's spill path. No-op for private
+    /// (non-leased) budgets — those never carry requests.
+    fn service_shed_requests(&mut self) -> Result<()> {
+        for (g, b) in self.groupers.iter_mut().zip(&self.budgets) {
+            let want = b.take_shed_request();
+            if want > 0 {
+                let freed = g.shed(want)?;
+                self.sheds += 1;
+                self.shed_bytes += freed as u64;
+            }
+        }
+        Ok(())
     }
 
     /// Records fed so far.
     pub fn records_in(&self) -> u64 {
         self.records_in
+    }
+
+    /// Governor-requested sheds serviced so far, and the bytes they freed.
+    pub fn shed_stats(&self) -> (u64, u64) {
+        (self.sheds, self.shed_bytes)
+    }
+
+    /// Sum of this session's per-partition budget limits (lease sizes in
+    /// governed mode).
+    pub fn budget_bytes(&self) -> usize {
+        self.budgets.iter().map(|b| b.limit()).sum()
     }
 
     /// Close the stream: flush every group's final answer plus per-
@@ -316,6 +467,89 @@ mod tests {
         assert_eq!(total, 20_000);
         let groups = answers.iter().filter(|a| a.kind == EmitKind::Final).count();
         assert_eq!(groups, 257);
+    }
+
+    #[test]
+    fn governed_sessions_share_one_pool_and_service_sheds() {
+        use onepass_core::governor::{policy_by_name, MemoryGovernor};
+
+        // Two sessions lease from one tiny pool; pushing skewed keys
+        // through both must trigger governor shed requests which the
+        // sessions service at feed boundaries — and the final counts stay
+        // exact regardless.
+        let gov = MemoryGovernor::new(64 * 1024, policy_by_name("largest-consumer").unwrap(), 0.5);
+        let mk = || {
+            let job = JobSpec::builder("gov-stream")
+                .map_fn(Arc::new(crate::job::identity_map))
+                .aggregate(Arc::new(CountAgg))
+                .reducers(1)
+                .backend(ReduceBackend::IncHash { early: None })
+                .build()
+                .unwrap();
+            StreamSession::with_options(
+                job,
+                SessionOptions {
+                    governor: Some(gov.clone()),
+                    lease_bytes: Some(8 * 1024),
+                    ..SessionOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        assert_eq!(gov.live_leases(), 2);
+        let keys: Vec<Vec<u8>> = (0..4000u32)
+            .map(|i| format!("key-{i:05}").into_bytes())
+            .collect();
+        for chunk in keys.chunks(500) {
+            let refs: Vec<&[u8]> = chunk.iter().map(|k| k.as_slice()).collect();
+            a.feed(refs.clone()).unwrap();
+            b.feed(refs).unwrap();
+        }
+        let count = |s: StreamSession| {
+            let (answers, _) = s.close().unwrap();
+            answers.iter().filter(|x| x.kind == EmitKind::Final).count()
+        };
+        assert_eq!(count(a), 4000);
+        assert_eq!(count(b), 4000);
+    }
+
+    #[test]
+    fn feed_pairs_routes_through_the_pair_map() {
+        let job = JobSpec::builder("pairs")
+            .map_fn(Arc::new(crate::job::identity_map))
+            .aggregate(Arc::new(onepass_groupby::SumAgg))
+            .reducers(2)
+            .backend(ReduceBackend::IncHash { early: None })
+            .build()
+            .unwrap();
+        let mut s = StreamSession::new(job).unwrap();
+        // Route (key, count-le) pairs into a single bucket keyed by count
+        // parity, summing counts.
+        let route = |_k: &[u8], v: &[u8], out: &mut dyn MapEmitter| {
+            let n = u64::from_le_bytes(v.try_into().unwrap());
+            let bucket = if n % 2 == 0 { b"even" } else { b"odd\0" };
+            out.emit(bucket, v);
+        };
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (1..=4u64)
+            .map(|n| (format!("k{n}").into_bytes(), n.to_le_bytes().to_vec()))
+            .collect();
+        s.feed_pairs(
+            pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+            &route,
+        )
+        .unwrap();
+        let (answers, _) = s.close().unwrap();
+        let mut sums = std::collections::BTreeMap::new();
+        for a in answers.iter().filter(|a| a.kind == EmitKind::Final) {
+            sums.insert(
+                a.key.clone(),
+                u64::from_le_bytes(a.value.as_slice().try_into().unwrap()),
+            );
+        }
+        assert_eq!(sums[b"even".as_slice()], 6); // 2 + 4
+        assert_eq!(sums[b"odd\0".as_slice()], 4); // 1 + 3
     }
 
     #[test]

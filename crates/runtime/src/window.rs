@@ -14,7 +14,7 @@ use std::sync::Arc;
 use onepass_core::error::{Error, Result};
 
 use crate::job::JobSpec;
-use crate::stream::{StreamAnswer, StreamSession};
+use crate::stream::{SessionOptions, StreamAnswer, StreamSession};
 
 /// Extracts an event-time timestamp from an input record.
 /// Records yielding `None` are counted as malformed and skipped.
@@ -59,6 +59,9 @@ pub struct WindowedSession {
     job: JobSpec,
     timestamper: Arc<dyn EventTime>,
     config: WindowConfig,
+    /// Options applied to every per-window session (hash family, shared
+    /// memory governor lease).
+    options: SessionOptions,
     /// Open windows by window index (start = idx * window_len).
     windows: BTreeMap<u64, StreamSession>,
     watermark: u64,
@@ -86,16 +89,29 @@ impl WindowedSession {
         timestamper: Arc<dyn EventTime>,
         config: WindowConfig,
     ) -> Result<Self> {
+        Self::with_options(job, timestamper, config, SessionOptions::default())
+    }
+
+    /// [`WindowedSession::new`] with explicit [`SessionOptions`] — every
+    /// per-window session inherits them, so windows of many tenants can
+    /// lease from one shared governor pool.
+    pub fn with_options(
+        job: JobSpec,
+        timestamper: Arc<dyn EventTime>,
+        config: WindowConfig,
+        options: SessionOptions,
+    ) -> Result<Self> {
         if config.window_len == 0 {
             return Err(Error::Config("window length must be > 0".into()));
         }
         // Validate the backend eagerly by constructing (and dropping) a
         // probe session.
-        StreamSession::new(job.clone())?;
+        StreamSession::with_options(job.clone(), options.clone())?;
         Ok(WindowedSession {
             job,
             timestamper,
             config,
+            options,
             windows: BTreeMap::new(),
             watermark: 0,
             closed_below: 0,
@@ -145,9 +161,9 @@ impl WindowedSession {
             }
             let session = match self.windows.entry(idx) {
                 std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(StreamSession::new(self.job.clone())?)
-                }
+                std::collections::btree_map::Entry::Vacant(e) => e.insert(
+                    StreamSession::with_options(self.job.clone(), self.options.clone())?,
+                ),
             };
             session.feed(std::iter::once(rec))?;
         }

@@ -27,12 +27,16 @@ pub mod docgen;
 pub mod inverted_index;
 pub mod page_frequency;
 pub mod per_user_count;
+pub mod serving;
 pub mod sessionization;
+pub mod tenantgen;
 pub mod top_k;
 pub mod zipf;
 
 pub use clickgen::{ClickGen, ClickGenConfig};
 pub use docgen::{DocGen, DocGenConfig};
+pub use serving::{standard_catalog, CatalogConfig};
+pub use tenantgen::{assign_tenants, TenantGenConfig, TenantSpec};
 pub use zipf::Zipf;
 
 use onepass_runtime::map_task::Split;

@@ -1,0 +1,98 @@
+//! Zipf-distributed tenant traffic for the serving front-end.
+//!
+//! Real multi-tenant load is skewed: a few queries are hot, most are
+//! cold. The generator assigns each of `n` tenants a query drawn
+//! Zipf(`s`) over the catalog's names (rank order = the order given), so
+//! `s = 0` spreads tenants uniformly and larger `s` piles them onto the
+//! first queries. Deterministic per seed — the load generator, the
+//! serving experiment, and the smoke test all derive the *same* tenant
+//! population from the same `(seed, n, queries, s)` tuple, which is what
+//! lets a checker recompute per-tenant solo references offline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::zipf::Zipf;
+
+/// One tenant of serving traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Stable tenant id (`t0042` style, zero-padded for lexical order).
+    pub id: String,
+    /// Catalog query name this tenant subscribes to.
+    pub query: String,
+}
+
+/// Configuration for a tenant population.
+#[derive(Debug, Clone)]
+pub struct TenantGenConfig {
+    /// RNG seed; same seed ⇒ same population.
+    pub seed: u64,
+    /// Zipf exponent over query ranks (0 = uniform).
+    pub zipf_s: f64,
+}
+
+impl Default for TenantGenConfig {
+    fn default() -> Self {
+        TenantGenConfig {
+            seed: 0x7e_a4_15,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+/// Deterministically assign `n` tenants to `queries` (Zipf by rank).
+///
+/// # Panics
+/// If `queries` is empty.
+pub fn assign_tenants(n: usize, queries: &[String], config: &TenantGenConfig) -> Vec<TenantSpec> {
+    assert!(!queries.is_empty(), "need at least one query");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(queries.len(), config.zipf_s);
+    let width = n.saturating_sub(1).max(1).ilog10() as usize + 1;
+    (0..n)
+        .map(|i| TenantSpec {
+            id: format!("t{i:0width$}"),
+            query: queries[zipf.sample(&mut rng)].clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(qs: &[&str]) -> Vec<String> {
+        qs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_skewed() {
+        let qs = names(&["hot", "warm", "cold"]);
+        let cfg = TenantGenConfig {
+            seed: 7,
+            zipf_s: 1.5,
+        };
+        let a = assign_tenants(500, &qs, &cfg);
+        let b = assign_tenants(500, &qs, &cfg);
+        assert_eq!(a, b);
+        let hot = a.iter().filter(|t| t.query == "hot").count();
+        let cold = a.iter().filter(|t| t.query == "cold").count();
+        assert!(hot > cold, "zipf should favour rank 0 ({hot} vs {cold})");
+        // Ids are unique and lexically ordered.
+        assert_eq!(a[0].id, "t000");
+        assert_eq!(a[499].id, "t499");
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let qs = names(&["a", "b"]);
+        let cfg = TenantGenConfig {
+            seed: 1,
+            zipf_s: 0.0,
+        };
+        let t = assign_tenants(2000, &qs, &cfg);
+        let a = t.iter().filter(|t| t.query == "a").count();
+        assert!((700..1300).contains(&a), "roughly even split, got {a}");
+    }
+}

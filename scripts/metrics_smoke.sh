@@ -1,29 +1,46 @@
 #!/bin/sh
 # End-to-end smoke test for the live-metrics exporters (CI runs this):
 #
-#   1. run a pipelined plan with --metrics-addr + --metrics-out,
+#   1. run a pipelined plan with --metrics-addr + --metrics-out on an
+#      ephemeral port (the run announces the bound address; fixed ports
+#      collide on shared CI hosts),
 #   2. curl the Prometheus endpoint while the plan is live (the linger
 #      keeps it up even if the run finishes first),
 #   3. check the exposition contains per-stage progress gauges, a
 #      nonzero TTFA histogram, and phase busy-time counters,
 #   4. validate the JSONL snapshot stream with `onepass metrics-validate`.
+#
+# Set SMOKE_OUT_DIR to keep the logs and snapshots (CI uploads it on
+# failure).
 set -e
 
-ADDR=127.0.0.1:9464
-OUT=$(mktemp -d)
-trap 'rm -rf "$OUT"' EXIT
+OUT=${SMOKE_OUT_DIR:-$(mktemp -d)}
+mkdir -p "$OUT"
+cleanup() {
+    [ -z "${SMOKE_OUT_DIR:-}" ] && rm -rf "$OUT" || true
+}
+trap cleanup EXIT
 
 cargo build --release --bin onepass
 
 ./target/release/onepass plan top-k --records 300000 \
-    --metrics-addr "$ADDR" --metrics-out "$OUT/snaps.jsonl" \
-    --metrics-linger-ms 4000 &
+    --metrics-addr 127.0.0.1:0 --metrics-out "$OUT/snaps.jsonl" \
+    --metrics-linger-ms 4000 2> "$OUT/plan.err" &
 PLAN_PID=$!
+
+# The bound address is announced on stderr ("serving metrics on URL").
+URL=""
+for _ in $(seq 1 40); do
+    URL=$(sed -n 's/^serving metrics on //p' "$OUT/plan.err")
+    [ -n "$URL" ] && break
+    sleep 0.25
+done
+[ -n "$URL" ] || { echo "FAIL: plan never announced its metrics address"; cat "$OUT/plan.err"; exit 1; }
 
 # Scrape as soon as the listener answers; retry while the plan warms up.
 EXPO=""
 for _ in $(seq 1 40); do
-    if EXPO=$(curl -sf "http://$ADDR/metrics" 2>/dev/null) && [ -n "$EXPO" ]; then
+    if EXPO=$(curl -sf "$URL" 2>/dev/null) && [ -n "$EXPO" ]; then
         break
     fi
     sleep 0.25
@@ -35,7 +52,7 @@ echo "$EXPO" | head -5
 # final state: progress at 1, TTFA observed.
 wait_for_final() {
     for _ in $(seq 1 40); do
-        FINAL=$(curl -sf "http://$ADDR/metrics" 2>/dev/null) || FINAL=""
+        FINAL=$(curl -sf "$URL" 2>/dev/null) || FINAL=""
         if echo "$FINAL" | grep -q '^onepass_plan_ttfa_seconds_count{[^}]*} [1-9]'; then
             echo "$FINAL"
             return 0
@@ -45,6 +62,7 @@ wait_for_final() {
     echo "$FINAL"
 }
 FINAL=$(wait_for_final)
+echo "$FINAL" > "$OUT/final.prom"
 
 check() {
     if echo "$FINAL" | grep -qE "$2"; then

@@ -2,20 +2,23 @@
 # End-to-end smoke test for distributed mode (CI runs this):
 #
 #   1. run page-frequency single-process and dump its sorted output,
-#   2. start two `onepass worker` processes on loopback ports and run the
-#      same job with `--workers`; the dump must be byte-identical,
+#   2. start two `onepass worker` processes on ephemeral loopback ports
+#      (each worker prints its bound address; fixed ports collide on
+#      shared CI hosts) and run the same job with `--workers`; the dump
+#      must be byte-identical,
 #   3. restart one worker with --die-after-maps so it severs its
 #      connection mid-job (the scripted `kill -9`); replay onto the
 #      survivor must still produce byte-identical output.
+#
+# Set SMOKE_OUT_DIR to keep logs and dumps (CI uploads it on failure).
 set -e
 
-W1=127.0.0.1:41751
-W2=127.0.0.1:41752
-OUT=$(mktemp -d)
+OUT=${SMOKE_OUT_DIR:-$(mktemp -d)}
+mkdir -p "$OUT"
 WORKER_PIDS=""
 cleanup() {
     [ -n "$WORKER_PIDS" ] && kill $WORKER_PIDS 2>/dev/null || true
-    rm -rf "$OUT"
+    [ -z "${SMOKE_OUT_DIR:-}" ] && rm -rf "$OUT" || true
 }
 trap cleanup EXIT
 
@@ -23,12 +26,29 @@ cargo build --release --bin onepass
 
 RUN="./target/release/onepass run page-frequency --records 100000 --reducers 4"
 
-# Coordinator dials fail fast while a worker is still binding its
-# listener, so retry the whole run until the fleet answers.
+# Each worker binds port 0 and announces the bound address on stderr;
+# poll its log until the announcement lands.
+worker_addr() {
+    log=$1
+    for _ in $(seq 1 40); do
+        a=$(sed -n 's/^worker listening on \([^ ]*\) .*/\1/p' "$log")
+        if [ -n "$a" ]; then
+            echo "$a"
+            return 0
+        fi
+        sleep 0.25
+    done
+    echo "FAIL: worker never announced its address ($log)" >&2
+    return 1
+}
+
+# Coordinator dials fail fast if a worker is mid-restart, so retry the
+# whole run until the fleet answers.
 run_dist() {
     out=$1
+    fleet=$2
     for _ in $(seq 1 20); do
-        if $RUN --workers "$W1,$W2" --dump-out "$out"; then
+        if $RUN --workers "$fleet" --dump-out "$out"; then
             return 0
         fi
         sleep 0.25
@@ -41,13 +61,15 @@ run_dist() {
 $RUN --dump-out "$OUT/solo.tsv"
 
 # 2. Two healthy workers.
-./target/release/onepass worker --listen "$W1" &
+./target/release/onepass worker --listen 127.0.0.1:0 2> "$OUT/w1.log" &
 P1=$!
-./target/release/onepass worker --listen "$W2" &
+./target/release/onepass worker --listen 127.0.0.1:0 2> "$OUT/w2.log" &
 P2=$!
 WORKER_PIDS="$P1 $P2"
+W1=$(worker_addr "$OUT/w1.log")
+W2=$(worker_addr "$OUT/w2.log")
 
-run_dist "$OUT/dist.tsv"
+run_dist "$OUT/dist.tsv" "$W1,$W2"
 if ! cmp -s "$OUT/solo.tsv" "$OUT/dist.tsv"; then
     echo "FAIL: distributed output differs from single-process"
     diff "$OUT/solo.tsv" "$OUT/dist.tsv" | head -20
@@ -60,11 +82,13 @@ echo "ok: two-worker output is byte-identical"
 kill "$P1"
 wait "$P1" 2>/dev/null || true
 WORKER_PIDS="$P2"
-./target/release/onepass worker --listen "$W1" --slots 1 --die-after-maps 1 &
+./target/release/onepass worker --listen 127.0.0.1:0 --slots 1 --die-after-maps 1 \
+    2> "$OUT/w1b.log" &
 P1=$!
 WORKER_PIDS="$P1 $P2"
+W1=$(worker_addr "$OUT/w1b.log")
 
-run_dist "$OUT/killed.tsv"
+run_dist "$OUT/killed.tsv" "$W1,$W2"
 if ! cmp -s "$OUT/solo.tsv" "$OUT/killed.tsv"; then
     echo "FAIL: output diverged after mid-job worker loss"
     diff "$OUT/solo.tsv" "$OUT/killed.tsv" | head -20

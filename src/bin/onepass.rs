@@ -106,9 +106,16 @@ fn usage() -> ! {
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
          \x20           [--adaptive-memory] [--kill-map T] [--kill-reduce P] [--straggle-map T:FACTOR] [--speculate]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
+         onepass serve [--listen HOST:PORT] [--records N] [--doc-records N] [--batch B]\n  \
+         \x20           [--pool-mb MB] [--mem-policy <policy>] [--mem-high-water F] [--max-tenants N]\n  \
+         \x20           [--shards S] [--reducers R] [--k K] [--early-every N] [--dlq-retries R]\n  \
+         \x20           [--await-tenants N] [--await-timeout-ms MS] [--hash-family F]\n  \
+         onepass loadgen --server HOST:PORT --tenants N [--queries a,b,...] [--zipf S] [--seed S]\n  \
+         \x20           [--dump-dir DIR] [--report FILE]\n  \
          onepass metrics-validate <snapshots.jsonl>\n  \
          onepass workloads\n\n\
-         run/plan/sim also take [--metrics-addr HOST:PORT] [--metrics-out FILE] [--metrics-linger-ms MS]\n\n\
+         run/plan/sim/serve also take [--metrics-addr HOST:PORT] [--metrics-out FILE] [--metrics-linger-ms MS]\n\
+         plan also takes [--dump-out FILE]\n\n\
          workloads: sessionization | page-frequency | per-user-count | inverted-index"
     );
     std::process::exit(2);
@@ -283,6 +290,8 @@ fn main() {
         Some("plan") => cmd_plan(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("metrics-validate") => cmd_metrics_validate(&args[1..]),
         Some("workloads") => {
             println!("sessionization    reorder click logs into user sessions (no combiner, heavy intermediate data)");
@@ -331,8 +340,15 @@ fn cmd_worker(args: &[String]) {
     }
     let listener = std::net::TcpListener::bind(&listen)
         .unwrap_or_else(|e| panic!("cannot listen on {listen}: {e}"));
+    // Print the *bound* address, not the requested one: `--listen
+    // 127.0.0.1:0` picks an ephemeral port, and scripts parse this line
+    // to find it (fixed ports collide on shared CI hosts).
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(listen);
     eprintln!(
-        "worker listening on {listen} ({slots} map slots; jobs: {})",
+        "worker listening on {bound} ({slots} map slots; jobs: {})",
         registry.names().join(", ")
     );
     onepass::runtime::transport::worker::serve(
@@ -646,6 +662,26 @@ fn cmd_plan(args: &[String]) {
         std::fs::write(path, report.to_jsonl()).expect("write report file");
         eprintln!("wrote JSONL report to {path}");
     }
+    if let Some(path) = flag(args, "dump-out") {
+        // Same format as `run --dump-out`: the sink stage's finals,
+        // sorted, key<TAB>hex(value), trailing newline.
+        let mut lines: Vec<String> = report
+            .sorted_final_outputs()
+            .iter()
+            .map(|(key, value)| {
+                let mut l = String::from_utf8_lossy(key).into_owned();
+                l.push('\t');
+                for b in value {
+                    l.push_str(&format!("{b:02x}"));
+                }
+                l
+            })
+            .collect();
+        lines.sort();
+        lines.push(String::new());
+        std::fs::write(&path, lines.join("\n")).expect("write output dump");
+        eprintln!("wrote {} final pairs to {path}", lines.len() - 1);
+    }
 
     println!("plan:              {workload} [{}]", report.mode);
     println!("wall time:         {}", fmt_secs(report.wall.as_secs_f64()));
@@ -787,4 +823,430 @@ fn cmd_sim(args: &[String]) {
             r.faults.speculative_wins
         );
     }
+}
+
+/// `onepass serve`: the multi-tenant streaming front-end. Boots the
+/// serving core over the standard catalog, binds the TCP front door
+/// (port 0 picks an ephemeral port; the bound address is printed on a
+/// parseable line), optionally waits for `--await-tenants` subscribers,
+/// then streams the synthetic click + document feeds through every
+/// tenant and closes. Final answers per tenant are byte-identical to a
+/// solo `onepass run`/`onepass plan` over the same generator settings.
+fn cmd_serve(args: &[String]) {
+    use onepass_workloads::serving::{standard_catalog, CatalogConfig, CLICKS_INGEST, DOCS_INGEST};
+    use std::sync::Arc;
+
+    let listen = flag(args, "listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let records: usize = flag(args, "records")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let doc_records: usize = flag(args, "doc-records")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(records / 100 + 1);
+    let batch: usize = flag(args, "batch")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+        .max(1);
+    let pool_mb: usize = flag(args, "pool-mb")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let policy_name = flag(args, "mem-policy").unwrap_or_else(|| "largest-consumer".into());
+    let Some(policy) = policy_by_name(&policy_name) else {
+        eprintln!("unknown --mem-policy {policy_name:?}");
+        usage();
+    };
+    let high_water: f64 = flag(args, "mem-high-water")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(onepass_core::governor::DEFAULT_HIGH_WATER);
+    let max_tenants: usize = flag(args, "max-tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+    let shards: usize = flag(args, "shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let reducers: usize = flag(args, "reducers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let k: usize = flag(args, "k").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let early_every: u64 = flag(args, "early-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let dlq_retries: u32 = flag(args, "dlq-retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let await_tenants: usize = flag(args, "await-tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let await_timeout = Duration::from_millis(
+        flag(args, "await-timeout-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120_000),
+    );
+
+    let catalog = standard_catalog(CatalogConfig {
+        reducers,
+        k,
+        early_every,
+    });
+    let config = ServeConfig {
+        pool_bytes: pool_mb << 20,
+        policy,
+        high_water,
+        admission: AdmissionConfig {
+            max_tenants,
+            ..AdmissionConfig::default()
+        },
+        shards,
+        dlq: DlqConfig {
+            max_retries: dlq_retries,
+            ..DlqConfig::default()
+        },
+        hash_family: hash_family_flag(args),
+        ..ServeConfig::default()
+    };
+    let rig = MetricsRig::from_args(args);
+    let server = Arc::new(
+        Server::start(config, catalog, rig.as_ref().map(|r| r.registry.clone()))
+            .expect("start serving core"),
+    );
+    let mut front = Frontend::bind(Arc::clone(&server), &listen).expect("bind front door");
+    // Scripts parse this line for the bound (possibly ephemeral) port.
+    println!("serving tenants on {}", front.local_addr());
+    eprintln!(
+        "pool {} / {policy_name}, {shards} shard(s), max {max_tenants} tenant(s); \
+         feeding {records} click + {doc_records} doc record(s) in batches of {batch}",
+        fmt_bytes((pool_mb << 20) as u64),
+    );
+
+    if await_tenants > 0 {
+        let deadline = std::time::Instant::now() + await_timeout;
+        while server.active_tenants() < await_tenants {
+            if std::time::Instant::now() >= deadline {
+                eprintln!(
+                    "timed out waiting for {await_tenants} tenant(s); have {}",
+                    server.active_tenants()
+                );
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!(
+            "{} tenant(s) subscribed; starting ingest",
+            server.active_tenants()
+        );
+    }
+
+    // Interleave the two feeds proportionally so doc tenants see data
+    // throughout the stream rather than in one trailing burst. The
+    // generators and their defaults are exactly `onepass run`'s, which is
+    // what makes a tenant's finals comparable byte-for-byte to a solo run.
+    let mut clicks = ClickGen::new(ClickGenConfig::default());
+    let mut docs = DocGen::new(DocGenConfig::default());
+    let mut clicks_fed = 0usize;
+    let mut docs_fed = 0usize;
+    while clicks_fed < records || docs_fed < doc_records {
+        if clicks_fed < records {
+            let n = batch.min(records - clicks_fed);
+            server
+                .feed(CLICKS_INGEST, clicks.text_records(n))
+                .expect("feed clicks");
+            clicks_fed += n;
+        }
+        // Keep the doc feed at the same fraction of its total as the
+        // click feed (everything is due once clicks finish).
+        let due = if clicks_fed >= records {
+            doc_records
+        } else {
+            doc_records * clicks_fed / records
+        };
+        while docs_fed < due {
+            let n = batch.min(due - docs_fed);
+            server
+                .feed(DOCS_INGEST, docs.records(n))
+                .expect("feed docs");
+            docs_fed += n;
+        }
+    }
+    server.close().expect("close serving core");
+    if !front.wait_drained(Duration::from_secs(60)) {
+        eprintln!(
+            "warning: {} subscriber connection(s) still draining at shutdown",
+            front.active_conns()
+        );
+    }
+    front.stop();
+    if let Some(r) = rig {
+        r.finish();
+    }
+    let c = server.admission_counters();
+    println!(
+        "served:            {} record(s) ingested, {} tenant(s) admitted ({} queued, {} rejected)",
+        server.ingest_records(),
+        c.admitted,
+        c.queued,
+        c.rejected
+    );
+}
+
+/// One loadgen tenant's outcome.
+struct LoadgenOutcome {
+    id: String,
+    query: String,
+    /// Client-side time from ADMITTED to the first EARLY/FINAL line.
+    ttfa: Option<Duration>,
+    early: u64,
+    /// The tenant's final answers in `--dump-out` format.
+    dump: String,
+    records_in: u64,
+    dlq_dead: u64,
+    error: Option<String>,
+}
+
+/// `onepass loadgen`: drive a running `onepass serve` with a
+/// Zipf-distributed tenant population and report latency + fairness.
+/// Exits nonzero if any tenant is rejected or errors, or if two tenants
+/// of the same query disagree on their final answers (they must be
+/// byte-identical — the server runs one isolated plan per tenant over
+/// one shared stream).
+fn cmd_loadgen(args: &[String]) {
+    use onepass_workloads::serving::{standard_catalog, CatalogConfig};
+    use onepass_workloads::tenantgen::{assign_tenants, TenantGenConfig};
+    use std::io::Write;
+
+    let server_addr = flag(args, "server").unwrap_or_else(|| usage());
+    let tenants: usize = flag(args, "tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
+    let queries: Vec<String> = match flag(args, "queries") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => standard_catalog(CatalogConfig::default()).names(),
+    };
+    let mut gen_config = TenantGenConfig::default();
+    if let Some(s) = flag(args, "zipf").and_then(|v| v.parse().ok()) {
+        gen_config.zipf_s = s;
+    }
+    if let Some(s) = flag(args, "seed").and_then(|v| v.parse().ok()) {
+        gen_config.seed = s;
+    }
+    let dump_dir = flag(args, "dump-dir");
+    let report_path = flag(args, "report");
+
+    let population = assign_tenants(tenants, &queries, &gen_config);
+    eprintln!(
+        "loadgen: {tenants} tenant(s) over {} query(ies) against {server_addr} (zipf s={})",
+        queries.len(),
+        gen_config.zipf_s
+    );
+
+    let handles: Vec<_> = population
+        .into_iter()
+        .map(|spec| {
+            let addr = server_addr.clone();
+            std::thread::Builder::new()
+                .name(format!("loadgen-{}", spec.id))
+                .spawn(move || drive_tenant(&addr, &spec.id, &spec.query))
+                .expect("spawn loadgen tenant")
+        })
+        .collect();
+    let outcomes: Vec<LoadgenOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("loadgen tenant thread panicked"))
+        .collect();
+
+    let mut failed = false;
+    for o in outcomes.iter().filter(|o| o.error.is_some()) {
+        eprintln!(
+            "tenant {} ({}): {}",
+            o.id,
+            o.query,
+            o.error.as_deref().unwrap_or("")
+        );
+        failed = true;
+    }
+
+    // Cross-tenant consistency: every tenant of a query must hold
+    // byte-identical finals.
+    let mut reference: Vec<(&str, &LoadgenOutcome)> = Vec::new();
+    for o in outcomes.iter().filter(|o| o.error.is_none()) {
+        match reference.iter().find(|(q, _)| *q == o.query) {
+            None => reference.push((&o.query, o)),
+            Some((_, first)) => {
+                if first.dump != o.dump {
+                    eprintln!(
+                        "DIVERGENCE: tenants {} and {} disagree on query {}",
+                        first.id, o.id, o.query
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = &dump_dir {
+        std::fs::create_dir_all(dir).expect("create --dump-dir");
+        for o in outcomes.iter().filter(|o| o.error.is_none()) {
+            let path = format!("{dir}/{}.{}.dump", o.id, o.query);
+            std::fs::write(&path, &o.dump).expect("write tenant dump");
+        }
+        eprintln!("wrote per-tenant dumps to {dir}/");
+    }
+    if let Some(path) = &report_path {
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(path).expect("create --report"));
+        for o in &outcomes {
+            writeln!(
+                out,
+                "{{\"type\":\"loadgen\",\"tenant\":\"{}\",\"query\":\"{}\",\"ttfa_s\":{},\"early\":{},\"records\":{},\"dlq_dead\":{},\"ok\":{}}}",
+                o.id,
+                o.query,
+                o.ttfa
+                    .map(|d| format!("{:.6}", d.as_secs_f64()))
+                    .unwrap_or_else(|| "null".into()),
+                o.early,
+                o.records_in,
+                o.dlq_dead,
+                o.error.is_none()
+            )
+            .expect("write --report line");
+        }
+        eprintln!("wrote per-tenant report to {path}");
+    }
+
+    let mut ttfas: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.ttfa.map(|d| d.as_secs_f64()))
+        .collect();
+    ttfas.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if ttfas.is_empty() {
+            return 0.0;
+        }
+        ttfas[((ttfas.len() - 1) as f64 * p).round() as usize]
+    };
+    // Jain's fairness index over per-tenant TTFA: 1.0 = perfectly even.
+    let jain = if ttfas.is_empty() {
+        1.0
+    } else {
+        let sum: f64 = ttfas.iter().sum();
+        let sq: f64 = ttfas.iter().map(|x| x * x).sum();
+        (sum * sum) / (ttfas.len() as f64 * sq).max(f64::MIN_POSITIVE)
+    };
+    let ok = outcomes.iter().filter(|o| o.error.is_none()).count();
+    println!(
+        "loadgen:           {ok}/{} tenant(s) ok, {} with a first answer",
+        outcomes.len(),
+        ttfas.len()
+    );
+    println!(
+        "ttfa:              p50 {} p99 {} (jain fairness {jain:.3})",
+        fmt_secs(pct(0.50)),
+        fmt_secs(pct(0.99)),
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Run one loadgen tenant's subscription over the wire protocol.
+fn drive_tenant(addr: &str, id: &str, query: &str) -> LoadgenOutcome {
+    use onepass::runtime::serve::front::unhex;
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut outcome = LoadgenOutcome {
+        id: id.to_string(),
+        query: query.to_string(),
+        ttfa: None,
+        early: 0,
+        dump: String::new(),
+        records_in: 0,
+        dlq_dead: 0,
+        error: None,
+    };
+    let fail = |o: &mut LoadgenOutcome, msg: String| {
+        o.error = Some(msg);
+    };
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            fail(&mut outcome, format!("connect {addr}: {e}"));
+            return outcome;
+        }
+    };
+    let mut writer = stream.try_clone().expect("clone socket");
+    if writer
+        .write_all(format!("SUBSCRIBE {id} {query}\n").as_bytes())
+        .is_err()
+    {
+        fail(&mut outcome, "subscribe write failed".into());
+        return outcome;
+    }
+    let mut admitted_at = None;
+    let mut finals: Vec<String> = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                fail(&mut outcome, format!("read: {e}"));
+                return outcome;
+            }
+        };
+        let mut parts = line.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("ADMITTED"), _, _) => admitted_at = Some(std::time::Instant::now()),
+            (Some("REJECTED"), a, b) => {
+                let reason = [a, b]
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                fail(&mut outcome, format!("rejected: {reason}"));
+                return outcome;
+            }
+            (Some(kind @ ("EARLY" | "FINAL")), Some(hexkey), Some(hexval)) => {
+                if outcome.ttfa.is_none() {
+                    if let Some(at) = admitted_at {
+                        outcome.ttfa = Some(at.elapsed());
+                    }
+                }
+                if kind == "EARLY" {
+                    outcome.early += 1;
+                } else {
+                    // Reassemble the server-side `--dump-out` line: the
+                    // raw key (lossy utf-8), a tab, the value as hex.
+                    let Some(key) = unhex(hexkey) else {
+                        fail(&mut outcome, format!("malformed key hex: {hexkey}"));
+                        return outcome;
+                    };
+                    finals.push(format!("{}\t{hexval}", String::from_utf8_lossy(&key)));
+                }
+            }
+            (Some("DONE"), _, _) => {
+                for kv in line.split_whitespace().skip(1) {
+                    if let Some((k, v)) = kv.split_once('=') {
+                        match k {
+                            "records" => outcome.records_in = v.parse().unwrap_or(0),
+                            "dlq_dead" => outcome.dlq_dead = v.parse().unwrap_or(0),
+                            _ => {}
+                        }
+                    }
+                }
+                finals.sort();
+                finals.push(String::new());
+                outcome.dump = finals.join("\n");
+                return outcome;
+            }
+            (Some("ERROR"), _, _) => {
+                fail(&mut outcome, line.clone());
+                return outcome;
+            }
+            _ => {
+                fail(&mut outcome, format!("unexpected line: {line}"));
+                return outcome;
+            }
+        }
+    }
+    fail(&mut outcome, "connection closed before DONE".into());
+    outcome
 }

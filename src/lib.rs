@@ -74,7 +74,11 @@ pub mod prelude {
     };
     pub use onepass_runtime::chain::{run_chain, ChainConfig};
     pub use onepass_runtime::map_task::Split;
-    pub use onepass_runtime::stream::StreamSession;
+    pub use onepass_runtime::serve::{
+        dump_final_answers, AdmissionConfig, DlqConfig, Frontend, QueryCatalog, ServeConfig,
+        Server, StreamingQuery, TenantEvent, TenantHandle, TenantSession,
+    };
+    pub use onepass_runtime::stream::{SessionOptions, StreamSession};
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
         CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, InNodeCombine,

@@ -1,9 +1,11 @@
 //! End-to-end engine throughput: the same page-frequency job under the
 //! three system presets — the whole-pipeline version of the §V
-//! comparison (map parse + grouping + shuffle + reduce).
+//! comparison (map parse + grouping + shuffle + reduce) — plus the
+//! iterative PageRank loop through the dataset cache.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use onepass_runtime::{CollectOutput, Engine, JobSpec};
+use onepass_runtime::{CacheConfig, CollectOutput, DatasetCache, Engine, JobSpec};
+use onepass_workloads::pagerank::{self, GraphConfig, PageRankConfig};
 use onepass_workloads::{make_splits, page_frequency, ClickGen, ClickGenConfig};
 
 fn data(n: usize) -> Vec<Vec<u8>> {
@@ -64,5 +66,37 @@ fn pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pipeline);
+fn pipeline_pagerank(c: &mut Criterion) {
+    let nodes = 20_000;
+    let records = pagerank::graph_records(GraphConfig {
+        nodes,
+        max_out: 2,
+        seed: 42,
+    });
+    let mut cfg = PageRankConfig::new(nodes);
+    cfg.rounds = 4;
+    cfg.eps = None;
+    cfg.reducers = 2;
+
+    let mut group = c.benchmark_group("pipeline-pagerank");
+    group.throughput(Throughput::Elements((nodes * cfg.rounds) as u64));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("cached"), |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            let cache = DatasetCache::new(CacheConfig::default());
+            pagerank::run_cached(&engine, &cache, &records, &cfg).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("uncached"), |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            pagerank::run_uncached(&engine, &records, &cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline, pipeline_pagerank);
 criterion_main!(benches);

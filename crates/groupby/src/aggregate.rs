@@ -132,6 +132,24 @@ impl Aggregator for MaxAgg {
     }
 }
 
+/// Keep the first value seen for a key (arbitrary bytes). Deterministic
+/// only when every key carries a single distinct value — the shape used
+/// to turn parsed records into a keyed dataset (e.g. a cached dimension
+/// table or an iterative workload's initial state), where keys are
+/// unique by construction and "first" is therefore "the" value.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstAgg;
+
+impl Aggregator for FirstAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        value.to_vec()
+    }
+
+    fn update(&self, _key: &[u8], _state: &mut Vec<u8>, _value: &[u8]) {}
+
+    fn merge(&self, _key: &[u8], _state: &mut Vec<u8>, _other: &[u8]) {}
+}
+
 /// Collect all values of a key as length-prefixed concatenation
 /// (`[u32 len][bytes]`…). This models *holistic* reduce functions —
 /// sessionization and inverted-list construction — whose state is linear

@@ -32,13 +32,15 @@ pub mod aggregate;
 pub mod freq_hash;
 pub mod hybrid_hash;
 pub mod inc_hash;
+pub mod join;
 pub mod merge;
 pub mod sink;
 pub mod sortmerge;
 
 pub use aggregate::{
-    Aggregator, AvgAgg, CountAgg, DistinctAgg, ListAgg, MaxAgg, StateInput, SumAgg,
+    Aggregator, AvgAgg, CountAgg, DistinctAgg, FirstAgg, ListAgg, MaxAgg, StateInput, SumAgg,
 };
+pub use join::{JoinAgg, TAG_BUILD, TAG_PROBE};
 pub use freq_hash::FreqHashGrouper;
 pub use hybrid_hash::HybridHashGrouper;
 pub use inc_hash::{CountThreshold, EarlyEmit, IncHashGrouper, PeriodicCount};

@@ -1,0 +1,51 @@
+//! The inter-stage pair codec: how a final `(key, value)` emission of one
+//! plan stage becomes one input record for the next.
+//!
+//! Every edge in a [`Plan`](crate::plan::Plan) — materialized (barrier
+//! mode), streamed (pipelined mode), or replayed out of the
+//! [`DatasetCache`](crate::cache::DatasetCache) — carries records in this
+//! framing: `[u32 klen][key][value]`, little-endian length. Pair stages
+//! ([`PairMap`](crate::plan::PairMap)) never see the framing; the plan
+//! layer decodes it (or skips the round-trip entirely for cached,
+//! partition-aligned edges) before calling user code.
+
+/// Encode a `(key, value)` pair as an edge record:
+/// `[u32 klen][key][value]`.
+pub fn encode_pair(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(4 + key.len() + value.len());
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(key);
+    rec.extend_from_slice(value);
+    rec
+}
+
+/// Decode an edge record back into `(key, value)`.
+pub fn decode_pair(record: &[u8]) -> Option<(&[u8], &[u8])> {
+    if record.len() < 4 {
+        return None;
+    }
+    let klen = u32::from_le_bytes(record[0..4].try_into().ok()?) as usize;
+    if record.len() < 4 + klen {
+        return None;
+    }
+    Some((&record[4..4 + klen], &record[4 + klen..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_codec_roundtrip() {
+        let rec = encode_pair(b"key", b"value with \x00 bytes");
+        let (k, v) = decode_pair(&rec).unwrap();
+        assert_eq!(k, b"key");
+        assert_eq!(v, b"value with \x00 bytes");
+        // Empty key and value are legal.
+        let rec = encode_pair(b"", b"");
+        assert_eq!(decode_pair(&rec).unwrap(), (&b""[..], &b""[..]));
+        // Truncated records are rejected.
+        assert!(decode_pair(b"").is_none());
+        assert!(decode_pair(&[200, 0, 0, 0, 1]).is_none());
+    }
+}

@@ -22,6 +22,16 @@ pub trait MapEmitter {
 pub trait MapFn: Send + Sync {
     /// Process one input record.
     fn map(&self, record: &[u8], out: &mut dyn MapEmitter);
+
+    /// Process one already-decoded `(key, value)` input pair — the
+    /// zero-copy path for cached splits, whose data is stored framed.
+    /// The default re-frames the pair through the edge codec and calls
+    /// [`map`](MapFn::map), so record-oriented maps behave identically
+    /// on cached input; pair-aware maps (plan interior stages) override
+    /// it to skip the encode/decode round-trip.
+    fn map_pair(&self, key: &[u8], value: &[u8], out: &mut dyn MapEmitter) {
+        self.map(&crate::codec::encode_pair(key, value), out);
+    }
 }
 
 /// Blanket adapter so closures can serve as map functions.

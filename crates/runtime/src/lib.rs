@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod chain;
+pub mod cache;
+pub mod codec;
 pub mod driver;
 mod executor;
 pub mod in_node;
+pub mod iterate;
 pub mod job;
 pub mod map_task;
 pub mod plan;
@@ -40,11 +42,13 @@ mod telemetry;
 pub mod transport;
 pub mod window;
 
+pub use cache::{CacheConfig, DatasetCache};
 pub use driver::{
     Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
     SpeculationConfig, SpillBackend,
 };
 pub use in_node::InNodeCombine;
+pub use iterate::{IterativePlan, RoundContext};
 pub use job::{
     CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode, Partitioner,
     ReduceBackend, ShuffleMode,
@@ -65,12 +69,14 @@ pub use transport::{worker::WorkerOptions, JobRegistry, Transport};
 /// use onepass_runtime::prelude::*;
 /// ```
 pub mod prelude {
-    pub use crate::chain::{run_chain, ChainConfig};
+    pub use crate::cache::{CacheConfig, DatasetCache};
+    pub use crate::codec::{decode_pair, encode_pair};
     pub use crate::driver::{
         Engine, EngineConfig, EngineConfigBuilder, MapOutputPersistence, RetryPolicy,
         SpeculationConfig, SpillBackend,
     };
     pub use crate::in_node::InNodeCombine;
+    pub use crate::iterate::{IterativePlan, RoundContext};
     pub use crate::job::{
         CollectOutput, Combine, JobSpec, JobSpecBuilder, MapEmitter, MapFn, MapSideMode,
         Partitioner, ReduceBackend, ShuffleMode,

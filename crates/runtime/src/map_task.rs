@@ -22,17 +22,47 @@ use crate::shuffle::{Segment, ShuffleTx};
 pub struct Split {
     /// The input records (e.g. click-log lines or documents).
     pub records: Vec<Vec<u8>>,
+    /// Already-framed `(key, value)` pairs — a cache-hit split. The
+    /// segment is Arc-shared straight out of the
+    /// [`DatasetCache`](crate::cache::DatasetCache): no input decode,
+    /// no copy. Pairs are mapped after `records` via
+    /// [`MapFn::map_pair`](crate::job::MapFn::map_pair).
+    pub pairs: Option<onepass_core::SegmentBuf>,
+    /// When set, every emission of this split routes to this one
+    /// reducer partition, skipping the per-key partitioner hash — the
+    /// in-proc shuffle short-circuit for partition-aligned cached
+    /// edges. Only valid when the split's keys all belong to that
+    /// partition under the consuming job's partitioner (the plan layer
+    /// checks partition-count stability before setting it).
+    pub aligned: Option<u32>,
 }
 
 impl Split {
     /// Create a split from records.
     pub fn new(records: Vec<Vec<u8>>) -> Self {
-        Split { records }
+        Split {
+            records,
+            ..Default::default()
+        }
+    }
+
+    /// A zero-copy split over a cached partition's framed pairs.
+    pub fn from_segment(pairs: onepass_core::SegmentBuf) -> Self {
+        Split {
+            pairs: Some(pairs),
+            ..Default::default()
+        }
+    }
+
+    /// Total input records (raw + cached pairs).
+    pub fn record_count(&self) -> usize {
+        self.records.len() + self.pairs.as_ref().map_or(0, |p| p.len())
     }
 
     /// Total payload bytes.
     pub fn bytes(&self) -> u64 {
-        self.records.iter().map(|r| r.len() as u64).sum()
+        let raw: u64 = self.records.iter().map(|r| r.len() as u64).sum();
+        raw + self.pairs.as_ref().map_or(0, |p| p.payload_bytes() as u64)
     }
 }
 
@@ -94,16 +124,46 @@ struct BufEmitter<'a> {
     buf: &'a mut KvBuf,
     partitioner: Option<&'a dyn crate::job::Partitioner>,
     reducers: usize,
+    /// Partition-aligned cache-hit splits pin every emission to one
+    /// partition ([`Split::aligned`]), skipping the per-key hash.
+    fixed: Option<u32>,
     emitted: u64,
 }
 
 impl MapEmitter for BufEmitter<'_> {
     fn emit(&mut self, key: &[u8], value: &[u8]) {
-        let p = self
-            .partitioner
-            .map_or(0, |pt| pt.partition(key, self.reducers) as u32);
+        let p = match self.fixed {
+            Some(p) => p,
+            None => self
+                .partitioner
+                .map_or(0, |pt| pt.partition(key, self.reducers) as u32),
+        };
         self.buf.push(p, key, value);
         self.emitted += 1;
+    }
+}
+
+/// Consult the fault injector for one map record.
+fn check_fault(ctx: &MapAttemptCtx, task_id: usize, record_idx: usize) -> Result<()> {
+    match ctx
+        .injector
+        .check(FaultTarget::Map, task_id, ctx.attempt, record_idx as u64)
+    {
+        Some(FaultAction::Fail) => Err(Error::Io(std::io::Error::other(format!(
+            "injected fault: map task {task_id} attempt {} at record {record_idx}",
+            ctx.attempt
+        )))),
+        Some(FaultAction::Panic) => {
+            panic!(
+                "injected panic: map task {task_id} attempt {} at record {record_idx}",
+                ctx.attempt
+            );
+        }
+        Some(FaultAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        None => Ok(()),
     }
 }
 
@@ -153,7 +213,7 @@ pub(crate) fn run_map_task_with(
     deferred: Option<&mut KvBuf>,
 ) -> Result<MapTaskStats> {
     let mut stats = MapTaskStats {
-        input_records: split.records.len() as u64,
+        input_records: split.record_count() as u64,
         input_bytes: split.bytes(),
         ..Default::default()
     };
@@ -169,62 +229,71 @@ pub(crate) fn run_map_task_with(
     };
     let mut since_flush = 0usize;
 
-    for (record_idx, record) in split.records.iter().enumerate() {
-        if ctx.cancelled() {
-            return Err(Error::Cancelled);
-        }
-        match ctx
-            .injector
-            .check(FaultTarget::Map, task_id, ctx.attempt, record_idx as u64)
-        {
-            Some(FaultAction::Fail) => {
-                return Err(Error::Io(std::io::Error::other(format!(
-                    "injected fault: map task {task_id} attempt {} at record {record_idx}",
-                    ctx.attempt
-                ))));
-            }
-            Some(FaultAction::Panic) => {
-                panic!(
-                    "injected panic: map task {task_id} attempt {} at record {record_idx}",
-                    ctx.attempt
-                );
-            }
-            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-            None => {}
-        }
-        let map_start = std::time::Instant::now();
-        let mut emitter = BufEmitter {
-            buf,
-            partitioner: (!defer).then(|| job.partitioner.as_ref()),
-            reducers: job.reducers,
-            emitted: 0,
-        };
-        job.map_fn.map(record, &mut emitter);
-        let emitted = emitter.emitted;
-        stats.output_records += emitted;
-        since_flush += emitted as usize;
-        stats.profile.add_time(Phase::MapFn, map_start.elapsed());
+    // The aligned short-circuit only applies on the routed (non-
+    // deferred) path; the in-node fold routes from its own fingerprints
+    // either way, which agrees with the partitioner by construction.
+    let fixed = if defer { None } else { split.aligned };
 
-        // Deferred mode buffers the whole attempt: granularity and
-        // buffer-bytes checkpoints don't apply (the arena is bounded by
-        // the split's output; the worker's combine budget governs the
-        // shared table instead).
-        if !defer {
-            let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
-            let push_due = push_granularity.is_some_and(|g| since_flush >= g);
-            if buffer_full || push_due {
-                flush_buffer(
-                    job,
-                    task_id,
-                    ctx.attempt,
-                    buf,
-                    tx,
-                    map_store,
-                    &mut stats,
-                    trace,
-                )?;
-                since_flush = 0;
+    // Raw records and cached pairs share one flush/fault/stat protocol;
+    // cached pairs continue the record index so fault schedules hit the
+    // same logical positions either way.
+    macro_rules! map_one {
+        ($record_idx:expr, $apply:expr) => {{
+            if ctx.cancelled() {
+                return Err(Error::Cancelled);
             }
+            check_fault(ctx, task_id, $record_idx)?;
+            let map_start = std::time::Instant::now();
+            let mut emitter = BufEmitter {
+                buf,
+                partitioner: (!defer).then(|| job.partitioner.as_ref()),
+                reducers: job.reducers,
+                fixed,
+                emitted: 0,
+            };
+            #[allow(clippy::redundant_closure_call)]
+            $apply(&mut emitter);
+            let emitted = emitter.emitted;
+            stats.output_records += emitted;
+            since_flush += emitted as usize;
+            stats.profile.add_time(Phase::MapFn, map_start.elapsed());
+
+            // Deferred mode buffers the whole attempt: granularity and
+            // buffer-bytes checkpoints don't apply (the arena is bounded
+            // by the split's output; the worker's combine budget governs
+            // the shared table instead).
+            if !defer {
+                let buffer_full = buf.arena_bytes() >= job.map_buffer_bytes;
+                let push_due = push_granularity.is_some_and(|g| since_flush >= g);
+                if buffer_full || push_due {
+                    flush_buffer(
+                        job,
+                        task_id,
+                        ctx.attempt,
+                        buf,
+                        tx,
+                        map_store,
+                        &mut stats,
+                        trace,
+                    )?;
+                    since_flush = 0;
+                }
+            }
+        }};
+    }
+
+    for (record_idx, record) in split.records.iter().enumerate() {
+        map_one!(record_idx, |em: &mut BufEmitter<'_>| job
+            .map_fn
+            .map(record, em));
+    }
+    if let Some(pairs) = &split.pairs {
+        let base = split.records.len();
+        for i in 0..pairs.len() {
+            let (key, value) = pairs.get(i);
+            map_one!(base + i, |em: &mut BufEmitter<'_>| job
+                .map_fn
+                .map_pair(key, value, em));
         }
     }
     if ctx.cancelled() {

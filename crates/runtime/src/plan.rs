@@ -7,10 +7,10 @@
 //! Real analytical queries rarely fit one MapReduce job — the paper's
 //! related work (Pig, Hive) compiles queries into job *DAGs*, and §IV's
 //! architecture pipelines data "from mappers to reducers and between
-//! jobs". A [`Plan`] generalizes the linear [`crate::chain`] API:
+//! jobs". [`Plan::linear`] covers the classic linear chain:
 //!
-//! * Stages are connected by **edges** carrying the chain record codec
-//!   ([`crate::chain::encode_pair`]): each final `(key, value)` of an
+//! * Stages are connected by **edges** carrying the edge record codec
+//!   ([`crate::codec::encode_pair`]): each final `(key, value)` of an
 //!   upstream stage becomes one input record of its downstream stages.
 //! * In [`PlanMode::Pipelined`] (the default) every stage runs
 //!   concurrently; upstream finals are batched into [`Split`]s of
@@ -32,6 +32,18 @@
 //! Early emissions are not forwarded across edges (they are
 //! approximations of the finals); collect them from each stage's report
 //! if needed.
+//!
+//! Plans also have **cache edges** against a job-wide
+//! [`DatasetCache`](crate::cache::DatasetCache):
+//! [`PlanBuilder::cache_output`] captures a stage's finals as a named,
+//! partition-stable dataset, and [`PlanBuilder::cached_input`] feeds a
+//! cached dataset into a stage as zero-copy map splits (no re-scan, no
+//! input decode). When the dataset's partition count matches the
+//! consuming stage's reducer count,
+//! [`PlanBuilder::cached_input_aligned`] short-circuits the shuffle
+//! entirely: each cached partition routes to its own reducer without
+//! re-hashing a single key. [`crate::iterate::IterativePlan`] builds
+//! multi-round loops on top of these edges.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,7 +55,8 @@ use onepass_core::governor::{MemoryGovernor, MemoryPolicy};
 use onepass_core::trace::Track;
 use onepass_groupby::EmitKind;
 
-use crate::chain::{decode_pair, encode_pair};
+use crate::cache::DatasetCache;
+use crate::codec::{decode_pair, encode_pair};
 use crate::driver::Engine;
 use crate::executor::{self, ExecParams, ReduceTap, TapFactory};
 use crate::job::{CollectOutput, JobSpec, MapEmitter, MapFn};
@@ -163,10 +176,35 @@ pub(crate) enum StageInput {
     Pairs(Arc<dyn PairMap>),
 }
 
-/// One node of the DAG: a complete MapReduce job plus its input codec.
+/// A cache edge feeding a stage from a named dataset.
+pub(crate) struct CachedInput {
+    pub(crate) name: String,
+    /// Request the shuffle short-circuit: applied only when the cached
+    /// partition count equals the stage's reducer count.
+    pub(crate) aligned: bool,
+}
+
+/// One node of the DAG: a complete MapReduce job plus its input codec
+/// and cache edges.
 pub(crate) struct Stage {
     pub(crate) job: JobSpec,
     pub(crate) input: StageInput,
+    /// Capture this stage's finals into the dataset cache under this
+    /// name (partitioned by the stage's own partitioner/reducer count).
+    pub(crate) cache_output: Option<String>,
+    /// Datasets fed into this stage as cache-hit splits.
+    pub(crate) cached_inputs: Vec<CachedInput>,
+}
+
+impl Stage {
+    fn new(job: JobSpec, input: StageInput) -> Self {
+        Stage {
+            job,
+            input,
+            cache_output: None,
+            cached_inputs: Vec::new(),
+        }
+    }
 }
 
 /// Builds a [`Plan`] DAG. Stages are added first, then connected; the
@@ -186,27 +224,64 @@ impl PlanBuilder {
     /// Add a stage whose map function reads raw records (the plan's input
     /// for source stages, encoded edge records otherwise).
     pub fn add_stage(&mut self, job: JobSpec) -> StageId {
-        self.stages.push(Stage {
-            job,
-            input: StageInput::Records,
-        });
+        self.stages.push(Stage::new(job, StageInput::Records));
         StageId(self.stages.len() - 1)
     }
 
-    /// Add a stage whose records are decoded through the chain codec and
+    /// Add a stage whose records are decoded through the edge codec and
     /// handed to `pairs` (see [`PairMap`]). The job's own `map_fn` is
     /// ignored.
     pub fn add_pair_stage(&mut self, job: JobSpec, pairs: Arc<dyn PairMap>) -> StageId {
-        self.stages.push(Stage {
-            job,
-            input: StageInput::Pairs(pairs),
-        });
+        self.stages
+            .push(Stage::new(job, StageInput::Pairs(pairs)));
         StageId(self.stages.len() - 1)
     }
 
     /// Feed `from`'s final answers into `to`'s input.
     pub fn connect(&mut self, from: StageId, to: StageId) -> &mut Self {
         self.edges.push((from.0, to.0));
+        self
+    }
+
+    /// Capture `stage`'s finals into the run's
+    /// [`DatasetCache`](crate::cache::DatasetCache) under `name`,
+    /// partitioned by the stage's own partitioner over its reducer
+    /// count — so a successor round consuming the dataset with the same
+    /// partitioner and reducer count gets partition-stable placement.
+    /// The stage must collect output.
+    pub fn cache_output(&mut self, stage: StageId, name: &str) -> &mut Self {
+        self.stages[stage.0].cache_output = Some(name.to_string());
+        self
+    }
+
+    /// Feed the cached dataset `name` into `stage` as zero-copy map
+    /// splits (each partition one split of framed pairs, mapped through
+    /// [`MapFn::map_pair`](crate::job::MapFn::map_pair) — no re-scan,
+    /// no input decode). Requires running the plan through
+    /// [`Engine::run_plan_with_cache`].
+    pub fn cached_input(&mut self, stage: StageId, name: &str) -> &mut Self {
+        self.stages[stage.0].cached_inputs.push(CachedInput {
+            name: name.to_string(),
+            aligned: false,
+        });
+        self
+    }
+
+    /// Like [`cached_input`](PlanBuilder::cached_input), and
+    /// additionally short-circuit the shuffle when the dataset's
+    /// partition count equals `stage`'s reducer count: every emission
+    /// from partition `p`'s split routes straight to reducer `p`,
+    /// skipping the per-key partitioner hash. Correct only when the
+    /// stage's map emits keys that stay in their input partition (e.g.
+    /// re-emitting the same keys, as iterative state updates do) under
+    /// the same partitioner that built the dataset — that contract is
+    /// the caller's; on a partition-count mismatch the plan silently
+    /// falls back to hashed routing.
+    pub fn cached_input_aligned(&mut self, stage: StageId, name: &str) -> &mut Self {
+        self.stages[stage.0].cached_inputs.push(CachedInput {
+            name: name.to_string(),
+            aligned: true,
+        });
         self
     }
 
@@ -252,7 +327,8 @@ impl Plan {
     }
 
     /// A linear chain: each job's finals feed the next job's input (the
-    /// [`crate::chain::run_chain`] topology).
+    /// classic materialize-then-re-split multi-job topology when run in
+    /// [`PlanMode::Barrier`]).
     pub fn linear(jobs: Vec<JobSpec>) -> Result<Plan> {
         let mut b = Plan::builder();
         let ids: Vec<StageId> = jobs.into_iter().map(|j| b.add_stage(j)).collect();
@@ -270,6 +346,32 @@ impl Plan {
     /// Name of a stage's job.
     pub fn stage_name(&self, stage: StageId) -> &str {
         &self.stages[stage.0].job.name
+    }
+
+    /// Whether any stage has a cache edge (input or output).
+    pub fn uses_cache(&self) -> bool {
+        self.stages
+            .iter()
+            .any(|s| s.cache_output.is_some() || !s.cached_inputs.is_empty())
+    }
+
+    /// The stage that consumes the plan's record input: the unique
+    /// stage with neither incoming edges nor cached inputs, if any.
+    /// Failing that, a unique stage with no incoming edges but *with*
+    /// cached inputs also accepts records — that is the two-input
+    /// shape (e.g. a hybrid-hash join probing records against a cached
+    /// build side).
+    fn record_source(&self) -> Option<usize> {
+        let pure = (0..self.stages.len()).find(|&s| {
+            self.incoming[s].is_empty() && self.stages[s].cached_inputs.is_empty()
+        });
+        pure.or_else(|| {
+            let mut roots = (0..self.stages.len()).filter(|&s| self.incoming[s].is_empty());
+            match (roots.next(), roots.next()) {
+                (Some(s), None) => Some(s),
+                _ => None,
+            }
+        })
     }
 
     fn from_parts(stages: Vec<Stage>, edges: Vec<(usize, usize)>) -> Result<Plan> {
@@ -299,8 +401,18 @@ impl Plan {
             incoming[to].push(from);
         }
 
-        let sources = incoming.iter().filter(|i| i.is_empty()).count();
-        if sources != 1 {
+        // A stage fed only by cache edges is not a record source: cached
+        // datasets replace its scan. At most one stage may read the
+        // plan's record input, and a plan running purely off the cache
+        // (zero record sources) is legal — `run_plan` then requires an
+        // empty input.
+        let sources = incoming
+            .iter()
+            .zip(&stages)
+            .filter(|(inc, st)| inc.is_empty() && st.cached_inputs.is_empty())
+            .count();
+        let any_cache_inputs = stages.iter().any(|s| !s.cached_inputs.is_empty());
+        if sources > 1 || (sources != 1 && !any_cache_inputs) {
             return Err(Error::Config(format!(
                 "plan must have exactly one source stage (found {sources})"
             )));
@@ -327,6 +439,12 @@ impl Plan {
             if !outgoing[i].is_empty() && !stage.job.collect_output.is_collect() {
                 return Err(Error::Config(format!(
                     "plan stage {i} ({}) must collect output to feed its downstream stages",
+                    stage.job.name
+                )));
+            }
+            if stage.cache_output.is_some() && !stage.job.collect_output.is_collect() {
+                return Err(Error::Config(format!(
+                    "plan stage {i} ({}) must collect output to cache it",
                     stage.job.name
                 )));
             }
@@ -522,12 +640,104 @@ impl Engine {
         input: Vec<Split>,
         config: &PlanConfig,
     ) -> Result<PlanReport> {
+        self.run_plan_with_cache(plan, input, config, None)
+    }
+
+    /// [`run_plan`](Engine::run_plan) with a [`DatasetCache`] backing
+    /// the plan's cache edges: stages marked
+    /// [`cache_output`](PlanBuilder::cache_output) publish their finals
+    /// as partition-stable datasets after the run, and stages with
+    /// [`cached_input`](PlanBuilder::cached_input) edges read datasets
+    /// as zero-copy cache-hit splits. Plans without cache edges ignore
+    /// `cache` entirely.
+    pub fn run_plan_with_cache(
+        &self,
+        plan: &Plan,
+        input: Vec<Split>,
+        config: &PlanConfig,
+        cache: Option<&DatasetCache>,
+    ) -> Result<PlanReport> {
+        if plan.uses_cache() && cache.is_none() {
+            return Err(Error::Config(
+                "plan has cache edges; run it through run_plan_with_cache with a DatasetCache"
+                    .into(),
+            ));
+        }
+        if plan.record_source().is_none() && !input.is_empty() {
+            return Err(Error::Config(
+                "plan has no record source stage (all stages are cache-fed) but input is not \
+                 empty"
+                    .into(),
+            ));
+        }
         let clock = Instant::now();
-        match config.mode {
-            PlanMode::Barrier => run_barrier(self, plan, input, config, clock),
-            PlanMode::Pipelined => run_pipelined(self, plan, input, config, clock),
+        let report = match config.mode {
+            PlanMode::Barrier => run_barrier(self, plan, input, config, clock, cache)?,
+            PlanMode::Pipelined => run_pipelined(self, plan, input, config, clock, cache)?,
+        };
+        capture_cache_outputs(plan, &report, cache)?;
+        Ok(report)
+    }
+}
+
+/// Publish every `cache_output` stage's finals into the cache,
+/// partitioned by the stage's own partitioner over its reducer count and
+/// key-sorted within each partition — deterministic dataset bytes
+/// regardless of reduction order, so replays and re-runs converge on
+/// identical cache content.
+fn capture_cache_outputs(
+    plan: &Plan,
+    report: &PlanReport,
+    cache: Option<&DatasetCache>,
+) -> Result<()> {
+    for (s, stage) in plan.stages.iter().enumerate() {
+        let name = match &stage.cache_output {
+            Some(name) => name,
+            None => continue,
+        };
+        let cache = cache.expect("checked in run_plan_with_cache");
+        let job = &stage.job;
+        let reducers = job.reducers.max(1);
+        let sr = &report.stages[s];
+        let parts = crate::cache::partition_pairs(
+            sr.report
+                .outputs
+                .iter()
+                .filter(|o| o.kind == EmitKind::Final)
+                .map(|o| (o.key.as_slice(), o.value.as_slice())),
+            reducers,
+            |k| job.partitioner.partition(k, reducers),
+        )?;
+        let parts: Vec<_> = parts.into_iter().map(|p| p.sorted_by_key()).collect();
+        cache.put(name, parts)?;
+    }
+    Ok(())
+}
+
+/// The cache-hit splits feeding stage `s`: one zero-copy split per
+/// cached partition, partition-pinned when the aligned short-circuit
+/// applies.
+fn cached_splits(plan: &Plan, s: usize, cache: Option<&DatasetCache>) -> Result<Vec<Split>> {
+    let stage = &plan.stages[s];
+    let mut out = Vec::new();
+    for ci in &stage.cached_inputs {
+        let cache = cache.expect("checked in run_plan_with_cache");
+        let parts = cache.get(&ci.name)?.ok_or_else(|| {
+            Error::InvalidState(format!(
+                "plan stage {s} ({}) reads cached dataset '{}', which is not in the cache",
+                stage.job.name, ci.name
+            ))
+        })?;
+        let aligned_ok = ci.aligned && parts.len() == stage.job.reducers;
+        for (p, seg) in parts.into_iter().enumerate() {
+            let mut split = Split::from_segment(seg);
+            if aligned_ok {
+                split.aligned = Some(p as u32);
+            }
+            out.push(split);
         }
     }
+    Ok(out)
 }
 
 fn assemble(mode: PlanMode, clock: Instant, stages: Vec<StageReport>) -> PlanReport {
@@ -553,9 +763,11 @@ fn run_barrier(
     input: Vec<Split>,
     cfg: &PlanConfig,
     clock: Instant,
+    cache: Option<&DatasetCache>,
 ) -> Result<PlanReport> {
     let n = plan.stages.len();
     let tracer = &engine.config().tracer;
+    let record_source = plan.record_source();
     let mut finals: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
     let mut stage_reports: Vec<Option<StageReport>> = (0..n).map(|_| None).collect();
     let mut input = Some(input);
@@ -563,15 +775,18 @@ fn run_barrier(
     for &s in &plan.order {
         let stage = &plan.stages[s];
         let (job, errors) = effective_job(stage, cfg, false);
-        let splits = if plan.incoming[s].is_empty() {
-            input.take().expect("exactly one source stage")
-        } else {
+        let mut splits = if record_source == Some(s) {
+            input.take().expect("one record source stage")
+        } else if !plan.incoming[s].is_empty() {
             let mut records = Vec::new();
             for &u in &plan.incoming[s] {
                 records.extend(finals[u].iter().cloned());
             }
             split_records(records, cfg.records_per_split)
+        } else {
+            Vec::new()
         };
+        splits.extend(cached_splits(plan, s, cache)?);
 
         let mut st_trace = tracer.local(Track::new("stage", s as u64));
         st_trace.begin("stage", "plan");
@@ -634,48 +849,77 @@ fn run_pipelined(
     input: Vec<Split>,
     cfg: &PlanConfig,
     clock: Instant,
+    cache: Option<&DatasetCache>,
 ) -> Result<PlanReport> {
     let n = plan.stages.len();
     let config = engine.config();
     let tracer = &config.tracer;
+    let record_source = plan.record_source();
 
     // Under adaptive memory policy, all concurrently-live stages share one
     // governed pool sized for the whole plan, so a memory-hungry stage
-    // can borrow slack from (and shed back to) its neighbours.
+    // can borrow slack from (and shed back to) its neighbours. A cache
+    // leased from a governor brings its own pool — reusing it puts the
+    // rounds' reducers and the cache in one arbitration domain, which is
+    // what lets reducer pressure evict cached datasets instead of
+    // spilling live tables.
     let governor = match &config.memory_policy {
         MemoryPolicy::Static => None,
         MemoryPolicy::Adaptive { policy, high_water } => {
-            let pool = plan.stages.iter().fold(0usize, |acc, st| {
-                acc.saturating_add(
-                    st.job
-                        .reduce_budget_bytes
-                        .saturating_mul(st.job.reducers.max(1)),
-                )
-            });
-            Some(MemoryGovernor::new(pool, Arc::clone(policy), *high_water))
+            match cache.and_then(|c| c.governor().cloned()) {
+                Some(g) => Some(g),
+                None => {
+                    let pool = plan.stages.iter().fold(0usize, |acc, st| {
+                        acc.saturating_add(
+                            st.job
+                                .reduce_budget_bytes
+                                .saturating_mul(st.job.reducers.max(1)),
+                        )
+                    });
+                    Some(MemoryGovernor::new(pool, Arc::clone(policy), *high_water))
+                }
+            }
         }
     };
 
+    // A stage that caches its output must materialize it even when it
+    // also streams downstream: the capture reads the stage report.
     let jobs: Vec<(JobSpec, Option<Arc<AtomicU64>>)> = plan
         .stages
         .iter()
         .enumerate()
-        .map(|(s, stage)| effective_job(stage, cfg, !plan.outgoing[s].is_empty()))
+        .map(|(s, stage)| {
+            let streams = !plan.outgoing[s].is_empty() && stage.cache_output.is_none();
+            effective_job(stage, cfg, streams)
+        })
         .collect();
 
     // One bounded channel per non-source stage. Multiple upstreams of one
     // stage share the channel through cloned senders (fan-in); the feed
     // closes when the last upstream finishes and drops its clone.
+    // Cache-hit splits ride the same channels: a feeder thread per
+    // cache-fed streamed stage pushes them in alongside live upstream
+    // output.
     let mut stage_tx: Vec<Option<Sender<Result<Split>>>> = (0..n).map(|_| None).collect();
     let mut feeds: Vec<Option<SplitFeed>> = (0..n).map(|_| None).collect();
+    let mut cache_feeders: Vec<(Sender<Result<Split>>, Vec<Split>)> = Vec::new();
     let mut input = Some(input);
     for s in 0..n {
-        if plan.incoming[s].is_empty() {
-            feeds[s] = Some(SplitFeed::Fixed(
-                input.take().expect("exactly one source stage"),
-            ));
+        if record_source == Some(s) {
+            // A record source may *also* have cached inputs (the
+            // two-input join shape): its feed is records plus cache.
+            let mut fixed = input.take().expect("one record source stage");
+            fixed.extend(cached_splits(plan, s, cache)?);
+            feeds[s] = Some(SplitFeed::Fixed(fixed));
+        } else if plan.incoming[s].is_empty() {
+            // Fed purely by cache edges: the whole feed is known up front.
+            feeds[s] = Some(SplitFeed::Fixed(cached_splits(plan, s, cache)?));
         } else {
             let (tx, rx) = bounded(cfg.edge_depth.max(1));
+            let cached = cached_splits(plan, s, cache)?;
+            if !cached.is_empty() {
+                cache_feeders.push((tx.clone(), cached));
+            }
             stage_tx[s] = Some(tx);
             feeds[s] = Some(SplitFeed::Streamed(rx));
         }
@@ -742,6 +986,20 @@ fn run_pipelined(
 
     let mut results: Vec<Option<Result<crate::report::JobReport>>> = (0..n).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
+        // Cache feeders block on the bounded edge like any upstream
+        // producer; dropping their sender clone lets the feed close once
+        // the live upstreams finish too.
+        for (tx, splits) in cache_feeders.drain(..) {
+            scope.spawn(move |_| {
+                for split in splits {
+                    // A send error means the consumer already failed; its
+                    // own error surfaces through the stage join.
+                    if tx.send(Ok(split)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
         let mut handles = Vec::with_capacity(n);
         for s in 0..n {
             let feed = feeds[s].take().expect("every stage has a feed");

@@ -538,7 +538,7 @@ impl<'a> TcpCluster<'a> {
                 .send(&Frame::NewSplit {
                     task: asg.task as u64,
                     attempt: asg.attempt as u64,
-                    records: asg.split.records.clone(),
+                    records: flatten_split(&asg.split),
                 })
                 .is_ok();
         if !sent {
@@ -744,6 +744,18 @@ impl<'a> TcpCluster<'a> {
 }
 
 /// Encode one fabric message as its partition-addressed wire frame.
+/// Wire splits carry raw records only: a cache-hit split's framed pairs
+/// are re-encoded as edge records for the trip (remote workers decode
+/// them through the stage's normal [`MapFn::map`](crate::job::MapFn)
+/// path — correct, just not zero-copy).
+fn flatten_split(split: &crate::map_task::Split) -> Vec<Vec<u8>> {
+    let mut records = split.records.clone();
+    if let Some(pairs) = &split.pairs {
+        records.extend(pairs.iter().map(|(k, v)| crate::codec::encode_pair(k, v)));
+    }
+    records
+}
+
 fn send_shuffle_frame(conn: &Conn, partition: usize, msg: &ShuffleMsg) -> Result<()> {
     match msg {
         ShuffleMsg::Segment(seg) => conn.send(&Frame::Segment {

@@ -1,12 +1,14 @@
 //! Equivalence property for staged query plans: a two-stage plan
 //! (word count, then a histogram of the counts) produces byte-identical
 //! sink output whether the stages run [`PlanMode::Pipelined`],
-//! [`PlanMode::Barrier`], or as two hand-chained [`Engine::run`] calls
-//! with the edge encoded manually through the chain codec — and all
-//! three match a pure-Rust reference. The property sweeps all four
-//! reduce backends, both spill backends, the memory-governor policies,
-//! both hash families, in-node combining on/off, and a seeded fault plan
-//! that kills a map and a reduce task mid-run, so edge streaming must
+//! [`PlanMode::Barrier`], split across two plans with the edge carried
+//! by the [`DatasetCache`] (`cache_output` → `cached_input`), or as two
+//! hand-chained [`Engine::run`] calls with the edge encoded manually
+//! through the edge codec — and all four match a pure-Rust reference.
+//! The property sweeps all four reduce backends, both spill backends,
+//! the memory-governor policies, both hash families, in-node combining
+//! on/off, and a seeded fault plan that kills a map and a reduce task
+//! mid-run, so edge streaming (and a cached round's replay) must
 //! survive retries, spills, worker combine-table flushes, and
 //! rebalancing without changing answers.
 
@@ -15,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use onepass_groupby::SumAgg;
-use onepass_runtime::chain::{decode_pair, encode_pair};
+use onepass_runtime::codec::{decode_pair, encode_pair};
 use onepass_runtime::prelude::*;
 use onepass_runtime::transport::worker::spawn_local;
 use proptest::prelude::*;
@@ -212,8 +214,55 @@ proptest! {
             outputs.push((mode.label(), report.sorted_final_outputs()));
         }
 
+        // Cached leg: the same two stages split across two plans with
+        // the edge carried by the DatasetCache — stage 1 caches its
+        // finals, a second (record-input-free) plan histograms the
+        // cached partitions. The same seeded fault plan applies to both
+        // plans, so killed tasks must replay against (and into) the
+        // cache without changing bytes.
+        {
+            let cache = DatasetCache::new(CacheConfig::default());
+            let cfg = mk_config(spill, mk_policy(policy_tag), Some(faults.clone()), family, in_node);
+            let engine = Engine::with_config(cfg);
+            let mut pc = PlanConfig::new(if policy_tag % 2 == 0 {
+                PlanMode::Pipelined
+            } else {
+                PlanMode::Barrier
+            });
+            pc.records_per_split = records_per_split;
+
+            let mut b = Plan::builder();
+            let s = b.add_stage(count_job(backend.clone(), reducers));
+            b.cache_output(s, "counts");
+            let p1 = b.build().unwrap();
+            engine
+                .run_plan_with_cache(&p1, splits.clone(), &pc, Some(&cache))
+                .unwrap();
+
+            struct HistFromEdge;
+            impl MapFn for HistFromEdge {
+                fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+                    let (_, value) = decode_pair(record).expect("valid edge");
+                    histogram_pair(value, out);
+                }
+            }
+            let mut hist = histogram_job();
+            hist.map_fn = Arc::new(HistFromEdge);
+            let mut b = Plan::builder();
+            let s = b.add_stage(hist);
+            b.cached_input(s, "counts");
+            let p2 = b.build().unwrap();
+            let report = engine
+                .run_plan_with_cache(&p2, Vec::new(), &pc, Some(&cache))
+                .unwrap();
+            prop_assert!(cache.stats().hits > 0, "histogram plan must hit the cache");
+            let mut cached_out = report.sorted_final_outputs();
+            cached_out.sort();
+            outputs.push(("cached", cached_out));
+        }
+
         // Manual chaining: run each stage as a standalone job and carry
-        // the edge by hand through the public chain codec. No faults —
+        // the edge by hand through the public edge codec. No faults —
         // this leg is the engine-level reference, kept deterministic.
         let r1 = Engine::with_config(mk_config(spill, mk_policy(policy_tag), None, family, in_node))
             .run(&count_job(backend, reducers), splits)
@@ -230,7 +279,7 @@ proptest! {
             .collect();
         let mut job2 = histogram_job();
         job2.map_fn = Arc::new(|record: &[u8], out: &mut dyn MapEmitter| {
-            let (_, value) = onepass_runtime::chain::decode_pair(record).expect("valid edge");
+            let (_, value) = decode_pair(record).expect("valid edge");
             histogram_pair(value, out);
         });
         let r2 = if edge_splits.is_empty() {

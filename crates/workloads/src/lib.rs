@@ -25,7 +25,10 @@ pub mod clickgen;
 pub mod distinct_users;
 pub mod docgen;
 pub mod inverted_index;
+pub mod join;
+pub mod kmeans;
 pub mod page_frequency;
+pub mod pagerank;
 pub mod per_user_count;
 pub mod serving;
 pub mod sessionization;

@@ -1,0 +1,647 @@
+//! PageRank as a multi-round cached plan — the canonical iterative
+//! workload in the M3R direction (arXiv:1208.4168): the graph's
+//! adjacency is exactly the kind of reusable, partition-stable dataset
+//! the [`DatasetCache`] holds, so the cached loop never re-scans,
+//! re-parses, or re-shuffles it. Each cached round shuffles *only* the
+//! 8-byte rank contributions; the new ranks come back partitioned and
+//! sorted exactly like the resident state, and the driver zip-merges
+//! them into the adjacency in place at the round boundary (the
+//! "Schimmy" pattern: state that does not move is never re-sent).
+//!
+//! The uncached baseline is what the same loop costs as a chain of
+//! independent jobs: every round's state — ranks *and* adjacency — is
+//! serialized to text records on a file-backed store, read back, text
+//! parsed, and pushed through the full map/shuffle/reduce path, the way
+//! Hadoop chains iterative jobs through HDFS.
+//!
+//! All arithmetic is fixed-point `u64` at [`SCALE`] with damping
+//! 85/100, so results are byte-identical regardless of execution mode,
+//! reduction order, or cached-vs-uncached path — the property
+//! `exp_iterative` asserts against [`reference`].
+//!
+//! Graph encoding (text records): `"<src>\t<dst>,<dst>,..."`, one line
+//! per node; every node has at least one out-edge. Cached state per
+//! node: key = `u32` LE node id, value =
+//! `[u64 rank LE][u32 deg LE][u32 dst LE]*deg`. Uncached inter-round
+//! text: `"<node>\t<rank>\t<dst>,<dst>,..."`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use onepass_core::error::Result;
+use onepass_core::io::{FileSpillStore, SpillStore};
+use onepass_core::SegmentBufBuilder;
+use onepass_groupby::{Aggregator, FirstAgg};
+use onepass_runtime::{
+    DatasetCache, Engine, IterativePlan, JobSpec, MapEmitter, MapFn, Plan, PlanConfig,
+};
+
+use crate::make_splits;
+
+/// Fixed-point scale: rank 1.0 ≡ `SCALE`. Total rank mass ≈ `SCALE`.
+pub const SCALE: u64 = 1_000_000_000;
+/// Damping numerator (d = 85/100).
+pub const DAMP_NUM: u64 = 85;
+/// Damping denominator.
+pub const DAMP_DEN: u64 = 100;
+
+/// Cached dataset holding the full per-node state (rank + adjacency).
+pub const RANKS_DATASET: &str = "pagerank-ranks";
+
+/// Per-round scratch dataset: the freshly reduced 8-byte ranks, merged
+/// into [`RANKS_DATASET`] (and dropped) at each round boundary.
+const NEW_RANKS_DATASET: &str = "pagerank-ranks-new";
+
+const TAG_CONTRIB: u8 = 0;
+const TAG_ADJ: u8 = 1;
+
+/// Deterministic synthetic graph spec.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Maximum out-degree (actual degree is 1..=max_out, seeded).
+    pub max_out: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            nodes: 256,
+            max_out: 8,
+            seed: 7,
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Generate the graph's text records, one `"<src>\t<dst>,..."` line per
+/// node. Every node has ≥ 1 out-edge so no rank mass dangles.
+pub fn graph_records(cfg: GraphConfig) -> Vec<Vec<u8>> {
+    assert!(cfg.nodes > 0 && cfg.max_out > 0);
+    let mut rng = cfg.seed | 1;
+    (0..cfg.nodes)
+        .map(|src| {
+            let deg = (xorshift(&mut rng) as usize % cfg.max_out) + 1;
+            let dsts: Vec<String> = (0..deg)
+                .map(|_| (xorshift(&mut rng) as usize % cfg.nodes).to_string())
+                .collect();
+            format!("{src}\t{}", dsts.join(",")).into_bytes()
+        })
+        .collect()
+}
+
+fn encode_state(rank: u64, dsts: &[u32]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12 + dsts.len() * 4);
+    v.extend_from_slice(&rank.to_le_bytes());
+    v.extend_from_slice(&(dsts.len() as u32).to_le_bytes());
+    for d in dsts {
+        v.extend_from_slice(&d.to_le_bytes());
+    }
+    v
+}
+
+fn decode_state(value: &[u8]) -> (u64, Vec<u32>) {
+    let rank = u64::from_le_bytes(value[..8].try_into().expect("rank"));
+    let deg = u32::from_le_bytes(value[8..12].try_into().expect("deg")) as usize;
+    let dsts = (0..deg)
+        .map(|i| u32::from_le_bytes(value[12 + i * 4..16 + i * 4].try_into().unwrap()))
+        .collect();
+    (rank, dsts)
+}
+
+/// `(1 - d) / N` at scale — the rank a node with no inbound
+/// contributions holds.
+fn base_rank(nodes: usize) -> u64 {
+    SCALE * (DAMP_DEN - DAMP_NUM) / (DAMP_DEN * nodes as u64)
+}
+
+fn contribution(rank: u64, deg: usize) -> u64 {
+    rank * DAMP_NUM / (DAMP_DEN * deg as u64)
+}
+
+/// Parse a graph text record into the initial per-node state.
+struct ParseGraphMap {
+    init_rank: u64,
+}
+
+impl MapFn for ParseGraphMap {
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        let line = std::str::from_utf8(record).expect("utf8 graph record");
+        let (src, rest) = line.split_once('\t').expect("src\\tdsts");
+        let src: u32 = src.parse().expect("node id");
+        let dsts: Vec<u32> = rest
+            .split(',')
+            .map(|d| d.parse().expect("dst id"))
+            .collect();
+        out.emit(&src.to_le_bytes(), &encode_state(self.init_rank, &dsts));
+    }
+}
+
+/// The cached round's map: fan the 8-byte contributions out along the
+/// edges — and nothing else. The adjacency never leaves its partition;
+/// [`merge_new_ranks`] folds the reduced ranks back into it in place.
+struct ContribMap;
+
+impl MapFn for ContribMap {
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        let (k, v) = onepass_runtime::codec::decode_pair(record).expect("edge record");
+        self.map_pair(k, v, out);
+    }
+
+    fn map_pair(&self, _key: &[u8], value: &[u8], out: &mut dyn MapEmitter) {
+        let (rank, dsts) = decode_state(value);
+        let cv = contribution(rank, dsts.len()).to_le_bytes();
+        for d in &dsts {
+            out.emit(&d.to_le_bytes(), &cv);
+        }
+    }
+}
+
+/// Sum 8-byte contributions; finish to `base + Σcontrib`. Plain sums
+/// merge, so this is a legal map-side combiner.
+#[derive(Debug, Clone, Copy)]
+struct RankAgg {
+    base: u64,
+}
+
+impl Aggregator for RankAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        value.to_vec()
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        let n = u64::from_le_bytes(state[..8].try_into().unwrap())
+            + u64::from_le_bytes(value[..8].try_into().unwrap());
+        state[..8].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn merge(&self, key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        self.update(key, state, other);
+    }
+
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        let sum = u64::from_le_bytes(state[..8].try_into().unwrap());
+        (self.base + sum).to_le_bytes().to_vec()
+    }
+
+    fn combinable(&self) -> bool {
+        true
+    }
+}
+
+/// The uncached round's map: parse a `"<node>\t<rank>\t<dst>,..."` text
+/// state record, fan out contributions, and carry the adjacency forward
+/// through the shuffle — without a cache the next round can only get it
+/// from this round's output.
+struct CarryContribMap;
+
+impl MapFn for CarryContribMap {
+    fn map(&self, record: &[u8], out: &mut dyn MapEmitter) {
+        let line = std::str::from_utf8(record).expect("utf8 state record");
+        let mut it = line.split('\t');
+        let node: u32 = it.next().expect("node").parse().expect("node id");
+        let rank: u64 = it.next().expect("rank").parse().expect("rank");
+        let dsts: Vec<u32> = it
+            .next()
+            .expect("dsts")
+            .split(',')
+            .map(|d| d.parse().expect("dst id"))
+            .collect();
+        let mut cv = [0u8; 9];
+        cv[0] = TAG_CONTRIB;
+        cv[1..].copy_from_slice(&contribution(rank, dsts.len()).to_le_bytes());
+        for d in &dsts {
+            out.emit(&d.to_le_bytes(), &cv);
+        }
+        let mut adj = Vec::with_capacity(5 + dsts.len() * 4);
+        adj.push(TAG_ADJ);
+        adj.extend_from_slice(&(dsts.len() as u32).to_le_bytes());
+        for d in &dsts {
+            adj.extend_from_slice(&d.to_le_bytes());
+        }
+        out.emit(&node.to_le_bytes(), &adj);
+    }
+}
+
+fn tagged_parts(value: &[u8]) -> (u64, &[u8]) {
+    match value[0] {
+        TAG_CONTRIB => (
+            u64::from_le_bytes(value[1..9].try_into().expect("contrib")),
+            &[],
+        ),
+        _ => (0, &value[1..]),
+    }
+}
+
+/// The uncached round's fold: sum tagged contributions, keep the
+/// adjacency, finish to the next round's full state
+/// `[base + Σcontrib][adjacency]`.
+#[derive(Debug, Clone, Copy)]
+struct CarryRankAgg {
+    base: u64,
+}
+
+impl Aggregator for CarryRankAgg {
+    fn init(&self, _key: &[u8], value: &[u8]) -> Vec<u8> {
+        let (sum, adj) = tagged_parts(value);
+        let mut st = sum.to_le_bytes().to_vec();
+        st.extend_from_slice(adj);
+        st
+    }
+
+    fn update(&self, _key: &[u8], state: &mut Vec<u8>, value: &[u8]) {
+        let (sum, adj) = tagged_parts(value);
+        let n = u64::from_le_bytes(state[..8].try_into().unwrap()) + sum;
+        state[..8].copy_from_slice(&n.to_le_bytes());
+        if state.len() == 8 {
+            state.extend_from_slice(adj);
+        }
+    }
+
+    fn merge(&self, _key: &[u8], state: &mut Vec<u8>, other: &[u8]) {
+        let n = u64::from_le_bytes(state[..8].try_into().unwrap())
+            + u64::from_le_bytes(other[..8].try_into().unwrap());
+        state[..8].copy_from_slice(&n.to_le_bytes());
+        if state.len() == 8 {
+            state.extend_from_slice(&other[8..]);
+        }
+    }
+
+    fn finish(&self, _key: &[u8], state: Vec<u8>) -> Vec<u8> {
+        let sum = u64::from_le_bytes(state[..8].try_into().unwrap());
+        let mut out = (self.base + sum).to_le_bytes().to_vec();
+        out.extend_from_slice(&state[8..]);
+        out
+    }
+
+    fn combinable(&self) -> bool {
+        true
+    }
+}
+
+fn parse_job(nodes: usize, reducers: usize) -> Result<JobSpec> {
+    JobSpec::builder("pagerank-parse")
+        .map_fn(Arc::new(ParseGraphMap {
+            init_rank: SCALE / nodes as u64,
+        }))
+        .aggregate(Arc::new(FirstAgg))
+        .reducers(reducers)
+        .preset_onepass()
+        .build()
+}
+
+fn rank_job(nodes: usize, reducers: usize) -> Result<JobSpec> {
+    JobSpec::builder("pagerank-round")
+        .map_fn(Arc::new(ContribMap))
+        .aggregate(Arc::new(RankAgg {
+            base: base_rank(nodes),
+        }))
+        .reducers(reducers)
+        .preset_onepass()
+        .build()
+}
+
+fn carry_job(nodes: usize, reducers: usize) -> Result<JobSpec> {
+    JobSpec::builder("pagerank-round")
+        .map_fn(Arc::new(CarryContribMap))
+        .aggregate(Arc::new(CarryRankAgg {
+            base: base_rank(nodes),
+        }))
+        .reducers(reducers)
+        .preset_onepass()
+        .build()
+}
+
+/// Knobs shared by the cached and uncached drivers.
+#[derive(Debug, Clone)]
+pub struct PageRankConfig {
+    /// Node count (must match the record set).
+    pub nodes: usize,
+    /// Maximum rounds.
+    pub rounds: usize,
+    /// Stop when no rank moves by more than this (in [`SCALE`] units);
+    /// `None` always runs `rounds` rounds.
+    pub eps: Option<u64>,
+    /// Reducers per round (held constant: partition-stable placement).
+    pub reducers: usize,
+    /// Plan execution config for every round.
+    pub plan: PlanConfig,
+    /// Records per map split.
+    pub records_per_split: usize,
+}
+
+impl PageRankConfig {
+    /// Defaults for `nodes` nodes: 10 rounds, no eps cutoff, 4 reducers.
+    pub fn new(nodes: usize) -> Self {
+        PageRankConfig {
+            nodes,
+            rounds: 10,
+            eps: None,
+            reducers: 4,
+            plan: PlanConfig::default(),
+            records_per_split: 256,
+        }
+    }
+}
+
+/// Final ranks, sorted by node id.
+pub type Ranks = Vec<(u32, u64)>;
+
+fn ranks_of(pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) -> Ranks {
+    let mut out: Ranks = pairs
+        .into_iter()
+        .map(|(k, v)| {
+            (
+                u32::from_le_bytes(k[..4].try_into().expect("node key")),
+                u64::from_le_bytes(v[..8].try_into().expect("rank")),
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn converged(prev: &HashMap<u32, u64>, cur: &Ranks, eps: Option<u64>) -> bool {
+    match eps {
+        None => false,
+        Some(eps) => cur
+            .iter()
+            .all(|&(n, r)| prev.get(&n).map_or(false, |&p| r.abs_diff(p) <= eps)),
+    }
+}
+
+/// The cached round boundary: zip-merge the freshly reduced ranks into
+/// the resident state, partition by partition. Both datasets were
+/// captured under the same partitioner and reducer count, sorted by
+/// key, so the merge is one aligned linear pass — the adjacency bytes
+/// never move. Nodes absent from the new ranks (no inbound
+/// contributions) take the base rank. Returns the max rank delta.
+fn merge_new_ranks(cache: &DatasetCache, nodes: usize) -> Result<u64> {
+    let state = cache.get(RANKS_DATASET)?.expect("state cached");
+    let news = cache.get(NEW_RANKS_DATASET)?.expect("round ranks cached");
+    assert_eq!(state.len(), news.len(), "partition-stable placement");
+    let base = base_rank(nodes).to_le_bytes();
+    let mut max_delta = 0u64;
+    let mut merged = Vec::with_capacity(state.len());
+    for (sp, np) in state.iter().zip(news.iter()) {
+        let mut b = SegmentBufBuilder::new();
+        let mut ni = np.iter().peekable();
+        let mut nv = Vec::new();
+        for (k, v) in sp.iter() {
+            while ni.peek().map_or(false, |&(nk, _)| nk < k) {
+                ni.next(); // rank for a node outside the state: drop
+            }
+            nv.clear();
+            match ni.peek() {
+                Some(&(nk, new_rank)) if nk == k => {
+                    nv.extend_from_slice(new_rank);
+                    ni.next();
+                }
+                _ => nv.extend_from_slice(&base),
+            }
+            let old = u64::from_le_bytes(v[..8].try_into().unwrap());
+            let new = u64::from_le_bytes(nv[..8].try_into().unwrap());
+            max_delta = max_delta.max(new.abs_diff(old));
+            nv.extend_from_slice(&v[8..]);
+            b.push(k, &nv);
+        }
+        merged.push(b.finish());
+    }
+    cache.put(RANKS_DATASET, merged)?;
+    cache.remove(NEW_RANKS_DATASET)?;
+    Ok(max_delta)
+}
+
+/// Run PageRank through the [`DatasetCache`]: round 0 parses and caches
+/// the full state; each later round reads the cached partitions as
+/// zero-copy splits, shuffles only the contributions, and merges the
+/// new ranks back in place. Returns the final ranks and the number of
+/// rounds run.
+pub fn run_cached(
+    engine: &Engine,
+    cache: &DatasetCache,
+    records: &[Vec<u8>],
+    cfg: &PageRankConfig,
+) -> Result<(Ranks, usize)> {
+    let nodes = cfg.nodes;
+    let reducers = cfg.reducers;
+    let splits = make_splits(records.to_vec(), cfg.records_per_split);
+    let mut iter = IterativePlan::new(cfg.plan.clone(), move |round, _c| {
+        let mut b = Plan::builder();
+        if round == 0 {
+            let s = b.add_stage(parse_job(nodes, reducers)?);
+            b.cache_output(s, RANKS_DATASET);
+            Ok((b.build()?, splits.clone()))
+        } else {
+            let s = b.add_stage(rank_job(nodes, reducers)?);
+            b.cached_input(s, RANKS_DATASET);
+            b.cache_output(s, NEW_RANKS_DATASET);
+            Ok((b.build()?, Vec::new()))
+        }
+    });
+    let eps = cfg.eps;
+    let reports = iter.run_until(engine, cache, cfg.rounds.max(1), |ctx| {
+        if ctx.round == 0 {
+            return Ok(false); // parse round: state already in place
+        }
+        let delta = merge_new_ranks(ctx.cache, nodes)?;
+        Ok(eps.map_or(false, |eps| delta <= eps))
+    })?;
+    let parts = cache.get(RANKS_DATASET)?.expect("ranks cached");
+    let ranks = ranks_of(
+        parts
+            .iter()
+            .flat_map(|p| p.iter().map(|(k, v)| (k.to_vec(), v.to_vec()))),
+    );
+    Ok((ranks, reports.len()))
+}
+
+fn state_to_text(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let node = u32::from_le_bytes(key[..4].try_into().expect("node key"));
+    let (rank, dsts) = decode_state(value);
+    let dsts: Vec<String> = dsts.iter().map(|d| d.to_string()).collect();
+    format!("{node}\t{rank}\t{}", dsts.join(",")).into_bytes()
+}
+
+/// Serialize a round's full state as text records on the store — the
+/// job-output write every chained round pays without a cache.
+fn write_state_run(
+    store: &FileSpillStore,
+    state: &[(Vec<u8>, Vec<u8>)],
+) -> Result<onepass_core::io::RunId> {
+    let mut w = store.begin_run()?;
+    for (k, v) in state {
+        w.write_record(b"", &state_to_text(k, v))?;
+    }
+    Ok(w.finish()?.id)
+}
+
+/// The uncached baseline: identical math, but the loop is a chain of
+/// independent jobs — each round's state (ranks *and* adjacency) is
+/// serialized to text records on a [`FileSpillStore`], read back,
+/// re-parsed, re-split, and re-shuffled by the next round, the way
+/// Hadoop chains iterative jobs through HDFS.
+pub fn run_uncached(
+    engine: &Engine,
+    records: &[Vec<u8>],
+    cfg: &PageRankConfig,
+) -> Result<(Ranks, usize)> {
+    let store = FileSpillStore::temp()?;
+    let splits = make_splits(records.to_vec(), cfg.records_per_split);
+    let plan0 = {
+        let mut b = Plan::builder();
+        b.add_stage(parse_job(cfg.nodes, cfg.reducers)?);
+        b.build()?
+    };
+    let report = engine.run_plan(&plan0, splits, &cfg.plan)?;
+    let mut state: Vec<(Vec<u8>, Vec<u8>)> = report.sorted_final_outputs();
+    let mut prev: HashMap<u32, u64> = match cfg.eps {
+        Some(_) => ranks_of(state.clone()).into_iter().collect(),
+        None => HashMap::new(),
+    };
+    let mut rounds = 1;
+    for _ in 1..cfg.rounds.max(1) {
+        // Round boundary: this round's output goes to the store, the
+        // next round starts by reading and re-parsing it.
+        let run = write_state_run(&store, &state)?;
+        let mut reader = store.open_run(run)?;
+        let mut lines = Vec::with_capacity(state.len());
+        while let Some(rec) = reader.next_record()? {
+            lines.push(rec.value.to_vec());
+        }
+        drop(reader);
+        store.delete_run(run)?;
+        let plan = {
+            let mut b = Plan::builder();
+            b.add_stage(carry_job(cfg.nodes, cfg.reducers)?);
+            b.build()?
+        };
+        let input = make_splits(lines, cfg.records_per_split);
+        let report = engine.run_plan(&plan, input, &cfg.plan)?;
+        state = report.sorted_final_outputs();
+        rounds += 1;
+        let done = match cfg.eps {
+            None => false,
+            Some(_) => {
+                let cur = ranks_of(state.clone());
+                let done = converged(&prev, &cur, cfg.eps);
+                prev = cur.into_iter().collect();
+                done
+            }
+        };
+        if done {
+            break;
+        }
+    }
+    // The chain's final job writes its output like every other round.
+    let run = write_state_run(&store, &state)?;
+    store.delete_run(run)?;
+    Ok((ranks_of(state), rounds))
+}
+
+/// Pure-Rust reference: the same fixed-point iteration, single-threaded.
+/// Returns final ranks and rounds run under the same stopping rule.
+pub fn reference(records: &[Vec<u8>], cfg: &PageRankConfig) -> (Ranks, usize) {
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    for r in records {
+        let line = std::str::from_utf8(r).expect("utf8");
+        let (src, rest) = line.split_once('\t').expect("src\\tdsts");
+        let dsts = rest.split(',').map(|d| d.parse().unwrap()).collect();
+        adj.insert(src.parse().unwrap(), dsts);
+    }
+    let n = cfg.nodes as u64;
+    let base = SCALE * (DAMP_DEN - DAMP_NUM) / (DAMP_DEN * n);
+    let mut ranks: HashMap<u32, u64> = adj.keys().map(|&k| (k, SCALE / n)).collect();
+    let mut rounds = 1; // the parse round
+    for _ in 1..cfg.rounds.max(1) {
+        let mut sums: HashMap<u32, u64> = adj.keys().map(|&k| (k, 0)).collect();
+        for (src, dsts) in &adj {
+            let contrib = ranks[src] * DAMP_NUM / (DAMP_DEN * dsts.len() as u64);
+            for d in dsts {
+                *sums.get_mut(d).expect("dst exists") += contrib;
+            }
+        }
+        let next: HashMap<u32, u64> = sums.into_iter().map(|(k, s)| (k, base + s)).collect();
+        rounds += 1;
+        let done = match cfg.eps {
+            None => false,
+            Some(eps) => next.iter().all(|(k, &r)| r.abs_diff(ranks[k]) <= eps),
+        };
+        ranks = next;
+        if done {
+            break;
+        }
+    }
+    let mut out: Ranks = ranks.into_iter().collect();
+    out.sort_unstable();
+    (out, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onepass_runtime::{CacheConfig, PlanMode};
+
+    #[test]
+    fn cached_uncached_and_reference_agree_byte_for_byte() {
+        let gcfg = GraphConfig {
+            nodes: 64,
+            max_out: 5,
+            seed: 11,
+        };
+        let records = graph_records(gcfg);
+        let mut cfg = PageRankConfig::new(gcfg.nodes);
+        cfg.rounds = 5;
+        cfg.reducers = 3;
+        let (want, want_rounds) = reference(&records, &cfg);
+        assert_eq!(want.len(), gcfg.nodes);
+        // Total mass stays ≈ SCALE (fixed-point floor loss only).
+        let total: u64 = want.iter().map(|&(_, r)| r).sum();
+        assert!(total <= SCALE && total > SCALE - SCALE / 100);
+
+        for mode in [PlanMode::Pipelined, PlanMode::Barrier] {
+            cfg.plan = PlanConfig::new(mode);
+            let engine = Engine::new();
+            let cache = DatasetCache::new(CacheConfig::default());
+            let (cached, r1) = run_cached(&engine, &cache, &records, &cfg).unwrap();
+            let (uncached, r2) = run_uncached(&engine, &records, &cfg).unwrap();
+            assert_eq!(cached, want, "{mode:?} cached vs reference");
+            assert_eq!(uncached, want, "{mode:?} uncached vs reference");
+            assert_eq!((r1, r2), (want_rounds, want_rounds), "{mode:?}");
+            assert!(cache.stats().hits > 0, "{mode:?}: rounds fed from cache");
+        }
+    }
+
+    #[test]
+    fn eps_cutoff_stops_early_and_all_paths_agree_on_rounds() {
+        let gcfg = GraphConfig::default();
+        let records = graph_records(gcfg);
+        let mut cfg = PageRankConfig::new(gcfg.nodes);
+        cfg.rounds = 50;
+        cfg.eps = Some(SCALE / 10_000); // 1e-4 in rank units
+        let (want, want_rounds) = reference(&records, &cfg);
+        assert!(want_rounds < 50, "converges well before the cap");
+
+        let engine = Engine::new();
+        let cache = DatasetCache::new(CacheConfig::default());
+        let (cached, rounds) = run_cached(&engine, &cache, &records, &cfg).unwrap();
+        assert_eq!(cached, want);
+        assert_eq!(rounds, want_rounds);
+
+        let engine = Engine::new();
+        let (uncached, rounds) = run_uncached(&engine, &records, &cfg).unwrap();
+        assert_eq!(uncached, want);
+        assert_eq!(rounds, want_rounds);
+    }
+}

@@ -35,6 +35,9 @@ pub struct CatalogConfig {
     /// Count-based queries refresh a hot group's early answer every time
     /// its count reaches a multiple of this (0 disables early answers).
     pub early_every: u64,
+    /// User-dimension rows the broadcast `join` query bakes into its
+    /// map side ([`crate::join::streaming_job`]).
+    pub join_users: usize,
 }
 
 impl Default for CatalogConfig {
@@ -43,6 +46,7 @@ impl Default for CatalogConfig {
             reducers: 2,
             k: 10,
             early_every: 256,
+            join_users: 1000,
         }
     }
 }
@@ -60,14 +64,15 @@ fn with_periodic_early(mut q: StreamingQuery, every: u64) -> StreamingQuery {
     q
 }
 
-/// Build the standard catalog: the four Table-I workloads plus the two
-/// multi-stage query plans, each under the name `onepass run`/`onepass
-/// plan` knows it by.
+/// Build the standard catalog: the four Table-I workloads, the two
+/// multi-stage query plans, and the broadcast clicks ⋈ users join, each
+/// under the name `onepass run`/`onepass plan` knows it by.
 pub fn standard_catalog(config: CatalogConfig) -> QueryCatalog {
     let CatalogConfig {
         reducers,
         k,
         early_every,
+        join_users,
     } = config;
     let mut cat = QueryCatalog::new();
     cat.register("sessionization", move || {
@@ -118,6 +123,15 @@ pub fn standard_catalog(config: CatalogConfig) -> QueryCatalog {
         )
         .with_ingest(DOCS_INGEST))
     });
+    cat.register("join", move || {
+        Ok(StreamingQuery::single(
+            crate::join::streaming_job(join_users)
+                .reducers(reducers)
+                .preset_onepass()
+                .build()?,
+        )
+        .with_ingest(CLICKS_INGEST))
+    });
     cat.register("df-histogram", move || {
         Ok(
             StreamingQuery::from_plan(&inverted_index::df_histogram_plan(reducers)?)?
@@ -156,6 +170,7 @@ mod tests {
             vec![
                 "df-histogram",
                 "inverted-index",
+                "join",
                 "page-frequency",
                 "per-user-count",
                 "sessionization",

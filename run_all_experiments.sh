@@ -12,7 +12,7 @@ cargo build --release -p onepass-bench
 for exp in exp_table1 exp_table2 exp_fig2 exp_fig3 exp_fig4 exp_table3 \
            exp_section5 exp_parsing exp_mapwrite exp_calibrate exp_ablation \
            exp_engine_timeline exp_plan exp_phase_breakdown exp_innode \
-           exp_serving; do
+           exp_serving exp_iterative; do
     echo "=================================================================="
     ./target/release/$exp "$@"
     echo

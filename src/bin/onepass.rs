@@ -36,6 +36,13 @@
 //! wall clock; `--barrier` materializes each stage before the next
 //! starts, the classic multi-job behaviour.
 //!
+//! `onepass plan pagerank|kmeans` run iterative multi-round loops whose
+//! state rides the in-memory dataset cache between rounds (`--rounds`
+//! caps the loop, `--converge-eps` stops early once no value moves by
+//! more than the threshold); `onepass plan join` runs the hybrid-hash
+//! clicks ⋈ users equi-join, probing click records against a cached,
+//! partition-aligned user table (`--users` sizes the dimension table).
+//!
 //! `--trace-out` writes a Chrome trace-event JSON file (open it in
 //! Perfetto or `chrome://tracing`); real and simulated runs share one
 //! schema, so their timelines render identically. `--report-jsonl`
@@ -86,8 +93,8 @@ use onepass::prelude::*;
 use onepass::runtime::JobSpecBuilder;
 use onepass_core::config::{fmt_bytes, fmt_secs};
 use onepass_workloads::{
-    inverted_index, make_splits, page_frequency, per_user_count, sessionization, top_k, ClickGen,
-    ClickGenConfig, DocGen, DocGenConfig,
+    inverted_index, join as join_wl, kmeans, make_splits, page_frequency, pagerank,
+    per_user_count, sessionization, top_k, ClickGen, ClickGenConfig, DocGen, DocGenConfig,
 };
 
 fn usage() -> ! {
@@ -100,7 +107,8 @@ fn usage() -> ! {
          \x20           [--straggle-map T:MS] [--fault-seed S] [--workers ADDR,ADDR,...]\n  \
          \x20           [--trace-out trace.json] [--report-jsonl report.jsonl] [--dump-out FILE]\n  \
          onepass worker --listen ADDR [--slots N] [--die-after-maps N]\n  \
-         onepass plan <top-k|df-histogram> [--pipeline|--barrier] [--records N] [--reducers R] [--k K]\n  \
+         onepass plan <top-k|df-histogram|pagerank|kmeans|join> [--pipeline|--barrier] [--records N] [--reducers R] [--k K]\n  \
+         \x20           [--rounds N] [--converge-eps E] [--users N]\n  \
          \x20           [--hash-family multiply-shift|tabulation] [--in-node-combine on|off]\n  \
          \x20           [--mem-policy <policy>] [--mem-high-water F] [--trace-out trace.json] [--report-jsonl report.jsonl]\n  \
          onepass sim <workload> [--system hadoop|hop|onepass] [--storage single-hdd|hdd+ssd|separated] [--scale F]\n  \
@@ -577,42 +585,10 @@ fn cmd_run(args: &[String]) {
     }
 }
 
-fn cmd_plan(args: &[String]) {
-    let workload = args.first().cloned().unwrap_or_else(|| usage());
-    let records: usize = flag(args, "records")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000);
-    let reducers: usize = flag(args, "reducers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
-    let k: usize = flag(args, "k").and_then(|v| v.parse().ok()).unwrap_or(10);
-    let mode = if switch(args, "barrier") {
-        PlanMode::Barrier
-    } else {
-        PlanMode::Pipelined
-    };
-
-    let (plan, splits) = match workload.as_str() {
-        "top-k" => {
-            let mut gen = ClickGen::new(ClickGenConfig::default());
-            (
-                top_k::plan(k, reducers).expect("valid plan"),
-                make_splits(gen.text_records(records), records / 16 + 1),
-            )
-        }
-        "df-histogram" => {
-            let mut gen = DocGen::new(DocGenConfig::default());
-            (
-                inverted_index::df_histogram_plan(reducers).expect("valid plan"),
-                make_splits(gen.records(records / 100 + 1), records / 1600 + 1),
-            )
-        }
-        _ => usage(),
-    };
-    let input_records: u64 = splits.iter().map(|s| s.records.len() as u64).sum();
-
+/// The engine config every `plan` variant shares: tracer, memory
+/// policy, hash family, in-node combine, optional metrics rig.
+fn plan_engine_parts(args: &[String]) -> (EngineConfig, Option<MetricsRig>, Tracer, Option<String>) {
     let trace_out = flag(args, "trace-out");
-    let report_jsonl = flag(args, "report-jsonl");
     let tracer = if trace_out.is_some() {
         Tracer::enabled()
     } else {
@@ -640,7 +616,49 @@ fn cmd_plan(args: &[String]) {
     if let Some(r) = &rig {
         config = config.metrics(r.registry.clone());
     }
-    let config = config.build();
+    (config.build(), rig, tracer, trace_out)
+}
+
+fn cmd_plan(args: &[String]) {
+    let workload = args.first().cloned().unwrap_or_else(|| usage());
+    let records: usize = flag(args, "records")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let reducers: usize = flag(args, "reducers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let k: usize = flag(args, "k").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let mode = if switch(args, "barrier") {
+        PlanMode::Barrier
+    } else {
+        PlanMode::Pipelined
+    };
+
+    if matches!(workload.as_str(), "pagerank" | "kmeans" | "join") {
+        return cmd_plan_iterative(&workload, args, records, reducers, mode);
+    }
+
+    let (plan, splits) = match workload.as_str() {
+        "top-k" => {
+            let mut gen = ClickGen::new(ClickGenConfig::default());
+            (
+                top_k::plan(k, reducers).expect("valid plan"),
+                make_splits(gen.text_records(records), records / 16 + 1),
+            )
+        }
+        "df-histogram" => {
+            let mut gen = DocGen::new(DocGenConfig::default());
+            (
+                inverted_index::df_histogram_plan(reducers).expect("valid plan"),
+                make_splits(gen.records(records / 100 + 1), records / 1600 + 1),
+            )
+        }
+        _ => usage(),
+    };
+    let input_records: u64 = splits.iter().map(|s| s.records.len() as u64).sum();
+
+    let report_jsonl = flag(args, "report-jsonl");
+    let (config, rig, tracer, trace_out) = plan_engine_parts(args);
 
     eprintln!(
         "running the {workload} plan ({} stages, {} mode, {input_records} records)...",
@@ -717,6 +735,165 @@ fn cmd_plan(args: &[String]) {
             }
         }
     }
+}
+
+/// The iterative / two-input plans: PageRank and k-means as cached
+/// multi-round loops, and the hybrid-hash clicks ⋈ users join probing a
+/// cached build side.
+fn cmd_plan_iterative(
+    workload: &str,
+    args: &[String],
+    records: usize,
+    reducers: usize,
+    mode: PlanMode,
+) {
+    let rounds: usize = flag(args, "rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let eps: Option<u64> = flag(args, "converge-eps").and_then(|v| v.parse().ok());
+    let (config, rig, tracer, trace_out) = plan_engine_parts(args);
+    let engine = Engine::with_config(config);
+    let mut cache = DatasetCache::new(CacheConfig::default());
+    if let Some(r) = &rig {
+        cache.attach_metrics(&r.registry);
+    }
+    cache.attach_tracer(&tracer);
+    let plan_cfg = PlanConfig::new(mode);
+    let started = std::time::Instant::now();
+
+    let rounds_run = match workload {
+        "pagerank" => {
+            let nodes = records.max(1);
+            let graph = pagerank::graph_records(pagerank::GraphConfig {
+                nodes,
+                ..Default::default()
+            });
+            let mut cfg = pagerank::PageRankConfig::new(nodes);
+            cfg.rounds = rounds;
+            cfg.eps = eps;
+            cfg.reducers = reducers;
+            cfg.plan = plan_cfg;
+            eprintln!(
+                "running cached pagerank ({nodes} nodes, ≤{rounds} rounds, {} mode)...",
+                mode.label()
+            );
+            let (ranks, rounds_run) =
+                pagerank::run_cached(&engine, &cache, &graph, &cfg).expect("pagerank failed");
+            let mut top: Vec<(u64, u32)> = ranks.iter().map(|&(n, r)| (r, n)).collect();
+            top.sort_unstable_by(|a, b| b.cmp(a));
+            println!("top ranks (rank × 1e9):");
+            for &(r, n) in top.iter().take(5) {
+                println!("  node {n:<8} {r}");
+            }
+            rounds_run
+        }
+        "kmeans" => {
+            let k: usize = flag(args, "k").and_then(|v| v.parse().ok()).unwrap_or(3);
+            let points = pagerank_like_points(records, k);
+            let mut cfg = kmeans::KMeansConfig::new(k);
+            cfg.rounds = rounds;
+            cfg.eps = eps.map(|e| e as i64).or(Some(0));
+            cfg.reducers = reducers;
+            cfg.plan = plan_cfg;
+            eprintln!(
+                "running cached k-means ({} points, k={k}, ≤{rounds} rounds, {} mode)...",
+                records.max(k),
+                mode.label()
+            );
+            let (centroids, rounds_run) =
+                kmeans::run_cached(&engine, &cache, &points, &cfg).expect("k-means failed");
+            println!("centroids:");
+            for (cid, coords) in &centroids {
+                println!("  c{cid}: {coords:?}");
+            }
+            rounds_run
+        }
+        "join" => {
+            let users: usize = flag(args, "users")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000);
+            let mut gen = ClickGen::new(ClickGenConfig {
+                users: users * 2, // half the clicks miss the dimension table
+                ..Default::default()
+            });
+            let clicks = gen.text_records(records);
+            eprintln!(
+                "running hybrid-hash join ({records} clicks ⋈ {users} users, {} mode)...",
+                mode.label()
+            );
+            let joined = join_wl::run_join(
+                &engine,
+                &cache,
+                &join_wl::user_records(users),
+                &clicks,
+                reducers,
+                8,
+                &plan_cfg,
+            )
+            .expect("join failed");
+            println!("joined rows:       {}", joined.len());
+            for (uid, cc, url) in joined.iter().take(5) {
+                println!("  user {uid:<6} {} url {url}", String::from_utf8_lossy(cc));
+            }
+            2 // build + probe
+        }
+        _ => unreachable!("gated by cmd_plan"),
+    };
+
+    let wall = started.elapsed();
+    let stats = cache.stats();
+    println!("plan:              {workload} [{}]", mode.label());
+    println!("rounds run:        {rounds_run}");
+    println!(
+        "wall time:         {} ({} per round)",
+        fmt_secs(wall.as_secs_f64()),
+        fmt_secs(wall.as_secs_f64() / rounds_run.max(1) as f64)
+    );
+    println!(
+        "cache:             {} resident, {} hits, {} evictions, {} spill reloads",
+        fmt_bytes(stats.resident_bytes as u64),
+        stats.hits,
+        stats.evictions,
+        stats.reloads
+    );
+
+    if let Some(r) = rig {
+        r.finish();
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, chrome_trace_json(&tracer.drain())).expect("write trace file");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = flag(args, "report-jsonl") {
+        use onepass_core::json::fmt_f64;
+        let line = format!(
+            concat!(
+                "{{\"type\":\"plan\",\"plan\":\"{workload}\",\"mode\":\"{mode}\",",
+                "\"rounds\":{rounds},\"wall_s\":{wall},\"cache_resident_bytes\":{resident},",
+                "\"cache_hits\":{hits},\"cache_evictions\":{evictions},",
+                "\"cache_reloads\":{reloads}}}\n"
+            ),
+            workload = workload,
+            mode = mode.label(),
+            rounds = rounds_run,
+            wall = fmt_f64(wall.as_secs_f64()),
+            resident = stats.resident_bytes,
+            hits = stats.hits,
+            evictions = stats.evictions,
+            reloads = stats.reloads,
+        );
+        std::fs::write(&path, line).expect("write report file");
+        eprintln!("wrote JSONL report to {path}");
+    }
+}
+
+/// Deterministic k-means input sized from `--records`.
+fn pagerank_like_points(records: usize, k: usize) -> Vec<Vec<u8>> {
+    kmeans::point_records(kmeans::PointsConfig {
+        points: records.max(k),
+        clusters: k,
+        ..Default::default()
+    })
 }
 
 fn cmd_sim(args: &[String]) {
@@ -888,6 +1065,7 @@ fn cmd_serve(args: &[String]) {
         reducers,
         k,
         early_every,
+        ..CatalogConfig::default()
     });
     let config = ServeConfig {
         pool_bytes: pool_mb << 20,

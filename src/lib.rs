@@ -72,7 +72,7 @@ pub mod prelude {
     pub use onepass_groupby::{
         Aggregator, CountAgg, EmitKind, GroupBy, ListAgg, MaxAgg, Sink, SumAgg,
     };
-    pub use onepass_runtime::chain::{run_chain, ChainConfig};
+    pub use onepass_runtime::codec::{decode_pair, encode_pair};
     pub use onepass_runtime::map_task::Split;
     pub use onepass_runtime::serve::{
         dump_final_answers, AdmissionConfig, DlqConfig, Frontend, QueryCatalog, ServeConfig,
@@ -81,11 +81,11 @@ pub mod prelude {
     pub use onepass_runtime::stream::{SessionOptions, StreamSession};
     pub use onepass_runtime::window::{WindowConfig, WindowedSession};
     pub use onepass_runtime::{
-        CollectOutput, Combine, Engine, EngineConfig, EngineConfigBuilder, InNodeCombine,
-        JobRegistry, JobSpec, MapEmitter, MapFn, MapOutputPersistence, MapSideMode, PairMap,
-        PhaseBreakdown, Plan, PlanBuilder, PlanConfig, PlanMode, PlanReport, ReduceBackend,
-        RetryPolicy, ShuffleMode, SpeculationConfig, SpillBackend, StageId, StageReport, Transport,
-        WorkerOptions,
+        CacheConfig, CollectOutput, Combine, DatasetCache, Engine, EngineConfig,
+        EngineConfigBuilder, InNodeCombine, IterativePlan, JobRegistry, JobSpec, MapEmitter, MapFn,
+        MapOutputPersistence, MapSideMode, PairMap, PhaseBreakdown, Plan, PlanBuilder, PlanConfig,
+        PlanMode, PlanReport, ReduceBackend, RetryPolicy, RoundContext, ShuffleMode,
+        SpeculationConfig, SpillBackend, StageId, StageReport, Transport, WorkerOptions,
     };
     pub use onepass_simcluster::{
         run_sim_job, run_sim_job_traced, ClusterSpec, SimFaults, SimJobSpec, StorageConfig,
